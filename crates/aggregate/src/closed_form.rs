@@ -1,0 +1,391 @@
+//! Polynomial-time range answers for key-induced conflicts.
+//!
+//! With a single key dependency every conflict group is a **clique** of the conflict
+//! graph (all tuples sharing the key value are pairwise conflicting), so a repair picks
+//! exactly one tuple per clique and keeps every conflict-free tuple. Under that structure
+//! the glb/lub of the standard aggregates decompose per clique — this is the tractable
+//! core of Arenas et al. \[2\] — and no repair enumeration is needed:
+//!
+//! * `COUNT(*)` is the same in every repair (one tuple per clique, all isolated tuples);
+//! * `MIN` / `MAX` bounds combine the per-clique extremes;
+//! * `SUM` bounds add the per-clique extremes;
+//! * `AVG` bounds follow from the `SUM` bounds because the count is fixed.
+//!
+//! Selections complicate the picture only mildly: a clique may contribute *no* selected
+//! tuple to some repair, which makes the per-clique minimum contribution 0 for `SUM` /
+//! `COUNT` and can make `MIN` / `MAX` / `AVG` undefined in some repair.
+//!
+//! [`range_closed_form`] refuses (with [`ClosedFormError::NotCliquePartition`]) to answer
+//! when the conflict graph is not a disjoint union of cliques — that is exactly the
+//! situation where the decomposition argument breaks and the enumeration-based evaluator
+//! of [`crate::range`] must be used instead.
+
+use std::fmt;
+
+use pdqi_constraints::ConflictGraph;
+use pdqi_core::RepairContext;
+use pdqi_relation::TupleSet;
+
+use crate::query::{AggregateFunction, AggregateQuery};
+use crate::range::RangeAnswer;
+
+/// Why the closed form could not be applied.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClosedFormError {
+    /// The conflict graph is not a disjoint union of cliques (more than one functional
+    /// dependency, or a non-key dependency, is in play).
+    NotCliquePartition,
+    /// The aggregated attribute of a non-`COUNT` aggregate contained a non-numeric value.
+    NonNumericValue,
+    /// `COUNT DISTINCT` does not decompose per clique (the same value can appear in
+    /// several cliques); use the enumeration-based evaluator.
+    CountDistinctUnsupported,
+    /// `AVG` under a selection that some clique can evade has a varying denominator and
+    /// no per-clique decomposition; use the enumeration-based evaluator.
+    AvgSelectionUnsupported,
+}
+
+impl fmt::Display for ClosedFormError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClosedFormError::NotCliquePartition => f.write_str(
+                "the conflict graph is not a union of cliques; use the enumeration-based evaluator",
+            ),
+            ClosedFormError::NonNumericValue => {
+                f.write_str("the aggregated attribute must be numeric")
+            }
+            ClosedFormError::CountDistinctUnsupported => f.write_str(
+                "COUNT DISTINCT has no per-clique closed form; use the enumeration-based evaluator",
+            ),
+            ClosedFormError::AvgSelectionUnsupported => f.write_str(
+                "AVG with a skippable selection has no per-clique closed form; use the enumeration-based evaluator",
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ClosedFormError {}
+
+/// Whether every connected component of the conflict graph is a clique — the structural
+/// condition under which the closed form applies (it always holds when the constraints
+/// are a single key dependency).
+pub fn is_clique_partition(graph: &ConflictGraph) -> bool {
+    graph.connected_components().iter().all(|component| {
+        let size = component.len();
+        component.iter().all(|t| {
+            let inside = graph.neighbors(t).intersection(component);
+            inside.len() == size - 1
+        })
+    })
+}
+
+/// Per-clique contribution bounds for one aggregate.
+#[derive(Debug, Clone, Copy)]
+struct Contribution {
+    /// Smallest selected measure available in the clique, if any tuple is selected.
+    min: Option<i64>,
+    /// Largest selected measure available in the clique, if any tuple is selected.
+    max: Option<i64>,
+    /// Whether the clique also offers an unselected choice (so contributing nothing is
+    /// possible).
+    can_skip: bool,
+}
+
+/// Computes the range answer without enumerating repairs. Fails when the conflict graph
+/// is not a union of cliques.
+pub fn range_closed_form(
+    ctx: &RepairContext,
+    query: &AggregateQuery,
+) -> Result<RangeAnswer, ClosedFormError> {
+    let graph = ctx.graph();
+    if !is_clique_partition(graph) {
+        return Err(ClosedFormError::NotCliquePartition);
+    }
+    let instance = ctx.instance();
+    let mut contributions = Vec::new();
+    for component in graph.connected_components() {
+        let mut contribution = Contribution { min: None, max: None, can_skip: false };
+        for id in component.iter() {
+            let tuple = instance.tuple_unchecked(id);
+            if !query.selects(tuple) {
+                contribution.can_skip = true;
+                continue;
+            }
+            let measure = match query.measure(tuple) {
+                Some(value) => value,
+                None => return Err(ClosedFormError::NonNumericValue),
+            };
+            contribution.min = Some(contribution.min.map_or(measure, |m| m.min(measure)));
+            contribution.max = Some(contribution.max.map_or(measure, |m| m.max(measure)));
+        }
+        contributions.push(contribution);
+    }
+    let answer = match query.function() {
+        AggregateFunction::Count => count_range(&contributions),
+        AggregateFunction::Sum => sum_range(&contributions),
+        AggregateFunction::Min => extremum_range(&contributions, true),
+        AggregateFunction::Max => extremum_range(&contributions, false),
+        AggregateFunction::Avg => avg_range(&contributions)?,
+        AggregateFunction::CountDistinct => return Err(ClosedFormError::CountDistinctUnsupported),
+    };
+    // `examined: 0` throughout — no repair enumeration happened, which is the point.
+    Ok(answer)
+}
+
+fn count_range(contributions: &[Contribution]) -> RangeAnswer {
+    // Every clique contributes exactly one tuple; the selection decides whether that
+    // tuple is counted. A clique counts for sure only if *every* choice is selected.
+    let mut lo = 0i64;
+    let mut hi = 0i64;
+    for c in contributions {
+        if c.min.is_some() {
+            hi += 1;
+            if !c.can_skip {
+                lo += 1;
+            }
+        }
+    }
+    RangeAnswer {
+        glb: Some(lo as f64),
+        lub: Some(hi as f64),
+        examined: 0,
+        undefined_somewhere: false,
+    }
+}
+
+fn sum_range(contributions: &[Contribution]) -> RangeAnswer {
+    let mut lo = 0i64;
+    let mut hi = 0i64;
+    for c in contributions {
+        if let (Some(min), Some(max)) = (c.min, c.max) {
+            // The clique can contribute its smallest selected value, its largest, or —
+            // when an unselected choice exists — possibly nothing at all.
+            lo += if c.can_skip { min.min(0) } else { min };
+            hi += if c.can_skip { max.max(0) } else { max };
+        }
+    }
+    RangeAnswer {
+        glb: Some(lo as f64),
+        lub: Some(hi as f64),
+        examined: 0,
+        undefined_somewhere: false,
+    }
+}
+
+fn extremum_range(contributions: &[Contribution], minimum: bool) -> RangeAnswer {
+    // MIN: the glb is the smallest selected value anywhere; the lub is obtained by making
+    // every clique contribute its largest selected value (or nothing when it can skip) —
+    // it is the minimum of the per-clique maxima over the cliques that *must* contribute.
+    // MAX is the mirror image. The aggregate is undefined in some repair iff every clique
+    // can skip (then a repair selecting no tuple at all exists).
+    let mandatory: Vec<&Contribution> =
+        contributions.iter().filter(|c| c.min.is_some() && !c.can_skip).collect();
+    let undefined_somewhere = mandatory.is_empty();
+
+    // The most extreme achievable value: pick the single most helpful selected tuple
+    // anywhere (smallest for MIN, largest for MAX); the other cliques cannot undo it.
+    let outer = if minimum {
+        contributions.iter().filter_map(|c| c.min).min()
+    } else {
+        contributions.iter().filter_map(|c| c.max).max()
+    };
+
+    // The least extreme achievable (defined) value: every mandatory clique contributes
+    // its least damaging tuple and every optional clique skips; when no clique is
+    // mandatory, the best defined outcome has exactly one optional clique contribute its
+    // least damaging tuple.
+    let from_mandatory = if minimum {
+        mandatory.iter().filter_map(|c| c.max).min()
+    } else {
+        mandatory.iter().filter_map(|c| c.min).max()
+    };
+    let inner = from_mandatory.or_else(|| {
+        let optional = contributions.iter().filter(|c| c.can_skip);
+        if minimum {
+            optional.filter_map(|c| c.max).max()
+        } else {
+            optional.filter_map(|c| c.min).min()
+        }
+    });
+
+    let (glb, lub) = if minimum { (outer, inner) } else { (inner, outer) };
+    RangeAnswer {
+        glb: glb.map(|v| v as f64),
+        lub: lub.map(|v| v as f64),
+        examined: 0,
+        undefined_somewhere,
+    }
+}
+
+fn avg_range(contributions: &[Contribution]) -> Result<RangeAnswer, ClosedFormError> {
+    // When no clique can evade the selection the count is the same in every repair
+    // (one contribution per selected clique), so the AVG bounds are the SUM bounds
+    // divided by that fixed count. When some clique can evade the selection the
+    // denominator varies and the bounds no longer decompose per clique — the caller must
+    // fall back to enumeration.
+    let selected: Vec<&Contribution> = contributions.iter().filter(|c| c.min.is_some()).collect();
+    if selected.is_empty() {
+        return Ok(RangeAnswer { glb: None, lub: None, examined: 0, undefined_somewhere: true });
+    }
+    if selected.iter().any(|c| c.can_skip) {
+        return Err(ClosedFormError::AvgSelectionUnsupported);
+    }
+    let count = selected.len() as f64;
+    let sum = sum_range(contributions);
+    Ok(RangeAnswer {
+        glb: sum.glb.map(|v| v / count),
+        lub: sum.lub.map(|v| v / count),
+        examined: 0,
+        undefined_somewhere: false,
+    })
+}
+
+/// Convenience: the exact aggregate on a consistent sub-instance described by a tuple
+/// set (used by tests and by the narrowing report).
+pub fn evaluate_on(ctx: &RepairContext, set: &TupleSet, query: &AggregateQuery) -> Option<f64> {
+    query.evaluate_over(set.iter().map(|id| ctx.instance().tuple_unchecked(id)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    use pdqi_constraints::FdSet;
+    use pdqi_core::FamilyKind;
+    use pdqi_relation::{RelationInstance, RelationSchema, Value, ValueType};
+
+    use crate::query::AggregateFunction;
+    use crate::range::range_by_enumeration;
+
+    fn key_context(rows: &[(&str, i64)]) -> RepairContext {
+        let schema = Arc::new(
+            RelationSchema::from_pairs(
+                "Emp",
+                &[("Name", ValueType::Name), ("Salary", ValueType::Int)],
+            )
+            .unwrap(),
+        );
+        let instance = RelationInstance::from_rows(
+            Arc::clone(&schema),
+            rows.iter().map(|&(n, s)| vec![Value::name(n), Value::int(s)]).collect(),
+        )
+        .unwrap();
+        let fds = FdSet::parse(schema, &["Name -> Salary"]).unwrap();
+        RepairContext::new(instance, fds)
+    }
+
+    fn agg(ctx: &RepairContext, f: AggregateFunction) -> AggregateQuery {
+        AggregateQuery::over(ctx.instance().schema(), f, "Salary").unwrap()
+    }
+
+    #[test]
+    fn key_conflicts_form_a_clique_partition() {
+        let ctx = key_context(&[("Mary", 40), ("Mary", 20), ("Mary", 30), ("John", 10)]);
+        assert!(is_clique_partition(ctx.graph()));
+    }
+
+    #[test]
+    fn two_fd_conflicts_are_rejected() {
+        let schema = Arc::new(
+            RelationSchema::from_pairs(
+                "R",
+                &[("A", ValueType::Int), ("B", ValueType::Int), ("C", ValueType::Int)],
+            )
+            .unwrap(),
+        );
+        // A path-shaped conflict graph (t0–t1 via A→B, t1–t2 via B→C) is not a union of
+        // cliques, so the decomposition argument does not apply.
+        let instance = RelationInstance::from_rows(
+            Arc::clone(&schema),
+            vec![
+                vec![Value::int(1), Value::int(1), Value::int(10)],
+                vec![Value::int(1), Value::int(2), Value::int(20)],
+                vec![Value::int(2), Value::int(2), Value::int(30)],
+            ],
+        )
+        .unwrap();
+        let fds = FdSet::parse(schema, &["A -> B", "B -> C"]).unwrap();
+        let ctx = RepairContext::new(instance, fds);
+        assert!(!is_clique_partition(ctx.graph()));
+        let query = AggregateQuery::count();
+        assert_eq!(range_closed_form(&ctx, &query), Err(ClosedFormError::NotCliquePartition));
+    }
+
+    #[test]
+    fn closed_form_matches_enumeration_on_all_functions() {
+        let ctx = key_context(&[
+            ("Mary", 40),
+            ("Mary", 20),
+            ("John", 10),
+            ("John", 35),
+            ("Eve", 55),
+        ]);
+        let empty = ctx.empty_priority();
+        let family = FamilyKind::Rep.family();
+        for f in [
+            AggregateFunction::Count,
+            AggregateFunction::Sum,
+            AggregateFunction::Min,
+            AggregateFunction::Max,
+            AggregateFunction::Avg,
+        ] {
+            let query = if f == AggregateFunction::Count { AggregateQuery::count() } else { agg(&ctx, f) };
+            let closed = range_closed_form(&ctx, &query).unwrap();
+            let brute = range_by_enumeration(&ctx, &empty, family.as_ref(), &query);
+            assert_eq!(closed.glb, brute.glb, "{f}: glb");
+            assert_eq!(closed.lub, brute.lub, "{f}: lub");
+            assert_eq!(closed.undefined_somewhere, brute.undefined_somewhere, "{f}");
+        }
+    }
+
+    #[test]
+    fn selections_with_skippable_cliques_match_enumeration() {
+        let schema = Arc::new(
+            RelationSchema::from_pairs(
+                "Emp",
+                &[("Name", ValueType::Name), ("Dept", ValueType::Name), ("Salary", ValueType::Int)],
+            )
+            .unwrap(),
+        );
+        let instance = RelationInstance::from_rows(
+            Arc::clone(&schema),
+            vec![
+                vec![Value::name("Mary"), Value::name("R&D"), Value::int(40)],
+                vec![Value::name("Mary"), Value::name("IT"), Value::int(20)],
+                vec![Value::name("John"), Value::name("R&D"), Value::int(10)],
+                vec![Value::name("Eve"), Value::name("IT"), Value::int(55)],
+            ],
+        )
+        .unwrap();
+        let fds = FdSet::parse(Arc::clone(&schema), &["Name -> Dept Salary"]).unwrap();
+        let ctx = RepairContext::new(instance, fds);
+        let empty = ctx.empty_priority();
+        let family = FamilyKind::Rep.family();
+        for f in [AggregateFunction::Count, AggregateFunction::Sum, AggregateFunction::Min, AggregateFunction::Max] {
+            let query = if f == AggregateFunction::Count {
+                AggregateQuery::count().filtered(&schema, "Dept", Value::name("R&D")).unwrap()
+            } else {
+                AggregateQuery::over(&schema, f, "Salary")
+                    .unwrap()
+                    .filtered(&schema, "Dept", Value::name("R&D"))
+                    .unwrap()
+            };
+            let closed = range_closed_form(&ctx, &query).unwrap();
+            let brute = range_by_enumeration(&ctx, &empty, family.as_ref(), &query);
+            assert_eq!(closed.glb, brute.glb, "{f}: glb");
+            assert_eq!(closed.lub, brute.lub, "{f}: lub");
+            assert_eq!(closed.undefined_somewhere, brute.undefined_somewhere, "{f}");
+        }
+    }
+
+    #[test]
+    fn consistent_instances_have_exact_ranges() {
+        let ctx = key_context(&[("Mary", 40), ("John", 10)]);
+        let query = agg(&ctx, AggregateFunction::Sum);
+        let closed = range_closed_form(&ctx, &query).unwrap();
+        assert_eq!(closed.glb, Some(50.0));
+        assert_eq!(closed.lub, Some(50.0));
+        assert!(closed.is_exact());
+    }
+}

@@ -1,0 +1,37 @@
+//! Range-consistent aggregation answers over inconsistent databases.
+//!
+//! The paper's concluding section points at the complexity study of *scalar aggregation*
+//! in inconsistent databases (Arenas et al. \[2\]) as the natural companion of its
+//! framework: when the query is an aggregate (`MIN`, `MAX`, `COUNT`, `SUM`, `AVG`) the
+//! certain-answer semantics becomes a **range** — the greatest lower bound and least
+//! upper bound the aggregate takes across the (preferred) repairs.
+//!
+//! This crate adds that companion on top of `pdqi-core`:
+//!
+//! * [`query`] — aggregate queries over one numeric attribute, with an optional
+//!   selection on the aggregated tuples,
+//! * [`range`] — the [`RangeAnswer`] type and the generic enumeration-based evaluator
+//!   that works for *any* repair family (and therefore for preferred repairs),
+//! * [`closed_form`] — the polynomial-time evaluator for the case \[2\] studies: one key
+//!   dependency, i.e. a conflict graph whose connected components are cliques, where
+//!   every repair picks exactly one tuple per clique and the bounds decompose
+//!   per component,
+//! * [`narrowing`] — helpers quantifying how much a priority narrows the answer range
+//!   (the aggregation counterpart of the paper's monotonicity property P2).
+//!
+//! The closed form and the enumeration agree wherever both apply; the property tests and
+//! the `e12_aggregation` bench exercise that equivalence and the complexity gap between
+//! the two.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod closed_form;
+pub mod narrowing;
+pub mod query;
+pub mod range;
+
+pub use closed_form::{is_clique_partition, range_closed_form, ClosedFormError};
+pub use narrowing::{narrowing_report, NarrowingReport};
+pub use query::{AggregateFunction, AggregateQuery};
+pub use range::{range_by_enumeration, AggregateValue, RangeAnswer};

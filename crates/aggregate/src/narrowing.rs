@@ -1,0 +1,145 @@
+//! How much does a priority narrow an aggregate's answer range?
+//!
+//! The paper's monotonicity property (P2) says that extending the priority can only
+//! shrink the set of preferred repairs; for aggregates this translates into the answer
+//! **range** only ever tightening. [`narrowing_report`] measures that effect for one
+//! aggregate query across a chain of priorities (typically: the empty priority, a partial
+//! priority, and a total extension), reporting the range under a chosen family at every
+//! step. It is the aggregation counterpart of the `e9_priority_sweep` experiment.
+
+use pdqi_core::{FamilyKind, RepairContext};
+use pdqi_priority::Priority;
+
+use crate::query::AggregateQuery;
+use crate::range::{range_by_enumeration, RangeAnswer};
+
+/// The range answers along a chain of priorities.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NarrowingReport {
+    /// The family the ranges were computed under.
+    pub family: FamilyKind,
+    /// One entry per priority of the chain: (number of oriented edges, range).
+    pub steps: Vec<(usize, RangeAnswer)>,
+}
+
+impl NarrowingReport {
+    /// Whether every step's range is contained in the previous step's range (the
+    /// monotone-narrowing property). Steps with undefined bounds are skipped.
+    pub fn is_monotone(&self) -> bool {
+        self.steps.windows(2).all(|pair| {
+            let (_, ref wider) = pair[0];
+            let (_, ref narrower) = pair[1];
+            match (wider.glb, wider.lub, narrower.glb, narrower.lub) {
+                (Some(wlo), Some(whi), Some(nlo), Some(nhi)) => nlo >= wlo && nhi <= whi,
+                _ => true,
+            }
+        })
+    }
+
+    /// Renders the report as one line per step.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (edges, range) in &self.steps {
+            out.push_str(&format!(
+                "{:<7} priority edges: {:>3}  range: {}\n",
+                self.family.label(),
+                edges,
+                range
+            ));
+        }
+        out
+    }
+}
+
+/// Evaluates `query` under `family` for every priority of `chain` (the priorities should
+/// form an extension chain for the monotone-narrowing reading to make sense).
+pub fn narrowing_report(
+    ctx: &RepairContext,
+    chain: &[Priority],
+    family: FamilyKind,
+    query: &AggregateQuery,
+) -> NarrowingReport {
+    let steps = chain
+        .iter()
+        .map(|priority| {
+            let range = range_by_enumeration(ctx, priority, family.family().as_ref(), query);
+            (priority.edge_count(), range)
+        })
+        .collect();
+    NarrowingReport { family, steps }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    use pdqi_constraints::FdSet;
+    use pdqi_priority::random_total_extension;
+    use pdqi_relation::{RelationInstance, RelationSchema, Value, ValueType};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    use crate::query::AggregateFunction;
+
+    fn salary_context() -> RepairContext {
+        let schema = Arc::new(
+            RelationSchema::from_pairs(
+                "Emp",
+                &[("Name", ValueType::Name), ("Salary", ValueType::Int)],
+            )
+            .unwrap(),
+        );
+        let instance = RelationInstance::from_rows(
+            Arc::clone(&schema),
+            vec![
+                vec![Value::name("Mary"), Value::int(40)],
+                vec![Value::name("Mary"), Value::int(20)],
+                vec![Value::name("John"), Value::int(10)],
+                vec![Value::name("John"), Value::int(35)],
+                vec![Value::name("Eve"), Value::int(55)],
+            ],
+        )
+        .unwrap();
+        let fds = FdSet::parse(schema, &["Name -> Salary"]).unwrap();
+        RepairContext::new(instance, fds)
+    }
+
+    #[test]
+    fn extending_the_priority_narrows_the_sum_range_down_to_a_point() {
+        let ctx = salary_context();
+        let schema = Arc::clone(ctx.instance().schema());
+        let query = AggregateQuery::over(&schema, AggregateFunction::Sum, "Salary").unwrap();
+        let empty = ctx.empty_priority();
+        let mut rng = StdRng::seed_from_u64(5);
+        let partial = {
+            let mut p = empty.clone();
+            p.add(pdqi_relation::TupleId(0), pdqi_relation::TupleId(1)).unwrap();
+            p
+        };
+        let total = random_total_extension(&partial, &mut rng);
+        let report =
+            narrowing_report(&ctx, &[empty, partial, total], FamilyKind::Global, &query);
+        assert!(report.is_monotone());
+        // The empty priority leaves the full hull [20+10+55, 40+35+55] = [85, 130].
+        assert_eq!(report.steps[0].1.glb, Some(85.0));
+        assert_eq!(report.steps[0].1.lub, Some(130.0));
+        // The total priority pins a single repair, so the final range is a point.
+        assert!(report.steps[2].1.is_exact());
+        assert!(report.render().contains("G-Rep"));
+    }
+
+    #[test]
+    fn narrowing_holds_for_every_family_on_random_total_extensions() {
+        let ctx = salary_context();
+        let schema = Arc::clone(ctx.instance().schema());
+        let query = AggregateQuery::over(&schema, AggregateFunction::Max, "Salary").unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        for kind in FamilyKind::ALL {
+            let empty = ctx.empty_priority();
+            let total = random_total_extension(&empty, &mut rng);
+            let report = narrowing_report(&ctx, &[empty, total], kind, &query);
+            assert!(report.is_monotone(), "narrowing violated for {}", kind.label());
+        }
+    }
+}

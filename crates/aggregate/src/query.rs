@@ -1,0 +1,276 @@
+//! Aggregate queries over one relation.
+
+use std::fmt;
+
+use pdqi_relation::{AttrId, RelationError, RelationInstance, RelationSchema, Tuple, Value, ValueType};
+
+/// The scalar aggregation functions of \[2\].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggregateFunction {
+    /// Number of tuples.
+    Count,
+    /// Number of distinct values of the aggregated attribute.
+    CountDistinct,
+    /// Smallest value of the aggregated attribute.
+    Min,
+    /// Largest value of the aggregated attribute.
+    Max,
+    /// Sum of the aggregated attribute.
+    Sum,
+    /// Arithmetic mean of the aggregated attribute.
+    Avg,
+}
+
+impl AggregateFunction {
+    /// The SQL-ish name of the function.
+    pub fn label(self) -> &'static str {
+        match self {
+            AggregateFunction::Count => "COUNT",
+            AggregateFunction::CountDistinct => "COUNT DISTINCT",
+            AggregateFunction::Min => "MIN",
+            AggregateFunction::Max => "MAX",
+            AggregateFunction::Sum => "SUM",
+            AggregateFunction::Avg => "AVG",
+        }
+    }
+
+    /// Whether the function needs a numeric attribute (`COUNT` does not).
+    pub fn needs_numeric_attribute(self) -> bool {
+        !matches!(self, AggregateFunction::Count)
+    }
+}
+
+impl fmt::Display for AggregateFunction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// An optional selection on the aggregated tuples: keep only tuples whose `attribute`
+/// equals the given constant (the simple selections \[2\] allows ahead of the aggregate).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Selection {
+    /// The filtering attribute.
+    pub attribute: AttrId,
+    /// The constant the attribute must equal.
+    pub equals: Value,
+}
+
+/// An aggregate query `f(attribute)` over one relation, with an optional selection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AggregateQuery {
+    function: AggregateFunction,
+    attribute: Option<AttrId>,
+    selection: Option<Selection>,
+}
+
+impl AggregateQuery {
+    /// `COUNT(*)`.
+    pub fn count() -> Self {
+        AggregateQuery { function: AggregateFunction::Count, attribute: None, selection: None }
+    }
+
+    /// An aggregate over a named attribute, resolved against `schema`.
+    pub fn over(
+        schema: &RelationSchema,
+        function: AggregateFunction,
+        attribute: &str,
+    ) -> Result<Self, RelationError> {
+        let attr = schema.attr_id(attribute)?;
+        Ok(AggregateQuery { function, attribute: Some(attr), selection: None })
+    }
+
+    /// Restricts the aggregate to tuples whose `attribute` equals `value`.
+    pub fn filtered(
+        mut self,
+        schema: &RelationSchema,
+        attribute: &str,
+        value: Value,
+    ) -> Result<Self, RelationError> {
+        let attr = schema.attr_id(attribute)?;
+        self.selection = Some(Selection { attribute: attr, equals: value });
+        Ok(self)
+    }
+
+    /// The aggregate function.
+    pub fn function(&self) -> AggregateFunction {
+        self.function
+    }
+
+    /// The aggregated attribute (absent for `COUNT(*)`).
+    pub fn attribute(&self) -> Option<AttrId> {
+        self.attribute
+    }
+
+    /// The selection, if any.
+    pub fn selection(&self) -> Option<&Selection> {
+        self.selection.as_ref()
+    }
+
+    /// Whether `tuple` passes the selection.
+    pub fn selects(&self, tuple: &Tuple) -> bool {
+        match &self.selection {
+            None => true,
+            Some(selection) => tuple.get(selection.attribute) == &selection.equals,
+        }
+    }
+
+    /// The numeric value this query aggregates from `tuple`, if the tuple passes the
+    /// selection. `COUNT(*)` contributes 1 per selected tuple.
+    pub fn measure(&self, tuple: &Tuple) -> Option<i64> {
+        if !self.selects(tuple) {
+            return None;
+        }
+        match self.attribute {
+            None => Some(1),
+            Some(attr) => tuple.get(attr).as_int(),
+        }
+    }
+
+    /// Validates the query against a schema: the aggregated attribute (when present and
+    /// needed) must be numeric.
+    pub fn validate(&self, schema: &RelationSchema) -> Result<(), RelationError> {
+        if let Some(attr) = self.attribute {
+            let def = schema.attribute(attr);
+            if self.function.needs_numeric_attribute() && def.ty != ValueType::Int {
+                return Err(RelationError::TypeMismatch {
+                    relation: schema.name().to_string(),
+                    attribute: def.name.clone(),
+                    expected: ValueType::Int,
+                    actual: def.ty,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Evaluates the aggregate over one consistent instance (or a repair materialised as
+    /// an instance). Returns `None` when no tuple qualifies and the function has no
+    /// neutral value (`MIN`, `MAX`, `AVG`).
+    pub fn evaluate(&self, instance: &RelationInstance) -> Option<f64> {
+        self.evaluate_over(instance.iter().map(|(_, t)| t))
+    }
+
+    /// Evaluates the aggregate over an arbitrary tuple iterator.
+    pub fn evaluate_over<'a, I>(&self, tuples: I) -> Option<f64>
+    where
+        I: IntoIterator<Item = &'a Tuple>,
+    {
+        let mut count = 0i64;
+        let mut sum = 0i64;
+        let mut min: Option<i64> = None;
+        let mut max: Option<i64> = None;
+        let mut distinct = std::collections::BTreeSet::new();
+        for tuple in tuples {
+            let Some(value) = self.measure(tuple) else { continue };
+            count += 1;
+            sum += value;
+            min = Some(min.map_or(value, |m| m.min(value)));
+            max = Some(max.map_or(value, |m| m.max(value)));
+            if self.function == AggregateFunction::CountDistinct {
+                distinct.insert(value);
+            }
+        }
+        match self.function {
+            AggregateFunction::Count => Some(count as f64),
+            AggregateFunction::CountDistinct => Some(distinct.len() as f64),
+            AggregateFunction::Sum => Some(sum as f64),
+            AggregateFunction::Min => min.map(|v| v as f64),
+            AggregateFunction::Max => max.map(|v| v as f64),
+            AggregateFunction::Avg => {
+                if count == 0 {
+                    None
+                } else {
+                    Some(sum as f64 / count as f64)
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for AggregateQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.attribute {
+            None => write!(f, "{}(*)", self.function),
+            Some(attr) => write!(f, "{}(#{})", self.function, attr.index()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn schema() -> Arc<RelationSchema> {
+        Arc::new(
+            RelationSchema::from_pairs(
+                "Emp",
+                &[("Name", ValueType::Name), ("Dept", ValueType::Name), ("Salary", ValueType::Int)],
+            )
+            .unwrap(),
+        )
+    }
+
+    fn instance(rows: &[(&str, &str, i64)]) -> RelationInstance {
+        RelationInstance::from_rows(
+            schema(),
+            rows.iter()
+                .map(|&(n, d, s)| vec![Value::name(n), Value::name(d), Value::int(s)])
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn every_function_evaluates_on_a_consistent_instance() {
+        let r = instance(&[("Mary", "R&D", 40), ("John", "PR", 30), ("Eve", "R&D", 30)]);
+        let s = schema();
+        let salary =
+            |f: AggregateFunction| AggregateQuery::over(&s, f, "Salary").unwrap().evaluate(&r);
+        assert_eq!(AggregateQuery::count().evaluate(&r), Some(3.0));
+        assert_eq!(salary(AggregateFunction::Min), Some(30.0));
+        assert_eq!(salary(AggregateFunction::Max), Some(40.0));
+        assert_eq!(salary(AggregateFunction::Sum), Some(100.0));
+        assert_eq!(salary(AggregateFunction::CountDistinct), Some(2.0));
+        let avg = salary(AggregateFunction::Avg).unwrap();
+        assert!((avg - 100.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn selections_restrict_the_aggregated_tuples() {
+        let r = instance(&[("Mary", "R&D", 40), ("John", "PR", 30), ("Eve", "R&D", 20)]);
+        let s = schema();
+        let q = AggregateQuery::over(&s, AggregateFunction::Sum, "Salary")
+            .unwrap()
+            .filtered(&s, "Dept", Value::name("R&D"))
+            .unwrap();
+        assert_eq!(q.evaluate(&r), Some(60.0));
+        let count_rd = AggregateQuery::count().filtered(&s, "Dept", Value::name("R&D")).unwrap();
+        assert_eq!(count_rd.evaluate(&r), Some(2.0));
+    }
+
+    #[test]
+    fn empty_aggregations_have_no_min_max_avg() {
+        let r = instance(&[]);
+        let s = schema();
+        for f in [AggregateFunction::Min, AggregateFunction::Max, AggregateFunction::Avg] {
+            assert_eq!(AggregateQuery::over(&s, f, "Salary").unwrap().evaluate(&r), None);
+        }
+        assert_eq!(AggregateQuery::count().evaluate(&r), Some(0.0));
+        assert_eq!(
+            AggregateQuery::over(&s, AggregateFunction::Sum, "Salary").unwrap().evaluate(&r),
+            Some(0.0)
+        );
+    }
+
+    #[test]
+    fn validation_rejects_non_numeric_aggregates() {
+        let s = schema();
+        let bad = AggregateQuery::over(&s, AggregateFunction::Sum, "Name").unwrap();
+        assert!(bad.validate(&s).is_err());
+        let good = AggregateQuery::over(&s, AggregateFunction::Sum, "Salary").unwrap();
+        assert!(good.validate(&s).is_ok());
+        assert!(AggregateQuery::over(&s, AggregateFunction::Sum, "Nope").is_err());
+    }
+}

@@ -1,0 +1,210 @@
+//! Range answers: the glb/lub of an aggregate across the (preferred) repairs.
+
+use std::fmt;
+use std::ops::ControlFlow;
+
+use pdqi_core::{RepairContext, RepairFamily};
+use pdqi_priority::Priority;
+
+use crate::query::AggregateQuery;
+
+/// The value an aggregate takes in one repair: `None` when no tuple qualifies and the
+/// function has no neutral value (`MIN`, `MAX`, `AVG` over an empty selection).
+pub type AggregateValue = Option<f64>;
+
+/// The range-consistent answer to an aggregate query: the tightest interval containing
+/// the aggregate's value in every (preferred) repair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RangeAnswer {
+    /// Greatest lower bound across the repairs (`None` if the aggregate was undefined in
+    /// some repair, in which case no finite bound is certain).
+    pub glb: AggregateValue,
+    /// Least upper bound across the repairs.
+    pub lub: AggregateValue,
+    /// Number of repairs examined.
+    pub examined: usize,
+    /// Whether some repair left the aggregate undefined (empty selection under `MIN`,
+    /// `MAX` or `AVG`).
+    pub undefined_somewhere: bool,
+}
+
+impl RangeAnswer {
+    /// Whether the answer is exact: the aggregate takes the same defined value in every
+    /// examined repair.
+    pub fn is_exact(&self) -> bool {
+        !self.undefined_somewhere
+            && match (self.glb, self.lub) {
+                (Some(lo), Some(hi)) => (lo - hi).abs() < f64::EPSILON,
+                _ => false,
+            }
+    }
+
+    /// The width `lub - glb` of the range (`None` when a bound is missing).
+    pub fn width(&self) -> Option<f64> {
+        Some(self.lub? - self.glb?)
+    }
+}
+
+impl fmt::Display for RangeAnswer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let render = |v: AggregateValue| match v {
+            None => "⊥".to_string(),
+            Some(x) => format!("{x}"),
+        };
+        write!(f, "[{}, {}]", render(self.glb), render(self.lub))
+    }
+}
+
+/// Computes the range answer by evaluating the aggregate in every preferred repair of
+/// `family` under `priority`. Works for any family (and any aggregate) at the cost of
+/// enumerating the preferred repairs; the closed form of
+/// [`crate::closed_form::range_closed_form`] avoids the enumeration in the one-key case.
+pub fn range_by_enumeration(
+    ctx: &RepairContext,
+    priority: &Priority,
+    family: &dyn RepairFamily,
+    query: &AggregateQuery,
+) -> RangeAnswer {
+    let mut answer =
+        RangeAnswer { glb: None, lub: None, examined: 0, undefined_somewhere: false };
+    family.for_each_preferred(ctx, priority, &mut |repair| {
+        let value = query.evaluate_over(repair.iter().map(|id| ctx.instance().tuple_unchecked(id)));
+        answer.examined += 1;
+        match value {
+            None => answer.undefined_somewhere = true,
+            Some(v) => {
+                answer.glb = Some(answer.glb.map_or(v, |lo: f64| lo.min(v)));
+                answer.lub = Some(answer.lub.map_or(v, |hi: f64| hi.max(v)));
+            }
+        }
+        ControlFlow::Continue(())
+    });
+    answer
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    use pdqi_constraints::FdSet;
+    use pdqi_core::FamilyKind;
+    use pdqi_relation::{RelationInstance, RelationSchema, TupleId, Value, ValueType};
+
+    use crate::query::AggregateFunction;
+
+    /// The paper's Example 1 instance (Mgr) with its two key dependencies.
+    fn example1() -> RepairContext {
+        let schema = Arc::new(
+            RelationSchema::from_pairs(
+                "Mgr",
+                &[
+                    ("Name", ValueType::Name),
+                    ("Dept", ValueType::Name),
+                    ("Salary", ValueType::Int),
+                    ("Reports", ValueType::Int),
+                ],
+            )
+            .unwrap(),
+        );
+        let instance = RelationInstance::from_rows(
+            Arc::clone(&schema),
+            vec![
+                vec!["Mary".into(), "R&D".into(), Value::int(40), Value::int(3)],
+                vec!["John".into(), "R&D".into(), Value::int(10), Value::int(2)],
+                vec!["Mary".into(), "IT".into(), Value::int(20), Value::int(1)],
+                vec!["John".into(), "PR".into(), Value::int(30), Value::int(4)],
+            ],
+        )
+        .unwrap();
+        let fds = FdSet::parse(
+            schema,
+            &["Dept -> Name Salary Reports", "Name -> Dept Salary Reports"],
+        )
+        .unwrap();
+        RepairContext::new(instance, fds)
+    }
+
+    #[test]
+    fn salary_ranges_over_all_repairs_of_example_1() {
+        // Repairs: {t0,t3} (40+30), {t1,t2} (10+20), {t2,t3} (20+30).
+        let ctx = example1();
+        let schema = Arc::clone(ctx.instance().schema());
+        let empty = ctx.empty_priority();
+        let family = FamilyKind::Rep.family();
+        let sum = AggregateQuery::over(&schema, AggregateFunction::Sum, "Salary").unwrap();
+        let range = range_by_enumeration(&ctx, &empty, family.as_ref(), &sum);
+        assert_eq!(range.glb, Some(30.0));
+        assert_eq!(range.lub, Some(70.0));
+        assert_eq!(range.examined, 3);
+        assert!(!range.is_exact());
+        assert_eq!(range.width(), Some(40.0));
+
+        let count = AggregateQuery::count();
+        let count_range = range_by_enumeration(&ctx, &empty, family.as_ref(), &count);
+        assert_eq!(count_range.glb, Some(2.0));
+        assert_eq!(count_range.lub, Some(2.0));
+        assert!(count_range.is_exact());
+
+        let max = AggregateQuery::over(&schema, AggregateFunction::Max, "Salary").unwrap();
+        let max_range = range_by_enumeration(&ctx, &empty, family.as_ref(), &max);
+        assert_eq!(max_range.glb, Some(20.0));
+        assert_eq!(max_range.lub, Some(40.0));
+    }
+
+    #[test]
+    fn preferences_narrow_the_range() {
+        // Example 3's reliability priority keeps only the repairs {t0,t3} and {t1,t2}.
+        // The range of MAX(Salary) restricted to Mary stays [20, 40] (both preferred
+        // repairs contribute one of the two candidate salaries), but the preferred
+        // computation examines strictly fewer repairs and its range is always contained
+        // in the unrestricted one — the aggregation analogue of monotonicity (P2).
+        let ctx = example1();
+        let schema = Arc::clone(ctx.instance().schema());
+        let priority = ctx
+            .priority_from_pairs(&[(TupleId(0), TupleId(2)), (TupleId(1), TupleId(3))])
+            .unwrap();
+        let marys_salary = AggregateQuery::over(&schema, AggregateFunction::Max, "Salary")
+            .unwrap()
+            .filtered(&schema, "Name", Value::name("Mary"))
+            .unwrap();
+        let all = range_by_enumeration(
+            &ctx,
+            &ctx.empty_priority(),
+            FamilyKind::Rep.family().as_ref(),
+            &marys_salary,
+        );
+        let preferred = range_by_enumeration(
+            &ctx,
+            &priority,
+            FamilyKind::Global.family().as_ref(),
+            &marys_salary,
+        );
+        assert_eq!(all.glb, Some(20.0));
+        assert_eq!(all.lub, Some(40.0));
+        assert!(preferred.examined < all.examined);
+        // The preferred range is contained in the unrestricted range (P2 for aggregates).
+        assert!(preferred.glb.unwrap() >= all.glb.unwrap());
+        assert!(preferred.lub.unwrap() <= all.lub.unwrap());
+    }
+
+    #[test]
+    fn undefined_aggregates_are_reported() {
+        // MIN over a selection that matches only tuple t0: the repairs without t0 leave
+        // the aggregate undefined.
+        let ctx = example1();
+        let schema = Arc::clone(ctx.instance().schema());
+        let min_rd = AggregateQuery::over(&schema, AggregateFunction::Min, "Salary")
+            .unwrap()
+            .filtered(&schema, "Dept", Value::name("R&D"))
+            .unwrap();
+        let range = range_by_enumeration(
+            &ctx,
+            &ctx.empty_priority(),
+            FamilyKind::Rep.family().as_ref(),
+            &min_rd,
+        );
+        assert!(range.undefined_somewhere);
+        assert!(!range.is_exact());
+    }
+}

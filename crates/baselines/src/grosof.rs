@@ -1,0 +1,230 @@
+//! Prioritised conflict handling in the style of Grosof \[14\].
+//!
+//! The approach the paper discusses for non-disjunctive logic programs removes
+//! *both* participants of every conflict the priority does not resolve; conflicts with an
+//! explicit winner are resolved in the winner's favour, as in the paper's Algorithm 1.
+//! Concretely the construction runs in two phases: first every tuple involved in an
+//! unoriented conflict is discarded outright, then the remaining tuples (whose conflicts
+//! are all oriented) are cleaned with the winnow iteration of Algorithm 1, which is
+//! deterministic because the restricted priority is total.
+//!
+//! The output is therefore a single consistent instance — the construction enjoys the
+//! analogues of non-emptiness and categoricity, and with a *total* priority it coincides
+//! with Algorithm 1's unique repair — but, exactly as the paper's Section 5 points out:
+//!
+//! * with an incomplete priority the output may fail to be a repair: when a conflict is
+//!   left unresolved both tuples disappear even though every repair keeps one of them, so
+//!   the result need not be a *maximal* consistent subset (loss of disjunctive
+//!   information);
+//! * **P3 fails**: with the empty priority the construction returns only the
+//!   conflict-free tuples rather than behaving like the full set of repairs;
+//! * **P2 fails** in the only sense applicable to a single-output semantics: the output
+//!   under an extended priority need not be contained in any output sanctioned by the
+//!   smaller priority, because newly oriented conflicts resurrect tuples that the smaller
+//!   priority had thrown away.
+//!
+//! [`grosof_resolution`] computes the construction and reports enough detail for the
+//! comparison harness and the tests to verify each of those claims.
+
+use pdqi_constraints::ConflictGraph;
+use pdqi_priority::{winnow, Priority};
+use pdqi_relation::TupleSet;
+
+/// The result of resolving conflicts in the style of \[14\].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GrosofOutcome {
+    /// The tuples that survive both phases.
+    pub kept: TupleSet,
+    /// Tuples removed in the second phase because they lost an oriented conflict.
+    pub removed_dominated: TupleSet,
+    /// Tuples removed in the first phase because they were involved in a conflict the
+    /// priority left unresolved (the information-losing case).
+    pub removed_unresolved: TupleSet,
+}
+
+impl GrosofOutcome {
+    /// Whether the surviving set is a repair, i.e. a *maximal* consistent subset of the
+    /// original instance. With a total priority this always holds; with an incomplete
+    /// priority it may fail, which is the information loss the paper criticises.
+    pub fn is_repair(&self, graph: &ConflictGraph) -> bool {
+        graph.is_maximal_independent(&self.kept)
+    }
+
+    /// Number of tuples lost to unresolved conflicts.
+    pub fn information_loss(&self) -> usize {
+        self.removed_unresolved.len()
+    }
+}
+
+/// Resolves every conflict of `graph` using `priority` in the style of \[14\]: tuples
+/// involved in a conflict the priority does not orient are removed outright, and the
+/// remaining tuples are cleaned with the winnow iteration of Algorithm 1 (deterministic,
+/// because every remaining conflict is oriented).
+pub fn grosof_resolution(graph: &ConflictGraph, priority: &Priority) -> GrosofOutcome {
+    let n = graph.vertex_count();
+    // Phase 1: discard both sides of every unresolved conflict.
+    let mut removed_unresolved = TupleSet::with_capacity(n);
+    for &(a, b) in graph.edges() {
+        if !priority.orients_edge(a, b) {
+            removed_unresolved.insert(a);
+            removed_unresolved.insert(b);
+        }
+    }
+    let mut active = TupleSet::full(n);
+    active.remove_all(&removed_unresolved);
+
+    // Phase 2: Algorithm 1 on the survivors. Every conflict among them is oriented, so
+    // repeatedly keeping the winnow-undominated tuples and dropping their losing
+    // neighbours is choice-independent.
+    let mut kept = TupleSet::with_capacity(n);
+    let mut removed_dominated = TupleSet::with_capacity(n);
+    while !active.is_empty() {
+        let winners = winnow(priority, &active);
+        if winners.is_empty() {
+            // Cannot happen for an acyclic priority, but guard against looping forever.
+            removed_dominated.union_with(&active);
+            break;
+        }
+        for winner in winners.iter() {
+            if !active.contains(winner) {
+                continue;
+            }
+            kept.insert(winner);
+            active.remove(winner);
+            for neighbour in graph.neighbors(winner).iter() {
+                if active.remove(neighbour) {
+                    removed_dominated.insert(neighbour);
+                }
+            }
+        }
+    }
+    GrosofOutcome { kept, removed_dominated, removed_unresolved }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    use pdqi_relation::TupleId;
+
+    /// A triangle of pairwise-conflicting tuples.
+    fn triangle() -> Arc<ConflictGraph> {
+        Arc::new(ConflictGraph::from_edges(
+            3,
+            &[(TupleId(0), TupleId(1)), (TupleId(1), TupleId(2)), (TupleId(0), TupleId(2))],
+        ))
+    }
+
+    /// Example 1's conflict graph: t0–t1, t0–t2, t1–t3.
+    fn example1_graph() -> Arc<ConflictGraph> {
+        Arc::new(ConflictGraph::from_edges(
+            4,
+            &[(TupleId(0), TupleId(1)), (TupleId(0), TupleId(2)), (TupleId(1), TupleId(3))],
+        ))
+    }
+
+    #[test]
+    fn total_priority_keeps_exactly_the_undominated_winners() {
+        // t0 ≻ t1, t1 ≻ t2, t0 ≻ t2 on the triangle: only t0 survives — which here is
+        // also the unique repair Algorithm 1 would produce.
+        let graph = triangle();
+        let priority = Priority::from_pairs(
+            Arc::clone(&graph),
+            &[
+                (TupleId(0), TupleId(1)),
+                (TupleId(1), TupleId(2)),
+                (TupleId(0), TupleId(2)),
+            ],
+        )
+        .unwrap();
+        let outcome = grosof_resolution(&graph, &priority);
+        assert_eq!(outcome.kept, TupleSet::from_ids([TupleId(0)]));
+        assert!(outcome.is_repair(&graph));
+        assert_eq!(outcome.information_loss(), 0);
+    }
+
+    #[test]
+    fn unresolved_conflicts_remove_both_sides() {
+        // Empty priority on the triangle: everything is removed — the output is the empty
+        // set, which is consistent but not maximal, hence not a repair.
+        let graph = triangle();
+        let priority = Priority::empty(Arc::clone(&graph));
+        let outcome = grosof_resolution(&graph, &priority);
+        assert!(outcome.kept.is_empty());
+        assert_eq!(outcome.information_loss(), 3);
+        assert!(!outcome.is_repair(&graph));
+    }
+
+    #[test]
+    fn p3_fails_only_isolated_tuples_survive_the_empty_priority() {
+        // t4 isolated, everything else in conflict: with no priority the construction
+        // returns {t4}, not the behaviour of "all repairs" required by P3.
+        let graph = Arc::new(ConflictGraph::from_edges(5, &[(TupleId(0), TupleId(1))]));
+        let outcome = grosof_resolution(&graph, &Priority::empty(Arc::clone(&graph)));
+        assert_eq!(
+            outcome.kept,
+            TupleSet::from_ids([TupleId(2), TupleId(3), TupleId(4)])
+        );
+        assert!(!outcome.is_repair(&graph));
+    }
+
+    #[test]
+    fn extending_the_priority_is_not_monotone() {
+        // Under the smaller priority t1 is removed (its conflict with t3 is unresolved);
+        // the extension resolves that conflict in t1's favour and resurrects it, so the
+        // larger-priority output is not a subset of the smaller-priority output: the
+        // analogue of P2 fails.
+        let graph = example1_graph();
+        let smaller =
+            Priority::from_pairs(Arc::clone(&graph), &[(TupleId(1), TupleId(0))]).unwrap();
+        let mut larger = smaller.clone();
+        larger.add(TupleId(1), TupleId(3)).unwrap();
+        larger.add(TupleId(2), TupleId(0)).unwrap();
+        let small_outcome = grosof_resolution(&graph, &smaller);
+        let large_outcome = grosof_resolution(&graph, &larger);
+        assert!(!small_outcome.kept.contains(TupleId(1)));
+        assert!(large_outcome.kept.contains(TupleId(1)));
+        assert!(!large_outcome.kept.is_subset_of(&small_outcome.kept));
+    }
+
+    #[test]
+    fn partial_priority_on_example_1_keeps_only_the_unreliable_repair() {
+        // Orient only the Name-FD conflicts in favour of the s1/s2 tuples (Example 3's
+        // reliability): the Dept conflict t0–t1 stays unresolved, so both reliable R&D
+        // claims are dropped outright and only the two s3 tuples survive. The output
+        // happens to be a repair here — but it is exactly the repair the paper's
+        // preference-respecting families reject (all its tuples come from the least
+        // reliable source), so the reliability information was used backwards.
+        let graph = example1_graph();
+        let priority = Priority::from_pairs(
+            Arc::clone(&graph),
+            &[(TupleId(0), TupleId(2)), (TupleId(1), TupleId(3))],
+        )
+        .unwrap();
+        let outcome = grosof_resolution(&graph, &priority);
+        assert_eq!(outcome.kept, TupleSet::from_ids([TupleId(2), TupleId(3)]));
+        assert_eq!(outcome.information_loss(), 2);
+        assert!(outcome.is_repair(&graph));
+        assert!(!pdqi_core::optimality::is_globally_optimal(&graph, &priority, &outcome.kept));
+    }
+
+    #[test]
+    fn path_with_total_priority_matches_algorithm_1() {
+        // a ≻ b ≻ c on the path a–b–c: the unique repair of Algorithm 1 is {a, c}; the
+        // one-shot "keep only tuples that win all their conflicts" reading would lose c.
+        let graph = Arc::new(ConflictGraph::from_edges(
+            3,
+            &[(TupleId(0), TupleId(1)), (TupleId(1), TupleId(2))],
+        ));
+        let priority = Priority::from_pairs(
+            Arc::clone(&graph),
+            &[(TupleId(0), TupleId(1)), (TupleId(1), TupleId(2))],
+        )
+        .unwrap();
+        let outcome = grosof_resolution(&graph, &priority);
+        assert_eq!(outcome.kept, TupleSet::from_ids([TupleId(0), TupleId(2)]));
+        assert!(outcome.is_repair(&graph));
+        assert_eq!(outcome.information_loss(), 0);
+    }
+}

@@ -1,0 +1,61 @@
+//! Related-work baselines for preference-driven consistent query answering.
+//!
+//! Section 5 of the paper positions its four families of preferred repairs against a line
+//! of earlier proposals for using priorities to maintain consistency or to resolve
+//! conflicts. Each of those proposals makes different trade-offs between the desirable
+//! properties P1–P4 (non-emptiness, monotonicity, non-discrimination, categoricity), and
+//! the paper's critique of them is *behavioural*: it states which properties each one
+//! satisfies and where its representation of preferences is too restrictive.
+//!
+//! This crate implements those competing semantics so the critique can be reproduced and
+//! measured rather than taken on faith:
+//!
+//! * [`numeric`] — numeric priority levels attached to facts, in the style of Fagin,
+//!   Ullman and Vardi's prioritised database updates \[9\]: the induced priority is
+//!   forced to be *transitive on conflicting facts*, which cannot express the paper's
+//!   per-constraint preferences.
+//! * [`subtheories`] — Brewka's preferred subtheories \[4\]: the facts are stratified and
+//!   maximal consistent subsets are built stratum by stratum, analogously to the paper's
+//!   C-repairs but again restricted to level-based (hence transitive) preferences.
+//! * [`grosof`] — prioritised conflict handling in the style of Grosof \[14\]: every
+//!   conflict whose resolution the priority does not determine is resolved by removing
+//!   *both* participants. The output is unique but in general not a repair (not maximal),
+//!   and the construction violates P2 and P3.
+//! * [`ranking`] — utility-based resolution in the style of Motro, Anokhin and Acar
+//!   \[17\]: a ranking function keeps the best tuple of every conflict group and *fuses*
+//!   numeric values on ties, producing an instance that may contain invented tuples and
+//!   is therefore not a repair in the sense of Definition 1.
+//! * [`repair_ranking`] — repair ranking functions in the style of Greco, Sirangelo,
+//!   Trubitsyna and Zumpano \[13\]: repairs are scored by a (weight-based) function and
+//!   only the top-ranked repairs are kept. The preference is not tied to how individual
+//!   conflicts are resolved, so extension/monotonicity (P2) is not even expressible.
+//! * [`repair_constraints`] — repair constraints in the style of Greco and Lembo \[12\]:
+//!   declarative restrictions on which tuples may be deleted together. The family
+//!   satisfies P2 but not P1; the weakening that restores P1 loses P2 — exactly the
+//!   trade-off the paper points out.
+//! * [`comparison`] — a harness that runs every baseline and every family of the paper on
+//!   the same scenario and reports the selected repairs, property profile and answer
+//!   behaviour side by side (used by the `baselines_tour` example and the `e11` bench).
+//!
+//! Where a baseline genuinely selects a *subset of the repairs* it also implements the
+//! [`RepairFamily`](pdqi_core::RepairFamily) trait, so the paper's property checkers and
+//! the preferred-CQA machinery apply to it unchanged.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod comparison;
+pub mod grosof;
+pub mod numeric;
+pub mod ranking;
+pub mod repair_constraints;
+pub mod repair_ranking;
+pub mod subtheories;
+
+pub use comparison::{compare_semantics, SemanticsReport, SemanticsRow};
+pub use grosof::{grosof_resolution, GrosofOutcome};
+pub use numeric::{LevelAssignment, NumericLevelFamily};
+pub use ranking::{RankedFusion, RankingOutcome};
+pub use repair_constraints::{RepairConstraint, RepairConstraintFamily};
+pub use repair_ranking::RepairRankingFamily;
+pub use subtheories::{PreferredSubtheories, Stratification};

@@ -1,0 +1,308 @@
+//! Numeric priority levels in the style of Fagin, Ullman and Vardi \[9\].
+//!
+//! The earliest use of priorities for consistency maintenance attaches a *natural number*
+//! to every fact and, when an update introduces a conflict, resolves it in favour of the
+//! fact with the higher level (the paper's Section 5 describes this as selecting
+//! minimally different repairs "in a fashion similar to G-repairs").
+//!
+//! The representation has a consequence the paper criticises: the priority it induces is
+//! necessarily **transitive on conflicting facts**. If `a`, `b`, `c` are pairwise
+//! conflicting and the levels order `a` above `b` and `b` above `c`, then they also order
+//! `a` above `c` — even when the `a`–`c` conflict stems from a different integrity
+//! constraint on which the user wanted to stay neutral. [`LevelAssignment`] makes both
+//! halves of that observation executable: [`LevelAssignment::induced_priority`] derives
+//! the level-based priority, and [`is_level_representable`] decides whether a given
+//! priority of the paper's kind could have been produced by *any* level assignment.
+
+use std::sync::Arc;
+
+use pdqi_constraints::ConflictGraph;
+use pdqi_core::{optimality, RepairContext, RepairFamily};
+use pdqi_priority::Priority;
+use pdqi_relation::{TupleId, TupleSet};
+
+/// A numeric priority level for every tuple of the instance (higher level = higher
+/// priority, i.e. more reliable / more recent information).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LevelAssignment {
+    levels: Vec<u64>,
+}
+
+impl LevelAssignment {
+    /// One level per tuple, indexed by [`TupleId`].
+    pub fn new(levels: Vec<u64>) -> Self {
+        LevelAssignment { levels }
+    }
+
+    /// Uniform levels (no preference at all).
+    pub fn uniform(tuples: usize) -> Self {
+        LevelAssignment { levels: vec![0; tuples] }
+    }
+
+    /// The level of a tuple (tuples beyond the assignment default to level 0).
+    pub fn level(&self, tuple: TupleId) -> u64 {
+        self.levels.get(tuple.index()).copied().unwrap_or(0)
+    }
+
+    /// Number of tuples covered by the assignment.
+    pub fn len(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Whether the assignment covers no tuple.
+    pub fn is_empty(&self) -> bool {
+        self.levels.is_empty()
+    }
+
+    /// The priority induced by the levels: every conflict edge whose endpoints have
+    /// different levels is oriented from the higher level to the lower one; equal-level
+    /// conflicts stay unoriented. The result is always acyclic because levels strictly
+    /// decrease along `≻`.
+    pub fn induced_priority(&self, graph: Arc<ConflictGraph>) -> Priority {
+        let mut priority = Priority::empty(Arc::clone(&graph));
+        for &(a, b) in graph.edges() {
+            let (la, lb) = (self.level(a), self.level(b));
+            if la > lb {
+                priority.add(a, b).expect("level-induced edges cannot form cycles");
+            } else if lb > la {
+                priority.add(b, a).expect("level-induced edges cannot form cycles");
+            }
+        }
+        priority
+    }
+}
+
+/// Decides whether `priority` can be produced by *some* level assignment: is there a map
+/// `level : tuples → ℕ` with `level(x) > level(y)` for every oriented pair `x ≻ y` and
+/// `level(u) = level(v)` for every conflict edge the priority leaves unoriented?
+///
+/// This is the formal version of the paper's critique of \[9\]: the per-constraint
+/// priority of Example 7-style scenarios (orient the conflicts of one functional
+/// dependency, stay neutral on another) is often *not* level-representable.
+pub fn is_level_representable(priority: &Priority) -> bool {
+    let graph = priority.graph();
+    let n = graph.vertex_count();
+    // Unoriented conflict edges force equal levels: contract them with union-find.
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+        if parent[x] != x {
+            let root = find(parent, parent[x]);
+            parent[x] = root;
+        }
+        parent[x]
+    }
+    for &(a, b) in graph.edges() {
+        if !priority.orients_edge(a, b) {
+            let (ra, rb) = (find(&mut parent, a.index()), find(&mut parent, b.index()));
+            parent[ra] = rb;
+        }
+    }
+    // Oriented edges must go strictly downhill between (and never within) the classes:
+    // the quotient digraph must be acyclic and loop-free.
+    let mut class_edges: Vec<(usize, usize)> = Vec::new();
+    for (winner, loser) in priority.edges() {
+        let (cw, cl) = (find(&mut parent, winner.index()), find(&mut parent, loser.index()));
+        if cw == cl {
+            return false;
+        }
+        class_edges.push((cw, cl));
+    }
+    // Kahn's algorithm on the quotient digraph.
+    let mut indegree = vec![0usize; n];
+    let mut outgoing: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for &(from, to) in &class_edges {
+        outgoing[from].push(to);
+        indegree[to] += 1;
+    }
+    let classes: Vec<usize> = (0..n).filter(|&i| find(&mut parent, i) == i).collect();
+    let mut queue: Vec<usize> = classes.iter().copied().filter(|&c| indegree[c] == 0).collect();
+    let mut visited = 0usize;
+    while let Some(c) = queue.pop() {
+        visited += 1;
+        for &next in &outgoing[c] {
+            indegree[next] -= 1;
+            if indegree[next] == 0 {
+                queue.push(next);
+            }
+        }
+    }
+    visited == classes.len()
+}
+
+/// The family of preferred repairs induced by a level assignment: the globally optimal
+/// repairs under [`LevelAssignment::induced_priority`].
+///
+/// The family carries its preference input internally, so the `priority` argument of the
+/// [`RepairFamily`] methods is ignored — this mirrors the baseline's design, in which the
+/// levels stored with the facts *are* the only preference information there is.
+#[derive(Debug, Clone)]
+pub struct NumericLevelFamily {
+    levels: LevelAssignment,
+}
+
+impl NumericLevelFamily {
+    /// A family driven by the given levels.
+    pub fn new(levels: LevelAssignment) -> Self {
+        NumericLevelFamily { levels }
+    }
+
+    /// The level assignment.
+    pub fn levels(&self) -> &LevelAssignment {
+        &self.levels
+    }
+
+    /// The level-induced priority over the context's conflict graph.
+    pub fn priority_for(&self, ctx: &RepairContext) -> Priority {
+        self.levels.induced_priority(Arc::clone(ctx.graph()))
+    }
+}
+
+impl RepairFamily for NumericLevelFamily {
+    fn name(&self) -> &'static str {
+        "FUV-levels"
+    }
+
+    fn is_preferred(&self, ctx: &RepairContext, _priority: &Priority, candidate: &TupleSet) -> bool {
+        if !ctx.is_repair(candidate) {
+            return false;
+        }
+        let induced = self.priority_for(ctx);
+        optimality::is_globally_optimal(ctx.graph(), &induced, candidate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdqi_constraints::FdSet;
+    use pdqi_core::FamilyKind;
+    use pdqi_relation::{RelationInstance, RelationSchema, Value, ValueType};
+
+    /// Example 1's integrated `Mgr` instance; tuple ids follow insertion order.
+    fn example1() -> RepairContext {
+        let schema = Arc::new(
+            RelationSchema::from_pairs(
+                "Mgr",
+                &[
+                    ("Name", ValueType::Name),
+                    ("Dept", ValueType::Name),
+                    ("Salary", ValueType::Int),
+                    ("Reports", ValueType::Int),
+                ],
+            )
+            .unwrap(),
+        );
+        let instance = RelationInstance::from_rows(
+            Arc::clone(&schema),
+            vec![
+                vec!["Mary".into(), "R&D".into(), Value::int(40), Value::int(3)],
+                vec!["John".into(), "R&D".into(), Value::int(10), Value::int(2)],
+                vec!["Mary".into(), "IT".into(), Value::int(20), Value::int(1)],
+                vec!["John".into(), "PR".into(), Value::int(30), Value::int(4)],
+            ],
+        )
+        .unwrap();
+        let fds = FdSet::parse(
+            schema,
+            &["Dept -> Name Salary Reports", "Name -> Dept Salary Reports"],
+        )
+        .unwrap();
+        RepairContext::new(instance, fds)
+    }
+
+    /// A triangle of pairwise-conflicting tuples (one key, three duplicates of the key).
+    fn triangle() -> Arc<ConflictGraph> {
+        Arc::new(ConflictGraph::from_edges(
+            3,
+            &[(TupleId(0), TupleId(1)), (TupleId(1), TupleId(2)), (TupleId(0), TupleId(2))],
+        ))
+    }
+
+    #[test]
+    fn induced_priority_orients_downhill_and_is_acyclic() {
+        let levels = LevelAssignment::new(vec![3, 1, 2]);
+        let priority = levels.induced_priority(triangle());
+        assert!(priority.dominates(TupleId(0), TupleId(1)));
+        assert!(priority.dominates(TupleId(0), TupleId(2)));
+        assert!(priority.dominates(TupleId(2), TupleId(1)));
+        assert!(priority.is_total());
+        assert!(priority.check_acyclic());
+    }
+
+    #[test]
+    fn equal_levels_leave_conflicts_unoriented() {
+        let levels = LevelAssignment::new(vec![1, 1, 0]);
+        let priority = levels.induced_priority(triangle());
+        assert!(!priority.orients_edge(TupleId(0), TupleId(1)));
+        assert!(priority.dominates(TupleId(0), TupleId(2)));
+        assert!(priority.dominates(TupleId(1), TupleId(2)));
+        assert_eq!(priority.edge_count(), 2);
+    }
+
+    #[test]
+    fn level_induced_priorities_are_representable() {
+        for levels in [vec![0, 0, 0], vec![1, 2, 3], vec![5, 5, 1]] {
+            let priority = LevelAssignment::new(levels).induced_priority(triangle());
+            assert!(is_level_representable(&priority));
+        }
+    }
+
+    #[test]
+    fn per_constraint_priorities_are_not_level_representable() {
+        // The paper's critique: a ≻ b and b ≻ c with the a–c conflict deliberately left
+        // unoriented cannot come from levels (it would force level(a) = level(c) while
+        // also forcing level(a) > level(b) > level(c)).
+        let priority = Priority::from_pairs(
+            triangle(),
+            &[(TupleId(0), TupleId(1)), (TupleId(1), TupleId(2))],
+        )
+        .unwrap();
+        assert!(!is_level_representable(&priority));
+    }
+
+    #[test]
+    fn uniform_levels_select_every_repair() {
+        let ctx = example1();
+        let family = NumericLevelFamily::new(LevelAssignment::uniform(4));
+        let empty = ctx.empty_priority();
+        assert_eq!(family.preferred_repairs(&ctx, &empty, usize::MAX).len(), 3);
+    }
+
+    #[test]
+    fn source_reliability_levels_reproduce_example_3() {
+        // Sources: s1 = {t0}, s2 = {t1}, s3 = {t2, t3}; s3 is less reliable than s1, s2.
+        let ctx = example1();
+        let levels = LevelAssignment::new(vec![2, 2, 1, 1]);
+        let family = NumericLevelFamily::new(levels);
+        let empty = ctx.empty_priority();
+        let preferred = family.preferred_repairs(&ctx, &empty, usize::MAX);
+        // The level-based semantics selects exactly the repairs the paper prefers in
+        // Example 3: r1 = {t0, t3} and r2 = {t1, t2}; the all-s3 repair {t2, t3} is out.
+        assert_eq!(preferred.len(), 2);
+        assert!(preferred.contains(&TupleSet::from_ids([TupleId(0), TupleId(3)])));
+        assert!(preferred.contains(&TupleSet::from_ids([TupleId(1), TupleId(2)])));
+    }
+
+    #[test]
+    fn coincides_with_g_rep_when_levels_express_the_priority() {
+        let ctx = example1();
+        let levels = LevelAssignment::new(vec![2, 2, 1, 1]);
+        let family = NumericLevelFamily::new(levels.clone());
+        let induced = levels.induced_priority(Arc::clone(ctx.graph()));
+        let g_rep = FamilyKind::Global
+            .family()
+            .preferred_repairs(&ctx, &induced, usize::MAX);
+        let via_levels = family.preferred_repairs(&ctx, &ctx.empty_priority(), usize::MAX);
+        assert_eq!(g_rep.len(), via_levels.len());
+        for repair in &g_rep {
+            assert!(via_levels.contains(repair));
+        }
+    }
+
+    #[test]
+    fn non_repairs_are_never_preferred() {
+        let ctx = example1();
+        let family = NumericLevelFamily::new(LevelAssignment::new(vec![3, 2, 1, 0]));
+        assert!(!family.is_preferred(&ctx, &ctx.empty_priority(), &TupleSet::from_ids([TupleId(0)])));
+    }
+}

@@ -1,0 +1,177 @@
+//! Utility-based conflict resolution in the style of Motro, Anokhin and Acar \[17\].
+//!
+//! Conflicting tuples are grouped, a ranking function scores every tuple, and only the
+//! highest-ranked tuple of each group is kept. When the top rank is tied and the
+//! conflicting attributes are numeric, a *fusion* value is computed from the tied tuples
+//! (here: the arithmetic mean, the variant \[17\] describes for numeric attributes).
+//!
+//! The paper's Section 5 makes two observations that the implementation lets us verify:
+//!
+//! * under the assumption that no two conflicting tuples tie, the construction yields a
+//!   unique consistent instance (the analogue of P4 holds), and that instance is a repair
+//!   whenever every conflict group is a clique;
+//! * when fusion kicks in, the constructed instance contains tuples that were never part
+//!   of the original database, so it is **not a repair** in the sense of Definition 1 —
+//!   a possible loss (and invention) of information.
+
+use std::sync::Arc;
+
+use pdqi_core::RepairContext;
+use pdqi_relation::{RelationInstance, TupleId, TupleSet, Value, ValueType};
+
+/// The result of a ranking-based resolution.
+#[derive(Debug, Clone)]
+pub struct RankingOutcome {
+    /// The resolved instance (winners of every conflict group plus all conflict-free
+    /// tuples; fused tuples are freshly constructed rows).
+    pub resolved: RelationInstance,
+    /// The original tuples kept unchanged.
+    pub kept: TupleSet,
+    /// Number of groups whose tie was broken by fusing values into an invented tuple.
+    pub fused_groups: usize,
+    /// Whether the resolved instance is exactly a repair of the original instance (a
+    /// maximal consistent subset containing no invented tuples).
+    pub is_repair: bool,
+}
+
+/// A ranking function over the tuples plus the fusion-based resolution procedure.
+#[derive(Debug, Clone)]
+pub struct RankedFusion {
+    scores: Vec<i64>,
+}
+
+impl RankedFusion {
+    /// One score per tuple, indexed by [`TupleId`]; higher scores win.
+    pub fn new(scores: Vec<i64>) -> Self {
+        RankedFusion { scores }
+    }
+
+    /// The score of a tuple (missing entries rank lowest).
+    pub fn score(&self, tuple: TupleId) -> i64 {
+        self.scores.get(tuple.index()).copied().unwrap_or(i64::MIN)
+    }
+
+    /// Resolves every conflict group of `ctx` (a connected component of the conflict
+    /// graph with at least two tuples) by keeping its highest-ranked tuple, fusing the
+    /// numeric attributes of the tied top-ranked tuples when the maximum is not unique.
+    pub fn resolve(&self, ctx: &RepairContext) -> RankingOutcome {
+        let instance = ctx.instance();
+        let schema = Arc::clone(instance.schema());
+        let graph = ctx.graph();
+        let mut resolved = RelationInstance::new(Arc::clone(&schema));
+        let mut kept = TupleSet::with_capacity(instance.len());
+        let mut fused_groups = 0usize;
+
+        for component in graph.connected_components() {
+            if component.len() == 1 {
+                let id = component.first().expect("non-empty component");
+                resolved.insert_tuple(instance.tuple_unchecked(id).clone());
+                kept.insert(id);
+                continue;
+            }
+            let best = component.iter().map(|t| self.score(t)).max().expect("non-empty");
+            let winners: Vec<TupleId> =
+                component.iter().filter(|&t| self.score(t) == best).collect();
+            if let [single] = winners[..] {
+                resolved.insert_tuple(instance.tuple_unchecked(single).clone());
+                kept.insert(single);
+            } else {
+                resolved.insert_tuple(fuse(instance, &winners));
+                fused_groups += 1;
+            }
+        }
+
+        let is_repair = fused_groups == 0 && ctx.is_repair(&kept);
+        RankingOutcome { resolved, kept, fused_groups, is_repair }
+    }
+}
+
+/// Fuses the tied tuples into one row: numeric attributes become the arithmetic mean of
+/// the tied values, name attributes take the value of the first tied tuple (an arbitrary
+/// but deterministic representative).
+fn fuse(instance: &RelationInstance, tied: &[TupleId]) -> pdqi_relation::Tuple {
+    let schema = instance.schema();
+    let representative = instance.tuple_unchecked(tied[0]);
+    let mut values = Vec::with_capacity(schema.arity());
+    for (position, attribute) in schema.attributes().iter().enumerate() {
+        let attr = pdqi_relation::AttrId(position);
+        match attribute.ty {
+            ValueType::Int => {
+                let sum: i64 = tied
+                    .iter()
+                    .filter_map(|&t| instance.tuple_unchecked(t).get(attr).as_int())
+                    .sum();
+                values.push(Value::int(sum / tied.len() as i64));
+            }
+            ValueType::Name => values.push(representative.get(attr).clone()),
+        }
+    }
+    schema.tuple(values).expect("fused row follows the schema")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdqi_constraints::FdSet;
+    use pdqi_relation::{RelationSchema, Value};
+
+    fn salary_context(rows: &[(&str, i64)]) -> RepairContext {
+        let schema = Arc::new(
+            RelationSchema::from_pairs("Emp", &[("Name", ValueType::Name), ("Salary", ValueType::Int)])
+                .unwrap(),
+        );
+        let instance = RelationInstance::from_rows(
+            Arc::clone(&schema),
+            rows.iter().map(|&(n, s)| vec![Value::name(n), Value::int(s)]).collect(),
+        )
+        .unwrap();
+        let fds = FdSet::parse(schema, &["Name -> Salary"]).unwrap();
+        RepairContext::new(instance, fds)
+    }
+
+    #[test]
+    fn unique_top_rank_selects_a_repair() {
+        let ctx = salary_context(&[("Mary", 40), ("Mary", 20), ("John", 10)]);
+        let outcome = RankedFusion::new(vec![5, 1, 0]).resolve(&ctx);
+        assert!(outcome.is_repair);
+        assert_eq!(outcome.fused_groups, 0);
+        assert_eq!(outcome.kept, TupleSet::from_ids([TupleId(0), TupleId(2)]));
+        assert_eq!(outcome.resolved.len(), 2);
+    }
+
+    #[test]
+    fn ties_trigger_fusion_and_the_result_is_not_a_repair() {
+        let ctx = salary_context(&[("Mary", 40), ("Mary", 20), ("John", 10)]);
+        let outcome = RankedFusion::new(vec![3, 3, 0]).resolve(&ctx);
+        assert_eq!(outcome.fused_groups, 1);
+        assert!(!outcome.is_repair);
+        // The fused salary 30 never appeared in the original database.
+        let fused = ctx
+            .instance()
+            .schema()
+            .tuple(vec![Value::name("Mary"), Value::int(30)])
+            .unwrap();
+        assert!(outcome.resolved.contains_tuple(&fused));
+        assert!(!ctx.instance().contains_tuple(&fused));
+    }
+
+    #[test]
+    fn conflict_free_tuples_always_survive() {
+        let ctx = salary_context(&[("Mary", 40), ("John", 10), ("Eve", 55)]);
+        let outcome = RankedFusion::new(vec![0, 0, 0]).resolve(&ctx);
+        assert!(outcome.is_repair);
+        assert_eq!(outcome.resolved.len(), 3);
+        assert_eq!(outcome.kept.len(), 3);
+    }
+
+    #[test]
+    fn groups_larger_than_two_keep_only_the_best_tuple() {
+        let ctx = salary_context(&[("Mary", 40), ("Mary", 20), ("Mary", 35), ("John", 10)]);
+        let outcome = RankedFusion::new(vec![1, 9, 4, 0]).resolve(&ctx);
+        assert!(outcome.kept.contains(TupleId(1)));
+        assert!(!outcome.kept.contains(TupleId(0)));
+        assert!(!outcome.kept.contains(TupleId(2)));
+        assert_eq!(outcome.resolved.len(), 2);
+        assert!(outcome.is_repair);
+    }
+}

@@ -1,0 +1,228 @@
+//! Repair constraints in the style of Greco and Lembo \[12\].
+//!
+//! The user does not orient individual conflicts; instead they restrict the *shape* of
+//! acceptable repairs with declarative rules of the form "a tuple of group `A` may be
+//! deleted only if some tuple of group `B` is deleted too" (in \[12\] the groups are
+//! relations of an integration system; in the paper's single-relation setting we let them
+//! be arbitrary sets of tuples, e.g. the tuples contributed by one source).
+//!
+//! The paper records the characteristic trade-off of this approach, which the tests below
+//! reproduce:
+//!
+//! * adding repair constraints only ever narrows the selected set — the analogue of
+//!   **P2 holds** — but the constraints can easily exclude *every* repair, so **P1
+//!   fails**;
+//! * the weakening proposed to restore P1 (drop constraints until some repair survives)
+//!   regains non-emptiness at the price of monotonicity: after weakening, adding a
+//!   constraint can *enlarge* the selected set.
+
+use std::ops::ControlFlow;
+
+use pdqi_core::{RepairContext, RepairFamily};
+use pdqi_priority::Priority;
+use pdqi_relation::TupleSet;
+
+/// One repair constraint: if the repair deletes any tuple of `if_deleted`, it must also
+/// delete at least one tuple of `must_delete`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RepairConstraint {
+    /// The guarded group of tuples.
+    pub if_deleted: TupleSet,
+    /// The group from which a deletion is then required.
+    pub must_delete: TupleSet,
+}
+
+impl RepairConstraint {
+    /// Builds a constraint from the two tuple groups.
+    pub fn new(if_deleted: TupleSet, must_delete: TupleSet) -> Self {
+        RepairConstraint { if_deleted, must_delete }
+    }
+
+    /// Whether `repair` (as a subset of `all` tuples) satisfies the constraint.
+    pub fn satisfied_by(&self, repair: &TupleSet, all: &TupleSet) -> bool {
+        let deleted = all.difference(repair);
+        self.if_deleted.is_disjoint_from(&deleted)
+            || !self.must_delete.is_disjoint_from(&deleted)
+    }
+}
+
+/// The family of repairs satisfying a list of repair constraints.
+///
+/// The constraints are the baseline's only preference input, so the `priority` argument
+/// of the [`RepairFamily`] methods is ignored.
+#[derive(Debug, Clone, Default)]
+pub struct RepairConstraintFamily {
+    constraints: Vec<RepairConstraint>,
+}
+
+impl RepairConstraintFamily {
+    /// A family restricted by the given constraints (an empty list selects every repair).
+    pub fn new(constraints: Vec<RepairConstraint>) -> Self {
+        RepairConstraintFamily { constraints }
+    }
+
+    /// The constraints in force.
+    pub fn constraints(&self) -> &[RepairConstraint] {
+        &self.constraints
+    }
+
+    /// Adds a constraint (the P2-analogue direction: the selected set can only shrink).
+    pub fn add(&mut self, constraint: RepairConstraint) {
+        self.constraints.push(constraint);
+    }
+
+    /// Whether `repair` satisfies every constraint.
+    pub fn satisfies_all(&self, ctx: &RepairContext, repair: &TupleSet) -> bool {
+        let all = ctx.instance().all_ids();
+        self.constraints.iter().all(|c| c.satisfied_by(repair, &all))
+    }
+
+    /// The weakening of \[12\]: drop trailing constraints (least important last) until at
+    /// least one repair satisfies the rest. Returns the weakened family and how many
+    /// constraints were dropped.
+    pub fn weakened(&self, ctx: &RepairContext) -> (RepairConstraintFamily, usize) {
+        let mut kept = self.constraints.clone();
+        let mut dropped = 0usize;
+        loop {
+            let family = RepairConstraintFamily::new(kept.clone());
+            if !family.preferred_repairs(ctx, &ctx.empty_priority(), 1).is_empty() {
+                return (family, dropped);
+            }
+            if kept.pop().is_none() {
+                return (RepairConstraintFamily::default(), dropped);
+            }
+            dropped += 1;
+        }
+    }
+}
+
+impl RepairFamily for RepairConstraintFamily {
+    fn name(&self) -> &'static str {
+        "repair-constraints"
+    }
+
+    fn is_preferred(&self, ctx: &RepairContext, _priority: &Priority, candidate: &TupleSet) -> bool {
+        ctx.is_repair(candidate) && self.satisfies_all(ctx, candidate)
+    }
+
+    fn for_each_preferred(
+        &self,
+        ctx: &RepairContext,
+        _priority: &Priority,
+        callback: &mut dyn FnMut(&TupleSet) -> ControlFlow<()>,
+    ) -> bool {
+        ctx.for_each_repair(|repair| {
+            if self.satisfies_all(ctx, repair) {
+                callback(repair)
+            } else {
+                ControlFlow::Continue(())
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    use pdqi_constraints::FdSet;
+    use pdqi_relation::{RelationInstance, RelationSchema, TupleId, Value, ValueType};
+
+    /// Example 4's two-pair instance: repairs are the four choices over {t0,t1} × {t2,t3}.
+    fn two_pairs() -> RepairContext {
+        let schema = Arc::new(
+            RelationSchema::from_pairs("R", &[("A", ValueType::Int), ("B", ValueType::Int)]).unwrap(),
+        );
+        let instance = RelationInstance::from_rows(
+            Arc::clone(&schema),
+            vec![
+                vec![Value::int(0), Value::int(0)],
+                vec![Value::int(0), Value::int(1)],
+                vec![Value::int(1), Value::int(0)],
+                vec![Value::int(1), Value::int(1)],
+            ],
+        )
+        .unwrap();
+        let fds = FdSet::parse(schema, &["A -> B"]).unwrap();
+        RepairContext::new(instance, fds)
+    }
+
+    fn ids(list: &[u32]) -> TupleSet {
+        TupleSet::from_ids(list.iter().map(|&i| TupleId(i)))
+    }
+
+    #[test]
+    fn no_constraints_select_every_repair() {
+        let ctx = two_pairs();
+        let family = RepairConstraintFamily::default();
+        assert_eq!(
+            family.preferred_repairs(&ctx, &ctx.empty_priority(), usize::MAX).len() as u128,
+            ctx.count_repairs()
+        );
+    }
+
+    #[test]
+    fn constraints_filter_repairs() {
+        // "t0 may be deleted only if t2 is deleted": kills the repairs {t1,t2} ... i.e.
+        // those that drop t0 while keeping t2.
+        let ctx = two_pairs();
+        let family =
+            RepairConstraintFamily::new(vec![RepairConstraint::new(ids(&[0]), ids(&[2]))]);
+        let preferred = family.preferred_repairs(&ctx, &ctx.empty_priority(), usize::MAX);
+        assert_eq!(preferred.len(), 3);
+        assert!(!preferred.contains(&ids(&[1, 2])));
+        assert!(preferred.contains(&ids(&[1, 3])));
+    }
+
+    #[test]
+    fn adding_constraints_is_monotone() {
+        let ctx = two_pairs();
+        let mut family =
+            RepairConstraintFamily::new(vec![RepairConstraint::new(ids(&[0]), ids(&[2]))]);
+        let before = family.preferred_repairs(&ctx, &ctx.empty_priority(), usize::MAX);
+        family.add(RepairConstraint::new(ids(&[3]), ids(&[1])));
+        let after = family.preferred_repairs(&ctx, &ctx.empty_priority(), usize::MAX);
+        assert!(after.iter().all(|r| before.contains(r)));
+        assert!(after.len() <= before.len());
+    }
+
+    #[test]
+    fn unsatisfiable_constraints_violate_p1() {
+        // Deleting t0 requires deleting t1 and vice versa — but every repair deletes
+        // exactly one of them, so no repair qualifies.
+        let ctx = two_pairs();
+        let family = RepairConstraintFamily::new(vec![
+            RepairConstraint::new(ids(&[0]), ids(&[1])),
+            RepairConstraint::new(ids(&[1]), ids(&[0])),
+        ]);
+        assert!(family.preferred_repairs(&ctx, &ctx.empty_priority(), usize::MAX).is_empty());
+    }
+
+    #[test]
+    fn weakening_restores_p1_but_breaks_monotonicity() {
+        let ctx = two_pairs();
+        let contradictory = vec![
+            RepairConstraint::new(ids(&[0]), ids(&[1])),
+            RepairConstraint::new(ids(&[1]), ids(&[0])),
+        ];
+        let family = RepairConstraintFamily::new(contradictory.clone());
+        let (weakened, dropped) = family.weakened(&ctx);
+        assert_eq!(dropped, 1);
+        let selected = weakened.preferred_repairs(&ctx, &ctx.empty_priority(), usize::MAX);
+        assert!(!selected.is_empty());
+        // Monotonicity is lost across the weakening boundary: the *larger* constraint set
+        // (the original) selects nothing, yet its weakened version selects repairs that
+        // the original excludes — extending the preference enlarged the answer set.
+        let original = family.preferred_repairs(&ctx, &ctx.empty_priority(), usize::MAX);
+        assert!(original.is_empty());
+        assert!(selected.iter().any(|r| !original.contains(r)));
+    }
+
+    #[test]
+    fn non_repairs_are_never_preferred() {
+        let ctx = two_pairs();
+        let family = RepairConstraintFamily::default();
+        assert!(!family.is_preferred(&ctx, &ctx.empty_priority(), &ids(&[0])));
+    }
+}

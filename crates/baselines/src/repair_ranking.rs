@@ -1,0 +1,184 @@
+//! Repair ranking functions in the style of Greco, Sirangelo, Trubitsyna and Zumpano \[13\].
+//!
+//! Instead of orienting individual conflicts, the user supplies a function that scores
+//! whole repairs (here: the sum of per-tuple weights, the polynomial form of \[13\]) and
+//! only the top-ranked repairs are used for consistent query answering.
+//!
+//! The paper's discussion points out the structural differences from its own framework,
+//! which the tests of this module make executable:
+//!
+//! * the preference is **not based on how individual conflicts are resolved**: two
+//!   repairs that resolve every conflict identically except on tuples of equal weight are
+//!   indistinguishable, and conversely a single weight perturbation reorders repairs that
+//!   share no conflict;
+//! * the notion of *extension* of the preference (and hence P2/P4) has no natural
+//!   counterpart — the closest analogue, adding weight information, can both narrow and
+//!   widen the selected set;
+//! * P1 and the letter of P3 hold: there is always a top-ranked repair, and the constant
+//!   weight function selects every repair.
+
+use std::ops::ControlFlow;
+
+use pdqi_core::{RepairContext, RepairFamily};
+use pdqi_priority::Priority;
+use pdqi_relation::{TupleId, TupleSet};
+
+/// The family of weight-maximal repairs.
+///
+/// The weights are the baseline's only preference input, so the `priority` argument of
+/// the [`RepairFamily`] methods is ignored.
+#[derive(Debug, Clone)]
+pub struct RepairRankingFamily {
+    weights: Vec<i64>,
+}
+
+impl RepairRankingFamily {
+    /// One weight per tuple, indexed by [`TupleId`]; the rank of a repair is the sum of
+    /// the weights of its tuples and higher ranks are preferred.
+    pub fn new(weights: Vec<i64>) -> Self {
+        RepairRankingFamily { weights }
+    }
+
+    /// The constant ranking (every repair ties for the top rank).
+    pub fn uniform(tuples: usize) -> Self {
+        RepairRankingFamily { weights: vec![0; tuples] }
+    }
+
+    /// The weight of one tuple (missing entries weigh nothing).
+    pub fn weight(&self, tuple: TupleId) -> i64 {
+        self.weights.get(tuple.index()).copied().unwrap_or(0)
+    }
+
+    /// The rank of a set of tuples.
+    pub fn rank(&self, set: &TupleSet) -> i64 {
+        set.iter().map(|t| self.weight(t)).sum()
+    }
+
+    /// The maximum rank over all repairs of `ctx` (by exhaustive enumeration — the
+    /// problem is NP-hard in general, and the exhaustive search doubles as the reference
+    /// the benches compare against).
+    pub fn max_rank(&self, ctx: &RepairContext) -> i64 {
+        let mut best = i64::MIN;
+        ctx.for_each_repair(|repair| {
+            best = best.max(self.rank(repair));
+            ControlFlow::Continue(())
+        });
+        best
+    }
+}
+
+impl RepairFamily for RepairRankingFamily {
+    fn name(&self) -> &'static str {
+        "repair-ranking"
+    }
+
+    fn is_preferred(&self, ctx: &RepairContext, _priority: &Priority, candidate: &TupleSet) -> bool {
+        ctx.is_repair(candidate) && self.rank(candidate) == self.max_rank(ctx)
+    }
+
+    fn for_each_preferred(
+        &self,
+        ctx: &RepairContext,
+        _priority: &Priority,
+        callback: &mut dyn FnMut(&TupleSet) -> ControlFlow<()>,
+    ) -> bool {
+        // One pass to find the top rank, one pass to report the repairs that attain it.
+        let best = self.max_rank(ctx);
+        ctx.for_each_repair(|repair| {
+            if self.rank(repair) == best {
+                callback(repair)
+            } else {
+                ControlFlow::Continue(())
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    use pdqi_constraints::FdSet;
+    use pdqi_core::FamilyKind;
+    use pdqi_relation::{RelationInstance, RelationSchema, Value, ValueType};
+
+    fn key_context(rows: &[(i64, i64)]) -> RepairContext {
+        let schema = Arc::new(
+            RelationSchema::from_pairs("R", &[("A", ValueType::Int), ("B", ValueType::Int)]).unwrap(),
+        );
+        let instance = RelationInstance::from_rows(
+            Arc::clone(&schema),
+            rows.iter().map(|&(a, b)| vec![Value::int(a), Value::int(b)]).collect(),
+        )
+        .unwrap();
+        let fds = FdSet::parse(schema, &["A -> B"]).unwrap();
+        RepairContext::new(instance, fds)
+    }
+
+    #[test]
+    fn uniform_weights_select_every_repair() {
+        let ctx = key_context(&[(1, 1), (1, 2), (2, 1), (2, 2)]);
+        let family = RepairRankingFamily::uniform(4);
+        let preferred = family.preferred_repairs(&ctx, &ctx.empty_priority(), usize::MAX);
+        assert_eq!(preferred.len() as u128, ctx.count_repairs());
+    }
+
+    #[test]
+    fn the_heaviest_repair_wins() {
+        let ctx = key_context(&[(1, 1), (1, 2), (2, 1), (2, 2)]);
+        let family = RepairRankingFamily::new(vec![10, 1, 1, 10]);
+        let preferred = family.preferred_repairs(&ctx, &ctx.empty_priority(), usize::MAX);
+        assert_eq!(preferred, vec![TupleSet::from_ids([TupleId(0), TupleId(3)])]);
+        assert_eq!(family.max_rank(&ctx), 20);
+    }
+
+    #[test]
+    fn ties_keep_several_repairs() {
+        let ctx = key_context(&[(1, 1), (1, 2), (2, 1), (2, 2)]);
+        let family = RepairRankingFamily::new(vec![5, 5, 0, 1]);
+        let preferred = family.preferred_repairs(&ctx, &ctx.empty_priority(), usize::MAX);
+        assert_eq!(preferred.len(), 2);
+        for repair in &preferred {
+            assert_eq!(family.rank(repair), 6);
+        }
+    }
+
+    #[test]
+    fn weight_refinement_is_not_monotone() {
+        // "Adding preference information" (turning a zero weight into a positive one) can
+        // select a repair that the coarser weights had excluded — the analogue of P2
+        // fails for this baseline.
+        let ctx = key_context(&[(1, 1), (1, 2)]);
+        let coarse = RepairRankingFamily::new(vec![1, 0]);
+        let refined = RepairRankingFamily::new(vec![1, 5]);
+        let empty = ctx.empty_priority();
+        let coarse_preferred = coarse.preferred_repairs(&ctx, &empty, usize::MAX);
+        let refined_preferred = refined.preferred_repairs(&ctx, &empty, usize::MAX);
+        assert_eq!(coarse_preferred, vec![TupleSet::from_ids([TupleId(0)])]);
+        assert_eq!(refined_preferred, vec![TupleSet::from_ids([TupleId(1)])]);
+        assert!(!refined_preferred.iter().all(|r| coarse_preferred.contains(r)));
+    }
+
+    #[test]
+    fn repair_ranking_can_disagree_with_every_priority_family() {
+        // The weight function prefers the repair that loses *every* oriented conflict:
+        // no family of the paper (which must respect the priority) selects it alone.
+        let ctx = key_context(&[(1, 1), (1, 2)]);
+        let priority = ctx.priority_from_pairs(&[(TupleId(0), TupleId(1))]).unwrap();
+        let ranking = RepairRankingFamily::new(vec![0, 100]);
+        let ranked = ranking.preferred_repairs(&ctx, &priority, usize::MAX);
+        assert_eq!(ranked, vec![TupleSet::from_ids([TupleId(1)])]);
+        for kind in [FamilyKind::Global, FamilyKind::Common] {
+            let of_paper = kind.family().preferred_repairs(&ctx, &priority, usize::MAX);
+            assert_eq!(of_paper, vec![TupleSet::from_ids([TupleId(0)])]);
+        }
+    }
+
+    #[test]
+    fn non_repairs_are_never_preferred() {
+        let ctx = key_context(&[(1, 1), (1, 2)]);
+        let family = RepairRankingFamily::new(vec![1, 2]);
+        assert!(!family.is_preferred(&ctx, &ctx.empty_priority(), &TupleSet::new()));
+    }
+}

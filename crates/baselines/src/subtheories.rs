@@ -1,0 +1,377 @@
+//! Brewka's preferred subtheories \[4\], recast over conflict graphs.
+//!
+//! The facts are split into strata `T₁, …, Tₙ` with `T₁` the most important. A *preferred
+//! subtheory* is any set `S = S₁ ∪ … ∪ Sₙ` such that for every `k` the prefix
+//! `S₁ ∪ … ∪ S_k` is a **maximal consistent** subset of `T₁ ∪ … ∪ T_k`: one greedily
+//! commits to as much of the most important stratum as possible, then to as much of the
+//! next one as is still consistent, and so on. The paper's Section 5 notes that this
+//! construction is analogous to its C-repairs, but — like the numeric levels of \[9\] —
+//! the stratified representation forces the preference to be transitive on conflicting
+//! facts.
+//!
+//! [`Stratification`] carries the per-tuple stratum, [`PreferredSubtheories`] implements
+//! membership checking (polynomial: one maximality test per stratum prefix) and
+//! enumeration (backtracking over the per-stratum choices), and exposes the construction
+//! as a [`RepairFamily`] so the paper's property checkers apply to it directly.
+
+use std::ops::ControlFlow;
+use std::sync::Arc;
+
+use pdqi_constraints::ConflictGraph;
+use pdqi_core::{RepairContext, RepairFamily};
+use pdqi_priority::Priority;
+use pdqi_relation::{TupleId, TupleSet};
+
+/// A stratification of the tuples: `stratum[t]` is the importance class of tuple `t`,
+/// with `0` the most important.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Stratification {
+    strata: Vec<usize>,
+}
+
+impl Stratification {
+    /// One stratum index per tuple, indexed by [`TupleId`].
+    pub fn new(strata: Vec<usize>) -> Self {
+        Stratification { strata }
+    }
+
+    /// Every tuple in the single stratum 0 (no preference at all).
+    pub fn flat(tuples: usize) -> Self {
+        Stratification { strata: vec![0; tuples] }
+    }
+
+    /// The stratum of a tuple (tuples beyond the assignment default to the last stratum).
+    pub fn stratum(&self, tuple: TupleId) -> usize {
+        self.strata.get(tuple.index()).copied().unwrap_or(usize::MAX)
+    }
+
+    /// Number of tuples covered.
+    pub fn len(&self) -> usize {
+        self.strata.len()
+    }
+
+    /// Whether no tuple is covered.
+    pub fn is_empty(&self) -> bool {
+        self.strata.is_empty()
+    }
+
+    /// The largest stratum index in use (`None` for an empty stratification).
+    pub fn max_stratum(&self) -> Option<usize> {
+        self.strata.iter().copied().max()
+    }
+
+    /// The tuples of stratum `k` among the first `n` tuple ids.
+    pub fn stratum_members(&self, k: usize, n: usize) -> TupleSet {
+        TupleSet::from_ids(
+            (0..n).map(|i| TupleId(i as u32)).filter(|t| self.stratum(*t) == k),
+        )
+    }
+
+    /// The priority induced by the stratification: conflict edges between different
+    /// strata are oriented towards the less important stratum; conflicts within one
+    /// stratum stay unoriented.
+    pub fn induced_priority(&self, graph: Arc<ConflictGraph>) -> Priority {
+        let mut priority = Priority::empty(Arc::clone(&graph));
+        for &(a, b) in graph.edges() {
+            let (sa, sb) = (self.stratum(a), self.stratum(b));
+            if sa < sb {
+                priority.add(a, b).expect("stratum-induced edges cannot form cycles");
+            } else if sb < sa {
+                priority.add(b, a).expect("stratum-induced edges cannot form cycles");
+            }
+        }
+        priority
+    }
+}
+
+/// The family of preferred subtheories induced by a stratification.
+///
+/// Every preferred subtheory is a repair (prefix-maximality at the last stratum is
+/// maximality over the whole instance), so the construction genuinely selects a subset of
+/// the repairs and the [`RepairFamily`] interface applies. The `priority` argument of the
+/// trait methods is ignored: the stratification is the baseline's only preference input.
+#[derive(Debug, Clone)]
+pub struct PreferredSubtheories {
+    stratification: Stratification,
+}
+
+impl PreferredSubtheories {
+    /// A family driven by the given stratification.
+    pub fn new(stratification: Stratification) -> Self {
+        PreferredSubtheories { stratification }
+    }
+
+    /// The stratification.
+    pub fn stratification(&self) -> &Stratification {
+        &self.stratification
+    }
+
+    /// Membership test: is `candidate` a preferred subtheory? Checks that every stratum
+    /// prefix of the candidate is a maximal independent set of the subgraph induced by
+    /// the tuples of that prefix.
+    pub fn is_preferred_subtheory(&self, graph: &ConflictGraph, candidate: &TupleSet) -> bool {
+        let n = graph.vertex_count();
+        if !graph.is_independent(candidate) {
+            return false;
+        }
+        let last = self.stratification.max_stratum().unwrap_or(0);
+        let mut prefix_vertices = TupleSet::with_capacity(n);
+        let mut prefix_chosen = TupleSet::with_capacity(n);
+        for k in 0..=last {
+            prefix_vertices.union_with(&self.stratification.stratum_members(k, n));
+            prefix_chosen.union_with(&candidate.intersection(&prefix_vertices));
+            // Maximality of the prefix: no prefix tuple outside the choice can be added
+            // without conflicting with an already-chosen prefix tuple.
+            for t in prefix_vertices.difference(&prefix_chosen).iter() {
+                if graph.neighbors(t).is_disjoint_from(&prefix_chosen) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Visits every preferred subtheory exactly once. Returns `true` if the enumeration
+    /// ran to completion (the callback may stop it early).
+    pub fn for_each_subtheory<F>(&self, graph: &ConflictGraph, mut callback: F) -> bool
+    where
+        F: FnMut(&TupleSet) -> ControlFlow<()>,
+    {
+        let n = graph.vertex_count();
+        let last = self.stratification.max_stratum().unwrap_or(0);
+        let chosen = TupleSet::with_capacity(n);
+        self.extend_stratum(graph, n, 0, last, chosen, &mut callback).is_continue()
+    }
+
+    /// Collects up to `limit` preferred subtheories.
+    pub fn subtheories(&self, graph: &ConflictGraph, limit: usize) -> Vec<TupleSet> {
+        let mut out = Vec::new();
+        self.for_each_subtheory(graph, |s| {
+            out.push(s.clone());
+            if out.len() >= limit {
+                ControlFlow::Break(())
+            } else {
+                ControlFlow::Continue(())
+            }
+        });
+        out
+    }
+
+    /// Recursively extends `chosen` with every maximal consistent choice from stratum `k`.
+    fn extend_stratum(
+        &self,
+        graph: &ConflictGraph,
+        n: usize,
+        k: usize,
+        last: usize,
+        chosen: TupleSet,
+        callback: &mut dyn FnMut(&TupleSet) -> ControlFlow<()>,
+    ) -> ControlFlow<()> {
+        // The stratum tuples still addable given what earlier strata committed to.
+        let members = self.stratification.stratum_members(k, n);
+        let mut available = TupleSet::with_capacity(n);
+        for t in members.iter() {
+            if graph.neighbors(t).is_disjoint_from(&chosen) {
+                available.insert(t);
+            }
+        }
+        // `maximal_independent_subsets` always yields at least one subset (the empty set
+        // when nothing is available), so every stratum level is visited exactly once.
+        let mut complete = ControlFlow::Continue(());
+        maximal_independent_subsets(graph, &available, &mut |subset| {
+            let mut extended = chosen.clone();
+            extended.union_with(subset);
+            let step = if k == last {
+                callback(&extended)
+            } else {
+                self.extend_stratum(graph, n, k + 1, last, extended, callback)
+            };
+            if step.is_break() {
+                complete = ControlFlow::Break(());
+            }
+            step
+        });
+        complete
+    }
+}
+
+/// Enumerates every maximal independent subset of `vertices` (maximal *within*
+/// `vertices`) in the induced subgraph of `graph`. The callback may stop the enumeration
+/// early by returning `Break`.
+fn maximal_independent_subsets(
+    graph: &ConflictGraph,
+    vertices: &TupleSet,
+    callback: &mut dyn FnMut(&TupleSet) -> ControlFlow<()>,
+) {
+    if vertices.is_empty() {
+        let _ = callback(&TupleSet::new());
+        return;
+    }
+    // Straightforward branch-on-vertex backtracking over the induced subgraph; the
+    // per-stratum vertex sets are small in every workload we generate, so clarity wins.
+    fn recurse(
+        graph: &ConflictGraph,
+        order: &[TupleId],
+        position: usize,
+        chosen: &mut TupleSet,
+        excluded: &mut Vec<TupleId>,
+        callback: &mut dyn FnMut(&TupleSet) -> ControlFlow<()>,
+    ) -> ControlFlow<()> {
+        if position == order.len() {
+            // Maximality within the vertex set: every excluded vertex must conflict with
+            // a chosen one, otherwise this branch is dominated by one that includes it.
+            for &t in excluded.iter() {
+                if graph.neighbors(t).is_disjoint_from(chosen) {
+                    return ControlFlow::Continue(());
+                }
+            }
+            return callback(chosen);
+        }
+        let vertex = order[position];
+        if graph.neighbors(vertex).is_disjoint_from(chosen) {
+            chosen.insert(vertex);
+            recurse(graph, order, position + 1, chosen, excluded, callback)?;
+            chosen.remove(vertex);
+            // Only branching on exclusion can yield a different maximal set if the vertex
+            // has neighbours inside the vertex pool.
+            excluded.push(vertex);
+            recurse(graph, order, position + 1, chosen, excluded, callback)?;
+            excluded.pop();
+            ControlFlow::Continue(())
+        } else {
+            excluded.push(vertex);
+            let flow = recurse(graph, order, position + 1, chosen, excluded, callback);
+            excluded.pop();
+            flow
+        }
+    }
+    let order: Vec<TupleId> = vertices.iter().collect();
+    let mut chosen = TupleSet::with_capacity(graph.vertex_count());
+    let mut excluded = Vec::new();
+    let _ = recurse(graph, &order, 0, &mut chosen, &mut excluded, callback);
+}
+
+impl RepairFamily for PreferredSubtheories {
+    fn name(&self) -> &'static str {
+        "Brewka-subtheories"
+    }
+
+    fn is_preferred(&self, ctx: &RepairContext, _priority: &Priority, candidate: &TupleSet) -> bool {
+        ctx.is_repair(candidate) && self.is_preferred_subtheory(ctx.graph(), candidate)
+    }
+
+    fn for_each_preferred(
+        &self,
+        ctx: &RepairContext,
+        _priority: &Priority,
+        callback: &mut dyn FnMut(&TupleSet) -> ControlFlow<()>,
+    ) -> bool {
+        // Deduplicate: different per-stratum choice sequences can assemble the same set.
+        let mut seen = std::collections::HashSet::new();
+        self.for_each_subtheory(ctx.graph(), |subtheory| {
+            if seen.insert(subtheory.clone()) {
+                callback(subtheory)
+            } else {
+                ControlFlow::Continue(())
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdqi_constraints::FdSet;
+    use pdqi_core::clean::common_repairs;
+    use pdqi_relation::{RelationInstance, RelationSchema, Value, ValueType};
+
+    fn two_column_instance(rows: &[(i64, i64)]) -> RepairContext {
+        let schema = Arc::new(
+            RelationSchema::from_pairs("R", &[("A", ValueType::Int), ("B", ValueType::Int)]).unwrap(),
+        );
+        let instance = RelationInstance::from_rows(
+            Arc::clone(&schema),
+            rows.iter().map(|&(a, b)| vec![Value::int(a), Value::int(b)]).collect(),
+        )
+        .unwrap();
+        let fds = FdSet::parse(schema, &["A -> B"]).unwrap();
+        RepairContext::new(instance, fds)
+    }
+
+    #[test]
+    fn flat_stratification_selects_every_repair() {
+        let ctx = two_column_instance(&[(1, 1), (1, 2), (2, 1), (2, 2)]);
+        let family = PreferredSubtheories::new(Stratification::flat(4));
+        let preferred = family.preferred_repairs(&ctx, &ctx.empty_priority(), usize::MAX);
+        assert_eq!(preferred.len() as u128, ctx.count_repairs());
+    }
+
+    #[test]
+    fn earlier_strata_win_their_conflicts() {
+        // Key group {t0, t1, t2}; t0 is stratum 0, the others stratum 1.
+        let ctx = two_column_instance(&[(1, 1), (1, 2), (1, 3)]);
+        let family = PreferredSubtheories::new(Stratification::new(vec![0, 1, 1]));
+        let preferred = family.preferred_repairs(&ctx, &ctx.empty_priority(), usize::MAX);
+        assert_eq!(preferred, vec![TupleSet::from_ids([TupleId(0)])]);
+    }
+
+    #[test]
+    fn prefix_maximality_is_enforced() {
+        // Stratum 0: {t0, t1} conflicting; stratum 1: {t2} conflicting with t0 only.
+        let graph = ConflictGraph::from_edges(
+            3,
+            &[(TupleId(0), TupleId(1)), (TupleId(0), TupleId(2))],
+        );
+        let family = PreferredSubtheories::new(Stratification::new(vec![0, 0, 1]));
+        let mut found = Vec::new();
+        family.for_each_subtheory(&graph, |s| {
+            found.push(s.clone());
+            ControlFlow::Continue(())
+        });
+        found.sort_by_key(|s| s.iter().map(|t| t.0).collect::<Vec<_>>());
+        // {t0} (t2 blocked) and {t1, t2}: both prefix-maximal; {t0} is maximal at stratum
+        // 0 even though it cannot be extended at stratum 1.
+        assert_eq!(
+            found,
+            vec![
+                TupleSet::from_ids([TupleId(0)]),
+                TupleSet::from_ids([TupleId(1), TupleId(2)]),
+            ]
+        );
+        // Membership agrees with enumeration.
+        assert!(family.is_preferred_subtheory(&graph, &TupleSet::from_ids([TupleId(0)])));
+        assert!(!family.is_preferred_subtheory(&graph, &TupleSet::from_ids([TupleId(2)])));
+    }
+
+    #[test]
+    fn subtheories_coincide_with_common_repairs_of_the_induced_priority() {
+        // On stratified inputs Brewka's construction behaves like Algorithm 1 run with
+        // the stratum-induced priority, i.e. like the paper's C-Rep.
+        let ctx = two_column_instance(&[(1, 1), (1, 2), (2, 1), (2, 2), (3, 7), (3, 8)]);
+        let stratification = Stratification::new(vec![0, 1, 1, 0, 2, 2]);
+        let family = PreferredSubtheories::new(stratification.clone());
+        let mut subtheories = family.preferred_repairs(&ctx, &ctx.empty_priority(), usize::MAX);
+        let induced = stratification.induced_priority(Arc::clone(ctx.graph()));
+        let mut common = common_repairs(ctx.graph(), &induced, usize::MAX);
+        let key = |s: &TupleSet| s.iter().map(|t| t.0).collect::<Vec<_>>();
+        subtheories.sort_by_key(key);
+        common.sort_by_key(key);
+        assert_eq!(subtheories, common);
+    }
+
+    #[test]
+    fn every_subtheory_is_a_repair() {
+        let ctx = two_column_instance(&[(1, 1), (1, 2), (1, 3), (2, 1), (2, 2)]);
+        let family = PreferredSubtheories::new(Stratification::new(vec![0, 1, 2, 1, 0]));
+        for subtheory in family.preferred_repairs(&ctx, &ctx.empty_priority(), usize::MAX) {
+            assert!(ctx.is_repair(&subtheory));
+        }
+    }
+
+    #[test]
+    fn non_repairs_are_rejected() {
+        let ctx = two_column_instance(&[(1, 1), (1, 2)]);
+        let family = PreferredSubtheories::new(Stratification::new(vec![0, 1]));
+        assert!(!family.is_preferred(&ctx, &ctx.empty_priority(), &TupleSet::new()));
+    }
+}

@@ -1,0 +1,96 @@
+//! E10 — the introduction's comparison: data cleaning with partial reliability
+//! information vs. preference-driven consistent query answering on integration scenarios.
+//! The series reports how often the two approaches give a determined answer and how often
+//! cleaning leaves the database inconsistent; the timed benchmarks compare their costs.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pdqi_cleaning::{compare_answers, Cleaner, DataSource, Integration, ResolutionRule};
+use pdqi_constraints::ConflictGraph;
+use pdqi_core::FamilyKind;
+use pdqi_datagen::{random_conjunctive_query, IntegrationScenario};
+use pdqi_priority::priority_from_source_reliability;
+use pdqi_relation::RelationInstance;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(10);
+    eprintln!("E10: cleaning vs. preferred CQA on integration scenarios");
+    let mut group = c.benchmark_group("e10_cleaning_vs_cqa");
+    group.sample_size(12).measurement_time(Duration::from_millis(700)).warm_up_time(Duration::from_millis(200));
+
+    for departments in [4usize, 6, 8] {
+        let scenario = IntegrationScenario::generate(departments, 3, 0.4, &mut rng);
+        let sources: Vec<DataSource> = scenario
+            .sources
+            .iter()
+            .enumerate()
+            .map(|(i, (name, rows))| DataSource::new(name.clone(), rows.clone(), i as i64))
+            .collect();
+        let integration = Integration::integrate(Arc::clone(&scenario.schema), &sources).unwrap();
+        let graph = ConflictGraph::build(integration.instance(), &scenario.fds);
+        let cleaner =
+            Cleaner::new().with_rule(ResolutionRule::PreferReliableSource(scenario.reliability.clone()));
+        let cleaning = cleaner.clean(&integration, &graph);
+        let priority = priority_from_source_reliability(
+            Arc::new(graph.clone()),
+            &integration.primary_sources(),
+            &scenario.reliability,
+        );
+        let instance: &RelationInstance = integration.instance();
+        let queries: Vec<_> = (0..5)
+            .map(|_| random_conjunctive_query(instance, 2, &mut rng))
+            .collect();
+
+        // Answer-quality series.
+        let mut determined_by_cqa = 0usize;
+        for query in &queries {
+            let comparison = compare_answers(
+                &integration,
+                &scenario.fds,
+                &cleaning,
+                &priority,
+                FamilyKind::Global,
+                query,
+            )
+            .unwrap();
+            if comparison.preferred_answer.is_some() {
+                determined_by_cqa += 1;
+            }
+        }
+        eprintln!(
+            "  departments = {departments}: {} tuples, {} conflicts, cleaned still inconsistent: {}, \
+             G-Rep determined {determined_by_cqa}/{} sample queries",
+            instance.len(),
+            graph.edge_count(),
+            cleaning.still_inconsistent(),
+            queries.len()
+        );
+
+        // Timing: cleaning vs. one preferred-CQA evaluation.
+        group.bench_with_input(BenchmarkId::new("cleaning", departments), &departments, |b, _| {
+            b.iter(|| cleaner.clean(&integration, &graph))
+        });
+        let query = queries[0].clone();
+        group.bench_with_input(BenchmarkId::new("preferred_cqa", departments), &departments, |b, _| {
+            b.iter(|| {
+                compare_answers(
+                    &integration,
+                    &scenario.fds,
+                    &cleaning,
+                    &priority,
+                    FamilyKind::Global,
+                    &query,
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,104 @@
+//! E11 — Section 5 related-work comparison: the paper's families vs. the baseline
+//! semantics (numeric levels, preferred subtheories, repair ranking, Grosof-style
+//! removal, ranking+fusion) on the motivating scenario and on scaled-up integration
+//! instances.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pdqi_baselines::comparison::{compare_semantics, BaselineInputs};
+use pdqi_baselines::{
+    grosof_resolution, LevelAssignment, NumericLevelFamily, PreferredSubtheories,
+    RepairRankingFamily, Stratification,
+};
+use pdqi_bench::{example1_context, example3_reliability, Q2};
+use pdqi_core::{RepairContext, RepairFamily};
+use pdqi_datagen::IntegrationScenario;
+use pdqi_priority::priority_from_source_reliability;
+use pdqi_query::parse_formula;
+use pdqi_relation::RelationInstance;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Materialises an integration scenario into an instance plus per-tuple source names and
+/// reliability levels (higher = more reliable), keeping the per-tuple data aligned with
+/// the deduplicated tuple ids.
+fn materialise(scenario: &IntegrationScenario, sources: usize) -> (RelationInstance, Vec<String>, Vec<u64>) {
+    let mut instance = RelationInstance::new(Arc::clone(&scenario.schema));
+    let mut source_of = Vec::new();
+    let mut levels = Vec::new();
+    for (row, source) in scenario.all_rows().into_iter().zip(scenario.row_sources()) {
+        let (_, fresh) = instance.insert(row).expect("generated rows follow the schema");
+        if fresh {
+            let index: usize = source.trim_start_matches('s').parse().unwrap_or(sources);
+            levels.push((sources - index.min(sources)) as u64 + 1);
+            source_of.push(source);
+        }
+    }
+    (instance, source_of, levels)
+}
+
+fn bench(c: &mut Criterion) {
+    // The report itself — the "table" of this experiment — printed once.
+    let ctx = example1_context();
+    let (sources, order) = example3_reliability();
+    let priority = priority_from_source_reliability(Arc::clone(ctx.graph()), &sources, &order);
+    let inputs = BaselineInputs::from_levels(vec![2, 2, 1, 1]);
+    let q2 = parse_formula(Q2).unwrap();
+    let report = compare_semantics(&ctx, &priority, &inputs, &q2);
+    eprintln!("E11: Example 1 + Example 3 reliability, all semantics");
+    eprintln!("{}", report.render());
+
+    // Scaling comparison on integration scenarios of growing size.
+    let mut group = c.benchmark_group("e11_baselines");
+    group.sample_size(12).measurement_time(Duration::from_millis(800)).warm_up_time(Duration::from_millis(200));
+    // Small department counts keep the repair space enumerable: the point of the
+    // comparison is who selects how many repairs and at what per-repair cost, not raw
+    // scale (E3–E8 cover scaling of the individual algorithms).
+    let mut rng = StdRng::seed_from_u64(611);
+    for departments in [3usize, 5, 8] {
+        let scenario = IntegrationScenario::generate(departments, 3, 0.4, &mut rng);
+        let (instance, source_of, levels) = materialise(&scenario, 3);
+        let ctx = RepairContext::new(instance, scenario.fds.clone());
+        let weights: Vec<i64> = levels.iter().map(|&l| l as i64).collect();
+        let strata: Vec<usize> = {
+            let top = levels.iter().copied().max().unwrap_or(0);
+            levels.iter().map(|&l| (top - l) as usize).collect()
+        };
+        let reliability = priority_from_source_reliability(
+            Arc::clone(ctx.graph()),
+            &source_of,
+            &scenario.reliability,
+        );
+        let empty = ctx.empty_priority();
+
+        group.bench_with_input(BenchmarkId::new("G-Rep", departments), &departments, |b, _| {
+            let family = pdqi_core::FamilyKind::Global.family();
+            b.iter(|| family.count_preferred(&ctx, &reliability));
+        });
+        group.bench_with_input(BenchmarkId::new("FUV-levels", departments), &departments, |b, _| {
+            let family = NumericLevelFamily::new(LevelAssignment::new(levels.clone()));
+            b.iter(|| family.count_preferred(&ctx, &empty));
+        });
+        group.bench_with_input(BenchmarkId::new("Brewka", departments), &departments, |b, _| {
+            let family = PreferredSubtheories::new(Stratification::new(strata.clone()));
+            b.iter(|| family.count_preferred(&ctx, &empty));
+        });
+        group.bench_with_input(
+            BenchmarkId::new("repair-ranking", departments),
+            &departments,
+            |b, _| {
+                let family = RepairRankingFamily::new(weights.clone());
+                b.iter(|| family.count_preferred(&ctx, &empty));
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("Grosof", departments), &departments, |b, _| {
+            b.iter(|| grosof_resolution(ctx.graph(), &reliability));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

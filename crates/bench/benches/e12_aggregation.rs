@@ -1,0 +1,111 @@
+//! E12 — range-consistent aggregation: the polynomial closed form vs. the
+//! enumeration-based evaluator on key-induced conflicts whose repair space doubles with
+//! every extra conflict pair (the Example 4 family), plus the range-narrowing effect of
+//! increasingly complete priorities.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pdqi_aggregate::{
+    narrowing_report, range_by_enumeration, range_closed_form, AggregateFunction, AggregateQuery,
+};
+use pdqi_core::{FamilyKind, RepairContext};
+use pdqi_datagen::{example4_instance, random_priority};
+use pdqi_relation::{RelationInstance, RelationSchema, Value, ValueType};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A salary table with `groups` key groups of `dups` conflicting tuples each.
+fn salary_context(groups: usize, dups: usize) -> RepairContext {
+    let schema = Arc::new(
+        RelationSchema::from_pairs("Emp", &[("Name", ValueType::Name), ("Salary", ValueType::Int)])
+            .unwrap(),
+    );
+    let mut rows = Vec::new();
+    for g in 0..groups {
+        for d in 0..dups {
+            rows.push(vec![
+                Value::name(&format!("n{g}")),
+                Value::int((10 * (g + 1) + d) as i64),
+            ]);
+        }
+    }
+    let instance = RelationInstance::from_rows(Arc::clone(&schema), rows).unwrap();
+    let fds = pdqi_constraints::FdSet::parse(schema, &["Name -> Salary"]).unwrap();
+    RepairContext::new(instance, fds)
+}
+
+fn bench(c: &mut Criterion) {
+    // The headline series: SUM(Salary) ranges as the number of conflicting key groups
+    // grows. The closed form is linear in the number of tuples; the enumeration walks a
+    // repair space of size dups^groups.
+    eprintln!("E12: SUM(Salary) range, closed form vs enumeration");
+    for groups in [4usize, 8, 12, 16] {
+        let ctx = salary_context(groups, 2);
+        let query =
+            AggregateQuery::over(ctx.instance().schema(), AggregateFunction::Sum, "Salary").unwrap();
+        let closed = range_closed_form(&ctx, &query).unwrap();
+        let brute = range_by_enumeration(
+            &ctx,
+            &ctx.empty_priority(),
+            FamilyKind::Rep.family().as_ref(),
+            &query,
+        );
+        eprintln!(
+            "  groups={groups:<3} repairs={:<8} closed={closed} enumerated={brute} (agree: {})",
+            ctx.count_repairs(),
+            closed.glb == brute.glb && closed.lub == brute.lub
+        );
+    }
+
+    // Range narrowing under increasingly complete priorities (the aggregation analogue
+    // of E9), printed as a series.
+    let ctx = salary_context(8, 3);
+    let query =
+        AggregateQuery::over(ctx.instance().schema(), AggregateFunction::Sum, "Salary").unwrap();
+    let mut rng = StdRng::seed_from_u64(12);
+    let chain: Vec<_> = [0.0, 0.25, 0.5, 0.75, 1.0]
+        .iter()
+        .map(|&p| random_priority(Arc::clone(ctx.graph()), p, &mut rng))
+        .collect();
+    eprintln!("E12: SUM range width vs. priority completeness (G-Rep)");
+    let report = narrowing_report(&ctx, &chain, FamilyKind::Global, &query);
+    eprint!("{}", report.render());
+
+    let mut group = c.benchmark_group("e12_aggregation");
+    group.sample_size(15).measurement_time(Duration::from_millis(700)).warm_up_time(Duration::from_millis(200));
+    for groups in [6usize, 10, 14] {
+        let ctx = salary_context(groups, 2);
+        let query =
+            AggregateQuery::over(ctx.instance().schema(), AggregateFunction::Sum, "Salary").unwrap();
+        group.bench_with_input(BenchmarkId::new("closed_form", groups), &groups, |b, _| {
+            b.iter(|| range_closed_form(&ctx, &query).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("enumeration", groups), &groups, |b, _| {
+            b.iter(|| {
+                range_by_enumeration(
+                    &ctx,
+                    &ctx.empty_priority(),
+                    FamilyKind::Rep.family().as_ref(),
+                    &query,
+                )
+            })
+        });
+    }
+    // The Example 4 instance (a perfect matching) scales the same way; keep one series on
+    // it so the aggregation experiment lines up with E2's repair-explosion series.
+    for n in [8usize, 12, 16] {
+        let (instance, fds) = example4_instance(n);
+        let ctx = RepairContext::new(instance, fds);
+        let query =
+            AggregateQuery::over(ctx.instance().schema(), AggregateFunction::Sum, "B").unwrap();
+        group.bench_with_input(BenchmarkId::new("closed_form_example4", n), &n, |b, _| {
+            b.iter(|| range_closed_form(&ctx, &query).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

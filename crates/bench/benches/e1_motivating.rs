@@ -1,0 +1,55 @@
+//! E1 — Examples 1–3 / Figures 2–4: preferred consistent answers to the paper's queries
+//! Q1 and Q2 on the motivating instance, for every repair family, with and without the
+//! Example 3 reliability priority.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pdqi_bench::{example1_context, example3_reliability, Q1, Q2};
+use pdqi_core::cqa::preferred_consistent_answer;
+use pdqi_core::FamilyKind;
+use pdqi_priority::{priority_from_source_reliability, Priority};
+use pdqi_query::parse_formula;
+
+fn bench(c: &mut Criterion) {
+    let ctx = example1_context();
+    let (sources, order) = example3_reliability();
+    let reliability = priority_from_source_reliability(Arc::clone(ctx.graph()), &sources, &order);
+    let empty = Priority::empty(Arc::clone(ctx.graph()));
+    let q1 = parse_formula(Q1).unwrap();
+    let q2 = parse_formula(Q2).unwrap();
+
+    // Report the answers (the "table" of this experiment) once, outside the timing loops.
+    eprintln!("E1: preferred consistent answers on the Example 1 instance");
+    for (label, priority) in [("no priority", &empty), ("Example 3 priority", &reliability)] {
+        for (query_name, query) in [("Q1", &q1), ("Q2", &q2)] {
+            for kind in FamilyKind::ALL {
+                let outcome =
+                    preferred_consistent_answer(&ctx, priority, kind.family().as_ref(), query)
+                        .unwrap();
+                eprintln!(
+                    "  {label:<18} {query_name} {:<6} certainly_true={} certainly_false={}",
+                    kind.label(),
+                    outcome.certainly_true,
+                    outcome.certainly_false
+                );
+            }
+        }
+    }
+
+    let mut group = c.benchmark_group("e1_motivating");
+    group.sample_size(20).measurement_time(Duration::from_millis(600)).warm_up_time(Duration::from_millis(200));
+    for kind in FamilyKind::ALL {
+        group.bench_function(format!("q2_{}", kind.label()), |b| {
+            b.iter(|| {
+                preferred_consistent_answer(&ctx, &reliability, kind.family().as_ref(), &q2)
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

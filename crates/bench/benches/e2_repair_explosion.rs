@@ -1,0 +1,44 @@
+//! E2 — Example 4 / Figure 1: the number of repairs grows as `2ⁿ` while the conflict
+//! graph (the representation the framework actually works with) grows linearly.
+//! Counting through connected components stays cheap; materialising the repairs does not.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pdqi_core::RepairContext;
+use pdqi_datagen::example4_instance;
+
+fn bench(c: &mut Criterion) {
+    eprintln!("E2: repair-space size vs. conflict-graph size (Example 4)");
+    for n in [4usize, 8, 16, 32, 64] {
+        let (instance, fds) = example4_instance(n);
+        let ctx = RepairContext::new(instance, fds);
+        eprintln!(
+            "  n = {n:>3}: tuples = {:>4}, conflict edges = {:>3}, repairs = 2^{n} = {}",
+            ctx.instance().len(),
+            ctx.graph().edge_count(),
+            ctx.count_repairs()
+        );
+    }
+
+    let mut group = c.benchmark_group("e2_repair_explosion");
+    group.sample_size(15).measurement_time(Duration::from_millis(600)).warm_up_time(Duration::from_millis(200));
+    for n in [8usize, 32, 128] {
+        let (instance, fds) = example4_instance(n);
+        let ctx = RepairContext::new(instance, fds);
+        group.bench_with_input(BenchmarkId::new("count_repairs", n), &ctx, |b, ctx| {
+            b.iter(|| ctx.count_repairs())
+        });
+    }
+    for n in [4usize, 8, 12] {
+        let (instance, fds) = example4_instance(n);
+        let ctx = RepairContext::new(instance, fds);
+        group.bench_with_input(BenchmarkId::new("enumerate_repairs", n), &ctx, |b, ctx| {
+            b.iter(|| ctx.repairs(usize::MAX).len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

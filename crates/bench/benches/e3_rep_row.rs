@@ -1,0 +1,68 @@
+//! E3 — Fig. 5, row `Rep`: repair checking is PTIME, consistent answers to
+//! quantifier-free queries are PTIME (no repair enumeration), and conjunctive queries
+//! fall back to repair enumeration (co-NP-complete in general).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pdqi_core::cqa::preferred_consistent_answer;
+use pdqi_core::cqa_ground::ground_consistent_answer;
+use pdqi_core::{AllRepairs, RepairContext};
+use pdqi_datagen::{example4_instance, random_conflict_instance, random_conjunctive_query, random_ground_query};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut group = c.benchmark_group("e3_rep_row");
+    group.sample_size(15).measurement_time(Duration::from_millis(700)).warm_up_time(Duration::from_millis(200));
+
+    // Repair checking scales with the instance (PTIME).
+    for n in [200usize, 800, 3200] {
+        let (instance, fds) = random_conflict_instance(n, 0.5, &mut rng);
+        let ctx = RepairContext::new(instance, fds);
+        let repair = ctx.some_repair();
+        group.bench_with_input(BenchmarkId::new("repair_checking", n), &n, |b, _| {
+            b.iter(|| ctx.is_repair(&repair))
+        });
+    }
+
+    // Quantifier-free CQA: the polynomial conflict-graph algorithm vs. naive enumeration.
+    eprintln!("E3: ground-query CQA — polynomial algorithm vs. repair enumeration");
+    for n in [6usize, 10, 14] {
+        let (instance, fds) = example4_instance(n);
+        let ctx = RepairContext::new(instance, fds);
+        let query = random_ground_query(ctx.instance(), 4, &mut rng);
+        eprintln!("  n = {n:>2}: {} repairs, query size {}", ctx.count_repairs(), query.size());
+        group.bench_with_input(BenchmarkId::new("ground_cqa_ptime", n), &n, |b, _| {
+            b.iter(|| ground_consistent_answer(&ctx, &query).unwrap())
+        });
+        let empty = ctx.empty_priority();
+        group.bench_with_input(BenchmarkId::new("ground_cqa_enumeration", n), &n, |b, _| {
+            b.iter(|| {
+                preferred_consistent_answer(&ctx, &empty, &AllRepairs, &query)
+                    .unwrap()
+                    .certainly_true
+            })
+        });
+    }
+
+    // Conjunctive-query CQA (co-NP-complete): enumeration over the repairs.
+    for n in [6usize, 10] {
+        let (instance, fds) = example4_instance(n);
+        let ctx = RepairContext::new(instance, fds);
+        let query = random_conjunctive_query(ctx.instance(), 2, &mut rng);
+        let empty = ctx.empty_priority();
+        group.bench_with_input(BenchmarkId::new("conjunctive_cqa_enumeration", n), &n, |b, _| {
+            b.iter(|| {
+                preferred_consistent_answer(&ctx, &empty, &AllRepairs, &query)
+                    .unwrap()
+                    .certainly_true
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

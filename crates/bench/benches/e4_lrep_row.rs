@@ -1,0 +1,52 @@
+//! E4 — Fig. 5, row `L-Rep`: L-repair checking is PTIME (it scales with the instance),
+//! while L-consistent query answering enumerates the locally optimal repairs
+//! (co-NP-complete in general).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pdqi_core::cqa::preferred_consistent_answer;
+use pdqi_core::{LocalOptimal, RepairContext, RepairFamily};
+use pdqi_datagen::{example4_instance, random_conflict_instance, random_conjunctive_query, random_priority};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(4);
+    let mut group = c.benchmark_group("e4_lrep_row");
+    group.sample_size(15).measurement_time(Duration::from_millis(700)).warm_up_time(Duration::from_millis(200));
+
+    // L-repair checking (PTIME) on growing random instances with a half-complete priority.
+    for n in [200usize, 800, 3200] {
+        let (instance, fds) = random_conflict_instance(n, 0.5, &mut rng);
+        let ctx = RepairContext::new(instance, fds);
+        let priority = random_priority(Arc::clone(ctx.graph()), 0.5, &mut rng);
+        let repair = ctx.some_repair();
+        group.bench_with_input(BenchmarkId::new("l_repair_checking", n), &n, |b, _| {
+            b.iter(|| LocalOptimal.is_preferred(&ctx, &priority, &repair))
+        });
+    }
+
+    // L-consistent answers by enumeration of the locally optimal repairs.
+    eprintln!("E4: size of L-Rep vs. priority completeness on Example 4 instances");
+    for n in [6usize, 9, 12] {
+        let (instance, fds) = example4_instance(n);
+        let ctx = RepairContext::new(instance, fds);
+        let priority = random_priority(Arc::clone(ctx.graph()), 0.5, &mut rng);
+        let preferred = LocalOptimal.count_preferred(&ctx, &priority);
+        eprintln!("  n = {n:>2}: |Rep| = {}, |L-Rep| = {preferred}", ctx.count_repairs());
+        let query = random_conjunctive_query(ctx.instance(), 2, &mut rng);
+        group.bench_with_input(BenchmarkId::new("l_cqa_enumeration", n), &n, |b, _| {
+            b.iter(|| {
+                preferred_consistent_answer(&ctx, &priority, &LocalOptimal, &query)
+                    .unwrap()
+                    .certainly_true
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

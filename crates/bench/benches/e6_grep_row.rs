@@ -1,0 +1,63 @@
+//! E6 — Fig. 5, row `G-Rep`: G-repair checking is co-NP-complete and G-consistent query
+//! answering is Π₂ᵖ-complete. The benchmark contrasts benign inputs (chains, where the
+//! domination search prunes well) with the adversarial SAT-reduction instances whose
+//! repair space must be explored.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pdqi_core::cqa::preferred_consistent_answer;
+use pdqi_core::{GlobalOptimal, RepairContext, RepairFamily};
+use pdqi_datagen::{chain_instance, random_3cnf, random_priority, random_total_priority};
+use pdqi_solve::cqa_instance_from_3sat;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(6);
+    let mut group = c.benchmark_group("e6_grep_row");
+    group.sample_size(12).measurement_time(Duration::from_millis(700)).warm_up_time(Duration::from_millis(200));
+
+    // G-repair checking on conflict chains (the Example 9 shape) with total priorities.
+    for length in [10usize, 20, 30] {
+        let (instance, fds) = chain_instance(length);
+        let ctx = RepairContext::new(instance, fds);
+        let priority = random_total_priority(Arc::clone(ctx.graph()), &mut rng);
+        let repair = ctx.some_repair();
+        group.bench_with_input(BenchmarkId::new("g_repair_checking_chain", length), &length, |b, _| {
+            b.iter(|| GlobalOptimal.is_preferred(&ctx, &priority, &repair))
+        });
+    }
+
+    // G-repair checking and G-CQA on the adversarial SAT-reduction instances; the repair
+    // space doubles with every propositional variable.
+    eprintln!("E6: SAT-reduction instances (repair space doubles per variable)");
+    for vars in [4usize, 6, 8] {
+        let clauses = vars * 3;
+        let formula = random_3cnf(vars, clauses, &mut rng);
+        let reduction = cqa_instance_from_3sat(&formula);
+        let ctx = RepairContext::new(reduction.instance.clone(), reduction.fds.clone());
+        let priority = random_priority(Arc::clone(ctx.graph()), 0.3, &mut rng);
+        eprintln!(
+            "  vars = {vars}: tuples = {}, repairs = {}",
+            ctx.instance().len(),
+            ctx.count_repairs()
+        );
+        let repair = ctx.some_repair();
+        group.bench_with_input(BenchmarkId::new("g_repair_checking_sat", vars), &vars, |b, _| {
+            b.iter(|| GlobalOptimal.is_preferred(&ctx, &priority, &repair))
+        });
+        group.bench_with_input(BenchmarkId::new("g_cqa_sat", vars), &vars, |b, _| {
+            b.iter(|| {
+                preferred_consistent_answer(&ctx, &priority, &GlobalOptimal, &reduction.query)
+                    .unwrap()
+                    .certainly_true
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! E7 — Fig. 5, row `C-Rep`: C-repair checking is PTIME (the Algorithm-1 simulation of
+//! Prop. 7), and C-consistent query answering enumerates the common repairs, whose number
+//! shrinks as the priority grows.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pdqi_core::cqa::preferred_consistent_answer;
+use pdqi_core::{CommonOptimal, RepairContext, RepairFamily};
+use pdqi_datagen::{example4_instance, random_conflict_instance, random_conjunctive_query, random_priority, random_total_priority};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut group = c.benchmark_group("e7_crep_row");
+    group.sample_size(15).measurement_time(Duration::from_millis(700)).warm_up_time(Duration::from_millis(200));
+
+    // C-repair checking (PTIME) on growing random instances with total priorities.
+    for n in [100usize, 400, 1600] {
+        let (instance, fds) = random_conflict_instance(n, 0.5, &mut rng);
+        let ctx = RepairContext::new(instance, fds);
+        let priority = random_total_priority(Arc::clone(ctx.graph()), &mut rng);
+        let repair = pdqi_core::clean_with_total_priority(ctx.graph(), &priority).unwrap();
+        group.bench_with_input(BenchmarkId::new("c_repair_checking", n), &n, |b, _| {
+            b.iter(|| CommonOptimal.is_preferred(&ctx, &priority, &repair))
+        });
+    }
+
+    // C-consistent answers: the number of common repairs shrinks with priority completeness.
+    eprintln!("E7: |C-Rep| vs. priority completeness (Example 4, n = 8)");
+    let (instance, fds) = example4_instance(8);
+    let ctx = RepairContext::new(instance, fds);
+    for completeness in [0.0f64, 0.5, 1.0] {
+        let priority = random_priority(Arc::clone(ctx.graph()), completeness, &mut rng);
+        let count = CommonOptimal.count_preferred(&ctx, &priority);
+        eprintln!("  completeness = {completeness:.2}: |C-Rep| = {count}");
+        let query = random_conjunctive_query(ctx.instance(), 2, &mut rng);
+        group.bench_with_input(
+            BenchmarkId::new("c_cqa_enumeration", format!("p{completeness:.2}")),
+            &completeness,
+            |b, _| {
+                b.iter(|| {
+                    preferred_consistent_answer(&ctx, &priority, &CommonOptimal, &query)
+                        .unwrap()
+                        .certainly_true
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

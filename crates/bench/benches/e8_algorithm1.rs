@@ -1,0 +1,41 @@
+//! E8 — Algorithm 1 / Proposition 1: cleaning with a total priority computes its unique
+//! repair in time polynomial (essentially linear in practice) in the number of tuples.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pdqi_core::{clean_with_total_priority, RepairContext};
+use pdqi_datagen::{example4_instance, random_conflict_instance, random_total_priority};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(8);
+    let mut group = c.benchmark_group("e8_algorithm1");
+    group.sample_size(15).measurement_time(Duration::from_millis(700)).warm_up_time(Duration::from_millis(200));
+
+    // Matching-shaped instances (Example 4): the cheapest possible conflict structure.
+    for n in [1_000usize, 4_000, 16_000] {
+        let (instance, fds) = example4_instance(n);
+        let ctx = RepairContext::new(instance, fds);
+        let priority = random_total_priority(Arc::clone(ctx.graph()), &mut rng);
+        group.bench_with_input(BenchmarkId::new("clean_matching", 2 * n), &n, |b, _| {
+            b.iter(|| clean_with_total_priority(ctx.graph(), &priority).unwrap())
+        });
+    }
+
+    // Random conflict graphs with denser neighbourhoods.
+    for n in [500usize, 2_000, 8_000] {
+        let (instance, fds) = random_conflict_instance(n, 0.6, &mut rng);
+        let ctx = RepairContext::new(instance, fds);
+        let priority = random_total_priority(Arc::clone(ctx.graph()), &mut rng);
+        group.bench_with_input(BenchmarkId::new("clean_random", n), &n, |b, _| {
+            b.iter(|| clean_with_total_priority(ctx.graph(), &priority).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

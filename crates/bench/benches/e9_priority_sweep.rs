@@ -1,0 +1,59 @@
+//! E9 — Properties P1–P4 in action: sweeping the priority completeness `p` from 0 to 1
+//! shows monotonicity (each family's set of preferred repairs only shrinks) down to
+//! categoricity for G-Rep and C-Rep at `p = 1`.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pdqi_core::{FamilyKind, RepairContext};
+use pdqi_datagen::{random_conflict_instance, random_priority};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(9);
+    let (instance, fds) = random_conflict_instance(14, 0.9, &mut rng);
+    let ctx = RepairContext::new(instance, fds);
+
+    eprintln!(
+        "E9: |X-Rep| vs. priority completeness (random instance, {} tuples, {} conflicts, {} repairs)",
+        ctx.instance().len(),
+        ctx.graph().edge_count(),
+        ctx.count_repairs()
+    );
+    eprintln!("  p      Rep   L-Rep  S-Rep  G-Rep  C-Rep");
+    let sweep: Vec<(f64, Vec<u128>)> = [0.0f64, 0.25, 0.5, 0.75, 1.0]
+        .iter()
+        .map(|&p| {
+            let priority = random_priority(Arc::clone(ctx.graph()), p, &mut rng);
+            let counts: Vec<u128> = FamilyKind::ALL
+                .iter()
+                .map(|kind| kind.family().count_preferred(&ctx, &priority))
+                .collect();
+            eprintln!(
+                "  {p:<5.2} {:>5} {:>6} {:>6} {:>6} {:>6}",
+                counts[0], counts[1], counts[2], counts[3], counts[4]
+            );
+            (p, counts)
+        })
+        .collect();
+    drop(sweep);
+
+    let mut group = c.benchmark_group("e9_priority_sweep");
+    group.sample_size(12).measurement_time(Duration::from_millis(700)).warm_up_time(Duration::from_millis(200));
+    for p in [0.0f64, 0.5, 1.0] {
+        let priority = random_priority(Arc::clone(ctx.graph()), p, &mut rng);
+        for kind in [FamilyKind::Global, FamilyKind::Common] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("count_{}", kind.label()), format!("p{p:.2}")),
+                &p,
+                |b, _| b.iter(|| kind.family().count_preferred(&ctx, &priority)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Shared helpers for the `pdqi` benchmark harness.
+//!
+//! Every bench target regenerates one experiment of `EXPERIMENTS.md` (which in turn maps
+//! to a figure, example or row of the paper's Fig. 5 complexity table). The helpers here
+//! keep criterion configuration consistent and build the fixtures shared by several
+//! experiments.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::sync::Arc;
+
+use pdqi_constraints::FdSet;
+use pdqi_core::RepairContext;
+use pdqi_priority::SourceOrder;
+use pdqi_relation::{RelationInstance, RelationSchema, Value, ValueType};
+
+/// The paper's query Q1: "does John earn more than Mary?".
+pub const Q1: &str =
+    "EXISTS d1,s1,r1,d2,s2,r2 . Mgr('Mary',d1,s1,r1) AND Mgr('John',d2,s2,r2) AND s1 < s2";
+
+/// The paper's query Q2: "does Mary earn more than John with fewer reports?".
+pub const Q2: &str = "EXISTS d1,s1,r1,d2,s2,r2 . Mgr('Mary',d1,s1,r1) AND Mgr('John',d2,s2,r2) AND s1 > s2 AND r1 < r2";
+
+/// The integrated `Mgr` instance of Example 1 with its two key dependencies.
+pub fn example1_context() -> RepairContext {
+    let schema = Arc::new(
+        RelationSchema::from_pairs(
+            "Mgr",
+            &[
+                ("Name", ValueType::Name),
+                ("Dept", ValueType::Name),
+                ("Salary", ValueType::Int),
+                ("Reports", ValueType::Int),
+            ],
+        )
+        .expect("valid schema"),
+    );
+    let instance = RelationInstance::from_rows(
+        Arc::clone(&schema),
+        vec![
+            vec!["Mary".into(), "R&D".into(), Value::int(40), Value::int(3)],
+            vec!["John".into(), "R&D".into(), Value::int(10), Value::int(2)],
+            vec!["Mary".into(), "IT".into(), Value::int(20), Value::int(1)],
+            vec!["John".into(), "PR".into(), Value::int(30), Value::int(4)],
+        ],
+    )
+    .expect("valid rows");
+    let fds = FdSet::parse(
+        schema,
+        &["Dept -> Name Salary Reports", "Name -> Dept Salary Reports"],
+    )
+    .expect("valid FDs");
+    RepairContext::new(instance, fds)
+}
+
+/// The Example 3 source-reliability order (`s3` less reliable than `s1` and `s2`) and the
+/// per-tuple source assignment for [`example1_context`].
+pub fn example3_reliability() -> (Vec<String>, SourceOrder) {
+    let mut order = SourceOrder::new();
+    order.prefer("s1", "s3").prefer("s2", "s3");
+    let sources = vec!["s1".to_string(), "s2".to_string(), "s3".to_string(), "s3".to_string()];
+    (sources, order)
+}

@@ -1,0 +1,153 @@
+//! Side-by-side comparison: cleaning vs. preferred consistent query answering.
+//!
+//! Example 3 of the paper makes the case for preference-driven CQA: with only partial
+//! reliability information, cleaning produces a database that is still inconsistent and
+//! answers `Q2` with a misleading `false`, while the preferred-repair semantics answers
+//! `true`. [`compare_answers`] reproduces that comparison for an arbitrary scenario and
+//! is the backbone of the `cleaning_vs_cqa` example and of experiment E10.
+
+use pdqi_constraints::FdSet;
+use pdqi_core::cqa::preferred_consistent_answer;
+use pdqi_core::{FamilyKind, RepairContext};
+use pdqi_priority::Priority;
+use pdqi_query::{Evaluator, Formula, QueryError};
+
+use crate::cleaner::CleaningOutcome;
+use crate::source::Integration;
+
+/// The three answers produced for one closed query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AnswerComparison {
+    /// Plain evaluation of the query over the cleaned database (what a user who trusts
+    /// the cleaning pipeline sees).
+    pub cleaned_answer: bool,
+    /// Whether the cleaned database is still inconsistent (making the previous answer
+    /// potentially meaningless).
+    pub cleaned_still_inconsistent: bool,
+    /// The preferred consistent answer over the *uncleaned* database: `Some(true)` /
+    /// `Some(false)` when determined, `None` when the inconsistency leaves it open.
+    pub preferred_answer: Option<bool>,
+}
+
+/// Evaluates a closed query (a) over the cleaned database and (b) as a preferred
+/// consistent answer over the original integrated instance with the given priority and
+/// family.
+pub fn compare_answers(
+    integration: &Integration,
+    fds: &FdSet,
+    cleaning: &CleaningOutcome,
+    priority: &Priority,
+    family: FamilyKind,
+    query: &Formula,
+) -> Result<AnswerComparison, QueryError> {
+    let cleaned_answer =
+        Evaluator::with_restricted(integration.instance(), &cleaning.kept).eval_closed(query)?;
+    let ctx = RepairContext::new(integration.instance().clone(), fds.clone());
+    let outcome =
+        preferred_consistent_answer(&ctx, priority, family.family().as_ref(), query)?;
+    let preferred_answer = if outcome.certainly_true {
+        Some(true)
+    } else if outcome.certainly_false {
+        Some(false)
+    } else {
+        None
+    };
+    Ok(AnswerComparison {
+        cleaned_answer,
+        cleaned_still_inconsistent: cleaning.still_inconsistent(),
+        preferred_answer,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cleaner::{Cleaner, ResolutionRule};
+    use crate::source::DataSource;
+    use pdqi_constraints::ConflictGraph;
+    use pdqi_priority::{priority_from_source_reliability, SourceOrder};
+    use pdqi_query::parse_formula;
+    use pdqi_relation::{RelationSchema, Value, ValueType};
+    use std::sync::Arc;
+
+    const Q2: &str = "EXISTS d1,s1,r1,d2,s2,r2 . Mgr('Mary',d1,s1,r1) AND Mgr('John',d2,s2,r2) AND s1 > s2 AND r1 < r2";
+
+    fn example3_setup() -> (Integration, FdSet, ConflictGraph, SourceOrder) {
+        let schema = Arc::new(
+            RelationSchema::from_pairs(
+                "Mgr",
+                &[
+                    ("Name", ValueType::Name),
+                    ("Dept", ValueType::Name),
+                    ("Salary", ValueType::Int),
+                    ("Reports", ValueType::Int),
+                ],
+            )
+            .unwrap(),
+        );
+        let sources = vec![
+            DataSource::new(
+                "s1",
+                vec![vec!["Mary".into(), "R&D".into(), Value::int(40), Value::int(3)]],
+                0,
+            ),
+            DataSource::new(
+                "s2",
+                vec![vec!["John".into(), "R&D".into(), Value::int(10), Value::int(2)]],
+                0,
+            ),
+            DataSource::new(
+                "s3",
+                vec![
+                    vec!["Mary".into(), "IT".into(), Value::int(20), Value::int(1)],
+                    vec!["John".into(), "PR".into(), Value::int(30), Value::int(4)],
+                ],
+                0,
+            ),
+        ];
+        let integration = Integration::integrate(Arc::clone(&schema), &sources).unwrap();
+        let fds = FdSet::parse(
+            schema,
+            &["Dept -> Name Salary Reports", "Name -> Dept Salary Reports"],
+        )
+        .unwrap();
+        let graph = ConflictGraph::build(integration.instance(), &fds);
+        let mut order = SourceOrder::new();
+        order.prefer("s1", "s3").prefer("s2", "s3");
+        (integration, fds, graph, order)
+    }
+
+    #[test]
+    fn example_3_cleaning_misleads_while_preferred_cqa_answers_true() {
+        let (integration, fds, graph, order) = example3_setup();
+        let cleaning = Cleaner::new()
+            .with_rule(ResolutionRule::PreferReliableSource(order.clone()))
+            .clean(&integration, &graph);
+        let priority = priority_from_source_reliability(
+            Arc::new(graph.clone()),
+            &integration.primary_sources(),
+            &order,
+        );
+        let q2 = parse_formula(Q2).unwrap();
+        let comparison =
+            compare_answers(&integration, &fds, &cleaning, &priority, FamilyKind::Global, &q2)
+                .unwrap();
+        // The cleaned database answers `false` and is still inconsistent, while the
+        // preferred consistent answer is `true` — exactly the paper's Example 3.
+        assert!(!comparison.cleaned_answer);
+        assert!(comparison.cleaned_still_inconsistent);
+        assert_eq!(comparison.preferred_answer, Some(true));
+    }
+
+    #[test]
+    fn without_preferences_the_answer_is_undetermined() {
+        let (integration, fds, graph, _) = example3_setup();
+        let cleaning = Cleaner::new().clean(&integration, &graph);
+        let empty = Priority::empty(Arc::new(graph));
+        let q2 = parse_formula(Q2).unwrap();
+        let comparison =
+            compare_answers(&integration, &fds, &cleaning, &empty, FamilyKind::Rep, &q2).unwrap();
+        assert_eq!(comparison.preferred_answer, None);
+        assert!(comparison.cleaned_still_inconsistent);
+    }
+}

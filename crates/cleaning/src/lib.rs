@@ -1,0 +1,28 @@
+//! The data-cleaning baseline the paper argues against.
+//!
+//! The paper's introduction contrasts preference-driven consistent query answering with
+//! the traditional data-cleaning pipeline \[16, 18, 23\]: integrate the sources, let the
+//! user supply conflict-resolution rules (timestamps, source reliability, custom logic),
+//! physically remove the losing tuples (or park them in a contingency table) and query
+//! the cleaned database. Its shortcomings — incomplete rules leave the database
+//! inconsistent, deletion loses information, and the incomplete information carried by
+//! the conflicts is never exploited — are precisely what Examples 1–3 illustrate.
+//!
+//! This crate implements that baseline so the comparison can be reproduced:
+//!
+//! * [`source`] — provenance-tagged integration of consistent sources,
+//! * [`cleaner`] — resolution rules (newest timestamp, most reliable source, custom) and
+//!   the cleaning procedure with its contingency table,
+//! * [`compare`] — side-by-side evaluation: plain answers on the cleaned database vs.
+//!   preferred consistent answers on the uncleaned one.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cleaner;
+pub mod compare;
+pub mod source;
+
+pub use cleaner::{Cleaner, CleaningOutcome, ResolutionRule};
+pub use compare::{compare_answers, AnswerComparison};
+pub use source::{DataSource, Integration};

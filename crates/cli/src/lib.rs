@@ -1,0 +1,507 @@
+//! The `pdqi` command-line front end.
+//!
+//! The binary reads a script (from files given on the command line, or from standard
+//! input) consisting of two kinds of lines:
+//!
+//! * **SQL statements** — everything the `pdqi-sql` session understands: `CREATE TABLE`,
+//!   `ALTER TABLE … ADD FD`, `INSERT`, `PREFER … OVER … IN …`, and
+//!   `SELECT … WITH REPAIRS <family>`;
+//! * **meta commands** starting with a dot — inspection helpers that expose the repair
+//!   machinery directly (`.conflicts`, `.repairs`, `.preferred`, `.clean`, `.answer`,
+//!   `.aggregate`, `.properties`, …).
+//!
+//! All of the interpretation lives in [`Interpreter`] so it can be unit-tested without a
+//! terminal; `main.rs` is a thin line-feeding wrapper around it.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::fmt::Write as _;
+
+use pdqi_aggregate::{range_by_enumeration, AggregateFunction, AggregateQuery};
+use pdqi_core::{properties, FamilyKind, PdqiEngine};
+use pdqi_relation::TupleSet;
+use pdqi_sql::{Session, SqlError, StatementOutcome};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Everything that can go wrong while interpreting a line.
+#[derive(Debug)]
+pub enum CliError {
+    /// The underlying SQL session rejected the statement.
+    Sql(SqlError),
+    /// A meta command was malformed or referenced something unknown.
+    Command(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Sql(e) => write!(f, "sql error: {e}"),
+            CliError::Command(message) => write!(f, "{message}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<SqlError> for CliError {
+    fn from(e: SqlError) -> Self {
+        CliError::Sql(e)
+    }
+}
+
+/// The stateful interpreter: a SQL session plus the meta-command layer.
+#[derive(Debug, Default)]
+pub struct Interpreter {
+    session: Session,
+}
+
+impl Interpreter {
+    /// A fresh interpreter with no tables.
+    pub fn new() -> Self {
+        Interpreter { session: Session::new() }
+    }
+
+    /// Access to the underlying SQL session (used by tests and by embedding callers).
+    pub fn session(&self) -> &Session {
+        &self.session
+    }
+
+    /// Interprets one line (an SQL statement or a meta command) and returns the text to
+    /// print. Blank lines and `--` comments produce no output.
+    pub fn run_line(&mut self, line: &str) -> Result<String, CliError> {
+        let trimmed = line.trim().trim_end_matches(';');
+        if trimmed.is_empty() || trimmed.starts_with("--") {
+            return Ok(String::new());
+        }
+        if let Some(command) = trimmed.strip_prefix('.') {
+            return self.run_meta(command);
+        }
+        let outcome = self.session.execute(trimmed)?;
+        Ok(render_outcome(&outcome))
+    }
+
+    /// Interprets a whole script, accumulating the output of every line. Errors are
+    /// reported inline (prefixed with `error:`) and do not abort the rest of the script,
+    /// matching the behaviour of interactive use.
+    pub fn run_script(&mut self, script: &str) -> String {
+        let mut out = String::new();
+        for line in script.lines() {
+            match self.run_line(line) {
+                Ok(text) if text.is_empty() => {}
+                Ok(text) => {
+                    out.push_str(&text);
+                    if !text.ends_with('\n') {
+                        out.push('\n');
+                    }
+                }
+                Err(e) => {
+                    let _ = writeln!(out, "error: {e}");
+                }
+            }
+        }
+        out
+    }
+
+    fn run_meta(&mut self, command: &str) -> Result<String, CliError> {
+        let mut parts = command.split_whitespace();
+        let name = parts.next().unwrap_or_default().to_ascii_lowercase();
+        let args: Vec<&str> = parts.collect();
+        match name.as_str() {
+            "help" => Ok(HELP.to_string()),
+            "tables" => Ok(self.tables()),
+            "schema" => self.schema(&args),
+            "conflicts" => self.conflicts(&args),
+            "count" => self.count(&args),
+            "repairs" => self.repairs(&args),
+            "preferred" => self.preferred(&args),
+            "clean" => self.clean(&args),
+            "answer" => self.answer(&args),
+            "aggregate" => self.aggregate(&args),
+            "properties" => self.properties(&args),
+            other => Err(CliError::Command(format!(
+                "unknown command `.{other}` (try `.help`)"
+            ))),
+        }
+    }
+
+    fn tables(&self) -> String {
+        let names = self.session.table_names();
+        if names.is_empty() {
+            "no tables defined".to_string()
+        } else {
+            names.join("\n")
+        }
+    }
+
+    fn engine_for(&self, args: &[&str], usage: &str) -> Result<(PdqiEngine, String), CliError> {
+        let table = args
+            .first()
+            .ok_or_else(|| CliError::Command(format!("usage: {usage}")))?
+            .to_string();
+        let engine = self.session.engine(&table)?;
+        Ok((engine, table))
+    }
+
+    fn schema(&self, args: &[&str]) -> Result<String, CliError> {
+        let (engine, _) = self.engine_for(args, ".schema <table>")?;
+        let mut out = format!("{}\n", engine.instance().schema());
+        let fds = engine.context().fds().render();
+        if fds.is_empty() {
+            out.push_str("  (no functional dependencies)\n");
+        }
+        for fd in fds {
+            let _ = writeln!(out, "  FD {fd}");
+        }
+        Ok(out)
+    }
+
+    fn conflicts(&self, args: &[&str]) -> Result<String, CliError> {
+        let (engine, table) = self.engine_for(args, ".conflicts <table>")?;
+        let graph = engine.graph();
+        if graph.edge_count() == 0 {
+            return Ok(format!("`{table}` is consistent"));
+        }
+        let mut out = format!(
+            "{} conflicts among {} tuples ({} oriented by preferences)\n",
+            graph.edge_count(),
+            engine.instance().len(),
+            engine.priority().edge_count()
+        );
+        for &(a, b) in graph.edges() {
+            let orientation = if engine.priority().dominates(a, b) {
+                " (first preferred)"
+            } else if engine.priority().dominates(b, a) {
+                " (second preferred)"
+            } else {
+                ""
+            };
+            let _ = writeln!(
+                out,
+                "  {} <-> {}{orientation}",
+                engine.instance().tuple_unchecked(a),
+                engine.instance().tuple_unchecked(b)
+            );
+        }
+        Ok(out)
+    }
+
+    fn count(&self, args: &[&str]) -> Result<String, CliError> {
+        let (engine, table) = self.engine_for(args, ".count <table>")?;
+        Ok(format!("`{table}` has {} repair(s)", engine.count_repairs()))
+    }
+
+    fn repairs(&self, args: &[&str]) -> Result<String, CliError> {
+        let (engine, _) = self.engine_for(args, ".repairs <table> [limit]")?;
+        let limit = parse_limit(args.get(1))?;
+        Ok(render_repairs(&engine, &engine.repairs(limit)))
+    }
+
+    fn preferred(&self, args: &[&str]) -> Result<String, CliError> {
+        let (engine, _) = self.engine_for(args, ".preferred <table> <family> [limit]")?;
+        let family = parse_family(args.get(1))?;
+        let limit = parse_limit(args.get(2))?;
+        let repairs = engine.preferred_repairs(family, limit);
+        Ok(format!(
+            "{} preferred repair(s) under {}\n{}",
+            repairs.len(),
+            family.label(),
+            render_repairs(&engine, &repairs)
+        ))
+    }
+
+    fn clean(&self, args: &[&str]) -> Result<String, CliError> {
+        let (engine, _) = self.engine_for(args, ".clean <table>")?;
+        match engine.clean() {
+            Ok(repair) => Ok(format!(
+                "Algorithm 1 produces the unique repair:\n{}",
+                render_repairs(&engine, &[repair])
+            )),
+            Err(e) => Err(CliError::Command(format!("cannot clean: {e}"))),
+        }
+    }
+
+    fn answer(&self, args: &[&str]) -> Result<String, CliError> {
+        if args.len() < 3 {
+            return Err(CliError::Command(
+                "usage: .answer <table> <family> <closed first-order query>".to_string(),
+            ));
+        }
+        let engine = self.session.engine(args[0])?;
+        let family = parse_family(args.get(1))?;
+        let query = args[2..].join(" ");
+        let outcome = engine
+            .consistent_answer_text(&query, family)
+            .map_err(|e| CliError::Command(format!("query error: {e}")))?;
+        let verdict = if outcome.certainly_true {
+            "certainly true"
+        } else if outcome.certainly_false {
+            "certainly false"
+        } else {
+            "undetermined"
+        };
+        Ok(format!(
+            "{verdict} under {} ({} preferred repair(s) examined)",
+            family.label(),
+            outcome.examined
+        ))
+    }
+
+    fn aggregate(&self, args: &[&str]) -> Result<String, CliError> {
+        if args.len() < 3 {
+            return Err(CliError::Command(
+                "usage: .aggregate <table> <COUNT|SUM|MIN|MAX|AVG> <attribute|*> [family]".to_string(),
+            ));
+        }
+        let engine = self.session.engine(args[0])?;
+        let function = parse_function(args[1])?;
+        let family = parse_family(args.get(3).or(Some(&"ALL")))?;
+        let schema = engine.instance().schema();
+        let query = if function == AggregateFunction::Count && args[2] == "*" {
+            AggregateQuery::count()
+        } else {
+            AggregateQuery::over(schema, function, args[2])
+                .map_err(|e| CliError::Command(format!("bad aggregate: {e}")))?
+        };
+        query
+            .validate(schema)
+            .map_err(|e| CliError::Command(format!("bad aggregate: {e}")))?;
+        let range = range_by_enumeration(
+            engine.context(),
+            engine.priority(),
+            family.family().as_ref(),
+            &query,
+        );
+        Ok(format!(
+            "{}({}) ∈ {} under {}{}",
+            function.label(),
+            args[2],
+            range,
+            family.label(),
+            if range.is_exact() { " (exact)" } else { "" }
+        ))
+    }
+
+    fn properties(&self, args: &[&str]) -> Result<String, CliError> {
+        let (engine, _) = self.engine_for(args, ".properties <table>")?;
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut out = String::from("family  P1     P2     P3     P4\n");
+        for kind in FamilyKind::ALL {
+            let profile = properties::check_profile(
+                kind.family().as_ref(),
+                engine.context(),
+                engine.priority(),
+                3,
+                &mut rng,
+            );
+            let _ = writeln!(
+                out,
+                "{:<7} {:<6} {:<6} {:<6} {:<6}",
+                kind.label(),
+                profile.p1,
+                profile.p2,
+                profile.p3,
+                profile.p4
+            );
+        }
+        Ok(out)
+    }
+}
+
+const HELP: &str = "\
+SQL statements: CREATE TABLE, ALTER TABLE <t> ADD FD <fd>, INSERT INTO <t> VALUES …,
+                PREFER (<row>) OVER (<row>) IN <t>, SELECT … [WITH REPAIRS <family>]
+meta commands:
+  .help                                     this message
+  .tables                                   list tables
+  .schema <table>                           schema and functional dependencies
+  .conflicts <table>                        list conflicting tuple pairs
+  .count <table>                            number of repairs
+  .repairs <table> [limit]                  list repairs
+  .preferred <table> <family> [limit]       list preferred repairs (ALL/L/S/G/C)
+  .clean <table>                            run Algorithm 1 (needs a total priority)
+  .answer <table> <family> <FO query>       preferred consistent answer to a closed query
+  .aggregate <table> <func> <attr> [family] range-consistent aggregate answer
+  .properties <table>                       evaluate P1-P4 for every family";
+
+fn render_outcome(outcome: &StatementOutcome) -> String {
+    match outcome {
+        StatementOutcome::Created => "table created".to_string(),
+        StatementOutcome::FdAdded => "functional dependency added".to_string(),
+        StatementOutcome::Inserted(n) => format!("{n} row(s) inserted"),
+        StatementOutcome::PreferenceAdded => "preference recorded".to_string(),
+        StatementOutcome::Rows(result) => {
+            let mut out = result.columns.join(" | ");
+            out.push('\n');
+            for row in &result.rows {
+                let rendered: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+                out.push_str(&rendered.join(" | "));
+                out.push('\n');
+            }
+            if result.rows.is_empty() {
+                out.push_str("(no rows)\n");
+            }
+            out
+        }
+    }
+}
+
+fn render_repairs(engine: &PdqiEngine, repairs: &[TupleSet]) -> String {
+    let mut out = String::new();
+    for (index, repair) in repairs.iter().enumerate() {
+        let _ = writeln!(out, "repair #{}:", index + 1);
+        for id in repair.iter() {
+            let _ = writeln!(out, "  {}", engine.instance().tuple_unchecked(id));
+        }
+    }
+    out
+}
+
+fn parse_limit(arg: Option<&&str>) -> Result<usize, CliError> {
+    match arg {
+        None => Ok(20),
+        Some(text) => text
+            .parse()
+            .map_err(|_| CliError::Command(format!("`{text}` is not a valid limit"))),
+    }
+}
+
+fn parse_family(arg: Option<&&str>) -> Result<FamilyKind, CliError> {
+    let text = arg.copied().unwrap_or("ALL");
+    FamilyKind::parse(text)
+        .ok_or_else(|| CliError::Command(format!("`{text}` is not a repair family (use ALL, L, S, G or C)")))
+}
+
+fn parse_function(text: &str) -> Result<AggregateFunction, CliError> {
+    match text.to_ascii_uppercase().as_str() {
+        "COUNT" => Ok(AggregateFunction::Count),
+        "SUM" => Ok(AggregateFunction::Sum),
+        "MIN" => Ok(AggregateFunction::Min),
+        "MAX" => Ok(AggregateFunction::Max),
+        "AVG" => Ok(AggregateFunction::Avg),
+        other => Err(CliError::Command(format!("`{other}` is not an aggregate function"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Example 1 as a CLI script.
+    fn example1_script() -> &'static str {
+        "CREATE TABLE Mgr (Name TEXT, Dept TEXT, Salary INT, Reports INT);\n\
+         ALTER TABLE Mgr ADD FD Dept -> Name Salary Reports;\n\
+         ALTER TABLE Mgr ADD FD Name -> Dept Salary Reports;\n\
+         INSERT INTO Mgr VALUES ('Mary','R&D',40,3), ('John','R&D',10,2);\n\
+         INSERT INTO Mgr VALUES ('Mary','IT',20,1), ('John','PR',30,4);"
+    }
+
+    fn loaded() -> Interpreter {
+        let mut interpreter = Interpreter::new();
+        let output = interpreter.run_script(example1_script());
+        assert!(!output.contains("error"), "setup failed: {output}");
+        interpreter
+    }
+
+    #[test]
+    fn sql_statements_flow_through_the_session() {
+        let mut interpreter = loaded();
+        let out = interpreter.run_line(".tables").unwrap();
+        assert_eq!(out.trim(), "Mgr");
+        let out = interpreter.run_line(".count Mgr").unwrap();
+        assert!(out.contains("3 repair(s)"));
+        let out = interpreter.run_line("SELECT Name FROM Mgr WITH REPAIRS ALL").unwrap();
+        assert!(out.contains("Name"));
+    }
+
+    #[test]
+    fn conflicts_and_repairs_are_rendered() {
+        let mut interpreter = loaded();
+        let conflicts = interpreter.run_line(".conflicts Mgr").unwrap();
+        assert!(conflicts.contains("3 conflicts"));
+        let repairs = interpreter.run_line(".repairs Mgr").unwrap();
+        assert_eq!(repairs.matches("repair #").count(), 3);
+        let schema = interpreter.run_line(".schema Mgr").unwrap();
+        assert!(schema.contains("FD"));
+    }
+
+    #[test]
+    fn preferences_drive_preferred_repairs_and_answers() {
+        let mut interpreter = loaded();
+        interpreter
+            .run_line("PREFER ('Mary','R&D',40,3) OVER ('Mary','IT',20,1) IN Mgr")
+            .unwrap();
+        interpreter
+            .run_line("PREFER ('John','R&D',10,2) OVER ('John','PR',30,4) IN Mgr")
+            .unwrap();
+        let preferred = interpreter.run_line(".preferred Mgr G").unwrap();
+        assert!(preferred.starts_with("2 preferred repair(s)"));
+        let answer = interpreter
+            .run_line(
+                ".answer Mgr G EXISTS d1,s1,r1,d2,s2,r2 . Mgr('Mary',d1,s1,r1) AND \
+                 Mgr('John',d2,s2,r2) AND s1 > s2 AND r1 < r2",
+            )
+            .unwrap();
+        assert!(answer.contains("certainly true"));
+        let undetermined = interpreter
+            .run_line(
+                ".answer Mgr ALL EXISTS d1,s1,r1,d2,s2,r2 . Mgr('Mary',d1,s1,r1) AND \
+                 Mgr('John',d2,s2,r2) AND s1 > s2 AND r1 < r2",
+            )
+            .unwrap();
+        assert!(undetermined.contains("undetermined"));
+    }
+
+    #[test]
+    fn aggregates_and_properties_work() {
+        let mut interpreter = loaded();
+        let sum = interpreter.run_line(".aggregate Mgr SUM Salary").unwrap();
+        assert!(sum.contains("SUM(Salary)"));
+        assert!(sum.contains("[30, 70]"));
+        let count = interpreter.run_line(".aggregate Mgr COUNT *").unwrap();
+        assert!(count.contains("(exact)"));
+        let properties = interpreter.run_line(".properties Mgr").unwrap();
+        assert!(properties.contains("G-Rep"));
+    }
+
+    #[test]
+    fn cleaning_requires_a_total_priority() {
+        let mut interpreter = loaded();
+        let error = interpreter.run_line(".clean Mgr");
+        assert!(error.is_err());
+        interpreter
+            .run_line("PREFER ('Mary','R&D',40,3) OVER ('Mary','IT',20,1) IN Mgr")
+            .unwrap();
+        interpreter
+            .run_line("PREFER ('Mary','R&D',40,3) OVER ('John','R&D',10,2) IN Mgr")
+            .unwrap();
+        interpreter
+            .run_line("PREFER ('John','PR',30,4) OVER ('John','R&D',10,2) IN Mgr")
+            .unwrap();
+        let cleaned = interpreter.run_line(".clean Mgr").unwrap();
+        assert!(cleaned.contains("unique repair"));
+        assert!(cleaned.contains("Mary"));
+    }
+
+    #[test]
+    fn errors_are_reported_without_aborting_the_script() {
+        let mut interpreter = Interpreter::new();
+        let output = interpreter.run_script(
+            "CREATE TABLE T (A INT, B INT);\n.unknowncommand\nINSERT INTO T VALUES (1, 2);\n.count Nope",
+        );
+        assert!(output.contains("error: unknown command"));
+        assert!(output.contains("1 row(s) inserted"));
+        assert!(output.contains("error: sql error"));
+    }
+
+    #[test]
+    fn malformed_meta_commands_produce_usage_messages() {
+        let mut interpreter = loaded();
+        assert!(interpreter.run_line(".repairs").is_err());
+        assert!(interpreter.run_line(".preferred Mgr NOPE").is_err());
+        assert!(interpreter.run_line(".aggregate Mgr MEDIAN Salary").is_err());
+        assert!(interpreter.run_line(".repairs Mgr notanumber").is_err());
+        assert!(interpreter.run_line(".answer Mgr").is_err());
+    }
+}

@@ -1,0 +1,35 @@
+//! The `pdqi` binary: feed SQL + meta-command scripts to the [`pdqi_cli::Interpreter`].
+//!
+//! Usage:
+//!
+//! ```text
+//! pdqi script1.sql script2.sql   # run the given scripts in order
+//! pdqi                           # read a script from standard input
+//! ```
+
+use std::io::Read;
+
+fn main() {
+    let mut interpreter = pdqi_cli::Interpreter::new();
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+
+    if paths.is_empty() {
+        let mut script = String::new();
+        if std::io::stdin().read_to_string(&mut script).is_err() {
+            eprintln!("error: could not read a script from standard input");
+            std::process::exit(1);
+        }
+        print!("{}", interpreter.run_script(&script));
+        return;
+    }
+
+    for path in paths {
+        match std::fs::read_to_string(&path) {
+            Ok(script) => print!("{}", interpreter.run_script(&script)),
+            Err(e) => {
+                eprintln!("error: cannot read `{path}`: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

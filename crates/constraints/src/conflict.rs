@@ -1,0 +1,398 @@
+//! Conflict graphs.
+//!
+//! Given an instance `r` and a set of functional dependencies `F`, the **conflict graph**
+//! has the tuples of `r` as vertices and an edge between every pair of tuples that
+//! conflict with some FD of `F` (Section 2.1 of the paper). Conflict graphs are a compact
+//! representation of the repair space: the repairs of `r` are exactly the maximal
+//! independent sets of the conflict graph.
+//!
+//! Construction groups tuples by their left-hand-side projection for every FD, so the
+//! cost is proportional to the number of tuples plus the number of genuinely comparable
+//! pairs rather than always quadratic in the instance size.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use pdqi_relation::{RelationInstance, TupleId, TupleSet, Value};
+
+use crate::fd::FdSet;
+
+/// The conflict graph of an instance w.r.t. a set of functional dependencies.
+#[derive(Debug, Clone)]
+pub struct ConflictGraph {
+    /// Neighbourhood `n(t)` per tuple id (indexed by `TupleId::index()`).
+    neighbors: Vec<TupleSet>,
+    /// All conflict edges, each stored once with the smaller id first.
+    edges: Vec<(TupleId, TupleId)>,
+}
+
+impl ConflictGraph {
+    /// Builds the conflict graph of `instance` w.r.t. `fds`.
+    pub fn build(instance: &RelationInstance, fds: &FdSet) -> Self {
+        let n = instance.len();
+        let mut neighbors = vec![TupleSet::with_capacity(n); n];
+        let mut edges = Vec::new();
+        for fd in fds.fds() {
+            if fd.is_trivial() {
+                continue;
+            }
+            // Group tuples by their projection on the FD's left-hand side; only tuples in
+            // the same group can conflict with this FD.
+            let mut groups: HashMap<Vec<Value>, Vec<TupleId>> = HashMap::new();
+            for (id, tuple) in instance.iter() {
+                groups.entry(tuple.project(fd.lhs())).or_default().push(id);
+            }
+            for group in groups.values() {
+                for (i, &a) in group.iter().enumerate() {
+                    let ta = instance.tuple_unchecked(a);
+                    for &b in &group[i + 1..] {
+                        let tb = instance.tuple_unchecked(b);
+                        if ta.differs_on(tb, fd.rhs()) && !neighbors[a.index()].contains(b) {
+                            neighbors[a.index()].insert(b);
+                            neighbors[b.index()].insert(a);
+                            edges.push((a.min(b), a.max(b)));
+                        }
+                    }
+                }
+            }
+        }
+        edges.sort_unstable();
+        edges.dedup();
+        ConflictGraph { neighbors, edges }
+    }
+
+    /// Builds a conflict graph directly from an edge list (used by generators and tests
+    /// that construct graph shapes without materialising tuples first).
+    pub fn from_edges(vertex_count: usize, edge_list: &[(TupleId, TupleId)]) -> Self {
+        let mut neighbors = vec![TupleSet::with_capacity(vertex_count); vertex_count];
+        let mut edges = Vec::with_capacity(edge_list.len());
+        for &(a, b) in edge_list {
+            if a == b {
+                continue;
+            }
+            if !neighbors[a.index()].contains(b) {
+                neighbors[a.index()].insert(b);
+                neighbors[b.index()].insert(a);
+                edges.push((a.min(b), a.max(b)));
+            }
+        }
+        edges.sort_unstable();
+        edges.dedup();
+        ConflictGraph { neighbors, edges }
+    }
+
+    /// Number of vertices (tuples of the underlying instance).
+    pub fn vertex_count(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// Number of conflict edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// All conflict edges (smaller id first).
+    pub fn edges(&self) -> &[(TupleId, TupleId)] {
+        &self.edges
+    }
+
+    /// The neighbourhood `n(t)`: all tuples conflicting with `t`.
+    pub fn neighbors(&self, t: TupleId) -> &TupleSet {
+        &self.neighbors[t.index()]
+    }
+
+    /// The vicinity `v(t) = {t} ∪ n(t)`.
+    pub fn vicinity(&self, t: TupleId) -> TupleSet {
+        let mut v = self.neighbors[t.index()].clone();
+        v.insert(t);
+        v
+    }
+
+    /// Whether `a` and `b` are conflicting (adjacent).
+    pub fn are_conflicting(&self, a: TupleId, b: TupleId) -> bool {
+        self.neighbors[a.index()].contains(b)
+    }
+
+    /// The degree of `t` in the conflict graph.
+    pub fn degree(&self, t: TupleId) -> usize {
+        self.neighbors[t.index()].len()
+    }
+
+    /// The maximum degree over all vertices (0 for an empty graph).
+    pub fn max_degree(&self) -> usize {
+        (0..self.vertex_count()).map(|i| self.neighbors[i].len()).max().unwrap_or(0)
+    }
+
+    /// The vertices that participate in no conflict.
+    pub fn isolated_vertices(&self) -> TupleSet {
+        (0..self.vertex_count())
+            .filter(|&i| self.neighbors[i].is_empty())
+            .map(|i| TupleId(i as u32))
+            .collect()
+    }
+
+    /// Whether the set `s` is independent: no two members are adjacent.
+    pub fn is_independent(&self, s: &TupleSet) -> bool {
+        s.iter().all(|t| self.neighbors[t.index()].is_disjoint_from(s))
+    }
+
+    /// Whether `s` is a *maximal* independent set: independent, and every vertex outside
+    /// `s` has a neighbour inside `s`. Maximal independent sets are exactly the repairs.
+    pub fn is_maximal_independent(&self, s: &TupleSet) -> bool {
+        if !self.is_independent(s) {
+            return false;
+        }
+        (0..self.vertex_count()).all(|i| {
+            let t = TupleId(i as u32);
+            s.contains(t) || !self.neighbors[i].is_disjoint_from(s)
+        })
+    }
+
+    /// The connected components of the conflict graph, each as a set of tuple ids.
+    /// Components are the unit of divide-and-conquer for repair enumeration: repairs of
+    /// the whole instance are exactly the unions of one repair per component.
+    pub fn connected_components(&self) -> Vec<TupleSet> {
+        let n = self.vertex_count();
+        let mut component = vec![usize::MAX; n];
+        let mut components = Vec::new();
+        for start in 0..n {
+            if component[start] != usize::MAX {
+                continue;
+            }
+            let idx = components.len();
+            let mut members = TupleSet::with_capacity(n);
+            let mut stack = vec![start];
+            component[start] = idx;
+            while let Some(v) = stack.pop() {
+                members.insert(TupleId(v as u32));
+                for u in self.neighbors[v].iter() {
+                    if component[u.index()] == usize::MAX {
+                        component[u.index()] = idx;
+                        stack.push(u.index());
+                    }
+                }
+            }
+            components.push(members);
+        }
+        components
+    }
+
+    /// Greedily completes the independent set `s` into a maximal independent set,
+    /// preferring lower tuple ids. `s` must be independent.
+    pub fn complete_to_maximal(&self, s: &TupleSet) -> TupleSet {
+        debug_assert!(self.is_independent(s));
+        let mut result = s.clone();
+        let mut blocked = TupleSet::with_capacity(self.vertex_count());
+        for t in s.iter() {
+            blocked.union_with(&self.neighbors[t.index()]);
+        }
+        for i in 0..self.vertex_count() {
+            let t = TupleId(i as u32);
+            if !result.contains(t) && !blocked.contains(t) {
+                result.insert(t);
+                blocked.union_with(&self.neighbors[i]);
+            }
+        }
+        result
+    }
+
+    /// Summary statistics used by the benchmark harness.
+    pub fn stats(&self) -> ConflictGraphStats {
+        let components = self.connected_components();
+        ConflictGraphStats {
+            vertices: self.vertex_count(),
+            edges: self.edge_count(),
+            max_degree: self.max_degree(),
+            isolated: self.isolated_vertices().len(),
+            components: components.len(),
+            largest_component: components.iter().map(TupleSet::len).max().unwrap_or(0),
+        }
+    }
+}
+
+/// Aggregate shape statistics of a conflict graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConflictGraphStats {
+    /// Number of tuples.
+    pub vertices: usize,
+    /// Number of conflict edges.
+    pub edges: usize,
+    /// Maximum degree.
+    pub max_degree: usize,
+    /// Number of tuples involved in no conflict.
+    pub isolated: usize,
+    /// Number of connected components.
+    pub components: usize,
+    /// Size of the largest connected component.
+    pub largest_component: usize,
+}
+
+impl fmt::Display for ConflictGraphStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} vertices, {} edges, max degree {}, {} isolated, {} components (largest {})",
+            self.vertices, self.edges, self.max_degree, self.isolated, self.components,
+            self.largest_component
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fd::FdSet;
+    use pdqi_relation::{RelationSchema, Value, ValueType};
+    use std::sync::Arc;
+
+    /// The instance r_n of Example 4: {(i, 0), (i, 1) | i < n} with FD A -> B.
+    fn example4(n: i64) -> (RelationInstance, FdSet) {
+        let schema = Arc::new(
+            RelationSchema::from_pairs("R", &[("A", ValueType::Int), ("B", ValueType::Int)]).unwrap(),
+        );
+        let mut rows = Vec::new();
+        for i in 0..n {
+            rows.push(vec![Value::int(i), Value::int(0)]);
+            rows.push(vec![Value::int(i), Value::int(1)]);
+        }
+        let instance = RelationInstance::from_rows(Arc::clone(&schema), rows).unwrap();
+        let fds = FdSet::parse(schema, &["A -> B"]).unwrap();
+        (instance, fds)
+    }
+
+    /// The Mgr instance of Example 1 with its two key dependencies.
+    fn example1() -> (RelationInstance, FdSet) {
+        let schema = Arc::new(
+            RelationSchema::from_pairs(
+                "Mgr",
+                &[
+                    ("Name", ValueType::Name),
+                    ("Dept", ValueType::Name),
+                    ("Salary", ValueType::Int),
+                    ("Reports", ValueType::Int),
+                ],
+            )
+            .unwrap(),
+        );
+        let rows = vec![
+            vec!["Mary".into(), "R&D".into(), Value::int(40), Value::int(3)],
+            vec!["John".into(), "R&D".into(), Value::int(10), Value::int(2)],
+            vec!["Mary".into(), "IT".into(), Value::int(20), Value::int(1)],
+            vec!["John".into(), "PR".into(), Value::int(30), Value::int(4)],
+        ];
+        let instance = RelationInstance::from_rows(Arc::clone(&schema), rows).unwrap();
+        let fds = FdSet::parse(
+            schema,
+            &["Dept -> Name Salary Reports", "Name -> Dept Salary Reports"],
+        )
+        .unwrap();
+        (instance, fds)
+    }
+
+    #[test]
+    fn example_1_has_exactly_three_conflicts() {
+        let (instance, fds) = example1();
+        let graph = ConflictGraph::build(&instance, &fds);
+        assert_eq!(graph.vertex_count(), 4);
+        assert_eq!(graph.edge_count(), 3);
+        // (Mary,R&D) conflicts with (John,R&D) and (Mary,IT); (John,R&D) with (John,PR).
+        assert!(graph.are_conflicting(TupleId(0), TupleId(1)));
+        assert!(graph.are_conflicting(TupleId(0), TupleId(2)));
+        assert!(graph.are_conflicting(TupleId(1), TupleId(3)));
+        assert!(!graph.are_conflicting(TupleId(2), TupleId(3)));
+        assert_eq!(graph.degree(TupleId(0)), 2);
+        assert_eq!(graph.vicinity(TupleId(3)).len(), 2);
+    }
+
+    #[test]
+    fn example_4_is_a_perfect_matching() {
+        let (instance, fds) = example4(4);
+        let graph = ConflictGraph::build(&instance, &fds);
+        assert_eq!(graph.vertex_count(), 8);
+        assert_eq!(graph.edge_count(), 4);
+        assert_eq!(graph.max_degree(), 1);
+        assert_eq!(graph.connected_components().len(), 4);
+    }
+
+    #[test]
+    fn conflicting_pairs_are_only_counted_once_across_fds() {
+        // Both FDs A->B and A->C generate a conflict for the same pair: one edge.
+        let schema = Arc::new(
+            RelationSchema::from_pairs(
+                "R",
+                &[("A", ValueType::Int), ("B", ValueType::Int), ("C", ValueType::Int)],
+            )
+            .unwrap(),
+        );
+        let instance = RelationInstance::from_rows(
+            Arc::clone(&schema),
+            vec![
+                vec![Value::int(1), Value::int(1), Value::int(1)],
+                vec![Value::int(1), Value::int(2), Value::int(2)],
+            ],
+        )
+        .unwrap();
+        let fds = FdSet::parse(schema, &["A -> B", "A -> C"]).unwrap();
+        let graph = ConflictGraph::build(&instance, &fds);
+        assert_eq!(graph.edge_count(), 1);
+    }
+
+    #[test]
+    fn consistent_instance_has_no_edges() {
+        let (instance, fds) = example1();
+        let consistent = instance.restrict(&TupleSet::from_ids([TupleId(2), TupleId(3)]));
+        let graph = ConflictGraph::build(&consistent, &fds);
+        assert_eq!(graph.edge_count(), 0);
+        assert_eq!(graph.isolated_vertices().len(), 2);
+    }
+
+    #[test]
+    fn independence_and_maximality() {
+        let (instance, fds) = example1();
+        let graph = ConflictGraph::build(&instance, &fds);
+        // The three repairs of Example 2.
+        let r1 = TupleSet::from_ids([TupleId(0), TupleId(3)]);
+        let r2 = TupleSet::from_ids([TupleId(1), TupleId(2)]);
+        let r3 = TupleSet::from_ids([TupleId(2), TupleId(3)]);
+        for r in [&r1, &r2, &r3] {
+            assert!(graph.is_independent(r));
+            assert!(graph.is_maximal_independent(r));
+        }
+        // {Mary-IT} alone is independent but not maximal; {Mary-R&D, John-R&D} not independent.
+        assert!(graph.is_independent(&TupleSet::from_ids([TupleId(2)])));
+        assert!(!graph.is_maximal_independent(&TupleSet::from_ids([TupleId(2)])));
+        assert!(!graph.is_independent(&TupleSet::from_ids([TupleId(0), TupleId(1)])));
+    }
+
+    #[test]
+    fn completion_produces_a_maximal_independent_set() {
+        let (instance, fds) = example1();
+        let graph = ConflictGraph::build(&instance, &fds);
+        let completed = graph.complete_to_maximal(&TupleSet::from_ids([TupleId(2)]));
+        assert!(graph.is_maximal_independent(&completed));
+        assert!(completed.contains(TupleId(2)));
+    }
+
+    #[test]
+    fn from_edges_ignores_loops_and_duplicates() {
+        let graph = ConflictGraph::from_edges(
+            3,
+            &[(TupleId(0), TupleId(1)), (TupleId(1), TupleId(0)), (TupleId(2), TupleId(2))],
+        );
+        assert_eq!(graph.edge_count(), 1);
+        assert_eq!(graph.degree(TupleId(2)), 0);
+    }
+
+    #[test]
+    fn stats_summarise_the_graph_shape() {
+        let (instance, fds) = example4(3);
+        let graph = ConflictGraph::build(&instance, &fds);
+        let stats = graph.stats();
+        assert_eq!(stats.vertices, 6);
+        assert_eq!(stats.edges, 3);
+        assert_eq!(stats.components, 3);
+        assert_eq!(stats.largest_component, 2);
+        assert_eq!(stats.isolated, 0);
+        assert!(stats.to_string().contains("6 vertices"));
+    }
+}

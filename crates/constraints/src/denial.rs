@@ -1,0 +1,327 @@
+//! Denial constraints.
+//!
+//! The paper's concluding section observes that conflict graphs generalise to conflict
+//! *hypergraphs* when the constraint class is widened from functional dependencies to
+//! denial constraints [6]: statements of the form
+//!
+//! ```text
+//!     ¬ ∃ t1, …, tk ∈ R .  φ(t1, …, tk)
+//! ```
+//!
+//! where `φ` is a conjunction of comparisons between attributes of the quantified tuples
+//! and constants. A set of tuples *violates* the constraint when some assignment of the
+//! tuple variables to (not necessarily distinct) tuples of the set satisfies `φ`.
+
+use std::fmt;
+use std::sync::Arc;
+
+use pdqi_relation::{AttrId, RelationSchema, Tuple, Value};
+
+use crate::fd::FunctionalDependency;
+use crate::{ConstraintError, Result};
+
+/// A comparison operator usable inside a denial constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CompOp {
+    /// `=`
+    Eq,
+    /// `≠`
+    Neq,
+    /// `<`
+    Lt,
+    /// `≤`
+    Le,
+    /// `>`
+    Gt,
+    /// `≥`
+    Ge,
+}
+
+impl CompOp {
+    /// Evaluates the comparison on two values. Equality and inequality are defined on
+    /// all values; order comparisons require both operands to be integers.
+    pub fn eval(self, left: &Value, right: &Value) -> Result<bool, pdqi_relation::RelationError> {
+        match self {
+            CompOp::Eq => Ok(left == right),
+            CompOp::Neq => Ok(left != right),
+            CompOp::Lt => Ok(left.try_cmp(right)?.is_lt()),
+            CompOp::Le => Ok(left.try_cmp(right)?.is_le()),
+            CompOp::Gt => Ok(left.try_cmp(right)?.is_gt()),
+            CompOp::Ge => Ok(left.try_cmp(right)?.is_ge()),
+        }
+    }
+
+    /// The negated operator (`<` ↔ `≥`, `=` ↔ `≠`, ...).
+    pub fn negate(self) -> CompOp {
+        match self {
+            CompOp::Eq => CompOp::Neq,
+            CompOp::Neq => CompOp::Eq,
+            CompOp::Lt => CompOp::Ge,
+            CompOp::Le => CompOp::Gt,
+            CompOp::Gt => CompOp::Le,
+            CompOp::Ge => CompOp::Lt,
+        }
+    }
+}
+
+impl fmt::Display for CompOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CompOp::Eq => "=",
+            CompOp::Neq => "!=",
+            CompOp::Lt => "<",
+            CompOp::Le => "<=",
+            CompOp::Gt => ">",
+            CompOp::Ge => ">=",
+        })
+    }
+}
+
+/// A term inside a denial-constraint comparison: an attribute of one of the quantified
+/// tuple variables, or a constant.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum DenialTerm {
+    /// `t<var>.<attr>`.
+    Attr {
+        /// Index of the tuple variable (0-based).
+        var: usize,
+        /// Attribute of that tuple.
+        attr: AttrId,
+    },
+    /// A constant value.
+    Const(Value),
+}
+
+impl DenialTerm {
+    fn resolve<'a>(&'a self, assignment: &'a [&Tuple]) -> &'a Value {
+        match self {
+            DenialTerm::Attr { var, attr } => assignment[*var].get(*attr),
+            DenialTerm::Const(v) => v,
+        }
+    }
+}
+
+/// One comparison atom of a denial constraint.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct DenialAtom {
+    /// Left operand.
+    pub left: DenialTerm,
+    /// Comparison operator.
+    pub op: CompOp,
+    /// Right operand.
+    pub right: DenialTerm,
+}
+
+/// A denial constraint `¬∃ t1..tk ∈ R . atom₁ ∧ … ∧ atomₘ`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DenialConstraint {
+    schema: Arc<RelationSchema>,
+    tuple_vars: usize,
+    atoms: Vec<DenialAtom>,
+}
+
+impl DenialConstraint {
+    /// Creates a denial constraint, validating that every referenced tuple variable is in
+    /// range.
+    pub fn new(
+        schema: Arc<RelationSchema>,
+        tuple_vars: usize,
+        atoms: Vec<DenialAtom>,
+    ) -> Result<Self> {
+        for atom in &atoms {
+            for term in [&atom.left, &atom.right] {
+                if let DenialTerm::Attr { var, .. } = term {
+                    if *var >= tuple_vars {
+                        return Err(ConstraintError::BadTupleVariable {
+                            var: *var,
+                            declared: tuple_vars,
+                        });
+                    }
+                }
+            }
+        }
+        Ok(DenialConstraint { schema, tuple_vars, atoms })
+    }
+
+    /// The relation schema the constraint is defined over.
+    pub fn schema(&self) -> &Arc<RelationSchema> {
+        &self.schema
+    }
+
+    /// The number of quantified tuple variables `k`.
+    pub fn tuple_vars(&self) -> usize {
+        self.tuple_vars
+    }
+
+    /// The comparison atoms.
+    pub fn atoms(&self) -> &[DenialAtom] {
+        &self.atoms
+    }
+
+    /// Whether the given assignment of tuples to the tuple variables satisfies the body
+    /// `φ` (i.e. witnesses a violation). Order comparisons on non-integer values make the
+    /// atom false rather than an error: a denial constraint simply cannot be violated by
+    /// values it cannot compare.
+    pub fn body_satisfied(&self, assignment: &[&Tuple]) -> bool {
+        debug_assert_eq!(assignment.len(), self.tuple_vars);
+        self.atoms.iter().all(|atom| {
+            let left = atom.left.resolve(assignment);
+            let right = atom.right.resolve(assignment);
+            atom.op.eval(left, right).unwrap_or(false)
+        })
+    }
+
+    /// The denial constraints equivalent to a functional dependency `X → Y`: one
+    /// two-variable constraint per attribute `B ∈ Y`, namely
+    /// `¬∃ t1,t2 . t1.X = t2.X ∧ t1.B ≠ t2.B`.
+    pub fn from_fd(schema: Arc<RelationSchema>, fd: &FunctionalDependency) -> Vec<DenialConstraint> {
+        fd.rhs()
+            .iter()
+            .map(|b| {
+                let mut atoms: Vec<DenialAtom> = fd
+                    .lhs()
+                    .iter()
+                    .map(|a| DenialAtom {
+                        left: DenialTerm::Attr { var: 0, attr: a },
+                        op: CompOp::Eq,
+                        right: DenialTerm::Attr { var: 1, attr: a },
+                    })
+                    .collect();
+                atoms.push(DenialAtom {
+                    left: DenialTerm::Attr { var: 0, attr: b },
+                    op: CompOp::Neq,
+                    right: DenialTerm::Attr { var: 1, attr: b },
+                });
+                DenialConstraint::new(Arc::clone(&schema), 2, atoms)
+                    .expect("FD-derived constraints only use variables 0 and 1")
+            })
+            .collect()
+    }
+
+    /// Renders the constraint with attribute names.
+    pub fn render(&self) -> String {
+        let term = |t: &DenialTerm| match t {
+            DenialTerm::Attr { var, attr } => {
+                format!("t{}.{}", var + 1, self.schema.attribute(*attr).name)
+            }
+            DenialTerm::Const(v) => v.to_string(),
+        };
+        let body = self
+            .atoms
+            .iter()
+            .map(|a| format!("{} {} {}", term(&a.left), a.op, term(&a.right)))
+            .collect::<Vec<_>>()
+            .join(" AND ");
+        let vars = (1..=self.tuple_vars).map(|i| format!("t{i}")).collect::<Vec<_>>().join(",");
+        format!("NOT EXISTS {vars} IN {} . {body}", self.schema.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdqi_relation::ValueType;
+
+    fn schema() -> Arc<RelationSchema> {
+        Arc::new(
+            RelationSchema::from_pairs(
+                "Emp",
+                &[("Name", ValueType::Name), ("Dept", ValueType::Name), ("Salary", ValueType::Int)],
+            )
+            .unwrap(),
+        )
+    }
+
+    fn tuple(name: &str, dept: &str, salary: i64) -> Tuple {
+        schema().tuple(vec![name.into(), dept.into(), Value::int(salary)]).unwrap()
+    }
+
+    #[test]
+    fn comparison_operators_evaluate_on_integers() {
+        assert!(CompOp::Lt.eval(&Value::int(1), &Value::int(2)).unwrap());
+        assert!(CompOp::Ge.eval(&Value::int(2), &Value::int(2)).unwrap());
+        assert!(!CompOp::Gt.eval(&Value::int(1), &Value::int(2)).unwrap());
+        assert!(CompOp::Neq.eval(&Value::name("a"), &Value::name("b")).unwrap());
+        assert!(CompOp::Lt.eval(&Value::name("a"), &Value::name("b")).is_err());
+    }
+
+    #[test]
+    fn negation_is_an_involution() {
+        for op in [CompOp::Eq, CompOp::Neq, CompOp::Lt, CompOp::Le, CompOp::Gt, CompOp::Ge] {
+            assert_eq!(op.negate().negate(), op);
+        }
+    }
+
+    #[test]
+    fn out_of_range_tuple_variable_is_rejected() {
+        let err = DenialConstraint::new(
+            schema(),
+            1,
+            vec![DenialAtom {
+                left: DenialTerm::Attr { var: 1, attr: AttrId(0) },
+                op: CompOp::Eq,
+                right: DenialTerm::Const(Value::int(0)),
+            }],
+        )
+        .unwrap_err();
+        assert!(matches!(err, ConstraintError::BadTupleVariable { var: 1, declared: 1 }));
+    }
+
+    #[test]
+    fn single_tuple_denial_constraint() {
+        // No employee earns more than 100: NOT EXISTS t1 . t1.Salary > 100
+        let dc = DenialConstraint::new(
+            schema(),
+            1,
+            vec![DenialAtom {
+                left: DenialTerm::Attr { var: 0, attr: AttrId(2) },
+                op: CompOp::Gt,
+                right: DenialTerm::Const(Value::int(100)),
+            }],
+        )
+        .unwrap();
+        assert!(dc.body_satisfied(&[&tuple("Mary", "R&D", 150)]));
+        assert!(!dc.body_satisfied(&[&tuple("Mary", "R&D", 50)]));
+    }
+
+    #[test]
+    fn fd_translates_to_denial_constraints() {
+        let s = schema();
+        let fd = FunctionalDependency::parse(&s, "Name -> Dept Salary").unwrap();
+        let dcs = DenialConstraint::from_fd(Arc::clone(&s), &fd);
+        assert_eq!(dcs.len(), 2);
+        let mary_rd = tuple("Mary", "R&D", 40);
+        let mary_it = tuple("Mary", "IT", 40);
+        // The Dept-constraint is violated by (mary_rd, mary_it); the Salary one is not.
+        let violated: Vec<bool> =
+            dcs.iter().map(|dc| dc.body_satisfied(&[&mary_rd, &mary_it])).collect();
+        assert_eq!(violated.iter().filter(|v| **v).count(), 1);
+        // The same tuple twice never witnesses a violation of an FD-derived constraint.
+        assert!(dcs.iter().all(|dc| !dc.body_satisfied(&[&mary_rd, &mary_rd])));
+    }
+
+    #[test]
+    fn order_comparison_on_names_cannot_witness_a_violation() {
+        let dc = DenialConstraint::new(
+            schema(),
+            1,
+            vec![DenialAtom {
+                left: DenialTerm::Attr { var: 0, attr: AttrId(0) },
+                op: CompOp::Lt,
+                right: DenialTerm::Const(Value::name("Zzz")),
+            }],
+        )
+        .unwrap();
+        assert!(!dc.body_satisfied(&[&tuple("Mary", "R&D", 40)]));
+    }
+
+    #[test]
+    fn render_mentions_attribute_names_and_operators() {
+        let s = schema();
+        let fd = FunctionalDependency::parse(&s, "Name -> Dept").unwrap();
+        let dc = &DenialConstraint::from_fd(Arc::clone(&s), &fd)[0];
+        let text = dc.render();
+        assert!(text.contains("t1.Name = t2.Name"));
+        assert!(text.contains("t1.Dept != t2.Dept"));
+    }
+}

@@ -1,0 +1,427 @@
+//! Functional dependencies.
+//!
+//! A functional dependency `X → Y` over a relation schema states that any two tuples
+//! agreeing on every attribute of `X` must also agree on every attribute of `Y`
+//! (formula (1) of the paper). Two tuples *conflict* w.r.t. `X → Y` when they agree on
+//! `X` but differ on some attribute of `Y`.
+//!
+//! [`FdSet`] adds the classical dependency-theory toolbox the rest of the workspace and
+//! the paper's future-work section rely on: attribute closure, logical implication, key
+//! inference, minimal covers and BCNF tests.
+
+use std::fmt;
+use std::sync::Arc;
+
+use pdqi_relation::{AttrSet, RelationSchema, Tuple};
+
+use crate::{ConstraintError, Result};
+
+/// A functional dependency `lhs → rhs` over a fixed relation schema.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct FunctionalDependency {
+    lhs: AttrSet,
+    rhs: AttrSet,
+}
+
+impl FunctionalDependency {
+    /// Creates an FD from attribute sets.
+    pub fn new(lhs: AttrSet, rhs: AttrSet) -> Self {
+        FunctionalDependency { lhs, rhs }
+    }
+
+    /// Parses an FD written as `"A B -> C D"` against a schema. Attribute names on each
+    /// side are separated by whitespace or commas.
+    pub fn parse(schema: &RelationSchema, text: &str) -> Result<Self> {
+        let (lhs_text, rhs_text) = text.split_once("->").ok_or_else(|| ConstraintError::Parse {
+            input: text.to_string(),
+            message: "expected `lhs -> rhs`".to_string(),
+        })?;
+        let parse_side = |side: &str| -> Result<AttrSet> {
+            let mut set = AttrSet::new();
+            for token in side.split(|c: char| c.is_whitespace() || c == ',') {
+                if token.is_empty() {
+                    continue;
+                }
+                set.insert(schema.attr_id(token)?);
+            }
+            Ok(set)
+        };
+        let lhs = parse_side(lhs_text)?;
+        let rhs = parse_side(rhs_text)?;
+        if rhs.is_empty() {
+            return Err(ConstraintError::Parse {
+                input: text.to_string(),
+                message: "right-hand side must name at least one attribute".to_string(),
+            });
+        }
+        Ok(FunctionalDependency::new(lhs, rhs))
+    }
+
+    /// The determining attribute set `X`.
+    pub fn lhs(&self) -> &AttrSet {
+        &self.lhs
+    }
+
+    /// The determined attribute set `Y`.
+    pub fn rhs(&self) -> &AttrSet {
+        &self.rhs
+    }
+
+    /// Whether `t1` and `t2` conflict with this FD: they agree on `X` and differ on some
+    /// attribute of `Y`.
+    pub fn conflicts(&self, t1: &Tuple, t2: &Tuple) -> bool {
+        t1.agrees_on(t2, &self.lhs) && t1.differs_on(t2, &self.rhs)
+    }
+
+    /// Whether the pair `t1`, `t2` *satisfies* the FD.
+    pub fn satisfied_by_pair(&self, t1: &Tuple, t2: &Tuple) -> bool {
+        !self.conflicts(t1, t2)
+    }
+
+    /// Whether the FD is trivial (`Y ⊆ X`), in which case it can never be violated.
+    pub fn is_trivial(&self) -> bool {
+        self.rhs.is_subset_of(&self.lhs)
+    }
+
+    /// Renders the FD using the attribute names of `schema`.
+    pub fn render(&self, schema: &RelationSchema) -> String {
+        format!(
+            "{} -> {}",
+            schema.render_attr_set(&self.lhs),
+            schema.render_attr_set(&self.rhs)
+        )
+    }
+}
+
+impl fmt::Display for FunctionalDependency {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let side = |set: &AttrSet| {
+            set.iter().map(|a| format!("#{}", a.index())).collect::<Vec<_>>().join(" ")
+        };
+        write!(f, "{} -> {}", side(&self.lhs), side(&self.rhs))
+    }
+}
+
+/// A set of functional dependencies over one relation schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FdSet {
+    schema: Arc<RelationSchema>,
+    fds: Vec<FunctionalDependency>,
+}
+
+impl FdSet {
+    /// Creates an empty FD set over `schema`.
+    pub fn new(schema: Arc<RelationSchema>) -> Self {
+        FdSet { schema, fds: Vec::new() }
+    }
+
+    /// Creates an FD set from already-built dependencies.
+    pub fn from_fds(schema: Arc<RelationSchema>, fds: Vec<FunctionalDependency>) -> Self {
+        FdSet { schema, fds }
+    }
+
+    /// Parses several textual FDs (one per element) against the schema.
+    pub fn parse(schema: Arc<RelationSchema>, texts: &[&str]) -> Result<Self> {
+        let fds = texts
+            .iter()
+            .map(|t| FunctionalDependency::parse(&schema, t))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(FdSet { schema, fds })
+    }
+
+    /// The schema the dependencies are defined over.
+    pub fn schema(&self) -> &Arc<RelationSchema> {
+        &self.schema
+    }
+
+    /// The dependencies.
+    pub fn fds(&self) -> &[FunctionalDependency] {
+        &self.fds
+    }
+
+    /// Number of dependencies.
+    pub fn len(&self) -> usize {
+        self.fds.len()
+    }
+
+    /// Whether the set contains no dependency.
+    pub fn is_empty(&self) -> bool {
+        self.fds.is_empty()
+    }
+
+    /// Adds a dependency.
+    pub fn push(&mut self, fd: FunctionalDependency) {
+        self.fds.push(fd);
+    }
+
+    /// Whether the two tuples conflict with *some* dependency of the set.
+    pub fn conflicting(&self, t1: &Tuple, t2: &Tuple) -> bool {
+        self.fds.iter().any(|fd| fd.conflicts(t1, t2))
+    }
+
+    /// The attribute closure `attrs⁺` under this FD set (textbook fixpoint algorithm).
+    pub fn closure(&self, attrs: &AttrSet) -> AttrSet {
+        let mut closure = attrs.clone();
+        loop {
+            let mut changed = false;
+            for fd in &self.fds {
+                if fd.lhs().is_subset_of(&closure) && !fd.rhs().is_subset_of(&closure) {
+                    closure.union_with(fd.rhs());
+                    changed = true;
+                }
+            }
+            if !changed {
+                return closure;
+            }
+        }
+    }
+
+    /// Whether `fd` is logically implied by this set (via attribute closure).
+    pub fn implies(&self, fd: &FunctionalDependency) -> bool {
+        fd.rhs().is_subset_of(&self.closure(fd.lhs()))
+    }
+
+    /// Whether `attrs` is a superkey (determines every attribute of the schema).
+    pub fn is_superkey(&self, attrs: &AttrSet) -> bool {
+        self.schema.all_attrs().is_subset_of(&self.closure(attrs))
+    }
+
+    /// Whether `attrs` is a key: a superkey none of whose proper subsets is a superkey.
+    pub fn is_key(&self, attrs: &AttrSet) -> bool {
+        if !self.is_superkey(attrs) {
+            return false;
+        }
+        attrs.iter().all(|a| {
+            let mut smaller = attrs.clone();
+            smaller.remove(a);
+            !self.is_superkey(&smaller)
+        })
+    }
+
+    /// Whether every dependency of the set is either trivial or has a superkey left-hand
+    /// side, i.e. the schema is in Boyce–Codd normal form w.r.t. this set. (The paper's
+    /// future-work section suggests refining the complexity analysis under BCNF.)
+    pub fn is_bcnf(&self) -> bool {
+        self.fds
+            .iter()
+            .all(|fd| fd.is_trivial() || self.is_superkey(fd.lhs()))
+    }
+
+    /// A minimal cover: an equivalent FD set with singleton right-hand sides, no
+    /// redundant dependencies and no extraneous left-hand-side attributes.
+    pub fn minimal_cover(&self) -> FdSet {
+        // 1. Split right-hand sides into singletons.
+        let mut work: Vec<FunctionalDependency> = Vec::new();
+        for fd in &self.fds {
+            for attr in fd.rhs().iter() {
+                let single = AttrSet::from_ids([attr]);
+                work.push(FunctionalDependency::new(fd.lhs().clone(), single));
+            }
+        }
+        // 2. Remove extraneous attributes from left-hand sides.
+        let all = FdSet::from_fds(Arc::clone(&self.schema), work.clone());
+        for fd in work.iter_mut() {
+            let mut lhs = fd.lhs().clone();
+            loop {
+                let mut removed_one = false;
+                for attr in lhs.clone().iter() {
+                    let mut candidate = lhs.clone();
+                    candidate.remove(attr);
+                    if fd.rhs().is_subset_of(&all.closure(&candidate)) {
+                        lhs = candidate;
+                        removed_one = true;
+                        break;
+                    }
+                }
+                if !removed_one {
+                    break;
+                }
+            }
+            *fd = FunctionalDependency::new(lhs, fd.rhs().clone());
+        }
+        // 3. Drop redundant dependencies.
+        let mut result: Vec<FunctionalDependency> = work.clone();
+        let mut i = 0;
+        while i < result.len() {
+            let candidate = result[i].clone();
+            let mut without: Vec<FunctionalDependency> = result.clone();
+            without.remove(i);
+            let reduced = FdSet::from_fds(Arc::clone(&self.schema), without.clone());
+            if reduced.implies(&candidate) {
+                result = without;
+            } else {
+                i += 1;
+            }
+        }
+        // Deduplicate (splitting may create identical singletons).
+        let mut deduped: Vec<FunctionalDependency> = Vec::new();
+        for fd in result {
+            if !deduped.contains(&fd) {
+                deduped.push(fd);
+            }
+        }
+        FdSet::from_fds(Arc::clone(&self.schema), deduped)
+    }
+
+    /// Renders every dependency using attribute names.
+    pub fn render(&self) -> Vec<String> {
+        self.fds.iter().map(|fd| fd.render(&self.schema)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdqi_relation::{Value, ValueType};
+
+    fn mgr_schema() -> Arc<RelationSchema> {
+        Arc::new(
+            RelationSchema::from_pairs(
+                "Mgr",
+                &[
+                    ("Name", ValueType::Name),
+                    ("Dept", ValueType::Name),
+                    ("Salary", ValueType::Int),
+                    ("Reports", ValueType::Int),
+                ],
+            )
+            .unwrap(),
+        )
+    }
+
+    fn mgr_fds() -> FdSet {
+        // fd1: Dept -> Name Salary Reports, fd2: Name -> Dept Salary Reports
+        FdSet::parse(
+            mgr_schema(),
+            &["Dept -> Name Salary Reports", "Name -> Dept Salary Reports"],
+        )
+        .unwrap()
+    }
+
+    fn mgr_tuple(name: &str, dept: &str, salary: i64, reports: i64) -> Tuple {
+        mgr_schema()
+            .tuple(vec![name.into(), dept.into(), Value::int(salary), Value::int(reports)])
+            .unwrap()
+    }
+
+    #[test]
+    fn parse_accepts_commas_and_whitespace() {
+        let schema = mgr_schema();
+        let fd = FunctionalDependency::parse(&schema, "Dept, Name -> Salary").unwrap();
+        assert_eq!(fd.lhs().len(), 2);
+        assert_eq!(fd.rhs().len(), 1);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        let schema = mgr_schema();
+        assert!(FunctionalDependency::parse(&schema, "Dept Name Salary").is_err());
+        assert!(FunctionalDependency::parse(&schema, "Dept -> ").is_err());
+        assert!(FunctionalDependency::parse(&schema, "Dept -> Bogus").is_err());
+    }
+
+    #[test]
+    fn conflict_detection_matches_example_1() {
+        let fds = mgr_fds();
+        let mary_rd = mgr_tuple("Mary", "R&D", 40, 3);
+        let john_rd = mgr_tuple("John", "R&D", 10, 2);
+        let mary_it = mgr_tuple("Mary", "IT", 20, 1);
+        let john_pr = mgr_tuple("John", "PR", 30, 4);
+        // The three conflicts listed in Example 1.
+        assert!(fds.fds()[0].conflicts(&mary_rd, &john_rd)); // fd1
+        assert!(fds.fds()[1].conflicts(&mary_rd, &mary_it)); // fd2
+        assert!(fds.fds()[1].conflicts(&john_rd, &john_pr)); // fd2
+        // Non-conflicting pairs.
+        assert!(!fds.conflicting(&mary_rd, &john_pr));
+        assert!(!fds.conflicting(&mary_it, &john_pr));
+        assert!(!fds.conflicting(&mary_it, &john_rd));
+    }
+
+    #[test]
+    fn identical_tuples_never_conflict() {
+        let fds = mgr_fds();
+        let t = mgr_tuple("Mary", "R&D", 40, 3);
+        assert!(!fds.conflicting(&t, &t));
+    }
+
+    #[test]
+    fn trivial_fd_is_never_violated() {
+        let schema = mgr_schema();
+        let fd = FunctionalDependency::parse(&schema, "Dept Salary -> Dept").unwrap();
+        assert!(fd.is_trivial());
+        assert!(!fd.conflicts(&mgr_tuple("Mary", "R&D", 40, 3), &mgr_tuple("John", "R&D", 10, 2)));
+    }
+
+    #[test]
+    fn closure_and_implication() {
+        let fds = mgr_fds();
+        let schema = fds.schema().clone();
+        let dept = schema.attr_set(&["Dept"]).unwrap();
+        assert_eq!(fds.closure(&dept), schema.all_attrs());
+        let implied = FunctionalDependency::parse(&schema, "Dept -> Salary").unwrap();
+        assert!(fds.implies(&implied));
+        let not_implied = FunctionalDependency::parse(&schema, "Salary -> Dept").unwrap();
+        assert!(!fds.implies(&not_implied));
+    }
+
+    #[test]
+    fn key_detection() {
+        let fds = mgr_fds();
+        let schema = fds.schema().clone();
+        assert!(fds.is_key(&schema.attr_set(&["Dept"]).unwrap()));
+        assert!(fds.is_key(&schema.attr_set(&["Name"]).unwrap()));
+        assert!(fds.is_superkey(&schema.attr_set(&["Name", "Salary"]).unwrap()));
+        assert!(!fds.is_key(&schema.attr_set(&["Name", "Salary"]).unwrap()));
+        assert!(!fds.is_superkey(&schema.attr_set(&["Salary"]).unwrap()));
+    }
+
+    #[test]
+    fn bcnf_detection() {
+        // Mgr with its two keys is in BCNF.
+        assert!(mgr_fds().is_bcnf());
+        // Example 8 schema R(A,B,C) with A -> B only is in BCNF? A+ = {A,B}, not all attrs,
+        // so A is not a superkey and the FD is non-trivial: not BCNF.
+        let schema = Arc::new(
+            RelationSchema::from_pairs(
+                "R",
+                &[("A", ValueType::Int), ("B", ValueType::Int), ("C", ValueType::Int)],
+            )
+            .unwrap(),
+        );
+        let fds = FdSet::parse(schema, &["A -> B"]).unwrap();
+        assert!(!fds.is_bcnf());
+    }
+
+    #[test]
+    fn minimal_cover_removes_redundancy() {
+        let schema = Arc::new(
+            RelationSchema::from_pairs(
+                "R",
+                &[("A", ValueType::Int), ("B", ValueType::Int), ("C", ValueType::Int)],
+            )
+            .unwrap(),
+        );
+        // A -> B, B -> C, A -> C (redundant), A B -> C (extraneous B and redundant).
+        let fds = FdSet::parse(
+            Arc::clone(&schema),
+            &["A -> B", "B -> C", "A -> C", "A B -> C"],
+        )
+        .unwrap();
+        let cover = fds.minimal_cover();
+        assert_eq!(cover.len(), 2);
+        // The cover is logically equivalent to the original set.
+        for fd in fds.fds() {
+            assert!(cover.implies(fd));
+        }
+        for fd in cover.fds() {
+            assert!(fds.implies(fd));
+        }
+    }
+
+    #[test]
+    fn render_uses_attribute_names() {
+        let fds = mgr_fds();
+        let rendered = fds.render();
+        assert_eq!(rendered[0], "Dept -> Name Salary Reports");
+    }
+}

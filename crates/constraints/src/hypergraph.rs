@@ -1,0 +1,240 @@
+//! Conflict hypergraphs for denial constraints.
+//!
+//! The paper's future-work section points out that conflict graphs generalise to
+//! *hypergraphs* when constraints may involve more than two tuples (denial
+//! constraints [6]). A hyperedge is a minimal set of tuples that jointly violates some
+//! constraint; repairs are again exactly the maximal independent sets (sets containing
+//! no hyperedge in full).
+//!
+//! For two-variable constraints (in particular all FD-derived constraints) the
+//! hypergraph degenerates to the ordinary conflict graph; [`ConflictHypergraph::to_graph`]
+//! performs that conversion.
+
+use pdqi_relation::{RelationInstance, TupleId, TupleSet};
+
+use crate::conflict::ConflictGraph;
+use crate::denial::DenialConstraint;
+
+/// The conflict hypergraph of an instance w.r.t. a set of denial constraints.
+#[derive(Debug, Clone)]
+pub struct ConflictHypergraph {
+    vertex_count: usize,
+    /// Hyperedges, each a set of at least one tuple id, with no hyperedge containing another.
+    hyperedges: Vec<TupleSet>,
+}
+
+impl ConflictHypergraph {
+    /// Builds the conflict hypergraph of `instance` w.r.t. `constraints`.
+    ///
+    /// For every constraint with `k` tuple variables all assignments of *distinct*
+    /// instance tuples to the variables are considered (tuples may repeat in the
+    /// constraint semantics, but a violation witnessed with repeated tuples is also
+    /// witnessed by the corresponding smaller set, which is what minimality keeps).
+    pub fn build(instance: &RelationInstance, constraints: &[DenialConstraint]) -> Self {
+        let mut raw_edges: Vec<TupleSet> = Vec::new();
+        let ids: Vec<TupleId> = instance.ids().collect();
+        for constraint in constraints {
+            let k = constraint.tuple_vars();
+            let mut assignment: Vec<TupleId> = Vec::with_capacity(k);
+            Self::enumerate_assignments(instance, constraint, &ids, &mut assignment, &mut raw_edges);
+        }
+        let hyperedges = Self::minimise(raw_edges);
+        ConflictHypergraph { vertex_count: instance.len(), hyperedges }
+    }
+
+    fn enumerate_assignments(
+        instance: &RelationInstance,
+        constraint: &DenialConstraint,
+        ids: &[TupleId],
+        assignment: &mut Vec<TupleId>,
+        out: &mut Vec<TupleSet>,
+    ) {
+        if assignment.len() == constraint.tuple_vars() {
+            let tuples: Vec<&pdqi_relation::Tuple> =
+                assignment.iter().map(|&id| instance.tuple_unchecked(id)).collect();
+            if constraint.body_satisfied(&tuples) {
+                out.push(assignment.iter().copied().collect());
+            }
+            return;
+        }
+        for &id in ids {
+            // Variables are assigned distinct tuples; violations witnessed by repeated
+            // tuples are subsumed by a smaller assignment of another constraint instance
+            // or are self-violations, which FD-style constraints never produce.
+            if assignment.contains(&id) {
+                continue;
+            }
+            assignment.push(id);
+            Self::enumerate_assignments(instance, constraint, ids, assignment, out);
+            assignment.pop();
+        }
+    }
+
+    /// Keeps only inclusion-minimal violation sets and removes duplicates.
+    fn minimise(mut edges: Vec<TupleSet>) -> Vec<TupleSet> {
+        edges.sort_by_key(TupleSet::len);
+        let mut minimal: Vec<TupleSet> = Vec::new();
+        for edge in edges {
+            if !minimal.iter().any(|kept| kept.is_subset_of(&edge)) {
+                minimal.push(edge);
+            }
+        }
+        minimal
+    }
+
+    /// Creates a hypergraph directly from hyperedges (generators and tests).
+    pub fn from_hyperedges(vertex_count: usize, hyperedges: Vec<TupleSet>) -> Self {
+        ConflictHypergraph { vertex_count, hyperedges: Self::minimise(hyperedges) }
+    }
+
+    /// Number of vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.vertex_count
+    }
+
+    /// The minimal hyperedges.
+    pub fn hyperedges(&self) -> &[TupleSet] {
+        &self.hyperedges
+    }
+
+    /// Whether `s` contains no hyperedge in full.
+    pub fn is_independent(&self, s: &TupleSet) -> bool {
+        !self.hyperedges.iter().any(|edge| edge.is_subset_of(s))
+    }
+
+    /// Whether `s` is a maximal independent set: independent, and adding any outside
+    /// vertex would complete some hyperedge.
+    pub fn is_maximal_independent(&self, s: &TupleSet) -> bool {
+        if !self.is_independent(s) {
+            return false;
+        }
+        (0..self.vertex_count).all(|i| {
+            let t = TupleId(i as u32);
+            if s.contains(t) {
+                return true;
+            }
+            let mut extended = s.clone();
+            extended.insert(t);
+            !self.is_independent(&extended)
+        })
+    }
+
+    /// Converts to an ordinary conflict graph, provided every hyperedge has exactly two
+    /// vertices. Returns `None` if some hyperedge is not binary.
+    pub fn to_graph(&self) -> Option<ConflictGraph> {
+        let mut edges = Vec::with_capacity(self.hyperedges.len());
+        for edge in &self.hyperedges {
+            let members: Vec<TupleId> = edge.iter().collect();
+            if members.len() != 2 {
+                return None;
+            }
+            edges.push((members[0], members[1]));
+        }
+        Some(ConflictGraph::from_edges(self.vertex_count, &edges))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::denial::{CompOp, DenialAtom, DenialConstraint, DenialTerm};
+    use crate::fd::{FdSet, FunctionalDependency};
+    use pdqi_relation::{AttrId, RelationSchema, Value, ValueType};
+    use std::sync::Arc;
+
+    fn schema() -> Arc<RelationSchema> {
+        Arc::new(
+            RelationSchema::from_pairs("R", &[("A", ValueType::Int), ("B", ValueType::Int)]).unwrap(),
+        )
+    }
+
+    fn instance(rows: &[(i64, i64)]) -> RelationInstance {
+        RelationInstance::from_rows(
+            schema(),
+            rows.iter().map(|&(a, b)| vec![Value::int(a), Value::int(b)]).collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn fd_derived_hypergraph_matches_the_conflict_graph() {
+        let r = instance(&[(0, 0), (0, 1), (1, 0), (1, 1)]);
+        let fd = FunctionalDependency::parse(r.schema(), "A -> B").unwrap();
+        let constraints = DenialConstraint::from_fd(Arc::clone(r.schema()), &fd);
+        let hyper = ConflictHypergraph::build(&r, &constraints);
+        assert_eq!(hyper.hyperedges().len(), 2);
+        assert!(hyper.hyperedges().iter().all(|e| e.len() == 2));
+        let graph = hyper.to_graph().unwrap();
+        let fds = FdSet::parse(Arc::clone(r.schema()), &["A -> B"]).unwrap();
+        let direct = crate::conflict::ConflictGraph::build(&r, &fds);
+        assert_eq!(graph.edge_count(), direct.edge_count());
+        for &(a, b) in direct.edges() {
+            assert!(graph.are_conflicting(a, b));
+        }
+    }
+
+    #[test]
+    fn three_tuple_denial_constraint_produces_ternary_hyperedges() {
+        // "The sum cannot exceed 5 over three distinct tuples all sharing A":
+        // NOT EXISTS t1,t2,t3 . t1.A = t2.A AND t2.A = t3.A AND t1.B < t2.B AND t2.B < t3.B
+        // (three tuples with the same A-value and strictly increasing B-values).
+        let s = schema();
+        let dc = DenialConstraint::new(
+            Arc::clone(&s),
+            3,
+            vec![
+                DenialAtom {
+                    left: DenialTerm::Attr { var: 0, attr: AttrId(0) },
+                    op: CompOp::Eq,
+                    right: DenialTerm::Attr { var: 1, attr: AttrId(0) },
+                },
+                DenialAtom {
+                    left: DenialTerm::Attr { var: 1, attr: AttrId(0) },
+                    op: CompOp::Eq,
+                    right: DenialTerm::Attr { var: 2, attr: AttrId(0) },
+                },
+                DenialAtom {
+                    left: DenialTerm::Attr { var: 0, attr: AttrId(1) },
+                    op: CompOp::Lt,
+                    right: DenialTerm::Attr { var: 1, attr: AttrId(1) },
+                },
+                DenialAtom {
+                    left: DenialTerm::Attr { var: 1, attr: AttrId(1) },
+                    op: CompOp::Lt,
+                    right: DenialTerm::Attr { var: 2, attr: AttrId(1) },
+                },
+            ],
+        )
+        .unwrap();
+        let r = instance(&[(1, 1), (1, 2), (1, 3), (2, 1)]);
+        let hyper = ConflictHypergraph::build(&r, &[dc]);
+        assert_eq!(hyper.hyperedges().len(), 1);
+        assert_eq!(hyper.hyperedges()[0].len(), 3);
+        assert!(hyper.to_graph().is_none());
+        // Any two of the three violating tuples are fine; all three together are not.
+        let all_three = TupleSet::from_ids([TupleId(0), TupleId(1), TupleId(2)]);
+        let two = TupleSet::from_ids([TupleId(0), TupleId(2), TupleId(3)]);
+        assert!(!hyper.is_independent(&all_three));
+        assert!(hyper.is_independent(&two));
+        assert!(hyper.is_maximal_independent(&two));
+    }
+
+    #[test]
+    fn minimisation_drops_supersets_and_duplicates() {
+        let e01 = TupleSet::from_ids([TupleId(0), TupleId(1)]);
+        let e012 = TupleSet::from_ids([TupleId(0), TupleId(1), TupleId(2)]);
+        let hyper = ConflictHypergraph::from_hyperedges(3, vec![e012, e01.clone(), e01.clone()]);
+        assert_eq!(hyper.hyperedges(), &[e01]);
+    }
+
+    #[test]
+    fn consistent_instance_has_maximal_set_equal_to_everything() {
+        let r = instance(&[(0, 0), (1, 1)]);
+        let fd = FunctionalDependency::parse(r.schema(), "A -> B").unwrap();
+        let constraints = DenialConstraint::from_fd(Arc::clone(r.schema()), &fd);
+        let hyper = ConflictHypergraph::build(&r, &constraints);
+        assert!(hyper.hyperedges().is_empty());
+        let all = r.all_ids();
+        assert!(hyper.is_maximal_independent(&all));
+    }
+}

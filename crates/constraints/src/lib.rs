@@ -1,0 +1,80 @@
+//! Integrity constraints and conflict structures for `pdqi`.
+//!
+//! The paper studies inconsistency with respect to **functional dependencies** and
+//! represents the space of repairs through the **conflict graph**: vertices are the
+//! tuples of the instance and edges connect conflicting tuples; the repairs are exactly
+//! the maximal independent sets of that graph. Its concluding section points at the
+//! generalisation to **denial constraints** via conflict *hypergraphs* [6].
+//!
+//! This crate provides:
+//!
+//! * [`FunctionalDependency`] / [`FdSet`] — FDs with parsing, attribute closure,
+//!   key inference, minimal cover and BCNF tests,
+//! * [`DenialConstraint`] — the broader constraint class of the paper's future-work
+//!   section, with evaluation over tuple assignments,
+//! * [`ConflictGraph`] — neighbourhoods `n(t)`, vicinities `v(t)`, connected components
+//!   and independence/maximality tests,
+//! * [`ConflictHypergraph`] — the hypergraph generalisation for denial constraints,
+//! * [`violations`] — consistency checking and violation listings.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod conflict;
+pub mod denial;
+pub mod fd;
+pub mod hypergraph;
+pub mod violations;
+
+pub use conflict::ConflictGraph;
+pub use denial::{CompOp, DenialAtom, DenialConstraint, DenialTerm};
+pub use fd::{FdSet, FunctionalDependency};
+pub use hypergraph::ConflictHypergraph;
+pub use violations::{check_consistency, is_consistent, is_consistent_subset, Violation};
+
+/// Errors raised while parsing or applying constraints.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConstraintError {
+    /// An error bubbled up from the relational substrate (unknown attribute, bad types, ...).
+    Relation(pdqi_relation::RelationError),
+    /// A textual FD or denial constraint could not be parsed.
+    Parse {
+        /// The offending input.
+        input: String,
+        /// Description of the problem.
+        message: String,
+    },
+    /// A denial constraint referenced a tuple variable that is out of range.
+    BadTupleVariable {
+        /// The variable index used.
+        var: usize,
+        /// The number of tuple variables declared.
+        declared: usize,
+    },
+}
+
+impl std::fmt::Display for ConstraintError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConstraintError::Relation(e) => write!(f, "{e}"),
+            ConstraintError::Parse { input, message } => {
+                write!(f, "cannot parse constraint `{input}`: {message}")
+            }
+            ConstraintError::BadTupleVariable { var, declared } => write!(
+                f,
+                "denial constraint uses tuple variable t{var} but declares only {declared} variables"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConstraintError {}
+
+impl From<pdqi_relation::RelationError> for ConstraintError {
+    fn from(e: pdqi_relation::RelationError) -> Self {
+        ConstraintError::Relation(e)
+    }
+}
+
+/// Convenience result alias for constraint operations.
+pub type Result<T, E = ConstraintError> = std::result::Result<T, E>;

@@ -1,0 +1,140 @@
+//! Consistency checking and violation listings.
+//!
+//! A database is inconsistent with a set of functional dependencies iff it contains a
+//! pair of conflicting tuples (Section 2.1). These helpers report consistency of whole
+//! instances and of tuple subsets, and enumerate the individual violations (useful for
+//! diagnostics, the data-cleaning baseline and the examples).
+
+use pdqi_relation::{RelationInstance, TupleId, TupleSet};
+
+use crate::conflict::ConflictGraph;
+use crate::fd::FdSet;
+
+/// One violation: a pair of conflicting tuples together with the index of the violated
+/// dependency within its [`FdSet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Violation {
+    /// First tuple of the conflicting pair (smaller id).
+    pub first: TupleId,
+    /// Second tuple of the conflicting pair (larger id).
+    pub second: TupleId,
+    /// Index of the violated FD in the [`FdSet`] that was checked.
+    pub fd_index: usize,
+}
+
+/// Whether `instance` is consistent with `fds`.
+pub fn is_consistent(instance: &RelationInstance, fds: &FdSet) -> bool {
+    check_consistency(instance, fds).is_empty()
+}
+
+/// Lists every violation of `fds` in `instance`. A pair of tuples violating several
+/// dependencies is reported once per violated dependency.
+pub fn check_consistency(instance: &RelationInstance, fds: &FdSet) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    for (fd_index, fd) in fds.fds().iter().enumerate() {
+        if fd.is_trivial() {
+            continue;
+        }
+        use std::collections::HashMap;
+        let mut groups: HashMap<Vec<pdqi_relation::Value>, Vec<TupleId>> = HashMap::new();
+        for (id, tuple) in instance.iter() {
+            groups.entry(tuple.project(fd.lhs())).or_default().push(id);
+        }
+        for group in groups.values() {
+            for (i, &a) in group.iter().enumerate() {
+                for &b in &group[i + 1..] {
+                    if instance
+                        .tuple_unchecked(a)
+                        .differs_on(instance.tuple_unchecked(b), fd.rhs())
+                    {
+                        violations.push(Violation { first: a.min(b), second: a.max(b), fd_index });
+                    }
+                }
+            }
+        }
+    }
+    violations.sort_by_key(|v| (v.first, v.second, v.fd_index));
+    violations
+}
+
+/// Whether the subset `subset` of `instance` is consistent with `fds`, checked against a
+/// prebuilt conflict graph (a subset is consistent iff it is an independent set).
+pub fn is_consistent_subset(graph: &ConflictGraph, subset: &TupleSet) -> bool {
+    graph.is_independent(subset)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdqi_relation::{RelationSchema, Value, ValueType};
+    use std::sync::Arc;
+
+    fn mgr() -> (RelationInstance, FdSet) {
+        let schema = Arc::new(
+            RelationSchema::from_pairs(
+                "Mgr",
+                &[
+                    ("Name", ValueType::Name),
+                    ("Dept", ValueType::Name),
+                    ("Salary", ValueType::Int),
+                    ("Reports", ValueType::Int),
+                ],
+            )
+            .unwrap(),
+        );
+        let rows = vec![
+            vec!["Mary".into(), "R&D".into(), Value::int(40), Value::int(3)],
+            vec!["John".into(), "R&D".into(), Value::int(10), Value::int(2)],
+            vec!["Mary".into(), "IT".into(), Value::int(20), Value::int(1)],
+            vec!["John".into(), "PR".into(), Value::int(30), Value::int(4)],
+        ];
+        let instance = RelationInstance::from_rows(Arc::clone(&schema), rows).unwrap();
+        let fds = FdSet::parse(
+            schema,
+            &["Dept -> Name Salary Reports", "Name -> Dept Salary Reports"],
+        )
+        .unwrap();
+        (instance, fds)
+    }
+
+    #[test]
+    fn example_1_reports_its_three_conflicts() {
+        let (instance, fds) = mgr();
+        let violations = check_consistency(&instance, &fds);
+        assert_eq!(violations.len(), 3);
+        assert!(!is_consistent(&instance, &fds));
+        // Conflict 1 is w.r.t. fd1 (index 0); conflicts 2 and 3 are w.r.t. fd2 (index 1).
+        assert_eq!(violations.iter().filter(|v| v.fd_index == 0).count(), 1);
+        assert_eq!(violations.iter().filter(|v| v.fd_index == 1).count(), 2);
+    }
+
+    #[test]
+    fn consistent_subsets_are_recognised() {
+        let (instance, fds) = mgr();
+        let graph = ConflictGraph::build(&instance, &fds);
+        assert!(is_consistent_subset(&graph, &TupleSet::from_ids([TupleId(2), TupleId(3)])));
+        assert!(!is_consistent_subset(&graph, &TupleSet::from_ids([TupleId(0), TupleId(1)])));
+    }
+
+    #[test]
+    fn sources_of_example_1_are_individually_consistent() {
+        let (instance, fds) = mgr();
+        // s1 = {Mary R&D}, s2 = {John R&D}, s3 = {Mary IT, John PR}
+        for subset in [
+            TupleSet::from_ids([TupleId(0)]),
+            TupleSet::from_ids([TupleId(1)]),
+            TupleSet::from_ids([TupleId(2), TupleId(3)]),
+        ] {
+            assert!(is_consistent(&instance.restrict(&subset), &fds));
+        }
+    }
+
+    #[test]
+    fn violations_are_sorted_and_deterministic() {
+        let (instance, fds) = mgr();
+        let a = check_consistency(&instance, &fds);
+        let b = check_consistency(&instance, &fds);
+        assert_eq!(a, b);
+        assert!(a.windows(2).all(|w| (w[0].first, w[0].second) <= (w[1].first, w[1].second)));
+    }
+}

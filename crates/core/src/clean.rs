@@ -1,0 +1,234 @@
+//! Algorithm 1: winnow-driven database cleaning.
+//!
+//! With a *total* priority the user has specified how every conflict should be resolved,
+//! and Algorithm 1 of the paper constructs the corresponding clean database: repeatedly
+//! pick any tuple not dominated by another remaining tuple (the winnow operator `ω_≻`),
+//! add it to the result, and discard it together with its neighbours. Proposition 1
+//! states that for a total priority the result is the same repair for *every* sequence of
+//! choices; Proposition 7 states that for partial priorities the set of possible results
+//! over all choice sequences is exactly the family of common repairs `C-Rep`.
+
+use std::fmt;
+
+use pdqi_constraints::ConflictGraph;
+use pdqi_priority::{winnow, Priority};
+use pdqi_relation::{TupleId, TupleSet};
+
+/// Errors raised by the cleaning procedures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CleaningError {
+    /// Algorithm 1 with a deterministic outcome requires a total priority (Prop. 1).
+    PriorityNotTotal {
+        /// Number of conflict edges left unoriented by the priority.
+        unoriented_edges: usize,
+    },
+}
+
+impl fmt::Display for CleaningError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CleaningError::PriorityNotTotal { unoriented_edges } => write!(
+                f,
+                "Algorithm 1 requires a total priority; {unoriented_edges} conflict edges are unoriented"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CleaningError {}
+
+/// Algorithm 1 for a **total** priority: returns the unique repair it computes
+/// (Proposition 1). Fails if the priority is not total.
+pub fn clean_with_total_priority(
+    graph: &ConflictGraph,
+    priority: &Priority,
+) -> Result<TupleSet, CleaningError> {
+    if !priority.is_total() {
+        return Err(CleaningError::PriorityNotTotal {
+            unoriented_edges: priority.unoriented_edges().len(),
+        });
+    }
+    Ok(clean_with_chooser(graph, priority, |candidates| {
+        candidates.first().expect("the winnow of a non-empty set is non-empty")
+    }))
+}
+
+/// The nondeterministic core of Algorithm 1: run the cleaning loop, resolving each
+/// Step-3 choice through `chooser` (which receives the current winnow set `ω_≻(r)` and
+/// must return one of its members). With a total priority every chooser produces the same
+/// repair; with a partial priority the reachable outputs are exactly `C-Rep` (Prop. 7).
+pub fn clean_with_chooser<F>(graph: &ConflictGraph, priority: &Priority, mut chooser: F) -> TupleSet
+where
+    F: FnMut(&TupleSet) -> TupleId,
+{
+    let n = graph.vertex_count();
+    let mut active = TupleSet::full(n);
+    let mut result = TupleSet::with_capacity(n);
+    while !active.is_empty() {
+        let candidates = winnow(priority, &active);
+        debug_assert!(
+            !candidates.is_empty(),
+            "an acyclic priority always leaves undominated tuples among the active ones"
+        );
+        let chosen = chooser(&candidates);
+        debug_assert!(candidates.contains(chosen), "the chooser must pick a winnow member");
+        result.insert(chosen);
+        active.remove(chosen);
+        active.remove_all(graph.neighbors(chosen));
+    }
+    result
+}
+
+/// Membership test for the family of common repairs (Proposition 7): `candidate` is a
+/// common repair iff Algorithm 1 can produce it when every Step-3 choice is restricted to
+/// `ω_≻(r) ∩ candidate`. Because choices inside the candidate never invalidate each other
+/// (the candidate is an independent set and winnow sets only grow as tuples are removed),
+/// a greedy simulation decides membership in polynomial time.
+pub fn is_common_repair(graph: &ConflictGraph, priority: &Priority, candidate: &TupleSet) -> bool {
+    if !graph.is_maximal_independent(candidate) {
+        return false;
+    }
+    let n = graph.vertex_count();
+    let mut active = TupleSet::full(n);
+    let mut built = TupleSet::with_capacity(n);
+    while !active.is_empty() {
+        let winnow_set = winnow(priority, &active);
+        let allowed = winnow_set.intersection(candidate);
+        let Some(chosen) = allowed.first() else {
+            // Algorithm 1 must pick some winnow member, but none of them belongs to the
+            // candidate: the candidate is not reachable.
+            return false;
+        };
+        built.insert(chosen);
+        active.remove(chosen);
+        active.remove_all(graph.neighbors(chosen));
+    }
+    built == *candidate
+}
+
+/// Enumerates the family of common repairs `C-Rep` by exploring every distinct state of
+/// Algorithm 1 (memoised on the set of still-active tuples so permutations of independent
+/// choices are not re-explored). The number of common repairs can be exponential; use
+/// `limit` to cap the enumeration.
+pub fn common_repairs(graph: &ConflictGraph, priority: &Priority, limit: usize) -> Vec<TupleSet> {
+    use std::collections::HashSet;
+    // Memoise on the set of already-chosen tuples: the active set is a function of it
+    // (`active = all \ (built ∪ n(built))`), so two interleavings of the same choices
+    // reach identical states and only need to be explored once.
+    let mut seen_states: HashSet<TupleSet> = HashSet::new();
+    let mut results: HashSet<TupleSet> = HashSet::new();
+    let mut stack: Vec<(TupleSet, TupleSet)> =
+        vec![(TupleSet::full(graph.vertex_count()), TupleSet::new())];
+    while let Some((active, built)) = stack.pop() {
+        if results.len() >= limit {
+            break;
+        }
+        if !seen_states.insert(built.clone()) {
+            continue;
+        }
+        if active.is_empty() {
+            results.insert(built);
+            continue;
+        }
+        let candidates = winnow(priority, &active);
+        for chosen in candidates.iter() {
+            let mut next_active = active.clone();
+            next_active.remove(chosen);
+            next_active.remove_all(graph.neighbors(chosen));
+            let mut next_built = built.clone();
+            next_built.insert(chosen);
+            stack.push((next_active, next_built));
+        }
+    }
+    let mut out: Vec<TupleSet> = results.into_iter().collect();
+    out.sort_by_key(|set| set.iter().collect::<Vec<_>>());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::repair::fixtures::*;
+
+    #[test]
+    fn algorithm_1_requires_a_total_priority() {
+        let (ctx, priority) = example7();
+        // Example 7's priority leaves the tb–tc edge unoriented.
+        let err = clean_with_total_priority(ctx.graph(), &priority).unwrap_err();
+        assert_eq!(err, CleaningError::PriorityNotTotal { unoriented_edges: 1 });
+    }
+
+    #[test]
+    fn algorithm_1_is_choice_independent_for_total_priorities_prop_1() {
+        let (ctx, priority) = example9();
+        let expected = clean_with_total_priority(ctx.graph(), &priority).unwrap();
+        // Any chooser — lowest id, highest id — produces the same repair.
+        let lowest = clean_with_chooser(ctx.graph(), &priority, |c| c.first().unwrap());
+        let highest =
+            clean_with_chooser(ctx.graph(), &priority, |c| c.iter().last().unwrap());
+        assert_eq!(lowest, expected);
+        assert_eq!(highest, expected);
+        assert!(ctx.is_repair(&expected));
+        // For Example 9 the cleaning outcome is the alternating repair {ta, tc, te}.
+        assert_eq!(
+            expected,
+            TupleSet::from_ids([TupleId(0), TupleId(2), TupleId(4)])
+        );
+    }
+
+    #[test]
+    fn algorithm_1_on_example_8_selects_the_dominating_tuple() {
+        let (ctx, priority) = example8();
+        let cleaned = clean_with_total_priority(ctx.graph(), &priority).unwrap();
+        assert_eq!(cleaned, TupleSet::from_ids([TupleId(2)]));
+    }
+
+    #[test]
+    fn common_repair_membership_follows_prop_7() {
+        let (ctx, priority) = example7();
+        // Only {ta} is a common repair under ta ≻ tb, ta ≻ tc.
+        assert!(is_common_repair(ctx.graph(), &priority, &TupleSet::from_ids([TupleId(0)])));
+        assert!(!is_common_repair(ctx.graph(), &priority, &TupleSet::from_ids([TupleId(1)])));
+        assert!(!is_common_repair(ctx.graph(), &priority, &TupleSet::from_ids([TupleId(2)])));
+        // Non-repairs are never common repairs.
+        assert!(!is_common_repair(
+            ctx.graph(),
+            &priority,
+            &TupleSet::from_ids([TupleId(0), TupleId(1)])
+        ));
+    }
+
+    #[test]
+    fn with_the_empty_priority_every_repair_is_a_common_repair() {
+        let ctx = example1();
+        let empty = ctx.empty_priority();
+        let repairs = ctx.repairs(10);
+        for repair in &repairs {
+            assert!(is_common_repair(ctx.graph(), &empty, repair));
+        }
+        let commons = common_repairs(ctx.graph(), &empty, usize::MAX);
+        assert_eq!(commons.len(), repairs.len());
+    }
+
+    #[test]
+    fn common_repair_enumeration_matches_membership() {
+        for (ctx, priority) in [example7(), example8(), example9()] {
+            let commons = common_repairs(ctx.graph(), &priority, usize::MAX);
+            for repair in ctx.repairs(100) {
+                let member = is_common_repair(ctx.graph(), &priority, &repair);
+                assert_eq!(commons.contains(&repair), member);
+            }
+            // Every enumerated common repair is indeed a repair.
+            for common in &commons {
+                assert!(ctx.is_repair(common));
+            }
+        }
+    }
+
+    #[test]
+    fn enumeration_respects_the_limit() {
+        let ctx = example4(6);
+        let empty = ctx.empty_priority();
+        assert_eq!(common_repairs(ctx.graph(), &empty, 5).len(), 5);
+    }
+}

@@ -1,0 +1,280 @@
+//! Preferred consistent query answers (Definition 3).
+//!
+//! Given a family of preferred repairs `X-Rep`, `true` is the *X-consistent answer* to a
+//! closed query `Q` iff `Q` holds in **every** preferred repair. Symmetrically, `false`
+//! is the X-consistent answer iff `Q` fails in every preferred repair; when neither holds
+//! the inconsistency leaves the answer undetermined. [`CqaOutcome`] reports both facets.
+//!
+//! The generic procedure below enumerates the preferred repairs of the family (stopping
+//! as soon as both facets are refuted), evaluating the query over each repair through the
+//! restricted-view evaluator. This matches the complexities of Fig. 5: the enumeration is
+//! worst-case exponential, which is unavoidable for the co-NP-/Π₂ᵖ-complete entries; the
+//! polynomial special case (quantifier-free queries under `Rep`) is implemented
+//! separately in [`crate::cqa_ground`].
+
+use std::collections::BTreeSet;
+use std::ops::ControlFlow;
+
+use pdqi_priority::Priority;
+use pdqi_query::{Evaluator, Formula, QueryError};
+use pdqi_relation::Value;
+
+use crate::families::RepairFamily;
+use crate::repair::RepairContext;
+
+/// The outcome of a preferred-consistent-query-answering computation for a closed query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CqaOutcome {
+    /// `true` is the X-consistent answer: the query holds in every preferred repair.
+    pub certainly_true: bool,
+    /// `false` is the X-consistent answer: the query fails in every preferred repair.
+    pub certainly_false: bool,
+    /// Number of preferred repairs examined before the outcome was settled.
+    pub examined: usize,
+}
+
+impl CqaOutcome {
+    /// Whether the inconsistency leaves the answer undetermined (the query holds in some
+    /// preferred repairs and fails in others).
+    pub fn is_undetermined(&self) -> bool {
+        !self.certainly_true && !self.certainly_false
+    }
+}
+
+/// Computes the X-consistent answer to a closed query under `family`.
+///
+/// If the family selects no preferred repair at all (impossible for families satisfying
+/// P1, but representable through the trait), both facets hold vacuously.
+pub fn preferred_consistent_answer(
+    ctx: &RepairContext,
+    priority: &Priority,
+    family: &dyn RepairFamily,
+    query: &Formula,
+) -> Result<CqaOutcome, QueryError> {
+    let free = query.free_vars();
+    if !free.is_empty() {
+        return Err(QueryError::FreeVariables { variables: free });
+    }
+    let mut outcome =
+        CqaOutcome { certainly_true: true, certainly_false: true, examined: 0 };
+    let mut error: Option<QueryError> = None;
+    family.for_each_preferred(ctx, priority, &mut |repair| {
+        let evaluator = Evaluator::with_restricted(ctx.instance(), repair);
+        match evaluator.eval_closed(query) {
+            Ok(true) => outcome.certainly_false = false,
+            Ok(false) => outcome.certainly_true = false,
+            Err(e) => {
+                error = Some(e);
+                return ControlFlow::Break(());
+            }
+        }
+        outcome.examined += 1;
+        if outcome.is_undetermined() {
+            ControlFlow::Break(())
+        } else {
+            ControlFlow::Continue(())
+        }
+    });
+    match error {
+        Some(e) => Err(e),
+        None => Ok(outcome),
+    }
+}
+
+/// Computes the **certain answers** to an open query: the assignments of its free
+/// variables that are answers in *every* preferred repair (the open-query generalisation
+/// the paper inherits from \[1, 7\]). Returns the answers as sorted rows of values, in
+/// the lexicographic order of the free variables.
+pub fn certain_answers(
+    ctx: &RepairContext,
+    priority: &Priority,
+    family: &dyn RepairFamily,
+    query: &Formula,
+) -> Result<Vec<Vec<Value>>, QueryError> {
+    answer_sets(ctx, priority, family, query, true)
+}
+
+/// Computes the **possible answers** to an open query: the assignments that are answers
+/// in *some* preferred repair.
+pub fn possible_answers(
+    ctx: &RepairContext,
+    priority: &Priority,
+    family: &dyn RepairFamily,
+    query: &Formula,
+) -> Result<Vec<Vec<Value>>, QueryError> {
+    answer_sets(ctx, priority, family, query, false)
+}
+
+fn answer_sets(
+    ctx: &RepairContext,
+    priority: &Priority,
+    family: &dyn RepairFamily,
+    query: &Formula,
+    certain: bool,
+) -> Result<Vec<Vec<Value>>, QueryError> {
+    let mut accumulated: Option<BTreeSet<Vec<Value>>> = None;
+    let mut error: Option<QueryError> = None;
+    family.for_each_preferred(ctx, priority, &mut |repair| {
+        let evaluator = Evaluator::with_restricted(ctx.instance(), repair);
+        let answers = match evaluator.answers(query) {
+            Ok(answers) => answers,
+            Err(e) => {
+                error = Some(e);
+                return ControlFlow::Break(());
+            }
+        };
+        let rows: BTreeSet<Vec<Value>> =
+            answers.into_iter().map(|row| row.into_values().collect()).collect();
+        accumulated = Some(match accumulated.take() {
+            None => rows,
+            Some(previous) => {
+                if certain {
+                    previous.intersection(&rows).cloned().collect()
+                } else {
+                    previous.union(&rows).cloned().collect()
+                }
+            }
+        });
+        // Certain answers can only shrink; once empty the outcome is settled.
+        if certain && accumulated.as_ref().is_some_and(BTreeSet::is_empty) {
+            ControlFlow::Break(())
+        } else {
+            ControlFlow::Continue(())
+        }
+    });
+    match error {
+        Some(e) => Err(e),
+        None => Ok(accumulated.unwrap_or_default().into_iter().collect()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::families::{AllRepairs, FamilyKind, GlobalOptimal};
+    use crate::repair::fixtures::*;
+    use pdqi_priority::{priority_from_source_reliability, SourceOrder};
+    use pdqi_query::parse_formula;
+    use std::sync::Arc;
+
+    const Q1: &str = "EXISTS d1,s1,r1,d2,s2,r2 . Mgr('Mary',d1,s1,r1) AND Mgr('John',d2,s2,r2) AND s1 < s2";
+    const Q2: &str = "EXISTS d1,s1,r1,d2,s2,r2 . Mgr('Mary',d1,s1,r1) AND Mgr('John',d2,s2,r2) AND s1 > s2 AND r1 < r2";
+
+    /// The Example 3 priority: source s3 (tuples 2 and 3) is less reliable than s1
+    /// (tuple 0) and s2 (tuple 1).
+    fn example3_priority(ctx: &RepairContext) -> Priority {
+        let mut order = SourceOrder::new();
+        order.prefer("s1", "s3").prefer("s2", "s3");
+        let sources =
+            vec!["s1".to_string(), "s2".to_string(), "s3".to_string(), "s3".to_string()];
+        priority_from_source_reliability(Arc::clone(ctx.graph()), &sources, &order)
+    }
+
+    #[test]
+    fn example_2_true_is_not_a_consistent_answer_to_q1() {
+        let ctx = example1();
+        let empty = ctx.empty_priority();
+        let q1 = parse_formula(Q1).unwrap();
+        let outcome = preferred_consistent_answer(&ctx, &empty, &AllRepairs, &q1).unwrap();
+        assert!(!outcome.certainly_true);
+        // Q1 is true in r3, so false is not a consistent answer either.
+        assert!(!outcome.certainly_false);
+        assert!(outcome.is_undetermined());
+    }
+
+    #[test]
+    fn example_3_q2_is_undetermined_without_preferences() {
+        let ctx = example1();
+        let empty = ctx.empty_priority();
+        let q2 = parse_formula(Q2).unwrap();
+        let outcome = preferred_consistent_answer(&ctx, &empty, &AllRepairs, &q2).unwrap();
+        assert!(outcome.is_undetermined());
+    }
+
+    #[test]
+    fn example_3_q2_becomes_true_under_the_reliability_priority_and_g_rep() {
+        let ctx = example1();
+        let priority = example3_priority(&ctx);
+        let q2 = parse_formula(Q2).unwrap();
+        // The preferred repairs are r1 and r2 (r3 is dominated), and Q2 holds in both.
+        let preferred = GlobalOptimal.preferred_repairs(&ctx, &priority, usize::MAX);
+        assert_eq!(preferred.len(), 2);
+        let outcome =
+            preferred_consistent_answer(&ctx, &priority, &GlobalOptimal, &q2).unwrap();
+        assert!(outcome.certainly_true);
+        assert!(!outcome.certainly_false);
+    }
+
+    #[test]
+    fn q1_remains_false_under_the_reliability_priority_and_g_rep() {
+        // In both preferred repairs Mary earns more than John, so Q1 is certainly false.
+        let ctx = example1();
+        let priority = example3_priority(&ctx);
+        let q1 = parse_formula(Q1).unwrap();
+        let outcome =
+            preferred_consistent_answer(&ctx, &priority, &GlobalOptimal, &q1).unwrap();
+        assert!(outcome.certainly_false);
+    }
+
+    #[test]
+    fn every_family_gives_a_determined_answer_on_consistent_data() {
+        let ctx = example1();
+        let consistent = RepairContext::new(
+            ctx.materialise(&ctx.repairs(1)[0]),
+            ctx.fds().clone(),
+        );
+        let empty = consistent.empty_priority();
+        let query = parse_formula("EXISTS n,d,s,r . Mgr(n,d,s,r) AND s >= 10").unwrap();
+        for kind in FamilyKind::ALL {
+            let outcome =
+                preferred_consistent_answer(&consistent, &empty, kind.family().as_ref(), &query)
+                    .unwrap();
+            assert!(outcome.certainly_true, "family {} disagrees", kind.label());
+            assert_eq!(outcome.examined, 1);
+        }
+    }
+
+    #[test]
+    fn open_queries_have_certain_and_possible_answers() {
+        let ctx = example1();
+        let empty = ctx.empty_priority();
+        // Who is a manager (of any department)?
+        let query = parse_formula("EXISTS d,s,r . Mgr(x,d,s,r)").unwrap();
+        let certain = certain_answers(&ctx, &empty, &AllRepairs, &query).unwrap();
+        let possible = possible_answers(&ctx, &empty, &AllRepairs, &query).unwrap();
+        // Every repair contains both a Mary-tuple and a John-tuple, so both are certain.
+        assert_eq!(certain.len(), 2);
+        assert_eq!(possible.len(), 2);
+
+        // Which department does Mary manage? No certain answer, two possible ones.
+        let dept = parse_formula("EXISTS s,r . Mgr('Mary',x,s,r)").unwrap();
+        let certain = certain_answers(&ctx, &empty, &AllRepairs, &dept).unwrap();
+        let possible = possible_answers(&ctx, &empty, &AllRepairs, &dept).unwrap();
+        assert!(certain.is_empty());
+        assert_eq!(possible.len(), 2);
+
+        // Which departments certainly have a manager? Without preferences there is no
+        // certain answer (r3 = {Mary-IT, John-PR} misses R&D); under the Example 3
+        // reliability priority and G-Rep, r3 is no longer preferred and R&D becomes a
+        // certain answer.
+        let managed = parse_formula("EXISTS n,s,r . Mgr(n,x,s,r)").unwrap();
+        let certain = certain_answers(&ctx, &empty, &AllRepairs, &managed).unwrap();
+        assert!(certain.is_empty());
+        let priority = example3_priority(&ctx);
+        let certain = certain_answers(&ctx, &priority, &GlobalOptimal, &managed).unwrap();
+        assert_eq!(certain, vec![vec![Value::name("R&D")]]);
+    }
+
+    #[test]
+    fn open_query_errors_are_propagated() {
+        let ctx = example1();
+        let empty = ctx.empty_priority();
+        let bad = parse_formula("Nope(x)").unwrap();
+        assert!(certain_answers(&ctx, &empty, &AllRepairs, &bad).is_err());
+        let open = parse_formula("EXISTS s,r . Mgr(x,'R&D',s,r)").unwrap();
+        assert!(matches!(
+            preferred_consistent_answer(&ctx, &empty, &AllRepairs, &open),
+            Err(QueryError::FreeVariables { .. })
+        ));
+    }
+}

@@ -1,0 +1,434 @@
+//! Polynomial-time consistent query answering for quantifier-free queries under `Rep`.
+//!
+//! The first row of the paper's Fig. 5 (quoted from \[6, 7\]) states that consistent
+//! answers to *{∀,∃}-free* queries — ground Boolean combinations of atoms and
+//! comparisons — can be computed in polynomial time in the size of the database, without
+//! enumerating repairs. This module implements that algorithm for the single-relation,
+//! functional-dependency setting of the paper:
+//!
+//! 1. `true` is the consistent answer to `Q` iff **no repair satisfies `¬Q`**;
+//! 2. `¬Q` is brought into negation normal form and then disjunctive normal form (the
+//!    query is fixed, so this blow-up does not depend on the data);
+//! 3. a disjunct is a conjunction of ground literals: *positive* tuples that must belong
+//!    to the repair, *negative* tuples that must not, and comparisons that are decided
+//!    immediately;
+//! 4. a repair satisfying the disjunct exists iff the positive tuples form an independent
+//!    set and every negative tuple (that exists in the instance and is not forced in)
+//!    can be assigned a *blocker* — a conflicting tuple that is itself compatible with
+//!    the positive tuples and the other blockers. The number of negative literals is
+//!    bounded by the query, so the search over blocker choices is polynomial in the data.
+
+use std::fmt;
+
+use pdqi_query::ast::{Formula, Term};
+use pdqi_query::classify::is_quantifier_free;
+use pdqi_query::normalize::to_nnf;
+use pdqi_query::QueryError;
+use pdqi_relation::{TupleId, TupleSet, Value};
+
+use crate::repair::RepairContext;
+
+/// Errors specific to the ground-query algorithm (on top of ordinary query errors).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GroundCqaError {
+    /// The query is not ground (it contains variables or quantifiers).
+    NotGround,
+    /// A query-analysis or evaluation error.
+    Query(QueryError),
+}
+
+impl fmt::Display for GroundCqaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GroundCqaError::NotGround => {
+                f.write_str("the polynomial algorithm requires a ground (quantifier-free, variable-free) query")
+            }
+            GroundCqaError::Query(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for GroundCqaError {}
+
+impl From<QueryError> for GroundCqaError {
+    fn from(e: QueryError) -> Self {
+        GroundCqaError::Query(e)
+    }
+}
+
+/// Whether `true` is the consistent answer to the ground query `query` under the plain
+/// repair family, computed in polynomial time (no repair enumeration).
+pub fn ground_consistent_answer(
+    ctx: &RepairContext,
+    query: &Formula,
+) -> Result<bool, GroundCqaError> {
+    let negated = Formula::Not(Box::new(query.clone()));
+    Ok(!exists_repair_satisfying_ground(ctx, &negated)?)
+}
+
+/// Whether some repair satisfies the ground query (the dual building block; `false` is
+/// the consistent answer to `Q` iff no repair satisfies `Q`).
+pub fn exists_repair_satisfying_ground(
+    ctx: &RepairContext,
+    query: &Formula,
+) -> Result<bool, GroundCqaError> {
+    if !is_quantifier_free(query)
+        || !query.free_vars().is_empty()
+        || !query.bound_vars().is_empty()
+    {
+        return Err(GroundCqaError::NotGround);
+    }
+    let nnf = to_nnf(query);
+    let disjuncts = to_dnf(ctx, &nnf)?;
+    for disjunct in disjuncts {
+        if disjunct_satisfiable(ctx, &disjunct)? {
+            return Ok(true);
+        }
+    }
+    Ok(false)
+}
+
+/// A ground literal after constant folding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum GroundLiteral {
+    /// The repair must contain this tuple of the instance.
+    MustContain(TupleId),
+    /// The repair must not contain this tuple of the instance.
+    MustExclude(TupleId),
+}
+
+/// A conjunction of ground literals (comparisons and atoms over absent tuples have
+/// already been folded away); `None` marks an unsatisfiable disjunct.
+type Disjunct = Vec<GroundLiteral>;
+
+fn to_dnf(ctx: &RepairContext, formula: &Formula) -> Result<Vec<Disjunct>, GroundCqaError> {
+    match formula {
+        Formula::True => Ok(vec![vec![]]),
+        Formula::False => Ok(vec![]),
+        Formula::Comparison(cmp) => {
+            let left = constant_of(&cmp.left)?;
+            let right = constant_of(&cmp.right)?;
+            let holds = cmp.op.eval(&left, &right).map_err(QueryError::from)?;
+            Ok(if holds { vec![vec![]] } else { vec![] })
+        }
+        Formula::Atom(atom) => {
+            let id = resolve_atom(ctx, atom)?;
+            Ok(match id {
+                // The tuple is not in the instance, so no repair (a subset) contains it.
+                None => vec![],
+                Some(id) => vec![vec![GroundLiteral::MustContain(id)]],
+            })
+        }
+        Formula::Not(inner) => match inner.as_ref() {
+            Formula::Atom(atom) => {
+                let id = resolve_atom(ctx, atom)?;
+                Ok(match id {
+                    None => vec![vec![]],
+                    Some(id) => vec![vec![GroundLiteral::MustExclude(id)]],
+                })
+            }
+            Formula::Comparison(cmp) => {
+                let left = constant_of(&cmp.left)?;
+                let right = constant_of(&cmp.right)?;
+                let holds = cmp.op.eval(&left, &right).map_err(QueryError::from)?;
+                Ok(if holds { vec![] } else { vec![vec![]] })
+            }
+            Formula::True => Ok(vec![]),
+            Formula::False => Ok(vec![vec![]]),
+            // `to_nnf` leaves negation only on atoms and constants.
+            _ => unreachable!("negation below NNF only guards atoms and constants"),
+        },
+        Formula::Or(a, b) => {
+            let mut disjuncts = to_dnf(ctx, a)?;
+            disjuncts.extend(to_dnf(ctx, b)?);
+            Ok(disjuncts)
+        }
+        Formula::And(a, b) => {
+            let left = to_dnf(ctx, a)?;
+            let right = to_dnf(ctx, b)?;
+            let mut product = Vec::with_capacity(left.len() * right.len());
+            for l in &left {
+                for r in &right {
+                    let mut combined = l.clone();
+                    combined.extend(r.iter().cloned());
+                    product.push(combined);
+                }
+            }
+            Ok(product)
+        }
+        Formula::Implies(..) | Formula::Exists(..) | Formula::Forall(..) => {
+            unreachable!("NNF of a quantifier-free formula contains no implication or quantifier")
+        }
+    }
+}
+
+fn constant_of(term: &Term) -> Result<Value, GroundCqaError> {
+    match term {
+        Term::Const(v) => Ok(v.clone()),
+        Term::Var(_) => Err(GroundCqaError::NotGround),
+    }
+}
+
+/// Resolves a ground atom to the tuple id it denotes, if the tuple exists in the
+/// instance. Atoms over other relations are an error (the paper's setting has a single
+/// relation).
+fn resolve_atom(
+    ctx: &RepairContext,
+    atom: &pdqi_query::ast::Atom,
+) -> Result<Option<TupleId>, GroundCqaError> {
+    let schema = ctx.instance().schema();
+    if atom.relation != schema.name() {
+        return Err(GroundCqaError::Query(QueryError::UnknownRelation {
+            relation: atom.relation.clone(),
+        }));
+    }
+    if atom.args.len() != schema.arity() {
+        return Err(GroundCqaError::Query(QueryError::ArityMismatch {
+            relation: atom.relation.clone(),
+            expected: schema.arity(),
+            actual: atom.args.len(),
+        }));
+    }
+    let mut values = Vec::with_capacity(atom.args.len());
+    for arg in &atom.args {
+        values.push(constant_of(arg)?);
+    }
+    let tuple = pdqi_relation::Tuple::new(values);
+    Ok(ctx.instance().id_of(&tuple))
+}
+
+/// Whether some repair satisfies the conjunction of ground literals.
+fn disjunct_satisfiable(ctx: &RepairContext, literals: &[GroundLiteral]) -> Result<bool, GroundCqaError> {
+    let graph = ctx.graph();
+    let mut positive = TupleSet::with_capacity(graph.vertex_count());
+    let mut negative = TupleSet::with_capacity(graph.vertex_count());
+    for literal in literals {
+        match literal {
+            GroundLiteral::MustContain(id) => {
+                positive.insert(*id);
+            }
+            GroundLiteral::MustExclude(id) => {
+                negative.insert(*id);
+            }
+        }
+    }
+    // A tuple required both in and out is a contradiction.
+    if !positive.is_disjoint_from(&negative) {
+        return Ok(false);
+    }
+    // The positive tuples must be mutually consistent.
+    if !graph.is_independent(&positive) {
+        return Ok(false);
+    }
+    // Each negative tuple must end up excluded from a *maximal* independent set, i.e. it
+    // needs a conflicting "blocker" inside the repair. A blocker already provided by the
+    // positive tuples costs nothing; the remaining ones are chosen by backtracking over
+    // the (data-sized) candidate lists — the number of negative literals is bounded by
+    // the query, so this search is polynomial in the data.
+    let needs_blocker: Vec<TupleId> = negative
+        .iter()
+        .filter(|&n| graph.neighbors(n).is_disjoint_from(&positive))
+        .collect();
+    Ok(assign_blockers(ctx, &positive, &negative, &needs_blocker, 0))
+}
+
+fn assign_blockers(
+    ctx: &RepairContext,
+    chosen: &TupleSet,
+    negative: &TupleSet,
+    pending: &[TupleId],
+    index: usize,
+) -> bool {
+    let graph = ctx.graph();
+    if index == pending.len() {
+        return true;
+    }
+    let target = pending[index];
+    // Already blocked by a previously chosen blocker?
+    if !graph.neighbors(target).is_disjoint_from(chosen) {
+        return assign_blockers(ctx, chosen, negative, pending, index + 1);
+    }
+    for blocker in graph.neighbors(target).iter() {
+        if negative.contains(blocker) {
+            continue;
+        }
+        if !graph.neighbors(blocker).is_disjoint_from(chosen) {
+            continue;
+        }
+        let mut extended = chosen.clone();
+        extended.insert(blocker);
+        if assign_blockers(ctx, &extended, negative, pending, index + 1) {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cqa::preferred_consistent_answer;
+    use crate::families::AllRepairs;
+    use crate::repair::fixtures::*;
+    use pdqi_query::parse_formula;
+
+    /// The naive (enumeration-based) consistent answer, used as ground truth.
+    fn naive(ctx: &RepairContext, text: &str) -> bool {
+        let query = parse_formula(text).unwrap();
+        let empty = ctx.empty_priority();
+        preferred_consistent_answer(ctx, &empty, &AllRepairs, &query)
+            .unwrap()
+            .certainly_true
+    }
+
+    fn fast(ctx: &RepairContext, text: &str) -> bool {
+        ground_consistent_answer(ctx, &parse_formula(text).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn ground_atoms_over_the_example_1_instance() {
+        let ctx = example1();
+        // (Mary, IT, 20, 1) is in some repairs but not all: not a consistent answer.
+        assert!(!fast(&ctx, "Mgr('Mary','IT',20,1)"));
+        // Its negation is not a consistent answer either.
+        assert!(!fast(&ctx, "NOT Mgr('Mary','IT',20,1)"));
+        // A tuple that is not in the instance is certainly absent.
+        assert!(fast(&ctx, "NOT Mgr('Mary','PR',99,9)"));
+        assert!(!fast(&ctx, "Mgr('Mary','PR',99,9)"));
+    }
+
+    #[test]
+    fn disjunctions_capture_certain_knowledge() {
+        let ctx = example1();
+        // Every repair contains a Mary tuple: either (Mary,R&D,40,3) or (Mary,IT,20,1).
+        assert!(fast(&ctx, "Mgr('Mary','R&D',40,3) OR Mgr('Mary','IT',20,1)"));
+        // Symmetrically for John.
+        assert!(fast(&ctx, "Mgr('John','R&D',10,2) OR Mgr('John','PR',30,4)"));
+        // But no repair contains both Mary tuples.
+        assert!(fast(&ctx, "NOT (Mgr('Mary','R&D',40,3) AND Mgr('Mary','IT',20,1))"));
+    }
+
+    #[test]
+    fn comparisons_are_folded() {
+        let ctx = example1();
+        assert!(fast(&ctx, "1 < 2"));
+        assert!(!fast(&ctx, "2 < 1"));
+        assert!(fast(&ctx, "Mgr('Mary','R&D',40,3) OR 1 = 1"));
+        assert!(!fast(&ctx, "Mgr('Mary','R&D',40,3) AND 1 = 2"));
+    }
+
+    #[test]
+    fn agrees_with_the_naive_procedure_on_a_query_battery() {
+        let contexts = [example1(), example4(3), example8().0, example9().0];
+        let queries = [
+            "Mgr('Mary','R&D',40,3)",
+            "NOT Mgr('John','R&D',10,2)",
+            "Mgr('Mary','R&D',40,3) OR Mgr('Mary','IT',20,1)",
+            "Mgr('Mary','R&D',40,3) -> Mgr('John','PR',30,4)",
+            "NOT (Mgr('Mary','R&D',40,3) AND Mgr('John','R&D',10,2))",
+            "R(0,0) OR R(0,1)",
+            "R(0,0) AND R(1,0)",
+            "NOT R(0,0) OR NOT R(0,1)",
+            "R(1,1,1) OR R(1,1,2) OR R(1,2,3)",
+            "NOT R(1,1,1) AND NOT R(1,1,2)",
+            "R(1,1,0,0) OR R(1,2,1,1)",
+            "NOT R(2,1,1,2) OR NOT R(2,2,2,1)",
+            "TRUE",
+            "FALSE",
+        ];
+        for ctx in &contexts {
+            for query in queries {
+                // Skip queries whose relation/arity does not match this context.
+                let parsed = parse_formula(query).unwrap();
+                let applies = parsed.relations().iter().all(|r| {
+                    r == ctx.instance().schema().name()
+                        && parsed.size() > 0
+                });
+                let arity_ok = match ground_consistent_answer(ctx, &parsed) {
+                    Err(GroundCqaError::Query(_)) => false,
+                    _ => true,
+                };
+                if !applies || !arity_ok {
+                    continue;
+                }
+                assert_eq!(
+                    fast(ctx, query),
+                    naive(ctx, query),
+                    "disagreement on `{query}` over {}",
+                    ctx.instance().schema()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn non_ground_queries_are_rejected() {
+        let ctx = example1();
+        let open = parse_formula("Mgr(x,'R&D',40,3)").unwrap();
+        assert!(matches!(
+            ground_consistent_answer(&ctx, &open),
+            Err(GroundCqaError::NotGround)
+        ));
+        let quantified = parse_formula("EXISTS d,s,r . Mgr('Mary',d,s,r)").unwrap();
+        assert!(matches!(
+            ground_consistent_answer(&ctx, &quantified),
+            Err(GroundCqaError::NotGround)
+        ));
+    }
+
+    #[test]
+    fn unknown_relations_and_arity_mismatches_are_reported() {
+        let ctx = example1();
+        assert!(matches!(
+            ground_consistent_answer(&ctx, &parse_formula("Nope(1)").unwrap()),
+            Err(GroundCqaError::Query(QueryError::UnknownRelation { .. }))
+        ));
+        assert!(matches!(
+            ground_consistent_answer(&ctx, &parse_formula("Mgr('Mary',1)").unwrap()),
+            Err(GroundCqaError::Query(QueryError::ArityMismatch { .. }))
+        ));
+    }
+
+    #[test]
+    fn blocker_interaction_is_handled() {
+        // Two negative literals whose only blockers conflict with each other: no repair
+        // excludes both. Conflict graph: n1 – b – n2 (b is the only blocker for both...),
+        // here we build it so that n1's blockers are {b1}, n2's blockers are {b2} and
+        // b1 conflicts with b2: excluding both n1 and n2 is impossible.
+        use pdqi_constraints::FdSet;
+        use pdqi_relation::{RelationInstance, RelationSchema, Value, ValueType};
+        use std::sync::Arc;
+        // Schema R(A,B,C) with FDs A -> B and  C -> B.
+        // Tuples: n1=(1,0,9), b1=(1,1,5), b2=(2,2,5), n2=(2,0,8).
+        // Conflicts: n1-b1 (A=1, B differs), n2-b2 (A=2, B differs), b1-b2 (C=5, B differs).
+        let schema = Arc::new(
+            RelationSchema::from_pairs(
+                "R",
+                &[("A", ValueType::Int), ("B", ValueType::Int), ("C", ValueType::Int)],
+            )
+            .unwrap(),
+        );
+        let instance = RelationInstance::from_rows(
+            Arc::clone(&schema),
+            vec![
+                vec![Value::int(1), Value::int(0), Value::int(9)],
+                vec![Value::int(1), Value::int(1), Value::int(5)],
+                vec![Value::int(2), Value::int(2), Value::int(5)],
+                vec![Value::int(2), Value::int(0), Value::int(8)],
+            ],
+        )
+        .unwrap();
+        let fds = FdSet::parse(schema, &["A -> B", "C -> B"]).unwrap();
+        let ctx = RepairContext::new(instance, fds);
+        assert_eq!(ctx.graph().edge_count(), 3);
+        // "Some repair excludes both n1 and n2" must be false...
+        let q = parse_formula("NOT R(1,0,9) AND NOT R(2,0,8)").unwrap();
+        assert!(!exists_repair_satisfying_ground(&ctx, &q).unwrap());
+        // ... so "n1 or n2 is present" is a consistent answer.
+        assert!(fast(&ctx, "R(1,0,9) OR R(2,0,8)"));
+        assert!(naive(&ctx, "R(1,0,9) OR R(2,0,8)"));
+        // Excluding a single one of them is possible.
+        assert!(exists_repair_satisfying_ground(&ctx, &parse_formula("NOT R(1,0,9)").unwrap())
+            .unwrap());
+    }
+}

@@ -1,0 +1,283 @@
+//! The one-stop engine façade.
+//!
+//! [`PdqiEngine`] bundles an instance, its functional dependencies, the conflict graph
+//! and a priority, and exposes the operations a downstream application needs: repair
+//! inspection, preferred-repair enumeration per family, Algorithm-1 cleaning, preferred
+//! consistent answers for closed queries (with an automatic fast path for ground queries
+//! under `Rep`) and certain/possible answers for open queries.
+
+use std::sync::Arc;
+
+use pdqi_constraints::{ConflictGraph, FdSet};
+use pdqi_priority::{priority_from_scores, priority_from_source_reliability, Priority, SourceOrder};
+use pdqi_query::classify::is_quantifier_free;
+use pdqi_query::{parse_formula, Formula, QueryError};
+use pdqi_relation::{RelationInstance, TupleId, TupleSet, Value};
+
+use crate::clean::{clean_with_total_priority, CleaningError};
+use crate::cqa::{certain_answers, possible_answers, preferred_consistent_answer, CqaOutcome};
+use crate::cqa_ground::ground_consistent_answer;
+use crate::families::FamilyKind;
+use crate::repair::RepairContext;
+
+/// A preference-driven consistent-query-answering engine over one relation instance.
+pub struct PdqiEngine {
+    ctx: RepairContext,
+    priority: Priority,
+}
+
+impl PdqiEngine {
+    /// Creates an engine with the empty priority (plain consistent query answering).
+    pub fn new(instance: RelationInstance, fds: FdSet) -> Self {
+        let ctx = RepairContext::new(instance, fds);
+        let priority = ctx.empty_priority();
+        PdqiEngine { ctx, priority }
+    }
+
+    /// Creates an engine and immediately installs a priority built from explicit
+    /// `winner ≻ loser` tuple-id pairs.
+    pub fn with_priority_pairs(
+        instance: RelationInstance,
+        fds: FdSet,
+        pairs: &[(TupleId, TupleId)],
+    ) -> Result<Self, pdqi_priority::PriorityError> {
+        let mut engine = PdqiEngine::new(instance, fds);
+        engine.priority = Priority::from_pairs(Arc::clone(engine.ctx.graph()), pairs)?;
+        Ok(engine)
+    }
+
+    /// The repair context (instance, constraints, conflict graph).
+    pub fn context(&self) -> &RepairContext {
+        &self.ctx
+    }
+
+    /// The underlying instance.
+    pub fn instance(&self) -> &RelationInstance {
+        self.ctx.instance()
+    }
+
+    /// The conflict graph.
+    pub fn graph(&self) -> &Arc<ConflictGraph> {
+        self.ctx.graph()
+    }
+
+    /// The current priority.
+    pub fn priority(&self) -> &Priority {
+        &self.priority
+    }
+
+    /// Replaces the priority. The priority must orient this engine's conflict graph
+    /// (build it through [`PdqiEngine::graph`]).
+    pub fn set_priority(&mut self, priority: Priority) {
+        self.priority = priority;
+    }
+
+    /// Installs a priority derived from per-tuple scores (higher score wins each conflict).
+    pub fn set_priority_from_scores(&mut self, scores: &[i64]) {
+        self.priority = priority_from_scores(Arc::clone(self.ctx.graph()), scores);
+    }
+
+    /// Installs a priority derived from per-tuple provenance and a source-reliability
+    /// order (the Example 3 scenario).
+    pub fn set_priority_from_sources(&mut self, source_of: &[String], order: &SourceOrder) {
+        self.priority =
+            priority_from_source_reliability(Arc::clone(self.ctx.graph()), source_of, order);
+    }
+
+    /// Whether the instance is consistent.
+    pub fn is_consistent(&self) -> bool {
+        self.ctx.is_consistent()
+    }
+
+    /// The number of repairs.
+    pub fn count_repairs(&self) -> u128 {
+        self.ctx.count_repairs()
+    }
+
+    /// Up to `limit` repairs.
+    pub fn repairs(&self, limit: usize) -> Vec<TupleSet> {
+        self.ctx.repairs(limit)
+    }
+
+    /// Up to `limit` preferred repairs of the given family under the current priority.
+    pub fn preferred_repairs(&self, kind: FamilyKind, limit: usize) -> Vec<TupleSet> {
+        kind.family().preferred_repairs(&self.ctx, &self.priority, limit)
+    }
+
+    /// X-repair checking: whether `candidate` is a preferred repair of the given family.
+    pub fn is_preferred_repair(&self, kind: FamilyKind, candidate: &TupleSet) -> bool {
+        kind.family().is_preferred(&self.ctx, &self.priority, candidate)
+    }
+
+    /// Algorithm 1: the unique cleaning outcome for a total priority (Prop. 1).
+    pub fn clean(&self) -> Result<TupleSet, CleaningError> {
+        clean_with_total_priority(self.ctx.graph(), &self.priority)
+    }
+
+    /// The preferred consistent answer to a closed query under the given family.
+    ///
+    /// Ground queries under the plain repair family are answered through the
+    /// polynomial-time conflict-graph algorithm instead of repair enumeration.
+    pub fn consistent_answer(
+        &self,
+        query: &Formula,
+        kind: FamilyKind,
+    ) -> Result<CqaOutcome, QueryError> {
+        if kind == FamilyKind::Rep
+            && is_quantifier_free(query)
+            && query.free_vars().is_empty()
+            && query.bound_vars().is_empty()
+        {
+            let negated = Formula::Not(Box::new(query.clone()));
+            let certainly_true = ground_consistent_answer(&self.ctx, query);
+            let certainly_false = ground_consistent_answer(&self.ctx, &negated);
+            if let (Ok(certainly_true), Ok(certainly_false)) = (certainly_true, certainly_false) {
+                return Ok(CqaOutcome { certainly_true, certainly_false, examined: 0 });
+            }
+            // Fall through to the generic procedure on analysis errors so the caller gets
+            // the standard error reporting.
+        }
+        preferred_consistent_answer(&self.ctx, &self.priority, kind.family().as_ref(), query)
+    }
+
+    /// Parses and answers a closed query.
+    pub fn consistent_answer_text(
+        &self,
+        query: &str,
+        kind: FamilyKind,
+    ) -> Result<CqaOutcome, QueryError> {
+        let formula = parse_formula(query)?;
+        self.consistent_answer(&formula, kind)
+    }
+
+    /// Certain answers (present in every preferred repair) to an open query.
+    pub fn certain_answers(
+        &self,
+        query: &Formula,
+        kind: FamilyKind,
+    ) -> Result<Vec<Vec<Value>>, QueryError> {
+        certain_answers(&self.ctx, &self.priority, kind.family().as_ref(), query)
+    }
+
+    /// Possible answers (present in some preferred repair) to an open query.
+    pub fn possible_answers(
+        &self,
+        query: &Formula,
+        kind: FamilyKind,
+    ) -> Result<Vec<Vec<Value>>, QueryError> {
+        possible_answers(&self.ctx, &self.priority, kind.family().as_ref(), query)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::repair::fixtures::*;
+    use pdqi_priority::SourceOrder;
+
+    const Q1: &str = "EXISTS d1,s1,r1,d2,s2,r2 . Mgr('Mary',d1,s1,r1) AND Mgr('John',d2,s2,r2) AND s1 < s2";
+    const Q2: &str = "EXISTS d1,s1,r1,d2,s2,r2 . Mgr('Mary',d1,s1,r1) AND Mgr('John',d2,s2,r2) AND s1 > s2 AND r1 < r2";
+
+    fn example1_engine() -> PdqiEngine {
+        let ctx = example1();
+        PdqiEngine::new(ctx.instance().clone(), ctx.fds().clone())
+    }
+
+    #[test]
+    fn the_paper_walkthrough_examples_1_to_3() {
+        let mut engine = example1_engine();
+        assert!(!engine.is_consistent());
+        assert_eq!(engine.count_repairs(), 3);
+
+        // Example 1/2: without preferences neither true nor false is consistent for Q1.
+        let q1 = engine.consistent_answer_text(Q1, FamilyKind::Rep).unwrap();
+        assert!(q1.is_undetermined());
+
+        // Example 3: s3 is less reliable than s1 and s2; under G-Rep, Q2 becomes true.
+        let mut order = SourceOrder::new();
+        order.prefer("s1", "s3").prefer("s2", "s3");
+        let sources =
+            vec!["s1".to_string(), "s2".to_string(), "s3".to_string(), "s3".to_string()];
+        engine.set_priority_from_sources(&sources, &order);
+        assert_eq!(engine.preferred_repairs(FamilyKind::Global, 10).len(), 2);
+        let q2 = engine.consistent_answer_text(Q2, FamilyKind::Global).unwrap();
+        assert!(q2.certainly_true);
+        // Q1 is now certainly false under the preferred repairs.
+        let q1 = engine.consistent_answer_text(Q1, FamilyKind::Global).unwrap();
+        assert!(q1.certainly_false);
+    }
+
+    #[test]
+    fn ground_queries_use_the_fast_path_under_rep() {
+        let engine = example1_engine();
+        let outcome = engine
+            .consistent_answer_text("Mgr('Mary','R&D',40,3) OR Mgr('Mary','IT',20,1)", FamilyKind::Rep)
+            .unwrap();
+        assert!(outcome.certainly_true);
+        // The fast path does not enumerate repairs.
+        assert_eq!(outcome.examined, 0);
+        // Under another family the generic path is used and repairs are examined.
+        let outcome = engine
+            .consistent_answer_text(
+                "Mgr('Mary','R&D',40,3) OR Mgr('Mary','IT',20,1)",
+                FamilyKind::Global,
+            )
+            .unwrap();
+        assert!(outcome.certainly_true);
+        assert!(outcome.examined > 0);
+    }
+
+    #[test]
+    fn cleaning_requires_and_uses_a_total_priority() {
+        let mut engine = example1_engine();
+        assert!(engine.clean().is_err());
+        // Salary as the score yields a total priority on Example 1's conflicts.
+        engine.set_priority_from_scores(&[40, 10, 20, 30]);
+        assert!(engine.priority().is_total());
+        let cleaned = engine.clean().unwrap();
+        assert!(engine.context().is_repair(&cleaned));
+        // The cleaning outcome is the unique preferred repair of C-Rep and G-Rep (P4).
+        assert_eq!(engine.preferred_repairs(FamilyKind::Common, 10), vec![cleaned.clone()]);
+        assert_eq!(engine.preferred_repairs(FamilyKind::Global, 10), vec![cleaned]);
+    }
+
+    #[test]
+    fn priority_pairs_constructor_validates_against_the_conflict_graph() {
+        let ctx = example1();
+        let engine = PdqiEngine::with_priority_pairs(
+            ctx.instance().clone(),
+            ctx.fds().clone(),
+            &[(TupleId(0), TupleId(1))],
+        )
+        .unwrap();
+        assert_eq!(engine.priority().edge_count(), 1);
+        assert!(PdqiEngine::with_priority_pairs(
+            ctx.instance().clone(),
+            ctx.fds().clone(),
+            &[(TupleId(0), TupleId(3))],
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn open_query_answers_are_exposed() {
+        let engine = example1_engine();
+        let query = parse_formula("EXISTS d,s,r . Mgr(x,d,s,r)").unwrap();
+        assert_eq!(engine.certain_answers(&query, FamilyKind::Rep).unwrap().len(), 2);
+        assert_eq!(engine.possible_answers(&query, FamilyKind::Rep).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn preferred_repair_checking_is_exposed() {
+        let mut engine = example1_engine();
+        engine.set_priority_from_scores(&[40, 10, 20, 30]);
+        let preferred = engine.preferred_repairs(FamilyKind::Global, 10);
+        assert_eq!(preferred.len(), 1);
+        assert!(engine.is_preferred_repair(FamilyKind::Global, &preferred[0]));
+        for repair in engine.repairs(10) {
+            if repair != preferred[0] {
+                assert!(!engine.is_preferred_repair(FamilyKind::Global, &repair));
+            }
+        }
+    }
+}

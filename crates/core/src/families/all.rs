@@ -1,0 +1,50 @@
+//! The plain repair family `Rep`: every repair is preferred.
+//!
+//! This is the original framework of consistent query answers of Arenas, Bertossi and
+//! Chomicki \[1\]; the paper recovers it as the degenerate case in which the priority is
+//! ignored altogether (it is also `X-Rep` for the empty priority under any of the optimal
+//! families, by property P3).
+
+use pdqi_priority::Priority;
+use pdqi_relation::TupleSet;
+
+use crate::families::RepairFamily;
+use crate::repair::RepairContext;
+
+/// The family of *all* repairs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AllRepairs;
+
+impl RepairFamily for AllRepairs {
+    fn name(&self) -> &'static str {
+        "Rep"
+    }
+
+    fn is_preferred(&self, ctx: &RepairContext, _priority: &Priority, candidate: &TupleSet) -> bool {
+        ctx.is_repair(candidate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::repair::fixtures::*;
+
+    #[test]
+    fn every_repair_is_preferred_regardless_of_the_priority() {
+        let (ctx, priority) = example9();
+        let family = AllRepairs;
+        assert_eq!(family.name(), "Rep");
+        assert_eq!(family.count_preferred(&ctx, &priority), ctx.count_repairs());
+        for repair in ctx.repairs(100) {
+            assert!(family.is_preferred(&ctx, &priority, &repair));
+        }
+    }
+
+    #[test]
+    fn non_repairs_are_rejected() {
+        let (ctx, priority) = example9();
+        assert!(!AllRepairs.is_preferred(&ctx, &priority, &TupleSet::new()));
+        assert!(!AllRepairs.is_preferred(&ctx, &priority, &ctx.instance().all_ids()));
+    }
+}

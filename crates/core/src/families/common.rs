@@ -1,0 +1,102 @@
+//! The family `C-Rep` of common repairs.
+//!
+//! Theorem 1 shows that there always is a repair common to *every* family of globally
+//! optimal repairs satisfying P1 and P2; `C-Rep` collects exactly those common repairs.
+//! Proposition 7 gives the procedural characterisation used here: the common repairs are
+//! precisely the possible outputs of Algorithm 1 over all Step-3 choice sequences, which
+//! makes C-repair checking polynomial (Corollary 2). `C-Rep ⊆ G-Rep` (Prop. 6) and the
+//! two coincide when the priority cannot be extended to a cyclic orientation of the
+//! conflict graph (Theorem 2).
+
+use std::ops::ControlFlow;
+
+use pdqi_priority::Priority;
+use pdqi_relation::TupleSet;
+
+use crate::clean::{common_repairs, is_common_repair};
+use crate::families::RepairFamily;
+use crate::repair::RepairContext;
+
+/// The family of common repairs (possible outputs of Algorithm 1).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CommonOptimal;
+
+impl RepairFamily for CommonOptimal {
+    fn name(&self) -> &'static str {
+        "C-Rep"
+    }
+
+    fn is_preferred(&self, ctx: &RepairContext, priority: &Priority, candidate: &TupleSet) -> bool {
+        is_common_repair(ctx.graph(), priority, candidate)
+    }
+
+    fn for_each_preferred(
+        &self,
+        ctx: &RepairContext,
+        priority: &Priority,
+        callback: &mut dyn FnMut(&TupleSet) -> ControlFlow<()>,
+    ) -> bool {
+        // Enumerate through the Algorithm-1 state space instead of filtering all repairs:
+        // on instances where C-Rep is much smaller than Rep this is substantially cheaper.
+        for repair in common_repairs(ctx.graph(), priority, usize::MAX) {
+            if callback(&repair).is_break() {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::repair::fixtures::*;
+    use pdqi_relation::TupleId;
+
+    #[test]
+    fn example_9_common_repair_is_the_algorithm_1_output() {
+        let (ctx, priority) = example9();
+        let preferred = CommonOptimal.preferred_repairs(&ctx, &priority, usize::MAX);
+        assert_eq!(
+            preferred,
+            vec![TupleSet::from_ids([TupleId(0), TupleId(2), TupleId(4)])]
+        );
+    }
+
+    #[test]
+    fn contained_in_g_rep_prop_6() {
+        for (ctx, priority) in [example7(), example8(), example9()] {
+            let g = crate::families::GlobalOptimal.preferred_repairs(&ctx, &priority, usize::MAX);
+            for common in CommonOptimal.preferred_repairs(&ctx, &priority, usize::MAX) {
+                assert!(g.contains(&common));
+            }
+        }
+    }
+
+    #[test]
+    fn satisfies_p4_for_total_priorities() {
+        for (ctx, priority) in [example8(), example9()] {
+            assert!(priority.is_total());
+            assert_eq!(CommonOptimal.count_preferred(&ctx, &priority), 1);
+        }
+    }
+
+    #[test]
+    fn with_the_empty_priority_c_rep_equals_rep() {
+        let ctx = example1();
+        let empty = ctx.empty_priority();
+        assert_eq!(CommonOptimal.count_preferred(&ctx, &empty), ctx.count_repairs());
+    }
+
+    #[test]
+    fn membership_and_enumeration_agree() {
+        let (ctx, priority) = example7();
+        let enumerated = CommonOptimal.preferred_repairs(&ctx, &priority, usize::MAX);
+        for repair in ctx.repairs(100) {
+            assert_eq!(
+                enumerated.contains(&repair),
+                CommonOptimal.is_preferred(&ctx, &priority, &repair)
+            );
+        }
+    }
+}

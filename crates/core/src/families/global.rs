@@ -1,0 +1,69 @@
+//! The family `G-Rep` of globally optimal repairs.
+//!
+//! A repair is globally optimal if it is maximal w.r.t. the `≪` lifting of the priority
+//! (Prop. 5). `G-Rep` satisfies all four properties P1–P4 (Prop. 4), is contained in
+//! `S-Rep`, and coincides with `S-Rep` when there is a single functional dependency.
+//! G-repair checking is co-NP-complete and G-consistent query answering is Π₂ᵖ-complete
+//! (Theorem 5), so membership is decided by the backtracking search of
+//! [`pdqi_solve::search`].
+
+use pdqi_priority::Priority;
+use pdqi_relation::TupleSet;
+
+use crate::families::RepairFamily;
+use crate::optimality::is_globally_optimal;
+use crate::repair::RepairContext;
+
+/// The family of globally optimal repairs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GlobalOptimal;
+
+impl RepairFamily for GlobalOptimal {
+    fn name(&self) -> &'static str {
+        "G-Rep"
+    }
+
+    fn is_preferred(&self, ctx: &RepairContext, priority: &Priority, candidate: &TupleSet) -> bool {
+        ctx.is_repair(candidate) && is_globally_optimal(ctx.graph(), priority, candidate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::repair::fixtures::*;
+    use pdqi_relation::TupleId;
+
+    #[test]
+    fn example_9_selects_only_the_alternating_repair() {
+        let (ctx, priority) = example9();
+        let preferred = GlobalOptimal.preferred_repairs(&ctx, &priority, usize::MAX);
+        assert_eq!(
+            preferred,
+            vec![TupleSet::from_ids([TupleId(0), TupleId(2), TupleId(4)])]
+        );
+    }
+
+    #[test]
+    fn categoricity_p4_holds_on_the_paper_total_priority_examples() {
+        for (ctx, priority) in [example8(), example9()] {
+            assert!(priority.is_total());
+            assert_eq!(GlobalOptimal.count_preferred(&ctx, &priority), 1);
+        }
+    }
+
+    #[test]
+    fn coincides_with_s_rep_for_one_functional_dependency_prop_4() {
+        let (ctx, priority) = example8();
+        let s = crate::families::SemiGlobalOptimal.preferred_repairs(&ctx, &priority, usize::MAX);
+        let g = GlobalOptimal.preferred_repairs(&ctx, &priority, usize::MAX);
+        assert_eq!(s, g);
+    }
+
+    #[test]
+    fn with_the_empty_priority_g_rep_equals_rep() {
+        let ctx = example1();
+        let empty = ctx.empty_priority();
+        assert_eq!(GlobalOptimal.count_preferred(&ctx, &empty), ctx.count_repairs());
+    }
+}

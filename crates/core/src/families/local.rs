@@ -1,0 +1,57 @@
+//! The family `L-Rep` of locally optimal repairs.
+//!
+//! A repair is locally optimal if no single tuple can be swapped for a dominating tuple
+//! while staying consistent (Section 3.1). `L-Rep` satisfies P1–P3 (Prop. 2) but not P4
+//! (Example 8), and L-repair checking is in PTIME while L-consistent query answering is
+//! co-NP-complete (Theorem 4).
+
+use pdqi_priority::Priority;
+use pdqi_relation::TupleSet;
+
+use crate::families::RepairFamily;
+use crate::optimality::is_locally_optimal;
+use crate::repair::RepairContext;
+
+/// The family of locally optimal repairs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LocalOptimal;
+
+impl RepairFamily for LocalOptimal {
+    fn name(&self) -> &'static str {
+        "L-Rep"
+    }
+
+    fn is_preferred(&self, ctx: &RepairContext, priority: &Priority, candidate: &TupleSet) -> bool {
+        ctx.is_repair(candidate) && is_locally_optimal(ctx.graph(), priority, candidate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::repair::fixtures::*;
+    use pdqi_relation::TupleId;
+
+    #[test]
+    fn example_7_selects_only_the_dominating_singleton() {
+        let (ctx, priority) = example7();
+        let preferred = LocalOptimal.preferred_repairs(&ctx, &priority, usize::MAX);
+        assert_eq!(preferred, vec![TupleSet::from_ids([TupleId(0)])]);
+    }
+
+    #[test]
+    fn example_8_shows_non_categoricity_of_l_rep() {
+        // Both repairs are locally optimal even though the priority is total: P4 fails.
+        let (ctx, priority) = example8();
+        assert!(priority.is_total());
+        assert_eq!(LocalOptimal.count_preferred(&ctx, &priority), 2);
+    }
+
+    #[test]
+    fn with_the_empty_priority_l_rep_equals_rep() {
+        // Property P3 (non-discrimination).
+        let ctx = example1();
+        let empty = ctx.empty_priority();
+        assert_eq!(LocalOptimal.count_preferred(&ctx, &empty), ctx.count_repairs());
+    }
+}

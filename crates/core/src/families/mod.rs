@@ -1,0 +1,227 @@
+//! Families of preferred repairs.
+//!
+//! The paper studies families `X-Rep` that select a subset of the repairs based on the
+//! priority. This module provides the common [`RepairFamily`] interface — X-repair
+//! checking, enumeration and counting — and the five concrete families:
+//!
+//! | family | definition | repair checking | preferred CQA |
+//! |--------|------------|-----------------|---------------|
+//! | [`AllRepairs`] (Rep)          | all repairs (no use of the priority)     | PTIME | PTIME for {∀,∃}-free, co-NP-complete for conjunctive |
+//! | [`LocalOptimal`] (L-Rep)      | locally optimal repairs                   | PTIME | co-NP-complete |
+//! | [`SemiGlobalOptimal`] (S-Rep) | semi-globally optimal repairs             | PTIME | co-NP-complete |
+//! | [`GlobalOptimal`] (G-Rep)     | globally optimal repairs (`≪`-maximal)    | co-NP-complete | Π₂ᵖ-complete |
+//! | [`CommonOptimal`] (C-Rep)     | possible outputs of Algorithm 1 (Prop. 7) | PTIME | co-NP-complete |
+//!
+//! The inclusions `C-Rep ⊆ G-Rep ⊆ S-Rep ⊆ L-Rep ⊆ Rep` and the coincidence results
+//! (Prop. 3, Prop. 4, Thm. 2) are exercised by the crate's tests and by the
+//! `family_inclusions` integration suite.
+
+mod all;
+mod common;
+mod global;
+mod local;
+mod semiglobal;
+
+pub use all::AllRepairs;
+pub use common::CommonOptimal;
+pub use global::GlobalOptimal;
+pub use local::LocalOptimal;
+pub use semiglobal::SemiGlobalOptimal;
+
+use std::ops::ControlFlow;
+
+use pdqi_priority::Priority;
+use pdqi_relation::TupleSet;
+
+use crate::repair::RepairContext;
+
+/// A family of preferred repairs: given the repair context and a priority it decides
+/// membership (X-repair checking) and enumerates its members.
+pub trait RepairFamily {
+    /// Short name used in reports (`"Rep"`, `"L-Rep"`, ...).
+    fn name(&self) -> &'static str;
+
+    /// X-repair checking: whether `candidate` is a preferred repair of `ctx` under
+    /// `priority`. `candidate` need not be a repair — non-repairs are never preferred.
+    fn is_preferred(&self, ctx: &RepairContext, priority: &Priority, candidate: &TupleSet) -> bool;
+
+    /// Visits every preferred repair exactly once; the callback may stop early. Returns
+    /// `true` if the enumeration ran to completion.
+    ///
+    /// The default implementation filters the full repair enumeration through
+    /// [`RepairFamily::is_preferred`]; families with a cheaper dedicated enumerator
+    /// override it.
+    fn for_each_preferred(
+        &self,
+        ctx: &RepairContext,
+        priority: &Priority,
+        callback: &mut dyn FnMut(&TupleSet) -> ControlFlow<()>,
+    ) -> bool {
+        ctx.for_each_repair(|repair| {
+            if self.is_preferred(ctx, priority, repair) {
+                callback(repair)
+            } else {
+                ControlFlow::Continue(())
+            }
+        })
+    }
+
+    /// Collects up to `limit` preferred repairs.
+    fn preferred_repairs(
+        &self,
+        ctx: &RepairContext,
+        priority: &Priority,
+        limit: usize,
+    ) -> Vec<TupleSet> {
+        let mut out = Vec::new();
+        self.for_each_preferred(ctx, priority, &mut |repair| {
+            out.push(repair.clone());
+            if out.len() >= limit {
+                ControlFlow::Break(())
+            } else {
+                ControlFlow::Continue(())
+            }
+        });
+        out
+    }
+
+    /// The number of preferred repairs (exhaustive enumeration; use with care on large
+    /// repair spaces).
+    fn count_preferred(&self, ctx: &RepairContext, priority: &Priority) -> u128 {
+        let mut count = 0u128;
+        self.for_each_preferred(ctx, priority, &mut |_| {
+            count += 1;
+            ControlFlow::Continue(())
+        });
+        count
+    }
+}
+
+/// The five families by name, for configuration-driven call sites (the SQL front end and
+/// the benchmark harness).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FamilyKind {
+    /// All repairs (the original framework of consistent query answers).
+    Rep,
+    /// Locally optimal repairs.
+    Local,
+    /// Semi-globally optimal repairs.
+    SemiGlobal,
+    /// Globally optimal repairs.
+    Global,
+    /// Common repairs (possible outputs of Algorithm 1).
+    Common,
+}
+
+impl FamilyKind {
+    /// Every family, in increasing order of selectivity.
+    pub const ALL: [FamilyKind; 5] = [
+        FamilyKind::Rep,
+        FamilyKind::Local,
+        FamilyKind::SemiGlobal,
+        FamilyKind::Global,
+        FamilyKind::Common,
+    ];
+
+    /// The family object implementing this kind.
+    pub fn family(self) -> Box<dyn RepairFamily> {
+        match self {
+            FamilyKind::Rep => Box::new(AllRepairs),
+            FamilyKind::Local => Box::new(LocalOptimal),
+            FamilyKind::SemiGlobal => Box::new(SemiGlobalOptimal),
+            FamilyKind::Global => Box::new(GlobalOptimal),
+            FamilyKind::Common => Box::new(CommonOptimal),
+        }
+    }
+
+    /// The paper's name for the family.
+    pub fn label(self) -> &'static str {
+        match self {
+            FamilyKind::Rep => "Rep",
+            FamilyKind::Local => "L-Rep",
+            FamilyKind::SemiGlobal => "S-Rep",
+            FamilyKind::Global => "G-Rep",
+            FamilyKind::Common => "C-Rep",
+        }
+    }
+
+    /// Parses a family name as used by the SQL front end (`REPAIRS ALL`, `REPAIRS LOCAL`,
+    /// ...); accepts both the paper's labels and keyword-style names, case-insensitively.
+    pub fn parse(text: &str) -> Option<FamilyKind> {
+        match text.to_ascii_uppercase().as_str() {
+            "REP" | "ALL" => Some(FamilyKind::Rep),
+            "L-REP" | "L" | "LOCAL" => Some(FamilyKind::Local),
+            "S-REP" | "S" | "SEMIGLOBAL" | "SEMI-GLOBAL" => Some(FamilyKind::SemiGlobal),
+            "G-REP" | "G" | "GLOBAL" => Some(FamilyKind::Global),
+            "C-REP" | "C" | "COMMON" => Some(FamilyKind::Common),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::repair::fixtures::*;
+    use pdqi_relation::TupleId;
+
+    #[test]
+    fn family_kind_round_trips_through_parse_and_label() {
+        for kind in FamilyKind::ALL {
+            assert_eq!(FamilyKind::parse(kind.label()), Some(kind));
+        }
+        assert_eq!(FamilyKind::parse("global"), Some(FamilyKind::Global));
+        assert_eq!(FamilyKind::parse("nonsense"), None);
+    }
+
+    #[test]
+    fn inclusion_chain_on_the_paper_examples() {
+        // C-Rep ⊆ G-Rep ⊆ S-Rep ⊆ L-Rep ⊆ Rep on Examples 7, 8 and 9.
+        for (ctx, priority) in [example7(), example8(), example9()] {
+            let preferred: Vec<Vec<TupleSet>> = FamilyKind::ALL
+                .iter()
+                .map(|kind| kind.family().preferred_repairs(&ctx, &priority, usize::MAX))
+                .collect();
+            let [rep, local, semi, global, common] = &preferred[..] else { unreachable!() };
+            for set in local {
+                assert!(rep.contains(set));
+            }
+            for set in semi {
+                assert!(local.contains(set));
+            }
+            for set in global {
+                assert!(semi.contains(set));
+            }
+            for set in common {
+                assert!(global.contains(set));
+            }
+        }
+    }
+
+    #[test]
+    fn counting_and_collection_are_consistent() {
+        let (ctx, priority) = example9();
+        for kind in FamilyKind::ALL {
+            let family = kind.family();
+            let collected = family.preferred_repairs(&ctx, &priority, usize::MAX);
+            assert_eq!(collected.len() as u128, family.count_preferred(&ctx, &priority));
+        }
+    }
+
+    #[test]
+    fn limits_are_respected() {
+        let ctx = example4(5);
+        let empty = ctx.empty_priority();
+        let family = FamilyKind::Rep.family();
+        assert_eq!(family.preferred_repairs(&ctx, &empty, 7).len(), 7);
+    }
+
+    #[test]
+    fn non_repairs_are_never_preferred() {
+        let (ctx, priority) = example8();
+        let not_a_repair = TupleSet::from_ids([TupleId(0)]);
+        for kind in FamilyKind::ALL {
+            assert!(!kind.family().is_preferred(&ctx, &priority, &not_a_repair));
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! Repairs under denial constraints (the paper's Section 6 generalisation).
+//!
+//! The concluding section of the paper observes that conflict graphs generalise to
+//! conflict *hypergraphs* when the constraint class is widened from functional
+//! dependencies to denial constraints \[6\]: a hyperedge is a minimal set of tuples that
+//! jointly violates some constraint, repairs are the maximal independent sets of the
+//! hypergraph, and the current notion of priority "does not have a clear meaning" once a
+//! conflict involves more than two tuples.
+//!
+//! [`HyperRepairContext`] implements the part that *is* well defined: repairs, repair
+//! checking and (plain, preference-free) consistent query answering under denial
+//! constraints. Priorities remain available through the ordinary [`crate::RepairContext`]
+//! whenever every constraint is a functional dependency.
+
+use std::ops::ControlFlow;
+
+use pdqi_constraints::{ConflictHypergraph, DenialConstraint};
+use pdqi_query::{Evaluator, Formula, QueryError};
+use pdqi_relation::{RelationInstance, TupleSet};
+use pdqi_solve::HypergraphMisEnumerator;
+
+use crate::cqa::CqaOutcome;
+
+/// An instance together with a set of denial constraints and its conflict hypergraph.
+#[derive(Debug, Clone)]
+pub struct HyperRepairContext {
+    instance: RelationInstance,
+    constraints: Vec<DenialConstraint>,
+    hypergraph: ConflictHypergraph,
+}
+
+impl HyperRepairContext {
+    /// Builds the context (and the conflict hypergraph) for `instance` under the denial
+    /// constraints.
+    pub fn new(instance: RelationInstance, constraints: Vec<DenialConstraint>) -> Self {
+        let hypergraph = ConflictHypergraph::build(&instance, &constraints);
+        HyperRepairContext { instance, constraints, hypergraph }
+    }
+
+    /// The underlying instance.
+    pub fn instance(&self) -> &RelationInstance {
+        &self.instance
+    }
+
+    /// The denial constraints.
+    pub fn constraints(&self) -> &[DenialConstraint] {
+        &self.constraints
+    }
+
+    /// The conflict hypergraph.
+    pub fn hypergraph(&self) -> &ConflictHypergraph {
+        &self.hypergraph
+    }
+
+    /// Whether the instance satisfies every denial constraint.
+    pub fn is_consistent(&self) -> bool {
+        self.hypergraph.hyperedges().is_empty()
+    }
+
+    /// Repair checking: `candidate` is a repair iff it is a maximal independent set of
+    /// the conflict hypergraph.
+    pub fn is_repair(&self, candidate: &TupleSet) -> bool {
+        candidate.is_subset_of(&self.instance.all_ids())
+            && self.hypergraph.is_maximal_independent(candidate)
+    }
+
+    /// Visits every repair; the callback may stop early. Returns `true` when the
+    /// enumeration ran to completion.
+    pub fn for_each_repair<F>(&self, callback: F) -> bool
+    where
+        F: FnMut(&TupleSet) -> ControlFlow<()>,
+    {
+        HypergraphMisEnumerator::new(&self.hypergraph).for_each(callback)
+    }
+
+    /// Collects up to `limit` repairs.
+    pub fn repairs(&self, limit: usize) -> Vec<TupleSet> {
+        HypergraphMisEnumerator::new(&self.hypergraph).collect(limit)
+    }
+
+    /// The number of repairs (exhaustive enumeration).
+    pub fn count_repairs(&self) -> u128 {
+        HypergraphMisEnumerator::new(&self.hypergraph).count()
+    }
+
+    /// The consistent answer to a closed query under the (preference-free) repair
+    /// semantics: both facets of [`CqaOutcome`] are computed by enumerating the repairs.
+    pub fn consistent_answer(&self, query: &Formula) -> Result<CqaOutcome, QueryError> {
+        let free = query.free_vars();
+        if !free.is_empty() {
+            return Err(QueryError::FreeVariables { variables: free });
+        }
+        let mut outcome = CqaOutcome { certainly_true: true, certainly_false: true, examined: 0 };
+        let mut error: Option<QueryError> = None;
+        self.for_each_repair(|repair| {
+            let evaluator = Evaluator::with_restricted(&self.instance, repair);
+            match evaluator.eval_closed(query) {
+                Ok(true) => outcome.certainly_false = false,
+                Ok(false) => outcome.certainly_true = false,
+                Err(e) => {
+                    error = Some(e);
+                    return ControlFlow::Break(());
+                }
+            }
+            outcome.examined += 1;
+            if outcome.is_undetermined() {
+                ControlFlow::Break(())
+            } else {
+                ControlFlow::Continue(())
+            }
+        });
+        match error {
+            Some(e) => Err(e),
+            None => Ok(outcome),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdqi_constraints::{CompOp, DenialAtom, DenialTerm, FunctionalDependency};
+    use pdqi_query::parse_formula;
+    use pdqi_relation::{AttrId, RelationSchema, TupleId, Value, ValueType};
+    use std::sync::Arc;
+
+    fn schema() -> Arc<RelationSchema> {
+        Arc::new(
+            RelationSchema::from_pairs(
+                "Emp",
+                &[("Name", ValueType::Name), ("Dept", ValueType::Name), ("Salary", ValueType::Int)],
+            )
+            .unwrap(),
+        )
+    }
+
+    fn instance() -> RelationInstance {
+        RelationInstance::from_rows(
+            schema(),
+            vec![
+                vec!["Mary".into(), "R&D".into(), Value::int(40)],
+                vec!["Mary".into(), "IT".into(), Value::int(20)],
+                vec!["John".into(), "PR".into(), Value::int(200)],
+            ],
+        )
+        .unwrap()
+    }
+
+    /// FD-derived constraints plus the single-tuple denial constraint "no salary above 100".
+    fn constraints() -> Vec<DenialConstraint> {
+        let s = schema();
+        let fd = FunctionalDependency::parse(&s, "Name -> Dept Salary").unwrap();
+        let mut constraints = DenialConstraint::from_fd(Arc::clone(&s), &fd);
+        constraints.push(
+            DenialConstraint::new(
+                Arc::clone(&s),
+                1,
+                vec![DenialAtom {
+                    left: DenialTerm::Attr { var: 0, attr: AttrId(2) },
+                    op: CompOp::Gt,
+                    right: DenialTerm::Const(Value::int(100)),
+                }],
+            )
+            .unwrap(),
+        );
+        constraints
+    }
+
+    #[test]
+    fn repairs_under_mixed_denial_constraints() {
+        let ctx = HyperRepairContext::new(instance(), constraints());
+        assert!(!ctx.is_consistent());
+        // The two Mary tuples conflict (FD); John's tuple violates the salary cap on its
+        // own, so it appears in no repair at all.
+        let repairs = ctx.repairs(10);
+        assert_eq!(ctx.count_repairs(), 2);
+        for repair in &repairs {
+            assert!(ctx.is_repair(repair));
+            assert!(!repair.contains(TupleId(2)));
+            assert_eq!(repair.len(), 1);
+        }
+        // A set containing the over-paid tuple is never a repair.
+        assert!(!ctx.is_repair(&TupleSet::from_ids([TupleId(0), TupleId(2)])));
+    }
+
+    #[test]
+    fn consistent_answers_under_denial_constraints() {
+        let ctx = HyperRepairContext::new(instance(), constraints());
+        // John is certainly gone (the single-tuple constraint removes him from every repair).
+        let john = parse_formula("EXISTS d,s . Emp('John',d,s)").unwrap();
+        assert!(ctx.consistent_answer(&john).unwrap().certainly_false);
+        // Mary certainly remains, though her department is undetermined.
+        let mary = parse_formula("EXISTS d,s . Emp('Mary',d,s)").unwrap();
+        assert!(ctx.consistent_answer(&mary).unwrap().certainly_true);
+        let mary_rd = parse_formula("Emp('Mary','R&D',40)").unwrap();
+        assert!(ctx.consistent_answer(&mary_rd).unwrap().is_undetermined());
+        // Open formulas are rejected.
+        let open = parse_formula("Emp(x,'R&D',40)").unwrap();
+        assert!(ctx.consistent_answer(&open).is_err());
+    }
+
+    #[test]
+    fn a_consistent_instance_has_one_repair_and_determined_answers() {
+        let consistent = RelationInstance::from_rows(
+            schema(),
+            vec![vec!["Mary".into(), "R&D".into(), Value::int(40)]],
+        )
+        .unwrap();
+        let ctx = HyperRepairContext::new(consistent, constraints());
+        assert!(ctx.is_consistent());
+        assert_eq!(ctx.count_repairs(), 1);
+        let query = parse_formula("Emp('Mary','R&D',40)").unwrap();
+        assert!(ctx.consistent_answer(&query).unwrap().certainly_true);
+    }
+}

@@ -1,0 +1,75 @@
+//! Preference-driven querying of inconsistent relational databases.
+//!
+//! This crate is the heart of the `pdqi` workspace: it implements the framework of
+//! S. Staworko, J. Chomicki and J. Marcinkowski, *Preference-Driven Querying of
+//! Inconsistent Relational Databases* (EDBT 2006 Workshops):
+//!
+//! * **repairs** of an inconsistent instance w.r.t. functional dependencies — the maximal
+//!   consistent subsets, represented through the conflict graph ([`repair`]),
+//! * the paper's three **optimality notions** — local, semi-global and global — plus the
+//!   `≪` lifting of a priority to repairs ([`optimality`]),
+//! * the four **families of preferred repairs** `Rep ⊇ L-Rep ⊇ S-Rep ⊇ G-Rep ⊇ C-Rep`
+//!   with membership tests (X-repair checking) and enumeration ([`families`]),
+//! * **Algorithm 1**, the winnow-driven cleaning procedure whose possible outputs are
+//!   exactly the common repairs C-Rep ([`clean`]),
+//! * executable checks of the desirable **properties P1–P4** and of the paper's
+//!   propositions and theorems ([`properties`]),
+//! * **preferred consistent query answers** for every family, with both the generic
+//!   enumeration-based procedure and the polynomial-time algorithm for quantifier-free
+//!   queries under the plain repair family ([`cqa`], [`cqa_ground`]),
+//! * a one-stop façade, [`PdqiEngine`] ([`engine`]).
+//!
+//! # Quick start
+//!
+//! ```
+//! use std::sync::Arc;
+//! use pdqi_relation::{RelationSchema, RelationInstance, Value, ValueType};
+//! use pdqi_constraints::FdSet;
+//! use pdqi_core::{PdqiEngine, FamilyKind};
+//!
+//! // The integrated manager instance of the paper's Example 1.
+//! let schema = Arc::new(RelationSchema::from_pairs("Mgr", &[
+//!     ("Name", ValueType::Name), ("Dept", ValueType::Name),
+//!     ("Salary", ValueType::Int), ("Reports", ValueType::Int),
+//! ]).unwrap());
+//! let instance = RelationInstance::from_rows(Arc::clone(&schema), vec![
+//!     vec!["Mary".into(), "R&D".into(), Value::int(40), Value::int(3)],
+//!     vec!["John".into(), "R&D".into(), Value::int(10), Value::int(2)],
+//!     vec!["Mary".into(), "IT".into(), Value::int(20), Value::int(1)],
+//!     vec!["John".into(), "PR".into(), Value::int(30), Value::int(4)],
+//! ]).unwrap();
+//! let fds = FdSet::parse(Arc::clone(&schema),
+//!     &["Dept -> Name Salary Reports", "Name -> Dept Salary Reports"]).unwrap();
+//!
+//! let engine = PdqiEngine::new(instance, fds);
+//! assert_eq!(engine.count_repairs(), 3);           // Example 2
+//! let q1 = "EXISTS d1,s1,r1,d2,s2,r2 . Mgr('Mary',d1,s1,r1) AND Mgr('John',d2,s2,r2) AND s1 < s2";
+//! let answer = engine.consistent_answer_text(q1, FamilyKind::Rep).unwrap();
+//! assert!(!answer.certainly_true);                 // true is NOT a consistent answer to Q1
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod clean;
+pub mod cqa;
+pub mod cqa_ground;
+pub mod engine;
+pub mod families;
+pub mod hyper;
+pub mod optimality;
+pub mod properties;
+pub mod repair;
+
+pub use clean::{clean_with_total_priority, CleaningError};
+pub use cqa::{preferred_consistent_answer, CqaOutcome};
+pub use engine::PdqiEngine;
+pub use hyper::HyperRepairContext;
+pub use families::{
+    AllRepairs, CommonOptimal, FamilyKind, GlobalOptimal, LocalOptimal, RepairFamily,
+    SemiGlobalOptimal,
+};
+pub use optimality::{
+    is_globally_optimal, is_locally_optimal, is_semi_globally_optimal, preferred_over,
+};
+pub use repair::RepairContext;

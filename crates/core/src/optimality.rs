@@ -1,0 +1,194 @@
+//! The paper's optimality notions (Section 3).
+//!
+//! Properties P1–P4 alone do not force a family of preferred repairs to actually *use*
+//! the priority (Example 6), so the paper introduces three increasingly aggressive
+//! notions of repair optimality:
+//!
+//! 1. **locally optimal** — no single tuple of the repair can be swapped for a dominating
+//!    tuple while staying consistent;
+//! 2. **semi-globally optimal** — no *set* of tuples of the repair can be swapped for a
+//!    single tuple dominating all of them while staying consistent;
+//! 3. **globally optimal** — characterised by Proposition 5 as `≪`-maximality, where
+//!    `r1 ≪ r2` iff every tuple of `r1 \ r2` is dominated by some tuple of `r2 \ r1`.
+//!
+//! Global optimality implies semi-global optimality implies local optimality. Local and
+//! semi-global optimality are decidable in polynomial time (Theorem 4, Corollary 1);
+//! global optimality is co-NP-complete (Theorem 5) and is decided here by the
+//! backtracking search of [`pdqi_solve::search`].
+
+use pdqi_constraints::ConflictGraph;
+use pdqi_priority::Priority;
+use pdqi_relation::{TupleId, TupleSet};
+
+/// The `≪` relation of Proposition 5: `r2` is preferred over `r1` iff every tuple of
+/// `r1 \ r2` is dominated by some tuple of `r2 \ r1`.
+///
+/// Note that `r ≪ r` holds vacuously for every repair (the difference is empty); the
+/// paper's maximality condition therefore quantifies over *other* repairs only.
+pub fn preferred_over(priority: &Priority, r1: &TupleSet, r2: &TupleSet) -> bool {
+    pdqi_solve::search::dominates_base(priority, r1, r2)
+}
+
+/// Whether the repair is **locally optimal**: there is no tuple `x ∈ repair` and tuple
+/// `y` with `y ≻ x` such that `(repair \ {x}) ∪ {y}` is consistent.
+///
+/// `repair` is assumed to be a repair of `graph` (a maximal independent set).
+pub fn is_locally_optimal(graph: &ConflictGraph, priority: &Priority, repair: &TupleSet) -> bool {
+    // A swap of x for y keeps consistency iff y's only neighbour inside the repair is x.
+    // Scan candidate replacements y outside the repair.
+    for y in 0..graph.vertex_count() {
+        let y = TupleId(y as u32);
+        if repair.contains(y) {
+            continue;
+        }
+        let inside = graph.neighbors(y).intersection(repair);
+        if inside.len() != 1 {
+            continue;
+        }
+        let x = inside.first().expect("the intersection has exactly one member");
+        if priority.dominates(y, x) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Whether the repair is **semi-globally optimal**: there is no nonempty set
+/// `X ⊆ repair` and tuple `y` with `y ≻ x` for every `x ∈ X` such that
+/// `(repair \ X) ∪ {y}` is consistent.
+///
+/// Equivalently (as observed in Section 4.2 of the paper): there is no tuple `y` outside
+/// the repair all of whose neighbours inside the repair are dominated by `y`.
+pub fn is_semi_globally_optimal(
+    graph: &ConflictGraph,
+    priority: &Priority,
+    repair: &TupleSet,
+) -> bool {
+    for y in 0..graph.vertex_count() {
+        let y = TupleId(y as u32);
+        if repair.contains(y) {
+            continue;
+        }
+        let inside = graph.neighbors(y).intersection(repair);
+        // `repair` is maximal, so `inside` is nonempty for every outside tuple; the guard
+        // keeps the predicate meaningful for arbitrary consistent subsets as well.
+        if inside.is_empty() {
+            continue;
+        }
+        if inside.iter().all(|x| priority.dominates(y, x)) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Whether the repair is **globally optimal**, via the `≪`-maximality characterisation of
+/// Proposition 5: no other repair `≪`-dominates it. This is the co-NP-hard check of
+/// Theorem 5; it is decided by backtracking search over the repairs of the conflict
+/// graph with domination-aware pruning.
+pub fn is_globally_optimal(graph: &ConflictGraph, priority: &Priority, repair: &TupleSet) -> bool {
+    pdqi_solve::exists_dominating_repair(graph, priority, repair).is_none()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::repair::fixtures::*;
+
+    #[test]
+    fn example_7_only_ta_is_locally_optimal() {
+        let (ctx, priority) = example7();
+        let repairs = ctx.repairs(10);
+        assert_eq!(repairs.len(), 3);
+        let ta = TupleSet::from_ids([TupleId(0)]);
+        for repair in &repairs {
+            let expected = *repair == ta;
+            assert_eq!(is_locally_optimal(ctx.graph(), &priority, repair), expected);
+        }
+    }
+
+    #[test]
+    fn example_8_local_optimality_is_too_weak_but_semi_global_is_not() {
+        let (ctx, priority) = example8();
+        let r1 = TupleSet::from_ids([TupleId(0), TupleId(1)]); // {ta, tb}
+        let r2 = TupleSet::from_ids([TupleId(2)]); // {tc}
+        // Both repairs are locally optimal (Example 8) ...
+        assert!(is_locally_optimal(ctx.graph(), &priority, &r1));
+        assert!(is_locally_optimal(ctx.graph(), &priority, &r2));
+        // ... but only {tc} is semi-globally optimal (Section 3.2).
+        assert!(!is_semi_globally_optimal(ctx.graph(), &priority, &r1));
+        assert!(is_semi_globally_optimal(ctx.graph(), &priority, &r2));
+        // Global optimality agrees with semi-global here (one FD, Prop. 4).
+        assert!(!is_globally_optimal(ctx.graph(), &priority, &r1));
+        assert!(is_globally_optimal(ctx.graph(), &priority, &r2));
+    }
+
+    #[test]
+    fn example_9_intended_semi_global_optimality_is_too_weak_but_global_is_not() {
+        // The reconstructed Example 9 scenario (see the fixture's erratum note): two
+        // repairs, both semi-globally optimal, only one globally optimal.
+        let (ctx, priority) = example9_intended();
+        let r1 = TupleSet::from_ids([TupleId(0), TupleId(2), TupleId(4)]); // {ta, tc, te}
+        let r2 = TupleSet::from_ids([TupleId(1), TupleId(3)]); // {tb, td}
+        let repairs = ctx.repairs(10);
+        assert_eq!(repairs.len(), 2);
+        assert!(repairs.contains(&r1) && repairs.contains(&r2));
+        // Both repairs are semi-globally optimal (Example 9's narrative) ...
+        assert!(is_semi_globally_optimal(ctx.graph(), &priority, &r1));
+        assert!(is_semi_globally_optimal(ctx.graph(), &priority, &r2));
+        // ... but only r1 is globally optimal (Section 3.3).
+        assert!(is_globally_optimal(ctx.graph(), &priority, &r1));
+        assert!(!is_globally_optimal(ctx.graph(), &priority, &r2));
+    }
+
+    #[test]
+    fn example_9_literal_data_erratum() {
+        // With the tuple values exactly as printed in the paper, the conflict graph is a
+        // 5-vertex path: it has four repairs (not two), and under the stated total
+        // priority only the alternating repair {ta, tc, te} is even locally optimal.
+        let (ctx, priority) = example9();
+        let repairs = ctx.repairs(10);
+        assert_eq!(repairs.len(), 4);
+        let alternating = TupleSet::from_ids([TupleId(0), TupleId(2), TupleId(4)]);
+        for repair in &repairs {
+            let expected = *repair == alternating;
+            assert_eq!(is_locally_optimal(ctx.graph(), &priority, repair), expected);
+            assert_eq!(is_semi_globally_optimal(ctx.graph(), &priority, repair), expected);
+            assert_eq!(is_globally_optimal(ctx.graph(), &priority, repair), expected);
+        }
+    }
+
+    #[test]
+    fn optimality_notions_form_a_hierarchy() {
+        // On every repair of the paper's examples: globally ⊆ semi-globally ⊆ locally optimal.
+        for (ctx, priority) in [example7(), example8(), example9(), example9_intended()] {
+            for repair in ctx.repairs(100) {
+                let local = is_locally_optimal(ctx.graph(), &priority, &repair);
+                let semi = is_semi_globally_optimal(ctx.graph(), &priority, &repair);
+                let global = is_globally_optimal(ctx.graph(), &priority, &repair);
+                assert!(!global || semi, "global optimality must imply semi-global optimality");
+                assert!(!semi || local, "semi-global optimality must imply local optimality");
+            }
+        }
+    }
+
+    #[test]
+    fn with_the_empty_priority_every_repair_is_optimal() {
+        let ctx = example1();
+        let empty = ctx.empty_priority();
+        for repair in ctx.repairs(10) {
+            assert!(is_locally_optimal(ctx.graph(), &empty, &repair));
+            assert!(is_semi_globally_optimal(ctx.graph(), &empty, &repair));
+            assert!(is_globally_optimal(ctx.graph(), &empty, &repair));
+        }
+    }
+
+    #[test]
+    fn preferred_over_matches_the_definition_on_example_9() {
+        let (_, priority) = example9();
+        let r1 = TupleSet::from_ids([TupleId(0), TupleId(2), TupleId(4)]);
+        let r2 = TupleSet::from_ids([TupleId(1), TupleId(3)]);
+        assert!(preferred_over(&priority, &r2, &r1)); // r2 ≪ r1
+        assert!(!preferred_over(&priority, &r1, &r2));
+    }
+}

@@ -1,0 +1,200 @@
+//! Executable checks of the paper's desirable properties P1–P4.
+//!
+//! Section 1 of the paper postulates four properties of a family of preferred repairs:
+//!
+//! * **P1 (non-emptiness)** — `X-Rep ≠ ∅`;
+//! * **P2 (monotonicity)** — extending the priority can only narrow the set of preferred
+//!   repairs: `Φ ⊆ Ψ ⇒ X-Rep_Ψ ⊆ X-Rep_Φ`;
+//! * **P3 (non-discrimination)** — with the empty priority no repair is excluded:
+//!   `X-Rep_∅ = Rep`;
+//! * **P4 (categoricity)** — a total priority selects exactly one repair.
+//!
+//! These checkers evaluate the properties on *concrete* inputs (an instance, a priority
+//! and, for P2, an extension); the property-based test-suites drive them over randomly
+//! generated instances and priority chains. [`check_profile`] bundles them into the
+//! per-family profile reported by the paper (L and S satisfy P1–P3; G and C satisfy
+//! P1–P4; Rep satisfies P1–P3 trivially and P4 never — except degenerate repair spaces).
+
+use pdqi_priority::{random_total_extension, Priority};
+use rand::Rng;
+
+use crate::families::RepairFamily;
+use crate::repair::RepairContext;
+
+/// P1: the family selects at least one preferred repair.
+pub fn check_p1(family: &dyn RepairFamily, ctx: &RepairContext, priority: &Priority) -> bool {
+    !family.preferred_repairs(ctx, priority, 1).is_empty()
+}
+
+/// P2: every repair preferred under the extension `larger` is also preferred under
+/// `smaller`. The caller must pass priorities with `smaller ⊆ larger`.
+///
+/// # Panics
+/// Panics if `larger` is not an extension of `smaller` (a misuse, not a property failure).
+pub fn check_p2(
+    family: &dyn RepairFamily,
+    ctx: &RepairContext,
+    smaller: &Priority,
+    larger: &Priority,
+) -> bool {
+    assert!(
+        larger.is_extension_of(smaller),
+        "P2 is only meaningful when the second priority extends the first"
+    );
+    family
+        .preferred_repairs(ctx, larger, usize::MAX)
+        .iter()
+        .all(|repair| family.is_preferred(ctx, smaller, repair))
+}
+
+/// P3: with the empty priority the family selects exactly the set of all repairs.
+pub fn check_p3(family: &dyn RepairFamily, ctx: &RepairContext) -> bool {
+    let empty = ctx.empty_priority();
+    let preferred = family.preferred_repairs(ctx, &empty, usize::MAX);
+    if preferred.len() as u128 != ctx.count_repairs() {
+        return false;
+    }
+    preferred.iter().all(|repair| ctx.is_repair(repair))
+}
+
+/// P4: the given total priority selects exactly one preferred repair.
+///
+/// # Panics
+/// Panics if `total` is not a total priority (a misuse, not a property failure).
+pub fn check_p4(family: &dyn RepairFamily, ctx: &RepairContext, total: &Priority) -> bool {
+    assert!(total.is_total(), "P4 is only meaningful for total priorities");
+    family.preferred_repairs(ctx, total, 2).len() == 1
+}
+
+/// The outcome of evaluating all four properties on one concrete input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PropertyProfile {
+    /// P1 on the given priority.
+    pub p1: bool,
+    /// P2 on the given priority and `samples` random total extensions of it.
+    pub p2: bool,
+    /// P3 (uses the empty priority).
+    pub p3: bool,
+    /// P4 on `samples` random total extensions of the given priority.
+    pub p4: bool,
+}
+
+/// Evaluates P1–P4 for `family` on the given instance and priority, sampling `samples`
+/// random total extensions for the monotonicity and categoricity checks.
+pub fn check_profile<R: Rng>(
+    family: &dyn RepairFamily,
+    ctx: &RepairContext,
+    priority: &Priority,
+    samples: usize,
+    rng: &mut R,
+) -> PropertyProfile {
+    let p1 = check_p1(family, ctx, priority);
+    let p3 = check_p3(family, ctx);
+    let mut p2 = true;
+    let mut p4 = true;
+    for _ in 0..samples {
+        let total = random_total_extension(priority, rng);
+        p2 &= check_p2(family, ctx, priority, &total);
+        p4 &= check_p4(family, ctx, &total);
+    }
+    PropertyProfile { p1, p2, p3, p4 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::families::{
+        AllRepairs, CommonOptimal, FamilyKind, GlobalOptimal, LocalOptimal, SemiGlobalOptimal,
+    };
+    use crate::repair::fixtures::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn all_families_satisfy_p1_and_p3_on_the_paper_examples() {
+        for (ctx, priority) in [example7(), example8(), example9()] {
+            for kind in FamilyKind::ALL {
+                let family = kind.family();
+                assert!(check_p1(family.as_ref(), &ctx, &priority), "{} fails P1", kind.label());
+                assert!(check_p3(family.as_ref(), &ctx), "{} fails P3", kind.label());
+            }
+        }
+    }
+
+    #[test]
+    fn monotonicity_holds_along_a_concrete_extension_chain() {
+        let (ctx, full_priority) = example9();
+        // Build the chain ∅ ⊆ {ta≻tb} ⊆ {ta≻tb, tb≻tc} ⊆ full.
+        let empty = ctx.empty_priority();
+        let edges = full_priority.edges();
+        let mut one = ctx.empty_priority();
+        one.add(edges[0].0, edges[0].1).unwrap();
+        let mut two = one.clone();
+        two.add(edges[1].0, edges[1].1).unwrap();
+        let chain = [empty, one, two, full_priority];
+        for kind in FamilyKind::ALL {
+            let family = kind.family();
+            for pair in chain.windows(2) {
+                assert!(
+                    check_p2(family.as_ref(), &ctx, &pair[0], &pair[1]),
+                    "{} fails P2 along the chain",
+                    kind.label()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn categoricity_separates_the_families_on_example_8() {
+        // Example 8's priority is total. L-Rep keeps two repairs (no P4); S, G and C keep one.
+        let (ctx, priority) = example8();
+        assert!(!check_p4(&LocalOptimal, &ctx, &priority));
+        assert!(check_p4(&SemiGlobalOptimal, &ctx, &priority));
+        assert!(check_p4(&GlobalOptimal, &ctx, &priority));
+        assert!(check_p4(&CommonOptimal, &ctx, &priority));
+        assert!(!check_p4(&AllRepairs, &ctx, &priority));
+    }
+
+    #[test]
+    fn categoricity_on_example_9_literal_data() {
+        // With the literal Example 9 data the priority is total and S, G and C all select
+        // exactly one repair (see the erratum note on the fixture); the intended
+        // S-vs-G separation is exercised on `example9_intended`, whose priority is not
+        // total and therefore outside P4's scope.
+        let (ctx, priority) = example9();
+        assert!(check_p4(&SemiGlobalOptimal, &ctx, &priority));
+        assert!(check_p4(&GlobalOptimal, &ctx, &priority));
+        assert!(check_p4(&CommonOptimal, &ctx, &priority));
+        assert!(!check_p4(&AllRepairs, &ctx, &priority));
+    }
+
+    #[test]
+    fn profiles_of_g_and_c_rep_report_all_four_properties() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for (ctx, priority) in [example7(), example8(), example9()] {
+            for kind in [FamilyKind::Global, FamilyKind::Common] {
+                let profile = check_profile(kind.family().as_ref(), &ctx, &priority, 4, &mut rng);
+                assert!(
+                    profile.p1 && profile.p2 && profile.p3 && profile.p4,
+                    "{} fails its expected profile: {profile:?}",
+                    kind.label()
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "only meaningful for total priorities")]
+    fn p4_rejects_partial_priorities() {
+        let (ctx, priority) = example7();
+        check_p4(&GlobalOptimal, &ctx, &priority);
+    }
+
+    #[test]
+    #[should_panic(expected = "extends the first")]
+    fn p2_rejects_non_extensions() {
+        let (ctx, priority) = example8();
+        let empty = ctx.empty_priority();
+        check_p2(&GlobalOptimal, &ctx, &priority, &empty);
+    }
+}

@@ -1,0 +1,36 @@
+//! Synthetic workload generators for the `pdqi` experiments.
+//!
+//! The paper is a theory paper: it reports complexity classes, not measurements. To turn
+//! its Fig. 5 into empirical scaling experiments the benchmark harness needs families of
+//! instances whose *shape* is controlled:
+//!
+//! * [`synthetic`] — the paper's own shapes: Example 4's `2ⁿ`-repair instances, Example
+//!   8-style duplicate-heavy one-FD instances, Example 9-style conflict chains, and random
+//!   two-FD instances with a tunable conflict rate,
+//! * [`integration`] — scaled-up versions of the Example 1 multi-source integration
+//!   scenario (managers, departments, conflicting sources),
+//! * [`priorities`] — random priorities with a completeness knob `p ∈ [0, 1]` (fraction
+//!   of conflict edges oriented), plus total priorities,
+//! * [`queries`] — ground and conjunctive query workloads over the generated instances,
+//! * [`sat_instances`] — random 3-CNF formulas feeding the hardness reduction of
+//!   [`pdqi_solve::reductions`].
+//!
+//! All generators are deterministic given a seed (`StdRng`), so every experiment is
+//! reproducible.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod integration;
+pub mod priorities;
+pub mod queries;
+pub mod sat_instances;
+pub mod synthetic;
+
+pub use integration::IntegrationScenario;
+pub use priorities::{random_priority, random_total_priority};
+pub use queries::{random_conjunctive_query, random_ground_query};
+pub use sat_instances::random_3cnf;
+pub use synthetic::{
+    chain_instance, duplicate_instance, example4_instance, random_conflict_instance,
+};

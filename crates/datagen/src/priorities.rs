@@ -1,0 +1,79 @@
+//! Random priorities with a completeness knob.
+//!
+//! Experiment E9 sweeps the fraction `p` of conflict edges the user has expressed a
+//! preference about and observes how the number of preferred repairs shrinks as `p`
+//! grows (monotonicity P2) down to a single repair at `p = 1` for the families with
+//! categoricity P4.
+
+use std::sync::Arc;
+
+use pdqi_constraints::ConflictGraph;
+use pdqi_priority::{random_total_extension, Priority};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A random priority orienting approximately a fraction `completeness ∈ [0, 1]` of the
+/// conflict edges. Edges are oriented one at a time in random order with a random
+/// direction; a direction that would create a cycle is flipped.
+pub fn random_priority<R: Rng>(
+    graph: Arc<ConflictGraph>,
+    completeness: f64,
+    rng: &mut R,
+) -> Priority {
+    assert!((0.0..=1.0).contains(&completeness), "completeness must be in [0, 1]");
+    let mut priority = Priority::empty(Arc::clone(&graph));
+    let mut edges: Vec<_> = graph.edges().to_vec();
+    edges.shuffle(rng);
+    let keep = ((edges.len() as f64) * completeness).round() as usize;
+    for &(a, b) in edges.iter().take(keep) {
+        let (winner, loser) = if rng.gen_bool(0.5) { (a, b) } else { (b, a) };
+        if priority.add(winner, loser).is_err() {
+            priority
+                .add(loser, winner)
+                .expect("one orientation of an unoriented conflict edge is always acyclic");
+        }
+    }
+    priority
+}
+
+/// A random *total* priority (every conflict edge oriented).
+pub fn random_total_priority<R: Rng>(graph: Arc<ConflictGraph>, rng: &mut R) -> Priority {
+    random_total_extension(&Priority::empty(graph), rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdqi_relation::TupleId;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn cycle_graph(n: usize) -> Arc<ConflictGraph> {
+        let edges: Vec<(TupleId, TupleId)> = (0..n)
+            .map(|i| (TupleId(i as u32), TupleId(((i + 1) % n) as u32)))
+            .collect();
+        Arc::new(ConflictGraph::from_edges(n, &edges))
+    }
+
+    #[test]
+    fn completeness_controls_the_number_of_oriented_edges() {
+        let graph = cycle_graph(40);
+        let mut rng = StdRng::seed_from_u64(5);
+        for (p, expected) in [(0.0, 0usize), (0.5, 20), (1.0, 40)] {
+            let priority = random_priority(Arc::clone(&graph), p, &mut rng);
+            assert_eq!(priority.edge_count(), expected);
+            assert!(priority.check_acyclic());
+        }
+    }
+
+    #[test]
+    fn total_priorities_are_total_and_acyclic() {
+        let graph = cycle_graph(15);
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..5 {
+            let priority = random_total_priority(Arc::clone(&graph), &mut rng);
+            assert!(priority.is_total());
+            assert!(priority.check_acyclic());
+        }
+    }
+}

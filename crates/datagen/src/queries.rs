@@ -1,0 +1,133 @@
+//! Query-workload generators.
+//!
+//! Fig. 5 distinguishes the complexity of consistent query answering by query class:
+//! {∀,∃}-free (ground) queries vs. conjunctive queries. These generators produce both
+//! kinds over a given instance, biased towards queries that actually touch existing
+//! tuples so the benchmarks exercise the interesting code paths.
+
+use pdqi_query::builder::{and_all, atom, exists, not, or, var};
+use pdqi_query::{Formula, Term};
+use pdqi_relation::{RelationInstance, TupleId, Value};
+use rand::Rng;
+
+/// A random **ground** query: a Boolean combination (conjunctions, disjunctions and a few
+/// negations) of `literals` ground atoms drawn from the instance's tuples.
+pub fn random_ground_query<R: Rng>(
+    instance: &RelationInstance,
+    literals: usize,
+    rng: &mut R,
+) -> Formula {
+    assert!(!instance.is_empty(), "the instance must contain at least one tuple");
+    assert!(literals >= 1, "at least one literal is required");
+    let mut formula: Option<Formula> = None;
+    for _ in 0..literals {
+        let id = TupleId(rng.gen_range(0..instance.len()) as u32);
+        let tuple = instance.tuple_unchecked(id);
+        let ground_atom = atom(
+            instance.schema().name(),
+            tuple.values().iter().cloned().map(Term::Const).collect(),
+        );
+        let literal = if rng.gen_bool(0.3) { not(ground_atom) } else { ground_atom };
+        formula = Some(match formula {
+            None => literal,
+            Some(previous) => {
+                if rng.gen_bool(0.5) {
+                    or(previous, literal)
+                } else {
+                    pdqi_query::builder::and(previous, literal)
+                }
+            }
+        });
+    }
+    formula.expect("at least one literal was generated")
+}
+
+/// A random **conjunctive** query: `atoms` existentially quantified atoms over the
+/// instance's relation, sharing a join variable on the first attribute, with constants
+/// sampled from existing tuples for roughly half of the remaining positions.
+pub fn random_conjunctive_query<R: Rng>(
+    instance: &RelationInstance,
+    atoms: usize,
+    rng: &mut R,
+) -> Formula {
+    assert!(!instance.is_empty(), "the instance must contain at least one tuple");
+    assert!(atoms >= 1, "at least one atom is required");
+    let arity = instance.schema().arity();
+    let mut vars: Vec<String> = vec!["j".to_string()];
+    let mut conjuncts = Vec::with_capacity(atoms);
+    for a in 0..atoms {
+        let id = TupleId(rng.gen_range(0..instance.len()) as u32);
+        let sample = instance.tuple_unchecked(id);
+        let mut args: Vec<Term> = Vec::with_capacity(arity);
+        for position in 0..arity {
+            if position == 0 {
+                // The join variable links all atoms on the first attribute.
+                args.push(var("j"));
+            } else if rng.gen_bool(0.5) {
+                args.push(Term::Const(sample.values()[position].clone()));
+            } else {
+                let name = format!("x{a}_{position}");
+                vars.push(name.clone());
+                args.push(var(&name));
+            }
+        }
+        conjuncts.push(atom(instance.schema().name(), args));
+    }
+    let var_refs: Vec<&str> = vars.iter().map(String::as_str).collect();
+    exists(&var_refs, and_all(conjuncts))
+}
+
+/// A ground query guaranteed to mention the given values as one positive atom (useful
+/// when a benchmark needs a query with a known answer).
+pub fn ground_atom_query(instance: &RelationInstance, values: Vec<Value>) -> Formula {
+    atom(instance.schema().name(), values.into_iter().map(Term::Const).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::example4_instance;
+    use pdqi_query::classify::{is_conjunctive, is_quantifier_free};
+    use pdqi_query::Evaluator;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ground_queries_are_ground_and_evaluable() {
+        let (instance, _) = example4_instance(6);
+        let mut rng = StdRng::seed_from_u64(11);
+        for literals in 1..6 {
+            let query = random_ground_query(&instance, literals, &mut rng);
+            assert!(is_quantifier_free(&query));
+            assert!(query.free_vars().is_empty());
+            Evaluator::with_relation(&instance).eval_closed(&query).unwrap();
+        }
+    }
+
+    #[test]
+    fn conjunctive_queries_are_conjunctive_closed_and_evaluable() {
+        let (instance, _) = example4_instance(6);
+        let mut rng = StdRng::seed_from_u64(12);
+        for atoms in 1..5 {
+            let query = random_conjunctive_query(&instance, atoms, &mut rng);
+            assert!(is_conjunctive(&query));
+            assert!(query.is_closed());
+            Evaluator::with_relation(&instance).eval_closed(&query).unwrap();
+        }
+    }
+
+    #[test]
+    fn ground_atom_queries_hold_on_their_tuple() {
+        let (instance, _) = example4_instance(2);
+        let query = ground_atom_query(&instance, vec![Value::int(0), Value::int(1)]);
+        assert!(Evaluator::with_relation(&instance).eval_closed(&query).unwrap());
+    }
+
+    #[test]
+    fn generation_is_deterministic_for_a_fixed_seed() {
+        let (instance, _) = example4_instance(4);
+        let a = random_conjunctive_query(&instance, 3, &mut StdRng::seed_from_u64(9));
+        let b = random_conjunctive_query(&instance, 3, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+}

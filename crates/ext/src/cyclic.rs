@@ -1,0 +1,370 @@
+//! Cyclic preference relations and their reduction to Definition 2 priorities.
+//!
+//! Users rarely hand over a carefully acyclic orientation: preference statements come
+//! from several rules of thumb ("newer wins", "source A over source B", "longer record
+//! over shorter") that can easily contradict each other on particular tuple pairs or
+//! around longer cycles. [`CyclicPreference`] accepts such raw statements — any binary
+//! relation on conflicting tuples — and [`CyclicPreference::condense`] extracts the
+//! non-controversial part: the orientation induced between distinct strongly connected
+//! components of the preference digraph. Edges inside a component participate in a
+//! disagreement cycle and are dropped (reported in the [`CondensationReport`]).
+//!
+//! The construction restores Definition 2's guarantees (the result is an acyclic
+//! orientation of conflict edges) and obeys a *conditional* form of monotonicity:
+//! extending the raw preference without merging components only adds oriented edges,
+//! whereas an extension that closes a cycle can retract previously honoured preferences —
+//! the loss of monotonicity the paper warns about, confined to the cycle-forming case.
+
+use std::sync::Arc;
+
+use pdqi_constraints::ConflictGraph;
+use pdqi_priority::{Priority, PriorityError};
+use pdqi_relation::{TupleId, TupleSet};
+
+/// A raw, possibly cyclic preference relation over conflicting tuples.
+#[derive(Debug, Clone)]
+pub struct CyclicPreference {
+    graph: Arc<ConflictGraph>,
+    /// `prefers[x]` = set of tuples y with a raw statement `x ≻ y`.
+    prefers: Vec<TupleSet>,
+    edge_count: usize,
+}
+
+/// What the condensation did to the raw preference.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CondensationReport {
+    /// Number of raw preference edges.
+    pub raw_edges: usize,
+    /// Number of edges kept (oriented in the resulting priority).
+    pub kept_edges: usize,
+    /// Number of edges dropped because both endpoints lie in the same preference cycle.
+    pub dropped_edges: usize,
+    /// Number of non-trivial strongly connected components (preference cycles).
+    pub cycles: usize,
+}
+
+impl CyclicPreference {
+    /// An empty preference over the conflict graph.
+    pub fn new(graph: Arc<ConflictGraph>) -> Self {
+        let n = graph.vertex_count();
+        CyclicPreference { graph, prefers: vec![TupleSet::with_capacity(n); n], edge_count: 0 }
+    }
+
+    /// Records the raw statement `winner ≻ loser`. Statements between non-conflicting
+    /// tuples are rejected (the paper's Definition 2 scope); cycles are allowed.
+    pub fn add(&mut self, winner: TupleId, loser: TupleId) -> Result<(), PriorityError> {
+        let n = self.graph.vertex_count();
+        for t in [winner, loser] {
+            if t.index() >= n {
+                return Err(PriorityError::UnknownTuple { tuple: t });
+            }
+        }
+        if winner == loser {
+            return Err(PriorityError::SelfEdge { tuple: winner });
+        }
+        if !self.graph.are_conflicting(winner, loser) {
+            return Err(PriorityError::NotConflicting { winner, loser });
+        }
+        if self.prefers[winner.index()].insert(loser) {
+            self.edge_count += 1;
+        }
+        Ok(())
+    }
+
+    /// Builds a preference from raw statements.
+    pub fn from_pairs(
+        graph: Arc<ConflictGraph>,
+        pairs: &[(TupleId, TupleId)],
+    ) -> Result<Self, PriorityError> {
+        let mut preference = CyclicPreference::new(graph);
+        for &(winner, loser) in pairs {
+            preference.add(winner, loser)?;
+        }
+        Ok(preference)
+    }
+
+    /// The conflict graph the preference talks about.
+    pub fn graph(&self) -> &Arc<ConflictGraph> {
+        &self.graph
+    }
+
+    /// Number of raw statements.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Whether the raw statement `x ≻ y` was recorded.
+    pub fn prefers(&self, x: TupleId, y: TupleId) -> bool {
+        self.prefers[x.index()].contains(y)
+    }
+
+    /// Whether the raw relation is already acyclic (in which case the condensation keeps
+    /// every edge).
+    pub fn is_acyclic(&self) -> bool {
+        let sccs = self.strongly_connected_components();
+        sccs.iter().all(|component| component.len() == 1)
+            && (0..self.prefers.len())
+                .all(|i| !self.prefers[i].contains(TupleId(i as u32)))
+    }
+
+    /// The strongly connected components of the preference digraph (Tarjan's algorithm,
+    /// iterative to stay safe on long preference chains).
+    pub fn strongly_connected_components(&self) -> Vec<Vec<TupleId>> {
+        let n = self.graph.vertex_count();
+        // Iterative Tarjan.
+        let mut index = vec![usize::MAX; n];
+        let mut lowlink = vec![usize::MAX; n];
+        let mut on_stack = vec![false; n];
+        let mut stack: Vec<usize> = Vec::new();
+        let mut next_index = 0usize;
+        let mut components: Vec<Vec<TupleId>> = Vec::new();
+
+        #[derive(Clone)]
+        struct Frame {
+            vertex: usize,
+            successors: Vec<usize>,
+            position: usize,
+        }
+
+        for start in 0..n {
+            if index[start] != usize::MAX {
+                continue;
+            }
+            let mut call_stack = vec![Frame {
+                vertex: start,
+                successors: self.prefers[start].iter().map(|t| t.index()).collect(),
+                position: 0,
+            }];
+            index[start] = next_index;
+            lowlink[start] = next_index;
+            next_index += 1;
+            stack.push(start);
+            on_stack[start] = true;
+
+            while let Some(frame) = call_stack.last_mut() {
+                if frame.position < frame.successors.len() {
+                    let successor = frame.successors[frame.position];
+                    frame.position += 1;
+                    if index[successor] == usize::MAX {
+                        index[successor] = next_index;
+                        lowlink[successor] = next_index;
+                        next_index += 1;
+                        stack.push(successor);
+                        on_stack[successor] = true;
+                        call_stack.push(Frame {
+                            vertex: successor,
+                            successors: self.prefers[successor]
+                                .iter()
+                                .map(|t| t.index())
+                                .collect(),
+                            position: 0,
+                        });
+                    } else if on_stack[successor] {
+                        let v = frame.vertex;
+                        lowlink[v] = lowlink[v].min(index[successor]);
+                    }
+                } else {
+                    let v = frame.vertex;
+                    call_stack.pop();
+                    if let Some(parent) = call_stack.last() {
+                        let p = parent.vertex;
+                        lowlink[p] = lowlink[p].min(lowlink[v]);
+                    }
+                    if lowlink[v] == index[v] {
+                        let mut component = Vec::new();
+                        while let Some(w) = stack.pop() {
+                            on_stack[w] = false;
+                            component.push(TupleId(w as u32));
+                            if w == v {
+                                break;
+                            }
+                        }
+                        components.push(component);
+                    }
+                }
+            }
+        }
+        components
+    }
+
+    /// Reduces the raw preference to a Definition 2 priority: a raw edge survives iff its
+    /// endpoints lie in different strongly connected components (it is not contradicted
+    /// around any preference cycle). Returns the priority and a report of what was
+    /// dropped.
+    pub fn condense(&self) -> (Priority, CondensationReport) {
+        let components = self.strongly_connected_components();
+        let n = self.graph.vertex_count();
+        let mut component_of = vec![0usize; n];
+        for (id, component) in components.iter().enumerate() {
+            for &tuple in component {
+                component_of[tuple.index()] = id;
+            }
+        }
+        let mut priority = Priority::empty(Arc::clone(&self.graph));
+        let mut kept = 0usize;
+        let mut dropped = 0usize;
+        for x in 0..n {
+            for y in self.prefers[x].iter() {
+                if component_of[x] == component_of[y.index()] {
+                    dropped += 1;
+                    continue;
+                }
+                priority
+                    .add(TupleId(x as u32), y)
+                    .expect("cross-component preference edges cannot close a cycle");
+                kept += 1;
+            }
+        }
+        let cycles = components.iter().filter(|c| c.len() > 1).count();
+        (
+            priority,
+            CondensationReport { raw_edges: self.edge_count, kept_edges: kept, dropped_edges: dropped, cycles },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdqi_core::{FamilyKind, RepairContext};
+    use pdqi_relation::Value;
+    use std::sync::Arc;
+
+    /// A triangle of pairwise-conflicting tuples (one key, three claimants).
+    fn triangle() -> Arc<ConflictGraph> {
+        Arc::new(ConflictGraph::from_edges(
+            3,
+            &[(TupleId(0), TupleId(1)), (TupleId(1), TupleId(2)), (TupleId(0), TupleId(2))],
+        ))
+    }
+
+    #[test]
+    fn acyclic_preferences_survive_condensation_unchanged() {
+        let preference = CyclicPreference::from_pairs(
+            triangle(),
+            &[(TupleId(0), TupleId(1)), (TupleId(1), TupleId(2))],
+        )
+        .unwrap();
+        assert!(preference.is_acyclic());
+        let (priority, report) = preference.condense();
+        assert_eq!(report.kept_edges, 2);
+        assert_eq!(report.dropped_edges, 0);
+        assert_eq!(report.cycles, 0);
+        assert!(priority.dominates(TupleId(0), TupleId(1)));
+        assert!(priority.dominates(TupleId(1), TupleId(2)));
+    }
+
+    #[test]
+    fn a_two_cycle_cancels_itself_but_keeps_the_rest() {
+        // The user says both t0 ≻ t1 and t1 ≻ t0 (two rules of thumb disagree), and also
+        // t0 ≻ t2. The contradiction is dropped, the uncontroversial edge survives.
+        let mut preference = CyclicPreference::new(triangle());
+        preference.add(TupleId(0), TupleId(1)).unwrap();
+        preference.add(TupleId(1), TupleId(0)).unwrap();
+        preference.add(TupleId(0), TupleId(2)).unwrap();
+        assert!(!preference.is_acyclic());
+        let (priority, report) = preference.condense();
+        assert_eq!(report.raw_edges, 3);
+        assert_eq!(report.dropped_edges, 2);
+        assert_eq!(report.kept_edges, 1);
+        assert_eq!(report.cycles, 1);
+        assert!(!priority.orients_edge(TupleId(0), TupleId(1)));
+        assert!(priority.dominates(TupleId(0), TupleId(2)));
+    }
+
+    #[test]
+    fn longer_cycles_are_detected_and_dropped() {
+        // t0 ≻ t1 ≻ t2 ≻ t0: all three edges are controversial.
+        let preference = CyclicPreference::from_pairs(
+            triangle(),
+            &[(TupleId(0), TupleId(1)), (TupleId(1), TupleId(2)), (TupleId(2), TupleId(0))],
+        )
+        .unwrap();
+        let (priority, report) = preference.condense();
+        assert_eq!(report.dropped_edges, 3);
+        assert_eq!(report.kept_edges, 0);
+        assert_eq!(report.cycles, 1);
+        assert!(priority.is_empty());
+    }
+
+    #[test]
+    fn invalid_statements_are_rejected() {
+        let graph = Arc::new(ConflictGraph::from_edges(3, &[(TupleId(0), TupleId(1))]));
+        let mut preference = CyclicPreference::new(graph);
+        assert!(matches!(
+            preference.add(TupleId(0), TupleId(2)),
+            Err(PriorityError::NotConflicting { .. })
+        ));
+        assert!(matches!(
+            preference.add(TupleId(1), TupleId(1)),
+            Err(PriorityError::SelfEdge { .. })
+        ));
+        assert!(matches!(
+            preference.add(TupleId(0), TupleId(7)),
+            Err(PriorityError::UnknownTuple { .. })
+        ));
+        // Duplicate statements are idempotent.
+        preference.add(TupleId(0), TupleId(1)).unwrap();
+        preference.add(TupleId(0), TupleId(1)).unwrap();
+        assert_eq!(preference.edge_count(), 1);
+    }
+
+    /// A concrete instance for the monotonicity experiments: one key group of three.
+    fn salary_context() -> RepairContext {
+        let schema = Arc::new(
+            pdqi_relation::RelationSchema::from_pairs(
+                "R",
+                &[("A", pdqi_relation::ValueType::Int), ("B", pdqi_relation::ValueType::Int)],
+            )
+            .unwrap(),
+        );
+        let instance = pdqi_relation::RelationInstance::from_rows(
+            Arc::clone(&schema),
+            vec![
+                vec![Value::int(1), Value::int(1)],
+                vec![Value::int(1), Value::int(2)],
+                vec![Value::int(1), Value::int(3)],
+            ],
+        )
+        .unwrap();
+        let fds = pdqi_constraints::FdSet::parse(schema, &["A -> B"]).unwrap();
+        RepairContext::new(instance, fds)
+    }
+
+    #[test]
+    fn cycle_free_extensions_preserve_monotonicity() {
+        let ctx = salary_context();
+        let mut preference = CyclicPreference::new(Arc::clone(ctx.graph()));
+        preference.add(TupleId(0), TupleId(1)).unwrap();
+        let (before, _) = preference.condense();
+        // Extend with a statement that does not close any cycle.
+        preference.add(TupleId(0), TupleId(2)).unwrap();
+        let (after, _) = preference.condense();
+        assert!(after.is_extension_of(&before));
+        // Hence P2 holds along this step for every family of the paper.
+        let family = FamilyKind::Global.family();
+        let selected_after = family.preferred_repairs(&ctx, &after, usize::MAX);
+        for repair in &selected_after {
+            assert!(family.is_preferred(&ctx, &before, repair));
+        }
+    }
+
+    #[test]
+    fn cycle_forming_extensions_can_retract_preferences() {
+        // The paper's warning made concrete: adding a statement that closes a cycle makes
+        // the condensed priority *smaller*, and a repair excluded before becomes
+        // preferred again — monotonicity fails across the cycle-forming step.
+        let ctx = salary_context();
+        let mut preference = CyclicPreference::new(Arc::clone(ctx.graph()));
+        preference.add(TupleId(0), TupleId(1)).unwrap();
+        let (before, _) = preference.condense();
+        preference.add(TupleId(1), TupleId(0)).unwrap();
+        let (after, _) = preference.condense();
+        assert!(!after.is_extension_of(&before) || before.is_empty());
+        assert_eq!(after.edge_count(), 0);
+        let family = FamilyKind::Global.family();
+        let rejected_before = pdqi_relation::TupleSet::from_ids([TupleId(1)]);
+        assert!(!family.is_preferred(&ctx, &before, &rejected_before));
+        assert!(family.is_preferred(&ctx, &after, &rejected_before));
+    }
+}

@@ -1,0 +1,386 @@
+//! Priorities over conflict hypergraphs (denial constraints).
+//!
+//! Under denial constraints a single conflict can involve more than two tuples: the
+//! conflicts form a *hypergraph* whose maximal independent sets are the repairs \[6\].
+//! The paper's concluding section observes that its notion of priority — an orientation
+//! of binary conflict edges — "does not have a clear meaning" there. This module explores
+//! the most conservative generalisation:
+//!
+//! * a [`HyperPriority`] is an acyclic binary relation on tuples that **co-occur in some
+//!   hyperedge** (the natural analogue of "defined only on conflicting tuples");
+//! * repairs are compared with exactly the `≪` lifting of Proposition 5, giving the
+//!   hypergraph version of globally optimal repairs
+//!   ([`is_hyper_globally_optimal`], [`hyper_globally_optimal_repairs`]).
+//!
+//! The pleasant properties survive in part — the preferred set is a non-empty subset of
+//! the repairs and shrinks as the priority grows — but the very notion of a **total**
+//! priority becomes ambiguous, which is the paper's point. In the binary case "every
+//! conflict is resolved" and "every conflicting pair is oriented" are the same statement
+//! and imply categoricity (Proposition 4); for hyperedges they come apart: a priority
+//! that resolves something inside *every* hyperedge can still leave several `≪`-maximal
+//! repairs, because breaking a ternary conflict means choosing one of several tuples to
+//! drop and a single oriented pair does not determine that choice. The module's tests
+//! contain a minimal witness, turning the paper's caveat into an executable fact.
+
+use std::fmt;
+use std::ops::ControlFlow;
+
+use pdqi_constraints::ConflictHypergraph;
+use pdqi_relation::{TupleId, TupleSet};
+use pdqi_solve::HypergraphMisEnumerator;
+
+/// Errors raised while building a hypergraph priority.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HyperPriorityError {
+    /// The two tuples never co-occur in a hyperedge.
+    NotCoConflicting {
+        /// The dominating tuple of the rejected pair.
+        winner: TupleId,
+        /// The dominated tuple of the rejected pair.
+        loser: TupleId,
+    },
+    /// Adding the pair would create a cycle.
+    WouldCreateCycle {
+        /// The dominating tuple of the rejected pair.
+        winner: TupleId,
+        /// The dominated tuple of the rejected pair.
+        loser: TupleId,
+    },
+    /// A tuple related to itself.
+    SelfEdge {
+        /// The offending tuple.
+        tuple: TupleId,
+    },
+    /// A tuple id outside the hypergraph's vertex range.
+    UnknownTuple {
+        /// The offending tuple id.
+        tuple: TupleId,
+    },
+}
+
+impl fmt::Display for HyperPriorityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HyperPriorityError::NotCoConflicting { winner, loser } => {
+                write!(f, "{winner} and {loser} never co-occur in a conflict hyperedge")
+            }
+            HyperPriorityError::WouldCreateCycle { winner, loser } => {
+                write!(f, "adding {winner} ≻ {loser} would make the priority cyclic")
+            }
+            HyperPriorityError::SelfEdge { tuple } => write!(f, "{tuple} cannot dominate itself"),
+            HyperPriorityError::UnknownTuple { tuple } => {
+                write!(f, "{tuple} is not a vertex of the conflict hypergraph")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HyperPriorityError {}
+
+/// An acyclic binary relation on tuples co-occurring in conflict hyperedges.
+#[derive(Debug, Clone)]
+pub struct HyperPriority {
+    vertex_count: usize,
+    /// For each pair of vertices, whether they share a hyperedge (flattened upper matrix
+    /// kept as per-vertex sets for simplicity).
+    co_conflicting: Vec<TupleSet>,
+    dominates: Vec<TupleSet>,
+    edge_count: usize,
+}
+
+impl HyperPriority {
+    /// The empty priority over `hypergraph`.
+    pub fn new(hypergraph: &ConflictHypergraph) -> Self {
+        let n = hypergraph.vertex_count();
+        let mut co_conflicting = vec![TupleSet::with_capacity(n); n];
+        for edge in hypergraph.hyperedges() {
+            for a in edge.iter() {
+                for b in edge.iter() {
+                    if a != b {
+                        co_conflicting[a.index()].insert(b);
+                    }
+                }
+            }
+        }
+        HyperPriority {
+            vertex_count: n,
+            co_conflicting,
+            dominates: vec![TupleSet::with_capacity(n); n],
+            edge_count: 0,
+        }
+    }
+
+    /// Builds a priority from explicit `winner ≻ loser` pairs.
+    pub fn from_pairs(
+        hypergraph: &ConflictHypergraph,
+        pairs: &[(TupleId, TupleId)],
+    ) -> Result<Self, HyperPriorityError> {
+        let mut priority = HyperPriority::new(hypergraph);
+        for &(winner, loser) in pairs {
+            priority.add(winner, loser)?;
+        }
+        Ok(priority)
+    }
+
+    /// Adds `winner ≻ loser`.
+    pub fn add(&mut self, winner: TupleId, loser: TupleId) -> Result<(), HyperPriorityError> {
+        for t in [winner, loser] {
+            if t.index() >= self.vertex_count {
+                return Err(HyperPriorityError::UnknownTuple { tuple: t });
+            }
+        }
+        if winner == loser {
+            return Err(HyperPriorityError::SelfEdge { tuple: winner });
+        }
+        if !self.co_conflicting[winner.index()].contains(loser) {
+            return Err(HyperPriorityError::NotCoConflicting { winner, loser });
+        }
+        if self.dominates[winner.index()].contains(loser) {
+            return Ok(());
+        }
+        if self.reaches(loser, winner) {
+            return Err(HyperPriorityError::WouldCreateCycle { winner, loser });
+        }
+        self.dominates[winner.index()].insert(loser);
+        self.edge_count += 1;
+        Ok(())
+    }
+
+    /// Whether `x ≻ y`.
+    pub fn dominates(&self, x: TupleId, y: TupleId) -> bool {
+        self.dominates[x.index()].contains(y)
+    }
+
+    /// Number of oriented pairs.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Whether every co-occurring pair is oriented (one reading of "total" for
+    /// hypergraph priorities).
+    pub fn is_pairwise_total(&self) -> bool {
+        (0..self.vertex_count).all(|x| {
+            self.co_conflicting[x].iter().all(|y| {
+                self.dominates[x].contains(y) || self.dominates[y.index()].contains(TupleId(x as u32))
+            })
+        })
+    }
+
+    /// Whether every hyperedge of `hypergraph` contains at least one oriented pair (the
+    /// other reading of "total": every conflict has *some* resolution hint). In the
+    /// binary case the two readings coincide; for hyperedges they differ, and this weaker
+    /// one is not enough for categoricity — see the module tests.
+    pub fn covers_every_hyperedge(&self, hypergraph: &ConflictHypergraph) -> bool {
+        hypergraph.hyperedges().iter().all(|edge| {
+            edge.iter().any(|x| {
+                edge.iter().any(|y| x != y && self.dominates(x, y))
+            })
+        })
+    }
+
+    fn reaches(&self, from: TupleId, to: TupleId) -> bool {
+        if from == to {
+            return true;
+        }
+        let mut visited = TupleSet::with_capacity(self.vertex_count);
+        let mut stack = vec![from];
+        visited.insert(from);
+        while let Some(v) = stack.pop() {
+            for next in self.dominates[v.index()].iter() {
+                if next == to {
+                    return true;
+                }
+                if visited.insert(next) {
+                    stack.push(next);
+                }
+            }
+        }
+        false
+    }
+}
+
+/// The `≪` relation of Proposition 5, verbatim, over hypergraph repairs: `r2` is
+/// preferred over `r1` iff every tuple of `r1 \ r2` is dominated by some tuple of
+/// `r2 \ r1`.
+pub fn hyper_preferred_over(priority: &HyperPriority, r1: &TupleSet, r2: &TupleSet) -> bool {
+    if r1 == r2 {
+        return false;
+    }
+    r1.difference(r2).iter().all(|x| {
+        r2.difference(r1).iter().any(|y| priority.dominates(y, x))
+    })
+}
+
+/// Whether `repair` is a `≪`-maximal repair of the hypergraph (the global-optimality
+/// analogue). Decided by scanning the other repairs, so exponential in the worst case —
+/// matching the co-NP-hardness already present in the binary case.
+pub fn is_hyper_globally_optimal(
+    hypergraph: &ConflictHypergraph,
+    priority: &HyperPriority,
+    repair: &TupleSet,
+) -> bool {
+    if !hypergraph.is_maximal_independent(repair) {
+        return false;
+    }
+    let mut dominated = false;
+    HypergraphMisEnumerator::new(hypergraph).for_each(|other| {
+        if hyper_preferred_over(priority, repair, other) {
+            dominated = true;
+            ControlFlow::Break(())
+        } else {
+            ControlFlow::Continue(())
+        }
+    });
+    !dominated
+}
+
+/// All `≪`-maximal repairs of the hypergraph (up to `limit`).
+pub fn hyper_globally_optimal_repairs(
+    hypergraph: &ConflictHypergraph,
+    priority: &HyperPriority,
+    limit: usize,
+) -> Vec<TupleSet> {
+    let mut out = Vec::new();
+    HypergraphMisEnumerator::new(hypergraph).for_each(|candidate| {
+        if is_hyper_globally_optimal(hypergraph, priority, candidate) {
+            out.push(candidate.clone());
+            if out.len() >= limit {
+                return ControlFlow::Break(());
+            }
+        }
+        ControlFlow::Continue(())
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(list: &[u32]) -> TupleSet {
+        TupleSet::from_ids(list.iter().map(|&i| TupleId(i)))
+    }
+
+    /// A single ternary conflict {t0, t1, t2}: the repairs are the three pairs.
+    fn ternary() -> ConflictHypergraph {
+        ConflictHypergraph::from_hyperedges(3, vec![ids(&[0, 1, 2])])
+    }
+
+    #[test]
+    fn priorities_only_relate_co_conflicting_tuples() {
+        let hypergraph = ConflictHypergraph::from_hyperedges(4, vec![ids(&[0, 1, 2])]);
+        let mut priority = HyperPriority::new(&hypergraph);
+        assert!(priority.add(TupleId(0), TupleId(1)).is_ok());
+        assert!(matches!(
+            priority.add(TupleId(0), TupleId(3)),
+            Err(HyperPriorityError::NotCoConflicting { .. })
+        ));
+        assert!(matches!(
+            priority.add(TupleId(1), TupleId(1)),
+            Err(HyperPriorityError::SelfEdge { .. })
+        ));
+        assert!(matches!(
+            priority.add(TupleId(9), TupleId(0)),
+            Err(HyperPriorityError::UnknownTuple { .. })
+        ));
+        priority.add(TupleId(1), TupleId(2)).unwrap();
+        assert!(matches!(
+            priority.add(TupleId(2), TupleId(0)),
+            Err(HyperPriorityError::WouldCreateCycle { .. })
+        ));
+    }
+
+    #[test]
+    fn without_preferences_every_hyper_repair_is_optimal() {
+        let hypergraph = ternary();
+        let priority = HyperPriority::new(&hypergraph);
+        let preferred = hyper_globally_optimal_repairs(&hypergraph, &priority, usize::MAX);
+        assert_eq!(preferred.len(), 3);
+        for repair in &preferred {
+            assert!(hypergraph.is_maximal_independent(repair));
+        }
+    }
+
+    #[test]
+    fn a_dominated_tuple_is_pushed_out_of_the_preferred_repairs() {
+        // t0 ≻ t2 and t1 ≻ t2: the repair that drops t2's "enemies"… i.e. the repair
+        // {t0, t1} dominates both repairs containing t2, so it is the only preferred one.
+        let hypergraph = ternary();
+        let priority =
+            HyperPriority::from_pairs(&hypergraph, &[(TupleId(0), TupleId(2)), (TupleId(1), TupleId(2))])
+                .unwrap();
+        let preferred = hyper_globally_optimal_repairs(&hypergraph, &priority, usize::MAX);
+        assert_eq!(preferred, vec![ids(&[0, 1])]);
+    }
+
+    #[test]
+    fn resolving_something_in_every_hyperedge_is_not_categorical() {
+        // The priority t0 ≻ t1 touches the only hyperedge, so in the binary reading every
+        // conflict "has a resolution" — yet two repairs remain ≪-maximal, because the
+        // single oriented pair does not say which of t1, t2 should give way. This is the
+        // ambiguity the paper's concluding section points at.
+        let hypergraph = ternary();
+        let priority = HyperPriority::from_pairs(&hypergraph, &[(TupleId(0), TupleId(1))]).unwrap();
+        assert!(priority.covers_every_hyperedge(&hypergraph));
+        assert!(!priority.is_pairwise_total());
+        let mut preferred = hyper_globally_optimal_repairs(&hypergraph, &priority, usize::MAX);
+        preferred.sort_by_key(|s| s.iter().map(|t| t.0).collect::<Vec<_>>());
+        assert_eq!(preferred, vec![ids(&[0, 1]), ids(&[0, 2])]);
+    }
+
+    #[test]
+    fn orienting_every_pair_of_a_single_hyperedge_restores_uniqueness() {
+        // On one ternary conflict a pairwise-total priority is a total order of its three
+        // tuples, and the ≪-maximal repair drops exactly the least tuple — uniqueness is
+        // restored at the price of demanding strictly more input than the binary notion
+        // of totality ever would.
+        let hypergraph = ternary();
+        let priority = HyperPriority::from_pairs(
+            &hypergraph,
+            &[(TupleId(0), TupleId(1)), (TupleId(1), TupleId(2)), (TupleId(0), TupleId(2))],
+        )
+        .unwrap();
+        assert!(priority.is_pairwise_total());
+        let preferred = hyper_globally_optimal_repairs(&hypergraph, &priority, usize::MAX);
+        assert_eq!(preferred, vec![ids(&[0, 1])]);
+    }
+
+    #[test]
+    fn the_lifting_follows_proposition_5() {
+        let hypergraph = ternary();
+        let priority =
+            HyperPriority::from_pairs(&hypergraph, &[(TupleId(0), TupleId(2))]).unwrap();
+        let r01 = ids(&[0, 1]);
+        let r02 = ids(&[0, 2]);
+        let r12 = ids(&[1, 2]);
+        // Irreflexive, and with a single oriented pair no repair dominates another: the
+        // only candidate domination (r12 by a repair containing t0) also needs t1 covered.
+        assert!(!hyper_preferred_over(&priority, &r01, &r01));
+        assert!(!hyper_preferred_over(&priority, &r02, &r01));
+        assert!(!hyper_preferred_over(&priority, &r12, &r02));
+        // Once t0 dominates both t1 and t2, the repair {t0, t1} dominates {t1, t2}.
+        let stronger = HyperPriority::from_pairs(
+            &hypergraph,
+            &[(TupleId(0), TupleId(2)), (TupleId(0), TupleId(1))],
+        )
+        .unwrap();
+        assert!(hyper_preferred_over(&stronger, &r12, &r01));
+        assert!(!hyper_preferred_over(&stronger, &r01, &r12));
+    }
+
+    #[test]
+    fn growing_the_priority_narrows_the_preferred_set() {
+        let hypergraph = ternary();
+        let empty = HyperPriority::new(&hypergraph);
+        let partial = HyperPriority::from_pairs(&hypergraph, &[(TupleId(0), TupleId(1))]).unwrap();
+        let total = HyperPriority::from_pairs(
+            &hypergraph,
+            &[(TupleId(0), TupleId(1)), (TupleId(1), TupleId(2)), (TupleId(0), TupleId(2))],
+        )
+        .unwrap();
+        let count = |p: &HyperPriority| hyper_globally_optimal_repairs(&hypergraph, p, usize::MAX).len();
+        assert_eq!(count(&empty), 3);
+        assert_eq!(count(&partial), 2);
+        assert_eq!(count(&total), 1);
+    }
+}

@@ -1,0 +1,34 @@
+//! Extensions of the preference framework sketched in the paper's concluding section.
+//!
+//! The paper closes with two open directions, both of which this crate makes concrete so
+//! they can be experimented with:
+//!
+//! * **Cyclic priorities** ([`cyclic`]). Definition 2 requires the priority to be
+//!   acyclic, and the paper notes that lifting the restriction is "an interesting and
+//!   challenging issue" because monotonicity (P2) is lost in related frameworks. We model
+//!   the user's raw, possibly cyclic preference statements as a [`CyclicPreference`] and
+//!   reduce them to a Definition 2 priority by condensing the strongly connected
+//!   components: preference edges inside a cycle are treated as mutually cancelling, and
+//!   only the orientation induced between different components survives. The module also
+//!   exhibits the *conditional* monotonicity the paper anticipates: extensions that do
+//!   not merge components preserve P2, extensions that do merge components may not.
+//!
+//! * **Priorities over conflict hypergraphs** ([`hyper`]). For denial constraints a
+//!   conflict can involve more than two tuples and "the current notion of priority does
+//!   not have a clear meaning". We keep the priority a binary relation on tuples that
+//!   co-occur in some conflict and lift it to hypergraph repairs with the same `≪`
+//!   relation as Proposition 5. The familiar structure survives (P1–P3, inclusion in the
+//!   set of repairs), but the binary notion of a "total" priority splits into two
+//!   inequivalent readings and the weaker one no longer guarantees categoricity — the
+//!   module's tests include a witness, substantiating the paper's caveat.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cyclic;
+pub mod hyper;
+
+pub use cyclic::{CondensationReport, CyclicPreference};
+pub use hyper::{
+    hyper_globally_optimal_repairs, is_hyper_globally_optimal, HyperPriority, HyperPriorityError,
+};

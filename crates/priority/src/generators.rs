@@ -1,0 +1,181 @@
+//! Deriving priorities from ranking information.
+//!
+//! The paper's introduction lists the information data-cleaning systems typically use to
+//! resolve conflicts: timestamps ("remove outdated tuples") and the source of each tuple
+//! ("one source is more reliable than another"). Both induce priorities: orient every
+//! conflict edge towards the tuple with the strictly better grade and leave edges between
+//! equally-graded or incomparable tuples unoriented. Because the grade strictly improves
+//! along every oriented edge, the resulting relation is automatically acyclic.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use pdqi_constraints::ConflictGraph;
+use pdqi_relation::TupleId;
+
+use crate::priority::Priority;
+
+/// Builds a priority from per-tuple numeric scores (e.g. freshness timestamps or ranking
+/// functions à la Motro et al. \[17\]): on every conflict edge the strictly higher-scored
+/// tuple dominates; ties are left unoriented. `scores` is indexed by `TupleId::index()`.
+pub fn priority_from_scores(graph: Arc<ConflictGraph>, scores: &[i64]) -> Priority {
+    assert_eq!(
+        scores.len(),
+        graph.vertex_count(),
+        "one score per tuple of the conflict graph is required"
+    );
+    let mut priority = Priority::empty(Arc::clone(&graph));
+    for &(a, b) in graph.edges() {
+        let (sa, sb) = (scores[a.index()], scores[b.index()]);
+        let result = match sa.cmp(&sb) {
+            std::cmp::Ordering::Greater => priority.add(a, b),
+            std::cmp::Ordering::Less => priority.add(b, a),
+            std::cmp::Ordering::Equal => Ok(()),
+        };
+        result.expect("score-monotone orientations are acyclic and only touch conflict edges");
+    }
+    priority
+}
+
+/// A strict partial order on data sources, given by its `more_reliable > less_reliable`
+/// pairs (transitively closed internally).
+#[derive(Debug, Clone, Default)]
+pub struct SourceOrder {
+    better_than: HashMap<String, Vec<String>>,
+}
+
+impl SourceOrder {
+    /// Creates an empty order (no source is comparable to any other).
+    pub fn new() -> Self {
+        SourceOrder::default()
+    }
+
+    /// Declares `better` to be strictly more reliable than `worse`.
+    pub fn prefer(&mut self, better: impl Into<String>, worse: impl Into<String>) -> &mut Self {
+        self.better_than.entry(better.into()).or_default().push(worse.into());
+        self
+    }
+
+    /// Whether `a` is (transitively) strictly more reliable than `b`.
+    pub fn is_better(&self, a: &str, b: &str) -> bool {
+        if a == b {
+            return false;
+        }
+        let mut stack = vec![a.to_string()];
+        let mut seen = vec![a.to_string()];
+        while let Some(current) = stack.pop() {
+            if let Some(worse) = self.better_than.get(&current) {
+                for w in worse {
+                    if w == b {
+                        return true;
+                    }
+                    if !seen.contains(w) {
+                        seen.push(w.clone());
+                        stack.push(w.clone());
+                    }
+                }
+            }
+        }
+        false
+    }
+}
+
+/// Builds a priority from source provenance (Example 3): `source_of[t]` names the source
+/// each tuple came from, and `order` is a strict partial order of source reliability. A
+/// conflict edge is oriented towards the tuple whose source is strictly more reliable;
+/// edges between tuples of incomparable or identical sources stay unoriented.
+pub fn priority_from_source_reliability(
+    graph: Arc<ConflictGraph>,
+    source_of: &[String],
+    order: &SourceOrder,
+) -> Priority {
+    assert_eq!(
+        source_of.len(),
+        graph.vertex_count(),
+        "one source per tuple of the conflict graph is required"
+    );
+    let mut priority = Priority::empty(Arc::clone(&graph));
+    let edge_for = |winner: TupleId, loser: TupleId, p: &mut Priority| {
+        p.add(winner, loser)
+            .expect("reliability-monotone orientations are acyclic and only touch conflict edges");
+    };
+    for &(a, b) in graph.edges() {
+        let (sa, sb) = (&source_of[a.index()], &source_of[b.index()]);
+        if order.is_better(sa, sb) {
+            edge_for(a, b, &mut priority);
+        } else if order.is_better(sb, sa) {
+            edge_for(b, a, &mut priority);
+        }
+    }
+    priority
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The Example 1 conflict graph: vertices 0 = (Mary,R&D), 1 = (John,R&D),
+    /// 2 = (Mary,IT), 3 = (John,PR); edges 0–1, 0–2, 1–3.
+    fn example1_graph() -> Arc<ConflictGraph> {
+        Arc::new(ConflictGraph::from_edges(
+            4,
+            &[(TupleId(0), TupleId(1)), (TupleId(0), TupleId(2)), (TupleId(1), TupleId(3))],
+        ))
+    }
+
+    #[test]
+    fn score_based_priority_orients_towards_higher_scores() {
+        let graph = example1_graph();
+        // Treat salary as the score.
+        let p = priority_from_scores(Arc::clone(&graph), &[40, 10, 20, 30]);
+        assert!(p.dominates(TupleId(0), TupleId(1)));
+        assert!(p.dominates(TupleId(0), TupleId(2)));
+        assert!(p.dominates(TupleId(3), TupleId(1)));
+        assert!(p.is_total());
+        assert!(p.check_acyclic());
+    }
+
+    #[test]
+    fn equal_scores_leave_edges_unoriented() {
+        let graph = example1_graph();
+        let p = priority_from_scores(Arc::clone(&graph), &[5, 5, 1, 5]);
+        assert!(!p.orients_edge(TupleId(0), TupleId(1)));
+        assert!(!p.orients_edge(TupleId(1), TupleId(3)));
+        assert!(p.dominates(TupleId(0), TupleId(2)));
+        assert_eq!(p.edge_count(), 1);
+    }
+
+    #[test]
+    fn source_order_is_transitive_and_irreflexive() {
+        let mut order = SourceOrder::new();
+        order.prefer("s1", "s2").prefer("s2", "s3");
+        assert!(order.is_better("s1", "s3"));
+        assert!(!order.is_better("s3", "s1"));
+        assert!(!order.is_better("s1", "s1"));
+        assert!(!order.is_better("s1", "unknown"));
+    }
+
+    #[test]
+    fn example_3_reliability_priority() {
+        // s3 is less reliable than s1 and than s2; s1 vs s2 unknown.
+        // Tuples: 0 from s1, 1 from s2, 2 and 3 from s3.
+        let graph = example1_graph();
+        let mut order = SourceOrder::new();
+        order.prefer("s1", "s3").prefer("s2", "s3");
+        let sources = vec!["s1".to_string(), "s2".to_string(), "s3".to_string(), "s3".to_string()];
+        let p = priority_from_source_reliability(Arc::clone(&graph), &sources, &order);
+        // (Mary,R&D) from s1 dominates (Mary,IT) from s3; (John,R&D) from s2 dominates (John,PR) from s3.
+        assert!(p.dominates(TupleId(0), TupleId(2)));
+        assert!(p.dominates(TupleId(1), TupleId(3)));
+        // The s1-vs-s2 conflict stays unoriented.
+        assert!(!p.orients_edge(TupleId(0), TupleId(1)));
+        assert_eq!(p.edge_count(), 2);
+        assert!(!p.is_total());
+    }
+
+    #[test]
+    #[should_panic(expected = "one score per tuple")]
+    fn score_vector_length_is_checked() {
+        priority_from_scores(example1_graph(), &[1, 2]);
+    }
+}

@@ -1,0 +1,31 @@
+//! Priorities — the preference input of the paper.
+//!
+//! A **priority** (Definition 2 of the paper) is a binary relation `≻` on the tuples of
+//! an inconsistent instance that is (i) defined only on *conflicting* tuples and (ii)
+//! acyclic. Equivalently, it is a (possibly partial) acyclic orientation of the conflict
+//! graph. Extending a priority means orienting further conflict edges; a priority that
+//! cannot be extended is *total*.
+//!
+//! This crate provides:
+//!
+//! * [`Priority`] — construction, cycle-safe edge insertion, extension/totality tests,
+//! * [`winnow`] — the winnow operator `ω_≻` of Chomicki's preference queries \[5\],
+//!   used by the paper's Algorithm 1,
+//! * [`orientation`] — total extensions (enumeration and random sampling) and the
+//!   "can the priority be extended to a cyclic orientation?" test used by Theorem 2,
+//! * [`generators`] — priorities derived from ranking information: per-tuple scores,
+//!   source reliability and timestamps (the kinds of information the paper's
+//!   introduction says data-cleaning tools typically rely on).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod generators;
+pub mod orientation;
+pub mod priority;
+pub mod winnow;
+
+pub use generators::{priority_from_scores, priority_from_source_reliability, SourceOrder};
+pub use orientation::{has_cyclic_extension, random_total_extension, total_extensions};
+pub use priority::{Priority, PriorityError};
+pub use winnow::winnow;

@@ -1,0 +1,229 @@
+//! Orientations of the conflict graph: total extensions and cyclic-extension tests.
+//!
+//! A priority is a partial acyclic orientation of the conflict graph. Two questions about
+//! the remaining, unoriented edges matter in the paper:
+//!
+//! * enumerating / sampling **total acyclic extensions** (total priorities are the input
+//!   of Algorithm 1 and the hypothesis of categoricity P4),
+//! * whether the priority **can be extended to a cyclic orientation** of the conflict
+//!   graph — Theorem 2 states that `C-Rep` and `G-Rep` coincide exactly when it cannot.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use pdqi_relation::{TupleId, TupleSet};
+
+use crate::priority::Priority;
+
+/// Enumerates total acyclic extensions of `priority`, stopping after at most `limit`
+/// extensions have been produced (the number of total extensions is exponential in the
+/// number of unoriented edges). Returns the extensions found.
+pub fn total_extensions(priority: &Priority, limit: usize) -> Vec<Priority> {
+    let mut result = Vec::new();
+    let unoriented = priority.unoriented_edges();
+    let mut current = priority.clone();
+    extend_rec(&mut current, &unoriented, 0, limit, &mut result);
+    result
+}
+
+fn extend_rec(
+    current: &mut Priority,
+    edges: &[(TupleId, TupleId)],
+    next: usize,
+    limit: usize,
+    out: &mut Vec<Priority>,
+) {
+    if out.len() >= limit {
+        return;
+    }
+    if next == edges.len() {
+        out.push(current.clone());
+        return;
+    }
+    let (a, b) = edges[next];
+    for (winner, loser) in [(a, b), (b, a)] {
+        let mut candidate = current.clone();
+        if candidate.add(winner, loser).is_ok() {
+            extend_rec(&mut candidate, edges, next + 1, limit, out);
+        }
+        if out.len() >= limit {
+            return;
+        }
+    }
+}
+
+/// Produces one uniformly-shuffled total acyclic extension of `priority`.
+///
+/// Unoriented edges are visited in random order and oriented in a random direction; if
+/// that direction would create a cycle the opposite direction is used (one of the two
+/// directions is always acyclic, because both being cyclic would require a pre-existing
+/// cycle).
+pub fn random_total_extension<R: Rng>(priority: &Priority, rng: &mut R) -> Priority {
+    let mut extension = priority.clone();
+    let mut edges = extension.unoriented_edges();
+    edges.shuffle(rng);
+    for (a, b) in edges {
+        let (first, second) = if rng.gen_bool(0.5) { (a, b) } else { (b, a) };
+        if extension.add(first, second).is_err() {
+            extension
+                .add(second, first)
+                .expect("one direction of an unoriented edge is always acyclic");
+        }
+    }
+    extension
+}
+
+/// Whether `priority` can be extended to a **cyclic** orientation of the conflict graph.
+///
+/// Theorem 2 of the paper: `C-Rep` and `G-Rep` coincide for priorities that *cannot* be
+/// extended to a cyclic orientation. An extension with a directed cycle exists exactly
+/// when the mixed graph — oriented edges directed as in the priority, unoriented conflict
+/// edges usable in either direction — contains a simple cycle that traverses every
+/// oriented edge forwards.
+///
+/// The search enumerates simple paths and is exponential in the worst case; it is meant
+/// for the moderately-sized instances where Theorem 2 is being checked or exploited, not
+/// for the large benchmark instances.
+pub fn has_cyclic_extension(priority: &Priority) -> bool {
+    let graph = priority.graph();
+    let n = graph.vertex_count();
+    for start in 0..n {
+        let start = TupleId(start as u32);
+        let mut visited = TupleSet::with_capacity(n);
+        visited.insert(start);
+        if cycle_search(priority, start, start, &mut visited, 0) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Depth-first search for a simple cycle through `start`. From `current` we may move to a
+/// neighbour `next` when the conflict edge {current,next} is unoriented or oriented
+/// `current ≻ next`; closing the cycle requires at least 3 edges (the conflict graph is
+/// simple, so no shorter directed cycle can exist in any orientation).
+fn cycle_search(
+    priority: &Priority,
+    start: TupleId,
+    current: TupleId,
+    visited: &mut TupleSet,
+    depth: usize,
+) -> bool {
+    let graph = priority.graph();
+    for next in graph.neighbors(current).iter() {
+        // The edge must be traversable from `current` to `next`.
+        if priority.dominates(next, current) {
+            continue;
+        }
+        if next == start && depth >= 2 {
+            return true;
+        }
+        if visited.contains(next) {
+            continue;
+        }
+        visited.insert(next);
+        if cycle_search(priority, start, next, visited, depth + 1) {
+            return true;
+        }
+        visited.remove(next);
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdqi_constraints::ConflictGraph;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::sync::Arc;
+
+    fn triangle() -> Arc<ConflictGraph> {
+        Arc::new(ConflictGraph::from_edges(
+            3,
+            &[(TupleId(0), TupleId(1)), (TupleId(1), TupleId(2)), (TupleId(0), TupleId(2))],
+        ))
+    }
+
+    fn path4() -> Arc<ConflictGraph> {
+        Arc::new(ConflictGraph::from_edges(
+            4,
+            &[(TupleId(0), TupleId(1)), (TupleId(1), TupleId(2)), (TupleId(2), TupleId(3))],
+        ))
+    }
+
+    #[test]
+    fn total_extensions_of_the_empty_priority_on_a_path_are_all_orientations() {
+        // A path (a forest) has no cycles, so every orientation is acyclic: 2^3 = 8.
+        let p = Priority::empty(path4());
+        let extensions = total_extensions(&p, 100);
+        assert_eq!(extensions.len(), 8);
+        assert!(extensions.iter().all(Priority::is_total));
+        assert!(extensions.iter().all(|e| e.is_extension_of(&p)));
+    }
+
+    #[test]
+    fn total_extensions_of_a_triangle_exclude_the_two_cyclic_orientations() {
+        let p = Priority::empty(triangle());
+        let extensions = total_extensions(&p, 100);
+        // 2^3 = 8 orientations, 2 of which are directed cycles.
+        assert_eq!(extensions.len(), 6);
+        assert!(extensions.iter().all(|e| e.check_acyclic()));
+    }
+
+    #[test]
+    fn extension_limit_is_respected() {
+        let p = Priority::empty(path4());
+        assert_eq!(total_extensions(&p, 3).len(), 3);
+    }
+
+    #[test]
+    fn partial_priorities_constrain_their_extensions() {
+        let p = Priority::from_pairs(triangle(), &[(TupleId(0), TupleId(1))]).unwrap();
+        let extensions = total_extensions(&p, 100);
+        assert!(extensions.iter().all(|e| e.dominates(TupleId(0), TupleId(1))));
+        // Of the 4 orientations of the remaining 2 edges, 1 is cyclic: 3 remain.
+        assert_eq!(extensions.len(), 3);
+    }
+
+    #[test]
+    fn random_total_extension_is_total_acyclic_and_extends_the_input() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let p = Priority::from_pairs(triangle(), &[(TupleId(0), TupleId(1))]).unwrap();
+        for _ in 0..20 {
+            let ext = random_total_extension(&p, &mut rng);
+            assert!(ext.is_total());
+            assert!(ext.check_acyclic());
+            assert!(ext.is_extension_of(&p));
+        }
+    }
+
+    #[test]
+    fn acyclic_graphs_never_admit_cyclic_extensions() {
+        let p = Priority::empty(path4());
+        assert!(!has_cyclic_extension(&p));
+    }
+
+    #[test]
+    fn empty_priority_on_a_triangle_admits_a_cyclic_extension() {
+        assert!(has_cyclic_extension(&Priority::empty(triangle())));
+    }
+
+    #[test]
+    fn sufficiently_oriented_triangle_cannot_become_cyclic() {
+        // Orienting two edges out of the same vertex leaves no way to close a directed cycle.
+        let p = Priority::from_pairs(
+            triangle(),
+            &[(TupleId(0), TupleId(1)), (TupleId(0), TupleId(2))],
+        )
+        .unwrap();
+        assert!(!has_cyclic_extension(&p));
+        // But a "chain" of two edges still can be closed by the third.
+        let q = Priority::from_pairs(
+            triangle(),
+            &[(TupleId(0), TupleId(1)), (TupleId(1), TupleId(2))],
+        )
+        .unwrap();
+        assert!(has_cyclic_extension(&q));
+    }
+}

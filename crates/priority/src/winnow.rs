@@ -1,0 +1,82 @@
+//! The winnow operator `ω_≻`.
+//!
+//! Algorithm 1 of the paper repeatedly selects tuples via the *winnow* operator of
+//! preference queries \[5\]: `ω_≻(r) = { t ∈ r | ¬∃ t' ∈ r . t' ≻ t }`, i.e. the tuples
+//! not dominated by any other tuple still under consideration.
+
+use pdqi_relation::TupleSet;
+
+use crate::priority::Priority;
+
+/// The winnow operator restricted to the `active` tuples: the members of `active` that
+/// are not dominated (w.r.t. `priority`) by any other member of `active`.
+pub fn winnow(priority: &Priority, active: &TupleSet) -> TupleSet {
+    active
+        .iter()
+        .filter(|&t| priority.dominators_of(t).is_disjoint_from(active))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdqi_constraints::ConflictGraph;
+    use pdqi_relation::TupleId;
+    use std::sync::Arc;
+
+    fn path5_priority() -> Priority {
+        // Example 9: ta ≻ tb ≻ tc ≻ td ≻ te on the path conflict graph.
+        let graph = Arc::new(ConflictGraph::from_edges(
+            5,
+            &[
+                (TupleId(0), TupleId(1)),
+                (TupleId(1), TupleId(2)),
+                (TupleId(2), TupleId(3)),
+                (TupleId(3), TupleId(4)),
+            ],
+        ));
+        Priority::from_pairs(
+            graph,
+            &[
+                (TupleId(0), TupleId(1)),
+                (TupleId(1), TupleId(2)),
+                (TupleId(2), TupleId(3)),
+                (TupleId(3), TupleId(4)),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn winnow_keeps_undominated_tuples_only() {
+        let p = path5_priority();
+        let all = TupleSet::from_ids((0..5).map(|i| TupleId(i)));
+        assert_eq!(winnow(&p, &all), TupleSet::from_ids([TupleId(0)]));
+    }
+
+    #[test]
+    fn winnow_is_relative_to_the_active_set() {
+        let p = path5_priority();
+        // With ta removed, tb and also td's dominator tc... only tb and tc's situation changes:
+        // active = {tb, tc, td, te}: tb is undominated (its only dominator ta is inactive).
+        let active = TupleSet::from_ids([TupleId(1), TupleId(2), TupleId(3), TupleId(4)]);
+        assert_eq!(winnow(&p, &active), TupleSet::from_ids([TupleId(1)]));
+        // active = {tc, te}: tc's dominator tb is inactive and te's dominator td is inactive.
+        let active = TupleSet::from_ids([TupleId(2), TupleId(4)]);
+        assert_eq!(winnow(&p, &active), active);
+    }
+
+    #[test]
+    fn winnow_of_the_empty_priority_is_the_identity() {
+        let graph = Arc::new(ConflictGraph::from_edges(3, &[(TupleId(0), TupleId(1))]));
+        let p = Priority::empty(graph);
+        let active = TupleSet::from_ids([TupleId(0), TupleId(1), TupleId(2)]);
+        assert_eq!(winnow(&p, &active), active);
+    }
+
+    #[test]
+    fn winnow_of_the_empty_set_is_empty() {
+        let p = path5_priority();
+        assert!(winnow(&p, &TupleSet::new()).is_empty());
+    }
+}

@@ -1,0 +1,303 @@
+//! The first-order formula AST.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use pdqi_constraints::CompOp;
+use pdqi_relation::Value;
+
+/// A term: a variable or a constant.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Term {
+    /// A first-order variable.
+    Var(String),
+    /// A constant from either domain.
+    Const(Value),
+}
+
+impl Term {
+    /// The variable name, if this is a variable.
+    pub fn as_var(&self) -> Option<&str> {
+        match self {
+            Term::Var(v) => Some(v),
+            Term::Const(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(v) => f.write_str(v),
+            Term::Const(Value::Name(n)) => write!(f, "'{n}'"),
+            Term::Const(Value::Int(n)) => write!(f, "{n}"),
+        }
+    }
+}
+
+/// A relational atom `R(t₁, …, tₖ)`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Atom {
+    /// Relation name.
+    pub relation: String,
+    /// Argument terms, one per attribute.
+    pub args: Vec<Term>,
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.relation)?;
+        for (i, arg) in self.args.iter().enumerate() {
+            if i > 0 {
+                f.write_str(",")?;
+            }
+            write!(f, "{arg}")?;
+        }
+        f.write_str(")")
+    }
+}
+
+/// A built-in comparison `t₁ θ t₂` with `θ ∈ {=, ≠, <, ≤, >, ≥}`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Comparison {
+    /// Left operand.
+    pub left: Term,
+    /// Comparison operator.
+    pub op: CompOp,
+    /// Right operand.
+    pub right: Term,
+}
+
+impl fmt::Display for Comparison {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.left, self.op, self.right)
+    }
+}
+
+/// A first-order formula.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Formula {
+    /// The constant `true`.
+    True,
+    /// The constant `false`.
+    False,
+    /// A relational atom.
+    Atom(Atom),
+    /// A built-in comparison.
+    Comparison(Comparison),
+    /// Negation.
+    Not(Box<Formula>),
+    /// Conjunction.
+    And(Box<Formula>, Box<Formula>),
+    /// Disjunction.
+    Or(Box<Formula>, Box<Formula>),
+    /// Implication (eliminated by normalisation).
+    Implies(Box<Formula>, Box<Formula>),
+    /// Existential quantification over a block of variables.
+    Exists(Vec<String>, Box<Formula>),
+    /// Universal quantification over a block of variables.
+    Forall(Vec<String>, Box<Formula>),
+}
+
+impl Formula {
+    /// The free variables of the formula, in lexicographic order.
+    pub fn free_vars(&self) -> Vec<String> {
+        let mut free = BTreeSet::new();
+        self.collect_free(&mut Vec::new(), &mut free);
+        free.into_iter().collect()
+    }
+
+    fn collect_free(&self, bound: &mut Vec<String>, out: &mut BTreeSet<String>) {
+        match self {
+            Formula::True | Formula::False => {}
+            Formula::Atom(atom) => {
+                for term in &atom.args {
+                    if let Term::Var(v) = term {
+                        if !bound.contains(v) {
+                            out.insert(v.clone());
+                        }
+                    }
+                }
+            }
+            Formula::Comparison(cmp) => {
+                for term in [&cmp.left, &cmp.right] {
+                    if let Term::Var(v) = term {
+                        if !bound.contains(v) {
+                            out.insert(v.clone());
+                        }
+                    }
+                }
+            }
+            Formula::Not(inner) => inner.collect_free(bound, out),
+            Formula::And(a, b) | Formula::Or(a, b) | Formula::Implies(a, b) => {
+                a.collect_free(bound, out);
+                b.collect_free(bound, out);
+            }
+            Formula::Exists(vars, inner) | Formula::Forall(vars, inner) => {
+                let before = bound.len();
+                bound.extend(vars.iter().cloned());
+                inner.collect_free(bound, out);
+                bound.truncate(before);
+            }
+        }
+    }
+
+    /// Whether the formula is closed (has no free variable).
+    pub fn is_closed(&self) -> bool {
+        self.free_vars().is_empty()
+    }
+
+    /// All variables bound by some quantifier in the formula.
+    pub fn bound_vars(&self) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        self.collect_bound(&mut out);
+        out
+    }
+
+    fn collect_bound(&self, out: &mut BTreeSet<String>) {
+        match self {
+            Formula::True | Formula::False | Formula::Atom(_) | Formula::Comparison(_) => {}
+            Formula::Not(inner) => inner.collect_bound(out),
+            Formula::And(a, b) | Formula::Or(a, b) | Formula::Implies(a, b) => {
+                a.collect_bound(out);
+                b.collect_bound(out);
+            }
+            Formula::Exists(vars, inner) | Formula::Forall(vars, inner) => {
+                out.extend(vars.iter().cloned());
+                inner.collect_bound(out);
+            }
+        }
+    }
+
+    /// All constants mentioned in the formula (part of the active domain).
+    pub fn constants(&self) -> Vec<Value> {
+        let mut out = Vec::new();
+        self.collect_constants(&mut out);
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    fn collect_constants(&self, out: &mut Vec<Value>) {
+        let push_term = |t: &Term, out: &mut Vec<Value>| {
+            if let Term::Const(v) = t {
+                out.push(v.clone());
+            }
+        };
+        match self {
+            Formula::True | Formula::False => {}
+            Formula::Atom(atom) => {
+                for term in &atom.args {
+                    push_term(term, out);
+                }
+            }
+            Formula::Comparison(cmp) => {
+                push_term(&cmp.left, out);
+                push_term(&cmp.right, out);
+            }
+            Formula::Not(inner) => inner.collect_constants(out),
+            Formula::And(a, b) | Formula::Or(a, b) | Formula::Implies(a, b) => {
+                a.collect_constants(out);
+                b.collect_constants(out);
+            }
+            Formula::Exists(_, inner) | Formula::Forall(_, inner) => inner.collect_constants(out),
+        }
+    }
+
+    /// The relation names mentioned in the formula.
+    pub fn relations(&self) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        self.collect_relations(&mut out);
+        out
+    }
+
+    fn collect_relations(&self, out: &mut BTreeSet<String>) {
+        match self {
+            Formula::True | Formula::False | Formula::Comparison(_) => {}
+            Formula::Atom(atom) => {
+                out.insert(atom.relation.clone());
+            }
+            Formula::Not(inner) => inner.collect_relations(out),
+            Formula::And(a, b) | Formula::Or(a, b) | Formula::Implies(a, b) => {
+                a.collect_relations(out);
+                b.collect_relations(out);
+            }
+            Formula::Exists(_, inner) | Formula::Forall(_, inner) => inner.collect_relations(out),
+        }
+    }
+
+    /// The number of AST nodes (a rough measure of query size used in reports).
+    pub fn size(&self) -> usize {
+        match self {
+            Formula::True | Formula::False | Formula::Atom(_) | Formula::Comparison(_) => 1,
+            Formula::Not(inner) | Formula::Exists(_, inner) | Formula::Forall(_, inner) => {
+                1 + inner.size()
+            }
+            Formula::And(a, b) | Formula::Or(a, b) | Formula::Implies(a, b) => 1 + a.size() + b.size(),
+        }
+    }
+}
+
+impl fmt::Display for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Formula::True => f.write_str("TRUE"),
+            Formula::False => f.write_str("FALSE"),
+            Formula::Atom(a) => write!(f, "{a}"),
+            Formula::Comparison(c) => write!(f, "{c}"),
+            Formula::Not(inner) => write!(f, "NOT ({inner})"),
+            Formula::And(a, b) => write!(f, "({a} AND {b})"),
+            Formula::Or(a, b) => write!(f, "({a} OR {b})"),
+            Formula::Implies(a, b) => write!(f, "({a} -> {b})"),
+            Formula::Exists(vars, inner) => write!(f, "EXISTS {} . ({inner})", vars.join(",")),
+            Formula::Forall(vars, inner) => write!(f, "FORALL {} . ({inner})", vars.join(",")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::*;
+
+    #[test]
+    fn free_and_bound_variables() {
+        // EXISTS x . R(x, y) AND x < 5
+        let f = exists(
+            &["x"],
+            and(atom("R", vec![var("x"), var("y")]), lt(var("x"), int(5))),
+        );
+        assert_eq!(f.free_vars(), vec!["y".to_string()]);
+        assert!(f.bound_vars().contains("x"));
+        assert!(!f.is_closed());
+        assert!(exists(&["x", "y"], atom("R", vec![var("x"), var("y")])).is_closed());
+    }
+
+    #[test]
+    fn constants_and_relations_are_collected() {
+        let f = and(
+            atom("Mgr", vec![name("Mary"), var("d")]),
+            atom("Dept", vec![var("d"), int(7)]),
+        );
+        assert_eq!(f.constants(), vec![Value::name("Mary"), Value::int(7)]);
+        let rels = f.relations();
+        assert!(rels.contains("Mgr") && rels.contains("Dept"));
+    }
+
+    #[test]
+    fn display_round_trips_through_the_parser() {
+        let f = exists(
+            &["x", "y"],
+            and(atom("R", vec![var("x"), var("y")]), gt(var("y"), int(3))),
+        );
+        let printed = f.to_string();
+        let reparsed = crate::parser::parse_formula(&printed).unwrap();
+        assert_eq!(f, reparsed);
+    }
+
+    #[test]
+    fn size_counts_ast_nodes() {
+        let f = not(and(Formula::True, Formula::False));
+        assert_eq!(f.size(), 4);
+    }
+}

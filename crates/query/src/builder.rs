@@ -1,0 +1,156 @@
+//! Concise programmatic construction of formulas.
+//!
+//! These free functions keep test code and examples close to the paper's notation:
+//!
+//! ```
+//! use pdqi_query::builder::*;
+//! // ∃ d1,s1,r1,d2,s2,r2 . Mgr(Mary,d1,s1,r1) ∧ Mgr(John,d2,s2,r2) ∧ s1 < s2
+//! let q1 = exists(
+//!     &["d1", "s1", "r1", "d2", "s2", "r2"],
+//!     and(
+//!         and(
+//!             atom("Mgr", vec![name("Mary"), var("d1"), var("s1"), var("r1")]),
+//!             atom("Mgr", vec![name("John"), var("d2"), var("s2"), var("r2")]),
+//!         ),
+//!         lt(var("s1"), var("s2")),
+//!     ),
+//! );
+//! assert!(q1.is_closed());
+//! ```
+
+use pdqi_constraints::CompOp;
+use pdqi_relation::Value;
+
+use crate::ast::{Atom, Comparison, Formula, Term};
+
+/// A variable term.
+pub fn var(name: &str) -> Term {
+    Term::Var(name.to_string())
+}
+
+/// A name-constant term.
+pub fn name(text: &str) -> Term {
+    Term::Const(Value::name(text))
+}
+
+/// An integer-constant term.
+pub fn int(n: i64) -> Term {
+    Term::Const(Value::int(n))
+}
+
+/// A relational atom.
+pub fn atom(relation: &str, args: Vec<Term>) -> Formula {
+    Formula::Atom(Atom { relation: relation.to_string(), args })
+}
+
+/// Conjunction.
+pub fn and(a: Formula, b: Formula) -> Formula {
+    Formula::And(Box::new(a), Box::new(b))
+}
+
+/// Conjunction of an arbitrary number of formulas (`TRUE` for the empty list).
+pub fn and_all<I: IntoIterator<Item = Formula>>(formulas: I) -> Formula {
+    let mut iter = formulas.into_iter();
+    match iter.next() {
+        None => Formula::True,
+        Some(first) => iter.fold(first, and),
+    }
+}
+
+/// Disjunction.
+pub fn or(a: Formula, b: Formula) -> Formula {
+    Formula::Or(Box::new(a), Box::new(b))
+}
+
+/// Disjunction of an arbitrary number of formulas (`FALSE` for the empty list).
+pub fn or_all<I: IntoIterator<Item = Formula>>(formulas: I) -> Formula {
+    let mut iter = formulas.into_iter();
+    match iter.next() {
+        None => Formula::False,
+        Some(first) => iter.fold(first, or),
+    }
+}
+
+/// Negation.
+pub fn not(f: Formula) -> Formula {
+    Formula::Not(Box::new(f))
+}
+
+/// Implication.
+pub fn implies(a: Formula, b: Formula) -> Formula {
+    Formula::Implies(Box::new(a), Box::new(b))
+}
+
+/// Existential quantification.
+pub fn exists(vars: &[&str], f: Formula) -> Formula {
+    Formula::Exists(vars.iter().map(|v| v.to_string()).collect(), Box::new(f))
+}
+
+/// Universal quantification.
+pub fn forall(vars: &[&str], f: Formula) -> Formula {
+    Formula::Forall(vars.iter().map(|v| v.to_string()).collect(), Box::new(f))
+}
+
+fn cmp(left: Term, op: CompOp, right: Term) -> Formula {
+    Formula::Comparison(Comparison { left, op, right })
+}
+
+/// `left = right`.
+pub fn eq(left: Term, right: Term) -> Formula {
+    cmp(left, CompOp::Eq, right)
+}
+
+/// `left ≠ right`.
+pub fn neq(left: Term, right: Term) -> Formula {
+    cmp(left, CompOp::Neq, right)
+}
+
+/// `left < right`.
+pub fn lt(left: Term, right: Term) -> Formula {
+    cmp(left, CompOp::Lt, right)
+}
+
+/// `left ≤ right`.
+pub fn le(left: Term, right: Term) -> Formula {
+    cmp(left, CompOp::Le, right)
+}
+
+/// `left > right`.
+pub fn gt(left: Term, right: Term) -> Formula {
+    cmp(left, CompOp::Gt, right)
+}
+
+/// `left ≥ right`.
+pub fn ge(left: Term, right: Term) -> Formula {
+    cmp(left, CompOp::Ge, right)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn and_all_and_or_all_handle_empty_and_singleton_lists() {
+        assert_eq!(and_all([]), Formula::True);
+        assert_eq!(or_all([]), Formula::False);
+        let single = atom("R", vec![int(1)]);
+        assert_eq!(and_all([single.clone()]), single.clone());
+        assert_eq!(or_all([single.clone()]), single);
+    }
+
+    #[test]
+    fn builders_construct_the_expected_shapes() {
+        let f = implies(eq(var("x"), int(1)), not(atom("R", vec![var("x")])));
+        match f {
+            Formula::Implies(left, right) => {
+                assert!(matches!(*left, Formula::Comparison(_)));
+                assert!(matches!(*right, Formula::Not(_)));
+            }
+            other => panic!("unexpected shape: {other:?}"),
+        }
+        assert!(matches!(forall(&["x"], Formula::True), Formula::Forall(v, _) if v == vec!["x"]));
+        assert!(matches!(ge(var("x"), int(0)), Formula::Comparison(c) if c.op == CompOp::Ge));
+        assert!(matches!(le(var("x"), int(0)), Formula::Comparison(c) if c.op == CompOp::Le));
+        assert!(matches!(neq(var("x"), int(0)), Formula::Comparison(c) if c.op == CompOp::Neq));
+    }
+}

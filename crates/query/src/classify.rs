@@ -1,0 +1,156 @@
+//! Query classification.
+//!
+//! The complexity results of the paper's Fig. 5 distinguish query classes: consistent
+//! answers to *{∀,∃}-free* (quantifier-free) queries are computable in PTIME for the
+//! plain repair family, while *conjunctive* queries already make the problem
+//! co-NP-complete. [`classify`] determines the most specific class of a formula so that
+//! the CQA engine can pick the right algorithm.
+
+use crate::ast::Formula;
+
+/// The query classes relevant to the paper's complexity analysis, ordered from most to
+/// least specific.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueryClass {
+    /// No variables at all (every term is a constant).
+    Ground,
+    /// No quantifiers (the paper's "{∀,∃}-free" queries); may use any connective.
+    QuantifierFree,
+    /// A closed formula `∃ x̄ . (conjunction of atoms and comparisons)`.
+    Conjunctive,
+    /// Built from atoms and comparisons with `∧`, `∨`, `∃` only (no negation, no `∀`).
+    ExistentialPositive,
+    /// Anything else: full first-order.
+    FirstOrder,
+}
+
+impl QueryClass {
+    /// A short human-readable label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            QueryClass::Ground => "ground",
+            QueryClass::QuantifierFree => "quantifier-free",
+            QueryClass::Conjunctive => "conjunctive",
+            QueryClass::ExistentialPositive => "existential-positive",
+            QueryClass::FirstOrder => "first-order",
+        }
+    }
+}
+
+/// Whether the formula contains no quantifier.
+pub fn is_quantifier_free(formula: &Formula) -> bool {
+    match formula {
+        Formula::True | Formula::False | Formula::Atom(_) | Formula::Comparison(_) => true,
+        Formula::Not(inner) => is_quantifier_free(inner),
+        Formula::And(a, b) | Formula::Or(a, b) | Formula::Implies(a, b) => {
+            is_quantifier_free(a) && is_quantifier_free(b)
+        }
+        Formula::Exists(..) | Formula::Forall(..) => false,
+    }
+}
+
+/// Whether the formula mentions no variable at all.
+pub fn is_ground(formula: &Formula) -> bool {
+    is_quantifier_free(formula) && formula.free_vars().is_empty() && formula.bound_vars().is_empty()
+}
+
+/// Whether the formula is a conjunctive query: an (optional) prefix of existential
+/// quantifier blocks followed by a conjunction of atoms and comparisons.
+pub fn is_conjunctive(formula: &Formula) -> bool {
+    let mut body = formula;
+    while let Formula::Exists(_, inner) = body {
+        body = inner;
+    }
+    conjunction_of_literals(body)
+}
+
+fn conjunction_of_literals(formula: &Formula) -> bool {
+    match formula {
+        Formula::True | Formula::Atom(_) | Formula::Comparison(_) => true,
+        Formula::And(a, b) => conjunction_of_literals(a) && conjunction_of_literals(b),
+        _ => false,
+    }
+}
+
+/// Whether the formula is existential-positive: no `∀`, no negation, no implication.
+pub fn is_existential_positive(formula: &Formula) -> bool {
+    match formula {
+        Formula::True | Formula::False | Formula::Atom(_) | Formula::Comparison(_) => true,
+        Formula::And(a, b) | Formula::Or(a, b) => {
+            is_existential_positive(a) && is_existential_positive(b)
+        }
+        Formula::Exists(_, inner) => is_existential_positive(inner),
+        Formula::Not(_) | Formula::Implies(..) | Formula::Forall(..) => false,
+    }
+}
+
+/// The most specific [`QueryClass`] of the formula.
+pub fn classify(formula: &Formula) -> QueryClass {
+    if is_ground(formula) {
+        QueryClass::Ground
+    } else if is_quantifier_free(formula) {
+        QueryClass::QuantifierFree
+    } else if is_conjunctive(formula) {
+        QueryClass::Conjunctive
+    } else if is_existential_positive(formula) {
+        QueryClass::ExistentialPositive
+    } else {
+        QueryClass::FirstOrder
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_formula;
+
+    fn class_of(text: &str) -> QueryClass {
+        classify(&parse_formula(text).unwrap())
+    }
+
+    #[test]
+    fn ground_queries() {
+        assert_eq!(class_of("Mgr('Mary','R&D',40,3)"), QueryClass::Ground);
+        assert_eq!(class_of("NOT Mgr('Mary','R&D',40,3) AND 1 < 2"), QueryClass::Ground);
+    }
+
+    #[test]
+    fn quantifier_free_queries() {
+        assert_eq!(class_of("R(x) AND NOT S(x)"), QueryClass::QuantifierFree);
+        assert_eq!(class_of("R(x) -> S(y)"), QueryClass::QuantifierFree);
+    }
+
+    #[test]
+    fn conjunctive_queries() {
+        assert_eq!(
+            class_of("EXISTS x,y . Mgr('Mary',x,y,z) AND y > 10"),
+            QueryClass::Conjunctive
+        );
+        // The paper's Q1 and Q2 are conjunctive.
+        assert_eq!(
+            class_of(
+                "EXISTS d1,s1,r1,d2,s2,r2 . Mgr('Mary',d1,s1,r1) AND Mgr('John',d2,s2,r2) AND s1 < s2"
+            ),
+            QueryClass::Conjunctive
+        );
+        // Nested existential blocks still count.
+        assert_eq!(class_of("EXISTS x . EXISTS y . R(x,y)"), QueryClass::Conjunctive);
+    }
+
+    #[test]
+    fn existential_positive_but_not_conjunctive() {
+        assert_eq!(class_of("EXISTS x . R(x) OR S(x)"), QueryClass::ExistentialPositive);
+    }
+
+    #[test]
+    fn full_first_order() {
+        assert_eq!(class_of("FORALL x . R(x) -> S(x)"), QueryClass::FirstOrder);
+        assert_eq!(class_of("EXISTS x . NOT R(x)"), QueryClass::FirstOrder);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(QueryClass::Ground.label(), "ground");
+        assert_eq!(QueryClass::FirstOrder.label(), "first-order");
+    }
+}

@@ -1,0 +1,33 @@
+//! First-order queries for `pdqi`.
+//!
+//! The paper studies (closed) first-order queries over the alphabet consisting of the
+//! database relations and the binary predicates `=`, `≠`, `<`, `>` with their natural
+//! interpretation over the integers. This crate provides:
+//!
+//! * [`ast`] — the formula abstract syntax tree ([`Formula`], [`Term`], [`Atom`]),
+//! * [`parser`] — a textual syntax, e.g.
+//!   `EXISTS d1,s1,r1,d2,s2,r2 . Mgr('Mary',d1,s1,r1) AND Mgr('John',d2,s2,r2) AND s1 < s2`,
+//! * [`eval`] — model-theoretic evaluation with active-domain quantifier semantics, both
+//!   for closed formulas (truth values) and open formulas (answer sets),
+//! * [`classify`] — the query-class analysis behind the columns of the paper's Fig. 5
+//!   ({∀,∃}-free, conjunctive, ...),
+//! * [`normalize`] — negation normal form, prenex form and related transformations,
+//! * [`builder`] — a concise programmatic construction API.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod ast;
+pub mod builder;
+pub mod classify;
+pub mod eval;
+pub mod normalize;
+pub mod parser;
+
+pub use ast::{Atom, Comparison, Formula, Term};
+pub use classify::{classify, QueryClass};
+pub use eval::{Evaluator, QueryError};
+pub use parser::parse_formula;
+
+/// Convenience result alias for query operations.
+pub type Result<T, E = QueryError> = std::result::Result<T, E>;

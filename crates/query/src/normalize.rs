@@ -1,0 +1,314 @@
+//! Formula normalisation: negation normal form, prenex form, substitution and closure.
+
+use std::collections::HashMap;
+
+use crate::ast::{Atom, Comparison, Formula, Term};
+
+/// Rewrites the formula into **negation normal form**: implications are eliminated and
+/// negations are pushed down to atoms and comparisons (negated comparisons are replaced
+/// by the complementary operator, so no negation remains in front of a comparison).
+pub fn to_nnf(formula: &Formula) -> Formula {
+    nnf(formula, false)
+}
+
+fn nnf(formula: &Formula, negated: bool) -> Formula {
+    match formula {
+        Formula::True => {
+            if negated {
+                Formula::False
+            } else {
+                Formula::True
+            }
+        }
+        Formula::False => {
+            if negated {
+                Formula::True
+            } else {
+                Formula::False
+            }
+        }
+        Formula::Atom(a) => {
+            if negated {
+                Formula::Not(Box::new(Formula::Atom(a.clone())))
+            } else {
+                Formula::Atom(a.clone())
+            }
+        }
+        Formula::Comparison(c) => {
+            if negated {
+                Formula::Comparison(Comparison {
+                    left: c.left.clone(),
+                    op: c.op.negate(),
+                    right: c.right.clone(),
+                })
+            } else {
+                Formula::Comparison(c.clone())
+            }
+        }
+        Formula::Not(inner) => nnf(inner, !negated),
+        Formula::And(a, b) => {
+            let (left, right) = (nnf(a, negated), nnf(b, negated));
+            if negated {
+                Formula::Or(Box::new(left), Box::new(right))
+            } else {
+                Formula::And(Box::new(left), Box::new(right))
+            }
+        }
+        Formula::Or(a, b) => {
+            let (left, right) = (nnf(a, negated), nnf(b, negated));
+            if negated {
+                Formula::And(Box::new(left), Box::new(right))
+            } else {
+                Formula::Or(Box::new(left), Box::new(right))
+            }
+        }
+        Formula::Implies(a, b) => {
+            // a -> b  ≡  ¬a ∨ b
+            let rewritten = Formula::Or(Box::new(Formula::Not(a.clone())), b.clone());
+            nnf(&rewritten, negated)
+        }
+        Formula::Exists(vars, inner) => {
+            let body = nnf(inner, negated);
+            if negated {
+                Formula::Forall(vars.clone(), Box::new(body))
+            } else {
+                Formula::Exists(vars.clone(), Box::new(body))
+            }
+        }
+        Formula::Forall(vars, inner) => {
+            let body = nnf(inner, negated);
+            if negated {
+                Formula::Exists(vars.clone(), Box::new(body))
+            } else {
+                Formula::Forall(vars.clone(), Box::new(body))
+            }
+        }
+    }
+}
+
+/// A quantifier kind in a prenex prefix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Quantifier {
+    /// `∃`
+    Exists,
+    /// `∀`
+    Forall,
+}
+
+/// Converts the formula to **prenex normal form**: a quantifier prefix followed by a
+/// quantifier-free matrix. Bound variables are renamed apart to avoid capture. The input
+/// is first brought into negation normal form.
+pub fn to_prenex(formula: &Formula) -> (Vec<(Quantifier, String)>, Formula) {
+    let nnf = to_nnf(formula);
+    let mut counter = 0usize;
+    let mut prefix = Vec::new();
+    let matrix = pull_quantifiers(&nnf, &mut prefix, &mut counter, &HashMap::new());
+    (prefix, matrix)
+}
+
+fn fresh(base: &str, counter: &mut usize) -> String {
+    *counter += 1;
+    format!("{base}__{counter}")
+}
+
+fn pull_quantifiers(
+    formula: &Formula,
+    prefix: &mut Vec<(Quantifier, String)>,
+    counter: &mut usize,
+    renaming: &HashMap<String, String>,
+) -> Formula {
+    match formula {
+        Formula::True | Formula::False => formula.clone(),
+        Formula::Atom(a) => Formula::Atom(rename_atom(a, renaming)),
+        Formula::Comparison(c) => Formula::Comparison(rename_comparison(c, renaming)),
+        Formula::Not(inner) => {
+            // After NNF the negation is directly above an atom; no quantifier can hide below.
+            Formula::Not(Box::new(pull_quantifiers(inner, prefix, counter, renaming)))
+        }
+        Formula::And(a, b) => Formula::And(
+            Box::new(pull_quantifiers(a, prefix, counter, renaming)),
+            Box::new(pull_quantifiers(b, prefix, counter, renaming)),
+        ),
+        Formula::Or(a, b) => Formula::Or(
+            Box::new(pull_quantifiers(a, prefix, counter, renaming)),
+            Box::new(pull_quantifiers(b, prefix, counter, renaming)),
+        ),
+        Formula::Implies(a, b) => Formula::Implies(
+            Box::new(pull_quantifiers(a, prefix, counter, renaming)),
+            Box::new(pull_quantifiers(b, prefix, counter, renaming)),
+        ),
+        Formula::Exists(vars, inner) | Formula::Forall(vars, inner) => {
+            let quantifier = if matches!(formula, Formula::Exists(..)) {
+                Quantifier::Exists
+            } else {
+                Quantifier::Forall
+            };
+            let mut extended = renaming.clone();
+            for var in vars {
+                let new_name = fresh(var, counter);
+                prefix.push((quantifier, new_name.clone()));
+                extended.insert(var.clone(), new_name);
+            }
+            pull_quantifiers(inner, prefix, counter, &extended)
+        }
+    }
+}
+
+fn rename_term(term: &Term, renaming: &HashMap<String, String>) -> Term {
+    match term {
+        Term::Var(v) => Term::Var(renaming.get(v).cloned().unwrap_or_else(|| v.clone())),
+        Term::Const(_) => term.clone(),
+    }
+}
+
+fn rename_atom(atom: &Atom, renaming: &HashMap<String, String>) -> Atom {
+    Atom {
+        relation: atom.relation.clone(),
+        args: atom.args.iter().map(|t| rename_term(t, renaming)).collect(),
+    }
+}
+
+fn rename_comparison(cmp: &Comparison, renaming: &HashMap<String, String>) -> Comparison {
+    Comparison {
+        left: rename_term(&cmp.left, renaming),
+        op: cmp.op,
+        right: rename_term(&cmp.right, renaming),
+    }
+}
+
+/// Substitutes constants (or other terms) for *free* occurrences of variables.
+pub fn substitute(formula: &Formula, substitution: &HashMap<String, Term>) -> Formula {
+    match formula {
+        Formula::True | Formula::False => formula.clone(),
+        Formula::Atom(a) => Formula::Atom(Atom {
+            relation: a.relation.clone(),
+            args: a.args.iter().map(|t| substitute_term(t, substitution)).collect(),
+        }),
+        Formula::Comparison(c) => Formula::Comparison(Comparison {
+            left: substitute_term(&c.left, substitution),
+            op: c.op,
+            right: substitute_term(&c.right, substitution),
+        }),
+        Formula::Not(inner) => Formula::Not(Box::new(substitute(inner, substitution))),
+        Formula::And(a, b) => Formula::And(
+            Box::new(substitute(a, substitution)),
+            Box::new(substitute(b, substitution)),
+        ),
+        Formula::Or(a, b) => Formula::Or(
+            Box::new(substitute(a, substitution)),
+            Box::new(substitute(b, substitution)),
+        ),
+        Formula::Implies(a, b) => Formula::Implies(
+            Box::new(substitute(a, substitution)),
+            Box::new(substitute(b, substitution)),
+        ),
+        Formula::Exists(vars, inner) | Formula::Forall(vars, inner) => {
+            // Bound variables shadow the substitution.
+            let mut reduced = substitution.clone();
+            for var in vars {
+                reduced.remove(var);
+            }
+            let body = Box::new(substitute(inner, &reduced));
+            if matches!(formula, Formula::Exists(..)) {
+                Formula::Exists(vars.clone(), body)
+            } else {
+                Formula::Forall(vars.clone(), body)
+            }
+        }
+    }
+}
+
+fn substitute_term(term: &Term, substitution: &HashMap<String, Term>) -> Term {
+    match term {
+        Term::Var(v) => substitution.get(v).cloned().unwrap_or_else(|| term.clone()),
+        Term::Const(_) => term.clone(),
+    }
+}
+
+/// Existentially closes the formula over its free variables (if any).
+pub fn close_existentially(formula: &Formula) -> Formula {
+    let free = formula.free_vars();
+    if free.is_empty() {
+        formula.clone()
+    } else {
+        Formula::Exists(free, Box::new(formula.clone()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::*;
+    use crate::parser::parse_formula;
+    use pdqi_relation::Value;
+
+    #[test]
+    fn nnf_eliminates_implication_and_pushes_negation() {
+        let f = parse_formula("NOT (R(x) -> S(x))").unwrap();
+        // ¬(R → S) ≡ R ∧ ¬S
+        let expected = and(
+            atom("R", vec![var("x")]),
+            not(atom("S", vec![var("x")])),
+        );
+        assert_eq!(to_nnf(&f), expected);
+    }
+
+    #[test]
+    fn nnf_flips_quantifiers_and_comparisons_under_negation() {
+        let f = parse_formula("NOT EXISTS x . x < 3").unwrap();
+        let expected = forall(&["x"], ge(var("x"), int(3)));
+        assert_eq!(to_nnf(&f), expected);
+        let g = parse_formula("NOT FORALL x . R(x)").unwrap();
+        assert!(matches!(to_nnf(&g), Formula::Exists(_, _)));
+    }
+
+    #[test]
+    fn nnf_is_idempotent() {
+        let f = parse_formula("NOT (R(x) AND NOT (S(y) OR x = 1))").unwrap();
+        let once = to_nnf(&f);
+        assert_eq!(to_nnf(&once), once);
+    }
+
+    #[test]
+    fn prenex_pulls_all_quantifiers_to_the_front() {
+        let f = parse_formula("(EXISTS x . R(x)) AND (FORALL x . S(x))").unwrap();
+        let (prefix, matrix) = to_prenex(&f);
+        assert_eq!(prefix.len(), 2);
+        assert_eq!(prefix[0].0, Quantifier::Exists);
+        assert_eq!(prefix[1].0, Quantifier::Forall);
+        // The two `x`s are renamed apart.
+        assert_ne!(prefix[0].1, prefix[1].1);
+        assert!(crate::classify::is_quantifier_free(&matrix));
+    }
+
+    #[test]
+    fn prenex_respects_negation() {
+        // ¬∃x.R(x) becomes ∀x'.¬R(x').
+        let f = parse_formula("NOT EXISTS x . R(x)").unwrap();
+        let (prefix, matrix) = to_prenex(&f);
+        assert_eq!(prefix.len(), 1);
+        assert_eq!(prefix[0].0, Quantifier::Forall);
+        assert!(matches!(matrix, Formula::Not(_)));
+    }
+
+    #[test]
+    fn substitution_respects_binding() {
+        let f = parse_formula("R(x) AND EXISTS x . S(x)").unwrap();
+        let mut sub = HashMap::new();
+        sub.insert("x".to_string(), Term::Const(Value::int(7)));
+        let g = substitute(&f, &sub);
+        // The free x is replaced, the bound one is untouched.
+        assert_eq!(g.free_vars(), Vec::<String>::new());
+        assert!(g.to_string().contains("R(7)"));
+        assert!(g.to_string().contains("S(x)"));
+    }
+
+    #[test]
+    fn existential_closure() {
+        let f = parse_formula("EXISTS s,r . Mgr(x,'R&D',s,r)").unwrap();
+        let closed = close_existentially(&f);
+        assert!(closed.is_closed());
+        let already_closed = parse_formula("EXISTS x . R(x)").unwrap();
+        assert_eq!(close_existentially(&already_closed), already_closed);
+    }
+}

@@ -1,0 +1,544 @@
+//! Textual syntax for first-order queries.
+//!
+//! The grammar (keywords are case-insensitive):
+//!
+//! ```text
+//! formula     := ('EXISTS' | 'FORALL') varlist '.' formula
+//!              | implication
+//! implication := disjunction ('->' formula)?
+//! disjunction := conjunction ('OR' conjunction)*
+//! conjunction := unary ('AND' unary)*
+//! unary       := 'NOT' unary | primary
+//! primary     := '(' formula ')' | 'TRUE' | 'FALSE' | atom | comparison
+//! atom        := ident '(' term (',' term)* ')'
+//! comparison  := term ('=' | '!=' | '<>' | '<' | '<=' | '>' | '>=') term
+//! term        := ident            (a variable; '_' is a fresh anonymous variable)
+//!              | integer          (an integer constant)
+//!              | '\'' chars '\''  (a name constant, '' escapes a quote)
+//! ```
+//!
+//! Example — the paper's query `Q1` ("does John earn more than Mary?"):
+//!
+//! ```
+//! let q1 = pdqi_query::parse_formula(
+//!     "EXISTS d1,s1,r1,d2,s2,r2 . Mgr('Mary',d1,s1,r1) AND Mgr('John',d2,s2,r2) AND s1 < s2",
+//! ).unwrap();
+//! assert!(q1.is_closed());
+//! ```
+
+use std::fmt;
+
+use pdqi_constraints::CompOp;
+use pdqi_relation::Value;
+
+use crate::ast::{Atom, Comparison, Formula, Term};
+
+/// A parse error with position information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset in the input where the error was detected.
+    pub position: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a first-order formula from its textual syntax.
+pub fn parse_formula(input: &str) -> Result<Formula, ParseError> {
+    let tokens = lex(input)?;
+    let mut parser = Parser { tokens, pos: 0, anon_counter: 0 };
+    let formula = parser.formula()?;
+    parser.expect_end()?;
+    Ok(formula)
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Ident(String),
+    Int(i64),
+    Quoted(String),
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Arrow,
+    Op(CompOp),
+}
+
+struct Spanned {
+    token: Token,
+    position: usize,
+}
+
+fn lex(input: &str) -> Result<Vec<Spanned>, ParseError> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            '(' => {
+                tokens.push(Spanned { token: Token::LParen, position: i });
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Spanned { token: Token::RParen, position: i });
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Spanned { token: Token::Comma, position: i });
+                i += 1;
+            }
+            '.' => {
+                tokens.push(Spanned { token: Token::Dot, position: i });
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Spanned { token: Token::Op(CompOp::Eq), position: i });
+                i += 1;
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Spanned { token: Token::Op(CompOp::Neq), position: i });
+                    i += 2;
+                } else {
+                    return Err(ParseError { position: i, message: "expected `!=`".into() });
+                }
+            }
+            '<' => match bytes.get(i + 1) {
+                Some(&b'=') => {
+                    tokens.push(Spanned { token: Token::Op(CompOp::Le), position: i });
+                    i += 2;
+                }
+                Some(&b'>') => {
+                    tokens.push(Spanned { token: Token::Op(CompOp::Neq), position: i });
+                    i += 2;
+                }
+                _ => {
+                    tokens.push(Spanned { token: Token::Op(CompOp::Lt), position: i });
+                    i += 1;
+                }
+            },
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Spanned { token: Token::Op(CompOp::Ge), position: i });
+                    i += 2;
+                } else {
+                    tokens.push(Spanned { token: Token::Op(CompOp::Gt), position: i });
+                    i += 1;
+                }
+            }
+            '-' => {
+                if bytes.get(i + 1) == Some(&b'>') {
+                    tokens.push(Spanned { token: Token::Arrow, position: i });
+                    i += 2;
+                } else {
+                    // A negative integer literal.
+                    let start = i;
+                    i += 1;
+                    let digit_start = i;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                    if digit_start == i {
+                        return Err(ParseError {
+                            position: start,
+                            message: "expected `->` or a negative integer".into(),
+                        });
+                    }
+                    let value: i64 = input[start..i].parse().map_err(|_| ParseError {
+                        position: start,
+                        message: "integer literal out of range".into(),
+                    })?;
+                    tokens.push(Spanned { token: Token::Int(value), position: start });
+                }
+            }
+            '\'' => {
+                let start = i;
+                i += 1;
+                let mut text = String::new();
+                loop {
+                    match bytes.get(i) {
+                        None => {
+                            return Err(ParseError {
+                                position: start,
+                                message: "unterminated name constant".into(),
+                            })
+                        }
+                        Some(&b'\'') => {
+                            if bytes.get(i + 1) == Some(&b'\'') {
+                                text.push('\'');
+                                i += 2;
+                            } else {
+                                i += 1;
+                                break;
+                            }
+                        }
+                        Some(&b) => {
+                            text.push(b as char);
+                            i += 1;
+                        }
+                    }
+                }
+                tokens.push(Spanned { token: Token::Quoted(text), position: start });
+            }
+            _ if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let value: i64 = input[start..i].parse().map_err(|_| ParseError {
+                    position: start,
+                    message: "integer literal out of range".into(),
+                })?;
+                tokens.push(Spanned { token: Token::Int(value), position: start });
+            }
+            _ if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                tokens.push(Spanned { token: Token::Ident(input[start..i].to_string()), position: start });
+            }
+            _ => {
+                return Err(ParseError {
+                    position: i,
+                    message: format!("unexpected character `{c}`"),
+                })
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+    anon_counter: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|s| &s.token)
+    }
+
+    fn position(&self) -> usize {
+        self.tokens.get(self.pos).map_or_else(
+            || self.tokens.last().map_or(0, |s| s.position + 1),
+            |s| s.position,
+        )
+    }
+
+    fn advance(&mut self) -> Option<&Token> {
+        let token = self.tokens.get(self.pos).map(|s| &s.token);
+        if token.is_some() {
+            self.pos += 1;
+        }
+        token
+    }
+
+    fn error<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError { position: self.position(), message: message.into() })
+    }
+
+    fn keyword(&self, word: &str) -> bool {
+        matches!(self.peek(), Some(Token::Ident(id)) if id.eq_ignore_ascii_case(word))
+    }
+
+    fn expect_end(&self) -> Result<(), ParseError> {
+        if self.pos == self.tokens.len() {
+            Ok(())
+        } else {
+            self.error("unexpected trailing input")
+        }
+    }
+
+    fn expect(&mut self, expected: &Token, description: &str) -> Result<(), ParseError> {
+        if self.peek() == Some(expected) {
+            self.advance();
+            Ok(())
+        } else {
+            self.error(format!("expected {description}"))
+        }
+    }
+
+    fn formula(&mut self) -> Result<Formula, ParseError> {
+        if self.keyword("EXISTS") || self.keyword("FORALL") {
+            let universal = self.keyword("FORALL");
+            self.advance();
+            let vars = self.var_list()?;
+            self.expect(&Token::Dot, "`.` after the quantified variables")?;
+            let body = self.formula()?;
+            return Ok(if universal {
+                Formula::Forall(vars, Box::new(body))
+            } else {
+                Formula::Exists(vars, Box::new(body))
+            });
+        }
+        let left = self.disjunction()?;
+        if self.peek() == Some(&Token::Arrow) {
+            self.advance();
+            let right = self.formula()?;
+            return Ok(Formula::Implies(Box::new(left), Box::new(right)));
+        }
+        Ok(left)
+    }
+
+    fn var_list(&mut self) -> Result<Vec<String>, ParseError> {
+        let mut vars = Vec::new();
+        loop {
+            match self.advance() {
+                Some(Token::Ident(id)) => vars.push(id.clone()),
+                _ => return self.error("expected a variable name"),
+            }
+            if self.peek() == Some(&Token::Comma) {
+                self.advance();
+            } else {
+                break;
+            }
+        }
+        Ok(vars)
+    }
+
+    fn disjunction(&mut self) -> Result<Formula, ParseError> {
+        let mut left = self.conjunction()?;
+        while self.keyword("OR") {
+            self.advance();
+            let right = self.conjunction()?;
+            left = Formula::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn conjunction(&mut self) -> Result<Formula, ParseError> {
+        let mut left = self.unary()?;
+        while self.keyword("AND") {
+            self.advance();
+            let right = self.unary()?;
+            left = Formula::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn unary(&mut self) -> Result<Formula, ParseError> {
+        if self.keyword("NOT") {
+            self.advance();
+            let inner = self.unary()?;
+            return Ok(Formula::Not(Box::new(inner)));
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Formula, ParseError> {
+        match self.peek() {
+            Some(Token::LParen) => {
+                self.advance();
+                // A parenthesised formula; quantifiers may re-appear inside.
+                let inner = self.formula()?;
+                self.expect(&Token::RParen, "`)`")?;
+                Ok(inner)
+            }
+            Some(Token::Ident(id)) if id.eq_ignore_ascii_case("TRUE") => {
+                self.advance();
+                Ok(Formula::True)
+            }
+            Some(Token::Ident(id)) if id.eq_ignore_ascii_case("FALSE") => {
+                self.advance();
+                Ok(Formula::False)
+            }
+            Some(Token::Ident(id))
+                if id.eq_ignore_ascii_case("EXISTS") || id.eq_ignore_ascii_case("FORALL") =>
+            {
+                // A quantifier nested under a connective, e.g. `... AND EXISTS x . ...`.
+                self.formula()
+            }
+            Some(Token::Ident(_)) => {
+                // Either an atom `R(...)` or a comparison starting with a variable.
+                if matches!(self.tokens.get(self.pos + 1).map(|s| &s.token), Some(Token::LParen)) {
+                    self.atom()
+                } else {
+                    self.comparison()
+                }
+            }
+            Some(Token::Int(_)) | Some(Token::Quoted(_)) => self.comparison(),
+            _ => self.error("expected a formula"),
+        }
+    }
+
+    fn atom(&mut self) -> Result<Formula, ParseError> {
+        let relation = match self.advance() {
+            Some(Token::Ident(id)) => id.clone(),
+            _ => return self.error("expected a relation name"),
+        };
+        self.expect(&Token::LParen, "`(` after the relation name")?;
+        let mut args = Vec::new();
+        if self.peek() != Some(&Token::RParen) {
+            loop {
+                args.push(self.term()?);
+                if self.peek() == Some(&Token::Comma) {
+                    self.advance();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(&Token::RParen, "`)` closing the atom")?;
+        Ok(Formula::Atom(Atom { relation, args }))
+    }
+
+    fn comparison(&mut self) -> Result<Formula, ParseError> {
+        let left = self.term()?;
+        let op = match self.advance() {
+            Some(Token::Op(op)) => *op,
+            _ => return self.error("expected a comparison operator"),
+        };
+        let right = self.term()?;
+        Ok(Formula::Comparison(Comparison { left, op, right }))
+    }
+
+    fn term(&mut self) -> Result<Term, ParseError> {
+        match self.advance() {
+            Some(Token::Ident(id)) if id == "_" => {
+                self.anon_counter += 1;
+                Ok(Term::Var(format!("_anon{}", self.anon_counter)))
+            }
+            Some(Token::Ident(id)) => Ok(Term::Var(id.clone())),
+            Some(Token::Int(n)) => Ok(Term::Const(Value::int(*n))),
+            Some(Token::Quoted(text)) => Ok(Term::Const(Value::name(text))),
+            _ => self.error("expected a term"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder;
+
+    #[test]
+    fn parses_the_paper_query_q1() {
+        let q1 = parse_formula(
+            "EXISTS d1,s1,r1,d2,s2,r2 . Mgr('Mary',d1,s1,r1) AND Mgr('John',d2,s2,r2) AND s1 < s2",
+        )
+        .unwrap();
+        assert!(q1.is_closed());
+        assert_eq!(q1.relations().len(), 1);
+        assert_eq!(q1.constants().len(), 2);
+    }
+
+    #[test]
+    fn parses_the_paper_query_q2() {
+        let q2 = parse_formula(
+            "EXISTS d1,s1,r1,d2,s2,r2 . Mgr('Mary',d1,s1,r1) AND Mgr('John',d2,s2,r2) \
+             AND s1 > s2 AND r1 < r2",
+        )
+        .unwrap();
+        assert!(q2.is_closed());
+    }
+
+    #[test]
+    fn operator_precedence_not_binds_tighter_than_and_than_or() {
+        let f = parse_formula("NOT R(1) AND S(2) OR T(3)").unwrap();
+        // ((NOT R(1)) AND S(2)) OR T(3)
+        let expected = builder::or(
+            builder::and(
+                builder::not(builder::atom("R", vec![builder::int(1)])),
+                builder::atom("S", vec![builder::int(2)]),
+            ),
+            builder::atom("T", vec![builder::int(3)]),
+        );
+        assert_eq!(f, expected);
+    }
+
+    #[test]
+    fn implication_is_right_associative_and_lowest_precedence() {
+        let f = parse_formula("R(1) -> S(2) -> T(3)").unwrap();
+        let expected = builder::implies(
+            builder::atom("R", vec![builder::int(1)]),
+            builder::implies(
+                builder::atom("S", vec![builder::int(2)]),
+                builder::atom("T", vec![builder::int(3)]),
+            ),
+        );
+        assert_eq!(f, expected);
+    }
+
+    #[test]
+    fn quantifier_scope_extends_to_the_end() {
+        let f = parse_formula("EXISTS x . R(x) AND S(x)").unwrap();
+        assert!(f.is_closed());
+        let f2 = parse_formula("(EXISTS x . R(x)) AND S(y)").unwrap();
+        assert_eq!(f2.free_vars(), vec!["y".to_string()]);
+    }
+
+    #[test]
+    fn nested_quantifiers_under_connectives() {
+        let f = parse_formula("R(1) AND EXISTS x . S(x)").unwrap();
+        assert!(f.is_closed());
+        let g = parse_formula("FORALL x . R(x) -> EXISTS y . S(x, y)").unwrap();
+        assert!(g.is_closed());
+    }
+
+    #[test]
+    fn all_comparison_operators_parse() {
+        for (text, op) in [
+            ("x = 1", CompOp::Eq),
+            ("x != 1", CompOp::Neq),
+            ("x <> 1", CompOp::Neq),
+            ("x < 1", CompOp::Lt),
+            ("x <= 1", CompOp::Le),
+            ("x > 1", CompOp::Gt),
+            ("x >= 1", CompOp::Ge),
+        ] {
+            match parse_formula(text).unwrap() {
+                Formula::Comparison(c) => assert_eq!(c.op, op, "for {text}"),
+                other => panic!("expected a comparison for {text}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn negative_integers_and_escaped_quotes() {
+        let f = parse_formula("R(-5, 'O''Brien')").unwrap();
+        match f {
+            Formula::Atom(a) => {
+                assert_eq!(a.args[0], Term::Const(Value::int(-5)));
+                assert_eq!(a.args[1], Term::Const(Value::name("O'Brien")));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn anonymous_variables_get_fresh_names() {
+        let f = parse_formula("R(_, _, x)").unwrap();
+        let free = f.free_vars();
+        assert_eq!(free.len(), 3);
+        assert!(free.contains(&"x".to_string()));
+    }
+
+    #[test]
+    fn empty_argument_atoms_and_keywords_are_case_insensitive() {
+        assert!(parse_formula("exists x . r(x) and true").unwrap().is_closed());
+        assert_eq!(parse_formula("TRUE").unwrap(), Formula::True);
+        assert_eq!(parse_formula("false").unwrap(), Formula::False);
+    }
+
+    #[test]
+    fn malformed_inputs_produce_errors_with_positions() {
+        for bad in ["", "EXISTS . R(1)", "R(1", "x <", "R(1) AND", "R(1) extra", "x ! 1", "'open"] {
+            let err = parse_formula(bad).unwrap_err();
+            assert!(!err.to_string().is_empty(), "no error for `{bad}`");
+        }
+    }
+}

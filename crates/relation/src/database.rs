@@ -1,0 +1,160 @@
+//! Multi-relation database instances.
+//!
+//! The paper restricts its exposition to a single relation "only for the sake of
+//! clarity"; the framework extends to databases with multiple relations along the lines
+//! of its reference [7]. [`DatabaseInstance`] provides that general container so the SQL
+//! front end and the examples can work with several relations at once.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::error::RelationError;
+use crate::relation::RelationInstance;
+use crate::schema::{DatabaseSchema, RelationSchema};
+
+/// A database instance: one [`RelationInstance`] per relation name.
+#[derive(Debug, Clone, Default)]
+pub struct DatabaseInstance {
+    relations: BTreeMap<String, RelationInstance>,
+}
+
+impl DatabaseInstance {
+    /// Creates an empty database instance.
+    pub fn new() -> Self {
+        DatabaseInstance::default()
+    }
+
+    /// Creates an empty instance for every relation of `schema`.
+    pub fn for_schema(schema: &DatabaseSchema) -> Self {
+        let mut db = DatabaseInstance::new();
+        for relation in schema.relations() {
+            db.add_relation(RelationInstance::new(Arc::clone(relation)))
+                .expect("database schema has unique relation names");
+        }
+        db
+    }
+
+    /// Adds a relation instance, rejecting duplicate names.
+    pub fn add_relation(&mut self, instance: RelationInstance) -> Result<(), RelationError> {
+        let name = instance.schema().name().to_string();
+        if self.relations.contains_key(&name) {
+            return Err(RelationError::DuplicateRelation { relation: name });
+        }
+        self.relations.insert(name, instance);
+        Ok(())
+    }
+
+    /// The instance of relation `name`.
+    pub fn relation(&self, name: &str) -> Result<&RelationInstance, RelationError> {
+        self.relations
+            .get(name)
+            .ok_or_else(|| RelationError::UnknownRelation { relation: name.to_string() })
+    }
+
+    /// Mutable access to the instance of relation `name`.
+    pub fn relation_mut(&mut self, name: &str) -> Result<&mut RelationInstance, RelationError> {
+        self.relations
+            .get_mut(name)
+            .ok_or_else(|| RelationError::UnknownRelation { relation: name.to_string() })
+    }
+
+    /// Whether the database contains a relation called `name`.
+    pub fn has_relation(&self, name: &str) -> bool {
+        self.relations.contains_key(name)
+    }
+
+    /// Iterates over `(name, instance)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &RelationInstance)> {
+        self.relations.iter().map(|(n, r)| (n.as_str(), r))
+    }
+
+    /// Number of relations.
+    pub fn relation_count(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// Total number of tuples across all relations.
+    pub fn tuple_count(&self) -> usize {
+        self.relations.values().map(RelationInstance::len).sum()
+    }
+
+    /// The schemas of all relations in this database, as a [`DatabaseSchema`].
+    pub fn schema(&self) -> DatabaseSchema {
+        let mut schema = DatabaseSchema::new();
+        for instance in self.relations.values() {
+            schema
+                .add_relation(RelationSchema::clone(instance.schema()))
+                .expect("instance relation names are unique");
+        }
+        schema
+    }
+}
+
+impl fmt::Display for DatabaseInstance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, instance) in self.relations.values().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{instance}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::RelationSchema;
+    use crate::value::{Value, ValueType};
+
+    fn schema(name: &str) -> RelationSchema {
+        RelationSchema::from_pairs(name, &[("A", ValueType::Int)]).unwrap()
+    }
+
+    #[test]
+    fn relations_are_addressable_by_name() {
+        let mut db = DatabaseInstance::new();
+        db.add_relation(RelationInstance::new(Arc::new(schema("R")))).unwrap();
+        db.add_relation(RelationInstance::new(Arc::new(schema("S")))).unwrap();
+        assert!(db.has_relation("R"));
+        assert!(db.relation("S").is_ok());
+        assert!(db.relation("T").is_err());
+        assert_eq!(db.relation_count(), 2);
+    }
+
+    #[test]
+    fn duplicate_relation_names_are_rejected() {
+        let mut db = DatabaseInstance::new();
+        db.add_relation(RelationInstance::new(Arc::new(schema("R")))).unwrap();
+        assert!(db.add_relation(RelationInstance::new(Arc::new(schema("R")))).is_err());
+    }
+
+    #[test]
+    fn for_schema_creates_empty_instances() {
+        let mut dbs = DatabaseSchema::new();
+        dbs.add_relation(schema("R")).unwrap();
+        dbs.add_relation(schema("S")).unwrap();
+        let db = DatabaseInstance::for_schema(&dbs);
+        assert_eq!(db.relation_count(), 2);
+        assert_eq!(db.tuple_count(), 0);
+    }
+
+    #[test]
+    fn tuple_count_sums_over_relations() {
+        let mut db = DatabaseInstance::new();
+        db.add_relation(RelationInstance::new(Arc::new(schema("R")))).unwrap();
+        db.relation_mut("R").unwrap().insert(vec![Value::int(1)]).unwrap();
+        db.relation_mut("R").unwrap().insert(vec![Value::int(2)]).unwrap();
+        assert_eq!(db.tuple_count(), 2);
+    }
+
+    #[test]
+    fn schema_round_trips_relation_names() {
+        let mut db = DatabaseInstance::new();
+        db.add_relation(RelationInstance::new(Arc::new(schema("R")))).unwrap();
+        let derived = db.schema();
+        assert!(derived.relation("R").is_ok());
+    }
+}

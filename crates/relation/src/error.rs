@@ -1,0 +1,140 @@
+//! Error types for the relational substrate.
+
+use std::fmt;
+
+use crate::value::ValueType;
+
+/// Errors produced while constructing or manipulating schemas, tuples and instances.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RelationError {
+    /// A tuple was built with a different number of values than the schema has attributes.
+    ArityMismatch {
+        /// Relation name.
+        relation: String,
+        /// Number of attributes declared by the schema.
+        expected: usize,
+        /// Number of values supplied.
+        actual: usize,
+    },
+    /// A value of the wrong type was supplied for an attribute.
+    TypeMismatch {
+        /// Relation name.
+        relation: String,
+        /// Attribute name.
+        attribute: String,
+        /// Type declared by the schema.
+        expected: ValueType,
+        /// Type of the supplied value.
+        actual: ValueType,
+    },
+    /// Two values of incompatible types were compared with `<`, `>`, `<=` or `>=`.
+    IncomparableValues {
+        /// Type of the left operand.
+        left: ValueType,
+        /// Type of the right operand.
+        right: ValueType,
+    },
+    /// An attribute name was not found in a schema.
+    UnknownAttribute {
+        /// Relation name.
+        relation: String,
+        /// The attribute that was looked up.
+        attribute: String,
+    },
+    /// A relation name was not found in a database schema or instance.
+    UnknownRelation {
+        /// The relation that was looked up.
+        relation: String,
+    },
+    /// A duplicate attribute name appeared in a schema definition.
+    DuplicateAttribute {
+        /// Relation name.
+        relation: String,
+        /// The duplicated attribute name.
+        attribute: String,
+    },
+    /// A duplicate relation name appeared in a database schema.
+    DuplicateRelation {
+        /// The duplicated relation name.
+        relation: String,
+    },
+    /// A tuple identifier did not refer to a tuple of the instance.
+    UnknownTupleId {
+        /// The identifier that was looked up.
+        id: u32,
+    },
+    /// A textual instance description could not be parsed.
+    ParseError {
+        /// Line number (1-based) where the problem was found.
+        line: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for RelationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelationError::ArityMismatch { relation, expected, actual } => write!(
+                f,
+                "relation `{relation}`: expected {expected} values, got {actual}"
+            ),
+            RelationError::TypeMismatch { relation, attribute, expected, actual } => write!(
+                f,
+                "relation `{relation}`, attribute `{attribute}`: expected a value of type {expected}, got {actual}"
+            ),
+            RelationError::IncomparableValues { left, right } => write!(
+                f,
+                "values of types {left} and {right} cannot be compared with an order predicate"
+            ),
+            RelationError::UnknownAttribute { relation, attribute } => {
+                write!(f, "relation `{relation}` has no attribute `{attribute}`")
+            }
+            RelationError::UnknownRelation { relation } => {
+                write!(f, "unknown relation `{relation}`")
+            }
+            RelationError::DuplicateAttribute { relation, attribute } => write!(
+                f,
+                "relation `{relation}` declares attribute `{attribute}` more than once"
+            ),
+            RelationError::DuplicateRelation { relation } => {
+                write!(f, "relation `{relation}` is declared more than once")
+            }
+            RelationError::UnknownTupleId { id } => {
+                write!(f, "tuple id {id} does not refer to a tuple of this instance")
+            }
+            RelationError::ParseError { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RelationError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_relation_and_attribute() {
+        let err = RelationError::TypeMismatch {
+            relation: "Mgr".into(),
+            attribute: "Salary".into(),
+            expected: ValueType::Int,
+            actual: ValueType::Name,
+        };
+        let text = err.to_string();
+        assert!(text.contains("Mgr"));
+        assert!(text.contains("Salary"));
+        assert!(text.contains("int"));
+        assert!(text.contains("name"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        let a = RelationError::UnknownRelation { relation: "R".into() };
+        let b = RelationError::UnknownRelation { relation: "R".into() };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,41 @@
+//! Relational substrate for `pdqi`.
+//!
+//! The paper works with databases over a schema consisting of relations with typed
+//! attributes drawn from two disjoint domains: *uninterpreted names* `D` and *natural
+//! numbers* `N` (we use signed 64-bit integers, which subsume the paper's naturals).
+//! This crate provides that data model:
+//!
+//! * [`Name`] — interned, cheaply clonable uninterpreted constants,
+//! * [`Value`] / [`ValueType`] — typed attribute values,
+//! * [`RelationSchema`], [`AttrId`], [`AttrSet`] — schemas and attribute sets,
+//! * [`Tuple`], [`TupleId`] — tuples and stable tuple identities inside an instance,
+//! * [`RelationInstance`] — a finite set of tuples with stable identities,
+//! * [`DatabaseInstance`] — a multi-relation instance (the paper restricts itself to a
+//!   single relation "for the sake of clarity"; we support the general case),
+//! * [`text`] — a small plain-text loader/renderer used by examples and tests.
+//!
+//! Everything downstream (conflict graphs, repairs, preferred repairs, consistent query
+//! answers) is built on the types in this crate.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod database;
+pub mod error;
+pub mod relation;
+pub mod schema;
+pub mod symbol;
+pub mod text;
+pub mod tuple;
+pub mod value;
+
+pub use database::DatabaseInstance;
+pub use error::RelationError;
+pub use relation::{RelationInstance, TupleSet};
+pub use schema::{AttrId, AttrSet, AttributeDef, DatabaseSchema, RelationSchema};
+pub use symbol::Name;
+pub use tuple::{Tuple, TupleId};
+pub use value::{Value, ValueType};
+
+/// Convenience result alias used throughout the relational substrate.
+pub type Result<T, E = RelationError> = std::result::Result<T, E>;

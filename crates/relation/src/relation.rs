@@ -1,0 +1,443 @@
+//! Relation instances and tuple-id sets.
+//!
+//! A [`RelationInstance`] is a finite *set* of tuples (duplicates are collapsed on
+//! insertion, matching the paper's set semantics) in which every tuple has a stable
+//! [`TupleId`]. Downstream machinery — conflict graphs, priorities, repairs — never
+//! copies tuples around; it manipulates [`TupleSet`]s of ids against a fixed instance.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::error::RelationError;
+use crate::schema::RelationSchema;
+use crate::tuple::{Tuple, TupleId};
+use crate::value::Value;
+
+/// A set of tuple ids of one relation instance, stored as a bitset.
+///
+/// Repairs are exactly such sets; the bitset representation makes the maximality and
+/// independence checks used throughout repair enumeration cheap.
+#[derive(Clone, Default)]
+pub struct TupleSet {
+    words: Vec<u64>,
+}
+
+impl PartialEq for TupleSet {
+    fn eq(&self, other: &Self) -> bool {
+        // Trailing zero words are irrelevant: sets are equal iff they have the same members.
+        let longest = self.words.len().max(other.words.len());
+        (0..longest).all(|i| {
+            self.words.get(i).copied().unwrap_or(0) == other.words.get(i).copied().unwrap_or(0)
+        })
+    }
+}
+
+impl Eq for TupleSet {}
+
+impl std::hash::Hash for TupleSet {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        // Hash only up to the last non-zero word so that equal sets hash equally.
+        let significant = self.words.iter().rposition(|&w| w != 0).map_or(0, |i| i + 1);
+        self.words[..significant].hash(state);
+    }
+}
+
+impl TupleSet {
+    /// The empty set.
+    pub fn new() -> Self {
+        TupleSet::default()
+    }
+
+    /// The empty set with capacity for ids `0..n` pre-allocated.
+    pub fn with_capacity(n: usize) -> Self {
+        TupleSet { words: vec![0; n.div_ceil(64)] }
+    }
+
+    /// The full set `{0, .., n-1}`.
+    pub fn full(n: usize) -> Self {
+        let mut set = TupleSet::with_capacity(n);
+        for i in 0..n {
+            set.insert(TupleId(i as u32));
+        }
+        set
+    }
+
+    /// Builds a set from ids.
+    pub fn from_ids<I: IntoIterator<Item = TupleId>>(ids: I) -> Self {
+        let mut set = TupleSet::new();
+        for id in ids {
+            set.insert(id);
+        }
+        set
+    }
+
+    /// Adds an id. Returns `true` if it was not already present.
+    pub fn insert(&mut self, id: TupleId) -> bool {
+        let (word, bit) = (id.index() / 64, id.index() % 64);
+        if word >= self.words.len() {
+            self.words.resize(word + 1, 0);
+        }
+        let mask = 1u64 << bit;
+        let absent = self.words[word] & mask == 0;
+        self.words[word] |= mask;
+        absent
+    }
+
+    /// Removes an id. Returns `true` if it was present.
+    pub fn remove(&mut self, id: TupleId) -> bool {
+        let (word, bit) = (id.index() / 64, id.index() % 64);
+        if word >= self.words.len() {
+            return false;
+        }
+        let mask = 1u64 << bit;
+        let present = self.words[word] & mask != 0;
+        self.words[word] &= !mask;
+        present
+    }
+
+    /// Membership test.
+    pub fn contains(&self, id: TupleId) -> bool {
+        let (word, bit) = (id.index() / 64, id.index() % 64);
+        self.words.get(word).is_some_and(|w| w & (1 << bit) != 0)
+    }
+
+    /// Number of ids in the set.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Whether `self ⊆ other`.
+    pub fn is_subset_of(&self, other: &TupleSet) -> bool {
+        self.words
+            .iter()
+            .enumerate()
+            .all(|(i, &w)| w & !other.words.get(i).copied().unwrap_or(0) == 0)
+    }
+
+    /// Whether the two sets share no id.
+    pub fn is_disjoint_from(&self, other: &TupleSet) -> bool {
+        self.words
+            .iter()
+            .enumerate()
+            .all(|(i, &w)| w & other.words.get(i).copied().unwrap_or(0) == 0)
+    }
+
+    /// Set union.
+    pub fn union(&self, other: &TupleSet) -> TupleSet {
+        let mut words = vec![0u64; self.words.len().max(other.words.len())];
+        for (i, slot) in words.iter_mut().enumerate() {
+            *slot = self.words.get(i).copied().unwrap_or(0) | other.words.get(i).copied().unwrap_or(0);
+        }
+        TupleSet { words }
+    }
+
+    /// Set intersection.
+    pub fn intersection(&self, other: &TupleSet) -> TupleSet {
+        let mut words = vec![0u64; self.words.len().min(other.words.len())];
+        for (i, slot) in words.iter_mut().enumerate() {
+            *slot = self.words[i] & other.words[i];
+        }
+        TupleSet { words }
+    }
+
+    /// Set difference `self \ other`.
+    pub fn difference(&self, other: &TupleSet) -> TupleSet {
+        let mut words = self.words.clone();
+        for (i, slot) in words.iter_mut().enumerate() {
+            *slot &= !other.words.get(i).copied().unwrap_or(0);
+        }
+        TupleSet { words }
+    }
+
+    /// In-place union.
+    pub fn union_with(&mut self, other: &TupleSet) {
+        if other.words.len() > self.words.len() {
+            self.words.resize(other.words.len(), 0);
+        }
+        for (i, slot) in self.words.iter_mut().enumerate() {
+            *slot |= other.words.get(i).copied().unwrap_or(0);
+        }
+    }
+
+    /// In-place difference.
+    pub fn remove_all(&mut self, other: &TupleSet) {
+        for (i, slot) in self.words.iter_mut().enumerate() {
+            *slot &= !other.words.get(i).copied().unwrap_or(0);
+        }
+    }
+
+    /// Iterates over the ids in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = TupleId> + '_ {
+        self.words.iter().enumerate().flat_map(|(word_idx, &word)| {
+            let mut bits = word;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let bit = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    Some(TupleId((word_idx * 64 + bit) as u32))
+                }
+            })
+        })
+    }
+
+    /// The smallest id in the set, if any.
+    pub fn first(&self) -> Option<TupleId> {
+        self.iter().next()
+    }
+}
+
+impl fmt::Debug for TupleSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl FromIterator<TupleId> for TupleSet {
+    fn from_iter<I: IntoIterator<Item = TupleId>>(iter: I) -> Self {
+        TupleSet::from_ids(iter)
+    }
+}
+
+/// A relation instance: a set of tuples over one schema with stable tuple ids.
+///
+/// Instances are append-only; ids are assigned in insertion order and never reused,
+/// which is what lets conflict graphs and priorities reference tuples by id.
+#[derive(Debug, Clone)]
+pub struct RelationInstance {
+    schema: Arc<RelationSchema>,
+    tuples: Vec<Tuple>,
+    index: HashMap<Tuple, TupleId>,
+}
+
+impl RelationInstance {
+    /// Creates an empty instance of `schema`.
+    pub fn new(schema: Arc<RelationSchema>) -> Self {
+        RelationInstance { schema, tuples: Vec::new(), index: HashMap::new() }
+    }
+
+    /// The schema of the instance.
+    pub fn schema(&self) -> &Arc<RelationSchema> {
+        &self.schema
+    }
+
+    /// Inserts a tuple (validated against the schema). Returns the tuple's id and
+    /// whether it was newly inserted (`false` means the identical tuple was already
+    /// present — set semantics).
+    pub fn insert(&mut self, values: Vec<Value>) -> Result<(TupleId, bool), RelationError> {
+        let tuple = self.schema.tuple(values)?;
+        Ok(self.insert_tuple(tuple))
+    }
+
+    /// Inserts an already-validated tuple.
+    pub fn insert_tuple(&mut self, tuple: Tuple) -> (TupleId, bool) {
+        if let Some(&id) = self.index.get(&tuple) {
+            return (id, false);
+        }
+        let id = TupleId(self.tuples.len() as u32);
+        self.index.insert(tuple.clone(), id);
+        self.tuples.push(tuple);
+        (id, true)
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether the instance has no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// The tuple with id `id`.
+    pub fn tuple(&self, id: TupleId) -> Result<&Tuple, RelationError> {
+        self.tuples
+            .get(id.index())
+            .ok_or(RelationError::UnknownTupleId { id: id.0 })
+    }
+
+    /// The tuple with id `id`, panicking on an invalid id (internal fast path).
+    pub fn tuple_unchecked(&self, id: TupleId) -> &Tuple {
+        &self.tuples[id.index()]
+    }
+
+    /// The id of `tuple`, if present.
+    pub fn id_of(&self, tuple: &Tuple) -> Option<TupleId> {
+        self.index.get(tuple).copied()
+    }
+
+    /// Whether the instance contains a tuple with exactly these values.
+    pub fn contains_tuple(&self, tuple: &Tuple) -> bool {
+        self.index.contains_key(tuple)
+    }
+
+    /// Iterates over `(id, tuple)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (TupleId, &Tuple)> {
+        self.tuples.iter().enumerate().map(|(i, t)| (TupleId(i as u32), t))
+    }
+
+    /// All tuple ids in ascending order.
+    pub fn ids(&self) -> impl Iterator<Item = TupleId> + '_ {
+        (0..self.tuples.len()).map(|i| TupleId(i as u32))
+    }
+
+    /// The set of all tuple ids.
+    pub fn all_ids(&self) -> TupleSet {
+        TupleSet::full(self.tuples.len())
+    }
+
+    /// Materialises the sub-instance containing exactly the tuples in `ids`.
+    ///
+    /// The new instance assigns fresh ids; use this when handing a repair to a consumer
+    /// that expects a plain instance (e.g. query evaluation over a single repair).
+    pub fn restrict(&self, ids: &TupleSet) -> RelationInstance {
+        let mut sub = RelationInstance::new(Arc::clone(&self.schema));
+        for id in ids.iter() {
+            if let Some(tuple) = self.tuples.get(id.index()) {
+                sub.insert_tuple(tuple.clone());
+            }
+        }
+        sub
+    }
+
+    /// Builds an instance directly from rows, validating each row.
+    pub fn from_rows(
+        schema: Arc<RelationSchema>,
+        rows: Vec<Vec<Value>>,
+    ) -> Result<Self, RelationError> {
+        let mut instance = RelationInstance::new(schema);
+        for row in rows {
+            instance.insert(row)?;
+        }
+        Ok(instance)
+    }
+
+    /// Unions another instance of the same schema into this one (source integration).
+    pub fn union_with(&mut self, other: &RelationInstance) {
+        for (_, tuple) in other.iter() {
+            self.insert_tuple(tuple.clone());
+        }
+    }
+}
+
+impl fmt::Display for RelationInstance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.schema)?;
+        for (id, tuple) in self.iter() {
+            writeln!(f, "  {id}: {tuple}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::RelationSchema;
+    use crate::value::ValueType;
+
+    fn schema() -> Arc<RelationSchema> {
+        Arc::new(
+            RelationSchema::from_pairs("R", &[("A", ValueType::Int), ("B", ValueType::Int)]).unwrap(),
+        )
+    }
+
+    fn instance(rows: &[(i64, i64)]) -> RelationInstance {
+        RelationInstance::from_rows(
+            schema(),
+            rows.iter().map(|&(a, b)| vec![Value::int(a), Value::int(b)]).collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn insertion_assigns_sequential_ids_and_dedups() {
+        let mut r = RelationInstance::new(schema());
+        let (id0, fresh0) = r.insert(vec![Value::int(0), Value::int(0)]).unwrap();
+        let (id1, fresh1) = r.insert(vec![Value::int(0), Value::int(1)]).unwrap();
+        let (id2, fresh2) = r.insert(vec![Value::int(0), Value::int(0)]).unwrap();
+        assert_eq!((id0, fresh0), (TupleId(0), true));
+        assert_eq!((id1, fresh1), (TupleId(1), true));
+        assert_eq!((id2, fresh2), (TupleId(0), false));
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn invalid_rows_are_rejected() {
+        let mut r = RelationInstance::new(schema());
+        assert!(r.insert(vec![Value::int(0)]).is_err());
+        assert!(r.insert(vec![Value::name("x"), Value::int(0)]).is_err());
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn tuple_lookup_by_id_and_value() {
+        let r = instance(&[(1, 2), (3, 4)]);
+        assert_eq!(r.tuple(TupleId(1)).unwrap().get(crate::AttrId(1)), &Value::int(4));
+        assert!(r.tuple(TupleId(9)).is_err());
+        let t = r.schema().tuple(vec![Value::int(1), Value::int(2)]).unwrap();
+        assert_eq!(r.id_of(&t), Some(TupleId(0)));
+        assert!(r.contains_tuple(&t));
+    }
+
+    #[test]
+    fn restriction_keeps_only_selected_tuples() {
+        let r = instance(&[(1, 2), (3, 4), (5, 6)]);
+        let sub = r.restrict(&TupleSet::from_ids([TupleId(0), TupleId(2)]));
+        assert_eq!(sub.len(), 2);
+        let kept = r.schema().tuple(vec![Value::int(5), Value::int(6)]).unwrap();
+        let dropped = r.schema().tuple(vec![Value::int(3), Value::int(4)]).unwrap();
+        assert!(sub.contains_tuple(&kept));
+        assert!(!sub.contains_tuple(&dropped));
+    }
+
+    #[test]
+    fn union_of_instances_is_set_union() {
+        let mut r = instance(&[(1, 2)]);
+        let s = instance(&[(1, 2), (3, 4)]);
+        r.union_with(&s);
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn tuple_set_basic_operations() {
+        let a = TupleSet::from_ids([TupleId(0), TupleId(2), TupleId(70)]);
+        let b = TupleSet::from_ids([TupleId(2), TupleId(3)]);
+        assert_eq!(a.len(), 3);
+        assert!(a.contains(TupleId(70)));
+        assert!(!a.contains(TupleId(1)));
+        assert_eq!(a.intersection(&b), TupleSet::from_ids([TupleId(2)]));
+        assert_eq!(a.union(&b).len(), 4);
+        assert_eq!(a.difference(&b), TupleSet::from_ids([TupleId(0), TupleId(70)]));
+        assert!(TupleSet::from_ids([TupleId(2)]).is_subset_of(&a));
+        assert!(!a.is_subset_of(&b));
+        assert!(a.is_disjoint_from(&TupleSet::from_ids([TupleId(5)])));
+    }
+
+    #[test]
+    fn tuple_set_full_and_iteration_order() {
+        let full = TupleSet::full(5);
+        assert_eq!(full.len(), 5);
+        let ids: Vec<u32> = full.iter().map(|t| t.0).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+        assert_eq!(full.first(), Some(TupleId(0)));
+        assert_eq!(TupleSet::new().first(), None);
+    }
+
+    #[test]
+    fn tuple_set_in_place_operations() {
+        let mut a = TupleSet::from_ids([TupleId(1), TupleId(2)]);
+        a.union_with(&TupleSet::from_ids([TupleId(100)]));
+        assert!(a.contains(TupleId(100)));
+        a.remove_all(&TupleSet::from_ids([TupleId(1), TupleId(100)]));
+        assert_eq!(a, TupleSet::from_ids([TupleId(2)]));
+    }
+}

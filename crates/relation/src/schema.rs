@@ -1,0 +1,428 @@
+//! Relation and database schemas, attribute identifiers and attribute sets.
+
+use std::fmt;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::RelationError;
+use crate::tuple::Tuple;
+use crate::value::{Value, ValueType};
+
+/// Index of an attribute within its relation schema.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct AttrId(pub usize);
+
+impl AttrId {
+    /// The position of the attribute inside the schema.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for AttrId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// A set of attributes of one relation, stored as a bitset.
+///
+/// Functional dependencies, attribute closures and projections all operate on attribute
+/// sets; a bitset makes the subset / union / intersection operations used by conflict
+/// detection cheap.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct AttrSet {
+    words: Vec<u64>,
+}
+
+impl AttrSet {
+    /// The empty attribute set.
+    pub fn new() -> Self {
+        AttrSet::default()
+    }
+
+    /// Builds a set from attribute ids.
+    pub fn from_ids<I: IntoIterator<Item = AttrId>>(ids: I) -> Self {
+        let mut set = AttrSet::new();
+        for id in ids {
+            set.insert(id);
+        }
+        set
+    }
+
+    /// Adds an attribute to the set. Returns `true` if it was not already present.
+    pub fn insert(&mut self, id: AttrId) -> bool {
+        let (word, bit) = (id.0 / 64, id.0 % 64);
+        if word >= self.words.len() {
+            self.words.resize(word + 1, 0);
+        }
+        let mask = 1u64 << bit;
+        let was_absent = self.words[word] & mask == 0;
+        self.words[word] |= mask;
+        was_absent
+    }
+
+    /// Removes an attribute from the set. Returns `true` if it was present.
+    pub fn remove(&mut self, id: AttrId) -> bool {
+        let (word, bit) = (id.0 / 64, id.0 % 64);
+        if word >= self.words.len() {
+            return false;
+        }
+        let mask = 1u64 << bit;
+        let was_present = self.words[word] & mask != 0;
+        self.words[word] &= !mask;
+        was_present
+    }
+
+    /// Membership test.
+    pub fn contains(&self, id: AttrId) -> bool {
+        let (word, bit) = (id.0 / 64, id.0 % 64);
+        self.words.get(word).is_some_and(|w| w & (1 << bit) != 0)
+    }
+
+    /// Number of attributes in the set.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Whether `self ⊆ other`.
+    pub fn is_subset_of(&self, other: &AttrSet) -> bool {
+        self.words.iter().enumerate().all(|(i, &w)| {
+            let o = other.words.get(i).copied().unwrap_or(0);
+            w & !o == 0
+        })
+    }
+
+    /// Set union.
+    pub fn union(&self, other: &AttrSet) -> AttrSet {
+        let mut words = vec![0u64; self.words.len().max(other.words.len())];
+        for (i, slot) in words.iter_mut().enumerate() {
+            *slot = self.words.get(i).copied().unwrap_or(0) | other.words.get(i).copied().unwrap_or(0);
+        }
+        AttrSet { words }
+    }
+
+    /// Set intersection.
+    pub fn intersection(&self, other: &AttrSet) -> AttrSet {
+        let mut words = vec![0u64; self.words.len().min(other.words.len())];
+        for (i, slot) in words.iter_mut().enumerate() {
+            *slot = self.words[i] & other.words[i];
+        }
+        AttrSet { words }
+    }
+
+    /// Set difference `self \ other`.
+    pub fn difference(&self, other: &AttrSet) -> AttrSet {
+        let mut words = self.words.clone();
+        for (i, slot) in words.iter_mut().enumerate() {
+            *slot &= !other.words.get(i).copied().unwrap_or(0);
+        }
+        AttrSet { words }
+    }
+
+    /// In-place union.
+    pub fn union_with(&mut self, other: &AttrSet) {
+        *self = self.union(other);
+    }
+
+    /// Iterates over the attribute ids in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = AttrId> + '_ {
+        self.words.iter().enumerate().flat_map(|(word_idx, &word)| {
+            (0..64).filter_map(move |bit| {
+                if word & (1u64 << bit) != 0 {
+                    Some(AttrId(word_idx * 64 + bit))
+                } else {
+                    None
+                }
+            })
+        })
+    }
+}
+
+impl FromIterator<AttrId> for AttrSet {
+    fn from_iter<I: IntoIterator<Item = AttrId>>(iter: I) -> Self {
+        AttrSet::from_ids(iter)
+    }
+}
+
+/// An attribute declaration: a name and a type.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct AttributeDef {
+    /// Attribute name (unique within its relation).
+    pub name: String,
+    /// Attribute type.
+    pub ty: ValueType,
+}
+
+impl AttributeDef {
+    /// Creates an attribute declaration.
+    pub fn new(name: impl Into<String>, ty: ValueType) -> Self {
+        AttributeDef { name: name.into(), ty }
+    }
+}
+
+/// The schema of one relation: a name and an ordered list of typed attributes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RelationSchema {
+    name: String,
+    attributes: Vec<AttributeDef>,
+}
+
+impl RelationSchema {
+    /// Creates a schema, rejecting duplicate attribute names.
+    pub fn new(
+        name: impl Into<String>,
+        attributes: Vec<AttributeDef>,
+    ) -> Result<Self, RelationError> {
+        let name = name.into();
+        for (i, attr) in attributes.iter().enumerate() {
+            if attributes[..i].iter().any(|other| other.name == attr.name) {
+                return Err(RelationError::DuplicateAttribute {
+                    relation: name,
+                    attribute: attr.name.clone(),
+                });
+            }
+        }
+        Ok(RelationSchema { name, attributes })
+    }
+
+    /// Convenience constructor from `(name, type)` pairs.
+    pub fn from_pairs(
+        name: impl Into<String>,
+        pairs: &[(&str, ValueType)],
+    ) -> Result<Self, RelationError> {
+        RelationSchema::new(
+            name,
+            pairs.iter().map(|(n, t)| AttributeDef::new(*n, *t)).collect(),
+        )
+    }
+
+    /// The relation name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The number of attributes (arity).
+    pub fn arity(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// The attribute declarations, in order.
+    pub fn attributes(&self) -> &[AttributeDef] {
+        &self.attributes
+    }
+
+    /// Looks up an attribute id by name.
+    pub fn attr_id(&self, name: &str) -> Result<AttrId, RelationError> {
+        self.attributes
+            .iter()
+            .position(|a| a.name == name)
+            .map(AttrId)
+            .ok_or_else(|| RelationError::UnknownAttribute {
+                relation: self.name.clone(),
+                attribute: name.to_string(),
+            })
+    }
+
+    /// The declaration of attribute `id`.
+    pub fn attribute(&self, id: AttrId) -> &AttributeDef {
+        &self.attributes[id.0]
+    }
+
+    /// Builds an [`AttrSet`] from attribute names.
+    pub fn attr_set(&self, names: &[&str]) -> Result<AttrSet, RelationError> {
+        names.iter().map(|n| self.attr_id(n)).collect()
+    }
+
+    /// The set of all attributes of this relation.
+    pub fn all_attrs(&self) -> AttrSet {
+        (0..self.arity()).map(AttrId).collect()
+    }
+
+    /// Validates a list of values against this schema and wraps it into a [`Tuple`].
+    pub fn tuple(&self, values: Vec<Value>) -> Result<Tuple, RelationError> {
+        if values.len() != self.arity() {
+            return Err(RelationError::ArityMismatch {
+                relation: self.name.clone(),
+                expected: self.arity(),
+                actual: values.len(),
+            });
+        }
+        for (attr, value) in self.attributes.iter().zip(&values) {
+            if attr.ty != value.value_type() {
+                return Err(RelationError::TypeMismatch {
+                    relation: self.name.clone(),
+                    attribute: attr.name.clone(),
+                    expected: attr.ty,
+                    actual: value.value_type(),
+                });
+            }
+        }
+        Ok(Tuple::new(values))
+    }
+
+    /// Renders the attribute names of an attribute set (used by error messages and docs).
+    pub fn render_attr_set(&self, set: &AttrSet) -> String {
+        let names: Vec<&str> = set.iter().map(|id| self.attribute(id).name.as_str()).collect();
+        names.join(" ")
+    }
+}
+
+impl fmt::Display for RelationSchema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.name)?;
+        for (i, attr) in self.attributes.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{}: {}", attr.name, attr.ty)?;
+        }
+        f.write_str(")")
+    }
+}
+
+/// A database schema: a collection of relation schemas with unique names.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DatabaseSchema {
+    relations: Vec<Arc<RelationSchema>>,
+}
+
+impl DatabaseSchema {
+    /// Creates an empty database schema.
+    pub fn new() -> Self {
+        DatabaseSchema::default()
+    }
+
+    /// Adds a relation schema, rejecting duplicate relation names.
+    pub fn add_relation(&mut self, schema: RelationSchema) -> Result<Arc<RelationSchema>, RelationError> {
+        if self.relations.iter().any(|r| r.name() == schema.name()) {
+            return Err(RelationError::DuplicateRelation { relation: schema.name().to_string() });
+        }
+        let arc = Arc::new(schema);
+        self.relations.push(Arc::clone(&arc));
+        Ok(arc)
+    }
+
+    /// Looks up a relation schema by name.
+    pub fn relation(&self, name: &str) -> Result<&Arc<RelationSchema>, RelationError> {
+        self.relations
+            .iter()
+            .find(|r| r.name() == name)
+            .ok_or_else(|| RelationError::UnknownRelation { relation: name.to_string() })
+    }
+
+    /// All relation schemas, in declaration order.
+    pub fn relations(&self) -> &[Arc<RelationSchema>] {
+        &self.relations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mgr_schema() -> RelationSchema {
+        RelationSchema::from_pairs(
+            "Mgr",
+            &[
+                ("Name", ValueType::Name),
+                ("Dept", ValueType::Name),
+                ("Salary", ValueType::Int),
+                ("Reports", ValueType::Int),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn attr_lookup_by_name() {
+        let schema = mgr_schema();
+        assert_eq!(schema.attr_id("Dept").unwrap(), AttrId(1));
+        assert!(schema.attr_id("Missing").is_err());
+    }
+
+    #[test]
+    fn duplicate_attribute_is_rejected() {
+        let err = RelationSchema::from_pairs("R", &[("A", ValueType::Int), ("A", ValueType::Name)])
+            .unwrap_err();
+        assert!(matches!(err, RelationError::DuplicateAttribute { .. }));
+    }
+
+    #[test]
+    fn tuple_construction_checks_arity_and_types() {
+        let schema = mgr_schema();
+        assert!(schema
+            .tuple(vec!["Mary".into(), "R&D".into(), Value::int(40), Value::int(3)])
+            .is_ok());
+        assert!(matches!(
+            schema.tuple(vec!["Mary".into()]).unwrap_err(),
+            RelationError::ArityMismatch { .. }
+        ));
+        assert!(matches!(
+            schema
+                .tuple(vec!["Mary".into(), "R&D".into(), "oops".into(), Value::int(3)])
+                .unwrap_err(),
+            RelationError::TypeMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn attr_set_operations() {
+        let schema = mgr_schema();
+        let key = schema.attr_set(&["Name"]).unwrap();
+        let rest = schema.attr_set(&["Dept", "Salary", "Reports"]).unwrap();
+        let all = schema.all_attrs();
+        assert!(key.is_subset_of(&all));
+        assert!(rest.is_subset_of(&all));
+        assert_eq!(key.union(&rest), all);
+        assert!(key.intersection(&rest).is_empty());
+        assert_eq!(all.difference(&rest), key);
+        assert_eq!(all.len(), 4);
+    }
+
+    #[test]
+    fn attr_set_iteration_is_sorted() {
+        let set = AttrSet::from_ids([AttrId(70), AttrId(3), AttrId(0)]);
+        let ids: Vec<usize> = set.iter().map(|a| a.index()).collect();
+        assert_eq!(ids, vec![0, 3, 70]);
+        assert_eq!(set.len(), 3);
+        assert!(set.contains(AttrId(70)));
+        assert!(!set.contains(AttrId(64)));
+    }
+
+    #[test]
+    fn attr_set_insert_and_remove_report_change() {
+        let mut set = AttrSet::new();
+        assert!(set.insert(AttrId(5)));
+        assert!(!set.insert(AttrId(5)));
+        assert!(set.remove(AttrId(5)));
+        assert!(!set.remove(AttrId(5)));
+        assert!(set.is_empty());
+    }
+
+    #[test]
+    fn database_schema_rejects_duplicate_relations() {
+        let mut db = DatabaseSchema::new();
+        db.add_relation(mgr_schema()).unwrap();
+        assert!(matches!(
+            db.add_relation(mgr_schema()).unwrap_err(),
+            RelationError::DuplicateRelation { .. }
+        ));
+        assert!(db.relation("Mgr").is_ok());
+        assert!(db.relation("Nope").is_err());
+    }
+
+    #[test]
+    fn schema_display_lists_attributes() {
+        assert_eq!(
+            mgr_schema().to_string(),
+            "Mgr(Name: name, Dept: name, Salary: int, Reports: int)"
+        );
+    }
+}

@@ -1,0 +1,118 @@
+//! Interned uninterpreted names (the paper's domain `D`).
+//!
+//! The paper assumes a domain of *uninterpreted names* where constants with different
+//! spellings are different and only `=` / `≠` are meaningful. [`Name`] implements that
+//! domain. Names are interned in a process-wide table so that cloning a name and testing
+//! two names for equality are cheap (pointer-sized copy and pointer comparison in the
+//! common case), which matters because conflict detection compares attribute values for
+//! every candidate tuple pair.
+
+use std::collections::HashSet;
+use std::fmt;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Process-wide interner. A `Mutex<HashSet>` is entirely sufficient here: interning only
+/// happens when values are constructed (loading or generating data), never on the hot
+/// comparison paths.
+fn interner() -> &'static Mutex<HashSet<Arc<str>>> {
+    static INTERNER: OnceLock<Mutex<HashSet<Arc<str>>>> = OnceLock::new();
+    INTERNER.get_or_init(|| Mutex::new(HashSet::new()))
+}
+
+/// An interned, uninterpreted constant from the name domain `D`.
+///
+/// Two names are equal exactly when their spellings are equal. Names are ordered
+/// lexicographically, which gives instances a deterministic rendering order; the query
+/// semantics never applies `<` / `>` to names (see `Value::try_cmp`).
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Name(Arc<str>);
+
+impl Name {
+    /// Interns `text` and returns the canonical [`Name`] for it.
+    pub fn new(text: &str) -> Self {
+        let mut table = interner().lock().expect("name interner poisoned");
+        if let Some(existing) = table.get(text) {
+            return Name(Arc::clone(existing));
+        }
+        let arc: Arc<str> = Arc::from(text);
+        table.insert(Arc::clone(&arc));
+        Name(arc)
+    }
+
+    /// Returns the spelling of the name.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Debug for Name {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Name({:?})", self.as_str())
+    }
+}
+
+impl fmt::Display for Name {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl From<&str> for Name {
+    fn from(text: &str) -> Self {
+        Name::new(text)
+    }
+}
+
+impl From<String> for Name {
+    fn from(text: String) -> Self {
+        Name::new(&text)
+    }
+}
+
+impl serde::Serialize for Name {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self.as_str())
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for Name {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let text = String::deserialize(deserializer)?;
+        Ok(Name::new(&text))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_spellings_intern_to_the_same_allocation() {
+        let a = Name::new("Mary");
+        let b = Name::new("Mary");
+        assert_eq!(a, b);
+        assert!(Arc::ptr_eq(&a.0, &b.0));
+    }
+
+    #[test]
+    fn different_spellings_are_different_names() {
+        assert_ne!(Name::new("Mary"), Name::new("John"));
+    }
+
+    #[test]
+    fn names_are_ordered_lexicographically() {
+        assert!(Name::new("IT") < Name::new("R&D"));
+    }
+
+    #[test]
+    fn display_is_the_raw_spelling() {
+        assert_eq!(Name::new("R&D").to_string(), "R&D");
+    }
+
+    #[test]
+    fn conversion_from_string_types() {
+        let a: Name = "PR".into();
+        let b: Name = String::from("PR").into();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,221 @@
+//! Plain-text loading and rendering of relation instances.
+//!
+//! The examples, tests and benchmark harness describe instances in a minimal
+//! comma-separated format: one tuple per line, `#`-comments and blank lines ignored.
+//! Values are interpreted according to the attribute types of the target schema; name
+//! values may optionally be wrapped in single quotes (required when the spelling
+//! contains a comma or starts with a digit).
+
+use std::sync::Arc;
+
+use crate::error::RelationError;
+use crate::relation::RelationInstance;
+use crate::schema::RelationSchema;
+use crate::value::{Value, ValueType};
+
+/// Parses a comma-separated instance description against `schema`.
+pub fn parse_instance(
+    schema: Arc<RelationSchema>,
+    text: &str,
+) -> Result<RelationInstance, RelationError> {
+    let mut instance = RelationInstance::new(schema);
+    for (line_no, raw_line) in text.lines().enumerate() {
+        let line = raw_line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields = split_fields(line, line_no + 1)?;
+        let arity = instance.schema().arity();
+        if fields.len() != arity {
+            return Err(RelationError::ParseError {
+                line: line_no + 1,
+                message: format!("expected {arity} fields, found {}", fields.len()),
+            });
+        }
+        let mut values = Vec::with_capacity(fields.len());
+        for (field, attr) in fields.iter().zip(instance.schema().attributes().to_vec()) {
+            values.push(parse_value(field, attr.ty, line_no + 1)?);
+        }
+        instance.insert(values)?;
+    }
+    Ok(instance)
+}
+
+/// Renders an instance as an aligned text table (header row plus one row per tuple).
+pub fn render_instance(instance: &RelationInstance) -> String {
+    let schema = instance.schema();
+    let mut columns: Vec<Vec<String>> = schema
+        .attributes()
+        .iter()
+        .map(|a| vec![a.name.clone()])
+        .collect();
+    for (_, tuple) in instance.iter() {
+        for (col, value) in columns.iter_mut().zip(tuple.values()) {
+            col.push(value.to_string());
+        }
+    }
+    let widths: Vec<usize> = columns
+        .iter()
+        .map(|col| col.iter().map(String::len).max().unwrap_or(0))
+        .collect();
+    let mut out = String::new();
+    let row_count = instance.len() + 1;
+    for row in 0..row_count {
+        for (col, width) in columns.iter().zip(&widths) {
+            out.push_str(&format!("{:width$}  ", col[row], width = width));
+        }
+        let trimmed = out.trim_end().len();
+        out.truncate(trimmed);
+        out.push('\n');
+        if row == 0 {
+            for (i, width) in widths.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                out.push_str(&"-".repeat(*width));
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+fn split_fields(line: &str, line_no: usize) -> Result<Vec<String>, RelationError> {
+    let mut fields = Vec::new();
+    let mut current = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        match c {
+            '\'' if !in_quotes => in_quotes = true,
+            '\'' if in_quotes => {
+                // Doubled quote inside a quoted field is an escaped quote.
+                if chars.peek() == Some(&'\'') {
+                    chars.next();
+                    current.push('\'');
+                } else {
+                    in_quotes = false;
+                }
+            }
+            ',' if !in_quotes => {
+                fields.push(current.trim().to_string());
+                current.clear();
+            }
+            _ => current.push(c),
+        }
+    }
+    if in_quotes {
+        return Err(RelationError::ParseError {
+            line: line_no,
+            message: "unterminated quoted value".to_string(),
+        });
+    }
+    fields.push(current.trim().to_string());
+    Ok(fields)
+}
+
+fn parse_value(field: &str, ty: ValueType, line_no: usize) -> Result<Value, RelationError> {
+    match ty {
+        ValueType::Int => field.parse::<i64>().map(Value::Int).map_err(|_| {
+            RelationError::ParseError {
+                line: line_no,
+                message: format!("`{field}` is not an integer"),
+            }
+        }),
+        ValueType::Name => {
+            if field.is_empty() {
+                return Err(RelationError::ParseError {
+                    line: line_no,
+                    message: "empty name value".to_string(),
+                });
+            }
+            Ok(Value::name(field))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mgr_schema() -> Arc<RelationSchema> {
+        Arc::new(
+            RelationSchema::from_pairs(
+                "Mgr",
+                &[
+                    ("Name", ValueType::Name),
+                    ("Dept", ValueType::Name),
+                    ("Salary", ValueType::Int),
+                    ("Reports", ValueType::Int),
+                ],
+            )
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn parses_the_paper_running_example() {
+        let text = "\
+            # integrated instance from Example 1\n\
+            Mary, R&D, 40, 3\n\
+            John, R&D, 10, 2\n\
+            Mary, IT, 20, 1\n\
+            John, PR, 30, 4\n";
+        let instance = parse_instance(mgr_schema(), text).unwrap();
+        assert_eq!(instance.len(), 4);
+        let tuple = instance
+            .schema()
+            .tuple(vec!["Mary".into(), "IT".into(), Value::int(20), Value::int(1)])
+            .unwrap();
+        assert!(instance.contains_tuple(&tuple));
+    }
+
+    #[test]
+    fn quoted_names_may_contain_commas() {
+        let schema = Arc::new(
+            RelationSchema::from_pairs("R", &[("A", ValueType::Name), ("B", ValueType::Int)]).unwrap(),
+        );
+        let instance = parse_instance(schema, "'Smith, John', 5\n").unwrap();
+        let (_, tuple) = instance.iter().next().unwrap();
+        assert_eq!(tuple.get(crate::AttrId(0)), &Value::name("Smith, John"));
+    }
+
+    #[test]
+    fn doubled_quotes_escape_a_quote() {
+        let schema = Arc::new(
+            RelationSchema::from_pairs("R", &[("A", ValueType::Name)]).unwrap(),
+        );
+        let instance = parse_instance(schema, "'O''Brien'\n").unwrap();
+        let (_, tuple) = instance.iter().next().unwrap();
+        assert_eq!(tuple.get(crate::AttrId(0)), &Value::name("O'Brien"));
+    }
+
+    #[test]
+    fn field_count_mismatch_is_a_parse_error() {
+        let err = parse_instance(mgr_schema(), "Mary, R&D, 40\n").unwrap_err();
+        assert!(matches!(err, RelationError::ParseError { line: 1, .. }));
+    }
+
+    #[test]
+    fn non_integer_in_int_column_is_a_parse_error() {
+        let err = parse_instance(mgr_schema(), "Mary, R&D, forty, 3\n").unwrap_err();
+        assert!(matches!(err, RelationError::ParseError { .. }));
+    }
+
+    #[test]
+    fn unterminated_quote_is_a_parse_error() {
+        let schema = Arc::new(
+            RelationSchema::from_pairs("R", &[("A", ValueType::Name)]).unwrap(),
+        );
+        assert!(parse_instance(schema, "'oops\n").is_err());
+    }
+
+    #[test]
+    fn render_produces_header_and_rows() {
+        let instance = parse_instance(mgr_schema(), "Mary, R&D, 40, 3\n").unwrap();
+        let rendered = render_instance(&instance);
+        assert!(rendered.contains("Name"));
+        assert!(rendered.contains("Mary"));
+        assert!(rendered.lines().count() >= 3);
+    }
+}

@@ -1,0 +1,161 @@
+//! Tuples and stable tuple identities.
+
+use std::fmt;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use crate::schema::{AttrId, AttrSet};
+use crate::value::Value;
+
+/// Identity of a tuple *within one relation instance*.
+///
+/// Repairs, conflict graphs and priorities all refer to tuples by their [`TupleId`];
+/// the id is stable for the lifetime of the instance (instances are append-only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TupleId(pub u32);
+
+impl TupleId {
+    /// The id as an index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for TupleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// An immutable tuple: an ordered list of attribute values.
+///
+/// Tuples are cheap to clone (the payload is shared). Construct tuples through
+/// [`crate::RelationSchema::tuple`], which validates arity and attribute types.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Tuple {
+    values: Arc<[Value]>,
+}
+
+impl Tuple {
+    /// Wraps raw values into a tuple without schema validation. Prefer
+    /// [`crate::RelationSchema::tuple`].
+    pub fn new(values: Vec<Value>) -> Self {
+        Tuple { values: values.into() }
+    }
+
+    /// The tuple's arity.
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The value of attribute `attr` (the paper's `t.A`).
+    pub fn get(&self, attr: AttrId) -> &Value {
+        &self.values[attr.index()]
+    }
+
+    /// All values, in attribute order.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Projects the tuple on an attribute set, returning the projected values in
+    /// ascending attribute order.
+    pub fn project(&self, attrs: &AttrSet) -> Vec<Value> {
+        attrs.iter().map(|a| self.values[a.index()].clone()).collect()
+    }
+
+    /// Whether two tuples agree on every attribute in `attrs`
+    /// (the paper's `⋀_{A∈X} t1.A = t2.A`).
+    pub fn agrees_on(&self, other: &Tuple, attrs: &AttrSet) -> bool {
+        attrs.iter().all(|a| self.values[a.index()] == other.values[a.index()])
+    }
+
+    /// Whether two tuples differ on some attribute in `attrs`
+    /// (the paper's `⋁_{B∈Y} t1.B ≠ t2.B`).
+    pub fn differs_on(&self, other: &Tuple, attrs: &AttrSet) -> bool {
+        !self.agrees_on(other, attrs)
+    }
+}
+
+impl fmt::Debug for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tuple{self}")
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("(")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        f.write_str(")")
+    }
+}
+
+impl FromIterator<Value> for Tuple {
+    fn from_iter<I: IntoIterator<Item = Value>>(iter: I) -> Self {
+        Tuple::new(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::AttrSet;
+
+    fn t(values: &[Value]) -> Tuple {
+        Tuple::new(values.to_vec())
+    }
+
+    #[test]
+    fn get_returns_attribute_values_in_order() {
+        let tuple = t(&["Mary".into(), "R&D".into(), Value::int(40), Value::int(3)]);
+        assert_eq!(tuple.get(AttrId(0)), &Value::name("Mary"));
+        assert_eq!(tuple.get(AttrId(2)), &Value::int(40));
+        assert_eq!(tuple.arity(), 4);
+    }
+
+    #[test]
+    fn agrees_and_differs_follow_attribute_sets() {
+        let a = t(&["Mary".into(), "R&D".into(), Value::int(40)]);
+        let b = t(&["John".into(), "R&D".into(), Value::int(10)]);
+        let dept = AttrSet::from_ids([AttrId(1)]);
+        let name_salary = AttrSet::from_ids([AttrId(0), AttrId(2)]);
+        assert!(a.agrees_on(&b, &dept));
+        assert!(a.differs_on(&b, &name_salary));
+        assert!(!a.differs_on(&b, &dept));
+    }
+
+    #[test]
+    fn agreement_on_the_empty_set_is_trivially_true() {
+        let a = t(&["Mary".into()]);
+        let b = t(&["John".into()]);
+        assert!(a.agrees_on(&b, &AttrSet::new()));
+        assert!(!a.differs_on(&b, &AttrSet::new()));
+    }
+
+    #[test]
+    fn projection_preserves_attribute_order() {
+        let tuple = t(&["Mary".into(), "R&D".into(), Value::int(40)]);
+        let attrs = AttrSet::from_ids([AttrId(2), AttrId(0)]);
+        assert_eq!(tuple.project(&attrs), vec![Value::name("Mary"), Value::int(40)]);
+    }
+
+    #[test]
+    fn display_renders_parenthesised_values() {
+        let tuple = t(&["Mary".into(), Value::int(40)]);
+        assert_eq!(tuple.to_string(), "(Mary, 40)");
+    }
+
+    #[test]
+    fn tuples_with_equal_values_are_equal() {
+        let a = t(&["Mary".into(), Value::int(40)]);
+        let b = t(&["Mary".into(), Value::int(40)]);
+        assert_eq!(a, b);
+    }
+}

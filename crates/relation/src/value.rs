@@ -1,0 +1,166 @@
+//! Typed attribute values.
+//!
+//! The paper's two disjoint domains are uninterpreted names `D` (only `=`/`≠` are
+//! meaningful) and the naturals `N` (with the usual order). [`Value`] carries a value of
+//! either domain; [`Value::try_cmp`] implements the paper's comparison semantics, where
+//! ordering a name against anything (or an integer against a name) is a type error.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::RelationError;
+use crate::symbol::Name;
+
+/// The type of an attribute or value: either an uninterpreted name or an integer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ValueType {
+    /// The uninterpreted name domain `D`.
+    Name,
+    /// The numeric domain `N` (modelled as signed 64-bit integers).
+    Int,
+}
+
+impl fmt::Display for ValueType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValueType::Name => f.write_str("name"),
+            ValueType::Int => f.write_str("int"),
+        }
+    }
+}
+
+/// A single attribute value.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Value {
+    /// An uninterpreted constant.
+    Name(Name),
+    /// An integer constant.
+    Int(i64),
+}
+
+impl Value {
+    /// Creates a name value (interning the spelling).
+    pub fn name(text: &str) -> Self {
+        Value::Name(Name::new(text))
+    }
+
+    /// Creates an integer value.
+    pub fn int(n: i64) -> Self {
+        Value::Int(n)
+    }
+
+    /// The type of this value.
+    pub fn value_type(&self) -> ValueType {
+        match self {
+            Value::Name(_) => ValueType::Name,
+            Value::Int(_) => ValueType::Int,
+        }
+    }
+
+    /// Compares two values with the *query* semantics of the paper: integers compare
+    /// numerically, while applying an order predicate to a name (or mixing domains) is a
+    /// type error. Equality between values of different domains is always `false` and is
+    /// handled by `==`, not by this method.
+    pub fn try_cmp(&self, other: &Value) -> Result<Ordering, RelationError> {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => Ok(a.cmp(b)),
+            (a, b) => Err(RelationError::IncomparableValues {
+                left: a.value_type(),
+                right: b.value_type(),
+            }),
+        }
+    }
+
+    /// Returns the integer payload if this is an [`Value::Int`].
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(n) => Some(*n),
+            Value::Name(_) => None,
+        }
+    }
+
+    /// Returns the name payload if this is a [`Value::Name`].
+    pub fn as_name(&self) -> Option<&Name> {
+        match self {
+            Value::Name(n) => Some(n),
+            Value::Int(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Name(n) => write!(f, "{n}"),
+            Value::Int(n) => write!(f, "{n}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(n: i64) -> Self {
+        Value::Int(n)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(text: &str) -> Self {
+        Value::name(text)
+    }
+}
+
+impl From<Name> for Value {
+    fn from(name: Name) -> Self {
+        Value::Name(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integers_compare_numerically() {
+        assert_eq!(Value::int(10).try_cmp(&Value::int(40)).unwrap(), Ordering::Less);
+        assert_eq!(Value::int(40).try_cmp(&Value::int(40)).unwrap(), Ordering::Equal);
+    }
+
+    #[test]
+    fn ordering_names_is_a_type_error() {
+        let err = Value::name("Mary").try_cmp(&Value::name("John")).unwrap_err();
+        assert!(matches!(err, RelationError::IncomparableValues { .. }));
+    }
+
+    #[test]
+    fn ordering_across_domains_is_a_type_error() {
+        assert!(Value::name("Mary").try_cmp(&Value::int(1)).is_err());
+        assert!(Value::int(1).try_cmp(&Value::name("Mary")).is_err());
+    }
+
+    #[test]
+    fn equality_across_domains_is_false_not_an_error() {
+        assert_ne!(Value::name("1"), Value::int(1));
+    }
+
+    #[test]
+    fn value_types_are_reported() {
+        assert_eq!(Value::name("x").value_type(), ValueType::Name);
+        assert_eq!(Value::int(3).value_type(), ValueType::Int);
+    }
+
+    #[test]
+    fn accessors_return_payloads() {
+        assert_eq!(Value::int(7).as_int(), Some(7));
+        assert_eq!(Value::int(7).as_name(), None);
+        assert_eq!(Value::name("a").as_name(), Some(&Name::new("a")));
+        assert_eq!(Value::name("a").as_int(), None);
+    }
+
+    #[test]
+    fn display_renders_payload_without_decoration() {
+        assert_eq!(Value::name("R&D").to_string(), "R&D");
+        assert_eq!(Value::int(-3).to_string(), "-3");
+    }
+}

@@ -1,0 +1,30 @@
+//! Search engines backing the repair machinery of `pdqi`.
+//!
+//! The paper's complexity landscape (Fig. 5) mixes polynomial-time problems (repair
+//! checking for Rep/L/S/C, Algorithm 1) with co-NP- and Π₂ᵖ-complete ones (G-repair
+//! checking, preferred consistent query answers). The polynomial algorithms live next to
+//! their definitions in `pdqi-core`; this crate provides the *search* machinery the hard
+//! problems need, plus the reduction used to generate provably hard benchmark instances:
+//!
+//! * [`mis`] — enumeration of maximal independent sets of conflict graphs and
+//!   hypergraphs (the repairs), with connected-component decomposition, early
+//!   termination and counting,
+//! * [`sat`] — a small DPLL SAT solver (unit propagation + branching) used by the
+//!   reductions and as an oracle in tests,
+//! * [`search`] — the backtracking search for a repair that `≪`-dominates a given repair
+//!   (the co-NP core of G-repair checking, Prop. 5),
+//! * [`reductions`] — the 3-SAT → consistent-query-answering reduction behind the
+//!   paper's co-NP-hardness results, used to produce adversarial benchmark inputs.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod mis;
+pub mod reductions;
+pub mod sat;
+pub mod search;
+
+pub use mis::{GraphMisEnumerator, HypergraphMisEnumerator};
+pub use reductions::{cqa_instance_from_3sat, SatCqaInstance};
+pub use sat::{Clause, CnfFormula, Lit, SatResult};
+pub use search::exists_dominating_repair;

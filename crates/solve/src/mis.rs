@@ -1,0 +1,358 @@
+//! Enumeration of maximal independent sets (= repairs).
+//!
+//! The repairs of an instance w.r.t. a set of functional dependencies are exactly the
+//! maximal independent sets of its conflict graph (Section 2.1 of the paper); for denial
+//! constraints the same holds for the conflict hypergraph. Since there may be
+//! exponentially many repairs (Example 4 exhibits `2ⁿ`), the enumerators support early
+//! termination through [`std::ops::ControlFlow`], hard limits, and counting that exploits
+//! connected-component decomposition (the count is the product of per-component counts).
+
+use std::ops::ControlFlow;
+
+use pdqi_constraints::{ConflictGraph, ConflictHypergraph};
+use pdqi_relation::{TupleId, TupleSet};
+
+/// Enumerator of the maximal independent sets of a [`ConflictGraph`].
+pub struct GraphMisEnumerator<'g> {
+    graph: &'g ConflictGraph,
+    components: Vec<TupleSet>,
+}
+
+impl<'g> GraphMisEnumerator<'g> {
+    /// Creates an enumerator for `graph`.
+    pub fn new(graph: &'g ConflictGraph) -> Self {
+        GraphMisEnumerator { graph, components: graph.connected_components() }
+    }
+
+    /// Visits every maximal independent set exactly once. The callback may stop the
+    /// enumeration early by returning [`ControlFlow::Break`]. Returns `true` if the
+    /// enumeration ran to completion.
+    pub fn for_each<F>(&self, mut callback: F) -> bool
+    where
+        F: FnMut(&TupleSet) -> ControlFlow<()>,
+    {
+        // Pre-compute the maximal independent sets of each component, then emit their
+        // cartesian combinations. Components are typically small even when the whole
+        // graph is large, which keeps the per-component enumeration cheap; the
+        // combination step is where the exponential blow-up lives and where early
+        // termination matters.
+        let per_component: Vec<Vec<TupleSet>> =
+            self.components.iter().map(|c| self.component_mis(c)).collect();
+        let mut current = TupleSet::with_capacity(self.graph.vertex_count());
+        self.combine(&per_component, 0, &mut current, &mut callback).is_continue()
+    }
+
+    /// Collects up to `limit` maximal independent sets.
+    pub fn collect(&self, limit: usize) -> Vec<TupleSet> {
+        let mut out = Vec::new();
+        self.for_each(|set| {
+            out.push(set.clone());
+            if out.len() >= limit {
+                ControlFlow::Break(())
+            } else {
+                ControlFlow::Continue(())
+            }
+        });
+        out
+    }
+
+    /// The number of maximal independent sets, computed as the product of per-component
+    /// counts, saturating at `u128::MAX`.
+    pub fn count(&self) -> u128 {
+        self.components
+            .iter()
+            .map(|c| self.component_mis(c).len() as u128)
+            .fold(1u128, u128::saturating_mul)
+    }
+
+    /// One maximal independent set, produced greedily (lowest tuple ids first).
+    pub fn first(&self) -> TupleSet {
+        self.graph.complete_to_maximal(&TupleSet::new())
+    }
+
+    fn combine<F>(
+        &self,
+        per_component: &[Vec<TupleSet>],
+        index: usize,
+        current: &mut TupleSet,
+        callback: &mut F,
+    ) -> ControlFlow<()>
+    where
+        F: FnMut(&TupleSet) -> ControlFlow<()>,
+    {
+        if index == per_component.len() {
+            return callback(current);
+        }
+        for choice in &per_component[index] {
+            current.union_with(choice);
+            let flow = self.combine(per_component, index + 1, current, callback);
+            current.remove_all(choice);
+            flow?;
+        }
+        ControlFlow::Continue(())
+    }
+
+    /// All maximal independent sets of one connected component, via backtracking over the
+    /// component's vertices in ascending order. Each MIS corresponds to exactly one
+    /// include/exclude decision vector, so no deduplication is needed; branches that can
+    /// no longer lead to a *maximal* set are pruned, and completed sets are double-checked
+    /// for maximality within the component.
+    fn component_mis(&self, component: &TupleSet) -> Vec<TupleSet> {
+        let vertices: Vec<TupleId> = component.iter().collect();
+        let mut result = Vec::new();
+        let mut chosen = TupleSet::with_capacity(self.graph.vertex_count());
+        self.component_rec(&vertices, 0, &mut chosen, &mut result);
+        result
+    }
+
+    fn component_rec(
+        &self,
+        vertices: &[TupleId],
+        index: usize,
+        chosen: &mut TupleSet,
+        out: &mut Vec<TupleSet>,
+    ) {
+        if index == vertices.len() {
+            if self.is_maximal_within(vertices, chosen) {
+                out.push(chosen.clone());
+            }
+            return;
+        }
+        let v = vertices[index];
+        let blocked = !self.graph.neighbors(v).is_disjoint_from(chosen);
+        if !blocked {
+            // Branch 1: include v.
+            chosen.insert(v);
+            self.component_rec(vertices, index + 1, chosen, out);
+            chosen.remove(v);
+        }
+        // Branch 2: exclude v. Only viable if v is already dominated or might still be
+        // dominated by a later (undecided) neighbour.
+        let may_be_dominated_later =
+            self.graph.neighbors(v).iter().any(|u| vertices[index + 1..].contains(&u));
+        if blocked || may_be_dominated_later {
+            self.component_rec(vertices, index + 1, chosen, out);
+        }
+    }
+
+    fn is_maximal_within(&self, vertices: &[TupleId], chosen: &TupleSet) -> bool {
+        vertices.iter().all(|&v| {
+            chosen.contains(v) || !self.graph.neighbors(v).is_disjoint_from(chosen)
+        })
+    }
+}
+
+/// Enumerator of the maximal independent sets of a [`ConflictHypergraph`].
+pub struct HypergraphMisEnumerator<'g> {
+    hypergraph: &'g ConflictHypergraph,
+}
+
+impl<'g> HypergraphMisEnumerator<'g> {
+    /// Creates an enumerator for `hypergraph`.
+    pub fn new(hypergraph: &'g ConflictHypergraph) -> Self {
+        HypergraphMisEnumerator { hypergraph }
+    }
+
+    /// Visits every maximal independent set exactly once; the callback may stop early.
+    /// Returns `true` if the enumeration ran to completion.
+    pub fn for_each<F>(&self, mut callback: F) -> bool
+    where
+        F: FnMut(&TupleSet) -> ControlFlow<()>,
+    {
+        let n = self.hypergraph.vertex_count();
+        let mut chosen = TupleSet::with_capacity(n);
+        self.rec(0, n, &mut chosen, &mut callback).is_continue()
+    }
+
+    /// Collects up to `limit` maximal independent sets.
+    pub fn collect(&self, limit: usize) -> Vec<TupleSet> {
+        let mut out = Vec::new();
+        self.for_each(|set| {
+            out.push(set.clone());
+            if out.len() >= limit {
+                ControlFlow::Break(())
+            } else {
+                ControlFlow::Continue(())
+            }
+        });
+        out
+    }
+
+    /// Counts all maximal independent sets by exhaustive enumeration.
+    pub fn count(&self) -> u128 {
+        let mut count = 0u128;
+        self.for_each(|_| {
+            count += 1;
+            ControlFlow::Continue(())
+        });
+        count
+    }
+
+    fn rec<F>(
+        &self,
+        index: usize,
+        n: usize,
+        chosen: &mut TupleSet,
+        callback: &mut F,
+    ) -> ControlFlow<()>
+    where
+        F: FnMut(&TupleSet) -> ControlFlow<()>,
+    {
+        if index == n {
+            if self.hypergraph.is_maximal_independent(chosen) {
+                return callback(chosen);
+            }
+            return ControlFlow::Continue(());
+        }
+        let v = TupleId(index as u32);
+        // Branch 1: include v if it does not complete a hyperedge.
+        chosen.insert(v);
+        if self.hypergraph.is_independent(chosen) {
+            self.rec(index + 1, n, chosen, callback)?;
+        }
+        chosen.remove(v);
+        // Branch 2: exclude v.
+        self.rec(index + 1, n, chosen, callback)?;
+        ControlFlow::Continue(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdqi_constraints::{DenialConstraint, FdSet, FunctionalDependency};
+    use pdqi_relation::{RelationInstance, RelationSchema, Value, ValueType};
+    use std::sync::Arc;
+
+    fn example4(n: i64) -> (RelationInstance, ConflictGraph) {
+        let schema = Arc::new(
+            RelationSchema::from_pairs("R", &[("A", ValueType::Int), ("B", ValueType::Int)]).unwrap(),
+        );
+        let mut rows = Vec::new();
+        for i in 0..n {
+            rows.push(vec![Value::int(i), Value::int(0)]);
+            rows.push(vec![Value::int(i), Value::int(1)]);
+        }
+        let instance = RelationInstance::from_rows(Arc::clone(&schema), rows).unwrap();
+        let fds = FdSet::parse(schema, &["A -> B"]).unwrap();
+        let graph = ConflictGraph::build(&instance, &fds);
+        (instance, graph)
+    }
+
+    fn example1_graph() -> ConflictGraph {
+        ConflictGraph::from_edges(
+            4,
+            &[(TupleId(0), TupleId(1)), (TupleId(0), TupleId(2)), (TupleId(1), TupleId(3))],
+        )
+    }
+
+    #[test]
+    fn example_2_has_exactly_three_repairs() {
+        let graph = example1_graph();
+        let enumerator = GraphMisEnumerator::new(&graph);
+        let repairs = enumerator.collect(usize::MAX);
+        assert_eq!(repairs.len(), 3);
+        assert_eq!(enumerator.count(), 3);
+        let expected = [
+            TupleSet::from_ids([TupleId(0), TupleId(3)]),
+            TupleSet::from_ids([TupleId(1), TupleId(2)]),
+            TupleSet::from_ids([TupleId(2), TupleId(3)]),
+        ];
+        for repair in &expected {
+            assert!(repairs.contains(repair));
+        }
+        for repair in &repairs {
+            assert!(graph.is_maximal_independent(repair));
+        }
+    }
+
+    #[test]
+    fn example_4_has_two_to_the_n_repairs() {
+        for n in [1i64, 3, 5, 8] {
+            let (_, graph) = example4(n);
+            let enumerator = GraphMisEnumerator::new(&graph);
+            assert_eq!(enumerator.count(), 1u128 << n);
+            assert_eq!(enumerator.collect(usize::MAX).len(), 1usize << n);
+        }
+    }
+
+    #[test]
+    fn counting_scales_beyond_what_enumeration_could_materialise() {
+        // 2^120 repairs: countable via the component product without enumerating.
+        let (_, graph) = example4(120);
+        assert_eq!(GraphMisEnumerator::new(&graph).count(), 1u128 << 120);
+    }
+
+    #[test]
+    fn early_termination_stops_the_enumeration() {
+        let (_, graph) = example4(20);
+        let enumerator = GraphMisEnumerator::new(&graph);
+        let mut seen = 0usize;
+        let completed = enumerator.for_each(|_| {
+            seen += 1;
+            if seen == 10 {
+                ControlFlow::Break(())
+            } else {
+                ControlFlow::Continue(())
+            }
+        });
+        assert_eq!(seen, 10);
+        assert!(!completed);
+        assert_eq!(enumerator.collect(5).len(), 5);
+    }
+
+    #[test]
+    fn a_consistent_instance_has_exactly_one_repair() {
+        let graph = ConflictGraph::from_edges(4, &[]);
+        let enumerator = GraphMisEnumerator::new(&graph);
+        assert_eq!(enumerator.count(), 1);
+        assert_eq!(enumerator.collect(10), vec![TupleSet::full(4)]);
+        assert_eq!(enumerator.first(), TupleSet::full(4));
+    }
+
+    #[test]
+    fn triangle_has_three_singleton_repairs() {
+        let graph = ConflictGraph::from_edges(
+            3,
+            &[(TupleId(0), TupleId(1)), (TupleId(1), TupleId(2)), (TupleId(0), TupleId(2))],
+        );
+        let repairs = GraphMisEnumerator::new(&graph).collect(usize::MAX);
+        assert_eq!(repairs.len(), 3);
+        assert!(repairs.iter().all(|r| r.len() == 1));
+    }
+
+    #[test]
+    fn first_is_a_maximal_independent_set() {
+        let graph = example1_graph();
+        let first = GraphMisEnumerator::new(&graph).first();
+        assert!(graph.is_maximal_independent(&first));
+    }
+
+    #[test]
+    fn hypergraph_enumeration_matches_graph_enumeration_for_fd_constraints() {
+        let (instance, graph) = example4(3);
+        let fd = FunctionalDependency::parse(instance.schema(), "A -> B").unwrap();
+        let constraints = DenialConstraint::from_fd(Arc::clone(instance.schema()), &fd);
+        let hyper = ConflictHypergraph::build(&instance, &constraints);
+        let from_graph = GraphMisEnumerator::new(&graph).collect(usize::MAX);
+        let from_hyper = HypergraphMisEnumerator::new(&hyper).collect(usize::MAX);
+        assert_eq!(from_graph.len(), from_hyper.len());
+        for set in &from_graph {
+            assert!(from_hyper.contains(set));
+        }
+        assert_eq!(HypergraphMisEnumerator::new(&hyper).count(), 8);
+    }
+
+    #[test]
+    fn hypergraph_with_a_ternary_edge_keeps_all_two_element_subsets() {
+        // One hyperedge {0,1,2} over 3 vertices: the maximal independent sets are the
+        // three 2-element subsets.
+        let hyper = ConflictHypergraph::from_hyperedges(
+            3,
+            vec![TupleSet::from_ids([TupleId(0), TupleId(1), TupleId(2)])],
+        );
+        let sets = HypergraphMisEnumerator::new(&hyper).collect(usize::MAX);
+        assert_eq!(sets.len(), 3);
+        assert!(sets.iter().all(|s| s.len() == 2));
+    }
+}

@@ -1,0 +1,226 @@
+//! The 3-SAT reduction behind the paper's co-NP-hardness results.
+//!
+//! Theorem 3 / Theorem 4 and the results quoted from \[6, 8\] establish that consistent
+//! query answering is co-NP-hard already for conjunctive queries and a fixed set of
+//! functional dependencies: the proofs encode a propositional formula *in the data* while
+//! the schema, constraints and query stay fixed. This module implements such an encoding
+//! so the benchmark harness can generate adversarial inputs whose answer is known from a
+//! SAT oracle.
+//!
+//! **Encoding.** For a 3-CNF formula `φ` over variables `x₁..xₙ` with clauses `c₁..cₘ`
+//! (three *distinct* variables per clause) build the relation
+//! `Lit(Clause, Var, Sign)` containing a tuple `(cⱼ, xᵢ, s)` for every literal occurrence
+//! (`s = 1` for a positive occurrence, `s = 0` for a negated one) **plus**, for every
+//! variable `xᵢ`, the two anchor tuples `(dᵢ, xᵢ, 0)` and `(dᵢ, xᵢ, 1)` under a fresh
+//! dummy clause id. The single functional dependency is `Var → Sign`. Two occurrences of
+//! the same variable with opposite signs conflict, and the anchors guarantee both signs
+//! are present for every variable, so a repair keeps exactly the occurrences of one sign
+//! per variable — i.e. repairs are in bijection with truth assignments, where keeping the
+//! occurrences with sign `s` means the assignment makes those literals **false**
+//! (`σ(xᵢ) = 1 − s`). The anchor tuples can never witness the query below because a dummy
+//! clause id only ever carries a single variable. The fixed conjunctive query
+//!
+//! ```text
+//! Q ≡ ∃ c,v1,v2,v3,s1,s2,s3 . Lit(c,v1,s1) ∧ Lit(c,v2,s2) ∧ Lit(c,v3,s3)
+//!                            ∧ v1 ≠ v2 ∧ v1 ≠ v3 ∧ v2 ≠ v3
+//! ```
+//!
+//! holds in a repair iff some clause has all three of its literals kept, i.e. iff the
+//! corresponding assignment falsifies that clause. Hence `true` is the consistent answer
+//! to `Q` iff **every** assignment falsifies some clause iff `φ` is unsatisfiable.
+
+use std::sync::Arc;
+
+use pdqi_constraints::FdSet;
+use pdqi_query::parser::parse_formula;
+use pdqi_query::Formula;
+use pdqi_relation::{RelationInstance, RelationSchema, Value, ValueType};
+
+use crate::sat::CnfFormula;
+
+/// A consistent-query-answering instance produced from a 3-CNF formula.
+pub struct SatCqaInstance {
+    /// The `Lit(Clause, Var, Sign)` relation encoding the formula.
+    pub instance: RelationInstance,
+    /// The fixed constraint set `{Var → Sign}`.
+    pub fds: FdSet,
+    /// The fixed conjunctive query `Q`; `true` is its consistent answer iff the formula
+    /// is unsatisfiable.
+    pub query: Formula,
+}
+
+/// The fixed conjunctive query of the reduction (independent of the formula).
+pub fn reduction_query() -> Formula {
+    parse_formula(
+        "EXISTS c,v1,v2,v3,s1,s2,s3 . Lit(c,v1,s1) AND Lit(c,v2,s2) AND Lit(c,v3,s3) \
+         AND v1 != v2 AND v1 != v3 AND v2 != v3",
+    )
+    .expect("the reduction query is well-formed")
+}
+
+/// The fixed schema of the reduction: `Lit(Clause: name, Var: name, Sign: int)`.
+pub fn reduction_schema() -> Arc<RelationSchema> {
+    Arc::new(
+        RelationSchema::from_pairs(
+            "Lit",
+            &[("Clause", ValueType::Name), ("Var", ValueType::Name), ("Sign", ValueType::Int)],
+        )
+        .expect("the reduction schema is well-formed"),
+    )
+}
+
+/// Encodes a 3-CNF formula as a CQA instance. Every clause must contain exactly three
+/// literals over three distinct variables (the shape the hardness proof relies on).
+///
+/// # Panics
+/// Panics if some clause does not have exactly three distinct variables.
+pub fn cqa_instance_from_3sat(formula: &CnfFormula) -> SatCqaInstance {
+    let schema = reduction_schema();
+    let mut rows = Vec::new();
+    // Anchor tuples: both signs of every variable, under a dummy clause id, so that every
+    // variable is genuinely "chosen" by every repair even if the formula mentions it with
+    // a single polarity only.
+    for var in 0..formula.num_vars() {
+        for sign in [0i64, 1] {
+            rows.push(vec![
+                Value::name(&format!("d{var}")),
+                Value::name(&format!("x{var}")),
+                Value::int(sign),
+            ]);
+        }
+    }
+    for (clause_index, clause) in formula.clauses().iter().enumerate() {
+        assert_eq!(clause.len(), 3, "the reduction requires exactly 3 literals per clause");
+        let distinct =
+            clause.iter().map(|l| l.var).collect::<std::collections::BTreeSet<_>>().len();
+        assert_eq!(distinct, 3, "the reduction requires 3 distinct variables per clause");
+        for lit in clause {
+            rows.push(vec![
+                Value::name(&format!("c{clause_index}")),
+                Value::name(&format!("x{}", lit.var)),
+                Value::int(if lit.positive { 1 } else { 0 }),
+            ]);
+        }
+    }
+    let instance = RelationInstance::from_rows(Arc::clone(&schema), rows)
+        .expect("reduction rows match the reduction schema");
+    let fds = FdSet::parse(schema, &["Var -> Sign"]).expect("the reduction FD is well-formed");
+    SatCqaInstance { instance, fds, query: reduction_query() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mis::GraphMisEnumerator;
+    use crate::sat::{Lit, SatResult};
+    use pdqi_constraints::ConflictGraph;
+    use pdqi_query::Evaluator;
+    use std::ops::ControlFlow;
+
+    fn clause3(a: (usize, bool), b: (usize, bool), c: (usize, bool)) -> Vec<Lit> {
+        vec![
+            Lit { var: a.0, positive: a.1 },
+            Lit { var: b.0, positive: b.1 },
+            Lit { var: c.0, positive: c.1 },
+        ]
+    }
+
+    /// Brute-force check of the reduction's defining property: consistent answer to `Q`
+    /// (over all repairs) is `true` iff the formula is unsatisfiable.
+    fn consistent_answer_by_enumeration(cqa: &SatCqaInstance) -> bool {
+        let graph = ConflictGraph::build(&cqa.instance, &cqa.fds);
+        let mut holds_everywhere = true;
+        GraphMisEnumerator::new(&graph).for_each(|repair| {
+            let eval = Evaluator::with_restricted(&cqa.instance, repair);
+            if !eval.eval_closed(&cqa.query).unwrap() {
+                holds_everywhere = false;
+                return ControlFlow::Break(());
+            }
+            ControlFlow::Continue(())
+        });
+        holds_everywhere
+    }
+
+    #[test]
+    fn satisfiable_formula_yields_consistent_answer_false() {
+        // (x0 ∨ x1 ∨ x2) ∧ (¬x0 ∨ ¬x1 ∨ x2): satisfiable.
+        let mut f = CnfFormula::new(3);
+        f.add_clause(clause3((0, true), (1, true), (2, true)));
+        f.add_clause(clause3((0, false), (1, false), (2, true)));
+        assert!(f.solve().is_sat());
+        let cqa = cqa_instance_from_3sat(&f);
+        assert!(!consistent_answer_by_enumeration(&cqa));
+    }
+
+    #[test]
+    fn unsatisfiable_formula_yields_consistent_answer_true() {
+        // All eight sign patterns over three variables: unsatisfiable.
+        let mut f = CnfFormula::new(3);
+        for mask in 0..8u32 {
+            f.add_clause(clause3(
+                (0, mask & 1 != 0),
+                (1, mask & 2 != 0),
+                (2, mask & 4 != 0),
+            ));
+        }
+        assert_eq!(f.solve(), SatResult::Unsat);
+        let cqa = cqa_instance_from_3sat(&f);
+        assert!(consistent_answer_by_enumeration(&cqa));
+    }
+
+    #[test]
+    fn reduction_agrees_with_the_sat_oracle_on_small_random_like_formulas() {
+        // A handful of fixed small formulas exercising both outcomes.
+        let cases: Vec<Vec<[(usize, bool); 3]>> = vec![
+            vec![[(0, true), (1, true), (2, false)]],
+            vec![
+                [(0, true), (1, true), (2, true)],
+                [(0, false), (1, true), (2, false)],
+                [(0, true), (1, false), (2, false)],
+                [(0, false), (1, false), (2, true)],
+            ],
+            vec![
+                [(0, true), (1, true), (2, true)],
+                [(0, true), (1, false), (2, false)],
+                [(0, false), (1, true), (2, false)],
+                [(0, false), (1, false), (2, true)],
+                [(0, true), (1, true), (2, false)],
+                [(0, false), (1, true), (2, true)],
+                [(0, true), (1, false), (2, true)],
+                [(0, false), (1, false), (2, false)],
+            ],
+        ];
+        for clauses in cases {
+            let mut f = CnfFormula::new(3);
+            for c in &clauses {
+                f.add_clause(clause3(c[0], c[1], c[2]));
+            }
+            let cqa = cqa_instance_from_3sat(&f);
+            let consistent_true = consistent_answer_by_enumeration(&cqa);
+            assert_eq!(
+                consistent_true,
+                !f.solve().is_sat(),
+                "reduction disagrees with the SAT oracle on {clauses:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn repairs_correspond_to_assignments() {
+        let mut f = CnfFormula::new(3);
+        f.add_clause(clause3((0, true), (1, true), (2, true)));
+        f.add_clause(clause3((0, false), (1, false), (2, false)));
+        let cqa = cqa_instance_from_3sat(&f);
+        let graph = ConflictGraph::build(&cqa.instance, &cqa.fds);
+        // Three variables, each appearing with both signs: 2^3 repairs.
+        assert_eq!(GraphMisEnumerator::new(&graph).count(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "3 distinct variables")]
+    fn clauses_with_repeated_variables_are_rejected() {
+        let mut f = CnfFormula::new(2);
+        f.add_clause(clause3((0, true), (0, false), (1, true)));
+        cqa_instance_from_3sat(&f);
+    }
+}

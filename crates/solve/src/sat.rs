@@ -1,0 +1,311 @@
+//! A small DPLL SAT solver.
+//!
+//! The paper's intractability results (co-NP-completeness of preferred consistent query
+//! answering, Π₂ᵖ-completeness for G-Rep) rest on reductions from propositional
+//! satisfiability. This module provides a compact, dependency-free DPLL solver — unit
+//! propagation plus branching on the most frequently occurring unassigned variable —
+//! that the reduction module and the tests use as a ground-truth oracle, and that the
+//! benchmark harness uses to label generated instances as satisfiable/unsatisfiable.
+
+use std::fmt;
+
+/// A literal: a propositional variable (0-based) with a polarity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Lit {
+    /// Variable index.
+    pub var: usize,
+    /// `true` for the positive literal `x`, `false` for `¬x`.
+    pub positive: bool,
+}
+
+impl Lit {
+    /// The positive literal of `var`.
+    pub fn pos(var: usize) -> Self {
+        Lit { var, positive: true }
+    }
+
+    /// The negative literal of `var`.
+    pub fn neg(var: usize) -> Self {
+        Lit { var, positive: false }
+    }
+
+    /// The complementary literal.
+    pub fn negated(self) -> Self {
+        Lit { var: self.var, positive: !self.positive }
+    }
+
+    /// Whether the literal is satisfied under the given (possibly partial) assignment.
+    fn status(self, assignment: &[Option<bool>]) -> Option<bool> {
+        assignment[self.var].map(|value| value == self.positive)
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.positive {
+            write!(f, "x{}", self.var)
+        } else {
+            write!(f, "!x{}", self.var)
+        }
+    }
+}
+
+/// A clause: a disjunction of literals.
+pub type Clause = Vec<Lit>;
+
+/// A CNF formula.
+#[derive(Debug, Clone, Default)]
+pub struct CnfFormula {
+    num_vars: usize,
+    clauses: Vec<Clause>,
+}
+
+/// The outcome of solving a formula.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SatResult {
+    /// Satisfiable, with a witnessing assignment (indexed by variable).
+    Sat(Vec<bool>),
+    /// Unsatisfiable.
+    Unsat,
+}
+
+impl SatResult {
+    /// Whether the result is satisfiable.
+    pub fn is_sat(&self) -> bool {
+        matches!(self, SatResult::Sat(_))
+    }
+}
+
+impl CnfFormula {
+    /// An empty formula over `num_vars` variables (trivially satisfiable).
+    pub fn new(num_vars: usize) -> Self {
+        CnfFormula { num_vars, clauses: Vec::new() }
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Number of clauses.
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// The clauses.
+    pub fn clauses(&self) -> &[Clause] {
+        &self.clauses
+    }
+
+    /// Adds a clause, growing the variable count if needed. An empty clause makes the
+    /// formula unsatisfiable.
+    pub fn add_clause(&mut self, clause: Clause) {
+        for lit in &clause {
+            if lit.var >= self.num_vars {
+                self.num_vars = lit.var + 1;
+            }
+        }
+        self.clauses.push(clause);
+    }
+
+    /// Whether `assignment` satisfies every clause.
+    pub fn is_satisfied_by(&self, assignment: &[bool]) -> bool {
+        self.clauses.iter().all(|clause| {
+            clause.iter().any(|lit| assignment.get(lit.var).copied() == Some(lit.positive))
+        })
+    }
+
+    /// Decides satisfiability by DPLL search.
+    pub fn solve(&self) -> SatResult {
+        let mut assignment: Vec<Option<bool>> = vec![None; self.num_vars];
+        if self.dpll(&mut assignment) {
+            // Unconstrained variables default to `false`.
+            SatResult::Sat(assignment.into_iter().map(|v| v.unwrap_or(false)).collect())
+        } else {
+            SatResult::Unsat
+        }
+    }
+
+    fn dpll(&self, assignment: &mut Vec<Option<bool>>) -> bool {
+        // Unit propagation to fixpoint.
+        let mut trail: Vec<usize> = Vec::new();
+        loop {
+            let mut propagated = false;
+            for clause in &self.clauses {
+                let mut unassigned: Option<Lit> = None;
+                let mut satisfied = false;
+                let mut unassigned_count = 0;
+                for &lit in clause {
+                    match lit.status(assignment) {
+                        Some(true) => {
+                            satisfied = true;
+                            break;
+                        }
+                        Some(false) => {}
+                        None => {
+                            unassigned_count += 1;
+                            unassigned = Some(lit);
+                        }
+                    }
+                }
+                if satisfied {
+                    continue;
+                }
+                match unassigned_count {
+                    0 => {
+                        // Conflict: undo this call's propagations.
+                        for &var in &trail {
+                            assignment[var] = None;
+                        }
+                        return false;
+                    }
+                    1 => {
+                        let lit = unassigned.expect("exactly one unassigned literal");
+                        assignment[lit.var] = Some(lit.positive);
+                        trail.push(lit.var);
+                        propagated = true;
+                    }
+                    _ => {}
+                }
+            }
+            if !propagated {
+                break;
+            }
+        }
+        // Pick the unassigned variable occurring in the most unsatisfied clauses.
+        let mut occurrences = vec![0usize; self.num_vars];
+        let mut any_unassigned = false;
+        for clause in &self.clauses {
+            if clause.iter().any(|lit| lit.status(assignment) == Some(true)) {
+                continue;
+            }
+            for lit in clause {
+                if assignment[lit.var].is_none() {
+                    occurrences[lit.var] += 1;
+                    any_unassigned = true;
+                }
+            }
+        }
+        if !any_unassigned {
+            // Every clause is satisfied or all variables in pending clauses are assigned;
+            // since propagation found no conflict, the formula is satisfied.
+            return true;
+        }
+        let branch_var = (0..self.num_vars)
+            .filter(|&v| assignment[v].is_none())
+            .max_by_key(|&v| occurrences[v])
+            .expect("an unassigned variable exists");
+        for value in [true, false] {
+            assignment[branch_var] = Some(value);
+            if self.dpll(assignment) {
+                return true;
+            }
+            assignment[branch_var] = None;
+        }
+        // Undo propagations made at this level before failing.
+        for &var in &trail {
+            assignment[var] = None;
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clause(lits: &[(usize, bool)]) -> Clause {
+        lits.iter().map(|&(v, p)| Lit { var: v, positive: p }).collect()
+    }
+
+    #[test]
+    fn empty_formula_is_satisfiable() {
+        assert!(CnfFormula::new(0).solve().is_sat());
+        assert!(CnfFormula::new(3).solve().is_sat());
+    }
+
+    #[test]
+    fn empty_clause_is_unsatisfiable() {
+        let mut f = CnfFormula::new(1);
+        f.add_clause(vec![]);
+        assert_eq!(f.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn satisfiable_formula_returns_a_model() {
+        // (x0 ∨ x1) ∧ (¬x0 ∨ x2) ∧ (¬x1 ∨ ¬x2)
+        let mut f = CnfFormula::new(3);
+        f.add_clause(clause(&[(0, true), (1, true)]));
+        f.add_clause(clause(&[(0, false), (2, true)]));
+        f.add_clause(clause(&[(1, false), (2, false)]));
+        match f.solve() {
+            SatResult::Sat(model) => assert!(f.is_satisfied_by(&model)),
+            SatResult::Unsat => panic!("expected SAT"),
+        }
+    }
+
+    #[test]
+    fn classic_unsatisfiable_core_is_detected() {
+        // (x0) ∧ (¬x0 ∨ x1) ∧ (¬x1)
+        let mut f = CnfFormula::new(2);
+        f.add_clause(clause(&[(0, true)]));
+        f.add_clause(clause(&[(0, false), (1, true)]));
+        f.add_clause(clause(&[(1, false)]));
+        assert_eq!(f.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn all_eight_clauses_over_three_variables_are_unsatisfiable() {
+        // Every combination of polarities over {x0,x1,x2}: no assignment satisfies all.
+        let mut f = CnfFormula::new(3);
+        for mask in 0..8u32 {
+            f.add_clause(
+                (0..3).map(|v| Lit { var: v, positive: mask & (1 << v) != 0 }).collect(),
+            );
+        }
+        assert_eq!(f.solve(), SatResult::Unsat);
+        // Dropping any single clause makes it satisfiable.
+        let mut g = CnfFormula::new(3);
+        for mask in 1..8u32 {
+            g.add_clause(
+                (0..3).map(|v| Lit { var: v, positive: mask & (1 << v) != 0 }).collect(),
+            );
+        }
+        assert!(g.solve().is_sat());
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_is_unsatisfiable() {
+        // Variables p[i][j]: pigeon i sits in hole j (i < 3, j < 2).
+        let var = |i: usize, j: usize| i * 2 + j;
+        let mut f = CnfFormula::new(6);
+        for i in 0..3 {
+            f.add_clause(clause(&[(var(i, 0), true), (var(i, 1), true)]));
+        }
+        for j in 0..2 {
+            for i1 in 0..3 {
+                for i2 in (i1 + 1)..3 {
+                    f.add_clause(clause(&[(var(i1, j), false), (var(i2, j), false)]));
+                }
+            }
+        }
+        assert_eq!(f.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn add_clause_grows_the_variable_count() {
+        let mut f = CnfFormula::new(0);
+        f.add_clause(vec![Lit::pos(4)]);
+        assert_eq!(f.num_vars(), 5);
+        assert_eq!(f.num_clauses(), 1);
+        assert!(f.solve().is_sat());
+    }
+
+    #[test]
+    fn literal_helpers() {
+        assert_eq!(Lit::pos(3).negated(), Lit::neg(3));
+        assert_eq!(Lit::neg(3).negated(), Lit::pos(3));
+        assert_eq!(Lit::pos(2).to_string(), "x2");
+        assert_eq!(Lit::neg(2).to_string(), "!x2");
+    }
+}

@@ -1,0 +1,446 @@
+//! Catalog and statement execution.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+use pdqi_constraints::FdSet;
+use pdqi_core::PdqiEngine;
+use pdqi_query::builder::{and_all, atom, exists, var};
+use pdqi_query::{Evaluator, Formula, Term};
+use pdqi_relation::{RelationInstance, RelationSchema, Value, ValueType};
+
+use crate::parser::{
+    parse_statement, ColumnType, ConditionRhs, SelectStatement, SqlParseError, Statement,
+};
+
+/// Errors raised while executing SQL statements.
+#[derive(Debug)]
+pub enum SqlError {
+    /// The statement could not be parsed.
+    Parse(SqlParseError),
+    /// The statement refers to an unknown table.
+    UnknownTable(String),
+    /// A table with this name already exists.
+    TableExists(String),
+    /// The statement refers to an unknown column.
+    UnknownColumn {
+        /// Table name.
+        table: String,
+        /// Column name.
+        column: String,
+    },
+    /// A row, FD or preference did not fit the table's schema.
+    Schema(String),
+    /// A query could not be evaluated.
+    Query(String),
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlError::Parse(e) => write!(f, "{e}"),
+            SqlError::UnknownTable(t) => write!(f, "unknown table `{t}`"),
+            SqlError::TableExists(t) => write!(f, "table `{t}` already exists"),
+            SqlError::UnknownColumn { table, column } => {
+                write!(f, "table `{table}` has no column `{column}`")
+            }
+            SqlError::Schema(message) | SqlError::Query(message) => f.write_str(message),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+impl From<SqlParseError> for SqlError {
+    fn from(e: SqlParseError) -> Self {
+        SqlError::Parse(e)
+    }
+}
+
+/// A query result: column headers plus rows of values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryResult {
+    /// Column headers (the projected columns).
+    pub columns: Vec<String>,
+    /// Result rows, sorted and de-duplicated.
+    pub rows: Vec<Vec<Value>>,
+}
+
+/// The outcome of executing one statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StatementOutcome {
+    /// A table was created.
+    Created,
+    /// A functional dependency was recorded.
+    FdAdded,
+    /// Rows were inserted (duplicates collapse under set semantics).
+    Inserted(usize),
+    /// A preference was recorded.
+    PreferenceAdded,
+    /// A query produced rows.
+    Rows(QueryResult),
+}
+
+#[derive(Debug, Clone)]
+struct Table {
+    schema: Arc<RelationSchema>,
+    rows: Vec<Vec<Value>>,
+    fds: Vec<String>,
+    preferences: Vec<(Vec<Value>, Vec<Value>)>,
+}
+
+/// An interactive session: a catalog of tables, their constraints, their data and the
+/// preferences accumulated so far.
+#[derive(Debug, Default)]
+pub struct Session {
+    tables: BTreeMap<String, Table>,
+}
+
+impl Session {
+    /// Creates an empty session.
+    pub fn new() -> Self {
+        Session::default()
+    }
+
+    /// Parses and executes one statement.
+    pub fn execute(&mut self, sql: &str) -> Result<StatementOutcome, SqlError> {
+        let statement = parse_statement(sql)?;
+        self.run(statement)
+    }
+
+    /// Executes a sequence of `;`-separated statements, returning the outcome of each.
+    pub fn execute_script(&mut self, script: &str) -> Result<Vec<StatementOutcome>, SqlError> {
+        script
+            .split(';')
+            .map(str::trim)
+            .filter(|s| !s.is_empty() && !s.starts_with("--"))
+            .map(|statement| self.execute(statement))
+            .collect()
+    }
+
+    fn run(&mut self, statement: Statement) -> Result<StatementOutcome, SqlError> {
+        match statement {
+            Statement::CreateTable { name, columns } => {
+                if self.tables.contains_key(&name) {
+                    return Err(SqlError::TableExists(name));
+                }
+                let defs: Vec<(&str, ValueType)> = columns
+                    .iter()
+                    .map(|(column, ty)| {
+                        (column.as_str(), match ty {
+                            ColumnType::Int => ValueType::Int,
+                            ColumnType::Text => ValueType::Name,
+                        })
+                    })
+                    .collect();
+                let schema = RelationSchema::from_pairs(&name, &defs)
+                    .map_err(|e| SqlError::Schema(e.to_string()))?;
+                self.tables.insert(
+                    name,
+                    Table { schema: Arc::new(schema), rows: Vec::new(), fds: Vec::new(), preferences: Vec::new() },
+                );
+                Ok(StatementOutcome::Created)
+            }
+            Statement::AddFd { table, fd } => {
+                let entry = self.table_mut(&table)?;
+                // Validate the FD against the schema before recording it.
+                FdSet::parse(Arc::clone(&entry.schema), &[fd.as_str()])
+                    .map_err(|e| SqlError::Schema(e.to_string()))?;
+                entry.fds.push(fd);
+                Ok(StatementOutcome::FdAdded)
+            }
+            Statement::Insert { table, rows } => {
+                let entry = self.table_mut(&table)?;
+                let count = rows.len();
+                for row in &rows {
+                    entry
+                        .schema
+                        .tuple(row.clone())
+                        .map_err(|e| SqlError::Schema(e.to_string()))?;
+                }
+                entry.rows.extend(rows);
+                Ok(StatementOutcome::Inserted(count))
+            }
+            Statement::Prefer { table, winner, loser } => {
+                // Both tuples must already be stored: a preference relates existing tuples.
+                let instance = self.instance(&table)?;
+                let entry = self.table_mut(&table)?;
+                for row in [&winner, &loser] {
+                    let tuple = entry
+                        .schema
+                        .tuple(row.clone())
+                        .map_err(|e| SqlError::Schema(e.to_string()))?;
+                    if !instance.contains_tuple(&tuple) {
+                        return Err(SqlError::Schema(format!(
+                            "PREFER references tuple {tuple}, which is not stored in `{table}`"
+                        )));
+                    }
+                }
+                entry.preferences.push((winner, loser));
+                Ok(StatementOutcome::PreferenceAdded)
+            }
+            Statement::Select(select) => self.select(&select),
+        }
+    }
+
+    fn table(&self, name: &str) -> Result<&Table, SqlError> {
+        self.tables.get(name).ok_or_else(|| SqlError::UnknownTable(name.to_string()))
+    }
+
+    /// The names of the tables defined so far, in lexicographic order.
+    pub fn table_names(&self) -> Vec<String> {
+        self.tables.keys().cloned().collect()
+    }
+
+    fn table_mut(&mut self, name: &str) -> Result<&mut Table, SqlError> {
+        self.tables.get_mut(name).ok_or_else(|| SqlError::UnknownTable(name.to_string()))
+    }
+
+    /// The instance currently stored for `table` (validated rows, set semantics).
+    pub fn instance(&self, table: &str) -> Result<RelationInstance, SqlError> {
+        let entry = self.table(table)?;
+        RelationInstance::from_rows(Arc::clone(&entry.schema), entry.rows.clone())
+            .map_err(|e| SqlError::Schema(e.to_string()))
+    }
+
+    /// The functional dependencies declared for `table`.
+    pub fn fds(&self, table: &str) -> Result<FdSet, SqlError> {
+        let entry = self.table(table)?;
+        let texts: Vec<&str> = entry.fds.iter().map(String::as_str).collect();
+        FdSet::parse(Arc::clone(&entry.schema), &texts).map_err(|e| SqlError::Schema(e.to_string()))
+    }
+
+    /// A `pdqi-core` engine for `table`, with the session's preferences installed.
+    pub fn engine(&self, table: &str) -> Result<PdqiEngine, SqlError> {
+        let entry = self.table(table)?;
+        let instance = self.instance(table)?;
+        let fds = self.fds(table)?;
+        let mut pairs = Vec::new();
+        for (winner, loser) in &entry.preferences {
+            let winner_tuple = entry.schema.tuple(winner.clone()).map_err(|e| SqlError::Schema(e.to_string()))?;
+            let loser_tuple = entry.schema.tuple(loser.clone()).map_err(|e| SqlError::Schema(e.to_string()))?;
+            let (Some(w), Some(l)) = (instance.id_of(&winner_tuple), instance.id_of(&loser_tuple)) else {
+                return Err(SqlError::Schema(
+                    "PREFER statements must reference inserted tuples".to_string(),
+                ));
+            };
+            pairs.push((w, l));
+        }
+        let engine = PdqiEngine::with_priority_pairs(instance, fds, &pairs).map_err(|e| {
+            SqlError::Schema(format!("preference cannot be installed: {e}"))
+        })?;
+        Ok(engine)
+    }
+
+    /// Builds the open conjunctive query corresponding to a `SELECT`: one variable per
+    /// column, the table atom, and the `WHERE` conditions as comparisons; non-projected
+    /// columns are existentially quantified.
+    fn select_query(
+        &self,
+        entry: &Table,
+        select: &SelectStatement,
+    ) -> Result<(Vec<String>, Formula), SqlError> {
+        let all_columns: Vec<String> =
+            entry.schema.attributes().iter().map(|a| a.name.clone()).collect();
+        let projected: Vec<String> =
+            if select.star { all_columns.clone() } else { select.columns.clone() };
+        for column in projected.iter().chain(select.conditions.iter().map(|c| &c.column)) {
+            if !all_columns.contains(column) {
+                return Err(SqlError::UnknownColumn {
+                    table: entry.schema.name().to_string(),
+                    column: column.clone(),
+                });
+            }
+        }
+        let column_var = |column: &str| format!("v_{column}");
+        let args: Vec<Term> = all_columns.iter().map(|c| var(&column_var(c)).clone()).collect();
+        let mut conjuncts = vec![atom(entry.schema.name(), args)];
+        for condition in &select.conditions {
+            let rhs = match &condition.rhs {
+                ConditionRhs::Column(column) => {
+                    if !all_columns.contains(column) {
+                        return Err(SqlError::UnknownColumn {
+                            table: entry.schema.name().to_string(),
+                            column: column.clone(),
+                        });
+                    }
+                    var(&column_var(column))
+                }
+                ConditionRhs::Constant(value) => Term::Const(value.clone()),
+            };
+            conjuncts.push(Formula::Comparison(pdqi_query::Comparison {
+                left: var(&column_var(&condition.column)),
+                op: condition.op,
+                right: rhs,
+            }));
+        }
+        let body = and_all(conjuncts);
+        // Existentially quantify the non-projected columns.
+        let hidden: Vec<String> = all_columns
+            .iter()
+            .filter(|c| !projected.contains(c))
+            .map(|c| column_var(c))
+            .collect();
+        let formula = if hidden.is_empty() {
+            body
+        } else {
+            let refs: Vec<&str> = hidden.iter().map(String::as_str).collect();
+            exists(&refs, body)
+        };
+        Ok((projected, formula))
+    }
+
+    fn select(&self, select: &SelectStatement) -> Result<StatementOutcome, SqlError> {
+        let entry = self.table(&select.table)?;
+        let (projected, formula) = self.select_query(entry, select)?;
+        let rows = match select.repairs {
+            None => {
+                // Plain evaluation over the stored (possibly inconsistent) instance.
+                let instance = self.instance(&select.table)?;
+                let evaluator = Evaluator::with_relation(&instance);
+                let answers =
+                    evaluator.answers(&formula).map_err(|e| SqlError::Query(e.to_string()))?;
+                answers
+                    .into_iter()
+                    .map(|assignment| {
+                        projected.iter().map(|c| assignment[&format!("v_{c}")].clone()).collect()
+                    })
+                    .collect::<Vec<Vec<Value>>>()
+            }
+            Some(kind) => {
+                // Certain answers over the preferred repairs. The answer rows come back in
+                // lexicographic order of the *variable names*; rebuild them in projection
+                // order through the free-variable order of the formula.
+                let engine = self.engine(&select.table)?;
+                let free = formula.free_vars();
+                let answers = engine
+                    .certain_answers(&formula, kind)
+                    .map_err(|e| SqlError::Query(e.to_string()))?;
+                answers
+                    .into_iter()
+                    .map(|row| {
+                        projected
+                            .iter()
+                            .map(|c| {
+                                let variable = format!("v_{c}");
+                                let index = free
+                                    .iter()
+                                    .position(|v| *v == variable)
+                                    .expect("projected columns are free variables");
+                                row[index].clone()
+                            })
+                            .collect()
+                    })
+                    .collect::<Vec<Vec<Value>>>()
+            }
+        };
+        let mut rows = rows;
+        rows.sort();
+        rows.dedup();
+        Ok(StatementOutcome::Rows(QueryResult { columns: projected, rows }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SETUP: &str = "\
+        CREATE TABLE Mgr (Name TEXT, Dept TEXT, Salary INT, Reports INT);\
+        ALTER TABLE Mgr ADD FD Dept -> Name Salary Reports;\
+        ALTER TABLE Mgr ADD FD Name -> Dept Salary Reports;\
+        INSERT INTO Mgr VALUES ('Mary', 'R&D', 40, 3), ('John', 'R&D', 10, 2);\
+        INSERT INTO Mgr VALUES ('Mary', 'IT', 20, 1), ('John', 'PR', 30, 4);";
+
+    fn session_with_example1() -> Session {
+        let mut session = Session::new();
+        session.execute_script(SETUP).unwrap();
+        session
+    }
+
+    fn rows(outcome: StatementOutcome) -> QueryResult {
+        match outcome {
+            StatementOutcome::Rows(result) => result,
+            other => panic!("expected rows, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ddl_dml_and_plain_select() {
+        let mut session = session_with_example1();
+        let result = rows(session.execute("SELECT Name FROM Mgr WHERE Dept = 'R&D'").unwrap());
+        assert_eq!(result.columns, vec!["Name"]);
+        assert_eq!(result.rows.len(), 2);
+    }
+
+    #[test]
+    fn certain_answers_under_the_plain_repair_family() {
+        let mut session = session_with_example1();
+        // Which departments certainly have a manager? None without preferences.
+        let result =
+            rows(session.execute("SELECT Dept FROM Mgr WITH REPAIRS ALL").unwrap());
+        assert!(result.rows.is_empty());
+        // But every repair has some manager called Mary and some called John.
+        let result = rows(session.execute("SELECT Name FROM Mgr WITH REPAIRS ALL").unwrap());
+        assert_eq!(result.rows.len(), 2);
+    }
+
+    #[test]
+    fn preferences_change_the_certain_answers() {
+        let mut session = session_with_example1();
+        // Example 3's reliability information as explicit tuple preferences.
+        session
+            .execute("PREFER ('Mary', 'R&D', 40, 3) OVER ('Mary', 'IT', 20, 1) IN Mgr")
+            .unwrap();
+        session
+            .execute("PREFER ('John', 'R&D', 10, 2) OVER ('John', 'PR', 30, 4) IN Mgr")
+            .unwrap();
+        let result =
+            rows(session.execute("SELECT Dept FROM Mgr WITH REPAIRS GLOBAL").unwrap());
+        assert_eq!(result.rows, vec![vec![Value::name("R&D")]]);
+        // The star projection and WHERE clauses compose with the repair clause.
+        let result = rows(
+            session
+                .execute("SELECT * FROM Mgr WHERE Salary >= 10 WITH REPAIRS GLOBAL")
+                .unwrap(),
+        );
+        assert_eq!(result.columns.len(), 4);
+        assert!(result.rows.is_empty());
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        let mut session = session_with_example1();
+        assert!(matches!(
+            session.execute("SELECT Name FROM Nope"),
+            Err(SqlError::UnknownTable(_))
+        ));
+        assert!(matches!(
+            session.execute("SELECT Bogus FROM Mgr"),
+            Err(SqlError::UnknownColumn { .. })
+        ));
+        assert!(matches!(
+            session.execute("INSERT INTO Mgr VALUES (1, 'x', 1, 1)"),
+            Err(SqlError::Schema(_))
+        ));
+        assert!(matches!(
+            session.execute("CREATE TABLE Mgr (A INT)"),
+            Err(SqlError::TableExists(_))
+        ));
+        assert!(matches!(
+            session.execute("PREFER ('Ghost','X',1,1) OVER ('Mary','IT',20,1) IN Mgr"),
+            Err(SqlError::Schema(_))
+        ));
+        assert!(matches!(session.execute("SELECT FROM"), Err(SqlError::Parse(_))));
+    }
+
+    #[test]
+    fn engine_and_metadata_accessors() {
+        let session = session_with_example1();
+        assert_eq!(session.instance("Mgr").unwrap().len(), 4);
+        assert_eq!(session.fds("Mgr").unwrap().len(), 2);
+        let engine = session.engine("Mgr").unwrap();
+        assert_eq!(engine.count_repairs(), 3);
+    }
+}

@@ -1,0 +1,91 @@
+//! The paper's future-work section, made runnable: cyclic user preferences and
+//! priorities over denial-constraint (hypergraph) conflicts.
+//!
+//! Part 1 — a schedule table whose conflict-resolution rules of thumb contradict each
+//! other. The raw preference statements contain a cycle; condensing them keeps the
+//! uncontroversial part and the paper's machinery applies unchanged.
+//!
+//! Part 2 — a denial constraint involving three tuples at once ("no employee may earn
+//! more than the sum of her two managers"), where conflicts are hyperedges. The `≪`
+//! lifting still selects preferred repairs, but the binary notion of a "total" priority
+//! splits in two, and the weaker reading no longer pins down a unique repair.
+//!
+//! Run with `cargo run --example beyond_the_paper`.
+
+use std::sync::Arc;
+
+use pdqi::constraints::ConflictHypergraph;
+use pdqi::core::FamilyKind;
+use pdqi::ext::{hyper_globally_optimal_repairs, CyclicPreference, HyperPriority};
+use pdqi::{FdSet, RelationInstance, RelationSchema, RepairContext, TupleId, TupleSet, Value, ValueType};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // -------------------------------------------------------------------- Part 1
+    println!("== Part 1: cyclic preferences, condensed ==\n");
+    let schema = Arc::new(RelationSchema::from_pairs(
+        "OnCall",
+        &[("Week", ValueType::Int), ("Engineer", ValueType::Name), ("Loaded", ValueType::Int)],
+    )?);
+    // Week is a key; three sources claim different engineers for week 12.
+    let instance = RelationInstance::from_rows(
+        Arc::clone(&schema),
+        vec![
+            vec![Value::int(12), Value::name("Ana"), Value::int(3)],  // t0 rota spreadsheet
+            vec![Value::int(12), Value::name("Bo"), Value::int(1)],   // t1 team calendar
+            vec![Value::int(12), Value::name("Cleo"), Value::int(2)], // t2 pager config
+            vec![Value::int(13), Value::name("Bo"), Value::int(2)],   // t3 (conflict-free)
+        ],
+    )?;
+    let fds = FdSet::parse(Arc::clone(&schema), &["Week -> Engineer Loaded"])?;
+    let ctx = RepairContext::new(instance, fds);
+    println!("conflicts: {}, repairs: {}", ctx.graph().edge_count(), ctx.count_repairs());
+
+    // Two rules of thumb: "the rota spreadsheet beats the other sources" and "the
+    // least-loaded engineer wins". They agree that the pager config (Cleo) loses, but
+    // contradict each other on Ana vs. Bo — a preference cycle.
+    let mut raw = CyclicPreference::new(Arc::clone(ctx.graph()));
+    raw.add(TupleId(0), TupleId(1))?; // spreadsheet over calendar
+    raw.add(TupleId(0), TupleId(2))?; // spreadsheet over pager config
+    raw.add(TupleId(1), TupleId(0))?; // least-loaded: Bo (1) over Ana (3)
+    raw.add(TupleId(1), TupleId(2))?; // least-loaded: Bo (1) over Cleo (2)
+    println!("raw statements: {}, acyclic: {}", raw.edge_count(), raw.is_acyclic());
+
+    let (priority, report) = raw.condense();
+    println!(
+        "condensation kept {} of {} statements ({} dropped in {} preference cycle(s))",
+        report.kept_edges, report.raw_edges, report.dropped_edges, report.cycles
+    );
+    for kind in [FamilyKind::Rep, FamilyKind::Global] {
+        let repairs = kind.family().preferred_repairs(&ctx, &priority, usize::MAX);
+        println!("  {:<6} selects {} repair(s)", kind.label(), repairs.len());
+    }
+
+    // -------------------------------------------------------------------- Part 2
+    println!("\n== Part 2: a ternary (denial-constraint) conflict ==\n");
+    // One conflict involving three tuples at once: {t0, t1, t2} cannot coexist.
+    let ternary = ConflictHypergraph::from_hyperedges(
+        3,
+        vec![TupleSet::from_ids([TupleId(0), TupleId(1), TupleId(2)])],
+    );
+    let weak = HyperPriority::from_pairs(&ternary, &[(TupleId(0), TupleId(1))])?;
+    println!(
+        "priority t0 ≻ t1 covers every hyperedge: {}, pairwise total: {}",
+        weak.covers_every_hyperedge(&ternary),
+        weak.is_pairwise_total()
+    );
+    let preferred = hyper_globally_optimal_repairs(&ternary, &weak, usize::MAX);
+    println!("…but it leaves {} preferred repairs: {:?}", preferred.len(), preferred);
+
+    let strong = HyperPriority::from_pairs(
+        &ternary,
+        &[(TupleId(0), TupleId(1)), (TupleId(1), TupleId(2)), (TupleId(0), TupleId(2))],
+    )?;
+    let preferred = hyper_globally_optimal_repairs(&ternary, &strong, usize::MAX);
+    println!(
+        "orienting every co-occurring pair ({} edges) narrows that to {:?}",
+        strong.edge_count(),
+        preferred
+    );
+    println!("\nwhich is exactly the ambiguity the paper's concluding section warns about.");
+    Ok(())
+}

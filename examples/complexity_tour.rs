@@ -1,0 +1,97 @@
+//! A tour of the complexity landscape of Fig. 5.
+//!
+//! Run with `cargo run --example complexity_tour --release`.
+//!
+//! The example demonstrates, on small but growing inputs, the shape of every entry in
+//! the paper's complexity table: the repair space explodes exponentially (Example 4),
+//! repair checking and Algorithm 1 stay polynomial, the quantifier-free CQA algorithm
+//! under `Rep` avoids repair enumeration entirely, and the SAT-reduction instances show
+//! why conjunctive-query CQA is co-NP-hard.
+
+use std::time::Instant;
+
+use pdqi::core::cqa_ground::ground_consistent_answer;
+use pdqi::core::{clean_with_total_priority, FamilyKind, RepairContext};
+use pdqi::datagen::{example4_instance, random_3cnf, random_ground_query, random_total_priority};
+use pdqi::solve::cqa_instance_from_3sat;
+use pdqi::Evaluator;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(7);
+
+    println!("== Example 4: the repair space explodes, its representation does not ==");
+    for n in [4usize, 10, 20, 60] {
+        let (instance, fds) = example4_instance(n);
+        let ctx = RepairContext::new(instance, fds);
+        println!(
+            "  n = {n:>3}: {:>5} tuples, {:>4} conflict edges, {} repairs (counted via components)",
+            ctx.instance().len(),
+            ctx.graph().edge_count(),
+            ctx.count_repairs()
+        );
+    }
+
+    println!("\n== Repair checking and Algorithm 1 stay polynomial ==");
+    for n in [100usize, 1_000, 5_000] {
+        let (instance, fds) = example4_instance(n);
+        let ctx = RepairContext::new(instance, fds);
+        let priority = random_total_priority(ctx.graph().clone(), &mut rng);
+        let start = Instant::now();
+        let cleaned = clean_with_total_priority(ctx.graph(), &priority).expect("total priority");
+        let clean_time = start.elapsed();
+        let start = Instant::now();
+        let is_repair = ctx.is_repair(&cleaned);
+        let check_time = start.elapsed();
+        let start = Instant::now();
+        let preferred = FamilyKind::Common.family().is_preferred(&ctx, &priority, &cleaned);
+        let c_check_time = start.elapsed();
+        println!(
+            "  n = {n:>5}: Algorithm 1 in {clean_time:?}, repair check in {check_time:?} ({is_repair}), \
+             C-repair check in {c_check_time:?} ({preferred})"
+        );
+    }
+
+    println!("\n== Quantifier-free CQA under Rep: polynomial, no repair enumeration ==");
+    for n in [10usize, 100, 1_000] {
+        let (instance, fds) = example4_instance(n);
+        let ctx = RepairContext::new(instance, fds);
+        let query = random_ground_query(ctx.instance(), 4, &mut rng);
+        let start = Instant::now();
+        let answer = ground_consistent_answer(&ctx, &query).expect("ground query");
+        println!(
+            "  n = {n:>5} ({} repairs): consistent answer {answer} in {:?}",
+            ctx.count_repairs(),
+            start.elapsed()
+        );
+    }
+
+    println!("\n== Conjunctive-query CQA is co-NP-hard: SAT instances in disguise ==");
+    for (vars, clauses) in [(4usize, 8usize), (6, 14), (8, 20)] {
+        let formula = random_3cnf(vars, clauses, &mut rng);
+        let reduction = cqa_instance_from_3sat(&formula);
+        let ctx = RepairContext::new(reduction.instance.clone(), reduction.fds.clone());
+        let start = Instant::now();
+        // Consistent answer to the fixed conjunctive query by enumerating repairs.
+        let mut certainly_true = true;
+        ctx.for_each_repair(|repair| {
+            let holds = Evaluator::with_restricted(ctx.instance(), repair)
+                .eval_closed(&reduction.query)
+                .expect("reduction query evaluates");
+            if !holds {
+                certainly_true = false;
+                return std::ops::ControlFlow::Break(());
+            }
+            std::ops::ControlFlow::Continue(())
+        });
+        let sat = formula.solve().is_sat();
+        println!(
+            "  {vars} vars / {clauses} clauses: {} repairs, consistent answer {certainly_true} \
+             (formula satisfiable: {sat}) in {:?}",
+            ctx.count_repairs(),
+            start.elapsed()
+        );
+        assert_eq!(certainly_true, !sat, "the reduction and the SAT oracle must agree");
+    }
+}

@@ -1,0 +1,77 @@
+//! Driving the framework through the SQL front end.
+//!
+//! Run with `cargo run --example sql_session`.
+//!
+//! The same walkthrough as `quickstart`, but expressed entirely in the SQL subset:
+//! schema definition, functional dependencies, data loading, tuple preferences and
+//! repair-aware queries via `WITH REPAIRS <family>`.
+
+use pdqi::sql::{Session, StatementOutcome};
+
+fn main() {
+    let mut session = Session::new();
+    let script = "\
+        CREATE TABLE Mgr (Name TEXT, Dept TEXT, Salary INT, Reports INT);\n\
+        ALTER TABLE Mgr ADD FD Dept -> Name Salary Reports;\n\
+        ALTER TABLE Mgr ADD FD Name -> Dept Salary Reports;\n\
+        INSERT INTO Mgr VALUES ('Mary', 'R&D', 40, 3), ('John', 'R&D', 10, 2);\n\
+        INSERT INTO Mgr VALUES ('Mary', 'IT', 20, 1), ('John', 'PR', 30, 4);";
+    session.execute_script(script).expect("the setup script is valid");
+    println!("Loaded the Example 1 instance through SQL.");
+
+    let queries = [
+        ("Everything stored (plain SQL evaluation)", "SELECT * FROM Mgr"),
+        ("Who certainly manages something (classic CQA)", "SELECT Name FROM Mgr WITH REPAIRS ALL"),
+        (
+            "Departments with a certain manager (classic CQA)",
+            "SELECT Dept FROM Mgr WITH REPAIRS ALL",
+        ),
+    ];
+    for (label, sql) in queries {
+        run(&mut session, label, sql);
+    }
+
+    println!("\n-- Installing the Example 3 preferences (s3 is the least reliable source) --");
+    session
+        .execute("PREFER ('Mary', 'R&D', 40, 3) OVER ('Mary', 'IT', 20, 1) IN Mgr")
+        .expect("valid preference");
+    session
+        .execute("PREFER ('John', 'R&D', 10, 2) OVER ('John', 'PR', 30, 4) IN Mgr")
+        .expect("valid preference");
+
+    let preferred_queries = [
+        (
+            "Departments with a certain manager (G-Rep)",
+            "SELECT Dept FROM Mgr WITH REPAIRS GLOBAL",
+        ),
+        (
+            "Well-paid certain managers (G-Rep)",
+            "SELECT Name FROM Mgr WHERE Salary >= 10 WITH REPAIRS GLOBAL",
+        ),
+        (
+            "Same question under C-Rep",
+            "SELECT Name FROM Mgr WHERE Salary >= 10 WITH REPAIRS COMMON",
+        ),
+    ];
+    for (label, sql) in preferred_queries {
+        run(&mut session, label, sql);
+    }
+}
+
+fn run(session: &mut Session, label: &str, sql: &str) {
+    println!("\n{label}\n  {sql}");
+    match session.execute(sql) {
+        Ok(StatementOutcome::Rows(result)) => {
+            println!("  -> columns: {}", result.columns.join(", "));
+            if result.rows.is_empty() {
+                println!("  -> (no certain rows)");
+            }
+            for row in result.rows {
+                let rendered: Vec<String> = row.iter().map(ToString::to_string).collect();
+                println!("  -> {}", rendered.join(", "));
+            }
+        }
+        Ok(other) => println!("  -> {other:?}"),
+        Err(error) => println!("  !! {error}"),
+    }
+}

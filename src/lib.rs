@@ -1,0 +1,46 @@
+//! `pdqi` — Preference-Driven Querying of Inconsistent relational databases.
+//!
+//! This façade crate re-exports the whole workspace so applications can depend on a
+//! single crate:
+//!
+//! * [`relation`] — the relational substrate (values, schemas, tuples, instances),
+//! * [`constraints`] — functional dependencies, denial constraints, conflict graphs,
+//! * [`priority`] — priorities (acyclic conflict-graph orientations), winnow, generators,
+//! * [`query`] — first-order queries: AST, parser, evaluator, classification,
+//! * [`solve`] — repair enumeration, SAT, domination search, hardness reductions,
+//! * [`core`] — the paper's contribution: repairs, L/S/G/C preferred-repair families,
+//!   properties P1–P4 and preferred consistent query answers,
+//! * [`cleaning`] — the data-cleaning baseline,
+//! * [`baselines`] — the Section 5 related-work baselines (numeric levels, preferred
+//!   subtheories, prioritized removal, ranking/fusion, repair ranking, repair constraints),
+//! * [`aggregate`] — range-consistent aggregation answers (MIN/MAX/COUNT/SUM/AVG) over
+//!   preferred repairs, with a polynomial closed form for key-induced conflicts,
+//! * [`ext`] — the paper's future-work extensions: cyclic preference relations and
+//!   priorities over conflict hypergraphs (denial constraints),
+//! * [`sql`] — a small SQL front end with a `WITH REPAIRS <family>` clause,
+//! * [`datagen`] — synthetic workload generators used by the experiments.
+//!
+//! The most commonly used types are also re-exported at the top level.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use pdqi_aggregate as aggregate;
+pub use pdqi_baselines as baselines;
+pub use pdqi_cleaning as cleaning;
+pub use pdqi_constraints as constraints;
+pub use pdqi_core as core;
+pub use pdqi_datagen as datagen;
+pub use pdqi_ext as ext;
+pub use pdqi_priority as priority;
+pub use pdqi_query as query;
+pub use pdqi_relation as relation;
+pub use pdqi_solve as solve;
+pub use pdqi_sql as sql;
+
+pub use pdqi_constraints::{ConflictGraph, FdSet, FunctionalDependency};
+pub use pdqi_core::{CqaOutcome, FamilyKind, PdqiEngine, RepairContext};
+pub use pdqi_priority::Priority;
+pub use pdqi_query::{parse_formula, Evaluator, Formula};
+pub use pdqi_relation::{RelationInstance, RelationSchema, TupleId, TupleSet, Value, ValueType};
+pub use pdqi_sql::Session;

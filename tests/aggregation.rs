@@ -1,0 +1,152 @@
+//! Property-based checks for the aggregation subsystem: the closed form agrees with the
+//! enumeration evaluator on key-induced conflicts, ranges behave monotonically under
+//! priority extension, and preferred families always produce sub-ranges of the plain
+//! repair range.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use pdqi::aggregate::{
+    is_clique_partition, range_by_enumeration, range_closed_form, AggregateFunction,
+    AggregateQuery,
+};
+use pdqi::core::FamilyKind;
+use pdqi::priority::random_total_extension;
+use pdqi::{FdSet, RelationInstance, RelationSchema, RepairContext, Value, ValueType};
+
+/// Builds an employee instance with the key dependency `Name → Salary Dept` from a list
+/// of (name index, dept index, salary) triples.
+fn employee_context(rows: &[(u8, u8, i16)]) -> RepairContext {
+    let schema = Arc::new(
+        RelationSchema::from_pairs(
+            "Emp",
+            &[("Name", ValueType::Name), ("Dept", ValueType::Name), ("Salary", ValueType::Int)],
+        )
+        .unwrap(),
+    );
+    let instance = RelationInstance::from_rows(
+        Arc::clone(&schema),
+        rows.iter()
+            .map(|&(n, d, s)| {
+                vec![
+                    Value::name(&format!("n{n}")),
+                    Value::name(&format!("d{d}")),
+                    Value::int(s as i64),
+                ]
+            })
+            .collect(),
+    )
+    .unwrap();
+    let fds = FdSet::parse(schema, &["Name -> Dept Salary"]).unwrap();
+    RepairContext::new(instance, fds)
+}
+
+fn rows_strategy() -> impl Strategy<Value = Vec<(u8, u8, i16)>> {
+    prop::collection::vec((0u8..5, 0u8..3, -50i16..100), 1..12)
+}
+
+fn functions() -> [AggregateFunction; 5] {
+    [
+        AggregateFunction::Count,
+        AggregateFunction::Sum,
+        AggregateFunction::Min,
+        AggregateFunction::Max,
+        AggregateFunction::Avg,
+    ]
+}
+
+fn query_for(ctx: &RepairContext, function: AggregateFunction, filtered: bool) -> AggregateQuery {
+    let schema = ctx.instance().schema();
+    let base = if function == AggregateFunction::Count {
+        AggregateQuery::count()
+    } else {
+        AggregateQuery::over(schema, function, "Salary").unwrap()
+    };
+    if filtered {
+        base.filtered(schema, "Dept", Value::name("d0")).unwrap()
+    } else {
+        base
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Key-induced conflicts always form a clique partition, and on them the closed form
+    /// agrees with the enumeration-based evaluator for every aggregate (and selection)
+    /// it supports.
+    #[test]
+    fn closed_form_agrees_with_enumeration(rows in rows_strategy(), filtered in any::<bool>()) {
+        let ctx = employee_context(&rows);
+        prop_assert!(is_clique_partition(ctx.graph()));
+        let empty = ctx.empty_priority();
+        let family = FamilyKind::Rep.family();
+        for function in functions() {
+            let query = query_for(&ctx, function, filtered);
+            match range_closed_form(&ctx, &query) {
+                Err(_) => continue, // AVG under a skippable selection: enumeration only.
+                Ok(closed) => {
+                    let brute = range_by_enumeration(&ctx, &empty, family.as_ref(), &query);
+                    prop_assert_eq!(closed.glb, brute.glb, "{} glb", function);
+                    prop_assert_eq!(closed.lub, brute.lub, "{} lub", function);
+                    prop_assert_eq!(
+                        closed.undefined_somewhere,
+                        brute.undefined_somewhere,
+                        "{} definedness",
+                        function
+                    );
+                }
+            }
+        }
+    }
+
+    /// Extending the priority to a total one narrows every family's range to (at most)
+    /// the plain range, and the preferred range of any family is contained in Rep's.
+    #[test]
+    fn preferred_ranges_are_contained_in_the_plain_range(
+        rows in rows_strategy(),
+        seed in any::<u64>(),
+    ) {
+        let ctx = employee_context(&rows);
+        let empty = ctx.empty_priority();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let total = random_total_extension(&empty, &mut rng);
+        let query = query_for(&ctx, AggregateFunction::Sum, false);
+        let plain = range_by_enumeration(&ctx, &empty, FamilyKind::Rep.family().as_ref(), &query);
+        for kind in FamilyKind::ALL {
+            for priority in [&empty, &total] {
+                let range =
+                    range_by_enumeration(&ctx, priority, kind.family().as_ref(), &query);
+                prop_assert!(range.examined >= 1, "P1: at least one preferred repair");
+                if let (Some(lo), Some(hi), Some(plo), Some(phi)) =
+                    (range.glb, range.lub, plain.glb, plain.lub)
+                {
+                    prop_assert!(lo >= plo && hi <= phi, "{} out of hull", kind.label());
+                }
+            }
+            // Under a total priority G-Rep and C-Rep are categorical, so their range is
+            // a single point.
+            if matches!(kind, FamilyKind::Global | FamilyKind::Common) {
+                let range =
+                    range_by_enumeration(&ctx, &total, kind.family().as_ref(), &query);
+                prop_assert_eq!(range.examined, 1);
+                prop_assert!(range.is_exact());
+            }
+        }
+    }
+
+    /// COUNT(*) is invariant across repairs exactly when conflicts are key-induced, and
+    /// equals the number of conflict-graph components.
+    #[test]
+    fn count_is_determined_by_the_component_structure(rows in rows_strategy()) {
+        let ctx = employee_context(&rows);
+        let query = AggregateQuery::count();
+        let range = range_closed_form(&ctx, &query).unwrap();
+        prop_assert!(range.is_exact());
+        let components = ctx.graph().connected_components().len() as f64;
+        prop_assert_eq!(range.glb, Some(components));
+    }
+}

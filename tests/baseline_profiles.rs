@@ -1,0 +1,248 @@
+//! Section 5 of the paper characterises the related approaches by which of the desirable
+//! properties P1–P4 they satisfy. This suite replays those claims against our
+//! implementations of the baselines, on randomized instances, using the same property
+//! checkers that validate the paper's own families.
+
+use std::ops::ControlFlow;
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use pdqi::baselines::{
+    grosof_resolution, LevelAssignment, NumericLevelFamily, PreferredSubtheories,
+    RepairConstraint, RepairConstraintFamily, RepairRankingFamily, Stratification,
+};
+use pdqi::core::properties::{check_p1, check_p3, check_p4};
+use pdqi::core::RepairFamily;
+use pdqi::datagen::random_conflict_instance;
+use pdqi::priority::random_total_extension;
+use pdqi::{FdSet, RelationInstance, RelationSchema, RepairContext, TupleSet, Value, ValueType};
+
+/// A pool of modest random instances with a non-trivial conflict structure.
+fn random_contexts(seed: u64, count: usize) -> Vec<RepairContext> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            let tuples = rng.gen_range(6..14);
+            let (instance, fds) = random_conflict_instance(tuples, 0.4, &mut rng);
+            RepairContext::new(instance, fds)
+        })
+        .filter(|ctx| !ctx.is_consistent())
+        .collect()
+}
+
+#[test]
+fn numeric_levels_satisfy_p1_and_p4_but_not_p3_for_informative_levels() {
+    let mut rng = StdRng::seed_from_u64(7);
+    for ctx in random_contexts(7, 8) {
+        let n = ctx.instance().len();
+        // Strictly decreasing levels: the induced priority is total, so the semantics
+        // behaves like G-Rep under a total priority — non-empty and categorical.
+        let strict = NumericLevelFamily::new(LevelAssignment::new(
+            (0..n as u64).rev().map(|l| l + 1).collect(),
+        ));
+        let empty = ctx.empty_priority();
+        assert!(check_p1(&strict, &ctx, &empty));
+        assert_eq!(strict.preferred_repairs(&ctx, &empty, 2).len(), 1);
+        // Uniform levels carry no information: every repair is selected (P3-like), and
+        // with several repairs categoricity necessarily fails.
+        let uniform = NumericLevelFamily::new(LevelAssignment::uniform(n));
+        assert!(check_p3(&uniform, &ctx));
+        if ctx.count_repairs() > 1 {
+            assert!(uniform.preferred_repairs(&ctx, &empty, 3).len() > 1);
+        }
+        // But informative levels break P3: the no-priority behaviour of the paper's
+        // framework cannot be recovered once levels are attached to the facts.
+        if ctx.count_repairs() > 1 {
+            assert!(!check_p3(&strict, &ctx));
+        }
+        let _ = rng.gen::<u64>();
+    }
+}
+
+#[test]
+fn numeric_levels_cannot_express_per_constraint_priorities() {
+    // Section 5's critique of [9] on the Example 7 shape: three tuples share a key, the
+    // user orients ta ≻ tb and tb ≻ tc but wants to stay neutral on the ta–tc conflict.
+    // No level assignment produces exactly that priority. Every priority the levels *can*
+    // produce, on the other hand, is accepted by the representability test.
+    let schema = Arc::new(
+        RelationSchema::from_pairs("R", &[("A", ValueType::Int), ("B", ValueType::Int)]).unwrap(),
+    );
+    let instance = RelationInstance::from_rows(
+        Arc::clone(&schema),
+        vec![
+            vec![Value::int(1), Value::int(1)],
+            vec![Value::int(1), Value::int(2)],
+            vec![Value::int(1), Value::int(3)],
+        ],
+    )
+    .unwrap();
+    let fds = FdSet::parse(schema, &["A -> B"]).unwrap();
+    let ctx = RepairContext::new(instance, fds);
+    let (ta, tb, tc) = (pdqi::TupleId(0), pdqi::TupleId(1), pdqi::TupleId(2));
+    let partial = ctx.priority_from_pairs(&[(ta, tb), (tb, tc)]).unwrap();
+    assert!(!pdqi::baselines::numeric::is_level_representable(&partial));
+    for levels in [vec![0, 0, 0], vec![3, 2, 1], vec![2, 2, 1]] {
+        let induced =
+            LevelAssignment::new(levels).induced_priority(std::sync::Arc::clone(ctx.graph()));
+        assert!(pdqi::baselines::numeric::is_level_representable(&induced));
+    }
+}
+
+#[test]
+fn preferred_subtheories_satisfy_p1_p3_and_select_only_repairs() {
+    let mut rng = StdRng::seed_from_u64(23);
+    for ctx in random_contexts(23, 8) {
+        let n = ctx.instance().len();
+        let strata: Vec<usize> = (0..n).map(|_| rng.gen_range(0..3)).collect();
+        let family = PreferredSubtheories::new(Stratification::new(strata));
+        let empty = ctx.empty_priority();
+        assert!(check_p1(&family, &ctx, &empty));
+        for subtheory in family.preferred_repairs(&ctx, &empty, usize::MAX) {
+            assert!(ctx.is_repair(&subtheory));
+        }
+        // The flat stratification is non-discriminating (P3).
+        let flat = PreferredSubtheories::new(Stratification::flat(n));
+        assert!(check_p3(&flat, &ctx));
+    }
+}
+
+#[test]
+fn grosof_removal_is_unique_but_loses_information_without_full_priorities() {
+    let mut rng = StdRng::seed_from_u64(41);
+    let mut saw_information_loss = false;
+    for ctx in random_contexts(41, 10) {
+        // With the empty priority the construction keeps only conflict-free tuples.
+        let empty = ctx.empty_priority();
+        let outcome = grosof_resolution(ctx.graph(), &empty);
+        assert_eq!(outcome.kept, ctx.graph().isolated_vertices());
+        if ctx.count_repairs() > 1 {
+            assert!(!outcome.is_repair(ctx.graph()));
+            saw_information_loss = true;
+        }
+        // With a total priority the construction coincides with Algorithm 1's unique
+        // repair, so no information is lost.
+        let total = random_total_extension(&empty, &mut rng);
+        let resolved = grosof_resolution(ctx.graph(), &total);
+        assert!(resolved.is_repair(ctx.graph()));
+        assert_eq!(resolved.information_loss(), 0);
+        assert!(check_p4(&pdqi::core::families::CommonOptimal, &ctx, &total));
+    }
+    assert!(saw_information_loss);
+}
+
+#[test]
+fn repair_ranking_always_selects_a_repair_and_ignores_the_priority() {
+    let mut rng = StdRng::seed_from_u64(59);
+    for ctx in random_contexts(59, 8) {
+        let n = ctx.instance().len();
+        let weights: Vec<i64> = (0..n).map(|_| rng.gen_range(-5..20)).collect();
+        let family = RepairRankingFamily::new(weights);
+        let empty = ctx.empty_priority();
+        assert!(check_p1(&family, &ctx, &empty));
+        // The selected repairs are exactly the rank maximisers.
+        let best = family.max_rank(&ctx);
+        for repair in family.preferred_repairs(&ctx, &empty, usize::MAX) {
+            assert!(ctx.is_repair(&repair));
+            assert_eq!(family.rank(&repair), best);
+        }
+        // Ignoring the priority: the selection under a total priority is identical.
+        let total = random_total_extension(&empty, &mut rng);
+        assert_eq!(
+            family.preferred_repairs(&ctx, &empty, usize::MAX),
+            family.preferred_repairs(&ctx, &total, usize::MAX)
+        );
+    }
+}
+
+#[test]
+fn repair_constraints_are_monotone_but_can_select_nothing() {
+    // Random part: adding constraints never enlarges the selection (the P2 analogue).
+    let mut rng = StdRng::seed_from_u64(73);
+    for ctx in random_contexts(73, 8) {
+        let all = ctx.instance().all_ids();
+        let ids: Vec<_> = all.iter().collect();
+        let mut family = RepairConstraintFamily::default();
+        let empty = ctx.empty_priority();
+        let mut previous = family.preferred_repairs(&ctx, &empty, usize::MAX);
+        for _ in 0..4 {
+            let a = ids[rng.gen_range(0..ids.len())];
+            let b = ids[rng.gen_range(0..ids.len())];
+            family.add(RepairConstraint::new(
+                TupleSet::from_ids([a]),
+                TupleSet::from_ids([b]),
+            ));
+            let current = family.preferred_repairs(&ctx, &empty, usize::MAX);
+            assert!(current.iter().all(|r| previous.contains(r)));
+            previous = current;
+        }
+    }
+
+    // Deterministic part: a contradictory pair of constraints over one conflicting pair
+    // of tuples selects nothing (P1 fails), and the weakening of [12] restores P1.
+    let schema = Arc::new(
+        RelationSchema::from_pairs("R", &[("A", ValueType::Int), ("B", ValueType::Int)]).unwrap(),
+    );
+    let instance = RelationInstance::from_rows(
+        Arc::clone(&schema),
+        vec![
+            vec![Value::int(1), Value::int(1)],
+            vec![Value::int(1), Value::int(2)],
+        ],
+    )
+    .unwrap();
+    let fds = FdSet::parse(schema, &["A -> B"]).unwrap();
+    let ctx = RepairContext::new(instance, fds);
+    let family = RepairConstraintFamily::new(vec![
+        RepairConstraint::new(
+            TupleSet::from_ids([pdqi::TupleId(0)]),
+            TupleSet::from_ids([pdqi::TupleId(1)]),
+        ),
+        RepairConstraint::new(
+            TupleSet::from_ids([pdqi::TupleId(1)]),
+            TupleSet::from_ids([pdqi::TupleId(0)]),
+        ),
+    ]);
+    let empty = ctx.empty_priority();
+    assert!(!check_p1(&family, &ctx, &empty));
+    let (weakened, dropped) = family.weakened(&ctx);
+    assert_eq!(dropped, 1);
+    assert!(check_p1(&weakened, &ctx, &empty));
+}
+
+#[test]
+fn every_baseline_family_agrees_with_exhaustive_filtering() {
+    // The `for_each_preferred` fast paths must agree with membership-by-definition.
+    let mut rng = StdRng::seed_from_u64(97);
+    for ctx in random_contexts(97, 5) {
+        let n = ctx.instance().len();
+        let levels: Vec<u64> = (0..n).map(|_| rng.gen_range(0..3)).collect();
+        let weights: Vec<i64> = (0..n).map(|_| rng.gen_range(0..5)).collect();
+        let strata: Vec<usize> = levels.iter().map(|&l| 2 - l as usize).collect();
+        let families: Vec<Box<dyn RepairFamily>> = vec![
+            Box::new(NumericLevelFamily::new(LevelAssignment::new(levels))),
+            Box::new(PreferredSubtheories::new(Stratification::new(strata))),
+            Box::new(RepairRankingFamily::new(weights)),
+            Box::new(RepairConstraintFamily::default()),
+        ];
+        let empty = ctx.empty_priority();
+        for family in &families {
+            let enumerated = family.preferred_repairs(&ctx, &empty, usize::MAX);
+            let mut filtered = Vec::new();
+            ctx.for_each_repair(|repair| {
+                if family.is_preferred(&ctx, &empty, repair) {
+                    filtered.push(repair.clone());
+                }
+                ControlFlow::Continue(())
+            });
+            let key = |s: &TupleSet| s.iter().map(|t| t.0).collect::<Vec<_>>();
+            let mut enumerated = enumerated;
+            let mut filtered = filtered;
+            enumerated.sort_by_key(key);
+            filtered.sort_by_key(key);
+            assert_eq!(enumerated, filtered, "family {} disagrees", family.name());
+        }
+    }
+}

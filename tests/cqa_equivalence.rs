@@ -1,0 +1,102 @@
+//! Cross-checks between independently implemented consistent-query-answering procedures:
+//! the polynomial ground-query algorithm vs. naive repair enumeration, the engine's fast
+//! path vs. the generic path, and the SAT reduction vs. the DPLL oracle.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use pdqi::core::cqa_ground::ground_consistent_answer;
+use pdqi::core::cqa::preferred_consistent_answer;
+use pdqi::core::AllRepairs;
+use pdqi::datagen::{random_3cnf, random_conflict_instance, random_ground_query};
+use pdqi::solve::cqa_instance_from_3sat;
+use pdqi::{FamilyKind, PdqiEngine, RepairContext};
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// The polynomial-time ground-query algorithm agrees with naive repair enumeration.
+    #[test]
+    fn ground_cqa_agrees_with_enumeration(seed in 0u64..1_000, n in 3usize..12, literals in 1usize..6) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (instance, fds) = random_conflict_instance(n, 0.8, &mut rng);
+        let ctx = RepairContext::new(instance, fds);
+        let query = random_ground_query(ctx.instance(), literals, &mut rng);
+        let fast = ground_consistent_answer(&ctx, &query).unwrap();
+        let empty = ctx.empty_priority();
+        let naive = preferred_consistent_answer(&ctx, &empty, &AllRepairs, &query)
+            .unwrap()
+            .certainly_true;
+        prop_assert_eq!(fast, naive, "disagreement on {}", query);
+    }
+
+    /// The engine's automatic fast path produces the same outcome as forcing the generic
+    /// enumeration through a non-Rep family with the empty priority (P3 makes them the
+    /// same set of repairs).
+    #[test]
+    fn engine_fast_path_matches_generic_path(seed in 0u64..1_000, n in 3usize..10, literals in 1usize..5) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (instance, fds) = random_conflict_instance(n, 0.7, &mut rng);
+        let engine = PdqiEngine::new(instance, fds);
+        let query = random_ground_query(engine.instance(), literals, &mut rng);
+        let fast = engine.consistent_answer(&query, FamilyKind::Rep).unwrap();
+        let generic = engine.consistent_answer(&query, FamilyKind::Global).unwrap();
+        prop_assert_eq!(fast.certainly_true, generic.certainly_true);
+        prop_assert_eq!(fast.certainly_false, generic.certainly_false);
+    }
+}
+
+/// The reduction's defining property checked against the DPLL oracle on random 3-CNF
+/// formulas around the satisfiability threshold (small sizes keep enumeration feasible).
+#[test]
+fn sat_reduction_agrees_with_the_dpll_oracle() {
+    let mut rng = StdRng::seed_from_u64(2006);
+    for case in 0..10 {
+        let variables = 4 + case % 3;
+        let clauses = variables * 4;
+        let formula = random_3cnf(variables, clauses, &mut rng);
+        let reduction = cqa_instance_from_3sat(&formula);
+        let ctx = RepairContext::new(reduction.instance.clone(), reduction.fds.clone());
+        let empty = ctx.empty_priority();
+        let outcome =
+            preferred_consistent_answer(&ctx, &empty, &AllRepairs, &reduction.query).unwrap();
+        assert_eq!(
+            outcome.certainly_true,
+            !formula.solve().is_sat(),
+            "reduction and oracle disagree on case {case}"
+        );
+    }
+}
+
+/// Open-query certain answers shrink (or stay equal) as the family becomes more
+/// selective, mirroring the inclusion chain of the families.
+#[test]
+fn certain_answers_grow_with_more_selective_families() {
+    let mut rng = StdRng::seed_from_u64(99);
+    let (instance, fds) = random_conflict_instance(10, 0.8, &mut rng);
+    let mut engine = PdqiEngine::new(instance, fds);
+    let scores: Vec<i64> = (0..engine.instance().len() as i64).collect();
+    engine.set_priority_from_scores(&scores);
+    let query = pdqi::query::builder::exists(
+        &["b", "c"],
+        pdqi::query::builder::atom(
+            "R",
+            vec![
+                pdqi::query::builder::var("a"),
+                pdqi::query::builder::var("b"),
+                pdqi::query::builder::var("c"),
+            ],
+        ),
+    );
+    // Fewer preferred repairs ⇒ the intersection of answer sets can only grow.
+    let rep = engine.certain_answers(&query, FamilyKind::Rep).unwrap();
+    let global = engine.certain_answers(&query, FamilyKind::Global).unwrap();
+    let common = engine.certain_answers(&query, FamilyKind::Common).unwrap();
+    for row in &rep {
+        assert!(global.contains(row), "a Rep-certain answer must stay certain under G-Rep");
+    }
+    for row in &global {
+        assert!(common.contains(row), "a G-certain answer must stay certain under C-Rep");
+    }
+}

@@ -1,0 +1,177 @@
+//! Degenerate and extreme inputs across the public API: empty instances, already
+//! consistent instances, a single tuple, complete conflict graphs (every tuple fights
+//! every other), and the interaction of each with priorities, families, consistent
+//! answers and aggregates.
+
+use std::sync::Arc;
+
+use pdqi::aggregate::{range_by_enumeration, range_closed_form, AggregateFunction, AggregateQuery};
+use pdqi::core::cqa::preferred_consistent_answer;
+use pdqi::core::properties::{check_p1, check_p3};
+use pdqi::priority::total_extensions;
+use pdqi::{
+    parse_formula, FamilyKind, FdSet, PdqiEngine, RelationInstance, RelationSchema, RepairContext,
+    TupleId, TupleSet, Value, ValueType,
+};
+
+fn schema() -> Arc<RelationSchema> {
+    Arc::new(
+        RelationSchema::from_pairs("R", &[("A", ValueType::Int), ("B", ValueType::Int)]).unwrap(),
+    )
+}
+
+fn context(rows: &[(i64, i64)]) -> RepairContext {
+    let instance = RelationInstance::from_rows(
+        schema(),
+        rows.iter().map(|&(a, b)| vec![Value::int(a), Value::int(b)]).collect(),
+    )
+    .unwrap();
+    let fds = FdSet::parse(schema(), &["A -> B"]).unwrap();
+    RepairContext::new(instance, fds)
+}
+
+#[test]
+fn the_empty_instance_has_exactly_the_empty_repair() {
+    let ctx = context(&[]);
+    assert!(ctx.is_consistent());
+    assert_eq!(ctx.count_repairs(), 1);
+    assert_eq!(ctx.repairs(10), vec![TupleSet::new()]);
+    let empty_priority = ctx.empty_priority();
+    for kind in FamilyKind::ALL {
+        let family = kind.family();
+        assert!(check_p1(family.as_ref(), &ctx, &empty_priority), "{}", kind.label());
+        assert_eq!(family.preferred_repairs(&ctx, &empty_priority, 10), vec![TupleSet::new()]);
+    }
+    // A closed query over the empty instance: an existential is false, its negation true.
+    let exists = parse_formula("EXISTS x, y . R(x, y)").unwrap();
+    let outcome = preferred_consistent_answer(
+        &ctx,
+        &empty_priority,
+        FamilyKind::Rep.family().as_ref(),
+        &exists,
+    )
+    .unwrap();
+    assert!(outcome.certainly_false);
+    // Aggregates: COUNT is exactly zero, MIN/MAX/AVG are undefined.
+    let count = range_by_enumeration(
+        &ctx,
+        &empty_priority,
+        FamilyKind::Rep.family().as_ref(),
+        &AggregateQuery::count(),
+    );
+    assert_eq!((count.glb, count.lub), (Some(0.0), Some(0.0)));
+    let min = AggregateQuery::over(ctx.instance().schema(), AggregateFunction::Min, "B").unwrap();
+    let min_range =
+        range_by_enumeration(&ctx, &empty_priority, FamilyKind::Rep.family().as_ref(), &min);
+    assert!(min_range.undefined_somewhere);
+    assert_eq!(min_range.glb, None);
+}
+
+#[test]
+fn a_consistent_instance_is_its_own_unique_repair_for_every_family() {
+    let ctx = context(&[(1, 1), (2, 2), (3, 3)]);
+    assert!(ctx.is_consistent());
+    let empty_priority = ctx.empty_priority();
+    for kind in FamilyKind::ALL {
+        let family = kind.family();
+        let preferred = family.preferred_repairs(&ctx, &empty_priority, 10);
+        assert_eq!(preferred, vec![ctx.instance().all_ids()], "{}", kind.label());
+        // P4 holds vacuously: the empty priority is already total (no conflict edges).
+        assert!(empty_priority.is_total());
+    }
+    // Every query has a determined answer.
+    let q = parse_formula("EXISTS x . R(x, 2)").unwrap();
+    let outcome =
+        preferred_consistent_answer(&ctx, &empty_priority, FamilyKind::Global.family().as_ref(), &q)
+            .unwrap();
+    assert!(outcome.certainly_true && !outcome.certainly_false);
+}
+
+#[test]
+fn a_single_tuple_survives_everything() {
+    let ctx = context(&[(7, 7)]);
+    let engine = PdqiEngine::new(ctx.instance().clone(), ctx.fds().clone());
+    assert!(engine.is_consistent());
+    assert_eq!(engine.count_repairs(), 1);
+    assert_eq!(engine.clean().unwrap(), TupleSet::from_ids([TupleId(0)]));
+    let sum = AggregateQuery::over(engine.instance().schema(), AggregateFunction::Sum, "B").unwrap();
+    let range = range_closed_form(engine.context(), &sum).unwrap();
+    assert!(range.is_exact());
+    assert_eq!(range.glb, Some(7.0));
+}
+
+#[test]
+fn a_complete_conflict_graph_yields_singleton_repairs() {
+    // Ten tuples all sharing the key: the conflict graph is complete, every repair is a
+    // single tuple, and a total priority singles out the unique undominated tuple.
+    let rows: Vec<(i64, i64)> = (0..10).map(|i| (1, i)).collect();
+    let ctx = context(&rows);
+    assert_eq!(ctx.count_repairs(), 10);
+    for repair in ctx.repairs(20) {
+        assert_eq!(repair.len(), 1);
+    }
+    // Scores induce a total priority on the clique; the best-scored tuple wins under
+    // every preference-respecting family.
+    let scores: Vec<i64> = (0..10).collect();
+    let mut engine = PdqiEngine::new(ctx.instance().clone(), ctx.fds().clone());
+    engine.set_priority_from_scores(&scores);
+    assert!(engine.priority().is_total());
+    for kind in [FamilyKind::SemiGlobal, FamilyKind::Global, FamilyKind::Common] {
+        let preferred = engine.preferred_repairs(kind, 10);
+        assert_eq!(preferred, vec![TupleSet::from_ids([TupleId(9)])], "{}", kind.label());
+    }
+    assert_eq!(engine.clean().unwrap(), TupleSet::from_ids([TupleId(9)]));
+}
+
+#[test]
+fn total_extension_enumeration_respects_limits_and_acyclicity() {
+    let ctx = context(&[(1, 0), (1, 1), (2, 0), (2, 1)]);
+    let empty = ctx.empty_priority();
+    let extensions = total_extensions(&empty, 10);
+    assert!(!extensions.is_empty());
+    assert!(extensions.len() <= 10);
+    for extension in &extensions {
+        assert!(extension.is_total());
+        assert!(extension.check_acyclic());
+        assert!(extension.is_extension_of(&empty));
+    }
+}
+
+#[test]
+fn duplicate_rows_collapse_before_any_conflict_is_computed() {
+    // The same row inserted twice is one tuple (set semantics), so it conflicts with
+    // nothing and the instance stays consistent.
+    let ctx = context(&[(1, 1), (1, 1), (1, 1)]);
+    assert_eq!(ctx.instance().len(), 1);
+    assert!(ctx.is_consistent());
+}
+
+#[test]
+fn p3_holds_for_every_family_on_every_fixture() {
+    for rows in [
+        vec![(1, 1), (1, 2)],
+        vec![(1, 1), (1, 2), (1, 3), (2, 1), (2, 2)],
+        vec![(5, 0), (5, 1), (6, 0), (6, 1), (7, 9)],
+    ] {
+        let ctx = context(&rows);
+        for kind in FamilyKind::ALL {
+            assert!(check_p3(kind.family().as_ref(), &ctx), "{}", kind.label());
+        }
+    }
+}
+
+#[test]
+fn queries_mentioning_absent_constants_are_certainly_false() {
+    let ctx = context(&[(1, 1), (1, 2)]);
+    let q = parse_formula("EXISTS x . R(999, x)").unwrap();
+    for kind in FamilyKind::ALL {
+        let outcome = preferred_consistent_answer(
+            &ctx,
+            &ctx.empty_priority(),
+            kind.family().as_ref(),
+            &q,
+        )
+        .unwrap();
+        assert!(outcome.certainly_false, "{}", kind.label());
+    }
+}

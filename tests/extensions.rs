@@ -1,0 +1,152 @@
+//! Property-based checks for the future-work extensions: condensing a cyclic preference
+//! always yields a legal Definition 2 priority, cycle-free extension steps preserve
+//! monotonicity, and the hypergraph lifting of `≪` keeps the repair-subset structure.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use pdqi::constraints::ConflictHypergraph;
+use pdqi::core::FamilyKind;
+use pdqi::ext::{hyper_globally_optimal_repairs, CyclicPreference, HyperPriority};
+use pdqi::solve::HypergraphMisEnumerator;
+use pdqi::{ConflictGraph, TupleId, TupleSet};
+
+/// A random conflict graph over `n` vertices plus a list of raw (possibly cyclic)
+/// preference statements among its edges.
+fn preference_strategy() -> impl Strategy<Value = (usize, Vec<(u8, u8)>, Vec<(bool, usize)>)> {
+    // (vertex count, undirected conflict edges, raw statements as (direction, edge index))
+    (3usize..9).prop_flat_map(|n| {
+        let edges = prop::collection::vec((0u8..n as u8, 0u8..n as u8), 1..12);
+        let statements = prop::collection::vec((any::<bool>(), 0usize..24), 0..16);
+        (Just(n), edges, statements)
+    })
+}
+
+fn build_graph(n: usize, raw_edges: &[(u8, u8)]) -> Arc<ConflictGraph> {
+    let edges: Vec<(TupleId, TupleId)> = raw_edges
+        .iter()
+        .filter(|(a, b)| a != b)
+        .map(|&(a, b)| (TupleId(a as u32), TupleId(b as u32)))
+        .collect();
+    Arc::new(ConflictGraph::from_edges(n, &edges))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Condensation always produces an acyclic orientation of conflict edges, every raw
+    /// statement is either kept or dropped, and acyclic inputs are kept in full.
+    #[test]
+    fn condensation_yields_a_legal_priority((n, edges, statements) in preference_strategy()) {
+        let graph = build_graph(n, &edges);
+        if graph.edge_count() == 0 {
+            return Ok(());
+        }
+        let conflict_edges = graph.edges().to_vec();
+        let mut preference = CyclicPreference::new(Arc::clone(&graph));
+        for (flip, index) in statements {
+            let (a, b) = conflict_edges[index % conflict_edges.len()];
+            let (winner, loser) = if flip { (a, b) } else { (b, a) };
+            preference.add(winner, loser).unwrap();
+        }
+        let (priority, report) = preference.condense();
+        prop_assert!(priority.check_acyclic());
+        prop_assert_eq!(report.kept_edges + report.dropped_edges, report.raw_edges);
+        prop_assert_eq!(priority.edge_count(), report.kept_edges);
+        // Every kept orientation was actually stated by the user.
+        for (winner, loser) in priority.edges() {
+            prop_assert!(preference.prefers(winner, loser));
+        }
+        if preference.is_acyclic() {
+            prop_assert_eq!(report.dropped_edges, 0);
+            prop_assert_eq!(report.cycles, 0);
+        }
+        prop_assert!(report.cycles <= n);
+    }
+
+    /// Hypergraph preferred repairs are always a non-empty subset of the hypergraph
+    /// repairs, and they shrink (never grow) when the priority is extended edge by edge.
+    #[test]
+    fn hyper_preferred_repairs_are_a_shrinking_subset(
+        hyperedges in prop::collection::vec(prop::collection::btree_set(0u32..6, 2..4), 1..4),
+        orientations in prop::collection::vec(any::<bool>(), 0..8),
+    ) {
+        let edges: Vec<TupleSet> = hyperedges
+            .iter()
+            .map(|edge| TupleSet::from_ids(edge.iter().map(|&i| TupleId(i))))
+            .collect();
+        let hypergraph = ConflictHypergraph::from_hyperedges(6, edges);
+        let all_repairs = HypergraphMisEnumerator::new(&hypergraph).collect(usize::MAX);
+        let mut priority = HyperPriority::new(&hypergraph);
+        // Walk over co-occurring pairs in a fixed order, orienting some of them.
+        let mut pairs = Vec::new();
+        for edge in hypergraph.hyperedges() {
+            let members: Vec<TupleId> = edge.iter().collect();
+            for i in 0..members.len() {
+                for j in (i + 1)..members.len() {
+                    pairs.push((members[i], members[j]));
+                }
+            }
+        }
+        let mut previous = hyper_globally_optimal_repairs(&hypergraph, &priority, usize::MAX);
+        prop_assert_eq!(previous.len(), all_repairs.len());
+        for (pair, flip) in pairs.iter().zip(orientations.iter()) {
+            let (winner, loser) = if *flip { (pair.0, pair.1) } else { (pair.1, pair.0) };
+            if priority.add(winner, loser).is_err() {
+                continue; // would close a cycle: skip, the priority is unchanged
+            }
+            let current = hyper_globally_optimal_repairs(&hypergraph, &priority, usize::MAX);
+            prop_assert!(!current.is_empty(), "P1 fails");
+            for repair in &current {
+                prop_assert!(hypergraph.is_maximal_independent(repair));
+                prop_assert!(previous.contains(repair), "monotonicity fails");
+            }
+            previous = current;
+        }
+    }
+}
+
+/// The binary special case: when every hyperedge has exactly two tuples, the hypergraph
+/// machinery coincides with the paper's G-Rep.
+#[test]
+fn binary_hyperedges_reduce_to_g_rep() {
+    let schema = Arc::new(
+        pdqi::RelationSchema::from_pairs(
+            "R",
+            &[("A", pdqi::ValueType::Int), ("B", pdqi::ValueType::Int)],
+        )
+        .unwrap(),
+    );
+    let instance = pdqi::RelationInstance::from_rows(
+        Arc::clone(&schema),
+        vec![
+            vec![pdqi::Value::int(1), pdqi::Value::int(1)],
+            vec![pdqi::Value::int(1), pdqi::Value::int(2)],
+            vec![pdqi::Value::int(2), pdqi::Value::int(1)],
+            vec![pdqi::Value::int(2), pdqi::Value::int(2)],
+        ],
+    )
+    .unwrap();
+    let fds = pdqi::FdSet::parse(Arc::clone(&schema), &["A -> B"]).unwrap();
+    let ctx = pdqi::RepairContext::new(instance, fds);
+    // The same conflicts as a hypergraph with binary hyperedges.
+    let hyperedges: Vec<TupleSet> = ctx
+        .graph()
+        .edges()
+        .iter()
+        .map(|&(a, b)| TupleSet::from_ids([a, b]))
+        .collect();
+    let hypergraph = ConflictHypergraph::from_hyperedges(ctx.instance().len(), hyperedges);
+    let pairs = [(TupleId(0), TupleId(1)), (TupleId(3), TupleId(2))];
+    let graph_priority = ctx.priority_from_pairs(&pairs).unwrap();
+    let hyper_priority = HyperPriority::from_pairs(&hypergraph, &pairs).unwrap();
+    let mut from_graph = FamilyKind::Global
+        .family()
+        .preferred_repairs(&ctx, &graph_priority, usize::MAX);
+    let mut from_hyper = hyper_globally_optimal_repairs(&hypergraph, &hyper_priority, usize::MAX);
+    let key = |s: &TupleSet| s.iter().map(|t| t.0).collect::<Vec<_>>();
+    from_graph.sort_by_key(key);
+    from_hyper.sort_by_key(key);
+    assert_eq!(from_graph, from_hyper);
+}

@@ -1,0 +1,181 @@
+//! Failure injection across the public surface: malformed queries, malformed SQL,
+//! schema violations, illegal priorities and unsupported closed-form requests must all
+//! surface as errors (never panics) and must leave the surrounding state usable.
+
+use std::sync::Arc;
+
+use pdqi::aggregate::{range_closed_form, AggregateFunction, AggregateQuery, ClosedFormError};
+use pdqi::core::cqa::preferred_consistent_answer;
+use pdqi::priority::PriorityError;
+use pdqi::query::parse_formula;
+use pdqi::sql::Session;
+use pdqi::{
+    FamilyKind, FdSet, PdqiEngine, RelationInstance, RelationSchema, RepairContext, TupleId, Value,
+    ValueType,
+};
+
+fn mgr_context() -> RepairContext {
+    let schema = Arc::new(
+        RelationSchema::from_pairs(
+            "Mgr",
+            &[("Name", ValueType::Name), ("Dept", ValueType::Name), ("Salary", ValueType::Int)],
+        )
+        .unwrap(),
+    );
+    let instance = RelationInstance::from_rows(
+        Arc::clone(&schema),
+        vec![
+            vec!["Mary".into(), "R&D".into(), Value::int(40)],
+            vec!["Mary".into(), "IT".into(), Value::int(20)],
+            vec!["John".into(), "PR".into(), Value::int(30)],
+        ],
+    )
+    .unwrap();
+    let fds = FdSet::parse(schema, &["Name -> Dept Salary"]).unwrap();
+    RepairContext::new(instance, fds)
+}
+
+#[test]
+fn malformed_formulas_are_parse_errors_not_panics() {
+    for text in [
+        "",
+        "EXISTS . R(x)",
+        "R(x,, y)",
+        "EXISTS x R(x)",          // missing the dot
+        "R(x) AND",               // dangling connective
+        "FORALL x . R(x",         // unbalanced parenthesis
+        "R('unterminated, 3)",    // unterminated string literal
+        "1 <",                    // incomplete comparison
+    ] {
+        assert!(parse_formula(text).is_err(), "`{text}` should not parse");
+    }
+}
+
+#[test]
+fn open_formulas_are_rejected_by_closed_query_answering() {
+    let ctx = mgr_context();
+    let open = parse_formula("Mgr(x, 'R&D', s)").unwrap();
+    let result = preferred_consistent_answer(
+        &ctx,
+        &ctx.empty_priority(),
+        FamilyKind::Rep.family().as_ref(),
+        &open,
+    );
+    assert!(result.is_err());
+}
+
+#[test]
+fn queries_over_unknown_relations_or_wrong_arity_fail_cleanly() {
+    let ctx = mgr_context();
+    for text in [
+        "EXISTS x . Unknown(x)",
+        "EXISTS x . Mgr(x)", // wrong arity
+        "EXISTS x, y, z . Mgr(x, y, z) AND y < 10", // name attribute compared to an int
+    ] {
+        let query = parse_formula(text).unwrap();
+        let result = preferred_consistent_answer(
+            &ctx,
+            &ctx.empty_priority(),
+            FamilyKind::Rep.family().as_ref(),
+            &query,
+        );
+        assert!(result.is_err(), "`{text}` should fail to evaluate");
+    }
+}
+
+#[test]
+fn illegal_priorities_are_rejected_with_specific_errors() {
+    let ctx = mgr_context();
+    // t0 and t2 belong to different key groups: not conflicting.
+    assert!(matches!(
+        ctx.priority_from_pairs(&[(TupleId(0), TupleId(2))]),
+        Err(PriorityError::NotConflicting { .. })
+    ));
+    // A cycle on the only conflicting pair.
+    assert!(matches!(
+        ctx.priority_from_pairs(&[(TupleId(0), TupleId(1)), (TupleId(1), TupleId(0))]),
+        Err(PriorityError::WouldCreateCycle { .. })
+    ));
+    // Unknown tuple ids.
+    assert!(matches!(
+        ctx.priority_from_pairs(&[(TupleId(0), TupleId(77))]),
+        Err(PriorityError::UnknownTuple { .. })
+    ));
+    // The engine surfaces the same failures.
+    let engine = PdqiEngine::with_priority_pairs(
+        ctx.instance().clone(),
+        ctx.fds().clone(),
+        &[(TupleId(0), TupleId(2))],
+    );
+    assert!(engine.is_err());
+}
+
+#[test]
+fn schema_violations_are_rejected_at_insertion_and_at_fd_parsing() {
+    let schema = Arc::new(
+        RelationSchema::from_pairs("R", &[("A", ValueType::Int), ("B", ValueType::Name)]).unwrap(),
+    );
+    let mut instance = RelationInstance::new(Arc::clone(&schema));
+    assert!(instance.insert(vec![Value::int(1)]).is_err()); // wrong arity
+    assert!(instance.insert(vec![Value::name("x"), Value::name("y")]).is_err()); // wrong type
+    assert!(instance.insert(vec![Value::int(1), Value::name("y")]).is_ok());
+    // FDs over unknown attributes or without an arrow are rejected.
+    assert!(FdSet::parse(Arc::clone(&schema), &["A -> Nope"]).is_err());
+    assert!(FdSet::parse(Arc::clone(&schema), &["Nope -> B"]).is_err());
+    assert!(FdSet::parse(Arc::clone(&schema), &["A B"]).is_err());
+    // Duplicate attribute names are rejected when the schema is built.
+    assert!(RelationSchema::from_pairs("R", &[("A", ValueType::Int), ("A", ValueType::Int)]).is_err());
+}
+
+#[test]
+fn the_sql_session_reports_errors_and_stays_usable() {
+    let mut session = Session::new();
+    session.execute("CREATE TABLE T (A INT, B TEXT)").unwrap();
+    // Re-creating, unknown tables, bad FDs, bad rows, bad family names.
+    assert!(session.execute("CREATE TABLE T (A INT)").is_err());
+    assert!(session.execute("INSERT INTO Nope VALUES (1, 'x')").is_err());
+    assert!(session.execute("ALTER TABLE T ADD FD A -> Nope").is_err());
+    assert!(session.execute("INSERT INTO T VALUES (1)").is_err());
+    assert!(session.execute("INSERT INTO T VALUES ('text', 'x')").is_err());
+    assert!(session.execute("SELECT A FROM T WITH REPAIRS NOPE").is_err());
+    assert!(session.execute("PREFER (1, 'x') OVER (2, 'y') IN T").is_err());
+    assert!(session.execute("completely not sql").is_err());
+    // The session is still fully usable after all of the failures above.
+    session.execute("ALTER TABLE T ADD FD A -> B").unwrap();
+    session.execute("INSERT INTO T VALUES (1, 'x'), (1, 'y')").unwrap();
+    let engine = session.engine("T").unwrap();
+    assert_eq!(engine.count_repairs(), 2);
+}
+
+#[test]
+fn closed_form_refusals_name_the_reason() {
+    let ctx = mgr_context();
+    let schema = ctx.instance().schema();
+    // COUNT DISTINCT has no closed form.
+    let distinct =
+        AggregateQuery::over(schema, AggregateFunction::CountDistinct, "Salary").unwrap();
+    assert_eq!(
+        range_closed_form(&ctx, &distinct),
+        Err(ClosedFormError::CountDistinctUnsupported)
+    );
+    // AVG under a selection that only part of a clique satisfies.
+    let avg = AggregateQuery::over(schema, AggregateFunction::Avg, "Salary")
+        .unwrap()
+        .filtered(schema, "Dept", Value::name("R&D"))
+        .unwrap();
+    assert_eq!(range_closed_form(&ctx, &avg), Err(ClosedFormError::AvgSelectionUnsupported));
+    // Aggregating a name attribute is a validation error.
+    let bad = AggregateQuery::over(schema, AggregateFunction::Sum, "Dept").unwrap();
+    assert!(bad.validate(schema).is_err());
+}
+
+#[test]
+fn cleaning_without_a_total_priority_is_an_error_not_a_guess() {
+    let ctx = mgr_context();
+    let engine = PdqiEngine::new(ctx.instance().clone(), ctx.fds().clone());
+    assert!(engine.clean().is_err());
+    let mut engine = engine;
+    engine.set_priority_from_scores(&[2, 1, 0]);
+    assert!(engine.priority().is_total());
+    assert!(engine.clean().is_ok());
+}

@@ -1,0 +1,122 @@
+//! Property-based tests for the relationships between the preferred-repair families:
+//! the inclusion chain C-Rep ⊆ G-Rep ⊆ S-Rep ⊆ L-Rep ⊆ Rep (Prop. 3, 4, 6), the
+//! single-dependency coincidences, and Theorem 2's coincidence condition.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use pdqi::datagen::{duplicate_instance, example4_instance, random_conflict_instance, random_priority};
+use pdqi::priority::has_cyclic_extension;
+use pdqi::{FamilyKind, RepairContext, TupleSet};
+
+fn preferred(ctx: &RepairContext, priority: &pdqi::Priority, kind: FamilyKind) -> Vec<TupleSet> {
+    kind.family().preferred_repairs(ctx, priority, 10_000)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// The inclusion chain holds on random instances and random partial priorities.
+    #[test]
+    fn inclusion_chain_holds(seed in 0u64..1_000, n in 4usize..12, completeness in 0.0f64..1.0) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (instance, fds) = random_conflict_instance(n, 0.8, &mut rng);
+        let ctx = RepairContext::new(instance, fds);
+        let priority = random_priority(Arc::clone(ctx.graph()), completeness, &mut rng);
+        let rep = preferred(&ctx, &priority, FamilyKind::Rep);
+        let local = preferred(&ctx, &priority, FamilyKind::Local);
+        let semi = preferred(&ctx, &priority, FamilyKind::SemiGlobal);
+        let global = preferred(&ctx, &priority, FamilyKind::Global);
+        let common = preferred(&ctx, &priority, FamilyKind::Common);
+        for set in &local {
+            prop_assert!(rep.contains(set), "L-Rep ⊄ Rep");
+        }
+        for set in &semi {
+            prop_assert!(local.contains(set), "S-Rep ⊄ L-Rep");
+        }
+        for set in &global {
+            prop_assert!(semi.contains(set), "G-Rep ⊄ S-Rep");
+        }
+        for set in &common {
+            prop_assert!(global.contains(set), "C-Rep ⊄ G-Rep (Prop. 6)");
+        }
+        // Theorem 1: there is a repair common to every monotone family of globally
+        // optimal repairs — in particular C-Rep is never empty.
+        prop_assert!(!common.is_empty());
+    }
+
+    /// Prop. 3: for a single key dependency L-Rep and S-Rep coincide (Example 4's shape
+    /// is a key relation: A is a key of R(A,B) under A → B).
+    #[test]
+    fn l_and_s_coincide_for_one_key_dependency(seed in 0u64..1_000, n in 1usize..6, completeness in 0.0f64..1.0) {
+        let (instance, fds) = example4_instance(n);
+        let ctx = RepairContext::new(instance, fds);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let priority = random_priority(Arc::clone(ctx.graph()), completeness, &mut rng);
+        prop_assert_eq!(
+            preferred(&ctx, &priority, FamilyKind::Local),
+            preferred(&ctx, &priority, FamilyKind::SemiGlobal)
+        );
+    }
+
+    /// Prop. 4: for a single functional dependency S-Rep and G-Rep coincide (the
+    /// duplicate-heavy instances have the one non-key FD A → B).
+    #[test]
+    fn s_and_g_coincide_for_one_functional_dependency(
+        seed in 0u64..1_000,
+        groups in 1usize..4,
+        duplicates in 1usize..4,
+        completeness in 0.0f64..1.0,
+    ) {
+        let (instance, fds) = duplicate_instance(groups, duplicates);
+        let ctx = RepairContext::new(instance, fds);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let priority = random_priority(Arc::clone(ctx.graph()), completeness, &mut rng);
+        prop_assert_eq!(
+            preferred(&ctx, &priority, FamilyKind::SemiGlobal),
+            preferred(&ctx, &priority, FamilyKind::Global)
+        );
+    }
+
+    /// Theorem 2: C-Rep and G-Rep coincide whenever the priority cannot be extended to a
+    /// cyclic orientation of the conflict graph.
+    #[test]
+    fn c_and_g_coincide_when_no_cyclic_extension_exists(seed in 0u64..1_000, n in 4usize..10, completeness in 0.0f64..1.0) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (instance, fds) = random_conflict_instance(n, 0.8, &mut rng);
+        let ctx = RepairContext::new(instance, fds);
+        let priority = random_priority(Arc::clone(ctx.graph()), completeness, &mut rng);
+        if !has_cyclic_extension(&priority) {
+            prop_assert_eq!(
+                preferred(&ctx, &priority, FamilyKind::Common),
+                preferred(&ctx, &priority, FamilyKind::Global)
+            );
+        }
+    }
+
+    /// X-repair checking agrees with enumeration for every family (membership and
+    /// enumeration are implemented independently for C-Rep, so this is a real cross-check).
+    #[test]
+    fn membership_agrees_with_enumeration(seed in 0u64..1_000, n in 4usize..10, completeness in 0.0f64..1.0) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (instance, fds) = random_conflict_instance(n, 0.8, &mut rng);
+        let ctx = RepairContext::new(instance, fds);
+        let priority = random_priority(Arc::clone(ctx.graph()), completeness, &mut rng);
+        let repairs = ctx.repairs(10_000);
+        for kind in FamilyKind::ALL {
+            let family = kind.family();
+            let enumerated = family.preferred_repairs(&ctx, &priority, 10_000);
+            for repair in &repairs {
+                prop_assert_eq!(
+                    enumerated.contains(repair),
+                    family.is_preferred(&ctx, &priority, repair),
+                    "membership / enumeration disagreement for {}",
+                    kind.label()
+                );
+            }
+        }
+    }
+}

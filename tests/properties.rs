@@ -1,0 +1,124 @@
+//! Property-based tests: the P1–P4 axioms and the core structural invariants, driven by
+//! randomly generated instances, priorities and priority-extension chains.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use pdqi::core::properties::{check_p1, check_p2, check_p3, check_p4};
+use pdqi::datagen::{random_conflict_instance, random_priority, random_total_priority};
+use pdqi::priority::winnow;
+use pdqi::{FamilyKind, RepairContext};
+
+/// A small random repair context (kept small so exhaustive repair enumeration stays cheap).
+fn small_context(seed: u64, n: usize, conflict_rate: f64) -> RepairContext {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (instance, fds) = random_conflict_instance(n, conflict_rate, &mut rng);
+    RepairContext::new(instance, fds)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Every repair is a maximal independent set of the conflict graph, and the
+    /// repair-checking predicate recognises exactly the enumerated repairs.
+    #[test]
+    fn repairs_are_maximal_independent_sets(seed in 0u64..1_000, n in 4usize..14, rate in 0.0f64..1.0) {
+        let ctx = small_context(seed, n, rate);
+        let repairs = ctx.repairs(1_000);
+        prop_assert!(!repairs.is_empty());
+        for repair in &repairs {
+            prop_assert!(ctx.graph().is_maximal_independent(repair));
+            prop_assert!(ctx.is_repair(repair));
+            prop_assert!(pdqi::constraints::is_consistent(&ctx.materialise(repair), ctx.fds()));
+        }
+        prop_assert_eq!(repairs.len() as u128, ctx.count_repairs());
+    }
+
+    /// P1 and P3 hold for every family on random instances and priorities.
+    #[test]
+    fn p1_and_p3_hold_for_every_family(seed in 0u64..1_000, n in 4usize..12, completeness in 0.0f64..1.0) {
+        let ctx = small_context(seed, n, 0.7);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xabcd);
+        let priority = random_priority(Arc::clone(ctx.graph()), completeness, &mut rng);
+        for kind in FamilyKind::ALL {
+            let family = kind.family();
+            prop_assert!(check_p1(family.as_ref(), &ctx, &priority), "{} violates P1", kind.label());
+            prop_assert!(check_p3(family.as_ref(), &ctx), "{} violates P3", kind.label());
+        }
+    }
+
+    /// P2 (monotonicity) holds along random extension chains for Rep, G-Rep and C-Rep —
+    /// the families the paper proves monotone. (L- and S-Rep satisfy P2 as well; they are
+    /// covered by the same check.)
+    #[test]
+    fn p2_holds_along_random_extension_chains(seed in 0u64..1_000, n in 4usize..12) {
+        let ctx = small_context(seed, n, 0.7);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x1234);
+        let partial = random_priority(Arc::clone(ctx.graph()), 0.4, &mut rng);
+        let total = pdqi::priority::random_total_extension(&partial, &mut rng);
+        prop_assert!(total.is_extension_of(&partial));
+        for kind in FamilyKind::ALL {
+            let family = kind.family();
+            prop_assert!(
+                check_p2(family.as_ref(), &ctx, &partial, &total),
+                "{} violates P2",
+                kind.label()
+            );
+        }
+    }
+
+    /// P4 (categoricity) holds for G-Rep and C-Rep on random total priorities, and the
+    /// unique preferred repair is the output of Algorithm 1.
+    #[test]
+    fn p4_holds_for_g_and_c_rep_on_total_priorities(seed in 0u64..1_000, n in 4usize..12) {
+        let ctx = small_context(seed, n, 0.8);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x77);
+        let total = random_total_priority(Arc::clone(ctx.graph()), &mut rng);
+        for kind in [FamilyKind::Global, FamilyKind::Common] {
+            prop_assert!(check_p4(kind.family().as_ref(), &ctx, &total), "{} violates P4", kind.label());
+        }
+        let cleaned = pdqi::core::clean_with_total_priority(ctx.graph(), &total).unwrap();
+        prop_assert_eq!(
+            FamilyKind::Common.family().preferred_repairs(&ctx, &total, 10),
+            vec![cleaned]
+        );
+    }
+
+    /// The winnow operator returns exactly the undominated active tuples, and Algorithm 1
+    /// (for total priorities) is independent of the choice order (Prop. 1).
+    #[test]
+    fn winnow_soundness_and_algorithm_1_confluence(seed in 0u64..1_000, n in 4usize..12) {
+        let ctx = small_context(seed, n, 0.8);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x55);
+        let total = random_total_priority(Arc::clone(ctx.graph()), &mut rng);
+        let active = ctx.instance().all_ids();
+        let undominated = winnow(&total, &active);
+        for tuple in active.iter() {
+            let dominated = total.dominators_of(tuple).iter().any(|d| active.contains(d));
+            prop_assert_eq!(undominated.contains(tuple), !dominated);
+        }
+        let lowest = pdqi::core::clean::clean_with_chooser(ctx.graph(), &total, |c| c.first().unwrap());
+        let highest = pdqi::core::clean::clean_with_chooser(ctx.graph(), &total, |c| c.iter().last().unwrap());
+        prop_assert_eq!(lowest, highest);
+    }
+
+    /// Priorities generated by the random generators are acyclic and only orient conflict
+    /// edges; extending them preserves both invariants.
+    #[test]
+    fn random_priorities_respect_definition_2(seed in 0u64..1_000, n in 4usize..14, completeness in 0.0f64..1.0) {
+        let ctx = small_context(seed, n, 0.6);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x99);
+        let priority = random_priority(Arc::clone(ctx.graph()), completeness, &mut rng);
+        prop_assert!(priority.check_acyclic());
+        for (winner, loser) in priority.edges() {
+            prop_assert!(ctx.graph().are_conflicting(winner, loser));
+        }
+        let extension = pdqi::priority::random_total_extension(&priority, &mut rng);
+        prop_assert!(extension.check_acyclic());
+        prop_assert!(extension.is_total());
+        prop_assert!(extension.is_extension_of(&priority));
+    }
+}
