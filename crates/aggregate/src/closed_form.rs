@@ -314,13 +314,8 @@ mod tests {
 
     #[test]
     fn closed_form_matches_enumeration_on_all_functions() {
-        let ctx = key_context(&[
-            ("Mary", 40),
-            ("Mary", 20),
-            ("John", 10),
-            ("John", 35),
-            ("Eve", 55),
-        ]);
+        let ctx =
+            key_context(&[("Mary", 40), ("Mary", 20), ("John", 10), ("John", 35), ("Eve", 55)]);
         let empty = ctx.empty_priority();
         let family = FamilyKind::Rep.family();
         for f in [
@@ -330,7 +325,8 @@ mod tests {
             AggregateFunction::Max,
             AggregateFunction::Avg,
         ] {
-            let query = if f == AggregateFunction::Count { AggregateQuery::count() } else { agg(&ctx, f) };
+            let query =
+                if f == AggregateFunction::Count { AggregateQuery::count() } else { agg(&ctx, f) };
             let closed = range_closed_form(&ctx, &query).unwrap();
             let brute = range_by_enumeration(&ctx, &empty, family.as_ref(), &query);
             assert_eq!(closed.glb, brute.glb, "{f}: glb");
@@ -362,7 +358,12 @@ mod tests {
         let ctx = RepairContext::new(instance, fds);
         let empty = ctx.empty_priority();
         let family = FamilyKind::Rep.family();
-        for f in [AggregateFunction::Count, AggregateFunction::Sum, AggregateFunction::Min, AggregateFunction::Max] {
+        for f in [
+            AggregateFunction::Count,
+            AggregateFunction::Sum,
+            AggregateFunction::Min,
+            AggregateFunction::Max,
+        ] {
             let query = if f == AggregateFunction::Count {
                 AggregateQuery::count().filtered(&schema, "Dept", Value::name("R&D")).unwrap()
             } else {

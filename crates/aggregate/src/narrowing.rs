@@ -118,8 +118,7 @@ mod tests {
             p
         };
         let total = random_total_extension(&partial, &mut rng);
-        let report =
-            narrowing_report(&ctx, &[empty, partial, total], FamilyKind::Global, &query);
+        let report = narrowing_report(&ctx, &[empty, partial, total], FamilyKind::Global, &query);
         assert!(report.is_monotone());
         // The empty priority leaves the full hull [20+10+55, 40+35+55] = [85, 130].
         assert_eq!(report.steps[0].1.glb, Some(85.0));

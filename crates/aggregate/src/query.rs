@@ -2,7 +2,9 @@
 
 use std::fmt;
 
-use pdqi_relation::{AttrId, RelationError, RelationInstance, RelationSchema, Tuple, Value, ValueType};
+use pdqi_relation::{
+    AttrId, RelationError, RelationInstance, RelationSchema, Tuple, Value, ValueType,
+};
 
 /// The scalar aggregation functions of \[2\].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

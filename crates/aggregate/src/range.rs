@@ -65,8 +65,7 @@ pub fn range_by_enumeration(
     family: &dyn RepairFamily,
     query: &AggregateQuery,
 ) -> RangeAnswer {
-    let mut answer =
-        RangeAnswer { glb: None, lub: None, examined: 0, undefined_somewhere: false };
+    let mut answer = RangeAnswer { glb: None, lub: None, examined: 0, undefined_somewhere: false };
     family.for_each_preferred(ctx, priority, &mut |repair| {
         let value = query.evaluate_over(repair.iter().map(|id| ctx.instance().tuple_unchecked(id)));
         answer.examined += 1;
@@ -117,11 +116,9 @@ mod tests {
             ],
         )
         .unwrap();
-        let fds = FdSet::parse(
-            schema,
-            &["Dept -> Name Salary Reports", "Name -> Dept Salary Reports"],
-        )
-        .unwrap();
+        let fds =
+            FdSet::parse(schema, &["Dept -> Name Salary Reports", "Name -> Dept Salary Reports"])
+                .unwrap();
         RepairContext::new(instance, fds)
     }
 
@@ -161,9 +158,8 @@ mod tests {
         // in the unrestricted one — the aggregation analogue of monotonicity (P2).
         let ctx = example1();
         let schema = Arc::clone(ctx.instance().schema());
-        let priority = ctx
-            .priority_from_pairs(&[(TupleId(0), TupleId(2)), (TupleId(1), TupleId(3))])
-            .unwrap();
+        let priority =
+            ctx.priority_from_pairs(&[(TupleId(0), TupleId(2)), (TupleId(1), TupleId(3))]).unwrap();
         let marys_salary = AggregateQuery::over(&schema, AggregateFunction::Max, "Salary")
             .unwrap()
             .filtered(&schema, "Name", Value::name("Mary"))

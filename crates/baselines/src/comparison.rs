@@ -46,9 +46,8 @@ impl SemanticsReport {
 
     /// Renders the report as an aligned text table.
     pub fn render(&self) -> String {
-        let mut out = String::from(
-            "semantics                 selected  outputs-are-repairs  probe-query\n",
-        );
+        let mut out =
+            String::from("semantics                 selected  outputs-are-repairs  probe-query\n");
         for row in &self.rows {
             let probe = match row.probe {
                 None => "n/a".to_string(),
@@ -190,11 +189,9 @@ mod tests {
             ],
         )
         .unwrap();
-        let fds = FdSet::parse(
-            schema,
-            &["Dept -> Name Salary Reports", "Name -> Dept Salary Reports"],
-        )
-        .unwrap();
+        let fds =
+            FdSet::parse(schema, &["Dept -> Name Salary Reports", "Name -> Dept Salary Reports"])
+                .unwrap();
         let ctx = RepairContext::new(instance, fds);
         let mut order = SourceOrder::new();
         order.prefer("s1", "s3");

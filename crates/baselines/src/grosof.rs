@@ -131,11 +131,7 @@ mod tests {
         let graph = triangle();
         let priority = Priority::from_pairs(
             Arc::clone(&graph),
-            &[
-                (TupleId(0), TupleId(1)),
-                (TupleId(1), TupleId(2)),
-                (TupleId(0), TupleId(2)),
-            ],
+            &[(TupleId(0), TupleId(1)), (TupleId(1), TupleId(2)), (TupleId(0), TupleId(2))],
         )
         .unwrap();
         let outcome = grosof_resolution(&graph, &priority);
@@ -162,10 +158,7 @@ mod tests {
         // returns {t4}, not the behaviour of "all repairs" required by P3.
         let graph = Arc::new(ConflictGraph::from_edges(5, &[(TupleId(0), TupleId(1))]));
         let outcome = grosof_resolution(&graph, &Priority::empty(Arc::clone(&graph)));
-        assert_eq!(
-            outcome.kept,
-            TupleSet::from_ids([TupleId(2), TupleId(3), TupleId(4)])
-        );
+        assert_eq!(outcome.kept, TupleSet::from_ids([TupleId(2), TupleId(3), TupleId(4)]));
         assert!(!outcome.is_repair(&graph));
     }
 

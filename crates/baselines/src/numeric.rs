@@ -162,7 +162,12 @@ impl RepairFamily for NumericLevelFamily {
         "FUV-levels"
     }
 
-    fn is_preferred(&self, ctx: &RepairContext, _priority: &Priority, candidate: &TupleSet) -> bool {
+    fn is_preferred(
+        &self,
+        ctx: &RepairContext,
+        _priority: &Priority,
+        candidate: &TupleSet,
+    ) -> bool {
         if !ctx.is_repair(candidate) {
             return false;
         }
@@ -202,11 +207,9 @@ mod tests {
             ],
         )
         .unwrap();
-        let fds = FdSet::parse(
-            schema,
-            &["Dept -> Name Salary Reports", "Name -> Dept Salary Reports"],
-        )
-        .unwrap();
+        let fds =
+            FdSet::parse(schema, &["Dept -> Name Salary Reports", "Name -> Dept Salary Reports"])
+                .unwrap();
         RepairContext::new(instance, fds)
     }
 
@@ -252,11 +255,9 @@ mod tests {
         // The paper's critique: a ≻ b and b ≻ c with the a–c conflict deliberately left
         // unoriented cannot come from levels (it would force level(a) = level(c) while
         // also forcing level(a) > level(b) > level(c)).
-        let priority = Priority::from_pairs(
-            triangle(),
-            &[(TupleId(0), TupleId(1)), (TupleId(1), TupleId(2))],
-        )
-        .unwrap();
+        let priority =
+            Priority::from_pairs(triangle(), &[(TupleId(0), TupleId(1)), (TupleId(1), TupleId(2))])
+                .unwrap();
         assert!(!is_level_representable(&priority));
     }
 
@@ -289,9 +290,7 @@ mod tests {
         let levels = LevelAssignment::new(vec![2, 2, 1, 1]);
         let family = NumericLevelFamily::new(levels.clone());
         let induced = levels.induced_priority(Arc::clone(ctx.graph()));
-        let g_rep = FamilyKind::Global
-            .family()
-            .preferred_repairs(&ctx, &induced, usize::MAX);
+        let g_rep = FamilyKind::Global.family().preferred_repairs(&ctx, &induced, usize::MAX);
         let via_levels = family.preferred_repairs(&ctx, &ctx.empty_priority(), usize::MAX);
         assert_eq!(g_rep.len(), via_levels.len());
         for repair in &g_rep {
@@ -303,6 +302,10 @@ mod tests {
     fn non_repairs_are_never_preferred() {
         let ctx = example1();
         let family = NumericLevelFamily::new(LevelAssignment::new(vec![3, 2, 1, 0]));
-        assert!(!family.is_preferred(&ctx, &ctx.empty_priority(), &TupleSet::from_ids([TupleId(0)])));
+        assert!(!family.is_preferred(
+            &ctx,
+            &ctx.empty_priority(),
+            &TupleSet::from_ids([TupleId(0)])
+        ));
     }
 }

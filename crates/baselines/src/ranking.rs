@@ -117,8 +117,11 @@ mod tests {
 
     fn salary_context(rows: &[(&str, i64)]) -> RepairContext {
         let schema = Arc::new(
-            RelationSchema::from_pairs("Emp", &[("Name", ValueType::Name), ("Salary", ValueType::Int)])
-                .unwrap(),
+            RelationSchema::from_pairs(
+                "Emp",
+                &[("Name", ValueType::Name), ("Salary", ValueType::Int)],
+            )
+            .unwrap(),
         );
         let instance = RelationInstance::from_rows(
             Arc::clone(&schema),
@@ -146,11 +149,8 @@ mod tests {
         assert_eq!(outcome.fused_groups, 1);
         assert!(!outcome.is_repair);
         // The fused salary 30 never appeared in the original database.
-        let fused = ctx
-            .instance()
-            .schema()
-            .tuple(vec![Value::name("Mary"), Value::int(30)])
-            .unwrap();
+        let fused =
+            ctx.instance().schema().tuple(vec![Value::name("Mary"), Value::int(30)]).unwrap();
         assert!(outcome.resolved.contains_tuple(&fused));
         assert!(!ctx.instance().contains_tuple(&fused));
     }

@@ -41,8 +41,7 @@ impl RepairConstraint {
     /// Whether `repair` (as a subset of `all` tuples) satisfies the constraint.
     pub fn satisfied_by(&self, repair: &TupleSet, all: &TupleSet) -> bool {
         let deleted = all.difference(repair);
-        self.if_deleted.is_disjoint_from(&deleted)
-            || !self.must_delete.is_disjoint_from(&deleted)
+        self.if_deleted.is_disjoint_from(&deleted) || !self.must_delete.is_disjoint_from(&deleted)
     }
 }
 
@@ -101,7 +100,12 @@ impl RepairFamily for RepairConstraintFamily {
         "repair-constraints"
     }
 
-    fn is_preferred(&self, ctx: &RepairContext, _priority: &Priority, candidate: &TupleSet) -> bool {
+    fn is_preferred(
+        &self,
+        ctx: &RepairContext,
+        _priority: &Priority,
+        candidate: &TupleSet,
+    ) -> bool {
         ctx.is_repair(candidate) && self.satisfies_all(ctx, candidate)
     }
 
@@ -132,7 +136,8 @@ mod tests {
     /// Example 4's two-pair instance: repairs are the four choices over {t0,t1} × {t2,t3}.
     fn two_pairs() -> RepairContext {
         let schema = Arc::new(
-            RelationSchema::from_pairs("R", &[("A", ValueType::Int), ("B", ValueType::Int)]).unwrap(),
+            RelationSchema::from_pairs("R", &[("A", ValueType::Int), ("B", ValueType::Int)])
+                .unwrap(),
         );
         let instance = RelationInstance::from_rows(
             Arc::clone(&schema),
@@ -167,8 +172,7 @@ mod tests {
         // "t0 may be deleted only if t2 is deleted": kills the repairs {t1,t2} ... i.e.
         // those that drop t0 while keeping t2.
         let ctx = two_pairs();
-        let family =
-            RepairConstraintFamily::new(vec![RepairConstraint::new(ids(&[0]), ids(&[2]))]);
+        let family = RepairConstraintFamily::new(vec![RepairConstraint::new(ids(&[0]), ids(&[2]))]);
         let preferred = family.preferred_repairs(&ctx, &ctx.empty_priority(), usize::MAX);
         assert_eq!(preferred.len(), 3);
         assert!(!preferred.contains(&ids(&[1, 2])));

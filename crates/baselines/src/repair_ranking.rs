@@ -72,7 +72,12 @@ impl RepairFamily for RepairRankingFamily {
         "repair-ranking"
     }
 
-    fn is_preferred(&self, ctx: &RepairContext, _priority: &Priority, candidate: &TupleSet) -> bool {
+    fn is_preferred(
+        &self,
+        ctx: &RepairContext,
+        _priority: &Priority,
+        candidate: &TupleSet,
+    ) -> bool {
         ctx.is_repair(candidate) && self.rank(candidate) == self.max_rank(ctx)
     }
 
@@ -105,7 +110,8 @@ mod tests {
 
     fn key_context(rows: &[(i64, i64)]) -> RepairContext {
         let schema = Arc::new(
-            RelationSchema::from_pairs("R", &[("A", ValueType::Int), ("B", ValueType::Int)]).unwrap(),
+            RelationSchema::from_pairs("R", &[("A", ValueType::Int), ("B", ValueType::Int)])
+                .unwrap(),
         );
         let instance = RelationInstance::from_rows(
             Arc::clone(&schema),

@@ -62,9 +62,7 @@ impl Stratification {
 
     /// The tuples of stratum `k` among the first `n` tuple ids.
     pub fn stratum_members(&self, k: usize, n: usize) -> TupleSet {
-        TupleSet::from_ids(
-            (0..n).map(|i| TupleId(i as u32)).filter(|t| self.stratum(*t) == k),
-        )
+        TupleSet::from_ids((0..n).map(|i| TupleId(i as u32)).filter(|t| self.stratum(*t) == k))
     }
 
     /// The priority induced by the stratification: conflict edges between different
@@ -256,7 +254,12 @@ impl RepairFamily for PreferredSubtheories {
         "Brewka-subtheories"
     }
 
-    fn is_preferred(&self, ctx: &RepairContext, _priority: &Priority, candidate: &TupleSet) -> bool {
+    fn is_preferred(
+        &self,
+        ctx: &RepairContext,
+        _priority: &Priority,
+        candidate: &TupleSet,
+    ) -> bool {
         ctx.is_repair(candidate) && self.is_preferred_subtheory(ctx.graph(), candidate)
     }
 
@@ -287,7 +290,8 @@ mod tests {
 
     fn two_column_instance(rows: &[(i64, i64)]) -> RepairContext {
         let schema = Arc::new(
-            RelationSchema::from_pairs("R", &[("A", ValueType::Int), ("B", ValueType::Int)]).unwrap(),
+            RelationSchema::from_pairs("R", &[("A", ValueType::Int), ("B", ValueType::Int)])
+                .unwrap(),
         );
         let instance = RelationInstance::from_rows(
             Arc::clone(&schema),
@@ -318,10 +322,8 @@ mod tests {
     #[test]
     fn prefix_maximality_is_enforced() {
         // Stratum 0: {t0, t1} conflicting; stratum 1: {t2} conflicting with t0 only.
-        let graph = ConflictGraph::from_edges(
-            3,
-            &[(TupleId(0), TupleId(1)), (TupleId(0), TupleId(2))],
-        );
+        let graph =
+            ConflictGraph::from_edges(3, &[(TupleId(0), TupleId(1)), (TupleId(0), TupleId(2))]);
         let family = PreferredSubtheories::new(Stratification::new(vec![0, 0, 1]));
         let mut found = Vec::new();
         family.for_each_subtheory(&graph, |s| {
@@ -333,10 +335,7 @@ mod tests {
         // 0 even though it cannot be extended at stratum 1.
         assert_eq!(
             found,
-            vec![
-                TupleSet::from_ids([TupleId(0)]),
-                TupleSet::from_ids([TupleId(1), TupleId(2)]),
-            ]
+            vec![TupleSet::from_ids([TupleId(0)]), TupleSet::from_ids([TupleId(1), TupleId(2)]),]
         );
         // Membership agrees with enumeration.
         assert!(family.is_preferred_subtheory(&graph, &TupleSet::from_ids([TupleId(0)])));

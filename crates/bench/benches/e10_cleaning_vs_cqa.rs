@@ -20,7 +20,10 @@ fn bench(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(10);
     eprintln!("E10: cleaning vs. preferred CQA on integration scenarios");
     let mut group = c.benchmark_group("e10_cleaning_vs_cqa");
-    group.sample_size(12).measurement_time(Duration::from_millis(700)).warm_up_time(Duration::from_millis(200));
+    group
+        .sample_size(12)
+        .measurement_time(Duration::from_millis(700))
+        .warm_up_time(Duration::from_millis(200));
 
     for departments in [4usize, 6, 8] {
         let scenario = IntegrationScenario::generate(departments, 3, 0.4, &mut rng);
@@ -32,8 +35,8 @@ fn bench(c: &mut Criterion) {
             .collect();
         let integration = Integration::integrate(Arc::clone(&scenario.schema), &sources).unwrap();
         let graph = ConflictGraph::build(integration.instance(), &scenario.fds);
-        let cleaner =
-            Cleaner::new().with_rule(ResolutionRule::PreferReliableSource(scenario.reliability.clone()));
+        let cleaner = Cleaner::new()
+            .with_rule(ResolutionRule::PreferReliableSource(scenario.reliability.clone()));
         let cleaning = cleaner.clean(&integration, &graph);
         let priority = priority_from_source_reliability(
             Arc::new(graph.clone()),
@@ -41,9 +44,8 @@ fn bench(c: &mut Criterion) {
             &scenario.reliability,
         );
         let instance: &RelationInstance = integration.instance();
-        let queries: Vec<_> = (0..5)
-            .map(|_| random_conjunctive_query(instance, 2, &mut rng))
-            .collect();
+        let queries: Vec<_> =
+            (0..5).map(|_| random_conjunctive_query(instance, 2, &mut rng)).collect();
 
         // Answer-quality series.
         let mut determined_by_cqa = 0usize;
@@ -75,19 +77,23 @@ fn bench(c: &mut Criterion) {
             b.iter(|| cleaner.clean(&integration, &graph))
         });
         let query = queries[0].clone();
-        group.bench_with_input(BenchmarkId::new("preferred_cqa", departments), &departments, |b, _| {
-            b.iter(|| {
-                compare_answers(
-                    &integration,
-                    &scenario.fds,
-                    &cleaning,
-                    &priority,
-                    FamilyKind::Global,
-                    &query,
-                )
-                .unwrap()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("preferred_cqa", departments),
+            &departments,
+            |b, _| {
+                b.iter(|| {
+                    compare_answers(
+                        &integration,
+                        &scenario.fds,
+                        &cleaning,
+                        &priority,
+                        FamilyKind::Global,
+                        &query,
+                    )
+                    .unwrap()
+                })
+            },
+        );
     }
     group.finish();
 }

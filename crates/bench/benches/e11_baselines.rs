@@ -24,7 +24,10 @@ use rand::SeedableRng;
 /// Materialises an integration scenario into an instance plus per-tuple source names and
 /// reliability levels (higher = more reliable), keeping the per-tuple data aligned with
 /// the deduplicated tuple ids.
-fn materialise(scenario: &IntegrationScenario, sources: usize) -> (RelationInstance, Vec<String>, Vec<u64>) {
+fn materialise(
+    scenario: &IntegrationScenario,
+    sources: usize,
+) -> (RelationInstance, Vec<String>, Vec<u64>) {
     let mut instance = RelationInstance::new(Arc::clone(&scenario.schema));
     let mut source_of = Vec::new();
     let mut levels = Vec::new();
@@ -52,7 +55,10 @@ fn bench(c: &mut Criterion) {
 
     // Scaling comparison on integration scenarios of growing size.
     let mut group = c.benchmark_group("e11_baselines");
-    group.sample_size(12).measurement_time(Duration::from_millis(800)).warm_up_time(Duration::from_millis(200));
+    group
+        .sample_size(12)
+        .measurement_time(Duration::from_millis(800))
+        .warm_up_time(Duration::from_millis(200));
     // Small department counts keep the repair space enumerable: the point of the
     // comparison is who selects how many repairs and at what per-repair cost, not raw
     // scale (E3–E8 cover scaling of the individual algorithms).
@@ -77,10 +83,14 @@ fn bench(c: &mut Criterion) {
             let family = pdqi_core::FamilyKind::Global.family();
             b.iter(|| family.count_preferred(&ctx, &reliability));
         });
-        group.bench_with_input(BenchmarkId::new("FUV-levels", departments), &departments, |b, _| {
-            let family = NumericLevelFamily::new(LevelAssignment::new(levels.clone()));
-            b.iter(|| family.count_preferred(&ctx, &empty));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("FUV-levels", departments),
+            &departments,
+            |b, _| {
+                let family = NumericLevelFamily::new(LevelAssignment::new(levels.clone()));
+                b.iter(|| family.count_preferred(&ctx, &empty));
+            },
+        );
         group.bench_with_input(BenchmarkId::new("Brewka", departments), &departments, |b, _| {
             let family = PreferredSubtheories::new(Stratification::new(strata.clone()));
             b.iter(|| family.count_preferred(&ctx, &empty));

@@ -25,10 +25,7 @@ fn salary_context(groups: usize, dups: usize) -> RepairContext {
     let mut rows = Vec::new();
     for g in 0..groups {
         for d in 0..dups {
-            rows.push(vec![
-                Value::name(&format!("n{g}")),
-                Value::int((10 * (g + 1) + d) as i64),
-            ]);
+            rows.push(vec![Value::name(&format!("n{g}")), Value::int((10 * (g + 1) + d) as i64)]);
         }
     }
     let instance = RelationInstance::from_rows(Arc::clone(&schema), rows).unwrap();
@@ -43,8 +40,8 @@ fn bench(c: &mut Criterion) {
     eprintln!("E12: SUM(Salary) range, closed form vs enumeration");
     for groups in [4usize, 8, 12, 16] {
         let ctx = salary_context(groups, 2);
-        let query =
-            AggregateQuery::over(ctx.instance().schema(), AggregateFunction::Sum, "Salary").unwrap();
+        let query = AggregateQuery::over(ctx.instance().schema(), AggregateFunction::Sum, "Salary")
+            .unwrap();
         let closed = range_closed_form(&ctx, &query).unwrap();
         let brute = range_by_enumeration(
             &ctx,
@@ -74,11 +71,14 @@ fn bench(c: &mut Criterion) {
     eprint!("{}", report.render());
 
     let mut group = c.benchmark_group("e12_aggregation");
-    group.sample_size(15).measurement_time(Duration::from_millis(700)).warm_up_time(Duration::from_millis(200));
+    group
+        .sample_size(15)
+        .measurement_time(Duration::from_millis(700))
+        .warm_up_time(Duration::from_millis(200));
     for groups in [6usize, 10, 14] {
         let ctx = salary_context(groups, 2);
-        let query =
-            AggregateQuery::over(ctx.instance().schema(), AggregateFunction::Sum, "Salary").unwrap();
+        let query = AggregateQuery::over(ctx.instance().schema(), AggregateFunction::Sum, "Salary")
+            .unwrap();
         group.bench_with_input(BenchmarkId::new("closed_form", groups), &groups, |b, _| {
             b.iter(|| range_closed_form(&ctx, &query).unwrap())
         });

@@ -1,0 +1,99 @@
+//! E13 — amortisation of the prepared-query pipeline: a repeated-query workload through
+//! `EngineBuilder` / `PreparedQuery` (parse + classify once, per-component preferred
+//! repairs memoised in the snapshot) against the same workload through the ad-hoc
+//! `PdqiEngine` path, which re-derives everything per call.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pdqi_bench::{example1_context, example3_reliability};
+use pdqi_core::{EngineBuilder, FamilyKind, PreparedQuery, Semantics};
+use pdqi_datagen::example4_instance;
+
+const QUERIES: [&str; 3] = [
+    "EXISTS d1,s1,r1,d2,s2,r2 . Mgr('Mary',d1,s1,r1) AND Mgr('John',d2,s2,r2) AND s1 < s2",
+    "EXISTS d1,s1,r1,d2,s2,r2 . Mgr('Mary',d1,s1,r1) AND Mgr('John',d2,s2,r2) AND s1 > s2 AND r1 < r2",
+    "EXISTS d,s,r . Mgr(x,d,s,r) AND s >= 10",
+];
+
+#[allow(deprecated)]
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e13_prepared_vs_adhoc");
+    group
+        .sample_size(15)
+        .measurement_time(Duration::from_millis(700))
+        .warm_up_time(Duration::from_millis(200));
+
+    // Workload 1: the paper's motivating instance, the three queries asked repeatedly
+    // under every family.
+    let ctx = example1_context();
+    let (sources, order) = example3_reliability();
+    let snapshot = EngineBuilder::new()
+        .relation(ctx.instance().clone(), ctx.fds().clone())
+        .priority_from_sources(&sources, &order)
+        .build()
+        .expect("example 1 snapshot builds");
+    let prepared: Vec<PreparedQuery> =
+        QUERIES.iter().map(|q| PreparedQuery::parse(q).unwrap()).collect();
+    group.bench_function("motivating/prepared", |b| {
+        b.iter(|| {
+            let mut rows = 0usize;
+            for query in &prepared {
+                for kind in FamilyKind::ALL {
+                    rows += query.execute(&snapshot, kind, Semantics::Certain).unwrap().count();
+                }
+            }
+            rows
+        })
+    });
+    group.bench_function("motivating/adhoc", |b| {
+        b.iter(|| {
+            let mut rows = 0usize;
+            for text in QUERIES {
+                for kind in FamilyKind::ALL {
+                    let mut engine =
+                        pdqi_core::PdqiEngine::new(ctx.instance().clone(), ctx.fds().clone());
+                    engine.set_priority_from_sources(&sources, &order);
+                    let formula = pdqi_query::parse_formula(text).unwrap();
+                    rows += engine.certain_answers(&formula, kind).unwrap().len();
+                }
+            }
+            rows
+        })
+    });
+
+    // Workload 2: growing repair spaces (Example 4, 2^n repairs) with one ground query
+    // asked many times — the prepared path pays component enumeration once.
+    for n in [6usize, 10] {
+        let (instance, fds) = example4_instance(n);
+        let snapshot =
+            EngineBuilder::new().relation(instance.clone(), fds.clone()).build().unwrap();
+        let query = PreparedQuery::parse("EXISTS x . R(x,0)").unwrap();
+        group.bench_with_input(BenchmarkId::new("explosion/prepared", n), &n, |b, _| {
+            b.iter(|| {
+                (0..8)
+                    .map(|_| {
+                        query.consistent_answer(&snapshot, FamilyKind::Local).unwrap().examined
+                    })
+                    .sum::<usize>()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("explosion/adhoc", n), &n, |b, _| {
+            b.iter(|| {
+                (0..8)
+                    .map(|_| {
+                        let engine = pdqi_core::PdqiEngine::new(instance.clone(), fds.clone());
+                        engine
+                            .consistent_answer_text("EXISTS x . R(x,0)", FamilyKind::Local)
+                            .unwrap()
+                            .examined
+                    })
+                    .sum::<usize>()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

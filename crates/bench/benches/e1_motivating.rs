@@ -39,7 +39,10 @@ fn bench(c: &mut Criterion) {
     }
 
     let mut group = c.benchmark_group("e1_motivating");
-    group.sample_size(20).measurement_time(Duration::from_millis(600)).warm_up_time(Duration::from_millis(200));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_millis(600))
+        .warm_up_time(Duration::from_millis(200));
     for kind in FamilyKind::ALL {
         group.bench_function(format!("q2_{}", kind.label()), |b| {
             b.iter(|| {

@@ -22,7 +22,10 @@ fn bench(c: &mut Criterion) {
     }
 
     let mut group = c.benchmark_group("e2_repair_explosion");
-    group.sample_size(15).measurement_time(Duration::from_millis(600)).warm_up_time(Duration::from_millis(200));
+    group
+        .sample_size(15)
+        .measurement_time(Duration::from_millis(600))
+        .warm_up_time(Duration::from_millis(200));
     for n in [8usize, 32, 128] {
         let (instance, fds) = example4_instance(n);
         let ctx = RepairContext::new(instance, fds);

@@ -8,14 +8,19 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pdqi_core::cqa::preferred_consistent_answer;
 use pdqi_core::cqa_ground::ground_consistent_answer;
 use pdqi_core::{AllRepairs, RepairContext};
-use pdqi_datagen::{example4_instance, random_conflict_instance, random_conjunctive_query, random_ground_query};
+use pdqi_datagen::{
+    example4_instance, random_conflict_instance, random_conjunctive_query, random_ground_query,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn bench(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(3);
     let mut group = c.benchmark_group("e3_rep_row");
-    group.sample_size(15).measurement_time(Duration::from_millis(700)).warm_up_time(Duration::from_millis(200));
+    group
+        .sample_size(15)
+        .measurement_time(Duration::from_millis(700))
+        .warm_up_time(Duration::from_millis(200));
 
     // Repair checking scales with the instance (PTIME).
     for n in [200usize, 800, 3200] {

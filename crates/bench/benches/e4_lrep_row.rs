@@ -8,14 +8,19 @@ use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pdqi_core::cqa::preferred_consistent_answer;
 use pdqi_core::{LocalOptimal, RepairContext, RepairFamily};
-use pdqi_datagen::{example4_instance, random_conflict_instance, random_conjunctive_query, random_priority};
+use pdqi_datagen::{
+    example4_instance, random_conflict_instance, random_conjunctive_query, random_priority,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn bench(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(4);
     let mut group = c.benchmark_group("e4_lrep_row");
-    group.sample_size(15).measurement_time(Duration::from_millis(700)).warm_up_time(Duration::from_millis(200));
+    group
+        .sample_size(15)
+        .measurement_time(Duration::from_millis(700))
+        .warm_up_time(Duration::from_millis(200));
 
     // L-repair checking (PTIME) on growing random instances with a half-complete priority.
     for n in [200usize, 800, 3200] {

@@ -8,14 +8,19 @@ use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pdqi_core::cqa::preferred_consistent_answer;
 use pdqi_core::{RepairContext, RepairFamily, SemiGlobalOptimal};
-use pdqi_datagen::{duplicate_instance, random_conjunctive_query, random_priority, random_total_priority};
+use pdqi_datagen::{
+    duplicate_instance, random_conjunctive_query, random_priority, random_total_priority,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn bench(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(5);
     let mut group = c.benchmark_group("e5_srep_row");
-    group.sample_size(15).measurement_time(Duration::from_millis(700)).warm_up_time(Duration::from_millis(200));
+    group
+        .sample_size(15)
+        .measurement_time(Duration::from_millis(700))
+        .warm_up_time(Duration::from_millis(200));
 
     // S-repair checking (PTIME) on duplicate-heavy instances of growing size.
     for groups in [50usize, 200, 800] {
@@ -39,7 +44,10 @@ fn bench(c: &mut Criterion) {
         let priority = random_total_priority(Arc::clone(ctx.graph()), &mut rng);
         let l = pdqi_core::LocalOptimal.count_preferred(&ctx, &priority);
         let s = SemiGlobalOptimal.count_preferred(&ctx, &priority);
-        eprintln!("  groups = {groups}: |Rep| = {}, |L-Rep| = {l}, |S-Rep| = {s}", ctx.count_repairs());
+        eprintln!(
+            "  groups = {groups}: |Rep| = {}, |L-Rep| = {l}, |S-Rep| = {s}",
+            ctx.count_repairs()
+        );
         let partial = random_priority(Arc::clone(ctx.graph()), 0.5, &mut rng);
         let query = random_conjunctive_query(ctx.instance(), 2, &mut rng);
         group.bench_with_input(BenchmarkId::new("s_cqa_enumeration", groups), &groups, |b, _| {

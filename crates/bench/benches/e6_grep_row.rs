@@ -17,7 +17,10 @@ use rand::SeedableRng;
 fn bench(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(6);
     let mut group = c.benchmark_group("e6_grep_row");
-    group.sample_size(12).measurement_time(Duration::from_millis(700)).warm_up_time(Duration::from_millis(200));
+    group
+        .sample_size(12)
+        .measurement_time(Duration::from_millis(700))
+        .warm_up_time(Duration::from_millis(200));
 
     // G-repair checking on conflict chains (the Example 9 shape) with total priorities.
     for length in [10usize, 20, 30] {
@@ -25,9 +28,11 @@ fn bench(c: &mut Criterion) {
         let ctx = RepairContext::new(instance, fds);
         let priority = random_total_priority(Arc::clone(ctx.graph()), &mut rng);
         let repair = ctx.some_repair();
-        group.bench_with_input(BenchmarkId::new("g_repair_checking_chain", length), &length, |b, _| {
-            b.iter(|| GlobalOptimal.is_preferred(&ctx, &priority, &repair))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("g_repair_checking_chain", length),
+            &length,
+            |b, _| b.iter(|| GlobalOptimal.is_preferred(&ctx, &priority, &repair)),
+        );
     }
 
     // G-repair checking and G-CQA on the adversarial SAT-reduction instances; the repair

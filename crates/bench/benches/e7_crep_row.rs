@@ -8,14 +8,20 @@ use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pdqi_core::cqa::preferred_consistent_answer;
 use pdqi_core::{CommonOptimal, RepairContext, RepairFamily};
-use pdqi_datagen::{example4_instance, random_conflict_instance, random_conjunctive_query, random_priority, random_total_priority};
+use pdqi_datagen::{
+    example4_instance, random_conflict_instance, random_conjunctive_query, random_priority,
+    random_total_priority,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn bench(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(7);
     let mut group = c.benchmark_group("e7_crep_row");
-    group.sample_size(15).measurement_time(Duration::from_millis(700)).warm_up_time(Duration::from_millis(200));
+    group
+        .sample_size(15)
+        .measurement_time(Duration::from_millis(700))
+        .warm_up_time(Duration::from_millis(200));
 
     // C-repair checking (PTIME) on growing random instances with total priorities.
     for n in [100usize, 400, 1600] {

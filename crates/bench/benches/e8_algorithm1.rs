@@ -13,7 +13,10 @@ use rand::SeedableRng;
 fn bench(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(8);
     let mut group = c.benchmark_group("e8_algorithm1");
-    group.sample_size(15).measurement_time(Duration::from_millis(700)).warm_up_time(Duration::from_millis(200));
+    group
+        .sample_size(15)
+        .measurement_time(Duration::from_millis(700))
+        .warm_up_time(Duration::from_millis(200));
 
     // Matching-shaped instances (Example 4): the cheapest possible conflict structure.
     for n in [1_000usize, 4_000, 16_000] {

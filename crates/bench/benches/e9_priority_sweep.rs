@@ -41,7 +41,10 @@ fn bench(c: &mut Criterion) {
     drop(sweep);
 
     let mut group = c.benchmark_group("e9_priority_sweep");
-    group.sample_size(12).measurement_time(Duration::from_millis(700)).warm_up_time(Duration::from_millis(200));
+    group
+        .sample_size(12)
+        .measurement_time(Duration::from_millis(700))
+        .warm_up_time(Duration::from_millis(200));
     for p in [0.0f64, 0.5, 1.0] {
         let priority = random_priority(Arc::clone(ctx.graph()), p, &mut rng);
         for kind in [FamilyKind::Global, FamilyKind::Common] {

@@ -46,11 +46,8 @@ pub fn example1_context() -> RepairContext {
         ],
     )
     .expect("valid rows");
-    let fds = FdSet::parse(
-        schema,
-        &["Dept -> Name Salary Reports", "Name -> Dept Salary Reports"],
-    )
-    .expect("valid FDs");
+    let fds = FdSet::parse(schema, &["Dept -> Name Salary Reports", "Name -> Dept Salary Reports"])
+        .expect("valid FDs");
     RepairContext::new(instance, fds)
 }
 

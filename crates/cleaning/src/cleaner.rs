@@ -12,6 +12,10 @@ use pdqi_relation::{TupleId, TupleSet};
 
 use crate::source::Integration;
 
+/// User-supplied resolution logic: given the integration and a conflicting pair, return
+/// the loser (or `None` to abstain).
+pub type CustomRule = Box<dyn Fn(&Integration, TupleId, TupleId) -> Option<TupleId>>;
+
 /// A conflict-resolution rule. Rules see the provenance of both tuples of a conflicting
 /// pair and may declare a loser or abstain.
 pub enum ResolutionRule {
@@ -20,7 +24,7 @@ pub enum ResolutionRule {
     /// Remove the tuple whose (primary) source is strictly less reliable.
     PreferReliableSource(SourceOrder),
     /// Arbitrary user logic: given the two tuple ids, return the loser (or `None`).
-    Custom(Box<dyn Fn(&Integration, TupleId, TupleId) -> Option<TupleId>>),
+    Custom(CustomRule),
 }
 
 impl std::fmt::Debug for ResolutionRule {
@@ -116,10 +120,8 @@ impl Cleaner {
         kept.remove_all(&contingency);
         // Conflicts whose loser was removed because of *another* conflict are resolved
         // incidentally; keep only the pairs that truly survive together.
-        let unresolved = unresolved
-            .into_iter()
-            .filter(|&(a, b)| kept.contains(a) && kept.contains(b))
-            .collect();
+        let unresolved =
+            unresolved.into_iter().filter(|&(a, b)| kept.contains(a) && kept.contains(b)).collect();
         CleaningOutcome { kept, contingency, unresolved }
     }
 }

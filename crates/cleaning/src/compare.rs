@@ -43,8 +43,7 @@ pub fn compare_answers(
     let cleaned_answer =
         Evaluator::with_restricted(integration.instance(), &cleaning.kept).eval_closed(query)?;
     let ctx = RepairContext::new(integration.instance().clone(), fds.clone());
-    let outcome =
-        preferred_consistent_answer(&ctx, priority, family.family().as_ref(), query)?;
+    let outcome = preferred_consistent_answer(&ctx, priority, family.family().as_ref(), query)?;
     let preferred_answer = if outcome.certainly_true {
         Some(true)
     } else if outcome.certainly_false {
@@ -106,11 +105,9 @@ mod tests {
             ),
         ];
         let integration = Integration::integrate(Arc::clone(&schema), &sources).unwrap();
-        let fds = FdSet::parse(
-            schema,
-            &["Dept -> Name Salary Reports", "Name -> Dept Salary Reports"],
-        )
-        .unwrap();
+        let fds =
+            FdSet::parse(schema, &["Dept -> Name Salary Reports", "Name -> Dept Salary Reports"])
+                .unwrap();
         let graph = ConflictGraph::build(integration.instance(), &fds);
         let mut order = SourceOrder::new();
         order.prefer("s1", "s3").prefer("s2", "s3");

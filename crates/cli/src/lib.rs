@@ -19,8 +19,8 @@
 use std::fmt::Write as _;
 
 use pdqi_aggregate::{range_by_enumeration, AggregateFunction, AggregateQuery};
-use pdqi_core::{properties, FamilyKind, PdqiEngine};
-use pdqi_relation::TupleSet;
+use pdqi_core::{properties, EngineSnapshot, FamilyKind, PreparedQuery};
+use pdqi_relation::{RelationInstance, TupleSet};
 use pdqi_sql::{Session, SqlError, StatementOutcome};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -120,9 +120,7 @@ impl Interpreter {
             "answer" => self.answer(&args),
             "aggregate" => self.aggregate(&args),
             "properties" => self.properties(&args),
-            other => Err(CliError::Command(format!(
-                "unknown command `.{other}` (try `.help`)"
-            ))),
+            other => Err(CliError::Command(format!("unknown command `.{other}` (try `.help`)"))),
         }
     }
 
@@ -135,19 +133,21 @@ impl Interpreter {
         }
     }
 
-    fn engine_for(&self, args: &[&str], usage: &str) -> Result<(PdqiEngine, String), CliError> {
-        let table = args
-            .first()
-            .ok_or_else(|| CliError::Command(format!("usage: {usage}")))?
-            .to_string();
-        let engine = self.session.engine(&table)?;
-        Ok((engine, table))
+    fn snapshot_for(
+        &mut self,
+        args: &[&str],
+        usage: &str,
+    ) -> Result<(EngineSnapshot, String), CliError> {
+        let table =
+            args.first().ok_or_else(|| CliError::Command(format!("usage: {usage}")))?.to_string();
+        let snapshot = self.session.snapshot(&table)?;
+        Ok((snapshot, table))
     }
 
-    fn schema(&self, args: &[&str]) -> Result<String, CliError> {
-        let (engine, _) = self.engine_for(args, ".schema <table>")?;
-        let mut out = format!("{}\n", engine.instance().schema());
-        let fds = engine.context().fds().render();
+    fn schema(&mut self, args: &[&str]) -> Result<String, CliError> {
+        let (snapshot, _) = self.snapshot_for(args, ".schema <table>")?;
+        let mut out = format!("{}\n", snapshot.context().instance().schema());
+        let fds = snapshot.context().fds().render();
         if fds.is_empty() {
             out.push_str("  (no functional dependencies)\n");
         }
@@ -157,22 +157,23 @@ impl Interpreter {
         Ok(out)
     }
 
-    fn conflicts(&self, args: &[&str]) -> Result<String, CliError> {
-        let (engine, table) = self.engine_for(args, ".conflicts <table>")?;
-        let graph = engine.graph();
+    fn conflicts(&mut self, args: &[&str]) -> Result<String, CliError> {
+        let (snapshot, table) = self.snapshot_for(args, ".conflicts <table>")?;
+        let instance = snapshot.context().instance();
+        let graph = snapshot.graph();
         if graph.edge_count() == 0 {
             return Ok(format!("`{table}` is consistent"));
         }
         let mut out = format!(
             "{} conflicts among {} tuples ({} oriented by preferences)\n",
             graph.edge_count(),
-            engine.instance().len(),
-            engine.priority().edge_count()
+            instance.len(),
+            snapshot.priority().edge_count()
         );
         for &(a, b) in graph.edges() {
-            let orientation = if engine.priority().dominates(a, b) {
+            let orientation = if snapshot.priority().dominates(a, b) {
                 " (first preferred)"
-            } else if engine.priority().dominates(b, a) {
+            } else if snapshot.priority().dominates(b, a) {
                 " (second preferred)"
             } else {
                 ""
@@ -180,59 +181,59 @@ impl Interpreter {
             let _ = writeln!(
                 out,
                 "  {} <-> {}{orientation}",
-                engine.instance().tuple_unchecked(a),
-                engine.instance().tuple_unchecked(b)
+                instance.tuple_unchecked(a),
+                instance.tuple_unchecked(b)
             );
         }
         Ok(out)
     }
 
-    fn count(&self, args: &[&str]) -> Result<String, CliError> {
-        let (engine, table) = self.engine_for(args, ".count <table>")?;
-        Ok(format!("`{table}` has {} repair(s)", engine.count_repairs()))
+    fn count(&mut self, args: &[&str]) -> Result<String, CliError> {
+        let (snapshot, table) = self.snapshot_for(args, ".count <table>")?;
+        Ok(format!("`{table}` has {} repair(s)", snapshot.count_repairs()))
     }
 
-    fn repairs(&self, args: &[&str]) -> Result<String, CliError> {
-        let (engine, _) = self.engine_for(args, ".repairs <table> [limit]")?;
+    fn repairs(&mut self, args: &[&str]) -> Result<String, CliError> {
+        let (snapshot, _) = self.snapshot_for(args, ".repairs <table> [limit]")?;
         let limit = parse_limit(args.get(1))?;
-        Ok(render_repairs(&engine, &engine.repairs(limit)))
+        Ok(render_repairs(snapshot.context().instance(), &snapshot.repairs(limit)))
     }
 
-    fn preferred(&self, args: &[&str]) -> Result<String, CliError> {
-        let (engine, _) = self.engine_for(args, ".preferred <table> <family> [limit]")?;
+    fn preferred(&mut self, args: &[&str]) -> Result<String, CliError> {
+        let (snapshot, _) = self.snapshot_for(args, ".preferred <table> <family> [limit]")?;
         let family = parse_family(args.get(1))?;
         let limit = parse_limit(args.get(2))?;
-        let repairs = engine.preferred_repairs(family, limit);
+        let repairs = snapshot.preferred_repairs(family, limit);
         Ok(format!(
             "{} preferred repair(s) under {}\n{}",
             repairs.len(),
             family.label(),
-            render_repairs(&engine, &repairs)
+            render_repairs(snapshot.context().instance(), &repairs)
         ))
     }
 
-    fn clean(&self, args: &[&str]) -> Result<String, CliError> {
-        let (engine, _) = self.engine_for(args, ".clean <table>")?;
-        match engine.clean() {
+    fn clean(&mut self, args: &[&str]) -> Result<String, CliError> {
+        let (snapshot, _) = self.snapshot_for(args, ".clean <table>")?;
+        match snapshot.clean() {
             Ok(repair) => Ok(format!(
                 "Algorithm 1 produces the unique repair:\n{}",
-                render_repairs(&engine, &[repair])
+                render_repairs(snapshot.context().instance(), &[repair])
             )),
             Err(e) => Err(CliError::Command(format!("cannot clean: {e}"))),
         }
     }
 
-    fn answer(&self, args: &[&str]) -> Result<String, CliError> {
+    fn answer(&mut self, args: &[&str]) -> Result<String, CliError> {
         if args.len() < 3 {
             return Err(CliError::Command(
                 "usage: .answer <table> <family> <closed first-order query>".to_string(),
             ));
         }
-        let engine = self.session.engine(args[0])?;
+        let snapshot = self.session.snapshot(args[0])?;
         let family = parse_family(args.get(1))?;
         let query = args[2..].join(" ");
-        let outcome = engine
-            .consistent_answer_text(&query, family)
+        let outcome = PreparedQuery::parse(&query)
+            .and_then(|prepared| prepared.consistent_answer(&snapshot, family))
             .map_err(|e| CliError::Command(format!("query error: {e}")))?;
         let verdict = if outcome.certainly_true {
             "certainly true"
@@ -248,28 +249,27 @@ impl Interpreter {
         ))
     }
 
-    fn aggregate(&self, args: &[&str]) -> Result<String, CliError> {
+    fn aggregate(&mut self, args: &[&str]) -> Result<String, CliError> {
         if args.len() < 3 {
             return Err(CliError::Command(
-                "usage: .aggregate <table> <COUNT|SUM|MIN|MAX|AVG> <attribute|*> [family]".to_string(),
+                "usage: .aggregate <table> <COUNT|SUM|MIN|MAX|AVG> <attribute|*> [family]"
+                    .to_string(),
             ));
         }
-        let engine = self.session.engine(args[0])?;
+        let snapshot = self.session.snapshot(args[0])?;
         let function = parse_function(args[1])?;
         let family = parse_family(args.get(3).or(Some(&"ALL")))?;
-        let schema = engine.instance().schema();
+        let schema = snapshot.context().instance().schema();
         let query = if function == AggregateFunction::Count && args[2] == "*" {
             AggregateQuery::count()
         } else {
             AggregateQuery::over(schema, function, args[2])
                 .map_err(|e| CliError::Command(format!("bad aggregate: {e}")))?
         };
-        query
-            .validate(schema)
-            .map_err(|e| CliError::Command(format!("bad aggregate: {e}")))?;
+        query.validate(schema).map_err(|e| CliError::Command(format!("bad aggregate: {e}")))?;
         let range = range_by_enumeration(
-            engine.context(),
-            engine.priority(),
+            snapshot.context(),
+            snapshot.priority(),
             family.family().as_ref(),
             &query,
         );
@@ -283,15 +283,15 @@ impl Interpreter {
         ))
     }
 
-    fn properties(&self, args: &[&str]) -> Result<String, CliError> {
-        let (engine, _) = self.engine_for(args, ".properties <table>")?;
+    fn properties(&mut self, args: &[&str]) -> Result<String, CliError> {
+        let (snapshot, _) = self.snapshot_for(args, ".properties <table>")?;
         let mut rng = StdRng::seed_from_u64(0);
         let mut out = String::from("family  P1     P2     P3     P4\n");
         for kind in FamilyKind::ALL {
             let profile = properties::check_profile(
                 kind.family().as_ref(),
-                engine.context(),
-                engine.priority(),
+                snapshot.context(),
+                snapshot.priority(),
                 3,
                 &mut rng,
             );
@@ -347,12 +347,12 @@ fn render_outcome(outcome: &StatementOutcome) -> String {
     }
 }
 
-fn render_repairs(engine: &PdqiEngine, repairs: &[TupleSet]) -> String {
+fn render_repairs(instance: &RelationInstance, repairs: &[TupleSet]) -> String {
     let mut out = String::new();
     for (index, repair) in repairs.iter().enumerate() {
         let _ = writeln!(out, "repair #{}:", index + 1);
         for id in repair.iter() {
-            let _ = writeln!(out, "  {}", engine.instance().tuple_unchecked(id));
+            let _ = writeln!(out, "  {}", instance.tuple_unchecked(id));
         }
     }
     out
@@ -361,16 +361,17 @@ fn render_repairs(engine: &PdqiEngine, repairs: &[TupleSet]) -> String {
 fn parse_limit(arg: Option<&&str>) -> Result<usize, CliError> {
     match arg {
         None => Ok(20),
-        Some(text) => text
-            .parse()
-            .map_err(|_| CliError::Command(format!("`{text}` is not a valid limit"))),
+        Some(text) => {
+            text.parse().map_err(|_| CliError::Command(format!("`{text}` is not a valid limit")))
+        }
     }
 }
 
 fn parse_family(arg: Option<&&str>) -> Result<FamilyKind, CliError> {
     let text = arg.copied().unwrap_or("ALL");
-    FamilyKind::parse(text)
-        .ok_or_else(|| CliError::Command(format!("`{text}` is not a repair family (use ALL, L, S, G or C)")))
+    FamilyKind::parse(text).ok_or_else(|| {
+        CliError::Command(format!("`{text}` is not a repair family (use ALL, L, S, G or C)"))
+    })
 }
 
 fn parse_function(text: &str) -> Result<AggregateFunction, CliError> {
@@ -429,12 +430,8 @@ mod tests {
     #[test]
     fn preferences_drive_preferred_repairs_and_answers() {
         let mut interpreter = loaded();
-        interpreter
-            .run_line("PREFER ('Mary','R&D',40,3) OVER ('Mary','IT',20,1) IN Mgr")
-            .unwrap();
-        interpreter
-            .run_line("PREFER ('John','R&D',10,2) OVER ('John','PR',30,4) IN Mgr")
-            .unwrap();
+        interpreter.run_line("PREFER ('Mary','R&D',40,3) OVER ('Mary','IT',20,1) IN Mgr").unwrap();
+        interpreter.run_line("PREFER ('John','R&D',10,2) OVER ('John','PR',30,4) IN Mgr").unwrap();
         let preferred = interpreter.run_line(".preferred Mgr G").unwrap();
         assert!(preferred.starts_with("2 preferred repair(s)"));
         let answer = interpreter
@@ -470,15 +467,9 @@ mod tests {
         let mut interpreter = loaded();
         let error = interpreter.run_line(".clean Mgr");
         assert!(error.is_err());
-        interpreter
-            .run_line("PREFER ('Mary','R&D',40,3) OVER ('Mary','IT',20,1) IN Mgr")
-            .unwrap();
-        interpreter
-            .run_line("PREFER ('Mary','R&D',40,3) OVER ('John','R&D',10,2) IN Mgr")
-            .unwrap();
-        interpreter
-            .run_line("PREFER ('John','PR',30,4) OVER ('John','R&D',10,2) IN Mgr")
-            .unwrap();
+        interpreter.run_line("PREFER ('Mary','R&D',40,3) OVER ('Mary','IT',20,1) IN Mgr").unwrap();
+        interpreter.run_line("PREFER ('Mary','R&D',40,3) OVER ('John','R&D',10,2) IN Mgr").unwrap();
+        interpreter.run_line("PREFER ('John','PR',30,4) OVER ('John','R&D',10,2) IN Mgr").unwrap();
         let cleaned = interpreter.run_line(".clean Mgr").unwrap();
         assert!(cleaned.contains("unique repair"));
         assert!(cleaned.contains("Mary"));

@@ -232,7 +232,11 @@ impl fmt::Display for ConflictGraphStats {
         write!(
             f,
             "{} vertices, {} edges, max degree {}, {} isolated, {} components (largest {})",
-            self.vertices, self.edges, self.max_degree, self.isolated, self.components,
+            self.vertices,
+            self.edges,
+            self.max_degree,
+            self.isolated,
+            self.components,
             self.largest_component
         )
     }
@@ -248,7 +252,8 @@ mod tests {
     /// The instance r_n of Example 4: {(i, 0), (i, 1) | i < n} with FD A -> B.
     fn example4(n: i64) -> (RelationInstance, FdSet) {
         let schema = Arc::new(
-            RelationSchema::from_pairs("R", &[("A", ValueType::Int), ("B", ValueType::Int)]).unwrap(),
+            RelationSchema::from_pairs("R", &[("A", ValueType::Int), ("B", ValueType::Int)])
+                .unwrap(),
         );
         let mut rows = Vec::new();
         for i in 0..n {
@@ -281,11 +286,9 @@ mod tests {
             vec!["John".into(), "PR".into(), Value::int(30), Value::int(4)],
         ];
         let instance = RelationInstance::from_rows(Arc::clone(&schema), rows).unwrap();
-        let fds = FdSet::parse(
-            schema,
-            &["Dept -> Name Salary Reports", "Name -> Dept Salary Reports"],
-        )
-        .unwrap();
+        let fds =
+            FdSet::parse(schema, &["Dept -> Name Salary Reports", "Name -> Dept Salary Reports"])
+                .unwrap();
         (instance, fds)
     }
 

@@ -174,7 +174,10 @@ impl DenialConstraint {
     /// The denial constraints equivalent to a functional dependency `X → Y`: one
     /// two-variable constraint per attribute `B ∈ Y`, namely
     /// `¬∃ t1,t2 . t1.X = t2.X ∧ t1.B ≠ t2.B`.
-    pub fn from_fd(schema: Arc<RelationSchema>, fd: &FunctionalDependency) -> Vec<DenialConstraint> {
+    pub fn from_fd(
+        schema: Arc<RelationSchema>,
+        fd: &FunctionalDependency,
+    ) -> Vec<DenialConstraint> {
         fd.rhs()
             .iter()
             .map(|b| {

@@ -85,11 +85,7 @@ impl FunctionalDependency {
 
     /// Renders the FD using the attribute names of `schema`.
     pub fn render(&self, schema: &RelationSchema) -> String {
-        format!(
-            "{} -> {}",
-            schema.render_attr_set(&self.lhs),
-            schema.render_attr_set(&self.rhs)
-        )
+        format!("{} -> {}", schema.render_attr_set(&self.lhs), schema.render_attr_set(&self.rhs))
     }
 }
 
@@ -202,9 +198,7 @@ impl FdSet {
     /// side, i.e. the schema is in Boyce–Codd normal form w.r.t. this set. (The paper's
     /// future-work section suggests refining the complexity analysis under BCNF.)
     pub fn is_bcnf(&self) -> bool {
-        self.fds
-            .iter()
-            .all(|fd| fd.is_trivial() || self.is_superkey(fd.lhs()))
+        self.fds.iter().all(|fd| fd.is_trivial() || self.is_superkey(fd.lhs()))
     }
 
     /// A minimal cover: an equivalent FD set with singleton right-hand sides, no
@@ -291,11 +285,8 @@ mod tests {
 
     fn mgr_fds() -> FdSet {
         // fd1: Dept -> Name Salary Reports, fd2: Name -> Dept Salary Reports
-        FdSet::parse(
-            mgr_schema(),
-            &["Dept -> Name Salary Reports", "Name -> Dept Salary Reports"],
-        )
-        .unwrap()
+        FdSet::parse(mgr_schema(), &["Dept -> Name Salary Reports", "Name -> Dept Salary Reports"])
+            .unwrap()
     }
 
     fn mgr_tuple(name: &str, dept: &str, salary: i64, reports: i64) -> Tuple {
@@ -331,7 +322,7 @@ mod tests {
         assert!(fds.fds()[0].conflicts(&mary_rd, &john_rd)); // fd1
         assert!(fds.fds()[1].conflicts(&mary_rd, &mary_it)); // fd2
         assert!(fds.fds()[1].conflicts(&john_rd, &john_pr)); // fd2
-        // Non-conflicting pairs.
+                                                             // Non-conflicting pairs.
         assert!(!fds.conflicting(&mary_rd, &john_pr));
         assert!(!fds.conflicting(&mary_it, &john_pr));
         assert!(!fds.conflicting(&mary_it, &john_rd));
@@ -402,11 +393,8 @@ mod tests {
             .unwrap(),
         );
         // A -> B, B -> C, A -> C (redundant), A B -> C (extraneous B and redundant).
-        let fds = FdSet::parse(
-            Arc::clone(&schema),
-            &["A -> B", "B -> C", "A -> C", "A B -> C"],
-        )
-        .unwrap();
+        let fds =
+            FdSet::parse(Arc::clone(&schema), &["A -> B", "B -> C", "A -> C", "A B -> C"]).unwrap();
         let cover = fds.minimal_cover();
         assert_eq!(cover.len(), 2);
         // The cover is logically equivalent to the original set.

@@ -36,7 +36,13 @@ impl ConflictHypergraph {
         for constraint in constraints {
             let k = constraint.tuple_vars();
             let mut assignment: Vec<TupleId> = Vec::with_capacity(k);
-            Self::enumerate_assignments(instance, constraint, &ids, &mut assignment, &mut raw_edges);
+            Self::enumerate_assignments(
+                instance,
+                constraint,
+                &ids,
+                &mut assignment,
+                &mut raw_edges,
+            );
         }
         let hyperedges = Self::minimise(raw_edges);
         ConflictHypergraph { vertex_count: instance.len(), hyperedges }
@@ -144,7 +150,8 @@ mod tests {
 
     fn schema() -> Arc<RelationSchema> {
         Arc::new(
-            RelationSchema::from_pairs("R", &[("A", ValueType::Int), ("B", ValueType::Int)]).unwrap(),
+            RelationSchema::from_pairs("R", &[("A", ValueType::Int), ("B", ValueType::Int)])
+                .unwrap(),
         )
     }
 

@@ -43,9 +43,7 @@ pub fn check_consistency(instance: &RelationInstance, fds: &FdSet) -> Vec<Violat
         for group in groups.values() {
             for (i, &a) in group.iter().enumerate() {
                 for &b in &group[i + 1..] {
-                    if instance
-                        .tuple_unchecked(a)
-                        .differs_on(instance.tuple_unchecked(b), fd.rhs())
+                    if instance.tuple_unchecked(a).differs_on(instance.tuple_unchecked(b), fd.rhs())
                     {
                         violations.push(Violation { first: a.min(b), second: a.max(b), fd_index });
                     }
@@ -89,11 +87,9 @@ mod tests {
             vec!["John".into(), "PR".into(), Value::int(30), Value::int(4)],
         ];
         let instance = RelationInstance::from_rows(Arc::clone(&schema), rows).unwrap();
-        let fds = FdSet::parse(
-            schema,
-            &["Dept -> Name Salary Reports", "Name -> Dept Salary Reports"],
-        )
-        .unwrap();
+        let fds =
+            FdSet::parse(schema, &["Dept -> Name Salary Reports", "Name -> Dept Salary Reports"])
+                .unwrap();
         (instance, fds)
     }
 

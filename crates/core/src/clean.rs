@@ -111,14 +111,31 @@ pub fn is_common_repair(graph: &ConflictGraph, priority: &Priority, candidate: &
 /// choices are not re-explored). The number of common repairs can be exponential; use
 /// `limit` to cap the enumeration.
 pub fn common_repairs(graph: &ConflictGraph, priority: &Priority, limit: usize) -> Vec<TupleSet> {
+    common_repairs_within(graph, priority, &TupleSet::full(graph.vertex_count()), limit)
+}
+
+/// [`common_repairs`] restricted to an initial active set, which must be closed under
+/// conflict neighbourhoods (a connected component, or a union of components). Because the
+/// winnow operator and Step-3 choices never cross component boundaries, the common
+/// repairs of the whole graph are exactly the unions of one common repair per component —
+/// which is how the snapshot pipeline memoises them.
+pub fn common_repairs_within(
+    graph: &ConflictGraph,
+    priority: &Priority,
+    active: &TupleSet,
+    limit: usize,
+) -> Vec<TupleSet> {
     use std::collections::HashSet;
+    debug_assert!(
+        active.iter().all(|v| graph.neighbors(v).is_subset_of(active)),
+        "the active set must be closed under conflict neighbourhoods"
+    );
     // Memoise on the set of already-chosen tuples: the active set is a function of it
     // (`active = all \ (built ∪ n(built))`), so two interleavings of the same choices
     // reach identical states and only need to be explored once.
     let mut seen_states: HashSet<TupleSet> = HashSet::new();
     let mut results: HashSet<TupleSet> = HashSet::new();
-    let mut stack: Vec<(TupleSet, TupleSet)> =
-        vec![(TupleSet::full(graph.vertex_count()), TupleSet::new())];
+    let mut stack: Vec<(TupleSet, TupleSet)> = vec![(active.clone(), TupleSet::new())];
     while let Some((active, built)) = stack.pop() {
         if results.len() >= limit {
             break;
@@ -164,16 +181,12 @@ mod tests {
         let expected = clean_with_total_priority(ctx.graph(), &priority).unwrap();
         // Any chooser — lowest id, highest id — produces the same repair.
         let lowest = clean_with_chooser(ctx.graph(), &priority, |c| c.first().unwrap());
-        let highest =
-            clean_with_chooser(ctx.graph(), &priority, |c| c.iter().last().unwrap());
+        let highest = clean_with_chooser(ctx.graph(), &priority, |c| c.iter().last().unwrap());
         assert_eq!(lowest, expected);
         assert_eq!(highest, expected);
         assert!(ctx.is_repair(&expected));
         // For Example 9 the cleaning outcome is the alternating repair {ta, tc, te}.
-        assert_eq!(
-            expected,
-            TupleSet::from_ids([TupleId(0), TupleId(2), TupleId(4)])
-        );
+        assert_eq!(expected, TupleSet::from_ids([TupleId(0), TupleId(2), TupleId(4)]));
     }
 
     #[test]

@@ -55,8 +55,7 @@ pub fn preferred_consistent_answer(
     if !free.is_empty() {
         return Err(QueryError::FreeVariables { variables: free });
     }
-    let mut outcome =
-        CqaOutcome { certainly_true: true, certainly_false: true, examined: 0 };
+    let mut outcome = CqaOutcome { certainly_true: true, certainly_false: true, examined: 0 };
     let mut error: Option<QueryError> = None;
     family.for_each_preferred(ctx, priority, &mut |repair| {
         let evaluator = Evaluator::with_restricted(ctx.instance(), repair);
@@ -157,7 +156,8 @@ mod tests {
     use pdqi_query::parse_formula;
     use std::sync::Arc;
 
-    const Q1: &str = "EXISTS d1,s1,r1,d2,s2,r2 . Mgr('Mary',d1,s1,r1) AND Mgr('John',d2,s2,r2) AND s1 < s2";
+    const Q1: &str =
+        "EXISTS d1,s1,r1,d2,s2,r2 . Mgr('Mary',d1,s1,r1) AND Mgr('John',d2,s2,r2) AND s1 < s2";
     const Q2: &str = "EXISTS d1,s1,r1,d2,s2,r2 . Mgr('Mary',d1,s1,r1) AND Mgr('John',d2,s2,r2) AND s1 > s2 AND r1 < r2";
 
     /// The Example 3 priority: source s3 (tuples 2 and 3) is less reliable than s1
@@ -165,8 +165,7 @@ mod tests {
     fn example3_priority(ctx: &RepairContext) -> Priority {
         let mut order = SourceOrder::new();
         order.prefer("s1", "s3").prefer("s2", "s3");
-        let sources =
-            vec!["s1".to_string(), "s2".to_string(), "s3".to_string(), "s3".to_string()];
+        let sources = vec!["s1".to_string(), "s2".to_string(), "s3".to_string(), "s3".to_string()];
         priority_from_source_reliability(Arc::clone(ctx.graph()), &sources, &order)
     }
 
@@ -199,8 +198,7 @@ mod tests {
         // The preferred repairs are r1 and r2 (r3 is dominated), and Q2 holds in both.
         let preferred = GlobalOptimal.preferred_repairs(&ctx, &priority, usize::MAX);
         assert_eq!(preferred.len(), 2);
-        let outcome =
-            preferred_consistent_answer(&ctx, &priority, &GlobalOptimal, &q2).unwrap();
+        let outcome = preferred_consistent_answer(&ctx, &priority, &GlobalOptimal, &q2).unwrap();
         assert!(outcome.certainly_true);
         assert!(!outcome.certainly_false);
     }
@@ -211,18 +209,14 @@ mod tests {
         let ctx = example1();
         let priority = example3_priority(&ctx);
         let q1 = parse_formula(Q1).unwrap();
-        let outcome =
-            preferred_consistent_answer(&ctx, &priority, &GlobalOptimal, &q1).unwrap();
+        let outcome = preferred_consistent_answer(&ctx, &priority, &GlobalOptimal, &q1).unwrap();
         assert!(outcome.certainly_false);
     }
 
     #[test]
     fn every_family_gives_a_determined_answer_on_consistent_data() {
         let ctx = example1();
-        let consistent = RepairContext::new(
-            ctx.materialise(&ctx.repairs(1)[0]),
-            ctx.fds().clone(),
-        );
+        let consistent = RepairContext::new(ctx.materialise(&ctx.repairs(1)[0]), ctx.fds().clone());
         let empty = consistent.empty_priority();
         let query = parse_formula("EXISTS n,d,s,r . Mgr(n,d,s,r) AND s >= 10").unwrap();
         for kind in FamilyKind::ALL {

@@ -40,9 +40,9 @@ pub enum GroundCqaError {
 impl fmt::Display for GroundCqaError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            GroundCqaError::NotGround => {
-                f.write_str("the polynomial algorithm requires a ground (quantifier-free, variable-free) query")
-            }
+            GroundCqaError::NotGround => f.write_str(
+                "the polynomial algorithm requires a ground (quantifier-free, variable-free) query",
+            ),
             GroundCqaError::Query(e) => write!(f, "{e}"),
         }
     }
@@ -72,9 +72,7 @@ pub fn exists_repair_satisfying_ground(
     ctx: &RepairContext,
     query: &Formula,
 ) -> Result<bool, GroundCqaError> {
-    if !is_quantifier_free(query)
-        || !query.free_vars().is_empty()
-        || !query.bound_vars().is_empty()
+    if !is_quantifier_free(query) || !query.free_vars().is_empty() || !query.bound_vars().is_empty()
     {
         return Err(GroundCqaError::NotGround);
     }
@@ -198,7 +196,10 @@ fn resolve_atom(
 }
 
 /// Whether some repair satisfies the conjunction of ground literals.
-fn disjunct_satisfiable(ctx: &RepairContext, literals: &[GroundLiteral]) -> Result<bool, GroundCqaError> {
+fn disjunct_satisfiable(
+    ctx: &RepairContext,
+    literals: &[GroundLiteral],
+) -> Result<bool, GroundCqaError> {
     let graph = ctx.graph();
     let mut positive = TupleSet::with_capacity(graph.vertex_count());
     let mut negative = TupleSet::with_capacity(graph.vertex_count());
@@ -225,10 +226,8 @@ fn disjunct_satisfiable(ctx: &RepairContext, literals: &[GroundLiteral]) -> Resu
     // positive tuples costs nothing; the remaining ones are chosen by backtracking over
     // the (data-sized) candidate lists — the number of negative literals is bounded by
     // the query, so this search is polynomial in the data.
-    let needs_blocker: Vec<TupleId> = negative
-        .iter()
-        .filter(|&n| graph.neighbors(n).is_disjoint_from(&positive))
-        .collect();
+    let needs_blocker: Vec<TupleId> =
+        negative.iter().filter(|&n| graph.neighbors(n).is_disjoint_from(&positive)).collect();
     Ok(assign_blockers(ctx, &positive, &negative, &needs_blocker, 0))
 }
 
@@ -276,9 +275,7 @@ mod tests {
     fn naive(ctx: &RepairContext, text: &str) -> bool {
         let query = parse_formula(text).unwrap();
         let empty = ctx.empty_priority();
-        preferred_consistent_answer(ctx, &empty, &AllRepairs, &query)
-            .unwrap()
-            .certainly_true
+        preferred_consistent_answer(ctx, &empty, &AllRepairs, &query).unwrap().certainly_true
     }
 
     fn fast(ctx: &RepairContext, text: &str) -> bool {
@@ -340,14 +337,14 @@ mod tests {
             for query in queries {
                 // Skip queries whose relation/arity does not match this context.
                 let parsed = parse_formula(query).unwrap();
-                let applies = parsed.relations().iter().all(|r| {
-                    r == ctx.instance().schema().name()
-                        && parsed.size() > 0
-                });
-                let arity_ok = match ground_consistent_answer(ctx, &parsed) {
-                    Err(GroundCqaError::Query(_)) => false,
-                    _ => true,
-                };
+                let applies = parsed
+                    .relations()
+                    .iter()
+                    .all(|r| r == ctx.instance().schema().name() && parsed.size() > 0);
+                let arity_ok = !matches!(
+                    ground_consistent_answer(ctx, &parsed),
+                    Err(GroundCqaError::Query(_))
+                );
                 if !applies || !arity_ok {
                     continue;
                 }
@@ -365,10 +362,7 @@ mod tests {
     fn non_ground_queries_are_rejected() {
         let ctx = example1();
         let open = parse_formula("Mgr(x,'R&D',40,3)").unwrap();
-        assert!(matches!(
-            ground_consistent_answer(&ctx, &open),
-            Err(GroundCqaError::NotGround)
-        ));
+        assert!(matches!(ground_consistent_answer(&ctx, &open), Err(GroundCqaError::NotGround)));
         let quantified = parse_formula("EXISTS d,s,r . Mgr('Mary',d,s,r)").unwrap();
         assert!(matches!(
             ground_consistent_answer(&ctx, &quantified),
@@ -428,7 +422,8 @@ mod tests {
         assert!(fast(&ctx, "R(1,0,9) OR R(2,0,8)"));
         assert!(naive(&ctx, "R(1,0,9) OR R(2,0,8)"));
         // Excluding a single one of them is possible.
-        assert!(exists_repair_satisfying_ground(&ctx, &parse_formula("NOT R(1,0,9)").unwrap())
-            .unwrap());
+        assert!(
+            exists_repair_satisfying_ground(&ctx, &parse_formula("NOT R(1,0,9)").unwrap()).unwrap()
+        );
     }
 }

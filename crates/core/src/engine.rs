@@ -1,37 +1,69 @@
-//! The one-stop engine façade.
+//! The legacy one-stop engine façade, now a thin shim over the snapshot pipeline.
 //!
-//! [`PdqiEngine`] bundles an instance, its functional dependencies, the conflict graph
-//! and a priority, and exposes the operations a downstream application needs: repair
-//! inspection, preferred-repair enumeration per family, Algorithm-1 cleaning, preferred
-//! consistent answers for closed queries (with an automatic fast path for ground queries
-//! under `Rep`) and certain/possible answers for open queries.
+//! [`PdqiEngine`] predates the prepared-query API and is kept for backwards
+//! compatibility: every method delegates to an internal [`EngineSnapshot`], so the
+//! legacy surface and the new one run the exact same code path (including the
+//! per-component and per-query memos). New code should use the primary API instead:
+//!
+//! ```
+//! use pdqi_core::{EngineBuilder, FamilyKind, PreparedQuery, Semantics};
+//! # use std::sync::Arc;
+//! # use pdqi_relation::{RelationInstance, RelationSchema, Value, ValueType};
+//! # use pdqi_constraints::FdSet;
+//! # let schema = Arc::new(RelationSchema::from_pairs(
+//! #     "R", &[("A", ValueType::Int), ("B", ValueType::Int)]).unwrap());
+//! # let instance = RelationInstance::from_rows(Arc::clone(&schema), vec![
+//! #     vec![Value::int(1), Value::int(1)], vec![Value::int(1), Value::int(2)],
+//! # ]).unwrap();
+//! # let fds = FdSet::parse(schema, &["A -> B"]).unwrap();
+//! let snapshot = EngineBuilder::new().relation(instance, fds).build().unwrap();
+//! let query = PreparedQuery::parse("EXISTS b . R(1,b)").unwrap();
+//! let outcome = query.consistent_answer(&snapshot, FamilyKind::Rep).unwrap();
+//! assert!(outcome.certainly_true);
+//! ```
+//!
+//! The shims differ from the historical implementation in one respect only: mutating the
+//! priority (`set_priority*`) derives a new snapshot behind the scenes, which keeps the
+//! memoised work of unaffected conflict-graph components.
+
+#![allow(deprecated)]
 
 use std::sync::Arc;
 
 use pdqi_constraints::{ConflictGraph, FdSet};
-use pdqi_priority::{priority_from_scores, priority_from_source_reliability, Priority, SourceOrder};
-use pdqi_query::classify::is_quantifier_free;
-use pdqi_query::{parse_formula, Formula, QueryError};
+use pdqi_priority::{
+    priority_from_scores, priority_from_source_reliability, Priority, SourceOrder,
+};
+use pdqi_query::{Formula, QueryError};
 use pdqi_relation::{RelationInstance, TupleId, TupleSet, Value};
 
-use crate::clean::{clean_with_total_priority, CleaningError};
-use crate::cqa::{certain_answers, possible_answers, preferred_consistent_answer, CqaOutcome};
-use crate::cqa_ground::ground_consistent_answer;
+use crate::clean::CleaningError;
+use crate::cqa::CqaOutcome;
 use crate::families::FamilyKind;
+use crate::prepared::{PreparedQuery, Semantics};
 use crate::repair::RepairContext;
+use crate::snapshot::{EngineBuilder, EngineSnapshot};
 
 /// A preference-driven consistent-query-answering engine over one relation instance.
+///
+/// Deprecated shim: see the [module docs](self) and use
+/// [`EngineBuilder`] / [`PreparedQuery`] directly.
+#[deprecated(
+    since = "0.2.0",
+    note = "use EngineBuilder to build an EngineSnapshot and PreparedQuery to run queries"
+)]
 pub struct PdqiEngine {
-    ctx: RepairContext,
-    priority: Priority,
+    snapshot: EngineSnapshot,
 }
 
 impl PdqiEngine {
     /// Creates an engine with the empty priority (plain consistent query answering).
     pub fn new(instance: RelationInstance, fds: FdSet) -> Self {
-        let ctx = RepairContext::new(instance, fds);
-        let priority = ctx.empty_priority();
-        PdqiEngine { ctx, priority }
+        let snapshot = EngineBuilder::new()
+            .relation(instance, fds)
+            .build()
+            .expect("a single relation with the empty priority always builds");
+        PdqiEngine { snapshot }
     }
 
     /// Creates an engine and immediately installs a priority built from explicit
@@ -41,77 +73,94 @@ impl PdqiEngine {
         fds: FdSet,
         pairs: &[(TupleId, TupleId)],
     ) -> Result<Self, pdqi_priority::PriorityError> {
-        let mut engine = PdqiEngine::new(instance, fds);
-        engine.priority = Priority::from_pairs(Arc::clone(engine.ctx.graph()), pairs)?;
-        Ok(engine)
+        let snapshot =
+            EngineBuilder::new().relation(instance, fds).priority_pairs(pairs).build().map_err(
+                |e| {
+                    e.as_priority_error()
+                        .cloned()
+                        .expect("a single-relation build only fails through its priority")
+                },
+            )?;
+        Ok(PdqiEngine { snapshot })
+    }
+
+    /// The engine's current snapshot: the entry point to the prepared-query pipeline.
+    pub fn snapshot(&self) -> &EngineSnapshot {
+        &self.snapshot
     }
 
     /// The repair context (instance, constraints, conflict graph).
     pub fn context(&self) -> &RepairContext {
-        &self.ctx
+        self.snapshot.context()
     }
 
     /// The underlying instance.
     pub fn instance(&self) -> &RelationInstance {
-        self.ctx.instance()
+        self.snapshot.context().instance()
     }
 
     /// The conflict graph.
     pub fn graph(&self) -> &Arc<ConflictGraph> {
-        self.ctx.graph()
+        self.snapshot.graph()
     }
 
     /// The current priority.
     pub fn priority(&self) -> &Priority {
-        &self.priority
+        self.snapshot.priority()
     }
 
     /// Replaces the priority. The priority must orient this engine's conflict graph
     /// (build it through [`PdqiEngine::graph`]).
     pub fn set_priority(&mut self, priority: Priority) {
-        self.priority = priority;
+        self.snapshot = self
+            .snapshot
+            .with_priority(priority)
+            .expect("the priority must orient this engine's conflict graph");
     }
 
     /// Installs a priority derived from per-tuple scores (higher score wins each conflict).
     pub fn set_priority_from_scores(&mut self, scores: &[i64]) {
-        self.priority = priority_from_scores(Arc::clone(self.ctx.graph()), scores);
+        self.set_priority(priority_from_scores(Arc::clone(self.snapshot.graph()), scores));
     }
 
     /// Installs a priority derived from per-tuple provenance and a source-reliability
     /// order (the Example 3 scenario).
     pub fn set_priority_from_sources(&mut self, source_of: &[String], order: &SourceOrder) {
-        self.priority =
-            priority_from_source_reliability(Arc::clone(self.ctx.graph()), source_of, order);
+        self.set_priority(priority_from_source_reliability(
+            Arc::clone(self.snapshot.graph()),
+            source_of,
+            order,
+        ));
     }
 
     /// Whether the instance is consistent.
     pub fn is_consistent(&self) -> bool {
-        self.ctx.is_consistent()
+        self.snapshot.is_consistent()
     }
 
     /// The number of repairs.
     pub fn count_repairs(&self) -> u128 {
-        self.ctx.count_repairs()
+        self.snapshot.count_repairs()
     }
 
     /// Up to `limit` repairs.
     pub fn repairs(&self, limit: usize) -> Vec<TupleSet> {
-        self.ctx.repairs(limit)
+        self.snapshot.repairs(limit)
     }
 
     /// Up to `limit` preferred repairs of the given family under the current priority.
     pub fn preferred_repairs(&self, kind: FamilyKind, limit: usize) -> Vec<TupleSet> {
-        kind.family().preferred_repairs(&self.ctx, &self.priority, limit)
+        self.snapshot.preferred_repairs(kind, limit)
     }
 
     /// X-repair checking: whether `candidate` is a preferred repair of the given family.
     pub fn is_preferred_repair(&self, kind: FamilyKind, candidate: &TupleSet) -> bool {
-        kind.family().is_preferred(&self.ctx, &self.priority, candidate)
+        self.snapshot.is_preferred_repair(kind, candidate)
     }
 
     /// Algorithm 1: the unique cleaning outcome for a total priority (Prop. 1).
     pub fn clean(&self) -> Result<TupleSet, CleaningError> {
-        clean_with_total_priority(self.ctx.graph(), &self.priority)
+        self.snapshot.clean()
     }
 
     /// The preferred consistent answer to a closed query under the given family.
@@ -123,21 +172,7 @@ impl PdqiEngine {
         query: &Formula,
         kind: FamilyKind,
     ) -> Result<CqaOutcome, QueryError> {
-        if kind == FamilyKind::Rep
-            && is_quantifier_free(query)
-            && query.free_vars().is_empty()
-            && query.bound_vars().is_empty()
-        {
-            let negated = Formula::Not(Box::new(query.clone()));
-            let certainly_true = ground_consistent_answer(&self.ctx, query);
-            let certainly_false = ground_consistent_answer(&self.ctx, &negated);
-            if let (Ok(certainly_true), Ok(certainly_false)) = (certainly_true, certainly_false) {
-                return Ok(CqaOutcome { certainly_true, certainly_false, examined: 0 });
-            }
-            // Fall through to the generic procedure on analysis errors so the caller gets
-            // the standard error reporting.
-        }
-        preferred_consistent_answer(&self.ctx, &self.priority, kind.family().as_ref(), query)
+        PreparedQuery::from_formula(query.clone()).consistent_answer(&self.snapshot, kind)
     }
 
     /// Parses and answers a closed query.
@@ -146,8 +181,7 @@ impl PdqiEngine {
         query: &str,
         kind: FamilyKind,
     ) -> Result<CqaOutcome, QueryError> {
-        let formula = parse_formula(query)?;
-        self.consistent_answer(&formula, kind)
+        PreparedQuery::parse(query)?.consistent_answer(&self.snapshot, kind)
     }
 
     /// Certain answers (present in every preferred repair) to an open query.
@@ -156,7 +190,9 @@ impl PdqiEngine {
         query: &Formula,
         kind: FamilyKind,
     ) -> Result<Vec<Vec<Value>>, QueryError> {
-        certain_answers(&self.ctx, &self.priority, kind.family().as_ref(), query)
+        Ok(PreparedQuery::from_formula(query.clone())
+            .execute(&self.snapshot, kind, Semantics::Certain)?
+            .collect())
     }
 
     /// Possible answers (present in some preferred repair) to an open query.
@@ -165,7 +201,9 @@ impl PdqiEngine {
         query: &Formula,
         kind: FamilyKind,
     ) -> Result<Vec<Vec<Value>>, QueryError> {
-        possible_answers(&self.ctx, &self.priority, kind.family().as_ref(), query)
+        Ok(PreparedQuery::from_formula(query.clone())
+            .execute(&self.snapshot, kind, Semantics::Possible)?
+            .collect())
     }
 }
 
@@ -174,8 +212,10 @@ mod tests {
     use super::*;
     use crate::repair::fixtures::*;
     use pdqi_priority::SourceOrder;
+    use pdqi_query::parse_formula;
 
-    const Q1: &str = "EXISTS d1,s1,r1,d2,s2,r2 . Mgr('Mary',d1,s1,r1) AND Mgr('John',d2,s2,r2) AND s1 < s2";
+    const Q1: &str =
+        "EXISTS d1,s1,r1,d2,s2,r2 . Mgr('Mary',d1,s1,r1) AND Mgr('John',d2,s2,r2) AND s1 < s2";
     const Q2: &str = "EXISTS d1,s1,r1,d2,s2,r2 . Mgr('Mary',d1,s1,r1) AND Mgr('John',d2,s2,r2) AND s1 > s2 AND r1 < r2";
 
     fn example1_engine() -> PdqiEngine {
@@ -196,8 +236,7 @@ mod tests {
         // Example 3: s3 is less reliable than s1 and s2; under G-Rep, Q2 becomes true.
         let mut order = SourceOrder::new();
         order.prefer("s1", "s3").prefer("s2", "s3");
-        let sources =
-            vec!["s1".to_string(), "s2".to_string(), "s3".to_string(), "s3".to_string()];
+        let sources = vec!["s1".to_string(), "s2".to_string(), "s3".to_string(), "s3".to_string()];
         engine.set_priority_from_sources(&sources, &order);
         assert_eq!(engine.preferred_repairs(FamilyKind::Global, 10).len(), 2);
         let q2 = engine.consistent_answer_text(Q2, FamilyKind::Global).unwrap();
@@ -211,7 +250,10 @@ mod tests {
     fn ground_queries_use_the_fast_path_under_rep() {
         let engine = example1_engine();
         let outcome = engine
-            .consistent_answer_text("Mgr('Mary','R&D',40,3) OR Mgr('Mary','IT',20,1)", FamilyKind::Rep)
+            .consistent_answer_text(
+                "Mgr('Mary','R&D',40,3) OR Mgr('Mary','IT',20,1)",
+                FamilyKind::Rep,
+            )
             .unwrap();
         assert!(outcome.certainly_true);
         // The fast path does not enumerate repairs.
@@ -279,5 +321,19 @@ mod tests {
                 assert!(!engine.is_preferred_repair(FamilyKind::Global, &repair));
             }
         }
+    }
+
+    #[test]
+    fn the_shim_and_the_snapshot_share_one_memo() {
+        let mut engine = example1_engine();
+        engine.set_priority_from_scores(&[40, 10, 20, 30]);
+        engine.preferred_repairs(FamilyKind::Global, 10);
+        let warmed = engine.snapshot().memo_stats();
+        assert!(warmed.component_misses > 0);
+        // Running the same enumeration through the snapshot hits the shared memo.
+        engine.snapshot().preferred_repairs(FamilyKind::Global, 10);
+        let after = engine.snapshot().memo_stats();
+        assert_eq!(after.component_misses, warmed.component_misses);
+        assert!(after.component_hits > warmed.component_hits);
     }
 }

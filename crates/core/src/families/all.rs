@@ -20,7 +20,12 @@ impl RepairFamily for AllRepairs {
         "Rep"
     }
 
-    fn is_preferred(&self, ctx: &RepairContext, _priority: &Priority, candidate: &TupleSet) -> bool {
+    fn is_preferred(
+        &self,
+        ctx: &RepairContext,
+        _priority: &Priority,
+        candidate: &TupleSet,
+    ) -> bool {
         ctx.is_repair(candidate)
     }
 }

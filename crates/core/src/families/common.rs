@@ -57,10 +57,7 @@ mod tests {
     fn example_9_common_repair_is_the_algorithm_1_output() {
         let (ctx, priority) = example9();
         let preferred = CommonOptimal.preferred_repairs(&ctx, &priority, usize::MAX);
-        assert_eq!(
-            preferred,
-            vec![TupleSet::from_ids([TupleId(0), TupleId(2), TupleId(4)])]
-        );
+        assert_eq!(preferred, vec![TupleSet::from_ids([TupleId(0), TupleId(2), TupleId(4)])]);
     }
 
     #[test]

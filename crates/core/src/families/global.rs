@@ -38,10 +38,7 @@ mod tests {
     fn example_9_selects_only_the_alternating_repair() {
         let (ctx, priority) = example9();
         let preferred = GlobalOptimal.preferred_repairs(&ctx, &priority, usize::MAX);
-        assert_eq!(
-            preferred,
-            vec![TupleSet::from_ids([TupleId(0), TupleId(2), TupleId(4)])]
-        );
+        assert_eq!(preferred, vec![TupleSet::from_ids([TupleId(0), TupleId(2), TupleId(4)])]);
     }
 
     #[test]

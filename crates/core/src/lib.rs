@@ -17,15 +17,24 @@
 //! * **preferred consistent query answers** for every family, with both the generic
 //!   enumeration-based procedure and the polynomial-time algorithm for quantifier-free
 //!   queries under the plain repair family ([`cqa`], [`cqa_ground`]),
-//! * a one-stop façade, [`PdqiEngine`] ([`engine`]).
+//! * the **prepared-query engine**: [`EngineBuilder`] / [`EngineSnapshot`] /
+//!   [`PreparedQuery`], the primary API ([`snapshot`], [`prepared`]),
+//! * the deprecated one-stop shim [`PdqiEngine`] ([`engine`]).
 //!
 //! # Quick start
+//!
+//! The primary API separates the *fixed* part of the paper's setting — the database,
+//! its constraints and the priority, frozen into an immutable [`EngineSnapshot`] — from
+//! the *repeated* part, the queries, which are parsed and classified once into
+//! [`PreparedQuery`] values and executed many times. Work done per snapshot (conflict
+//! graph, connected components, per-component preferred repairs, answers) is memoised
+//! and shared, so repeated and overlapping executions are cheap.
 //!
 //! ```
 //! use std::sync::Arc;
 //! use pdqi_relation::{RelationSchema, RelationInstance, Value, ValueType};
 //! use pdqi_constraints::FdSet;
-//! use pdqi_core::{PdqiEngine, FamilyKind};
+//! use pdqi_core::{EngineBuilder, FamilyKind, PreparedQuery, Semantics};
 //!
 //! // The integrated manager instance of the paper's Example 1.
 //! let schema = Arc::new(RelationSchema::from_pairs("Mgr", &[
@@ -41,11 +50,26 @@
 //! let fds = FdSet::parse(Arc::clone(&schema),
 //!     &["Dept -> Name Salary Reports", "Name -> Dept Salary Reports"]).unwrap();
 //!
-//! let engine = PdqiEngine::new(instance, fds);
-//! assert_eq!(engine.count_repairs(), 3);           // Example 2
-//! let q1 = "EXISTS d1,s1,r1,d2,s2,r2 . Mgr('Mary',d1,s1,r1) AND Mgr('John',d2,s2,r2) AND s1 < s2";
-//! let answer = engine.consistent_answer_text(q1, FamilyKind::Rep).unwrap();
+//! // Fixed once: the snapshot. Conflict graph and components are computed here.
+//! let snapshot = EngineBuilder::new().relation(instance, fds).build().unwrap();
+//! assert_eq!(snapshot.count_repairs(), 3);         // Example 2
+//!
+//! // Prepared once, executed as often as needed.
+//! let q1 = PreparedQuery::parse(
+//!     "EXISTS d1,s1,r1,d2,s2,r2 . Mgr('Mary',d1,s1,r1) AND Mgr('John',d2,s2,r2) AND s1 < s2",
+//! ).unwrap();
+//! let answer = q1.consistent_answer(&snapshot, FamilyKind::Rep).unwrap();
 //! assert!(!answer.certainly_true);                 // true is NOT a consistent answer to Q1
+//!
+//! // Open queries stream their answers.
+//! let managers = PreparedQuery::parse("EXISTS d,s,r . Mgr(x,d,s,r)").unwrap();
+//! let certain = managers.execute(&snapshot, FamilyKind::Rep, Semantics::Certain).unwrap();
+//! assert_eq!(certain.count(), 2);                  // Mary and John manage in every repair
+//!
+//! // Preferences revise cheaply: only affected components are recomputed.
+//! let priority = snapshot.context().priority_from_pairs(&[]).unwrap();
+//! let revised = snapshot.with_priority(priority).unwrap();
+//! assert_eq!(revised.count_repairs(), 3);
 //! ```
 
 #![warn(missing_docs)]
@@ -58,18 +82,23 @@ pub mod engine;
 pub mod families;
 pub mod hyper;
 pub mod optimality;
+pub mod prepared;
 pub mod properties;
 pub mod repair;
+pub mod snapshot;
 
 pub use clean::{clean_with_total_priority, CleaningError};
 pub use cqa::{preferred_consistent_answer, CqaOutcome};
+#[allow(deprecated)]
 pub use engine::PdqiEngine;
-pub use hyper::HyperRepairContext;
 pub use families::{
     AllRepairs, CommonOptimal, FamilyKind, GlobalOptimal, LocalOptimal, RepairFamily,
     SemiGlobalOptimal,
 };
+pub use hyper::HyperRepairContext;
 pub use optimality::{
     is_globally_optimal, is_locally_optimal, is_semi_globally_optimal, preferred_over,
 };
+pub use prepared::{AnswerSet, PreparedQuery, Semantics};
 pub use repair::RepairContext;
+pub use snapshot::{BuildError, EngineBuilder, EngineSnapshot, MemoStats};

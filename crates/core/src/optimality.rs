@@ -112,7 +112,7 @@ mod tests {
         let (ctx, priority) = example8();
         let r1 = TupleSet::from_ids([TupleId(0), TupleId(1)]); // {ta, tb}
         let r2 = TupleSet::from_ids([TupleId(2)]); // {tc}
-        // Both repairs are locally optimal (Example 8) ...
+                                                   // Both repairs are locally optimal (Example 8) ...
         assert!(is_locally_optimal(ctx.graph(), &priority, &r1));
         assert!(is_locally_optimal(ctx.graph(), &priority, &r2));
         // ... but only {tc} is semi-globally optimal (Section 3.2).

@@ -1,0 +1,553 @@
+//! Prepared queries and the unified answer pipeline.
+//!
+//! A [`PreparedQuery`] parses, classifies and fingerprints a first-order query **once**
+//! and can then be executed any number of times, against any [`EngineSnapshot`], under
+//! any [`FamilyKind`] and [`Semantics`]. Execution runs through one pipeline for every
+//! query shape:
+//!
+//! 1. look up the snapshot's answer memo under `(components, family, fingerprint)` —
+//!    repeated executions return immediately;
+//! 2. otherwise enumerate the preferred repairs of the *relevant* components only (the
+//!    components of the relations the query mentions), assembled from the snapshot's
+//!    per-component memo, evaluating the query per repair;
+//! 3. store the result in the memo and hand back a streaming [`AnswerSet`] cursor over
+//!    the shared row buffer.
+//!
+//! Ground queries under the plain repair family keep their polynomial fast path
+//! ([`crate::cqa_ground`]), reported with `examined == 0` as before.
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::ControlFlow;
+use std::sync::Arc;
+
+use pdqi_query::classify::{classify, QueryClass};
+use pdqi_query::{parse_formula, Evaluator, Formula, QueryError};
+use pdqi_relation::{TupleSet, Value};
+
+use crate::cqa::CqaOutcome;
+use crate::cqa_ground::ground_consistent_answer;
+use crate::families::FamilyKind;
+use crate::snapshot::{AnswerKey, AnswerMode, EngineSnapshot};
+
+/// Which answers an open-query execution returns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Semantics {
+    /// Rows that are answers in **every** preferred repair (certain answers).
+    Certain,
+    /// Rows that are answers in **some** preferred repair (possible answers).
+    Possible,
+}
+
+impl Semantics {
+    fn mode(self) -> AnswerMode {
+        match self {
+            Semantics::Certain => AnswerMode::Certain,
+            Semantics::Possible => AnswerMode::Possible,
+        }
+    }
+}
+
+/// A query parsed, classified and fingerprinted once, executable many times.
+///
+/// ```
+/// use pdqi_core::{EngineBuilder, FamilyKind, PreparedQuery, Semantics};
+/// # use std::sync::Arc;
+/// # use pdqi_relation::{RelationInstance, RelationSchema, Value, ValueType};
+/// # use pdqi_constraints::FdSet;
+/// # let schema = Arc::new(RelationSchema::from_pairs(
+/// #     "R", &[("A", ValueType::Int), ("B", ValueType::Int)]).unwrap());
+/// # let instance = RelationInstance::from_rows(Arc::clone(&schema), vec![
+/// #     vec![Value::int(1), Value::int(1)], vec![Value::int(1), Value::int(2)],
+/// # ]).unwrap();
+/// # let fds = FdSet::parse(schema, &["A -> B"]).unwrap();
+/// let snapshot = EngineBuilder::new().relation(instance, fds).build().unwrap();
+/// let query = PreparedQuery::parse("EXISTS b . R(x,b)").unwrap();
+/// let answers = query.execute(&snapshot, FamilyKind::Rep, Semantics::Certain).unwrap();
+/// assert_eq!(answers.columns(), ["x"]);
+/// assert_eq!(answers.count(), 1); // A = 1 appears in every repair
+/// ```
+#[derive(Debug, Clone)]
+pub struct PreparedQuery {
+    source: Option<String>,
+    formula: Formula,
+    class: QueryClass,
+    free: Vec<String>,
+    relations: Vec<String>,
+    fingerprint: u64,
+}
+
+impl PreparedQuery {
+    /// Parses and prepares a textual query.
+    pub fn parse(text: &str) -> Result<Self, QueryError> {
+        let formula = parse_formula(text)?;
+        let mut prepared = PreparedQuery::from_formula(formula);
+        prepared.source = Some(text.to_string());
+        Ok(prepared)
+    }
+
+    /// Prepares an already-built formula.
+    pub fn from_formula(formula: Formula) -> Self {
+        let class = classify(&formula);
+        let free = formula.free_vars();
+        let relations = formula.relations().into_iter().collect();
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        formula.hash(&mut hasher);
+        let fingerprint = hasher.finish();
+        PreparedQuery { source: None, formula, class, free, relations, fingerprint }
+    }
+
+    /// The parsed formula.
+    pub fn formula(&self) -> &Formula {
+        &self.formula
+    }
+
+    /// The original query text, when prepared from text.
+    pub fn source(&self) -> Option<&str> {
+        self.source.as_deref()
+    }
+
+    /// The query's most specific class (ground, quantifier-free, conjunctive, ...).
+    pub fn class(&self) -> QueryClass {
+        self.class
+    }
+
+    /// The free variables, in lexicographic order — the columns of every answer set.
+    pub fn free_vars(&self) -> &[String] {
+        &self.free
+    }
+
+    /// Whether the query is closed (no free variable).
+    pub fn is_closed(&self) -> bool {
+        self.free.is_empty()
+    }
+
+    /// The relation names the query mentions.
+    pub fn relations(&self) -> &[String] {
+        &self.relations
+    }
+
+    /// The memo fingerprint: stable across executions, snapshots and clones.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// The snapshot relation indices this query's answers depend on.
+    fn relevant_relations(&self, snapshot: &EngineSnapshot) -> Vec<usize> {
+        let mut relevant: Vec<usize> =
+            self.relations.iter().filter_map(|name| snapshot.entry_index(name)).collect();
+        relevant.sort_unstable();
+        relevant.dedup();
+        relevant
+    }
+
+    /// Executes the query against a snapshot, returning a streaming [`AnswerSet`].
+    ///
+    /// Works for open and closed queries alike: a closed query yields one zero-column
+    /// row when the chosen semantics holds and no row otherwise. Results are memoised in
+    /// the snapshot under `(components, family, fingerprint)` — a second execution with
+    /// the same key streams from the shared buffer without re-enumerating anything.
+    pub fn execute(
+        &self,
+        snapshot: &EngineSnapshot,
+        kind: FamilyKind,
+        semantics: Semantics,
+    ) -> Result<AnswerSet, QueryError> {
+        let key = AnswerKey { fingerprint: self.fingerprint, family: kind, mode: semantics.mode() };
+        if let Some(entry) = snapshot.cached_answer(&key, &self.formula) {
+            return Ok(AnswerSet::new(Arc::clone(&entry.columns), Arc::clone(&entry.rows)));
+        }
+        let relevant = self.relevant_relations(snapshot);
+        let mut accumulated: Option<BTreeSet<Vec<Value>>> = None;
+        let mut error: Option<QueryError> = None;
+        snapshot.for_each_preferred_selection(kind, &relevant, &mut |selection| {
+            let evaluator = self.evaluator_for(snapshot, &relevant, selection);
+            let answers = match evaluator.answers(&self.formula) {
+                Ok(answers) => answers,
+                Err(e) => {
+                    error = Some(e);
+                    return ControlFlow::Break(());
+                }
+            };
+            let rows: BTreeSet<Vec<Value>> =
+                answers.into_iter().map(|row| row.into_values().collect()).collect();
+            accumulated = Some(match accumulated.take() {
+                None => rows,
+                Some(previous) => match semantics {
+                    Semantics::Certain => previous.intersection(&rows).cloned().collect(),
+                    Semantics::Possible => previous.union(&rows).cloned().collect(),
+                },
+            });
+            // Certain answers only shrink; once empty the outcome is settled.
+            if semantics == Semantics::Certain
+                && accumulated.as_ref().is_some_and(BTreeSet::is_empty)
+            {
+                ControlFlow::Break(())
+            } else {
+                ControlFlow::Continue(())
+            }
+        });
+        if let Some(e) = error {
+            return Err(e);
+        }
+        let rows: Arc<Vec<Vec<Value>>> =
+            Arc::new(accumulated.unwrap_or_default().into_iter().collect());
+        let columns = Arc::new(self.free.clone());
+        let entry = snapshot.store_answer(key, &self.formula, &relevant, rows, columns, None);
+        Ok(AnswerSet::new(Arc::clone(&entry.columns), Arc::clone(&entry.rows)))
+    }
+
+    /// The preferred consistent answer to a closed query (Definition 3): whether the
+    /// query holds in every preferred repair, fails in every preferred repair, or is
+    /// left undetermined by the inconsistency.
+    ///
+    /// Ground queries under [`FamilyKind::Rep`] on single-relation snapshots use the
+    /// polynomial conflict-graph algorithm (`examined == 0`); every other combination
+    /// runs through the memoised component pipeline.
+    pub fn consistent_answer(
+        &self,
+        snapshot: &EngineSnapshot,
+        kind: FamilyKind,
+    ) -> Result<CqaOutcome, QueryError> {
+        if !self.free.is_empty() {
+            return Err(QueryError::FreeVariables { variables: self.free.clone() });
+        }
+        let key =
+            AnswerKey { fingerprint: self.fingerprint, family: kind, mode: AnswerMode::Closed };
+        if let Some(entry) = snapshot.cached_answer(&key, &self.formula) {
+            if let Some(outcome) = entry.outcome {
+                return Ok(outcome);
+            }
+        }
+        let relevant = self.relevant_relations(snapshot);
+        if kind == FamilyKind::Rep
+            && self.class == QueryClass::Ground
+            && snapshot.relation_count() == 1
+        {
+            let ctx = snapshot.context();
+            let negated = Formula::Not(Box::new(self.formula.clone()));
+            let certainly_true = ground_consistent_answer(ctx, &self.formula);
+            let certainly_false = ground_consistent_answer(ctx, &negated);
+            if let (Ok(certainly_true), Ok(certainly_false)) = (certainly_true, certainly_false) {
+                let outcome = CqaOutcome { certainly_true, certainly_false, examined: 0 };
+                snapshot.store_answer(
+                    key,
+                    &self.formula,
+                    &relevant,
+                    Arc::new(Vec::new()),
+                    Arc::new(Vec::new()),
+                    Some(outcome),
+                );
+                return Ok(outcome);
+            }
+            // Fall through to the generic pipeline on analysis errors so the caller
+            // gets the standard error reporting.
+        }
+        let mut outcome = CqaOutcome { certainly_true: true, certainly_false: true, examined: 0 };
+        let mut error: Option<QueryError> = None;
+        snapshot.for_each_preferred_selection(kind, &relevant, &mut |selection| {
+            let evaluator = self.evaluator_for(snapshot, &relevant, selection);
+            match evaluator.eval_closed(&self.formula) {
+                Ok(true) => outcome.certainly_false = false,
+                Ok(false) => outcome.certainly_true = false,
+                Err(e) => {
+                    error = Some(e);
+                    return ControlFlow::Break(());
+                }
+            }
+            outcome.examined += 1;
+            if outcome.is_undetermined() {
+                ControlFlow::Break(())
+            } else {
+                ControlFlow::Continue(())
+            }
+        });
+        if let Some(e) = error {
+            return Err(e);
+        }
+        snapshot.store_answer(
+            key,
+            &self.formula,
+            &relevant,
+            Arc::new(Vec::new()),
+            Arc::new(Vec::new()),
+            Some(outcome),
+        );
+        Ok(outcome)
+    }
+
+    /// Certain answers as an eager, sorted row list (convenience over
+    /// [`PreparedQuery::execute`]).
+    pub fn certain_answers(
+        &self,
+        snapshot: &EngineSnapshot,
+        kind: FamilyKind,
+    ) -> Result<Vec<Vec<Value>>, QueryError> {
+        Ok(self.execute(snapshot, kind, Semantics::Certain)?.collect())
+    }
+
+    /// Possible answers as an eager, sorted row list.
+    pub fn possible_answers(
+        &self,
+        snapshot: &EngineSnapshot,
+        kind: FamilyKind,
+    ) -> Result<Vec<Vec<Value>>, QueryError> {
+        Ok(self.execute(snapshot, kind, Semantics::Possible)?.collect())
+    }
+
+    /// An evaluator exposing every snapshot relation, with the relations this query
+    /// mentions restricted to the current repair selection.
+    fn evaluator_for<'a>(
+        &self,
+        snapshot: &'a EngineSnapshot,
+        relevant: &[usize],
+        selection: &'a [TupleSet],
+    ) -> Evaluator<'a> {
+        let mut evaluator = Evaluator::new();
+        for (index, entry) in snapshot.entries().iter().enumerate() {
+            if relevant.contains(&index) {
+                evaluator.add_restricted(entry.ctx.instance(), &selection[index]);
+            } else {
+                evaluator.add_relation(entry.ctx.instance());
+            }
+        }
+        evaluator
+    }
+}
+
+/// A streaming cursor over the (memoised, shared) answer rows of one execution.
+///
+/// Rows are sorted and de-duplicated; the row buffer lives behind an [`Arc`], so cloning
+/// a cursor or re-executing the same prepared query shares it instead of copying.
+#[derive(Debug, Clone)]
+pub struct AnswerSet {
+    columns: Arc<Vec<String>>,
+    rows: Arc<Vec<Vec<Value>>>,
+    next: usize,
+}
+
+impl AnswerSet {
+    fn new(columns: Arc<Vec<String>>, rows: Arc<Vec<Vec<Value>>>) -> Self {
+        AnswerSet { columns, rows, next: 0 }
+    }
+
+    /// Column headers: the query's free variables, in lexicographic order.
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// Zero-copy view of all rows (independent of the cursor position).
+    pub fn rows(&self) -> &[Vec<Value>] {
+        &self.rows
+    }
+
+    /// Whether the answer set has no rows at all.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl Iterator for AnswerSet {
+    type Item = Vec<Value>;
+
+    fn next(&mut self) -> Option<Vec<Value>> {
+        let row = self.rows.get(self.next)?.clone();
+        self.next += 1;
+        Some(row)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = self.rows.len() - self.next;
+        (remaining, Some(remaining))
+    }
+}
+
+impl ExactSizeIterator for AnswerSet {}
+
+impl fmt::Display for AnswerSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.columns.join(" | "))?;
+        for row in self.rows.iter() {
+            let rendered: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+            writeln!(f, "{}", rendered.join(" | "))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::repair::fixtures::*;
+    use crate::snapshot::EngineBuilder;
+    use crate::RepairContext;
+
+    const Q1: &str =
+        "EXISTS d1,s1,r1,d2,s2,r2 . Mgr('Mary',d1,s1,r1) AND Mgr('John',d2,s2,r2) AND s1 < s2";
+
+    fn snapshot_of(ctx: &RepairContext) -> EngineSnapshot {
+        EngineBuilder::new().relation(ctx.instance().clone(), ctx.fds().clone()).build().unwrap()
+    }
+
+    #[test]
+    fn preparation_happens_once_and_is_reusable() {
+        let query = PreparedQuery::parse(Q1).unwrap();
+        assert_eq!(query.class(), QueryClass::Conjunctive);
+        assert!(query.is_closed());
+        assert_eq!(query.relations(), ["Mgr".to_string()]);
+        assert_eq!(query.source(), Some(Q1));
+        // Fingerprints are stable across re-preparation.
+        assert_eq!(query.fingerprint(), PreparedQuery::parse(Q1).unwrap().fingerprint());
+    }
+
+    #[test]
+    fn closed_answers_match_the_legacy_cqa_procedure() {
+        let ctx = example1();
+        let snapshot = snapshot_of(&ctx);
+        let query = PreparedQuery::parse(Q1).unwrap();
+        for kind in FamilyKind::ALL {
+            let piped = query.consistent_answer(&snapshot, kind).unwrap();
+            let legacy = crate::cqa::preferred_consistent_answer(
+                &ctx,
+                &ctx.empty_priority(),
+                kind.family().as_ref(),
+                query.formula(),
+            )
+            .unwrap();
+            assert_eq!(piped.certainly_true, legacy.certainly_true, "{}", kind.label());
+            assert_eq!(piped.certainly_false, legacy.certainly_false, "{}", kind.label());
+        }
+    }
+
+    #[test]
+    fn repeated_executions_hit_the_answer_memo() {
+        let ctx = example1();
+        let snapshot = snapshot_of(&ctx);
+        let query = PreparedQuery::parse("EXISTS d,s,r . Mgr(x,d,s,r)").unwrap();
+        let first: Vec<_> =
+            query.execute(&snapshot, FamilyKind::Rep, Semantics::Certain).unwrap().collect();
+        let after_first = snapshot.memo_stats();
+        assert_eq!(after_first.answer_hits, 0);
+        let second: Vec<_> =
+            query.execute(&snapshot, FamilyKind::Rep, Semantics::Certain).unwrap().collect();
+        assert_eq!(first, second);
+        let after_second = snapshot.memo_stats();
+        assert_eq!(after_second.answer_hits, 1);
+        // The second execution did not re-enumerate any component.
+        assert_eq!(after_second.component_misses, after_first.component_misses);
+    }
+
+    #[test]
+    fn answer_sets_stream_sorted_rows_with_columns() {
+        let ctx = example1();
+        let snapshot = snapshot_of(&ctx);
+        let query = PreparedQuery::parse("EXISTS s,r . Mgr('Mary',x,s,r)").unwrap();
+        let possible = query.execute(&snapshot, FamilyKind::Rep, Semantics::Possible).unwrap();
+        assert_eq!(possible.columns(), ["x".to_string()]);
+        assert_eq!(possible.len(), 2);
+        let rows: Vec<_> = possible.clone().collect();
+        assert_eq!(rows.len(), 2);
+        let mut sorted = rows.clone();
+        sorted.sort();
+        assert_eq!(rows, sorted, "rows stream in sorted order");
+        assert!(possible.to_string().contains('x'));
+        let certain = query.execute(&snapshot, FamilyKind::Rep, Semantics::Certain).unwrap();
+        assert!(certain.is_empty());
+    }
+
+    #[test]
+    fn closed_queries_flow_through_execute_as_zero_column_rows() {
+        let ctx = example1();
+        let snapshot = snapshot_of(&ctx);
+        let query = PreparedQuery::parse(Q1).unwrap();
+        // Q1 is undetermined: true in some repairs (→ possible) but not all (→ certain).
+        let certain = query.execute(&snapshot, FamilyKind::Rep, Semantics::Certain).unwrap();
+        assert!(certain.is_empty());
+        let possible = query.execute(&snapshot, FamilyKind::Rep, Semantics::Possible).unwrap();
+        assert_eq!(possible.len(), 1);
+        assert_eq!(possible.columns().len(), 0);
+    }
+
+    #[test]
+    fn ground_fast_path_is_preserved_and_memoised() {
+        let ctx = example1();
+        let snapshot = snapshot_of(&ctx);
+        let query =
+            PreparedQuery::parse("Mgr('Mary','R&D',40,3) OR Mgr('Mary','IT',20,1)").unwrap();
+        assert_eq!(query.class(), QueryClass::Ground);
+        let outcome = query.consistent_answer(&snapshot, FamilyKind::Rep).unwrap();
+        assert!(outcome.certainly_true);
+        assert_eq!(outcome.examined, 0);
+        let again = query.consistent_answer(&snapshot, FamilyKind::Rep).unwrap();
+        assert_eq!(outcome, again);
+        assert!(snapshot.memo_stats().answer_hits >= 1);
+        // Other families run the generic pipeline and examine repairs.
+        let outcome = query.consistent_answer(&snapshot, FamilyKind::Global).unwrap();
+        assert!(outcome.certainly_true);
+        assert!(outcome.examined > 0);
+    }
+
+    #[test]
+    fn errors_are_propagated_like_the_legacy_path() {
+        let ctx = example1();
+        let snapshot = snapshot_of(&ctx);
+        let open = PreparedQuery::parse("EXISTS s,r . Mgr(x,'R&D',s,r)").unwrap();
+        assert!(matches!(
+            open.consistent_answer(&snapshot, FamilyKind::Rep),
+            Err(QueryError::FreeVariables { .. })
+        ));
+        let unknown = PreparedQuery::parse("Nope(x)").unwrap();
+        assert!(matches!(
+            unknown.execute(&snapshot, FamilyKind::Rep, Semantics::Certain),
+            Err(QueryError::UnknownRelation { .. })
+        ));
+        assert!(PreparedQuery::parse("Mgr(").is_err());
+    }
+
+    #[test]
+    fn queries_join_across_relations_of_a_multi_relation_snapshot() {
+        let mgr = example1();
+        let other = example4(2);
+        let snapshot = EngineBuilder::new()
+            .relation(mgr.instance().clone(), mgr.fds().clone())
+            .relation(other.instance().clone(), other.fds().clone())
+            .build()
+            .unwrap();
+        // Mentions only R: certain answers over R's repairs, Mgr is irrelevant.
+        let query = PreparedQuery::parse("EXISTS b . R(x,b)").unwrap();
+        let certain = query.certain_answers(&snapshot, FamilyKind::Rep).unwrap();
+        assert_eq!(certain, vec![vec![Value::int(0)], vec![Value::int(1)]]);
+        // A cross-relation conjunction mentions both.
+        let join = PreparedQuery::parse("EXISTS d,s,r,b . Mgr('Mary',d,s,r) AND R(x,b) AND s > 15")
+            .unwrap();
+        let possible = join.possible_answers(&snapshot, FamilyKind::Rep).unwrap();
+        assert_eq!(possible, vec![vec![Value::int(0)], vec![Value::int(1)]]);
+    }
+
+    #[test]
+    fn reuse_across_snapshots_and_derived_priorities() {
+        let (ctx, priority) = example9();
+        let query = PreparedQuery::parse("R(1,1,0,0)").unwrap();
+        let base = snapshot_of(&ctx);
+        let with_priority = base.with_priority(priority).unwrap();
+        // One prepared query, three snapshots: the plain one, the derived one, and a
+        // fresh build; answers agree between derived and fresh.
+        let fresh = EngineBuilder::new()
+            .relation(ctx.instance().clone(), ctx.fds().clone())
+            .priority_pairs(&[
+                (pdqi_relation::TupleId(0), pdqi_relation::TupleId(1)),
+                (pdqi_relation::TupleId(1), pdqi_relation::TupleId(2)),
+                (pdqi_relation::TupleId(2), pdqi_relation::TupleId(3)),
+                (pdqi_relation::TupleId(3), pdqi_relation::TupleId(4)),
+            ])
+            .build()
+            .unwrap();
+        for kind in FamilyKind::ALL {
+            let derived = query.consistent_answer(&with_priority, kind).unwrap();
+            let rebuilt = query.consistent_answer(&fresh, kind).unwrap();
+            assert_eq!(derived.certainly_true, rebuilt.certainly_true, "{}", kind.label());
+            assert_eq!(derived.certainly_false, rebuilt.certainly_false, "{}", kind.label());
+        }
+    }
+}

@@ -135,11 +135,9 @@ pub(crate) mod fixtures {
             ],
         )
         .unwrap();
-        let fds = FdSet::parse(
-            schema,
-            &["Dept -> Name Salary Reports", "Name -> Dept Salary Reports"],
-        )
-        .unwrap();
+        let fds =
+            FdSet::parse(schema, &["Dept -> Name Salary Reports", "Name -> Dept Salary Reports"])
+                .unwrap();
         RepairContext::new(instance, fds)
     }
 
@@ -147,7 +145,8 @@ pub(crate) mod fixtures {
     /// Tuple ids: 0 = ta = (1,1), 1 = tb = (1,2), 2 = tc = (1,3).
     pub fn example7() -> (RepairContext, Priority) {
         let schema = Arc::new(
-            RelationSchema::from_pairs("R", &[("A", ValueType::Int), ("B", ValueType::Int)]).unwrap(),
+            RelationSchema::from_pairs("R", &[("A", ValueType::Int), ("B", ValueType::Int)])
+                .unwrap(),
         );
         let instance = RelationInstance::from_rows(
             Arc::clone(&schema),
@@ -160,9 +159,8 @@ pub(crate) mod fixtures {
         .unwrap();
         let fds = FdSet::parse(schema, &["A -> B"]).unwrap();
         let ctx = RepairContext::new(instance, fds);
-        let priority = ctx
-            .priority_from_pairs(&[(TupleId(0), TupleId(2)), (TupleId(0), TupleId(1))])
-            .unwrap();
+        let priority =
+            ctx.priority_from_pairs(&[(TupleId(0), TupleId(2)), (TupleId(0), TupleId(1))]).unwrap();
         (ctx, priority)
     }
 
@@ -187,9 +185,8 @@ pub(crate) mod fixtures {
         .unwrap();
         let fds = FdSet::parse(schema, &["A -> B"]).unwrap();
         let ctx = RepairContext::new(instance, fds);
-        let priority = ctx
-            .priority_from_pairs(&[(TupleId(2), TupleId(0)), (TupleId(2), TupleId(1))])
-            .unwrap();
+        let priority =
+            ctx.priority_from_pairs(&[(TupleId(2), TupleId(0)), (TupleId(2), TupleId(1))]).unwrap();
         (ctx, priority)
     }
 
@@ -289,7 +286,8 @@ pub(crate) mod fixtures {
     /// Example 4: the instance `r_n` with `2ⁿ` repairs.
     pub fn example4(n: i64) -> RepairContext {
         let schema = Arc::new(
-            RelationSchema::from_pairs("R", &[("A", ValueType::Int), ("B", ValueType::Int)]).unwrap(),
+            RelationSchema::from_pairs("R", &[("A", ValueType::Int), ("B", ValueType::Int)])
+                .unwrap(),
         );
         let mut rows = Vec::new();
         for i in 0..n {

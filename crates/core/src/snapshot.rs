@@ -1,0 +1,970 @@
+//! The prepared-query engine: [`EngineBuilder`] and [`EngineSnapshot`].
+//!
+//! The paper's framework fixes the database, its constraints and the priority once and
+//! then answers *many* queries against the induced families of preferred repairs. The
+//! snapshot API mirrors that shape:
+//!
+//! * [`EngineBuilder`] assembles one or more relations (each with its functional
+//!   dependencies and a priority source) and freezes them into an immutable
+//!   [`EngineSnapshot`]. Building computes each relation's conflict graph and its
+//!   connected components once; everything is shared behind [`Arc`]s, so cloning a
+//!   snapshot and deriving new snapshots is cheap.
+//! * [`EngineSnapshot`] answers repair-space questions (counts, enumeration, checking,
+//!   cleaning) through a **per-component memo**: for every connected component of a
+//!   conflict graph and every [`FamilyKind`], the component's preferred repairs are
+//!   enumerated at most once per snapshot and reused by every later operation — repeated
+//!   queries, overlapping queries, counting, enumeration. The memo is safe because every
+//!   family of the paper factorises over connected components: conflicts and priority
+//!   edges never cross components, so a repair is preferred iff its restriction to each
+//!   component is preferred within that component (see `component_preferred` below for
+//!   the per-family component tests).
+//! * [`EngineSnapshot::with_priority`] derives a snapshot with a revised priority
+//!   without rebuilding: the conflict graph, components and instance are shared, and only
+//!   the memo entries of components actually touched by the priority change are dropped.
+//!
+//! Queries are executed against snapshots through [`crate::prepared::PreparedQuery`],
+//! which adds a second memo level keyed by `(component set, family, query fingerprint)`.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::fmt;
+use std::ops::ControlFlow;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use pdqi_constraints::{ConflictGraph, FdSet};
+use pdqi_priority::{
+    priority_from_scores, priority_from_source_reliability, Priority, PriorityError, SourceOrder,
+};
+use pdqi_relation::{RelationError, RelationInstance, TupleId, TupleSet, Value};
+use pdqi_solve::maximal_independent_sets_within;
+
+use crate::clean::{clean_with_total_priority, common_repairs_within, CleaningError};
+use crate::cqa::CqaOutcome;
+use crate::families::FamilyKind;
+use crate::optimality::{is_locally_optimal, is_semi_globally_optimal, preferred_over};
+use crate::repair::RepairContext;
+
+/// Errors raised while assembling a snapshot.
+#[derive(Debug)]
+pub enum BuildError {
+    /// Two relations with the same name were added.
+    DuplicateRelation {
+        /// The offending relation name.
+        relation: String,
+    },
+    /// A priority source was declared before any relation.
+    PriorityWithoutRelation,
+    /// A priority source referenced a relation the builder does not know.
+    UnknownRelation {
+        /// The offending relation name.
+        relation: String,
+    },
+    /// A priority source did not fit its relation (bad pair, cycle, ...).
+    Priority(PriorityError),
+    /// A priority was built over a different conflict graph than the relation's.
+    GraphMismatch {
+        /// The relation whose graph the priority should have oriented.
+        relation: String,
+    },
+    /// A per-tuple annotation (scores, provenance) had the wrong length.
+    AnnotationLength {
+        /// The relation the annotation was attached to.
+        relation: String,
+        /// Number of annotations supplied.
+        supplied: usize,
+        /// Number of tuples in the relation.
+        expected: usize,
+    },
+    /// An underlying relation error.
+    Relation(RelationError),
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::DuplicateRelation { relation } => {
+                write!(f, "relation `{relation}` was added twice")
+            }
+            BuildError::PriorityWithoutRelation => {
+                f.write_str("a priority source must follow the relation it applies to")
+            }
+            BuildError::UnknownRelation { relation } => {
+                write!(f, "snapshot has no relation `{relation}`")
+            }
+            BuildError::Priority(e) => write!(f, "priority cannot be installed: {e}"),
+            BuildError::GraphMismatch { relation } => {
+                write!(f, "the priority orients a different conflict graph than relation `{relation}`'s")
+            }
+            BuildError::AnnotationLength { relation, supplied, expected } => write!(
+                f,
+                "relation `{relation}` has {expected} tuples but {supplied} annotations were supplied"
+            ),
+            BuildError::Relation(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+impl From<PriorityError> for BuildError {
+    fn from(e: PriorityError) -> Self {
+        BuildError::Priority(e)
+    }
+}
+
+impl BuildError {
+    /// The underlying [`PriorityError`], if that is what went wrong.
+    pub fn as_priority_error(&self) -> Option<&PriorityError> {
+        match self {
+            BuildError::Priority(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// How a relation's priority is derived when the snapshot is built.
+#[derive(Debug, Clone)]
+enum PrioritySource {
+    Empty,
+    Pairs(Vec<(TupleId, TupleId)>),
+    Scores(Vec<i64>),
+    Sources(Vec<String>, SourceOrder),
+}
+
+#[derive(Debug, Clone)]
+struct RelationSpec {
+    instance: RelationInstance,
+    fds: FdSet,
+    priority: PrioritySource,
+}
+
+/// Assembles relations, constraints and priority sources into an [`EngineSnapshot`].
+///
+/// ```
+/// use pdqi_core::{EngineBuilder, FamilyKind};
+/// # use std::sync::Arc;
+/// # use pdqi_relation::{RelationInstance, RelationSchema, Value, ValueType};
+/// # use pdqi_constraints::FdSet;
+/// # let schema = Arc::new(RelationSchema::from_pairs(
+/// #     "R", &[("A", ValueType::Int), ("B", ValueType::Int)]).unwrap());
+/// # let instance = RelationInstance::from_rows(Arc::clone(&schema), vec![
+/// #     vec![Value::int(1), Value::int(1)], vec![Value::int(1), Value::int(2)],
+/// # ]).unwrap();
+/// # let fds = FdSet::parse(schema, &["A -> B"]).unwrap();
+/// let snapshot = EngineBuilder::new()
+///     .relation(instance, fds)
+///     .priority_from_scores(&[5, 3])
+///     .build()
+///     .unwrap();
+/// assert_eq!(snapshot.preferred_repair_count(FamilyKind::Global), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct EngineBuilder {
+    relations: Vec<RelationSpec>,
+    orphan_priority: bool,
+}
+
+impl EngineBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        EngineBuilder::default()
+    }
+
+    /// Adds a relation with its functional dependencies (and, initially, the empty
+    /// priority). Priority-source methods apply to the most recently added relation.
+    pub fn relation(mut self, instance: RelationInstance, fds: FdSet) -> Self {
+        self.relations.push(RelationSpec { instance, fds, priority: PrioritySource::Empty });
+        self
+    }
+
+    fn set_priority(mut self, priority: PrioritySource) -> Self {
+        match self.relations.last_mut() {
+            Some(spec) => spec.priority = priority,
+            // Remembered and reported as an error by `build` so the fluent chain
+            // stays ergonomic.
+            None => self.orphan_priority = true,
+        }
+        self
+    }
+
+    /// Installs explicit `winner ≻ loser` tuple-id pairs for the last added relation.
+    pub fn priority_pairs(self, pairs: &[(TupleId, TupleId)]) -> Self {
+        self.set_priority(PrioritySource::Pairs(pairs.to_vec()))
+    }
+
+    /// Installs a priority derived from per-tuple scores (higher score wins each
+    /// conflict) for the last added relation.
+    pub fn priority_from_scores(self, scores: &[i64]) -> Self {
+        self.set_priority(PrioritySource::Scores(scores.to_vec()))
+    }
+
+    /// Installs a priority derived from per-tuple provenance and a source-reliability
+    /// order (the paper's Example 3 scenario) for the last added relation.
+    pub fn priority_from_sources(self, source_of: &[String], order: &SourceOrder) -> Self {
+        self.set_priority(PrioritySource::Sources(source_of.to_vec(), order.clone()))
+    }
+
+    /// Freezes the builder into an immutable snapshot, computing every relation's
+    /// conflict graph and connected components once.
+    pub fn build(self) -> Result<EngineSnapshot, BuildError> {
+        if self.orphan_priority {
+            return Err(BuildError::PriorityWithoutRelation);
+        }
+        let mut entries = Vec::with_capacity(self.relations.len());
+        let mut by_name = BTreeMap::new();
+        let mut comp_offset = 0usize;
+        for spec in self.relations {
+            let name = spec.instance.schema().name().to_string();
+            if by_name.insert(name.clone(), entries.len()).is_some() {
+                return Err(BuildError::DuplicateRelation { relation: name });
+            }
+            let ctx = RepairContext::new(spec.instance, spec.fds);
+            let graph = Arc::clone(ctx.graph());
+            let priority = match spec.priority {
+                PrioritySource::Empty => Priority::empty(Arc::clone(&graph)),
+                PrioritySource::Pairs(pairs) => Priority::from_pairs(Arc::clone(&graph), &pairs)?,
+                PrioritySource::Scores(scores) => {
+                    if scores.len() != graph.vertex_count() {
+                        return Err(BuildError::AnnotationLength {
+                            relation: name,
+                            supplied: scores.len(),
+                            expected: graph.vertex_count(),
+                        });
+                    }
+                    priority_from_scores(Arc::clone(&graph), &scores)
+                }
+                PrioritySource::Sources(sources, order) => {
+                    if sources.len() != graph.vertex_count() {
+                        return Err(BuildError::AnnotationLength {
+                            relation: name,
+                            supplied: sources.len(),
+                            expected: graph.vertex_count(),
+                        });
+                    }
+                    priority_from_source_reliability(Arc::clone(&graph), &sources, &order)
+                }
+            };
+            let entry = RelationEntry::new(Arc::new(ctx), priority, comp_offset);
+            comp_offset += entry.components.len();
+            entries.push(entry);
+        }
+        Ok(EngineSnapshot {
+            inner: Arc::new(SnapshotInner { relations: entries, by_name, memo: Memo::default() }),
+        })
+    }
+}
+
+/// One relation frozen inside a snapshot.
+pub(crate) struct RelationEntry {
+    /// Instance, constraints and conflict graph (shared with derived snapshots).
+    pub(crate) ctx: Arc<RepairContext>,
+    /// The priority orienting this relation's conflict graph.
+    pub(crate) priority: Priority,
+    /// The *non-trivial* connected components (≥ 2 tuples) of the conflict graph.
+    pub(crate) components: Arc<Vec<TupleSet>>,
+    /// Conflict-free tuples: members of every repair, of every family.
+    pub(crate) base: Arc<TupleSet>,
+    /// Per-tuple component index (`usize::MAX` for conflict-free tuples).
+    comp_of: Arc<Vec<usize>>,
+    /// Global id of this relation's first component within the snapshot.
+    pub(crate) comp_offset: usize,
+}
+
+impl RelationEntry {
+    fn new(ctx: Arc<RepairContext>, priority: Priority, comp_offset: usize) -> Self {
+        let graph = ctx.graph();
+        let mut components = Vec::new();
+        let mut base = TupleSet::with_capacity(graph.vertex_count());
+        let mut comp_of = vec![usize::MAX; graph.vertex_count()];
+        for component in graph.connected_components() {
+            if component.len() < 2 {
+                base.union_with(&component);
+            } else {
+                for t in component.iter() {
+                    comp_of[t.index()] = components.len();
+                }
+                components.push(component);
+            }
+        }
+        RelationEntry {
+            ctx,
+            priority,
+            components: Arc::new(components),
+            base: Arc::new(base),
+            comp_of: Arc::new(comp_of),
+            comp_offset,
+        }
+    }
+
+    /// Derives this entry with a different priority, sharing everything else, and
+    /// reports which *local* component indices the change touches.
+    fn with_priority(&self, priority: Priority) -> (RelationEntry, BTreeSet<usize>) {
+        let old: BTreeSet<(TupleId, TupleId)> = self.priority.edges().into_iter().collect();
+        let new: BTreeSet<(TupleId, TupleId)> = priority.edges().into_iter().collect();
+        let mut affected = BTreeSet::new();
+        for (winner, loser) in old.symmetric_difference(&new) {
+            for t in [winner, loser] {
+                let comp = self.comp_of[t.index()];
+                if comp != usize::MAX {
+                    affected.insert(comp);
+                }
+            }
+        }
+        let entry = RelationEntry {
+            ctx: Arc::clone(&self.ctx),
+            priority,
+            components: Arc::clone(&self.components),
+            base: Arc::clone(&self.base),
+            comp_of: Arc::clone(&self.comp_of),
+            comp_offset: self.comp_offset,
+        };
+        (entry, affected)
+    }
+}
+
+/// Key of a memoised answer: query fingerprint, family and execution mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) struct AnswerKey {
+    pub(crate) fingerprint: u64,
+    pub(crate) family: FamilyKind,
+    pub(crate) mode: AnswerMode,
+}
+
+/// What kind of result an [`AnswerKey`] caches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) enum AnswerMode {
+    /// Certain answers (rows in every preferred repair).
+    Certain,
+    /// Possible answers (rows in some preferred repair).
+    Possible,
+    /// The closed-query [`CqaOutcome`].
+    Closed,
+}
+
+/// A memoised execution result.
+pub(crate) struct AnswerEntry {
+    /// The exact formula this entry answers. The memo key holds only a 64-bit
+    /// fingerprint, so hits re-check the formula to rule out hash collisions.
+    formula: pdqi_query::Formula,
+    /// Sorted, de-duplicated answer rows (empty for closed outcomes).
+    pub(crate) rows: Arc<Vec<Vec<Value>>>,
+    /// Column headers (the query's free variables, lexicographically).
+    pub(crate) columns: Arc<Vec<String>>,
+    /// The closed-query outcome, for [`AnswerMode::Closed`].
+    pub(crate) outcome: Option<CqaOutcome>,
+    /// Global component ids this result depends on (used by priority invalidation).
+    depends_on: Vec<usize>,
+    /// Whether the result depends on the priority at all.
+    priority_sensitive: bool,
+}
+
+/// Cap on memoised answers per snapshot. The component memo is naturally bounded
+/// (components × families), but answers grow with the number of distinct queries; past
+/// this limit the answer memo is cleared wholesale, which keeps long-lived sessions at a
+/// bounded footprint while staying O(1) per insertion.
+const ANSWER_MEMO_LIMIT: usize = 4096;
+
+/// Hit/miss counters of a snapshot's memo, for observability and tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MemoStats {
+    /// Per-component preferred-repair enumerations served from the memo.
+    pub component_hits: u64,
+    /// Per-component preferred-repair enumerations actually computed.
+    pub component_misses: u64,
+    /// Query executions served from the memo.
+    pub answer_hits: u64,
+    /// Query executions actually computed.
+    pub answer_misses: u64,
+}
+
+/// `(global component id, family)` → that component's preferred repairs.
+type ComponentMemo = RwLock<HashMap<(usize, FamilyKind), Arc<Vec<TupleSet>>>>;
+
+#[derive(Default)]
+struct Memo {
+    components: ComponentMemo,
+    /// Memoised query executions.
+    answers: RwLock<HashMap<AnswerKey, Arc<AnswerEntry>>>,
+    component_hits: AtomicU64,
+    component_misses: AtomicU64,
+    answer_hits: AtomicU64,
+    answer_misses: AtomicU64,
+}
+
+struct SnapshotInner {
+    relations: Vec<RelationEntry>,
+    by_name: BTreeMap<String, usize>,
+    memo: Memo,
+}
+
+/// An immutable, shareable engine state: relations, constraints, conflict graphs,
+/// connected components and priorities, plus the per-component and per-query memo.
+///
+/// Cloning is cheap (an [`Arc`] bump) and clones share the memo. See the
+/// [module docs](self) for the overall design and [`EngineBuilder`] for construction.
+#[derive(Clone)]
+pub struct EngineSnapshot {
+    inner: Arc<SnapshotInner>,
+}
+
+impl fmt::Debug for EngineSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let stats = self.memo_stats();
+        f.debug_struct("EngineSnapshot")
+            .field("relations", &self.relation_names())
+            .field("components", &self.component_count())
+            .field("memo", &stats)
+            .finish()
+    }
+}
+
+impl EngineSnapshot {
+    /// A fresh builder (convenience for `EngineBuilder::new()`).
+    pub fn builder() -> EngineBuilder {
+        EngineBuilder::new()
+    }
+
+    /// Number of relations in the snapshot.
+    pub fn relation_count(&self) -> usize {
+        self.inner.relations.len()
+    }
+
+    /// The relation names, in lexicographic order.
+    pub fn relation_names(&self) -> Vec<String> {
+        self.inner.by_name.keys().cloned().collect()
+    }
+
+    /// Whether the snapshot contains a relation called `name`.
+    pub fn has_relation(&self, name: &str) -> bool {
+        self.inner.by_name.contains_key(name)
+    }
+
+    /// Total number of non-trivial conflict components across all relations.
+    pub fn component_count(&self) -> usize {
+        self.inner.relations.iter().map(|r| r.components.len()).sum()
+    }
+
+    pub(crate) fn entries(&self) -> &[RelationEntry] {
+        &self.inner.relations
+    }
+
+    pub(crate) fn entry_index(&self, name: &str) -> Option<usize> {
+        self.inner.by_name.get(name).copied()
+    }
+
+    fn single(&self) -> &RelationEntry {
+        assert_eq!(
+            self.inner.relations.len(),
+            1,
+            "this accessor requires a single-relation snapshot; use the *_of(name) variant"
+        );
+        &self.inner.relations[0]
+    }
+
+    /// The repair context of a single-relation snapshot.
+    ///
+    /// # Panics
+    /// If the snapshot holds more than one relation (use [`EngineSnapshot::context_of`]).
+    pub fn context(&self) -> &RepairContext {
+        &self.single().ctx
+    }
+
+    /// The repair context of relation `name`.
+    pub fn context_of(&self, name: &str) -> Option<&RepairContext> {
+        self.entry_index(name).map(|i| &*self.inner.relations[i].ctx)
+    }
+
+    /// The conflict graph of a single-relation snapshot.
+    pub fn graph(&self) -> &Arc<ConflictGraph> {
+        self.single().ctx.graph()
+    }
+
+    /// The priority of a single-relation snapshot.
+    pub fn priority(&self) -> &Priority {
+        &self.single().priority
+    }
+
+    /// The priority of relation `name`.
+    pub fn priority_of(&self, name: &str) -> Option<&Priority> {
+        self.entry_index(name).map(|i| &self.inner.relations[i].priority)
+    }
+
+    /// Whether every relation of the snapshot is consistent.
+    pub fn is_consistent(&self) -> bool {
+        self.inner.relations.iter().all(|r| r.ctx.is_consistent())
+    }
+
+    /// The number of repairs of the whole snapshot: the product of per-component repair
+    /// counts, computed from the memoised component enumerations and saturating at
+    /// `u128::MAX`.
+    pub fn count_repairs(&self) -> u128 {
+        self.preferred_repair_count(FamilyKind::Rep)
+    }
+
+    /// The number of preferred repairs of the given family (product of per-component
+    /// counts, saturating at `u128::MAX`).
+    pub fn preferred_repair_count(&self, kind: FamilyKind) -> u128 {
+        let mut total = 1u128;
+        for (rel, entry) in self.inner.relations.iter().enumerate() {
+            for comp in 0..entry.components.len() {
+                let count = self.component_preferred(rel, comp, kind).len() as u128;
+                total = total.saturating_mul(count);
+            }
+        }
+        total
+    }
+
+    /// Memo hit/miss counters (fresh counters on derived snapshots).
+    pub fn memo_stats(&self) -> MemoStats {
+        let memo = &self.inner.memo;
+        MemoStats {
+            component_hits: memo.component_hits.load(Ordering::Relaxed),
+            component_misses: memo.component_misses.load(Ordering::Relaxed),
+            answer_hits: memo.answer_hits.load(Ordering::Relaxed),
+            answer_misses: memo.answer_misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The preferred repairs of one component under one family, served from the memo
+    /// when the pair was enumerated before.
+    ///
+    /// The component tests exploit that every family factorises over components:
+    /// * `Rep` — every maximal independent set of the component;
+    /// * `L-Rep` / `S-Rep` — the optimality scans only inspect tuples adjacent to the
+    ///   candidate, so running them on a component-restricted candidate is exactly the
+    ///   component-local test;
+    /// * `G-Rep` — `≪`-maximality among the component's repairs (pairwise, which also
+    ///   sidesteps the co-NP search of the monolithic check);
+    /// * `C-Rep` — Algorithm 1 restricted to the component's tuples.
+    pub(crate) fn component_preferred(
+        &self,
+        rel: usize,
+        comp: usize,
+        kind: FamilyKind,
+    ) -> Arc<Vec<TupleSet>> {
+        let entry = &self.inner.relations[rel];
+        let key = (entry.comp_offset + comp, kind);
+        let memo = &self.inner.memo;
+        if let Some(cached) = memo.components.read().expect("memo lock").get(&key) {
+            memo.component_hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(cached);
+        }
+        memo.component_misses.fetch_add(1, Ordering::Relaxed);
+        let graph = entry.ctx.graph();
+        let priority = &entry.priority;
+        let component = &entry.components[comp];
+        let mis = maximal_independent_sets_within(graph, component);
+        let preferred: Vec<TupleSet> = match kind {
+            FamilyKind::Rep => mis,
+            FamilyKind::Local => {
+                mis.into_iter().filter(|m| is_locally_optimal(graph, priority, m)).collect()
+            }
+            FamilyKind::SemiGlobal => {
+                mis.into_iter().filter(|m| is_semi_globally_optimal(graph, priority, m)).collect()
+            }
+            FamilyKind::Global => {
+                let keep: Vec<bool> = mis
+                    .iter()
+                    .map(|m| {
+                        !mis.iter().any(|other| other != m && preferred_over(priority, m, other))
+                    })
+                    .collect();
+                mis.into_iter().zip(keep).filter_map(|(m, k)| k.then_some(m)).collect()
+            }
+            FamilyKind::Common => common_repairs_within(graph, priority, component, usize::MAX),
+        };
+        let preferred = Arc::new(preferred);
+        memo.components
+            .write()
+            .expect("memo lock")
+            .entry(key)
+            .or_insert_with(|| Arc::clone(&preferred));
+        preferred
+    }
+
+    /// Visits every preferred repair of the given family, assembled as the cartesian
+    /// product of memoised per-component preferred repairs over *all* relations. Each
+    /// visited slice holds one [`TupleSet`] per relation, index-aligned with
+    /// [`EngineSnapshot::entries`]. Returns `true` if the enumeration ran to completion.
+    pub(crate) fn for_each_preferred_selection(
+        &self,
+        kind: FamilyKind,
+        relations: &[usize],
+        callback: &mut dyn FnMut(&[TupleSet]) -> ControlFlow<()>,
+    ) -> bool {
+        // Gather the per-component choice lists of the requested relations.
+        let mut lists: Vec<(usize, Arc<Vec<TupleSet>>)> = Vec::new();
+        for &rel in relations {
+            let entry = &self.inner.relations[rel];
+            for comp in 0..entry.components.len() {
+                let choices = self.component_preferred(rel, comp, kind);
+                if choices.is_empty() {
+                    // No preferred repair at all (impossible for families satisfying P1,
+                    // but representable): the product is empty.
+                    return true;
+                }
+                lists.push((rel, choices));
+            }
+        }
+        let mut current: Vec<TupleSet> =
+            self.inner.relations.iter().map(|entry| TupleSet::clone(&entry.base)).collect();
+        self.combine_selections(&lists, 0, &mut current, callback).is_continue()
+    }
+
+    fn combine_selections(
+        &self,
+        lists: &[(usize, Arc<Vec<TupleSet>>)],
+        index: usize,
+        current: &mut Vec<TupleSet>,
+        callback: &mut dyn FnMut(&[TupleSet]) -> ControlFlow<()>,
+    ) -> ControlFlow<()> {
+        if index == lists.len() {
+            return callback(current);
+        }
+        let (rel, choices) = &lists[index];
+        for choice in choices.iter() {
+            current[*rel].union_with(choice);
+            let flow = self.combine_selections(lists, index + 1, current, callback);
+            current[*rel].remove_all(choice);
+            flow?;
+        }
+        ControlFlow::Continue(())
+    }
+
+    /// Visits every preferred repair of a single-relation snapshot; the callback may
+    /// stop early. Returns `true` if the enumeration ran to completion.
+    pub fn for_each_preferred(
+        &self,
+        kind: FamilyKind,
+        callback: &mut dyn FnMut(&TupleSet) -> ControlFlow<()>,
+    ) -> bool {
+        self.single();
+        self.for_each_preferred_selection(kind, &[0], &mut |selection| callback(&selection[0]))
+    }
+
+    /// Up to `limit` preferred repairs of a single-relation snapshot.
+    pub fn preferred_repairs(&self, kind: FamilyKind, limit: usize) -> Vec<TupleSet> {
+        let mut out = Vec::new();
+        if limit == 0 {
+            return out;
+        }
+        self.for_each_preferred(kind, &mut |repair| {
+            out.push(repair.clone());
+            if out.len() >= limit {
+                ControlFlow::Break(())
+            } else {
+                ControlFlow::Continue(())
+            }
+        });
+        out
+    }
+
+    /// Up to `limit` plain repairs of a single-relation snapshot.
+    pub fn repairs(&self, limit: usize) -> Vec<TupleSet> {
+        self.preferred_repairs(FamilyKind::Rep, limit)
+    }
+
+    /// X-repair checking on a single-relation snapshot: whether `candidate` is a
+    /// preferred repair of the given family.
+    pub fn is_preferred_repair(&self, kind: FamilyKind, candidate: &TupleSet) -> bool {
+        let entry = self.single();
+        kind.family().is_preferred(&entry.ctx, &entry.priority, candidate)
+    }
+
+    /// Algorithm 1 on a single-relation snapshot: the unique cleaning outcome for a
+    /// total priority.
+    pub fn clean(&self) -> Result<TupleSet, CleaningError> {
+        let entry = self.single();
+        clean_with_total_priority(entry.ctx.graph(), &entry.priority)
+    }
+
+    /// Derives a snapshot with a revised priority for a single-relation snapshot. The
+    /// instance, conflict graph and components are shared; memo entries are retained
+    /// unless the priority change touches the component they describe.
+    pub fn with_priority(&self, priority: Priority) -> Result<EngineSnapshot, BuildError> {
+        self.single();
+        let name = self.inner.relations[0].ctx.instance().schema().name().to_string();
+        self.with_priority_for(&name, priority)
+    }
+
+    /// Derives a snapshot with a revised priority for relation `name`; see
+    /// [`EngineSnapshot::with_priority`].
+    pub fn with_priority_for(
+        &self,
+        name: &str,
+        priority: Priority,
+    ) -> Result<EngineSnapshot, BuildError> {
+        let Some(rel) = self.entry_index(name) else {
+            return Err(BuildError::UnknownRelation { relation: name.to_string() });
+        };
+        let entry = &self.inner.relations[rel];
+        let same_graph = Arc::ptr_eq(priority.graph(), entry.ctx.graph())
+            || (priority.graph().vertex_count() == entry.ctx.graph().vertex_count()
+                && priority.graph().edges() == entry.ctx.graph().edges());
+        if !same_graph {
+            return Err(BuildError::GraphMismatch { relation: name.to_string() });
+        }
+        let (new_entry, affected_local) = entry.with_priority(priority);
+        let affected: BTreeSet<usize> =
+            affected_local.into_iter().map(|c| entry.comp_offset + c).collect();
+        let mut relations: Vec<RelationEntry> = Vec::with_capacity(self.inner.relations.len());
+        for (i, existing) in self.inner.relations.iter().enumerate() {
+            if i == rel {
+                relations.push(RelationEntry {
+                    ctx: Arc::clone(&new_entry.ctx),
+                    priority: new_entry.priority.clone(),
+                    components: Arc::clone(&new_entry.components),
+                    base: Arc::clone(&new_entry.base),
+                    comp_of: Arc::clone(&new_entry.comp_of),
+                    comp_offset: new_entry.comp_offset,
+                });
+            } else {
+                relations.push(RelationEntry {
+                    ctx: Arc::clone(&existing.ctx),
+                    priority: existing.priority.clone(),
+                    components: Arc::clone(&existing.components),
+                    base: Arc::clone(&existing.base),
+                    comp_of: Arc::clone(&existing.comp_of),
+                    comp_offset: existing.comp_offset,
+                });
+            }
+        }
+        // Carry over every memo entry the priority change cannot have touched: `Rep`
+        // never depends on the priority, and other families only through the affected
+        // components.
+        let memo = Memo::default();
+        {
+            let old = self.inner.memo.components.read().expect("memo lock");
+            let mut new = memo.components.write().expect("memo lock");
+            for (&(comp, kind), sets) in old.iter() {
+                if kind == FamilyKind::Rep || !affected.contains(&comp) {
+                    new.insert((comp, kind), Arc::clone(sets));
+                }
+            }
+        }
+        {
+            let old = self.inner.memo.answers.read().expect("memo lock");
+            let mut new = memo.answers.write().expect("memo lock");
+            for (key, answer) in old.iter() {
+                let untouched = !answer.priority_sensitive
+                    || answer.depends_on.iter().all(|comp| !affected.contains(comp));
+                if untouched {
+                    new.insert(*key, Arc::clone(answer));
+                }
+            }
+        }
+        Ok(EngineSnapshot {
+            inner: Arc::new(SnapshotInner { relations, by_name: self.inner.by_name.clone(), memo }),
+        })
+    }
+
+    /// Derives a single-relation snapshot whose priority is built from explicit
+    /// `winner ≻ loser` pairs over this snapshot's conflict graph.
+    pub fn with_priority_pairs(
+        &self,
+        pairs: &[(TupleId, TupleId)],
+    ) -> Result<EngineSnapshot, BuildError> {
+        let graph = Arc::clone(self.single().ctx.graph());
+        let priority = Priority::from_pairs(graph, pairs)?;
+        self.with_priority(priority)
+    }
+
+    /// Looks up a memoised answer. The key carries only a fingerprint, so a hit is
+    /// trusted only when the stored formula matches `formula` exactly — a 64-bit hash
+    /// collision between distinct queries degrades to a miss instead of a wrong answer.
+    pub(crate) fn cached_answer(
+        &self,
+        key: &AnswerKey,
+        formula: &pdqi_query::Formula,
+    ) -> Option<Arc<AnswerEntry>> {
+        let memo = &self.inner.memo;
+        let hit = memo
+            .answers
+            .read()
+            .expect("memo lock")
+            .get(key)
+            .filter(|entry| entry.formula == *formula)
+            .cloned();
+        match &hit {
+            Some(_) => memo.answer_hits.fetch_add(1, Ordering::Relaxed),
+            None => memo.answer_misses.fetch_add(1, Ordering::Relaxed),
+        };
+        hit
+    }
+
+    /// Stores a memoised answer. `relations` are the indices of the relations the query
+    /// mentions; the entry records their components so priority derivation can decide
+    /// whether to keep it. The memo is bounded by [`ANSWER_MEMO_LIMIT`].
+    pub(crate) fn store_answer(
+        &self,
+        key: AnswerKey,
+        formula: &pdqi_query::Formula,
+        relations: &[usize],
+        rows: Arc<Vec<Vec<Value>>>,
+        columns: Arc<Vec<String>>,
+        outcome: Option<CqaOutcome>,
+    ) -> Arc<AnswerEntry> {
+        let mut depends_on = Vec::new();
+        for &rel in relations {
+            let entry = &self.inner.relations[rel];
+            depends_on.extend(entry.comp_offset..entry.comp_offset + entry.components.len());
+        }
+        let entry = Arc::new(AnswerEntry {
+            formula: formula.clone(),
+            rows,
+            columns,
+            outcome,
+            depends_on,
+            priority_sensitive: key.family != FamilyKind::Rep,
+        });
+        let mut answers = self.inner.memo.answers.write().expect("memo lock");
+        if answers.len() >= ANSWER_MEMO_LIMIT && !answers.contains_key(&key) {
+            answers.clear();
+        }
+        answers.insert(key, Arc::clone(&entry));
+        entry
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::repair::fixtures::*;
+
+    fn snapshot_of(ctx: &RepairContext) -> EngineSnapshot {
+        EngineBuilder::new().relation(ctx.instance().clone(), ctx.fds().clone()).build().unwrap()
+    }
+
+    #[test]
+    fn builder_builds_and_counts_repairs_through_the_memo() {
+        let ctx = example1();
+        let snapshot = snapshot_of(&ctx);
+        assert_eq!(snapshot.relation_count(), 1);
+        assert!(!snapshot.is_consistent());
+        assert_eq!(snapshot.count_repairs(), 3);
+        // Counting again is served from the memo.
+        let before = snapshot.memo_stats();
+        assert_eq!(snapshot.count_repairs(), 3);
+        let after = snapshot.memo_stats();
+        assert_eq!(after.component_misses, before.component_misses);
+        assert!(after.component_hits > before.component_hits);
+    }
+
+    #[test]
+    fn component_product_reproduces_the_repairs() {
+        let ctx = example4(5);
+        let snapshot = snapshot_of(&ctx);
+        assert_eq!(snapshot.count_repairs(), 32);
+        let enumerated = snapshot.repairs(usize::MAX);
+        assert_eq!(enumerated.len(), 32);
+        for repair in &enumerated {
+            assert!(ctx.is_repair(repair));
+        }
+    }
+
+    #[test]
+    fn per_family_component_pipeline_matches_the_legacy_family_objects() {
+        for (ctx, priority) in [example7(), example8(), example9(), example9_intended()] {
+            let snapshot = snapshot_of(&ctx).with_priority(priority.clone()).unwrap();
+            for kind in FamilyKind::ALL {
+                let legacy = kind.family().preferred_repairs(&ctx, &priority, usize::MAX);
+                let piped = snapshot.preferred_repairs(kind, usize::MAX);
+                assert_eq!(piped.len(), legacy.len(), "{} count", kind.label());
+                for repair in &legacy {
+                    assert!(piped.contains(repair), "{} misses {repair:?}", kind.label());
+                }
+                assert_eq!(
+                    snapshot.preferred_repair_count(kind),
+                    legacy.len() as u128,
+                    "{} preferred_repair_count",
+                    kind.label()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn with_priority_shares_structure_and_keeps_unaffected_memo_entries() {
+        let ctx = example9();
+        let (ctx, priority) = (ctx.0, ctx.1);
+        let base = snapshot_of(&ctx);
+        // Warm the memo for Rep and Local.
+        base.preferred_repairs(FamilyKind::Rep, usize::MAX);
+        base.preferred_repairs(FamilyKind::Local, usize::MAX);
+        let warmed = base.memo_stats();
+        let derived = base.with_priority(priority).unwrap();
+        // The graph and instance are shared, not rebuilt.
+        assert!(Arc::ptr_eq(base.graph(), derived.graph()));
+        // Rep entries survive (priority-independent): re-enumeration is all hits.
+        derived.preferred_repairs(FamilyKind::Rep, usize::MAX);
+        let stats = derived.memo_stats();
+        assert_eq!(stats.component_misses, 0, "Rep memo entries must survive derivation");
+        assert!(stats.component_hits > 0);
+        assert!(warmed.component_misses > 0);
+    }
+
+    #[test]
+    fn with_priority_invalidates_only_affected_components() {
+        // Example 4 with n = 3: three independent two-tuple components.
+        let ctx = example4(3);
+        let base = snapshot_of(&ctx);
+        base.preferred_repairs(FamilyKind::Global, usize::MAX);
+        // Orient only the first component's conflict edge.
+        let priority = ctx.priority_from_pairs(&[(TupleId(0), TupleId(1))]).unwrap();
+        let derived = base.with_priority(priority).unwrap();
+        derived.preferred_repairs(FamilyKind::Global, usize::MAX);
+        let stats = derived.memo_stats();
+        // Components 2 and 3 were untouched: only the first was recomputed.
+        assert_eq!(stats.component_misses, 1);
+        assert_eq!(derived.preferred_repair_count(FamilyKind::Global), 4);
+    }
+
+    #[test]
+    fn multi_relation_snapshots_address_relations_by_name() {
+        let first = example1();
+        let second = example4(2);
+        let snapshot = EngineBuilder::new()
+            .relation(first.instance().clone(), first.fds().clone())
+            .relation(second.instance().clone(), second.fds().clone())
+            .build()
+            .unwrap();
+        assert_eq!(snapshot.relation_count(), 2);
+        assert_eq!(snapshot.relation_names(), vec!["Mgr".to_string(), "R".to_string()]);
+        assert!(snapshot.context_of("Mgr").is_some());
+        assert!(snapshot.priority_of("R").is_some());
+        assert!(snapshot.context_of("Nope").is_none());
+        // 3 repairs of Mgr × 4 repairs of R.
+        assert_eq!(snapshot.count_repairs(), 12);
+    }
+
+    #[test]
+    fn builder_errors_are_reported() {
+        let ctx = example1();
+        let duplicate = EngineBuilder::new()
+            .relation(ctx.instance().clone(), ctx.fds().clone())
+            .relation(ctx.instance().clone(), ctx.fds().clone())
+            .build();
+        assert!(matches!(duplicate, Err(BuildError::DuplicateRelation { .. })));
+        let orphan = EngineBuilder::new().priority_from_scores(&[1]).build();
+        assert!(matches!(orphan, Err(BuildError::PriorityWithoutRelation)));
+        let wrong_len = EngineBuilder::new()
+            .relation(ctx.instance().clone(), ctx.fds().clone())
+            .priority_from_scores(&[1, 2])
+            .build();
+        assert!(matches!(wrong_len, Err(BuildError::AnnotationLength { .. })));
+        let bad_pair = EngineBuilder::new()
+            .relation(ctx.instance().clone(), ctx.fds().clone())
+            .priority_pairs(&[(TupleId(0), TupleId(3))])
+            .build();
+        assert!(bad_pair.err().and_then(|e| e.as_priority_error().cloned()).is_some());
+    }
+
+    #[test]
+    fn snapshot_cleaning_and_checking_work() {
+        let (ctx, priority) = example9();
+        let snapshot = snapshot_of(&ctx).with_priority(priority).unwrap();
+        let cleaned = snapshot.clean().unwrap();
+        assert!(snapshot.is_preferred_repair(FamilyKind::Common, &cleaned));
+        assert_eq!(snapshot.preferred_repairs(FamilyKind::Common, 10), vec![cleaned]);
+    }
+}

@@ -95,7 +95,7 @@ impl IntegrationScenario {
     pub fn row_sources(&self) -> Vec<String> {
         self.sources
             .iter()
-            .flat_map(|(name, rows)| std::iter::repeat(name.clone()).take(rows.len()))
+            .flat_map(|(name, rows)| std::iter::repeat_n(name.clone(), rows.len()))
             .collect()
     }
 }

@@ -49,9 +49,8 @@ mod tests {
     use rand::SeedableRng;
 
     fn cycle_graph(n: usize) -> Arc<ConflictGraph> {
-        let edges: Vec<(TupleId, TupleId)> = (0..n)
-            .map(|i| (TupleId(i as u32), TupleId(((i + 1) % n) as u32)))
-            .collect();
+        let edges: Vec<(TupleId, TupleId)> =
+            (0..n).map(|i| (TupleId(i as u32), TupleId(((i + 1) % n) as u32))).collect();
         Arc::new(ConflictGraph::from_edges(n, &edges))
     }
 

@@ -18,10 +18,8 @@ pub fn random_3cnf<R: Rng>(variables: usize, clauses: usize, rng: &mut R) -> Cnf
     let mut pool: Vec<usize> = (0..variables).collect();
     for _ in 0..clauses {
         pool.shuffle(rng);
-        let clause = pool[..3]
-            .iter()
-            .map(|&var| Lit { var, positive: rng.gen_bool(0.5) })
-            .collect();
+        let clause =
+            pool[..3].iter().map(|&var| Lit { var, positive: rng.gen_bool(0.5) }).collect();
         formula.add_clause(clause);
     }
     formula

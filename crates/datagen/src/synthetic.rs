@@ -79,7 +79,7 @@ pub fn chain_instance(length: usize) -> (RelationInstance, FdSet) {
         // C → D through distinct D). All other values are unique.
         let a = (i / 2) as i64;
         let b = (i % 2) as i64;
-        let c = ((i + 1) / 2) as i64 + 1_000_000;
+        let c = i.div_ceil(2) as i64 + 1_000_000;
         let d = ((i + 1) % 2) as i64;
         rows.push(vec![Value::int(a), Value::int(b), Value::int(c), Value::int(d)]);
     }
@@ -107,7 +107,8 @@ pub fn random_conflict_instance<R: Rng>(
     let pool = (colliding / 2).max(1) as i64;
     for i in 0..n {
         let a = if i < colliding { rng.gen_range(0..pool) } else { 1_000_000 + i as i64 };
-        let c = if i < colliding { 2_000_000 + rng.gen_range(0..pool) } else { 3_000_000 + i as i64 };
+        let c =
+            if i < colliding { 2_000_000 + rng.gen_range(0..pool) } else { 3_000_000 + i as i64 };
         let b = rng.gen_range(0..2i64);
         rows.push(vec![Value::int(a), Value::int(b), Value::int(c)]);
     }

@@ -103,8 +103,7 @@ impl CyclicPreference {
     pub fn is_acyclic(&self) -> bool {
         let sccs = self.strongly_connected_components();
         sccs.iter().all(|component| component.len() == 1)
-            && (0..self.prefers.len())
-                .all(|i| !self.prefers[i].contains(TupleId(i as u32)))
+            && (0..self.prefers.len()).all(|i| !self.prefers[i].contains(TupleId(i as u32)))
     }
 
     /// The strongly connected components of the preference digraph (Tarjan's algorithm,
@@ -153,10 +152,7 @@ impl CyclicPreference {
                         on_stack[successor] = true;
                         call_stack.push(Frame {
                             vertex: successor,
-                            successors: self.prefers[successor]
-                                .iter()
-                                .map(|t| t.index())
-                                .collect(),
+                            successors: self.prefers[successor].iter().map(|t| t.index()).collect(),
                             position: 0,
                         });
                     } else if on_stack[successor] {
@@ -218,7 +214,12 @@ impl CyclicPreference {
         let cycles = components.iter().filter(|c| c.len() > 1).count();
         (
             priority,
-            CondensationReport { raw_edges: self.edge_count, kept_edges: kept, dropped_edges: dropped, cycles },
+            CondensationReport {
+                raw_edges: self.edge_count,
+                kept_edges: kept,
+                dropped_edges: dropped,
+                cycles,
+            },
         )
     }
 }

@@ -161,7 +161,8 @@ impl HyperPriority {
     pub fn is_pairwise_total(&self) -> bool {
         (0..self.vertex_count).all(|x| {
             self.co_conflicting[x].iter().all(|y| {
-                self.dominates[x].contains(y) || self.dominates[y.index()].contains(TupleId(x as u32))
+                self.dominates[x].contains(y)
+                    || self.dominates[y.index()].contains(TupleId(x as u32))
             })
         })
     }
@@ -171,11 +172,10 @@ impl HyperPriority {
     /// binary case the two readings coincide; for hyperedges they differ, and this weaker
     /// one is not enough for categoricity — see the module tests.
     pub fn covers_every_hyperedge(&self, hypergraph: &ConflictHypergraph) -> bool {
-        hypergraph.hyperedges().iter().all(|edge| {
-            edge.iter().any(|x| {
-                edge.iter().any(|y| x != y && self.dominates(x, y))
-            })
-        })
+        hypergraph
+            .hyperedges()
+            .iter()
+            .all(|edge| edge.iter().any(|x| edge.iter().any(|y| x != y && self.dominates(x, y))))
     }
 
     fn reaches(&self, from: TupleId, to: TupleId) -> bool {
@@ -206,9 +206,7 @@ pub fn hyper_preferred_over(priority: &HyperPriority, r1: &TupleSet, r2: &TupleS
     if r1 == r2 {
         return false;
     }
-    r1.difference(r2).iter().all(|x| {
-        r2.difference(r1).iter().any(|y| priority.dominates(y, x))
-    })
+    r1.difference(r2).iter().all(|x| r2.difference(r1).iter().any(|y| priority.dominates(y, x)))
 }
 
 /// Whether `repair` is a `≪`-maximal repair of the hypergraph (the global-optimality
@@ -306,9 +304,11 @@ mod tests {
         // t0 ≻ t2 and t1 ≻ t2: the repair that drops t2's "enemies"… i.e. the repair
         // {t0, t1} dominates both repairs containing t2, so it is the only preferred one.
         let hypergraph = ternary();
-        let priority =
-            HyperPriority::from_pairs(&hypergraph, &[(TupleId(0), TupleId(2)), (TupleId(1), TupleId(2))])
-                .unwrap();
+        let priority = HyperPriority::from_pairs(
+            &hypergraph,
+            &[(TupleId(0), TupleId(2)), (TupleId(1), TupleId(2))],
+        )
+        .unwrap();
         let preferred = hyper_globally_optimal_repairs(&hypergraph, &priority, usize::MAX);
         assert_eq!(preferred, vec![ids(&[0, 1])]);
     }
@@ -348,8 +348,7 @@ mod tests {
     #[test]
     fn the_lifting_follows_proposition_5() {
         let hypergraph = ternary();
-        let priority =
-            HyperPriority::from_pairs(&hypergraph, &[(TupleId(0), TupleId(2))]).unwrap();
+        let priority = HyperPriority::from_pairs(&hypergraph, &[(TupleId(0), TupleId(2))]).unwrap();
         let r01 = ids(&[0, 1]);
         let r02 = ids(&[0, 2]);
         let r12 = ids(&[1, 2]);
@@ -378,7 +377,8 @@ mod tests {
             &[(TupleId(0), TupleId(1)), (TupleId(1), TupleId(2)), (TupleId(0), TupleId(2))],
         )
         .unwrap();
-        let count = |p: &HyperPriority| hyper_globally_optimal_repairs(&hypergraph, p, usize::MAX).len();
+        let count =
+            |p: &HyperPriority| hyper_globally_optimal_repairs(&hypergraph, p, usize::MAX).len();
         assert_eq!(count(&empty), 3);
         assert_eq!(count(&partial), 2);
         assert_eq!(count(&total), 1);

@@ -212,18 +212,14 @@ mod tests {
     #[test]
     fn sufficiently_oriented_triangle_cannot_become_cyclic() {
         // Orienting two edges out of the same vertex leaves no way to close a directed cycle.
-        let p = Priority::from_pairs(
-            triangle(),
-            &[(TupleId(0), TupleId(1)), (TupleId(0), TupleId(2))],
-        )
-        .unwrap();
+        let p =
+            Priority::from_pairs(triangle(), &[(TupleId(0), TupleId(1)), (TupleId(0), TupleId(2))])
+                .unwrap();
         assert!(!has_cyclic_extension(&p));
         // But a "chain" of two edges still can be closed by the third.
-        let q = Priority::from_pairs(
-            triangle(),
-            &[(TupleId(0), TupleId(1)), (TupleId(1), TupleId(2))],
-        )
-        .unwrap();
+        let q =
+            Priority::from_pairs(triangle(), &[(TupleId(0), TupleId(1)), (TupleId(1), TupleId(2))])
+                .unwrap();
         assert!(has_cyclic_extension(&q));
     }
 }

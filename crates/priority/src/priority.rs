@@ -39,7 +39,10 @@ impl fmt::Display for PriorityError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             PriorityError::NotConflicting { winner, loser } => {
-                write!(f, "{winner} and {loser} are not conflicting, so no priority may relate them")
+                write!(
+                    f,
+                    "{winner} and {loser} are not conflicting, so no priority may relate them"
+                )
             }
             PriorityError::WouldCreateCycle { winner, loser } => {
                 write!(f, "adding {winner} ≻ {loser} would make the priority cyclic")
@@ -183,12 +186,7 @@ impl Priority {
 
     /// The conflict edges not yet oriented.
     pub fn unoriented_edges(&self) -> Vec<(TupleId, TupleId)> {
-        self.graph
-            .edges()
-            .iter()
-            .copied()
-            .filter(|&(a, b)| !self.orients_edge(a, b))
-            .collect()
+        self.graph.edges().iter().copied().filter(|&(a, b)| !self.orients_edge(a, b)).collect()
     }
 
     /// All oriented edges as `(winner, loser)` pairs, in ascending order.
@@ -206,10 +204,7 @@ impl Priority {
     /// Whether `self` is an extension of `other` (`other ⊆ self`): every pair oriented by
     /// `other` is oriented the same way by `self`.
     pub fn is_extension_of(&self, other: &Priority) -> bool {
-        other
-            .edges()
-            .into_iter()
-            .all(|(winner, loser)| self.dominates(winner, loser))
+        other.edges().into_iter().all(|(winner, loser)| self.dominates(winner, loser))
     }
 
     /// Merges every edge of `other` into `self`. Fails if a merged edge is not a conflict
@@ -304,11 +299,9 @@ mod tests {
     #[test]
     fn example_7_priority_is_accepted() {
         // ≻ = {(ta,tc),(ta,tb)} on the triangle.
-        let p = Priority::from_pairs(
-            triangle(),
-            &[(TupleId(0), TupleId(2)), (TupleId(0), TupleId(1))],
-        )
-        .unwrap();
+        let p =
+            Priority::from_pairs(triangle(), &[(TupleId(0), TupleId(2)), (TupleId(0), TupleId(1))])
+                .unwrap();
         assert!(p.dominates(TupleId(0), TupleId(2)));
         assert!(!p.dominates(TupleId(2), TupleId(0)));
         assert_eq!(p.edge_count(), 2);
@@ -320,10 +313,7 @@ mod tests {
     fn non_conflicting_pairs_are_rejected() {
         let graph = Arc::new(ConflictGraph::from_edges(3, &[(TupleId(0), TupleId(1))]));
         let mut p = Priority::empty(graph);
-        assert!(matches!(
-            p.add(TupleId(0), TupleId(2)),
-            Err(PriorityError::NotConflicting { .. })
-        ));
+        assert!(matches!(p.add(TupleId(0), TupleId(2)), Err(PriorityError::NotConflicting { .. })));
         assert!(matches!(p.add(TupleId(0), TupleId(0)), Err(PriorityError::SelfEdge { .. })));
         assert!(matches!(p.add(TupleId(0), TupleId(9)), Err(PriorityError::UnknownTuple { .. })));
     }
@@ -369,13 +359,10 @@ mod tests {
 
     #[test]
     fn extension_relation() {
-        let smaller =
-            Priority::from_pairs(path5(), &[(TupleId(0), TupleId(1))]).unwrap();
-        let larger = Priority::from_pairs(
-            path5(),
-            &[(TupleId(0), TupleId(1)), (TupleId(1), TupleId(2))],
-        )
-        .unwrap();
+        let smaller = Priority::from_pairs(path5(), &[(TupleId(0), TupleId(1))]).unwrap();
+        let larger =
+            Priority::from_pairs(path5(), &[(TupleId(0), TupleId(1)), (TupleId(1), TupleId(2))])
+                .unwrap();
         assert!(larger.is_extension_of(&smaller));
         assert!(!smaller.is_extension_of(&larger));
         // Every priority extends the empty priority and itself.

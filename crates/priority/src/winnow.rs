@@ -11,10 +11,7 @@ use crate::priority::Priority;
 /// The winnow operator restricted to the `active` tuples: the members of `active` that
 /// are not dominated (w.r.t. `priority`) by any other member of `active`.
 pub fn winnow(priority: &Priority, active: &TupleSet) -> TupleSet {
-    active
-        .iter()
-        .filter(|&t| priority.dominators_of(t).is_disjoint_from(active))
-        .collect()
+    active.iter().filter(|&t| priority.dominators_of(t).is_disjoint_from(active)).collect()
 }
 
 #[cfg(test)]
@@ -50,7 +47,7 @@ mod tests {
     #[test]
     fn winnow_keeps_undominated_tuples_only() {
         let p = path5_priority();
-        let all = TupleSet::from_ids((0..5).map(|i| TupleId(i)));
+        let all = TupleSet::from_ids((0..5).map(TupleId));
         assert_eq!(winnow(&p, &all), TupleSet::from_ids([TupleId(0)]));
     }
 

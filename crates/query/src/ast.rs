@@ -233,7 +233,9 @@ impl Formula {
             Formula::Not(inner) | Formula::Exists(_, inner) | Formula::Forall(_, inner) => {
                 1 + inner.size()
             }
-            Formula::And(a, b) | Formula::Or(a, b) | Formula::Implies(a, b) => 1 + a.size() + b.size(),
+            Formula::And(a, b) | Formula::Or(a, b) | Formula::Implies(a, b) => {
+                1 + a.size() + b.size()
+            }
         }
     }
 }
@@ -263,10 +265,7 @@ mod tests {
     #[test]
     fn free_and_bound_variables() {
         // EXISTS x . R(x, y) AND x < 5
-        let f = exists(
-            &["x"],
-            and(atom("R", vec![var("x"), var("y")]), lt(var("x"), int(5))),
-        );
+        let f = exists(&["x"], and(atom("R", vec![var("x"), var("y")]), lt(var("x"), int(5))));
         assert_eq!(f.free_vars(), vec!["y".to_string()]);
         assert!(f.bound_vars().contains("x"));
         assert!(!f.is_closed());
@@ -275,10 +274,8 @@ mod tests {
 
     #[test]
     fn constants_and_relations_are_collected() {
-        let f = and(
-            atom("Mgr", vec![name("Mary"), var("d")]),
-            atom("Dept", vec![var("d"), int(7)]),
-        );
+        let f =
+            and(atom("Mgr", vec![name("Mary"), var("d")]), atom("Dept", vec![var("d"), int(7)]));
         assert_eq!(f.constants(), vec![Value::name("Mary"), Value::int(7)]);
         let rels = f.relations();
         assert!(rels.contains("Mgr") && rels.contains("Dept"));
@@ -286,10 +283,7 @@ mod tests {
 
     #[test]
     fn display_round_trips_through_the_parser() {
-        let f = exists(
-            &["x", "y"],
-            and(atom("R", vec![var("x"), var("y")]), gt(var("y"), int(3))),
-        );
+        let f = exists(&["x", "y"], and(atom("R", vec![var("x"), var("y")]), gt(var("y"), int(3))));
         let printed = f.to_string();
         let reparsed = crate::parser::parse_formula(&printed).unwrap();
         assert_eq!(f, reparsed);

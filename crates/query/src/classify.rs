@@ -122,10 +122,7 @@ mod tests {
 
     #[test]
     fn conjunctive_queries() {
-        assert_eq!(
-            class_of("EXISTS x,y . Mgr('Mary',x,y,z) AND y > 10"),
-            QueryClass::Conjunctive
-        );
+        assert_eq!(class_of("EXISTS x,y . Mgr('Mary',x,y,z) AND y > 10"), QueryClass::Conjunctive);
         // The paper's Q1 and Q2 are conjunctive.
         assert_eq!(
             class_of(

@@ -297,10 +297,8 @@ impl<'a> Evaluator<'a> {
             body = deeper;
         }
         // The quantifier shadows any outer binding of the same variable name.
-        let shadowed: Vec<(String, Value)> = all_vars
-            .iter()
-            .filter_map(|v| env.remove(v).map(|value| (v.clone(), value)))
-            .collect();
+        let shadowed: Vec<(String, Value)> =
+            all_vars.iter().filter_map(|v| env.remove(v).map(|value| (v.clone(), value))).collect();
         let mut conjuncts: Vec<&Formula> = Vec::new();
         flatten_conjunction(body, &mut conjuncts);
         let result = self.exists_search(&all_vars, &conjuncts, env, domain);
@@ -379,9 +377,9 @@ impl<'a> Evaluator<'a> {
         // 3. No atom can drive the search: bind one remaining quantified variable from the
         //    active domain. If the unbound variables are not quantified here they are
         //    genuinely unbound and evaluation of the conjunct will report the error.
-        let unbound_var = vars.iter().find(|v| {
-            !env.contains_key(*v) && pending.iter().any(|f| f.free_vars().contains(v))
-        });
+        let unbound_var = vars
+            .iter()
+            .find(|v| !env.contains_key(*v) && pending.iter().any(|f| f.free_vars().contains(v)));
         match unbound_var {
             Some(var) => {
                 for value in domain {
@@ -529,7 +527,8 @@ mod tests {
         .unwrap()
     }
 
-    const Q1: &str = "EXISTS d1,s1,r1,d2,s2,r2 . Mgr('Mary',d1,s1,r1) AND Mgr('John',d2,s2,r2) AND s1 < s2";
+    const Q1: &str =
+        "EXISTS d1,s1,r1,d2,s2,r2 . Mgr('Mary',d1,s1,r1) AND Mgr('John',d2,s2,r2) AND s1 < s2";
     const Q2: &str = "EXISTS d1,s1,r1,d2,s2,r2 . Mgr('Mary',d1,s1,r1) AND Mgr('John',d2,s2,r2) AND s1 > s2 AND r1 < r2";
 
     #[test]
@@ -581,12 +580,8 @@ mod tests {
         let r = mgr_instance();
         let eval = Evaluator::with_relation(&r);
         // Every manager tuple has a salary of at least 10.
-        assert!(eval
-            .eval_closed_text("FORALL n,d,s,rep . Mgr(n,d,s,rep) -> s >= 10")
-            .unwrap());
-        assert!(!eval
-            .eval_closed_text("FORALL n,d,s,rep . Mgr(n,d,s,rep) -> s >= 20")
-            .unwrap());
+        assert!(eval.eval_closed_text("FORALL n,d,s,rep . Mgr(n,d,s,rep) -> s >= 10").unwrap());
+        assert!(!eval.eval_closed_text("FORALL n,d,s,rep . Mgr(n,d,s,rep) -> s >= 20").unwrap());
     }
 
     #[test]

@@ -246,10 +246,7 @@ mod tests {
     fn nnf_eliminates_implication_and_pushes_negation() {
         let f = parse_formula("NOT (R(x) -> S(x))").unwrap();
         // ¬(R → S) ≡ R ∧ ¬S
-        let expected = and(
-            atom("R", vec![var("x")]),
-            not(atom("S", vec![var("x")])),
-        );
+        let expected = and(atom("R", vec![var("x")]), not(atom("S", vec![var("x")])));
         assert_eq!(to_nnf(&f), expected);
     }
 

@@ -208,7 +208,10 @@ fn lex(input: &str) -> Result<Vec<Spanned>, ParseError> {
                 {
                     i += 1;
                 }
-                tokens.push(Spanned { token: Token::Ident(input[start..i].to_string()), position: start });
+                tokens.push(Spanned {
+                    token: Token::Ident(input[start..i].to_string()),
+                    position: start,
+                });
             }
             _ => {
                 return Err(ParseError {
@@ -233,10 +236,9 @@ impl Parser {
     }
 
     fn position(&self) -> usize {
-        self.tokens.get(self.pos).map_or_else(
-            || self.tokens.last().map_or(0, |s| s.position + 1),
-            |s| s.position,
-        )
+        self.tokens
+            .get(self.pos)
+            .map_or_else(|| self.tokens.last().map_or(0, |s| s.position + 1), |s| s.position)
     }
 
     fn advance(&mut self) -> Option<&Token> {

@@ -132,7 +132,8 @@ impl TupleSet {
     pub fn union(&self, other: &TupleSet) -> TupleSet {
         let mut words = vec![0u64; self.words.len().max(other.words.len())];
         for (i, slot) in words.iter_mut().enumerate() {
-            *slot = self.words.get(i).copied().unwrap_or(0) | other.words.get(i).copied().unwrap_or(0);
+            *slot =
+                self.words.get(i).copied().unwrap_or(0) | other.words.get(i).copied().unwrap_or(0);
         }
         TupleSet { words }
     }
@@ -259,9 +260,7 @@ impl RelationInstance {
 
     /// The tuple with id `id`.
     pub fn tuple(&self, id: TupleId) -> Result<&Tuple, RelationError> {
-        self.tuples
-            .get(id.index())
-            .ok_or(RelationError::UnknownTupleId { id: id.0 })
+        self.tuples.get(id.index()).ok_or(RelationError::UnknownTupleId { id: id.0 })
     }
 
     /// The tuple with id `id`, panicking on an invalid id (internal fast path).
@@ -346,7 +345,8 @@ mod tests {
 
     fn schema() -> Arc<RelationSchema> {
         Arc::new(
-            RelationSchema::from_pairs("R", &[("A", ValueType::Int), ("B", ValueType::Int)]).unwrap(),
+            RelationSchema::from_pairs("R", &[("A", ValueType::Int), ("B", ValueType::Int)])
+                .unwrap(),
         )
     }
 

@@ -3,14 +3,13 @@
 use std::fmt;
 use std::sync::Arc;
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::RelationError;
 use crate::tuple::Tuple;
 use crate::value::{Value, ValueType};
 
 /// Index of an attribute within its relation schema.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct AttrId(pub usize);
 
 impl AttrId {
@@ -31,7 +30,8 @@ impl fmt::Display for AttrId {
 /// Functional dependencies, attribute closures and projections all operate on attribute
 /// sets; a bitset makes the subset / union / intersection operations used by conflict
 /// detection cheap.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct AttrSet {
     words: Vec<u64>,
 }
@@ -103,7 +103,8 @@ impl AttrSet {
     pub fn union(&self, other: &AttrSet) -> AttrSet {
         let mut words = vec![0u64; self.words.len().max(other.words.len())];
         for (i, slot) in words.iter_mut().enumerate() {
-            *slot = self.words.get(i).copied().unwrap_or(0) | other.words.get(i).copied().unwrap_or(0);
+            *slot =
+                self.words.get(i).copied().unwrap_or(0) | other.words.get(i).copied().unwrap_or(0);
         }
         AttrSet { words }
     }
@@ -152,7 +153,8 @@ impl FromIterator<AttrId> for AttrSet {
 }
 
 /// An attribute declaration: a name and a type.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct AttributeDef {
     /// Attribute name (unique within its relation).
     pub name: String,
@@ -168,7 +170,8 @@ impl AttributeDef {
 }
 
 /// The schema of one relation: a name and an ordered list of typed attributes.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct RelationSchema {
     name: String,
     attributes: Vec<AttributeDef>,
@@ -197,10 +200,7 @@ impl RelationSchema {
         name: impl Into<String>,
         pairs: &[(&str, ValueType)],
     ) -> Result<Self, RelationError> {
-        RelationSchema::new(
-            name,
-            pairs.iter().map(|(n, t)| AttributeDef::new(*n, *t)).collect(),
-        )
+        RelationSchema::new(name, pairs.iter().map(|(n, t)| AttributeDef::new(*n, *t)).collect())
     }
 
     /// The relation name.
@@ -220,14 +220,12 @@ impl RelationSchema {
 
     /// Looks up an attribute id by name.
     pub fn attr_id(&self, name: &str) -> Result<AttrId, RelationError> {
-        self.attributes
-            .iter()
-            .position(|a| a.name == name)
-            .map(AttrId)
-            .ok_or_else(|| RelationError::UnknownAttribute {
+        self.attributes.iter().position(|a| a.name == name).map(AttrId).ok_or_else(|| {
+            RelationError::UnknownAttribute {
                 relation: self.name.clone(),
                 attribute: name.to_string(),
-            })
+            }
+        })
     }
 
     /// The declaration of attribute `id`.
@@ -300,7 +298,10 @@ impl DatabaseSchema {
     }
 
     /// Adds a relation schema, rejecting duplicate relation names.
-    pub fn add_relation(&mut self, schema: RelationSchema) -> Result<Arc<RelationSchema>, RelationError> {
+    pub fn add_relation(
+        &mut self,
+        schema: RelationSchema,
+    ) -> Result<Arc<RelationSchema>, RelationError> {
         if self.relations.iter().any(|r| r.name() == schema.name()) {
             return Err(RelationError::DuplicateRelation { relation: schema.name().to_string() });
         }

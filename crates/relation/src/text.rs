@@ -44,20 +44,15 @@ pub fn parse_instance(
 /// Renders an instance as an aligned text table (header row plus one row per tuple).
 pub fn render_instance(instance: &RelationInstance) -> String {
     let schema = instance.schema();
-    let mut columns: Vec<Vec<String>> = schema
-        .attributes()
-        .iter()
-        .map(|a| vec![a.name.clone()])
-        .collect();
+    let mut columns: Vec<Vec<String>> =
+        schema.attributes().iter().map(|a| vec![a.name.clone()]).collect();
     for (_, tuple) in instance.iter() {
         for (col, value) in columns.iter_mut().zip(tuple.values()) {
             col.push(value.to_string());
         }
     }
-    let widths: Vec<usize> = columns
-        .iter()
-        .map(|col| col.iter().map(String::len).max().unwrap_or(0))
-        .collect();
+    let widths: Vec<usize> =
+        columns.iter().map(|col| col.iter().map(String::len).max().unwrap_or(0)).collect();
     let mut out = String::new();
     let row_count = instance.len() + 1;
     for row in 0..row_count {
@@ -116,12 +111,12 @@ fn split_fields(line: &str, line_no: usize) -> Result<Vec<String>, RelationError
 
 fn parse_value(field: &str, ty: ValueType, line_no: usize) -> Result<Value, RelationError> {
     match ty {
-        ValueType::Int => field.parse::<i64>().map(Value::Int).map_err(|_| {
-            RelationError::ParseError {
+        ValueType::Int => {
+            field.parse::<i64>().map(Value::Int).map_err(|_| RelationError::ParseError {
                 line: line_no,
                 message: format!("`{field}` is not an integer"),
-            }
-        }),
+            })
+        }
         ValueType::Name => {
             if field.is_empty() {
                 return Err(RelationError::ParseError {
@@ -173,7 +168,8 @@ mod tests {
     #[test]
     fn quoted_names_may_contain_commas() {
         let schema = Arc::new(
-            RelationSchema::from_pairs("R", &[("A", ValueType::Name), ("B", ValueType::Int)]).unwrap(),
+            RelationSchema::from_pairs("R", &[("A", ValueType::Name), ("B", ValueType::Int)])
+                .unwrap(),
         );
         let instance = parse_instance(schema, "'Smith, John', 5\n").unwrap();
         let (_, tuple) = instance.iter().next().unwrap();
@@ -182,9 +178,7 @@ mod tests {
 
     #[test]
     fn doubled_quotes_escape_a_quote() {
-        let schema = Arc::new(
-            RelationSchema::from_pairs("R", &[("A", ValueType::Name)]).unwrap(),
-        );
+        let schema = Arc::new(RelationSchema::from_pairs("R", &[("A", ValueType::Name)]).unwrap());
         let instance = parse_instance(schema, "'O''Brien'\n").unwrap();
         let (_, tuple) = instance.iter().next().unwrap();
         assert_eq!(tuple.get(crate::AttrId(0)), &Value::name("O'Brien"));
@@ -204,9 +198,7 @@ mod tests {
 
     #[test]
     fn unterminated_quote_is_a_parse_error() {
-        let schema = Arc::new(
-            RelationSchema::from_pairs("R", &[("A", ValueType::Name)]).unwrap(),
-        );
+        let schema = Arc::new(RelationSchema::from_pairs("R", &[("A", ValueType::Name)]).unwrap());
         assert!(parse_instance(schema, "'oops\n").is_err());
     }
 

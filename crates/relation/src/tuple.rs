@@ -3,8 +3,6 @@
 use std::fmt;
 use std::sync::Arc;
 
-use serde::{Deserialize, Serialize};
-
 use crate::schema::{AttrId, AttrSet};
 use crate::value::Value;
 
@@ -12,7 +10,8 @@ use crate::value::Value;
 ///
 /// Repairs, conflict graphs and priorities all refer to tuples by their [`TupleId`];
 /// the id is stable for the lifetime of the instance (instances are append-only).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TupleId(pub u32);
 
 impl TupleId {

@@ -8,13 +8,12 @@
 use std::cmp::Ordering;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::RelationError;
 use crate::symbol::Name;
 
 /// The type of an attribute or value: either an uninterpreted name or an integer.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum ValueType {
     /// The uninterpreted name domain `D`.
     Name,
@@ -32,7 +31,8 @@ impl fmt::Display for ValueType {
 }
 
 /// A single attribute value.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Value {
     /// An uninterpreted constant.
     Name(Name),

@@ -70,6 +70,11 @@ impl<'g> GraphMisEnumerator<'g> {
         self.graph.complete_to_maximal(&TupleSet::new())
     }
 
+    /// The connected components this enumerator decomposes the graph into.
+    pub fn components(&self) -> &[TupleSet] {
+        &self.components
+    }
+
     fn combine<F>(
         &self,
         per_component: &[Vec<TupleSet>],
@@ -136,10 +141,25 @@ impl<'g> GraphMisEnumerator<'g> {
     }
 
     fn is_maximal_within(&self, vertices: &[TupleId], chosen: &TupleSet) -> bool {
-        vertices.iter().all(|&v| {
-            chosen.contains(v) || !self.graph.neighbors(v).is_disjoint_from(chosen)
-        })
+        vertices
+            .iter()
+            .all(|&v| chosen.contains(v) || !self.graph.neighbors(v).is_disjoint_from(chosen))
     }
+}
+
+/// All maximal independent sets of the subgraph induced by `vertices`, which must be
+/// closed under conflict neighbourhoods (a connected component, or a union of
+/// components). This is the building block of component-memoised repair pipelines: the
+/// repairs of the whole graph are exactly the unions of one such set per component.
+pub fn maximal_independent_sets_within(
+    graph: &ConflictGraph,
+    vertices: &TupleSet,
+) -> Vec<TupleSet> {
+    debug_assert!(
+        vertices.iter().all(|v| graph.neighbors(v).is_subset_of(vertices)),
+        "the vertex set must be closed under conflict neighbourhoods"
+    );
+    GraphMisEnumerator { graph, components: Vec::new() }.component_mis(vertices)
 }
 
 /// Enumerator of the maximal independent sets of a [`ConflictHypergraph`].
@@ -226,7 +246,8 @@ mod tests {
 
     fn example4(n: i64) -> (RelationInstance, ConflictGraph) {
         let schema = Arc::new(
-            RelationSchema::from_pairs("R", &[("A", ValueType::Int), ("B", ValueType::Int)]).unwrap(),
+            RelationSchema::from_pairs("R", &[("A", ValueType::Int), ("B", ValueType::Int)])
+                .unwrap(),
         );
         let mut rows = Vec::new();
         for i in 0..n {

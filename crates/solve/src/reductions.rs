@@ -157,11 +157,7 @@ mod tests {
         // All eight sign patterns over three variables: unsatisfiable.
         let mut f = CnfFormula::new(3);
         for mask in 0..8u32 {
-            f.add_clause(clause3(
-                (0, mask & 1 != 0),
-                (1, mask & 2 != 0),
-                (2, mask & 4 != 0),
-            ));
+            f.add_clause(clause3((0, mask & 1 != 0), (1, mask & 2 != 0), (2, mask & 4 != 0)));
         }
         assert_eq!(f.solve(), SatResult::Unsat);
         let cqa = cqa_instance_from_3sat(&f);

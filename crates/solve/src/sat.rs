@@ -259,17 +259,13 @@ mod tests {
         // Every combination of polarities over {x0,x1,x2}: no assignment satisfies all.
         let mut f = CnfFormula::new(3);
         for mask in 0..8u32 {
-            f.add_clause(
-                (0..3).map(|v| Lit { var: v, positive: mask & (1 << v) != 0 }).collect(),
-            );
+            f.add_clause((0..3).map(|v| Lit { var: v, positive: mask & (1 << v) != 0 }).collect());
         }
         assert_eq!(f.solve(), SatResult::Unsat);
         // Dropping any single clause makes it satisfiable.
         let mut g = CnfFormula::new(3);
         for mask in 1..8u32 {
-            g.add_clause(
-                (0..3).map(|v| Lit { var: v, positive: mask & (1 << v) != 0 }).collect(),
-            );
+            g.add_clause((0..3).map(|v| Lit { var: v, positive: mask & (1 << v) != 0 }).collect());
         }
         assert!(g.solve().is_sat());
     }

@@ -69,7 +69,8 @@ fn search(
     // v outside the base repair is either already chosen or still undecided.
     if base.contains(v) {
         let has_cover = priority.dominators_of(v).iter().any(|d| {
-            !base.contains(d) && (chosen.contains(d) || (!excluded.contains(d) && d.index() > index))
+            !base.contains(d)
+                && (chosen.contains(d) || (!excluded.contains(d) && d.index() > index))
         });
         if !has_cover {
             return None;

@@ -359,7 +359,10 @@ impl Parser {
             if lhs.is_empty() && rhs.is_empty() {
                 return self.error("an FD needs at least one attribute");
             }
-            return Ok(Statement::AddFd { table, fd: format!("{} -> {}", lhs.join(" "), rhs.join(" ")) });
+            return Ok(Statement::AddFd {
+                table,
+                fd: format!("{} -> {}", lhs.join(" "), rhs.join(" ")),
+            });
         }
         if self.keyword("INSERT") {
             self.expect_keyword("INTO")?;
@@ -428,7 +431,13 @@ impl Parser {
                     message: format!("unknown repair family `{family}`"),
                 })?);
             }
-            return Ok(Statement::Select(SelectStatement { columns, star, table, conditions, repairs }));
+            return Ok(Statement::Select(SelectStatement {
+                columns,
+                star,
+                table,
+                conditions,
+                repairs,
+            }));
         }
         self.error("expected CREATE, ALTER, INSERT, PREFER or SELECT")
     }
@@ -469,14 +478,16 @@ mod tests {
         let stmt = parse_statement("ALTER TABLE Mgr ADD FD Dept -> Name Salary Reports").unwrap();
         assert_eq!(
             stmt,
-            Statement::AddFd { table: "Mgr".to_string(), fd: "Dept -> Name Salary Reports".to_string() }
+            Statement::AddFd {
+                table: "Mgr".to_string(),
+                fd: "Dept -> Name Salary Reports".to_string()
+            }
         );
     }
 
     #[test]
     fn insert_multiple_rows_with_quotes_and_negatives() {
-        let stmt =
-            parse_statement("INSERT INTO T VALUES ('O''Brien', -3), ('R&D', 7);").unwrap();
+        let stmt = parse_statement("INSERT INTO T VALUES ('O''Brien', -3), ('R&D', 7);").unwrap();
         match stmt {
             Statement::Insert { table, rows } => {
                 assert_eq!(table, "T");

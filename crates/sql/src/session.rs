@@ -1,11 +1,22 @@
 //! Catalog and statement execution.
+//!
+//! [`Session`] keeps two caches on top of its table catalog, both flowing through the
+//! `pdqi-core` prepared-query pipeline:
+//!
+//! * a per-table [`EngineSnapshot`], built on first use and invalidated by the
+//!   statements that change the table (`INSERT`, `ALTER TABLE … ADD FD`, `PREFER`);
+//!   repeated `SELECT`s against an unchanged table share the snapshot's component and
+//!   answer memos;
+//! * a per-statement-text [`PreparedQuery`], so re-executing the same `SELECT` skips
+//!   SQL-to-formula planning entirely. Prepared statements survive table mutations —
+//!   they depend only on the schema, which the current SQL surface never alters.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::sync::Arc;
 
 use pdqi_constraints::FdSet;
-use pdqi_core::PdqiEngine;
+use pdqi_core::{EngineBuilder, EngineSnapshot, PreparedQuery, Semantics};
 use pdqi_query::builder::{and_all, atom, exists, var};
 use pdqi_query::{Evaluator, Formula, Term};
 use pdqi_relation::{RelationInstance, RelationSchema, Value, ValueType};
@@ -90,11 +101,26 @@ struct Table {
     preferences: Vec<(Vec<Value>, Vec<Value>)>,
 }
 
+/// Cap on cached `SELECT` plans per session (cleared wholesale when exceeded).
+const PREPARED_CACHE_LIMIT: usize = 1024;
+
+/// A `SELECT` planned once: the projected columns and the prepared formula.
+#[derive(Debug, Clone)]
+struct PreparedSelect {
+    projected: Vec<String>,
+    query: Arc<PreparedQuery>,
+}
+
 /// An interactive session: a catalog of tables, their constraints, their data and the
-/// preferences accumulated so far.
+/// preferences accumulated so far, plus the snapshot and prepared-statement caches
+/// described in the [module docs](self).
 #[derive(Debug, Default)]
 pub struct Session {
     tables: BTreeMap<String, Table>,
+    /// Per-table snapshots, invalidated by mutating statements.
+    snapshots: HashMap<String, EngineSnapshot>,
+    /// Per-statement-text prepared `SELECT`s.
+    prepared: HashMap<String, PreparedSelect>,
 }
 
 impl Session {
@@ -106,6 +132,9 @@ impl Session {
     /// Parses and executes one statement.
     pub fn execute(&mut self, sql: &str) -> Result<StatementOutcome, SqlError> {
         let statement = parse_statement(sql)?;
+        if let Statement::Select(select) = statement {
+            return self.select(sql.trim(), &select);
+        }
         self.run(statement)
     }
 
@@ -128,17 +157,25 @@ impl Session {
                 let defs: Vec<(&str, ValueType)> = columns
                     .iter()
                     .map(|(column, ty)| {
-                        (column.as_str(), match ty {
-                            ColumnType::Int => ValueType::Int,
-                            ColumnType::Text => ValueType::Name,
-                        })
+                        (
+                            column.as_str(),
+                            match ty {
+                                ColumnType::Int => ValueType::Int,
+                                ColumnType::Text => ValueType::Name,
+                            },
+                        )
                     })
                     .collect();
                 let schema = RelationSchema::from_pairs(&name, &defs)
                     .map_err(|e| SqlError::Schema(e.to_string()))?;
                 self.tables.insert(
                     name,
-                    Table { schema: Arc::new(schema), rows: Vec::new(), fds: Vec::new(), preferences: Vec::new() },
+                    Table {
+                        schema: Arc::new(schema),
+                        rows: Vec::new(),
+                        fds: Vec::new(),
+                        preferences: Vec::new(),
+                    },
                 );
                 Ok(StatementOutcome::Created)
             }
@@ -148,18 +185,17 @@ impl Session {
                 FdSet::parse(Arc::clone(&entry.schema), &[fd.as_str()])
                     .map_err(|e| SqlError::Schema(e.to_string()))?;
                 entry.fds.push(fd);
+                self.snapshots.remove(&table);
                 Ok(StatementOutcome::FdAdded)
             }
             Statement::Insert { table, rows } => {
                 let entry = self.table_mut(&table)?;
                 let count = rows.len();
                 for row in &rows {
-                    entry
-                        .schema
-                        .tuple(row.clone())
-                        .map_err(|e| SqlError::Schema(e.to_string()))?;
+                    entry.schema.tuple(row.clone()).map_err(|e| SqlError::Schema(e.to_string()))?;
                 }
                 entry.rows.extend(rows);
+                self.snapshots.remove(&table);
                 Ok(StatementOutcome::Inserted(count))
             }
             Statement::Prefer { table, winner, loser } => {
@@ -178,9 +214,12 @@ impl Session {
                     }
                 }
                 entry.preferences.push((winner, loser));
+                self.snapshots.remove(&table);
                 Ok(StatementOutcome::PreferenceAdded)
             }
-            Statement::Select(select) => self.select(&select),
+            Statement::Select(_) => {
+                unreachable!("SELECT statements are routed through Session::select")
+            }
         }
     }
 
@@ -191,6 +230,12 @@ impl Session {
     /// The names of the tables defined so far, in lexicographic order.
     pub fn table_names(&self) -> Vec<String> {
         self.tables.keys().cloned().collect()
+    }
+
+    /// Number of distinct `SELECT` statements planned so far (observability for the
+    /// prepared-statement cache).
+    pub fn prepared_statement_count(&self) -> usize {
+        self.prepared.len()
     }
 
     fn table_mut(&mut self, name: &str) -> Result<&mut Table, SqlError> {
@@ -211,25 +256,53 @@ impl Session {
         FdSet::parse(Arc::clone(&entry.schema), &texts).map_err(|e| SqlError::Schema(e.to_string()))
     }
 
-    /// A `pdqi-core` engine for `table`, with the session's preferences installed.
-    pub fn engine(&self, table: &str) -> Result<PdqiEngine, SqlError> {
+    /// Builds the engine snapshot for `table` from the stored rows, FDs and preferences
+    /// (no caching; prefer [`Session::snapshot`]).
+    fn build_snapshot(&self, table: &str) -> Result<EngineSnapshot, SqlError> {
         let entry = self.table(table)?;
         let instance = self.instance(table)?;
         let fds = self.fds(table)?;
         let mut pairs = Vec::new();
         for (winner, loser) in &entry.preferences {
-            let winner_tuple = entry.schema.tuple(winner.clone()).map_err(|e| SqlError::Schema(e.to_string()))?;
-            let loser_tuple = entry.schema.tuple(loser.clone()).map_err(|e| SqlError::Schema(e.to_string()))?;
-            let (Some(w), Some(l)) = (instance.id_of(&winner_tuple), instance.id_of(&loser_tuple)) else {
+            let winner_tuple =
+                entry.schema.tuple(winner.clone()).map_err(|e| SqlError::Schema(e.to_string()))?;
+            let loser_tuple =
+                entry.schema.tuple(loser.clone()).map_err(|e| SqlError::Schema(e.to_string()))?;
+            let (Some(w), Some(l)) = (instance.id_of(&winner_tuple), instance.id_of(&loser_tuple))
+            else {
                 return Err(SqlError::Schema(
                     "PREFER statements must reference inserted tuples".to_string(),
                 ));
             };
             pairs.push((w, l));
         }
-        let engine = PdqiEngine::with_priority_pairs(instance, fds, &pairs).map_err(|e| {
-            SqlError::Schema(format!("preference cannot be installed: {e}"))
-        })?;
+        EngineBuilder::new()
+            .relation(instance, fds)
+            .priority_pairs(&pairs)
+            .build()
+            .map_err(|e| SqlError::Schema(format!("preference cannot be installed: {e}")))
+    }
+
+    /// The engine snapshot for `table`, built on first use and reused until a statement
+    /// mutates the table. Clones are cheap and share the snapshot's memo.
+    pub fn snapshot(&mut self, table: &str) -> Result<EngineSnapshot, SqlError> {
+        if let Some(snapshot) = self.snapshots.get(table) {
+            return Ok(snapshot.clone());
+        }
+        let snapshot = self.build_snapshot(table)?;
+        self.snapshots.insert(table.to_string(), snapshot.clone());
+        Ok(snapshot)
+    }
+
+    /// A `pdqi-core` engine for `table`, with the session's preferences installed.
+    #[deprecated(since = "0.2.0", note = "use Session::snapshot and the prepared-query API")]
+    #[allow(deprecated)]
+    pub fn engine(&self, table: &str) -> Result<pdqi_core::PdqiEngine, SqlError> {
+        let instance = self.instance(table)?;
+        let fds = self.fds(table)?;
+        let snapshot = self.build_snapshot(table)?;
+        let mut engine = pdqi_core::PdqiEngine::new(instance, fds);
+        engine.set_priority(snapshot.priority().clone());
         Ok(engine)
     }
 
@@ -277,11 +350,8 @@ impl Session {
         }
         let body = and_all(conjuncts);
         // Existentially quantify the non-projected columns.
-        let hidden: Vec<String> = all_columns
-            .iter()
-            .filter(|c| !projected.contains(c))
-            .map(|c| column_var(c))
-            .collect();
+        let hidden: Vec<String> =
+            all_columns.iter().filter(|c| !projected.contains(c)).map(|c| column_var(c)).collect();
         let formula = if hidden.is_empty() {
             body
         } else {
@@ -291,16 +361,43 @@ impl Session {
         Ok((projected, formula))
     }
 
-    fn select(&self, select: &SelectStatement) -> Result<StatementOutcome, SqlError> {
+    /// Plans the `SELECT` once per distinct statement text (projection + prepared
+    /// formula), caching the plan for later executions.
+    fn prepare_select(
+        &mut self,
+        sql_text: &str,
+        select: &SelectStatement,
+    ) -> Result<PreparedSelect, SqlError> {
+        if let Some(prepared) = self.prepared.get(sql_text) {
+            return Ok(prepared.clone());
+        }
         let entry = self.table(&select.table)?;
         let (projected, formula) = self.select_query(entry, select)?;
+        let prepared =
+            PreparedSelect { projected, query: Arc::new(PreparedQuery::from_formula(formula)) };
+        // Bound the plan cache so sessions fed parameter-inlined statement streams
+        // (`... WHERE Salary >= 10`, `>= 11`, ...) stay at a fixed footprint.
+        if self.prepared.len() >= PREPARED_CACHE_LIMIT {
+            self.prepared.clear();
+        }
+        self.prepared.insert(sql_text.to_string(), prepared.clone());
+        Ok(prepared)
+    }
+
+    fn select(
+        &mut self,
+        sql_text: &str,
+        select: &SelectStatement,
+    ) -> Result<StatementOutcome, SqlError> {
+        let PreparedSelect { projected, query } = self.prepare_select(sql_text, select)?;
         let rows = match select.repairs {
             None => {
                 // Plain evaluation over the stored (possibly inconsistent) instance.
                 let instance = self.instance(&select.table)?;
                 let evaluator = Evaluator::with_relation(&instance);
-                let answers =
-                    evaluator.answers(&formula).map_err(|e| SqlError::Query(e.to_string()))?;
+                let answers = evaluator
+                    .answers(query.formula())
+                    .map_err(|e| SqlError::Query(e.to_string()))?;
                 answers
                     .into_iter()
                     .map(|assignment| {
@@ -309,16 +406,16 @@ impl Session {
                     .collect::<Vec<Vec<Value>>>()
             }
             Some(kind) => {
-                // Certain answers over the preferred repairs. The answer rows come back in
-                // lexicographic order of the *variable names*; rebuild them in projection
-                // order through the free-variable order of the formula.
-                let engine = self.engine(&select.table)?;
-                let free = formula.free_vars();
-                let answers = engine
-                    .certain_answers(&formula, kind)
+                // Certain answers over the preferred repairs, through the snapshot's
+                // memoised pipeline. The answer rows come back in lexicographic order of
+                // the *variable names*; rebuild them in projection order through the
+                // free-variable order of the formula.
+                let snapshot = self.snapshot(&select.table)?;
+                let answers = query
+                    .execute(&snapshot, kind, Semantics::Certain)
                     .map_err(|e| SqlError::Query(e.to_string()))?;
+                let free = query.free_vars();
                 answers
-                    .into_iter()
                     .map(|row| {
                         projected
                             .iter()
@@ -378,8 +475,7 @@ mod tests {
     fn certain_answers_under_the_plain_repair_family() {
         let mut session = session_with_example1();
         // Which departments certainly have a manager? None without preferences.
-        let result =
-            rows(session.execute("SELECT Dept FROM Mgr WITH REPAIRS ALL").unwrap());
+        let result = rows(session.execute("SELECT Dept FROM Mgr WITH REPAIRS ALL").unwrap());
         assert!(result.rows.is_empty());
         // But every repair has some manager called Mary and some called John.
         let result = rows(session.execute("SELECT Name FROM Mgr WITH REPAIRS ALL").unwrap());
@@ -390,20 +486,13 @@ mod tests {
     fn preferences_change_the_certain_answers() {
         let mut session = session_with_example1();
         // Example 3's reliability information as explicit tuple preferences.
-        session
-            .execute("PREFER ('Mary', 'R&D', 40, 3) OVER ('Mary', 'IT', 20, 1) IN Mgr")
-            .unwrap();
-        session
-            .execute("PREFER ('John', 'R&D', 10, 2) OVER ('John', 'PR', 30, 4) IN Mgr")
-            .unwrap();
-        let result =
-            rows(session.execute("SELECT Dept FROM Mgr WITH REPAIRS GLOBAL").unwrap());
+        session.execute("PREFER ('Mary', 'R&D', 40, 3) OVER ('Mary', 'IT', 20, 1) IN Mgr").unwrap();
+        session.execute("PREFER ('John', 'R&D', 10, 2) OVER ('John', 'PR', 30, 4) IN Mgr").unwrap();
+        let result = rows(session.execute("SELECT Dept FROM Mgr WITH REPAIRS GLOBAL").unwrap());
         assert_eq!(result.rows, vec![vec![Value::name("R&D")]]);
         // The star projection and WHERE clauses compose with the repair clause.
         let result = rows(
-            session
-                .execute("SELECT * FROM Mgr WHERE Salary >= 10 WITH REPAIRS GLOBAL")
-                .unwrap(),
+            session.execute("SELECT * FROM Mgr WHERE Salary >= 10 WITH REPAIRS GLOBAL").unwrap(),
         );
         assert_eq!(result.columns.len(), 4);
         assert!(result.rows.is_empty());
@@ -412,10 +501,7 @@ mod tests {
     #[test]
     fn errors_are_reported() {
         let mut session = session_with_example1();
-        assert!(matches!(
-            session.execute("SELECT Name FROM Nope"),
-            Err(SqlError::UnknownTable(_))
-        ));
+        assert!(matches!(session.execute("SELECT Name FROM Nope"), Err(SqlError::UnknownTable(_))));
         assert!(matches!(
             session.execute("SELECT Bogus FROM Mgr"),
             Err(SqlError::UnknownColumn { .. })
@@ -436,11 +522,45 @@ mod tests {
     }
 
     #[test]
-    fn engine_and_metadata_accessors() {
-        let session = session_with_example1();
+    fn snapshot_and_metadata_accessors() {
+        let mut session = session_with_example1();
         assert_eq!(session.instance("Mgr").unwrap().len(), 4);
         assert_eq!(session.fds("Mgr").unwrap().len(), 2);
+        let snapshot = session.snapshot("Mgr").unwrap();
+        assert_eq!(snapshot.count_repairs(), 3);
+        // The deprecated engine accessor still works and sees the same state.
+        #[allow(deprecated)]
         let engine = session.engine("Mgr").unwrap();
         assert_eq!(engine.count_repairs(), 3);
+    }
+
+    #[test]
+    fn snapshots_are_cached_until_the_table_changes() {
+        let mut session = session_with_example1();
+        let first = session.snapshot("Mgr").unwrap();
+        let second = session.snapshot("Mgr").unwrap();
+        // Same snapshot object (shared memo), not a rebuild.
+        assert!(std::sync::Arc::ptr_eq(first.graph(), second.graph()));
+        session.execute("INSERT INTO Mgr VALUES ('Eve', 'HR', 15, 2)").unwrap();
+        let third = session.snapshot("Mgr").unwrap();
+        assert_eq!(third.context().instance().len(), 5);
+        session.execute("PREFER ('Mary','R&D',40,3) OVER ('Mary','IT',20,1) IN Mgr").unwrap();
+        let fourth = session.snapshot("Mgr").unwrap();
+        assert_eq!(fourth.priority().edge_count(), 1);
+    }
+
+    #[test]
+    fn repeated_selects_reuse_the_prepared_statement_and_snapshot_memo() {
+        let mut session = session_with_example1();
+        let statement = "SELECT Name FROM Mgr WITH REPAIRS ALL";
+        let first = rows(session.execute(statement).unwrap());
+        let stats = session.snapshot("Mgr").unwrap().memo_stats();
+        assert_eq!(stats.answer_hits, 0);
+        let second = rows(session.execute(statement).unwrap());
+        assert_eq!(first, second);
+        let stats = session.snapshot("Mgr").unwrap().memo_stats();
+        // The second execution was served entirely from the answer memo.
+        assert_eq!(stats.answer_hits, 1);
+        assert_eq!(session.prepared_statement_count(), 1);
     }
 }

@@ -56,7 +56,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let family = FamilyKind::Rep.family();
     let empty = ctx.empty_priority();
     println!("\nranges over ALL repairs (enumeration):");
-    for f in [AggregateFunction::Sum, AggregateFunction::Min, AggregateFunction::Max, AggregateFunction::Avg] {
+    for f in [
+        AggregateFunction::Sum,
+        AggregateFunction::Min,
+        AggregateFunction::Max,
+        AggregateFunction::Avg,
+    ] {
         let q = AggregateQuery::over(&schema, f, "Salary")?;
         let range = range_by_enumeration(&ctx, &empty, family.as_ref(), &q);
         println!("  {:<4}(Salary) ∈ {}", f.label(), range);
@@ -69,7 +74,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 2. The same ranges via the closed form — no repair is ever materialised.
     println!("\nranges via the key-conflict closed form (no enumeration):");
-    for f in [AggregateFunction::Sum, AggregateFunction::Min, AggregateFunction::Max, AggregateFunction::Avg] {
+    for f in [
+        AggregateFunction::Sum,
+        AggregateFunction::Min,
+        AggregateFunction::Max,
+        AggregateFunction::Avg,
+    ] {
         let q = AggregateQuery::over(&schema, f, "Salary")?;
         println!("  {:<4}(Salary) ∈ {}", f.label(), range_closed_form(&ctx, &q)?);
     }

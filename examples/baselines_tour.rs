@@ -16,7 +16,9 @@ use pdqi::baselines::comparison::{compare_semantics, BaselineInputs};
 use pdqi::baselines::numeric::is_level_representable;
 use pdqi::baselines::{grosof_resolution, RankedFusion};
 use pdqi::priority::{priority_from_source_reliability, SourceOrder};
-use pdqi::{parse_formula, FdSet, RelationInstance, RelationSchema, RepairContext, Value, ValueType};
+use pdqi::{
+    parse_formula, FdSet, RelationInstance, RelationSchema, RepairContext, Value, ValueType,
+};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // ---- The paper's Example 1: integrate three sources into one inconsistent table.
@@ -84,7 +86,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         fusion.fused_groups,
         fusion.is_repair
     );
-    println!("\nfused/cleaned views answer a different question than preferred consistent answers:");
+    println!(
+        "\nfused/cleaned views answer a different question than preferred consistent answers:"
+    );
     println!("the G-Rep row above shows Q2 becoming *certainly true* without deleting anything.");
     Ok(())
 }

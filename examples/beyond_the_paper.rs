@@ -17,7 +17,9 @@ use std::sync::Arc;
 use pdqi::constraints::ConflictHypergraph;
 use pdqi::core::FamilyKind;
 use pdqi::ext::{hyper_globally_optimal_repairs, CyclicPreference, HyperPriority};
-use pdqi::{FdSet, RelationInstance, RelationSchema, RepairContext, TupleId, TupleSet, Value, ValueType};
+use pdqi::{
+    FdSet, RelationInstance, RelationSchema, RepairContext, TupleId, TupleSet, Value, ValueType,
+};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // -------------------------------------------------------------------- Part 1
@@ -30,10 +32,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let instance = RelationInstance::from_rows(
         Arc::clone(&schema),
         vec![
-            vec![Value::int(12), Value::name("Ana"), Value::int(3)],  // t0 rota spreadsheet
-            vec![Value::int(12), Value::name("Bo"), Value::int(1)],   // t1 team calendar
+            vec![Value::int(12), Value::name("Ana"), Value::int(3)], // t0 rota spreadsheet
+            vec![Value::int(12), Value::name("Bo"), Value::int(1)],  // t1 team calendar
             vec![Value::int(12), Value::name("Cleo"), Value::int(2)], // t2 pager config
-            vec![Value::int(13), Value::name("Bo"), Value::int(2)],   // t3 (conflict-free)
+            vec![Value::int(13), Value::name("Bo"), Value::int(2)],  // t3 (conflict-free)
         ],
     )?;
     let fds = FdSet::parse(Arc::clone(&schema), &["Week -> Engineer Loaded"])?;

@@ -35,8 +35,16 @@ fn main() {
 
     // The three sources of Example 1.
     let sources = vec![
-        DataSource::new("s1", vec![vec!["Mary".into(), "R&D".into(), Value::int(40), Value::int(3)]], 0),
-        DataSource::new("s2", vec![vec!["John".into(), "R&D".into(), Value::int(10), Value::int(2)]], 0),
+        DataSource::new(
+            "s1",
+            vec![vec!["Mary".into(), "R&D".into(), Value::int(40), Value::int(3)]],
+            0,
+        ),
+        DataSource::new(
+            "s2",
+            vec![vec!["John".into(), "R&D".into(), Value::int(10), Value::int(2)]],
+            0,
+        ),
         DataSource::new(
             "s3",
             vec![
@@ -89,5 +97,7 @@ fn main() {
             }
         );
     }
-    println!("\n(The cleaned database says `false`; the preferred repairs say `true` — Example 3.)");
+    println!(
+        "\n(The cleaned database says `false`; the preferred repairs say `true` — Example 3.)"
+    );
 }

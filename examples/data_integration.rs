@@ -13,7 +13,7 @@ use pdqi::cleaning::{Cleaner, DataSource, Integration, ResolutionRule};
 use pdqi::datagen::IntegrationScenario;
 use pdqi::priority::priority_from_source_reliability;
 use pdqi::query::builder::{atom, exists, var};
-use pdqi::{FamilyKind, PdqiEngine, RelationInstance};
+use pdqi::{EngineBuilder, FamilyKind, PreparedQuery, RelationInstance};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -38,41 +38,52 @@ fn main() {
         6
     );
 
-    let mut engine = PdqiEngine::new(instance.clone(), scenario.fds.clone());
-    println!("Conflict graph: {}", engine.graph().stats());
-    println!("Repairs: {}", engine.count_repairs());
+    let base = EngineBuilder::new()
+        .relation(instance.clone(), scenario.fds.clone())
+        .build()
+        .expect("snapshot builds");
+    println!("Conflict graph: {}", base.graph().stats());
+    println!("Repairs: {}", base.count_repairs());
 
-    // Priority from source reliability (earlier sources are more reliable).
+    // Priority from source reliability (earlier sources are more reliable); deriving a
+    // snapshot with it shares the conflict graph and the untouched memoised work.
     let priority = priority_from_source_reliability(
-        Arc::clone(engine.graph()),
+        Arc::clone(base.graph()),
         &integration.primary_sources(),
         &scenario.reliability,
     );
     println!(
         "Priority orients {} of {} conflict edges",
         priority.edge_count(),
-        engine.graph().edge_count()
+        base.graph().edge_count()
     );
-    engine.set_priority(priority);
+    let snapshot = base.with_priority(priority).expect("the priority fits the snapshot");
 
     // How many departments have a *certain* manager under each family?
-    let dept_with_manager = exists(
-        &["n", "s", "r"],
-        atom("Mgr", vec![var("n"), var("d"), var("s"), var("r")]),
+    let dept_with_manager =
+        exists(&["n", "s", "r"], atom("Mgr", vec![var("n"), var("d"), var("s"), var("r")]));
+    let dept_query = PreparedQuery::from_formula(dept_with_manager);
+    println!(
+        "\nDepartments with a certain manager (certain answers to `∃n,s,r. Mgr(n, d, s, r)`):"
     );
-    println!("\nDepartments with a certain manager (certain answers to `∃n,s,r. Mgr(n, d, s, r)`):");
     for kind in FamilyKind::ALL {
-        let certain = engine
-            .certain_answers(&dept_with_manager, kind)
-            .expect("valid query")
-            .len();
-        let preferred = kind.family();
-        let count = preferred.count_preferred(engine.context(), engine.priority());
-        println!("  {:<6} {:>3} certain departments ({} preferred repairs)", kind.label(), certain, count);
+        let certain = dept_query.certain_answers(&snapshot, kind).expect("valid query").len();
+        let count = snapshot.preferred_repair_count(kind);
+        println!(
+            "  {:<6} {:>3} certain departments ({} preferred repairs)",
+            kind.label(),
+            certain,
+            count
+        );
     }
+    let stats = snapshot.memo_stats();
+    println!(
+        "Snapshot memo after the sweep: {} component enumerations, {} reused",
+        stats.component_misses, stats.component_hits
+    );
 
     // Contrast with the cleaning pipeline driven by the same reliability information.
-    let graph = engine.graph();
+    let graph = snapshot.graph();
     let outcome = Cleaner::new()
         .with_rule(ResolutionRule::PreferReliableSource(scenario.reliability.clone()))
         .clean(&integration, graph);

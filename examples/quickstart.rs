@@ -3,13 +3,18 @@
 //! Run with `cargo run --example quickstart`.
 //!
 //! The example integrates the three sources of Example 1 into an inconsistent manager
-//! relation, shows its repairs, asks the paper's queries Q1 and Q2, and then installs the
-//! Example 3 reliability preferences to see how the preferred consistent answers change.
+//! relation, freezes it into an engine snapshot, prepares the paper's queries Q1 and Q2
+//! once, and then derives a snapshot with the Example 3 reliability preferences to see
+//! how the preferred consistent answers change — the builder/prepared flow that
+//! amortizes all repair-space work across executions.
 
 use std::sync::Arc;
 
-use pdqi::priority::SourceOrder;
-use pdqi::{FamilyKind, FdSet, PdqiEngine, RelationInstance, RelationSchema, Value, ValueType};
+use pdqi::priority::{priority_from_source_reliability, SourceOrder};
+use pdqi::{
+    EngineBuilder, FamilyKind, FdSet, PreparedQuery, RelationInstance, RelationSchema, Value,
+    ValueType,
+};
 
 fn main() {
     // Schema and key dependencies of Example 1.
@@ -43,25 +48,33 @@ fn main() {
     )
     .expect("rows match the schema");
 
-    let mut engine = PdqiEngine::new(instance, fds);
-    println!("Integrated instance:\n{}", pdqi::relation::text::render_instance(engine.instance()));
-    println!("Consistent? {}", engine.is_consistent());
-    println!("Number of repairs (Example 2): {}", engine.count_repairs());
-    for (i, repair) in engine.repairs(10).iter().enumerate() {
-        let tuples: Vec<String> = repair
-            .iter()
-            .map(|id| engine.instance().tuple_unchecked(id).to_string())
-            .collect();
+    // Build the immutable snapshot once: conflict graph and components are computed
+    // here and shared by everything below.
+    let snapshot = EngineBuilder::new().relation(instance, fds).build().expect("snapshot builds");
+    let stored = snapshot.context().instance();
+    println!("Integrated instance:\n{}", pdqi::relation::text::render_instance(stored));
+    println!("Consistent? {}", snapshot.is_consistent());
+    println!("Number of repairs (Example 2): {}", snapshot.count_repairs());
+    for (i, repair) in snapshot.repairs(10).iter().enumerate() {
+        let tuples: Vec<String> =
+            repair.iter().map(|id| stored.tuple_unchecked(id).to_string()).collect();
         println!("  repair r{}: {}", i + 1, tuples.join(", "));
     }
 
+    // Prepare the paper's queries once; they can run against any snapshot and family.
     // Q1: does John earn more than Mary?  Q2: does Mary earn more with fewer reports?
-    let q1 = "EXISTS d1,s1,r1,d2,s2,r2 . Mgr('Mary',d1,s1,r1) AND Mgr('John',d2,s2,r2) AND s1 < s2";
-    let q2 = "EXISTS d1,s1,r1,d2,s2,r2 . Mgr('Mary',d1,s1,r1) AND Mgr('John',d2,s2,r2) AND s1 > s2 AND r1 < r2";
+    let q1 = PreparedQuery::parse(
+        "EXISTS d1,s1,r1,d2,s2,r2 . Mgr('Mary',d1,s1,r1) AND Mgr('John',d2,s2,r2) AND s1 < s2",
+    )
+    .expect("valid query");
+    let q2 = PreparedQuery::parse(
+        "EXISTS d1,s1,r1,d2,s2,r2 . Mgr('Mary',d1,s1,r1) AND Mgr('John',d2,s2,r2) AND s1 > s2 AND r1 < r2",
+    )
+    .expect("valid query");
 
     println!("\nWithout preferences (classic consistent query answers):");
-    for (name, query) in [("Q1", q1), ("Q2", q2)] {
-        let outcome = engine.consistent_answer_text(query, FamilyKind::Rep).expect("valid query");
+    for (name, query) in [("Q1", &q1), ("Q2", &q2)] {
+        let outcome = query.consistent_answer(&snapshot, FamilyKind::Rep).expect("valid query");
         println!(
             "  {name}: certainly true = {}, certainly false = {}, undetermined = {}",
             outcome.certainly_true,
@@ -71,19 +84,18 @@ fn main() {
     }
 
     // Example 3: source s3 is less reliable than s1 and s2 (s1 vs s2 unknown).
+    // Deriving a snapshot with the new priority is cheap: the conflict graph is shared
+    // and only the components the priority touches lose their memoised work.
     let mut order = SourceOrder::new();
     order.prefer("s1", "s3").prefer("s2", "s3");
     let sources = vec!["s1".to_string(), "s2".to_string(), "s3".to_string(), "s3".to_string()];
-    engine.set_priority_from_sources(&sources, &order);
+    let priority = priority_from_source_reliability(Arc::clone(snapshot.graph()), &sources, &order);
+    let revised = snapshot.with_priority(priority).expect("the priority fits the snapshot");
 
     println!("\nWith the Example 3 reliability priority, under G-Rep:");
-    println!(
-        "  preferred repairs: {}",
-        engine.preferred_repairs(FamilyKind::Global, 10).len()
-    );
-    for (name, query) in [("Q1", q1), ("Q2", q2)] {
-        let outcome =
-            engine.consistent_answer_text(query, FamilyKind::Global).expect("valid query");
+    println!("  preferred repairs: {}", revised.preferred_repairs(FamilyKind::Global, 10).len());
+    for (name, query) in [("Q1", &q1), ("Q2", &q2)] {
+        let outcome = query.consistent_answer(&revised, FamilyKind::Global).expect("valid query");
         println!(
             "  {name}: certainly true = {}, certainly false = {}",
             outcome.certainly_true, outcome.certainly_false

@@ -40,10 +40,7 @@ fn main() {
         .expect("valid preference");
 
     let preferred_queries = [
-        (
-            "Departments with a certain manager (G-Rep)",
-            "SELECT Dept FROM Mgr WITH REPAIRS GLOBAL",
-        ),
+        ("Departments with a certain manager (G-Rep)", "SELECT Dept FROM Mgr WITH REPAIRS GLOBAL"),
         (
             "Well-paid certain managers (G-Rep)",
             "SELECT Name FROM Mgr WHERE Salary >= 10 WITH REPAIRS GLOBAL",

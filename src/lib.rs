@@ -1,26 +1,93 @@
 //! `pdqi` — Preference-Driven Querying of Inconsistent relational databases.
 //!
-//! This façade crate re-exports the whole workspace so applications can depend on a
-//! single crate:
+//! An executable reproduction (and scaling-up) of S. Staworko & J. Chomicki,
+//! *Preference-Driven Querying of Inconsistent Relational Databases* (EDBT 2006
+//! Workshops): repairs of an inconsistent database are the maximal consistent subsets,
+//! a user *priority* orients conflicts, and queries are answered over the induced
+//! families of preferred repairs.
 //!
-//! * [`relation`] — the relational substrate (values, schemas, tuples, instances),
-//! * [`constraints`] — functional dependencies, denial constraints, conflict graphs,
-//! * [`priority`] — priorities (acyclic conflict-graph orientations), winnow, generators,
-//! * [`query`] — first-order queries: AST, parser, evaluator, classification,
-//! * [`solve`] — repair enumeration, SAT, domination search, hardness reductions,
-//! * [`core`] — the paper's contribution: repairs, L/S/G/C preferred-repair families,
-//!   properties P1–P4 and preferred consistent query answers,
-//! * [`cleaning`] — the data-cleaning baseline,
-//! * [`baselines`] — the Section 5 related-work baselines (numeric levels, preferred
-//!   subtheories, prioritized removal, ranking/fusion, repair ranking, repair constraints),
-//! * [`aggregate`] — range-consistent aggregation answers (MIN/MAX/COUNT/SUM/AVG) over
-//!   preferred repairs, with a polynomial closed form for key-induced conflicts,
-//! * [`ext`] — the paper's future-work extensions: cyclic preference relations and
-//!   priorities over conflict hypergraphs (denial constraints),
-//! * [`sql`] — a small SQL front end with a `WITH REPAIRS <family>` clause,
-//! * [`datagen`] — synthetic workload generators used by the experiments.
+//! # The primary API: build a snapshot, prepare queries, execute many times
 //!
-//! The most commonly used types are also re-exported at the top level.
+//! The paper's setting fixes the database, its constraints and the priority once and
+//! then asks many queries. The API mirrors that amortized shape:
+//!
+//! 1. [`EngineBuilder`] assembles relations + functional dependencies + a priority
+//!    source into an immutable [`EngineSnapshot`]. Conflict graphs and their connected
+//!    components are computed once and shared (`Arc`) by clones and derived snapshots.
+//! 2. [`PreparedQuery`] parses and classifies a first-order query once; executing it
+//!    against a snapshot under any [`FamilyKind`] and [`Semantics`] streams an
+//!    [`AnswerSet`]. Per-component preferred repairs and full answers are memoised in
+//!    the snapshot, so repeated and overlapping executions skip the expensive work.
+//! 3. [`EngineSnapshot::with_priority`] revises preferences without rebuilding,
+//!    invalidating only the memo entries of conflict components the change touches.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use pdqi::{EngineBuilder, FamilyKind, PreparedQuery, Semantics};
+//! use pdqi::{FdSet, RelationInstance, RelationSchema, Value, ValueType};
+//!
+//! // The paper's Example 1: two conflicting sources integrated into one relation.
+//! let schema = Arc::new(RelationSchema::from_pairs("Mgr", &[
+//!     ("Name", ValueType::Name), ("Dept", ValueType::Name),
+//!     ("Salary", ValueType::Int), ("Reports", ValueType::Int),
+//! ]).unwrap());
+//! let instance = RelationInstance::from_rows(Arc::clone(&schema), vec![
+//!     vec!["Mary".into(), "R&D".into(), Value::int(40), Value::int(3)],
+//!     vec!["John".into(), "R&D".into(), Value::int(10), Value::int(2)],
+//!     vec!["Mary".into(), "IT".into(), Value::int(20), Value::int(1)],
+//!     vec!["John".into(), "PR".into(), Value::int(30), Value::int(4)],
+//! ]).unwrap();
+//! let fds = FdSet::parse(Arc::clone(&schema),
+//!     &["Dept -> Name Salary Reports", "Name -> Dept Salary Reports"]).unwrap();
+//!
+//! // 1. Build once.
+//! let snapshot = EngineBuilder::new().relation(instance, fds).build().unwrap();
+//! assert_eq!(snapshot.count_repairs(), 3);
+//!
+//! // 2. Prepare once, execute as often as needed.
+//! let q2 = PreparedQuery::parse(
+//!     "EXISTS d1,s1,r1,d2,s2,r2 . Mgr('Mary',d1,s1,r1) AND Mgr('John',d2,s2,r2) \
+//!      AND s1 > s2 AND r1 < r2",
+//! ).unwrap();
+//! assert!(q2.consistent_answer(&snapshot, FamilyKind::Rep).unwrap().is_undetermined());
+//!
+//! // 3. Revise preferences cheaply: source s3 (the last two tuples) is less reliable.
+//! let mut order = pdqi::priority::SourceOrder::new();
+//! order.prefer("s1", "s3").prefer("s2", "s3");
+//! let sources: Vec<String> = ["s1", "s2", "s3", "s3"].map(String::from).into();
+//! let priority = pdqi::priority::priority_from_source_reliability(
+//!     Arc::clone(snapshot.graph()), &sources, &order);
+//! let revised = snapshot.with_priority(priority).unwrap();
+//! // Under the globally-optimal repairs the answer becomes certain.
+//! assert!(q2.consistent_answer(&revised, FamilyKind::Global).unwrap().certainly_true);
+//!
+//! // Open queries stream certain/possible answers.
+//! let depts = PreparedQuery::parse("EXISTS n,s,r . Mgr(n,x,s,r)").unwrap();
+//! let certain = depts.execute(&revised, FamilyKind::Global, Semantics::Certain).unwrap();
+//! assert_eq!(certain.collect::<Vec<_>>(), vec![vec![Value::name("R&D")]]);
+//! ```
+//!
+//! The legacy [`PdqiEngine`] façade is kept as a deprecated shim over the same
+//! pipeline; the SQL front end ([`Session`]) and the `pdqi` CLI run on it natively.
+//!
+//! # Crate map
+//!
+//! | crate | contents |
+//! |-------|----------|
+//! | [`relation`] | relational substrate: values, schemas, tuples, instances, databases |
+//! | [`constraints`] | functional dependencies, denial constraints, conflict graphs/hypergraphs |
+//! | [`priority`] | priorities (acyclic conflict-graph orientations), winnow, generators |
+//! | [`query`] | first-order queries: AST, parser, evaluator, classification |
+//! | [`solve`] | repair enumeration, SAT, domination search, hardness reductions |
+//! | [`core`] | the paper's framework **and the snapshot/prepared-query engine** |
+//! | [`cleaning`] | the data-cleaning baseline the paper argues against |
+//! | [`baselines`] | the Section 5 related-work baselines |
+//! | [`aggregate`] | range-consistent aggregation (MIN/MAX/COUNT/SUM/AVG) |
+//! | [`ext`] | future-work extensions: cyclic preferences, conflict hypergraphs |
+//! | [`sql`] | SQL front end with `WITH REPAIRS <family>` and prepared-statement caching |
+//! | [`datagen`] | synthetic workload generators used by the experiments |
+//!
+//! The most commonly used types are re-exported at the top level.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -39,7 +106,12 @@ pub use pdqi_solve as solve;
 pub use pdqi_sql as sql;
 
 pub use pdqi_constraints::{ConflictGraph, FdSet, FunctionalDependency};
-pub use pdqi_core::{CqaOutcome, FamilyKind, PdqiEngine, RepairContext};
+#[allow(deprecated)]
+pub use pdqi_core::PdqiEngine;
+pub use pdqi_core::{
+    AnswerSet, BuildError, CqaOutcome, EngineBuilder, EngineSnapshot, FamilyKind, MemoStats,
+    PreparedQuery, RepairContext, Semantics,
+};
 pub use pdqi_priority::Priority;
 pub use pdqi_query::{parse_formula, Evaluator, Formula};
 pub use pdqi_relation::{RelationInstance, RelationSchema, TupleId, TupleSet, Value, ValueType};

@@ -10,8 +10,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use pdqi::aggregate::{
-    is_clique_partition, range_by_enumeration, range_closed_form, AggregateFunction,
-    AggregateQuery,
+    is_clique_partition, range_by_enumeration, range_closed_form, AggregateFunction, AggregateQuery,
 };
 use pdqi::core::FamilyKind;
 use pdqi::priority::random_total_extension;

@@ -10,8 +10,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use pdqi::baselines::{
-    grosof_resolution, LevelAssignment, NumericLevelFamily, PreferredSubtheories,
-    RepairConstraint, RepairConstraintFamily, RepairRankingFamily, Stratification,
+    grosof_resolution, LevelAssignment, NumericLevelFamily, PreferredSubtheories, RepairConstraint,
+    RepairConstraintFamily, RepairRankingFamily, Stratification,
 };
 use pdqi::core::properties::{check_p1, check_p3, check_p4};
 use pdqi::core::RepairFamily;
@@ -170,10 +170,7 @@ fn repair_constraints_are_monotone_but_can_select_nothing() {
         for _ in 0..4 {
             let a = ids[rng.gen_range(0..ids.len())];
             let b = ids[rng.gen_range(0..ids.len())];
-            family.add(RepairConstraint::new(
-                TupleSet::from_ids([a]),
-                TupleSet::from_ids([b]),
-            ));
+            family.add(RepairConstraint::new(TupleSet::from_ids([a]), TupleSet::from_ids([b])));
             let current = family.preferred_repairs(&ctx, &empty, usize::MAX);
             assert!(current.iter().all(|r| previous.contains(r)));
             previous = current;
@@ -187,10 +184,7 @@ fn repair_constraints_are_monotone_but_can_select_nothing() {
     );
     let instance = RelationInstance::from_rows(
         Arc::clone(&schema),
-        vec![
-            vec![Value::int(1), Value::int(1)],
-            vec![Value::int(1), Value::int(2)],
-        ],
+        vec![vec![Value::int(1), Value::int(1)], vec![Value::int(1), Value::int(2)]],
     )
     .unwrap();
     let fds = FdSet::parse(schema, &["A -> B"]).unwrap();
@@ -239,7 +233,6 @@ fn every_baseline_family_agrees_with_exhaustive_filtering() {
             });
             let key = |s: &TupleSet| s.iter().map(|t| t.0).collect::<Vec<_>>();
             let mut enumerated = enumerated;
-            let mut filtered = filtered;
             enumerated.sort_by_key(key);
             filtered.sort_by_key(key);
             assert_eq!(enumerated, filtered, "family {} disagrees", family.name());

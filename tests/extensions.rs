@@ -14,6 +14,7 @@ use pdqi::{ConflictGraph, TupleId, TupleSet};
 
 /// A random conflict graph over `n` vertices plus a list of raw (possibly cyclic)
 /// preference statements among its edges.
+#[allow(clippy::type_complexity)]
 fn preference_strategy() -> impl Strategy<Value = (usize, Vec<(u8, u8)>, Vec<(bool, usize)>)> {
     // (vertex count, undirected conflict edges, raw statements as (direction, edge index))
     (3usize..9).prop_flat_map(|n| {
@@ -131,19 +132,14 @@ fn binary_hyperedges_reduce_to_g_rep() {
     let fds = pdqi::FdSet::parse(Arc::clone(&schema), &["A -> B"]).unwrap();
     let ctx = pdqi::RepairContext::new(instance, fds);
     // The same conflicts as a hypergraph with binary hyperedges.
-    let hyperedges: Vec<TupleSet> = ctx
-        .graph()
-        .edges()
-        .iter()
-        .map(|&(a, b)| TupleSet::from_ids([a, b]))
-        .collect();
+    let hyperedges: Vec<TupleSet> =
+        ctx.graph().edges().iter().map(|&(a, b)| TupleSet::from_ids([a, b])).collect();
     let hypergraph = ConflictHypergraph::from_hyperedges(ctx.instance().len(), hyperedges);
     let pairs = [(TupleId(0), TupleId(1)), (TupleId(3), TupleId(2))];
     let graph_priority = ctx.priority_from_pairs(&pairs).unwrap();
     let hyper_priority = HyperPriority::from_pairs(&hypergraph, &pairs).unwrap();
-    let mut from_graph = FamilyKind::Global
-        .family()
-        .preferred_repairs(&ctx, &graph_priority, usize::MAX);
+    let mut from_graph =
+        FamilyKind::Global.family().preferred_repairs(&ctx, &graph_priority, usize::MAX);
     let mut from_hyper = hyper_globally_optimal_repairs(&hypergraph, &hyper_priority, usize::MAX);
     let key = |s: &TupleSet| s.iter().map(|t| t.0).collect::<Vec<_>>();
     from_graph.sort_by_key(key);

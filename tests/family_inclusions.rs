@@ -8,7 +8,9 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use pdqi::datagen::{duplicate_instance, example4_instance, random_conflict_instance, random_priority};
+use pdqi::datagen::{
+    duplicate_instance, example4_instance, random_conflict_instance, random_priority,
+};
 use pdqi::priority::has_cyclic_extension;
 use pdqi::{FamilyKind, RepairContext, TupleSet};
 

@@ -1,0 +1,301 @@
+//! A minimal, dependency-free stand-in for the `criterion` benchmarking crate.
+//!
+//! The build environment of this repository has no access to a crate registry, so the
+//! workspace vendors the slice of the criterion 0.5 API its benches use: [`Criterion`],
+//! [`BenchmarkGroup`] with `sample_size` / `measurement_time` / `warm_up_time`,
+//! `bench_function` / `bench_with_input`, [`BenchmarkId`], [`black_box`] and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement is deliberately simple: each benchmark warms up for the configured
+//! warm-up time, then runs timed batches until the measurement time is spent, and the
+//! mean, minimum and maximum per-iteration wall-clock times are printed in a
+//! criterion-like format. Passing `--test` (as `cargo test` does for bench targets) or
+//! setting `CRITERION_SMOKE=1` runs every benchmark exactly once, so benches double as
+//! smoke tests.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// An opaque value barrier preventing the optimiser from deleting benchmarked work.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// A benchmark identifier: a function name plus a parameter rendering.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id shown as `name/parameter`.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: format!("{name}/{parameter}") }
+    }
+
+    /// An id shown as the parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(text: &str) -> Self {
+        BenchmarkId { id: text.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(text: String) -> Self {
+        BenchmarkId { id: text }
+    }
+}
+
+/// The timing loop handed to every benchmark closure.
+pub struct Bencher {
+    smoke: bool,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    /// Mean/min/max per-iteration nanoseconds of the last `iter` call.
+    last: Option<(f64, f64, f64)>,
+}
+
+impl Bencher {
+    /// Times `routine`, storing per-iteration statistics for the caller to report.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.smoke {
+            black_box(routine());
+            self.last = Some((0.0, 0.0, 0.0));
+            return;
+        }
+        // Warm-up: run until the warm-up budget is spent and estimate the iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.warm_up_time || warm_iters == 0 {
+            black_box(routine());
+            warm_iters += 1;
+            if warm_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let est = warm_start.elapsed().as_nanos() as f64 / warm_iters as f64;
+        // Measurement: batches of roughly 1/20th of the budget each.
+        let batch = ((self.measurement_time.as_nanos() as f64 / 20.0 / est.max(1.0)) as u64)
+            .clamp(1, 10_000_000);
+        let deadline = Instant::now() + self.measurement_time;
+        let (mut total_ns, mut total_iters) = (0f64, 0u64);
+        let (mut min_ns, mut max_ns) = (f64::INFINITY, 0f64);
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed().as_nanos() as f64;
+            let per_iter = elapsed / batch as f64;
+            total_ns += elapsed;
+            total_iters += batch;
+            min_ns = min_ns.min(per_iter);
+            max_ns = max_ns.max(per_iter);
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+        self.last = Some((total_ns / total_iters as f64, min_ns, max_ns));
+    }
+}
+
+fn render_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.4} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.4} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.4} µs", ns / 1e3)
+    } else {
+        format!("{ns:.4} ns")
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Config {
+    smoke: bool,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Config {
+    fn run<F: FnMut(&mut Bencher)>(&self, id: &str, mut f: F) {
+        let mut bencher = Bencher {
+            smoke: self.smoke,
+            measurement_time: self.measurement_time,
+            warm_up_time: self.warm_up_time,
+            last: None,
+        };
+        f(&mut bencher);
+        match bencher.last {
+            Some(_) if self.smoke => println!("{id:<40} ... ok (smoke)"),
+            Some((mean, min, max)) => println!(
+                "{id:<40} time: [{} {} {}]",
+                render_ns(min),
+                render_ns(mean),
+                render_ns(max)
+            ),
+            None => println!("{id:<40} ... no measurement"),
+        }
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    config: Config,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let smoke = std::env::args().any(|a| a == "--test")
+            || std::env::var_os("CRITERION_SMOKE").is_some();
+        Criterion {
+            config: Config {
+                smoke,
+                measurement_time: Duration::from_secs(1),
+                warm_up_time: Duration::from_millis(300),
+            },
+        }
+    }
+}
+
+impl Criterion {
+    /// Accepts (and ignores) command-line configuration, for API compatibility.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        self.config.clone().run(id, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), config: self.config.clone(), _parent: self }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and measurement configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    config: Config,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepts (and ignores) the target sample count, for API compatibility.
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the per-benchmark measurement budget.
+    pub fn measurement_time(&mut self, time: Duration) -> &mut Self {
+        self.config.measurement_time = time;
+        self
+    }
+
+    /// Sets the per-benchmark warm-up budget.
+    pub fn warm_up_time(&mut self, time: Duration) -> &mut Self {
+        self.config.warm_up_time = time;
+        self
+    }
+
+    /// Runs one benchmark of the group.
+    pub fn bench_function<I: Into<BenchmarkId>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        f: F,
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into().id);
+        self.config.run(&id, f);
+        self
+    }
+
+    /// Runs one benchmark parameterised by `input`.
+    pub fn bench_with_input<I: Into<BenchmarkId>, T: ?Sized, F: FnMut(&mut Bencher, &T)>(
+        &mut self,
+        id: I,
+        input: &T,
+        mut f: F,
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into().id);
+        self.config.run(&id, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a function running a sequence of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_each_benchmark_once() {
+        let mut criterion = Criterion::default();
+        criterion.config.smoke = true;
+        let mut runs = 0;
+        criterion.bench_function("counter", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 1);
+        let mut group = criterion.benchmark_group("group");
+        group
+            .sample_size(10)
+            .measurement_time(Duration::from_millis(10))
+            .warm_up_time(Duration::from_millis(1));
+        let mut with_input = 0;
+        group
+            .bench_with_input(BenchmarkId::new("bench", 3), &3, |b, &n| b.iter(|| with_input += n));
+        group.finish();
+        assert_eq!(with_input, 3);
+    }
+
+    #[test]
+    fn measurement_mode_reports_statistics() {
+        let mut criterion = Criterion::default();
+        criterion.config.smoke = false;
+        criterion.config.measurement_time = Duration::from_millis(5);
+        criterion.config.warm_up_time = Duration::from_millis(1);
+        let mut group = criterion.benchmark_group("g");
+        let mut total = 0u64;
+        group.bench_function("sum", |b| b.iter(|| total = total.wrapping_add(1)));
+        group.finish();
+        assert!(total > 0);
+    }
+
+    #[test]
+    fn benchmark_ids_render_name_and_parameter() {
+        assert_eq!(BenchmarkId::new("check", 42).id, "check/42");
+        assert_eq!(BenchmarkId::from_parameter("x").id, "x");
+        assert_eq!(BenchmarkId::from("plain").id, "plain");
+    }
+}

@@ -1,0 +1,436 @@
+//! A minimal, dependency-free stand-in for the `proptest` crate.
+//!
+//! The build environment of this repository has no access to a crate registry, so the
+//! workspace vendors the slice of the proptest 1.x API its test suites use:
+//!
+//! * the [`proptest!`] macro with an optional `#![proptest_config(...)]` attribute and
+//!   `pattern in strategy` parameters,
+//! * [`Strategy`] implemented for numeric ranges, [`Just`], tuples, `prop_flat_map` and
+//!   `prop_map`, plus [`collection::vec`] / [`collection::btree_set`] and [`any`],
+//! * [`prop_assert!`] / [`prop_assert_eq!`] and the [`test_runner`] plumbing they need.
+//!
+//! Inputs are generated from a deterministic per-case seed (override the base seed with
+//! `PROPTEST_SEED`). There is **no shrinking**: a failing case reports the generated
+//! value as-is, which is enough for the reproducible suites in this workspace.
+
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeSet;
+use std::marker::PhantomData;
+use std::ops::Range;
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// Test-runner configuration (the `cases` knob is the only one the workspace uses).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+    /// Accepted for API compatibility; this stand-in never shrinks.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64, max_shrink_iters: 0 }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases, ..ProptestConfig::default() }
+    }
+}
+
+/// A generator of random test inputs.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn new_value<R: RngCore>(&self, rng: &mut R) -> Self::Value;
+
+    /// A strategy generating `f(v)` for values `v` of `self`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// A strategy drawing from the strategy `f(v)` built from a value `v` of `self`.
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn new_value<R: RngCore>(&self, rng: &mut R) -> O {
+        (self.f)(self.inner.new_value(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+
+    fn new_value<R: RngCore>(&self, rng: &mut R) -> Self::Value {
+        (self.f)(self.inner.new_value(rng)).new_value(rng)
+    }
+}
+
+/// The constant strategy: always yields a clone of its value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn new_value<R: RngCore>(&self, _rng: &mut R) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn new_value<R: RngCore>(&self, rng: &mut R) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn new_value<R: RngCore>(&self, rng: &mut R) -> f64 {
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn new_value<RNG: RngCore>(&self, rng: &mut RNG) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.new_value(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+
+/// Types with a canonical "any value" strategy (see [`any`]).
+pub trait ArbitraryValue: Sized {
+    /// Draws one uniform value.
+    fn arbitrary<R: RngCore>(rng: &mut R) -> Self;
+}
+
+impl ArbitraryValue for bool {
+    fn arbitrary<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl ArbitraryValue for $t {
+            fn arbitrary<R: RngCore>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64);
+
+/// The strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: ArbitraryValue> Strategy for Any<T> {
+    type Value = T;
+
+    fn new_value<R: RngCore>(&self, rng: &mut R) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for a type: uniform over its values.
+pub fn any<T: ArbitraryValue>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// Collection strategies (`prop::collection` in the prelude).
+pub mod collection {
+    use super::*;
+
+    /// Strategy for vectors with a length drawn from `len`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// A vector of values of `element`, with a length in `len`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn new_value<R: RngCore>(&self, rng: &mut R) -> Vec<S::Value> {
+            let len = rng.gen_range(self.len.clone());
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+
+    /// Strategy for ordered sets with a target size drawn from `len`.
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// A `BTreeSet` of values of `element` with a size in `len` (best effort: if the
+    /// element domain is too small to reach the drawn size, the set is as large as the
+    /// domain allows).
+    pub fn btree_set<S: Strategy>(element: S, len: Range<usize>) -> BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+
+        fn new_value<R: RngCore>(&self, rng: &mut R) -> BTreeSet<S::Value> {
+            let target = rng.gen_range(self.len.clone());
+            let mut set = BTreeSet::new();
+            let mut attempts = 0;
+            while set.len() < target && attempts < 64 + 16 * target {
+                set.insert(self.element.new_value(rng));
+                attempts += 1;
+            }
+            set
+        }
+    }
+}
+
+/// The failure plumbing behind [`prop_assert!`] and the [`proptest!`] runner.
+pub mod test_runner {
+    use super::*;
+    use std::fmt;
+
+    /// A failed test case.
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError {
+        message: String,
+    }
+
+    impl TestCaseError {
+        /// A failure with the given message.
+        pub fn fail(message: impl Into<String>) -> Self {
+            TestCaseError { message: message.into() }
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+
+    /// What a property body returns.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// Runs `config.cases` random cases of `body` over inputs drawn from `strategy`,
+    /// panicking (with the offending input) on the first failure.
+    pub fn run<S: Strategy>(
+        config: &ProptestConfig,
+        strategy: &S,
+        mut body: impl FnMut(S::Value) -> TestCaseResult,
+    ) where
+        S::Value: fmt::Debug + Clone,
+    {
+        let base = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0x5DEECE66Du64);
+        for case in 0..config.cases {
+            let mut rng =
+                StdRng::seed_from_u64(base ^ (0x9E3779B97F4A7C15u64.wrapping_mul(case as u64 + 1)));
+            let value = strategy.new_value(&mut rng);
+            if let Err(error) = body(value.clone()) {
+                panic!(
+                    "proptest case {case}/{} failed: {error}\n    input: {value:?}\n    (re-run with PROPTEST_SEED={base})",
+                    config.cases
+                );
+            }
+        }
+    }
+}
+
+/// Glob-import surface mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::test_runner::{TestCaseError, TestCaseResult};
+    pub use crate::{any, prop_assert, prop_assert_eq, proptest, Just, ProptestConfig, Strategy};
+
+    /// Mirrors the `prop` module alias of the real prelude.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Declares `#[test]` functions running a property over random inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($config:expr; $( $(#[$meta:meta])* fn $name:ident( $($pat:pat in $strategy:expr),+ $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                let strategy = ($($strategy,)+);
+                #[allow(unreachable_code)]
+                $crate::test_runner::run(&config, &strategy, |($($pat,)+)| {
+                    $body
+                    Ok(())
+                });
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body, failing the case instead of
+/// panicking so the runner can report the generated input.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(left == right, "{left:?} != {right:?}");
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(left == right, "{left:?} != {right:?}: {}", format!($($fmt)*));
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::Strategy;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn strategies_respect_their_domains() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..50 {
+            let v = (2usize..7).new_value(&mut rng);
+            assert!((2..7).contains(&v));
+            let f = (0.0f64..1.0).new_value(&mut rng);
+            assert!((0.0..1.0).contains(&f));
+            let items = prop::collection::vec(0u8..4, 1..5).new_value(&mut rng);
+            assert!(!items.is_empty() && items.len() < 5 && items.iter().all(|&i| i < 4));
+            let set = prop::collection::btree_set(0u32..10, 2..4).new_value(&mut rng);
+            assert!(set.len() >= 2 && set.len() < 4);
+            let (just, flag) = (Just(9i32), any::<bool>()).new_value(&mut rng);
+            assert_eq!(just, 9);
+            let _: bool = flag;
+        }
+    }
+
+    #[test]
+    fn flat_map_feeds_outer_values_into_inner_strategies() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let strategy =
+            (1usize..4).prop_flat_map(|n| (Just(n), prop::collection::vec(0usize..n, 1..3)));
+        for _ in 0..50 {
+            let (n, items) = strategy.new_value(&mut rng);
+            assert!(items.iter().all(|&i| i < n));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn the_macro_runs_and_reports_through_prop_assert(x in 0u64..100, flip in any::<bool>()) {
+            if flip {
+                // Exercise the early-return path of real property bodies.
+                return Ok(());
+            }
+            prop_assert!(x < 100, "x = {x}");
+            prop_assert_eq!(x, x);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case")]
+    fn failures_panic_with_the_offending_input() {
+        let config = ProptestConfig::with_cases(8);
+        crate::test_runner::run(&config, &(0u8..10,), |(v,)| {
+            crate::prop_assert!(v > 100, "v = {v}");
+            Ok(())
+        });
+    }
+}

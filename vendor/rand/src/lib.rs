@@ -1,0 +1,254 @@
+//! A minimal, dependency-free stand-in for the `rand` crate.
+//!
+//! The build environment of this repository has no access to a crate registry, so the
+//! workspace vendors the small slice of the `rand` 0.8 API it actually uses:
+//!
+//! * [`rngs::StdRng`] with [`SeedableRng::seed_from_u64`] (the only construction path the
+//!   workspace uses — every random computation here is seeded and reproducible),
+//! * [`Rng::gen_range`] over half-open integer ranges, [`Rng::gen_bool`], [`Rng::gen`],
+//! * [`seq::SliceRandom::shuffle`] / [`seq::SliceRandom::choose`].
+//!
+//! The generator is SplitMix64 feeding a xoshiro256++ state — deterministic, fast and
+//! statistically solid for test-data generation, which is all this workspace needs. It is
+//! **not** the same stream as the real `StdRng`, and it is not cryptographically secure.
+
+#![forbid(unsafe_code)]
+
+use std::ops::Range;
+
+/// The core of every generator: a source of uniform 64-bit words.
+pub trait RngCore {
+    /// The next uniform 64-bit word.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next uniform 32-bit word.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Construction of a generator from a seed.
+pub trait SeedableRng: Sized {
+    /// Creates a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Convenience sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore + Sized {
+    /// A uniform value of type `T` (only the integer types the workspace samples).
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// A uniform value in the half-open range `low..high`. Panics if the range is empty,
+    /// matching the real `rand`.
+    fn gen_range<T: UniformInt>(&mut self, range: Range<T>) -> T {
+        T::sample_range(self, range)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        if p >= 1.0 {
+            return true;
+        }
+        if p <= 0.0 {
+            return false;
+        }
+        // 53 uniform mantissa bits, as the real implementation effectively does.
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+}
+
+impl<R: RngCore + Sized> Rng for R {}
+
+/// Types [`Rng::gen`] can produce.
+pub trait Standard: Sized {
+    /// Draws one uniform value.
+    fn sample<R: RngCore>(rng: &mut R) -> Self;
+}
+
+macro_rules! standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample<R: RngCore>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+standard_int!(u64, i64, u32, i32, usize);
+
+impl Standard for bool {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Integer types [`Rng::gen_range`] can sample over a half-open range.
+pub trait UniformInt: Copy + PartialOrd {
+    /// Draws a uniform value in `range`.
+    fn sample_range<R: RngCore>(rng: &mut R, range: Range<Self>) -> Self;
+}
+
+macro_rules! uniform_int {
+    ($($t:ty => $wide:ty),*) => {$(
+        impl UniformInt for $t {
+            fn sample_range<R: RngCore>(rng: &mut R, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "cannot sample empty range");
+                let span = (range.end as $wide).wrapping_sub(range.start as $wide) as u128;
+                let offset = (rng.next_u64() as u128 % span) as $wide;
+                ((range.start as $wide).wrapping_add(offset)) as $t
+            }
+        }
+    )*};
+}
+
+uniform_int!(
+    u8 => u8, u16 => u16, u32 => u32, u64 => u64, usize => usize,
+    i8 => i8, i16 => i16, i32 => i32, i64 => i64
+);
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard seeded generator: SplitMix64-initialised xoshiro256++.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            StdRng {
+                state: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // xoshiro256++ step.
+            let [s0, s1, s2, s3] = self.state;
+            let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+            let t = s1 << 17;
+            let mut n = [s0, s1, s2, s3];
+            n[2] ^= n[0];
+            n[3] ^= n[1];
+            n[1] ^= n[2];
+            n[0] ^= n[3];
+            n[2] ^= t;
+            n[3] = n[3].rotate_left(45);
+            self.state = n;
+            result
+        }
+    }
+}
+
+/// Sequence-related sampling helpers, mirroring `rand::seq`.
+pub mod seq {
+    use super::Rng;
+
+    /// Shuffling and choosing over slices.
+    pub trait SliceRandom {
+        /// Element type of the sequence.
+        type Item;
+
+        /// Uniform Fisher–Yates shuffle in place.
+        fn shuffle<R: Rng>(&mut self, rng: &mut R);
+
+        /// A uniformly chosen element, or `None` if the slice is empty.
+        fn choose<R: Rng>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: Rng>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..i + 1);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: Rng>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.gen_range(0..self.len())])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn streams_are_deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..16).map(|_| a.gen::<u64>()).collect();
+        let ys: Vec<u64> = (0..16).map(|_| b.gen::<u64>()).collect();
+        let zs: Vec<u64> = (0..16).map(|_| c.gen::<u64>()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds_and_hits_every_value() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            let v = rng.gen_range(0usize..5);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        for _ in 0..100 {
+            let v = rng.gen_range(-3i64..4);
+            assert!((-3..4).contains(&v));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_the_probability() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let hits = (0..2000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((300..700).contains(&hits), "got {hits}");
+        assert!(rng.gen_bool(1.0));
+        assert!(!rng.gen_bool(0.0));
+    }
+
+    #[test]
+    fn shuffle_permutes_and_choose_picks_members() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut items: Vec<u32> = (0..20).collect();
+        items.shuffle(&mut rng);
+        let mut sorted = items.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..20).collect::<Vec<_>>());
+        assert!(items.choose(&mut rng).is_some());
+        let empty: [u32; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+}
