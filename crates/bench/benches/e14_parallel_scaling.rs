@@ -1,0 +1,114 @@
+//! E14 — scaling of the parallel execution subsystem over the snapshot architecture.
+//!
+//! Three workloads, each at 1/2/4/8 workers so the speedup curve is read directly off
+//! the report:
+//!
+//! * `warm` — per-component preferred-repair enumeration fanned out over workers on a
+//!   64-component instance (64 independent conflict chains of 16 tuples each);
+//! * `query` — one open query whose repair product (2¹² selections) is split into
+//!   chunks evaluated concurrently;
+//! * `batch` — 12 distinct closed queries against one shared snapshot through
+//!   [`BatchExecutor`], the multi-user serving shape.
+//!
+//! Parallelism is an execution strategy, not a semantics change: every iteration runs
+//! against results asserted identical to the sequential path (cheaply, via counts).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pdqi_core::{
+    BatchExecutor, BatchRequest, EngineBuilder, EngineSnapshot, FamilyKind, Parallelism,
+    PreparedQuery, Semantics,
+};
+use pdqi_datagen::{example4_instance, multi_chain_instance};
+
+const WORKERS: [usize; 4] = [1, 2, 4, 8];
+
+fn chain_snapshot(chains: usize, length: usize) -> EngineSnapshot {
+    let (instance, fds) = multi_chain_instance(chains, length);
+    EngineBuilder::new().relation(instance, fds).build().expect("chain snapshot builds")
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e14_parallel_scaling");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(600))
+        .warm_up_time(Duration::from_millis(150));
+
+    // Workload 1: warming all 64 components (each a 16-tuple conflict chain whose
+    // preferred repairs take real work to enumerate) with growing worker counts.
+    let warm_base = chain_snapshot(64, 16);
+    let expected_components = warm_base.component_count();
+    assert_eq!(expected_components, 64, "the scaling instance must have 64 components");
+    for workers in WORKERS {
+        group.bench_with_input(BenchmarkId::new("warm/threads", workers), &workers, |b, &n| {
+            b.iter(|| {
+                let cold = warm_base.with_cleared_memo();
+                let warmed = cold.warm_components(FamilyKind::Global, Parallelism::threads(n));
+                assert_eq!(warmed, expected_components);
+                warmed
+            })
+        });
+    }
+
+    // Workload 2: one open query over a 2^12-repair product, chunked across workers.
+    let (instance, fds) = example4_instance(12);
+    let query_base = EngineBuilder::new().relation(instance, fds).build().unwrap();
+    let open = PreparedQuery::parse("EXISTS y . R(x,y) AND x < 6").unwrap();
+    let sequential_rows = open
+        .execute(&query_base.with_cleared_memo(), FamilyKind::Rep, Semantics::Certain)
+        .unwrap()
+        .count();
+    for workers in WORKERS {
+        group.bench_with_input(BenchmarkId::new("query/threads", workers), &workers, |b, &n| {
+            b.iter(|| {
+                let cold = query_base.with_cleared_memo();
+                let rows = open
+                    .execute_with(
+                        &cold,
+                        FamilyKind::Rep,
+                        Semantics::Certain,
+                        Parallelism::threads(n),
+                    )
+                    .unwrap()
+                    .count();
+                assert_eq!(rows, sequential_rows);
+                rows
+            })
+        });
+    }
+
+    // Workload 3: batch throughput — 12 distinct closed queries sharing one snapshot,
+    // one query per worker at a time (the serving shape).
+    let requests: Vec<BatchRequest> = (0..12)
+        .map(|i| {
+            let text = format!("EXISTS x,y . R(x,y) AND x >= {i}");
+            BatchRequest::consistent_answer(
+                Arc::new(PreparedQuery::parse(&text).unwrap()),
+                FamilyKind::Rep,
+            )
+        })
+        .collect();
+    let (instance, fds) = example4_instance(10);
+    let batch_base = EngineBuilder::new().relation(instance, fds).build().unwrap();
+    for workers in WORKERS {
+        group.bench_with_input(BenchmarkId::new("batch/threads", workers), &workers, |b, &n| {
+            b.iter(|| {
+                let executor = BatchExecutor::with_parallelism(
+                    batch_base.with_cleared_memo(),
+                    Parallelism::threads(n),
+                );
+                let responses = executor.run(&requests);
+                assert!(responses.iter().all(Result::is_ok));
+                responses.len()
+            })
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,269 @@
+//! Bench-regression tooling: collect per-bench medians and compare runs.
+//!
+//! The vendored criterion harness appends one JSON line per benchmark to the file named
+//! by `CRITERION_JSON` (`{"id":"…","median_ns":…}`). This binary turns those raw lines
+//! into a stable JSON map and diffs two such maps, failing on regressions — the same
+//! comparison CI runs, usable locally:
+//!
+//! ```text
+//! CRITERION_JSON=$PWD/raw.jsonl CRITERION_MEASURE_MS=300 CRITERION_WARMUP_MS=100 \
+//!     cargo bench -p pdqi-bench
+//! cargo run -p pdqi-bench --bin bench_diff -- collect raw.jsonl BENCH_ci.json
+//! cargo run -p pdqi-bench --bin bench_diff -- compare BENCH_baseline.json BENCH_ci.json
+//! ```
+//!
+//! `compare` exits non-zero if any benchmark's median grew by more than the threshold
+//! (25% by default, `--threshold 0.4` for 40%). Benchmarks present on only one side are
+//! reported but never fail the comparison, so adding or retiring benches does not
+//! require touching the baseline in the same commit.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::process::ExitCode;
+
+/// Scans a JSON string literal starting at `text[start]` (the opening quote), returning
+/// the unescaped contents and the index just past the closing quote.
+fn scan_string(text: &str, start: usize) -> Option<(String, usize)> {
+    let bytes = text.as_bytes();
+    if bytes.get(start) != Some(&b'"') {
+        return None;
+    }
+    let mut out = String::new();
+    let mut index = start + 1;
+    while index < bytes.len() {
+        match bytes[index] {
+            b'"' => return Some((out, index + 1)),
+            b'\\' => {
+                match bytes.get(index + 1)? {
+                    b'"' => {
+                        out.push('"');
+                        index += 2;
+                    }
+                    b'\\' => {
+                        out.push('\\');
+                        index += 2;
+                    }
+                    // \uXXXX — the escape the harness's json_escape uses for control
+                    // characters in benchmark ids.
+                    b'u' => {
+                        let hex = text.get(index + 2..index + 6)?;
+                        let code = u32::from_str_radix(hex, 16).ok()?;
+                        out.push(char::from_u32(code)?);
+                        index += 6;
+                    }
+                    // The harness never writes other escapes; keep the parser honest
+                    // rather than permissive.
+                    _ => return None,
+                }
+            }
+            _ => {
+                // Multi-byte UTF-8 is copied verbatim.
+                let c = text[index..].chars().next()?;
+                out.push(c);
+                index += c.len_utf8();
+            }
+        }
+    }
+    None
+}
+
+/// Extracts `"key": value` pairs (string key, numeric value) from one line of either
+/// the raw JSONL stream or the collected map.
+fn scan_pairs(line: &str) -> Vec<(String, f64)> {
+    let mut pairs = Vec::new();
+    let mut index = 0;
+    while let Some(offset) = line[index..].find('"') {
+        let start = index + offset;
+        let Some((key, after_key)) = scan_string(line, start) else { break };
+        let rest = line[after_key..].trim_start();
+        let Some(rest) = rest.strip_prefix(':') else {
+            index = after_key;
+            continue;
+        };
+        let rest = rest.trim_start();
+        let number: String = rest
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E'))
+            .collect();
+        if let Ok(value) = number.parse::<f64>() {
+            pairs.push((key, value));
+        }
+        index = after_key;
+    }
+    pairs
+}
+
+/// The string value of a raw JSONL line's `"id"` field (`scan_pairs` only yields
+/// numeric values, so the id needs its own extraction).
+fn raw_line_id(line: &str) -> Option<String> {
+    let key_at = line.find("\"id\"")?;
+    let colon = key_at + line[key_at..].find(':')?;
+    let quote = colon + line[colon..].find('"')?;
+    scan_string(line, quote).map(|(value, _)| value)
+}
+
+/// Parses either format (raw JSONL with `id`/`median_ns` fields, or a collected
+/// `{"bench": median}` map) into bench → median-ns. Later entries win.
+fn parse_medians(text: &str) -> BTreeMap<String, f64> {
+    let mut medians = BTreeMap::new();
+    for line in text.lines() {
+        let pairs = scan_pairs(line);
+        let median = pairs.iter().find(|(key, _)| key == "median_ns");
+        match (raw_line_id(line), median) {
+            // Raw JSONL line: {"id":"…","median_ns":…}.
+            (Some(id), Some(&(_, value))) => {
+                medians.insert(id, value);
+            }
+            // Collected map line: "bench": 123.4.
+            _ => {
+                for (key, value) in pairs {
+                    medians.insert(key, value);
+                }
+            }
+        }
+    }
+    medians
+}
+
+fn render_map(medians: &BTreeMap<String, f64>) -> String {
+    let mut out = String::from("{\n");
+    for (index, (id, median)) in medians.iter().enumerate() {
+        let comma = if index + 1 < medians.len() { "," } else { "" };
+        let escaped = id.replace('\\', "\\\\").replace('"', "\\\"");
+        let _ = writeln!(out, "  \"{escaped}\": {median:.1}{comma}");
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn collect(raw_path: &str, out_path: &str) -> Result<(), String> {
+    let text =
+        std::fs::read_to_string(raw_path).map_err(|e| format!("cannot read {raw_path}: {e}"))?;
+    let medians = parse_medians(&text);
+    if medians.is_empty() {
+        return Err(format!("{raw_path} holds no benchmark medians"));
+    }
+    std::fs::write(out_path, render_map(&medians))
+        .map_err(|e| format!("cannot write {out_path}: {e}"))?;
+    println!("collected {} benchmark median(s) into {out_path}", medians.len());
+    Ok(())
+}
+
+fn compare(baseline_path: &str, current_path: &str, threshold: f64) -> Result<bool, String> {
+    let baseline = parse_medians(
+        &std::fs::read_to_string(baseline_path)
+            .map_err(|e| format!("cannot read {baseline_path}: {e}"))?,
+    );
+    let current = parse_medians(
+        &std::fs::read_to_string(current_path)
+            .map_err(|e| format!("cannot read {current_path}: {e}"))?,
+    );
+    if baseline.is_empty() {
+        return Err(format!("{baseline_path} holds no benchmark medians"));
+    }
+    let mut regressions = 0usize;
+    println!("{:<56} {:>12} {:>12} {:>8}", "benchmark", "baseline", "current", "delta");
+    for (id, &base_ns) in &baseline {
+        let Some(&cur_ns) = current.get(id) else {
+            println!("{id:<56} {base_ns:>12.1} {:>12} {:>8}", "absent", "-");
+            continue;
+        };
+        let delta = if base_ns > 0.0 { cur_ns / base_ns - 1.0 } else { 0.0 };
+        let flag = if delta > threshold {
+            regressions += 1;
+            "  << REGRESSION"
+        } else {
+            ""
+        };
+        println!("{id:<56} {base_ns:>12.1} {cur_ns:>12.1} {:>+7.1}%{flag}", delta * 100.0);
+    }
+    for id in current.keys().filter(|id| !baseline.contains_key(*id)) {
+        println!("{id:<56} {:>12} {:>12.1} {:>8}", "new", current[id], "-");
+    }
+    if regressions > 0 {
+        println!(
+            "\n{regressions} benchmark(s) regressed more than {:.0}% against {baseline_path}",
+            threshold * 100.0
+        );
+    } else {
+        println!("\nno benchmark regressed more than {:.0}%", threshold * 100.0);
+    }
+    Ok(regressions == 0)
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  bench_diff collect <raw.jsonl> <out.json>\n  bench_diff compare <baseline.json> <current.json> [--threshold <fraction>]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("collect") if args.len() == 3 => match collect(&args[1], &args[2]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::from(2)
+            }
+        },
+        Some("compare") if args.len() == 3 || args.len() == 5 => {
+            let threshold = if args.len() == 5 {
+                if args[3] != "--threshold" {
+                    return usage();
+                }
+                match args[4].parse::<f64>() {
+                    Ok(t) if t > 0.0 => t,
+                    _ => return usage(),
+                }
+            } else {
+                0.25
+            };
+            match compare(&args[1], &args[2], threshold) {
+                Ok(true) => ExitCode::SUCCESS,
+                Ok(false) => ExitCode::FAILURE,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::from(2)
+                }
+            }
+        }
+        _ => usage(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const RAW: &str = "\
+{\"id\":\"e1/setup\",\"median_ns\":1200.0}\n\
+{\"id\":\"e1/query\",\"median_ns\":350.5}\n\
+{\"id\":\"e1/query\",\"median_ns\":360.5}\n";
+
+    #[test]
+    fn raw_lines_parse_with_later_entries_winning() {
+        let medians = parse_medians(RAW);
+        assert_eq!(medians.len(), 2);
+        assert_eq!(medians["e1/setup"], 1200.0);
+        assert_eq!(medians["e1/query"], 360.5);
+    }
+
+    #[test]
+    fn collected_maps_round_trip() {
+        let medians = parse_medians(RAW);
+        let rendered = render_map(&medians);
+        assert_eq!(parse_medians(&rendered), medians);
+    }
+
+    #[test]
+    fn string_scanner_handles_escapes() {
+        assert_eq!(scan_string("\"a/b\"", 0), Some(("a/b".to_string(), 5)));
+        assert_eq!(scan_string("\"a\\\"b\"", 0), Some(("a\"b".to_string(), 6)));
+        // The \uXXXX form json_escape emits for control characters round-trips.
+        assert_eq!(scan_string("\"tab\\u0009here\"", 0), Some(("tab\there".to_string(), 15)));
+        assert_eq!(scan_string("\"bad\\u00zz\"", 0), None);
+        assert_eq!(scan_string("no quote", 0), None);
+    }
+}

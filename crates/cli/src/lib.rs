@@ -19,7 +19,7 @@
 use std::fmt::Write as _;
 
 use pdqi_aggregate::{range_by_enumeration, AggregateFunction, AggregateQuery};
-use pdqi_core::{properties, EngineSnapshot, FamilyKind, PreparedQuery};
+use pdqi_core::{properties, EngineSnapshot, FamilyKind, Parallelism, PreparedQuery};
 use pdqi_relation::{RelationInstance, TupleSet};
 use pdqi_sql::{Session, SqlError, StatementOutcome};
 use rand::rngs::StdRng;
@@ -58,9 +58,29 @@ pub struct Interpreter {
 }
 
 impl Interpreter {
-    /// A fresh interpreter with no tables.
+    /// A fresh interpreter with no tables, running sequentially.
     pub fn new() -> Self {
         Interpreter { session: Session::new() }
+    }
+
+    /// A fresh interpreter answering repair-quantified queries with up to `threads`
+    /// workers (`0` means one worker per hardware thread).
+    pub fn with_threads(threads: usize) -> Self {
+        let mut interpreter = Interpreter::new();
+        interpreter.set_threads(threads);
+        interpreter
+    }
+
+    /// Reconfigures the worker count (`0` means one worker per hardware thread).
+    /// Parallelism never changes answers — only how fast they arrive.
+    pub fn set_threads(&mut self, threads: usize) {
+        let parallelism =
+            if threads == 0 { Parallelism::auto() } else { Parallelism::threads(threads) };
+        self.session.set_parallelism(parallelism);
+    }
+
+    fn parallelism(&self) -> Parallelism {
+        self.session.parallelism()
     }
 
     /// Access to the underlying SQL session (used by tests and by embedding callers).
@@ -110,6 +130,7 @@ impl Interpreter {
         let args: Vec<&str> = parts.collect();
         match name.as_str() {
             "help" => Ok(HELP.to_string()),
+            "threads" => self.threads(&args),
             "tables" => Ok(self.tables()),
             "schema" => self.schema(&args),
             "conflicts" => self.conflicts(&args),
@@ -121,6 +142,31 @@ impl Interpreter {
             "aggregate" => self.aggregate(&args),
             "properties" => self.properties(&args),
             other => Err(CliError::Command(format!("unknown command `.{other}` (try `.help`)"))),
+        }
+    }
+
+    fn threads(&mut self, args: &[&str]) -> Result<String, CliError> {
+        match args.first() {
+            None => Ok(format!("{} worker thread(s)", self.parallelism().thread_count())),
+            Some(&"auto") => {
+                self.set_threads(0);
+                Ok(format!("using {} worker thread(s) (auto)", self.parallelism().thread_count()))
+            }
+            Some(text) => {
+                let threads: usize = text.parse().map_err(|_| {
+                    CliError::Command(format!(
+                        "`{text}` is not a thread count (use a number or `auto`)"
+                    ))
+                })?;
+                if threads == 0 {
+                    return Err(CliError::Command(
+                        "thread count must be at least 1 (or `auto`)".to_string(),
+                    ));
+                }
+                self.set_threads(threads);
+                // Report the effective count: pathological requests are clamped.
+                Ok(format!("using {} worker thread(s)", self.parallelism().thread_count()))
+            }
         }
     }
 
@@ -190,6 +236,7 @@ impl Interpreter {
 
     fn count(&mut self, args: &[&str]) -> Result<String, CliError> {
         let (snapshot, table) = self.snapshot_for(args, ".count <table>")?;
+        snapshot.warm_components(FamilyKind::Rep, self.parallelism());
         Ok(format!("`{table}` has {} repair(s)", snapshot.count_repairs()))
     }
 
@@ -203,6 +250,8 @@ impl Interpreter {
         let (snapshot, _) = self.snapshot_for(args, ".preferred <table> <family> [limit]")?;
         let family = parse_family(args.get(1))?;
         let limit = parse_limit(args.get(2))?;
+        // Enumerate the per-component repairs across workers; assembly stays streamed.
+        snapshot.warm_components(family, self.parallelism());
         let repairs = snapshot.preferred_repairs(family, limit);
         Ok(format!(
             "{} preferred repair(s) under {}\n{}",
@@ -232,8 +281,9 @@ impl Interpreter {
         let snapshot = self.session.snapshot(args[0])?;
         let family = parse_family(args.get(1))?;
         let query = args[2..].join(" ");
+        let parallelism = self.parallelism();
         let outcome = PreparedQuery::parse(&query)
-            .and_then(|prepared| prepared.consistent_answer(&snapshot, family))
+            .and_then(|prepared| prepared.consistent_answer_with(&snapshot, family, parallelism))
             .map_err(|e| CliError::Command(format!("query error: {e}")))?;
         let verdict = if outcome.certainly_true {
             "certainly true"
@@ -314,6 +364,7 @@ SQL statements: CREATE TABLE, ALTER TABLE <t> ADD FD <fd>, INSERT INTO <t> VALUE
                 PREFER (<row>) OVER (<row>) IN <t>, SELECT … [WITH REPAIRS <family>]
 meta commands:
   .help                                     this message
+  .threads [n|auto]                         show or set the worker-thread count
   .tables                                   list tables
   .schema <table>                           schema and functional dependencies
   .conflicts <table>                        list conflicting tuple pairs
@@ -473,6 +524,27 @@ mod tests {
         let cleaned = interpreter.run_line(".clean Mgr").unwrap();
         assert!(cleaned.contains("unique repair"));
         assert!(cleaned.contains("Mary"));
+    }
+
+    #[test]
+    fn threads_command_configures_parallelism_without_changing_answers() {
+        let mut sequential = loaded();
+        let mut parallel = Interpreter::with_threads(4);
+        parallel.run_script(example1_script());
+        assert_eq!(parallel.run_line(".threads").unwrap(), "4 worker thread(s)");
+        for command in [".count Mgr", ".preferred Mgr G", ".answer Mgr ALL Mgr('Mary','R&D',40,3)"]
+        {
+            assert_eq!(
+                sequential.run_line(command).unwrap(),
+                parallel.run_line(command).unwrap(),
+                "{command}"
+            );
+        }
+        // Reconfiguration mid-session.
+        assert_eq!(parallel.run_line(".threads 2").unwrap(), "using 2 worker thread(s)");
+        assert!(parallel.run_line(".threads auto").unwrap().contains("auto"));
+        assert!(parallel.run_line(".threads nope").is_err());
+        assert!(parallel.run_line(".threads 0").is_err());
     }
 
     #[test]

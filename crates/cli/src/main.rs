@@ -3,15 +3,52 @@
 //! Usage:
 //!
 //! ```text
-//! pdqi script1.sql script2.sql   # run the given scripts in order
-//! pdqi                           # read a script from standard input
+//! pdqi [--threads N] script1.sql script2.sql   # run the given scripts in order
+//! pdqi [--threads N]                           # read a script from standard input
 //! ```
+//!
+//! `--threads N` answers repair-quantified queries with up to `N` worker threads
+//! (`--threads 0` or `--threads auto` uses one worker per hardware thread). Parallelism
+//! never changes answers — it only trades threads for latency.
 
 use std::io::Read;
 
+fn usage_error(message: &str) -> ! {
+    eprintln!("error: {message}");
+    eprintln!("usage: pdqi [--threads N|auto] [script.sql ...]");
+    std::process::exit(2);
+}
+
+fn parse_threads(text: &str) -> usize {
+    if text == "auto" {
+        return 0;
+    }
+    match text.parse() {
+        Ok(threads) => threads,
+        Err(_) => usage_error(&format!("`{text}` is not a thread count")),
+    }
+}
+
 fn main() {
-    let mut interpreter = pdqi_cli::Interpreter::new();
-    let paths: Vec<String> = std::env::args().skip(1).collect();
+    let mut threads = 1usize;
+    let mut paths: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--threads" {
+            match args.next() {
+                Some(value) => threads = parse_threads(&value),
+                None => usage_error("--threads needs a value"),
+            }
+        } else if let Some(value) = arg.strip_prefix("--threads=") {
+            threads = parse_threads(value);
+        } else if arg.starts_with("--") {
+            usage_error(&format!("unknown flag `{arg}`"));
+        } else {
+            paths.push(arg);
+        }
+    }
+
+    let mut interpreter = pdqi_cli::Interpreter::with_threads(threads);
 
     if paths.is_empty() {
         let mut script = String::new();

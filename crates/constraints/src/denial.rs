@@ -2,7 +2,7 @@
 //!
 //! The paper's concluding section observes that conflict graphs generalise to conflict
 //! *hypergraphs* when the constraint class is widened from functional dependencies to
-//! denial constraints [6]: statements of the form
+//! denial constraints \[6\]: statements of the form
 //!
 //! ```text
 //!     ¬ ∃ t1, …, tk ∈ R .  φ(t1, …, tk)

@@ -2,7 +2,7 @@
 //!
 //! The paper's future-work section points out that conflict graphs generalise to
 //! *hypergraphs* when constraints may involve more than two tuples (denial
-//! constraints [6]). A hyperedge is a minimal set of tuples that jointly violates some
+//! constraints \[6\]). A hyperedge is a minimal set of tuples that jointly violates some
 //! constraint; repairs are again exactly the maximal independent sets (sets containing
 //! no hyperedge in full).
 //!

@@ -4,7 +4,7 @@
 //! represents the space of repairs through the **conflict graph**: vertices are the
 //! tuples of the instance and edges connect conflicting tuples; the repairs are exactly
 //! the maximal independent sets of that graph. Its concluding section points at the
-//! generalisation to **denial constraints** via conflict *hypergraphs* [6].
+//! generalisation to **denial constraints** via conflict *hypergraphs* \[6\].
 //!
 //! This crate provides:
 //!

@@ -82,6 +82,7 @@ pub mod engine;
 pub mod families;
 pub mod hyper;
 pub mod optimality;
+pub mod parallel;
 pub mod prepared;
 pub mod properties;
 pub mod repair;
@@ -99,6 +100,7 @@ pub use hyper::HyperRepairContext;
 pub use optimality::{
     is_globally_optimal, is_locally_optimal, is_semi_globally_optimal, preferred_over,
 };
+pub use parallel::{BatchExecutor, BatchRequest, BatchResponse, Parallelism};
 pub use prepared::{AnswerSet, PreparedQuery, Semantics};
 pub use repair::RepairContext;
 pub use snapshot::{BuildError, EngineBuilder, EngineSnapshot, MemoStats};

@@ -29,6 +29,7 @@ use pdqi_relation::{TupleSet, Value};
 use crate::cqa::CqaOutcome;
 use crate::cqa_ground::ground_consistent_answer;
 use crate::families::FamilyKind;
+use crate::parallel::{run_jobs, Parallelism};
 use crate::snapshot::{AnswerKey, AnswerMode, EngineSnapshot};
 
 /// Which answers an open-query execution returns.
@@ -154,31 +155,78 @@ impl PreparedQuery {
         kind: FamilyKind,
         semantics: Semantics,
     ) -> Result<AnswerSet, QueryError> {
+        self.execute_with(snapshot, kind, semantics, Parallelism::sequential())
+    }
+
+    /// [`PreparedQuery::execute`] with an explicit degree of parallelism.
+    ///
+    /// With a parallel configuration, the relevant components are warmed across workers
+    /// and the cartesian product of per-component preferred repairs is split into
+    /// contiguous chunks evaluated concurrently. The answer set is **bit-identical** to
+    /// the sequential execution — certain/possible folding is a set
+    /// intersection/union, so merging per-chunk folds in chunk order reproduces the
+    /// sequential fold exactly — and the memoised entry is indistinguishable too.
+    pub fn execute_with(
+        &self,
+        snapshot: &EngineSnapshot,
+        kind: FamilyKind,
+        semantics: Semantics,
+        parallelism: Parallelism,
+    ) -> Result<AnswerSet, QueryError> {
         let key = AnswerKey { fingerprint: self.fingerprint, family: kind, mode: semantics.mode() };
         if let Some(entry) = snapshot.cached_answer(&key, &self.formula) {
             return Ok(AnswerSet::new(Arc::clone(&entry.columns), Arc::clone(&entry.rows)));
         }
         let relevant = self.relevant_relations(snapshot);
+        let accumulated =
+            self.accumulate_rows(snapshot, kind, semantics, &relevant, parallelism)?;
+        let rows: Arc<Vec<Vec<Value>>> = Arc::new(accumulated.into_iter().collect());
+        let columns = Arc::new(self.free.clone());
+        let entry = snapshot.store_answer(key, &self.formula, &relevant, rows, columns, None);
+        Ok(AnswerSet::new(Arc::clone(&entry.columns), Arc::clone(&entry.rows)))
+    }
+
+    /// Folds per-repair answer rows under the chosen semantics, parallel when asked.
+    fn accumulate_rows(
+        &self,
+        snapshot: &EngineSnapshot,
+        kind: FamilyKind,
+        semantics: Semantics,
+        relevant: &[usize],
+        parallelism: Parallelism,
+    ) -> Result<BTreeSet<Vec<Value>>, QueryError> {
+        if !parallelism.is_sequential() {
+            if let Some(rows) =
+                self.accumulate_rows_parallel(snapshot, kind, semantics, relevant, parallelism)
+            {
+                return Ok(rows);
+            }
+            // A worker hit an evaluation error. Rerun sequentially so error reporting
+            // (and its interaction with early exits) matches the sequential path
+            // exactly; the redundant work only happens on the failure path.
+        }
+        self.accumulate_rows_sequential(snapshot, kind, semantics, relevant)
+    }
+
+    fn accumulate_rows_sequential(
+        &self,
+        snapshot: &EngineSnapshot,
+        kind: FamilyKind,
+        semantics: Semantics,
+        relevant: &[usize],
+    ) -> Result<BTreeSet<Vec<Value>>, QueryError> {
         let mut accumulated: Option<BTreeSet<Vec<Value>>> = None;
         let mut error: Option<QueryError> = None;
-        snapshot.for_each_preferred_selection(kind, &relevant, &mut |selection| {
-            let evaluator = self.evaluator_for(snapshot, &relevant, selection);
-            let answers = match evaluator.answers(&self.formula) {
-                Ok(answers) => answers,
+        snapshot.for_each_preferred_selection(kind, relevant, &mut |selection| {
+            let evaluator = self.evaluator_for(snapshot, relevant, selection);
+            let rows = match evaluator.answer_rows(&self.formula) {
+                Ok(rows) => rows,
                 Err(e) => {
                     error = Some(e);
                     return ControlFlow::Break(());
                 }
             };
-            let rows: BTreeSet<Vec<Value>> =
-                answers.into_iter().map(|row| row.into_values().collect()).collect();
-            accumulated = Some(match accumulated.take() {
-                None => rows,
-                Some(previous) => match semantics {
-                    Semantics::Certain => previous.intersection(&rows).cloned().collect(),
-                    Semantics::Possible => previous.union(&rows).cloned().collect(),
-                },
-            });
+            accumulated = Some(fold_rows(accumulated.take(), rows, semantics));
             // Certain answers only shrink; once empty the outcome is settled.
             if semantics == Semantics::Certain
                 && accumulated.as_ref().is_some_and(BTreeSet::is_empty)
@@ -191,11 +239,66 @@ impl PreparedQuery {
         if let Some(e) = error {
             return Err(e);
         }
-        let rows: Arc<Vec<Vec<Value>>> =
-            Arc::new(accumulated.unwrap_or_default().into_iter().collect());
-        let columns = Arc::new(self.free.clone());
-        let entry = snapshot.store_answer(key, &self.formula, &relevant, rows, columns, None);
-        Ok(AnswerSet::new(Arc::clone(&entry.columns), Arc::clone(&entry.rows)))
+        Ok(accumulated.unwrap_or_default())
+    }
+
+    /// The parallel row fold: `None` means some worker hit an evaluation error and the
+    /// caller must fall back to the sequential path.
+    fn accumulate_rows_parallel(
+        &self,
+        snapshot: &EngineSnapshot,
+        kind: FamilyKind,
+        semantics: Semantics,
+        relevant: &[usize],
+        parallelism: Parallelism,
+    ) -> Option<BTreeSet<Vec<Value>>> {
+        snapshot.warm_relation_components(kind, relevant, parallelism);
+        let Some(lists) = snapshot.selection_lists(kind, relevant) else {
+            // Some component has no preferred repair: the product is empty.
+            return Some(BTreeSet::new());
+        };
+        let chunks = chunk_ranges(product_size(&lists), parallelism);
+        // The parallel analogue of the sequential Certain early exit: the merged result
+        // is an intersection, so one empty chunk fold empties it globally and every
+        // worker can stop.
+        let globally_empty = std::sync::atomic::AtomicBool::new(false);
+        let folds: Vec<Result<Option<BTreeSet<Vec<Value>>>, QueryError>> =
+            run_jobs(parallelism, chunks.len(), |index| {
+                let (start, end) = chunks[index];
+                let mut cursor = SelectionCursor::new(snapshot, &lists, start);
+                let mut accumulated: Option<BTreeSet<Vec<Value>>> = None;
+                let mut at = start;
+                while at < end {
+                    if semantics == Semantics::Certain
+                        && globally_empty.load(std::sync::atomic::Ordering::Relaxed)
+                    {
+                        return Ok(Some(BTreeSet::new()));
+                    }
+                    let evaluator = self.evaluator_for(snapshot, relevant, cursor.selection());
+                    let rows = evaluator.answer_rows(&self.formula)?;
+                    accumulated = Some(fold_rows(accumulated.take(), rows, semantics));
+                    if semantics == Semantics::Certain
+                        && accumulated.as_ref().is_some_and(BTreeSet::is_empty)
+                    {
+                        globally_empty.store(true, std::sync::atomic::Ordering::Relaxed);
+                        return Ok(accumulated);
+                    }
+                    at += 1;
+                    if at < end {
+                        cursor.advance();
+                    }
+                }
+                Ok(accumulated)
+            });
+        let mut merged: Option<BTreeSet<Vec<Value>>> = None;
+        for fold in folds {
+            match fold {
+                Err(_) => return None,
+                Ok(None) => {}
+                Ok(Some(rows)) => merged = Some(fold_rows(merged.take(), rows, semantics)),
+            }
+        }
+        Some(merged.unwrap_or_default())
     }
 
     /// The preferred consistent answer to a closed query (Definition 3): whether the
@@ -209,6 +312,23 @@ impl PreparedQuery {
         &self,
         snapshot: &EngineSnapshot,
         kind: FamilyKind,
+    ) -> Result<CqaOutcome, QueryError> {
+        self.consistent_answer_with(snapshot, kind, Parallelism::sequential())
+    }
+
+    /// [`PreparedQuery::consistent_answer`] with an explicit degree of parallelism.
+    ///
+    /// Workers evaluate contiguous chunks of the repair product and record per-repair
+    /// truth values **in enumeration order**; the outcome is then replayed with the
+    /// sequential early-exit rule, so the result — including the `examined` counter —
+    /// is bit-identical to the sequential path. (For undetermined outcomes the workers
+    /// may evaluate repairs the sequential path would have skipped; that extra work
+    /// never changes the answer.)
+    pub fn consistent_answer_with(
+        &self,
+        snapshot: &EngineSnapshot,
+        kind: FamilyKind,
+        parallelism: Parallelism,
     ) -> Result<CqaOutcome, QueryError> {
         if !self.free.is_empty() {
             return Err(QueryError::FreeVariables { variables: self.free.clone() });
@@ -244,10 +364,61 @@ impl PreparedQuery {
             // Fall through to the generic pipeline on analysis errors so the caller
             // gets the standard error reporting.
         }
+        let outcome = self.closed_outcome(snapshot, kind, &relevant, parallelism)?;
+        snapshot.store_answer(
+            key,
+            &self.formula,
+            &relevant,
+            Arc::new(Vec::new()),
+            Arc::new(Vec::new()),
+            Some(outcome),
+        );
+        Ok(outcome)
+    }
+
+    fn closed_outcome(
+        &self,
+        snapshot: &EngineSnapshot,
+        kind: FamilyKind,
+        relevant: &[usize],
+        parallelism: Parallelism,
+    ) -> Result<CqaOutcome, QueryError> {
+        if !parallelism.is_sequential() {
+            if let Some(verdicts) =
+                self.closed_verdicts_parallel(snapshot, kind, relevant, parallelism)
+            {
+                // Replay the per-repair truth values in enumeration order under the
+                // sequential early-exit rule: identical outcome, identical `examined`.
+                let mut outcome =
+                    CqaOutcome { certainly_true: true, certainly_false: true, examined: 0 };
+                for verdict in verdicts {
+                    match verdict {
+                        true => outcome.certainly_false = false,
+                        false => outcome.certainly_true = false,
+                    }
+                    outcome.examined += 1;
+                    if outcome.is_undetermined() {
+                        break;
+                    }
+                }
+                return Ok(outcome);
+            }
+            // A worker hit an evaluation error: rerun sequentially (see
+            // `accumulate_rows`).
+        }
+        self.closed_outcome_sequential(snapshot, kind, relevant)
+    }
+
+    fn closed_outcome_sequential(
+        &self,
+        snapshot: &EngineSnapshot,
+        kind: FamilyKind,
+        relevant: &[usize],
+    ) -> Result<CqaOutcome, QueryError> {
         let mut outcome = CqaOutcome { certainly_true: true, certainly_false: true, examined: 0 };
         let mut error: Option<QueryError> = None;
-        snapshot.for_each_preferred_selection(kind, &relevant, &mut |selection| {
-            let evaluator = self.evaluator_for(snapshot, &relevant, selection);
+        snapshot.for_each_preferred_selection(kind, relevant, &mut |selection| {
+            let evaluator = self.evaluator_for(snapshot, relevant, selection);
             match evaluator.eval_closed(&self.formula) {
                 Ok(true) => outcome.certainly_false = false,
                 Ok(false) => outcome.certainly_true = false,
@@ -266,15 +437,75 @@ impl PreparedQuery {
         if let Some(e) = error {
             return Err(e);
         }
-        snapshot.store_answer(
-            key,
-            &self.formula,
-            &relevant,
-            Arc::new(Vec::new()),
-            Arc::new(Vec::new()),
-            Some(outcome),
-        );
         Ok(outcome)
+    }
+
+    /// Per-repair truth values in enumeration order, evaluated across workers. `None`
+    /// means some worker hit an evaluation error (fall back to the sequential path).
+    ///
+    /// The sequential path stops at the first position whose prefix holds both a true
+    /// and a false verdict (undetermined). The parallel analogue: a chunk that becomes
+    /// undetermined *within itself* stops immediately — the replay is guaranteed to
+    /// break at (or before) that position — and publishes its chunk index, so every
+    /// later chunk, whose verdicts the replay can then never reach, stops as well.
+    /// Earlier chunks still run to completion: their verdicts feed the replayed
+    /// `examined` count, which must match the sequential path exactly.
+    fn closed_verdicts_parallel(
+        &self,
+        snapshot: &EngineSnapshot,
+        kind: FamilyKind,
+        relevant: &[usize],
+        parallelism: Parallelism,
+    ) -> Option<Vec<bool>> {
+        snapshot.warm_relation_components(kind, relevant, parallelism);
+        let Some(lists) = snapshot.selection_lists(kind, relevant) else {
+            return Some(Vec::new());
+        };
+        let chunks = chunk_ranges(product_size(&lists), parallelism);
+        let undetermined_chunk = std::sync::atomic::AtomicUsize::new(usize::MAX);
+        let verdicts: Vec<Result<Vec<bool>, QueryError>> =
+            run_jobs(parallelism, chunks.len(), |index| {
+                let (start, end) = chunks[index];
+                let mut cursor = SelectionCursor::new(snapshot, &lists, start);
+                let mut mine = Vec::new();
+                let (mut saw_true, mut saw_false) = (false, false);
+                let mut at = start;
+                while at < end {
+                    if undetermined_chunk.load(std::sync::atomic::Ordering::Relaxed) < index {
+                        // An earlier chunk is undetermined: the replay stops inside it
+                        // and never consults this chunk's verdicts.
+                        return Ok(mine);
+                    }
+                    let verdict = {
+                        let evaluator = self.evaluator_for(snapshot, relevant, cursor.selection());
+                        evaluator.eval_closed(&self.formula)?
+                    };
+                    mine.push(verdict);
+                    match verdict {
+                        true => saw_true = true,
+                        false => saw_false = true,
+                    }
+                    if saw_true && saw_false {
+                        // This chunk is undetermined on its own: the replay breaks at
+                        // this verdict, so the rest of the chunk is irrelevant too.
+                        undetermined_chunk.fetch_min(index, std::sync::atomic::Ordering::Relaxed);
+                        return Ok(mine);
+                    }
+                    at += 1;
+                    if at < end {
+                        cursor.advance();
+                    }
+                }
+                Ok(mine)
+            });
+        let mut ordered = Vec::new();
+        for chunk in verdicts {
+            match chunk {
+                Err(_) => return None,
+                Ok(mine) => ordered.extend(mine),
+            }
+        }
+        Some(ordered)
     }
 
     /// Certain answers as an eager, sorted row list (convenience over
@@ -313,6 +544,100 @@ impl PreparedQuery {
             }
         }
         evaluator
+    }
+}
+
+/// One fold step of the certain/possible accumulation. Intersection and union are
+/// associative and commutative, so folding per-chunk and merging chunks in order is
+/// bit-identical to the sequential left fold.
+fn fold_rows(
+    accumulated: Option<BTreeSet<Vec<Value>>>,
+    rows: BTreeSet<Vec<Value>>,
+    semantics: Semantics,
+) -> BTreeSet<Vec<Value>> {
+    match accumulated {
+        None => rows,
+        Some(previous) => match semantics {
+            Semantics::Certain => previous.intersection(&rows).cloned().collect(),
+            Semantics::Possible => previous.union(&rows).cloned().collect(),
+        },
+    }
+}
+
+/// The size of the cartesian repair product described by `lists`, saturating at
+/// `u128::MAX` (an empty list set describes the single base selection).
+fn product_size(lists: &[(usize, Arc<Vec<TupleSet>>)]) -> u128 {
+    lists.iter().fold(1u128, |total, (_, choices)| total.saturating_mul(choices.len() as u128))
+}
+
+/// Splits `[0, total)` into contiguous chunks, a few per worker so a chunk that happens
+/// to hold cheap repairs does not leave its worker idle while others still grind.
+fn chunk_ranges(total: u128, parallelism: Parallelism) -> Vec<(u128, u128)> {
+    let workers = parallelism.thread_count() as u128;
+    let chunks = (workers * 4).min(total).max(1);
+    let base = total / chunks;
+    let remainder = total % chunks;
+    let mut ranges = Vec::with_capacity(chunks as usize);
+    let mut start = 0u128;
+    for index in 0..chunks {
+        let len = base + u128::from(index < remainder);
+        ranges.push((start, start + len));
+        start += len;
+    }
+    ranges
+}
+
+/// An odometer over the cartesian product of per-component preferred repairs, visiting
+/// selections in the exact order of the sequential recursion (the last list varies
+/// fastest — row-major). `advance` touches only the components whose digit changed, so
+/// stepping is cheap even with many components.
+struct SelectionCursor<'a> {
+    lists: &'a [(usize, Arc<Vec<TupleSet>>)],
+    digits: Vec<usize>,
+    current: Vec<TupleSet>,
+}
+
+impl<'a> SelectionCursor<'a> {
+    /// A cursor positioned on the `start`-th selection (row-major index).
+    fn new(
+        snapshot: &EngineSnapshot,
+        lists: &'a [(usize, Arc<Vec<TupleSet>>)],
+        start: u128,
+    ) -> Self {
+        let mut digits = vec![0usize; lists.len()];
+        let mut remainder = start;
+        for (index, (_, choices)) in lists.iter().enumerate().rev() {
+            let len = choices.len() as u128;
+            digits[index] = (remainder % len) as usize;
+            remainder /= len;
+        }
+        let mut current = snapshot.base_selection();
+        for (index, (rel, choices)) in lists.iter().enumerate() {
+            current[*rel].union_with(&choices[digits[index]]);
+        }
+        SelectionCursor { lists, digits, current }
+    }
+
+    /// The current selection, index-aligned with the snapshot's relations.
+    fn selection(&self) -> &[TupleSet] {
+        &self.current
+    }
+
+    /// Steps to the next selection in enumeration order (wraps at the end). Distinct
+    /// components are vertex-disjoint, so swapping one component's choice in and out
+    /// never disturbs the others.
+    fn advance(&mut self) {
+        for index in (0..self.lists.len()).rev() {
+            let (rel, choices) = &self.lists[index];
+            self.current[*rel].remove_all(&choices[self.digits[index]]);
+            if self.digits[index] + 1 < choices.len() {
+                self.digits[index] += 1;
+                self.current[*rel].union_with(&choices[self.digits[index]]);
+                return;
+            }
+            self.digits[index] = 0;
+            self.current[*rel].union_with(&choices[0]);
+        }
     }
 }
 
@@ -523,6 +848,109 @@ mod tests {
             .unwrap();
         let possible = join.possible_answers(&snapshot, FamilyKind::Rep).unwrap();
         assert_eq!(possible, vec![vec![Value::int(0)], vec![Value::int(1)]]);
+    }
+
+    #[test]
+    fn parallel_execution_is_bit_identical_to_sequential() {
+        let (ctx, priority) = example9();
+        let snapshot = snapshot_of(&ctx).with_priority(priority).unwrap();
+        let queries = [
+            PreparedQuery::parse("EXISTS b,c,d . R(a,b,c,d)").unwrap(),
+            PreparedQuery::parse("EXISTS a,c,d . R(a,b,c,d) AND b >= 0").unwrap(),
+            PreparedQuery::parse("EXISTS a,b,c,d . R(a,b,c,d) AND a > b").unwrap(),
+        ];
+        for query in &queries {
+            for kind in FamilyKind::ALL {
+                for semantics in [Semantics::Certain, Semantics::Possible] {
+                    // Fresh memos so both paths really execute.
+                    let sequential_snapshot = snapshot.with_cleared_memo();
+                    let parallel_snapshot = snapshot.with_cleared_memo();
+                    let sequential: Vec<_> =
+                        query.execute(&sequential_snapshot, kind, semantics).unwrap().collect();
+                    let parallel: Vec<_> = query
+                        .execute_with(
+                            &parallel_snapshot,
+                            kind,
+                            semantics,
+                            crate::Parallelism::threads(4),
+                        )
+                        .unwrap()
+                        .collect();
+                    assert_eq!(sequential, parallel, "{} {:?}", kind.label(), semantics);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_closed_outcomes_match_including_examined() {
+        let ctx = example1();
+        let queries = [Q1, "EXISTS d,s,r . Mgr('Mary',d,s,r) AND s > 15"];
+        for text in queries {
+            let query = PreparedQuery::parse(text).unwrap();
+            for kind in FamilyKind::ALL {
+                let sequential_snapshot = snapshot_of(&ctx);
+                let parallel_snapshot = snapshot_of(&ctx);
+                let sequential = query.consistent_answer(&sequential_snapshot, kind).unwrap();
+                let parallel = query
+                    .consistent_answer_with(
+                        &parallel_snapshot,
+                        kind,
+                        crate::Parallelism::threads(3),
+                    )
+                    .unwrap();
+                assert_eq!(sequential, parallel, "{} on {text}", kind.label());
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_errors_match_the_sequential_path() {
+        let ctx = example1();
+        let snapshot = snapshot_of(&ctx);
+        let unknown = PreparedQuery::parse("Nope(x)").unwrap();
+        let sequential =
+            unknown.execute(&snapshot.with_cleared_memo(), FamilyKind::Rep, Semantics::Certain);
+        let parallel = unknown.execute_with(
+            &snapshot.with_cleared_memo(),
+            FamilyKind::Rep,
+            Semantics::Certain,
+            crate::Parallelism::threads(4),
+        );
+        assert_eq!(sequential.unwrap_err(), parallel.unwrap_err());
+    }
+
+    #[test]
+    fn batch_executor_matches_per_query_execution() {
+        use crate::{BatchExecutor, BatchRequest, Parallelism};
+        let ctx = example1();
+        let snapshot = snapshot_of(&ctx);
+        let open = Arc::new(PreparedQuery::parse("EXISTS d,s,r . Mgr(x,d,s,r)").unwrap());
+        let closed = Arc::new(PreparedQuery::parse(Q1).unwrap());
+        let mut requests = Vec::new();
+        for kind in FamilyKind::ALL {
+            requests.push(BatchRequest::execute(Arc::clone(&open), kind, Semantics::Certain));
+            requests.push(BatchRequest::execute(Arc::clone(&open), kind, Semantics::Possible));
+            requests.push(BatchRequest::consistent_answer(Arc::clone(&closed), kind));
+        }
+        let executor = BatchExecutor::with_parallelism(snapshot.clone(), Parallelism::threads(4));
+        let responses = executor.run(&requests);
+        assert_eq!(responses.len(), requests.len());
+        let reference = snapshot_of(&ctx);
+        for (request, response) in requests.iter().zip(responses) {
+            match (request, response.unwrap()) {
+                (crate::BatchRequest::Execute { query, family, semantics }, batched) => {
+                    let direct: Vec<_> =
+                        query.execute(&reference, *family, *semantics).unwrap().collect();
+                    let batched: Vec<_> = batched.rows().unwrap().clone().collect();
+                    assert_eq!(direct, batched);
+                }
+                (crate::BatchRequest::ConsistentAnswer { query, family }, batched) => {
+                    let direct = query.consistent_answer(&reference, *family).unwrap();
+                    assert_eq!(direct, batched.outcome().unwrap());
+                }
+            }
+        }
     }
 
     #[test]

@@ -25,7 +25,7 @@
 //! Queries are executed against snapshots through [`crate::prepared::PreparedQuery`],
 //! which adds a second memo level keyed by `(component set, family, query fingerprint)`.
 
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 use std::fmt;
 use std::ops::ControlFlow;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -42,6 +42,7 @@ use crate::clean::{clean_with_total_priority, common_repairs_within, CleaningErr
 use crate::cqa::CqaOutcome;
 use crate::families::FamilyKind;
 use crate::optimality::{is_locally_optimal, is_semi_globally_optimal, preferred_over};
+use crate::parallel::Parallelism;
 use crate::repair::RepairContext;
 
 /// Errors raised while assembling a snapshot.
@@ -296,6 +297,18 @@ impl RelationEntry {
         }
     }
 
+    /// A copy of this entry sharing every [`Arc`]-held part (the cheap "clone").
+    fn share(&self) -> RelationEntry {
+        RelationEntry {
+            ctx: Arc::clone(&self.ctx),
+            priority: self.priority.clone(),
+            components: Arc::clone(&self.components),
+            base: Arc::clone(&self.base),
+            comp_of: Arc::clone(&self.comp_of),
+            comp_offset: self.comp_offset,
+        }
+    }
+
     /// Derives this entry with a different priority, sharing everything else, and
     /// reports which *local* component indices the change touches.
     fn with_priority(&self, priority: Priority) -> (RelationEntry, BTreeSet<usize>) {
@@ -358,13 +371,14 @@ pub(crate) struct AnswerEntry {
     priority_sensitive: bool,
 }
 
-/// Cap on memoised answers per snapshot. The component memo is naturally bounded
-/// (components × families), but answers grow with the number of distinct queries; past
-/// this limit the answer memo is cleared wholesale, which keeps long-lived sessions at a
-/// bounded footprint while staying O(1) per insertion.
+/// Default cap on memoised answers per snapshot. The component memo is naturally
+/// bounded (components × families), but answers grow with the number of distinct
+/// queries; past this limit the **oldest** entry is evicted (insertion order), which
+/// keeps long-lived sessions at a bounded footprint with O(1) amortised insertions while
+/// retaining the recently stored answers a serving workload is most likely to repeat.
 const ANSWER_MEMO_LIMIT: usize = 4096;
 
-/// Hit/miss counters of a snapshot's memo, for observability and tests.
+/// Hit/miss/eviction counters of a snapshot's memo, for observability and tests.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct MemoStats {
     /// Per-component preferred-repair enumerations served from the memo.
@@ -375,20 +389,37 @@ pub struct MemoStats {
     pub answer_hits: u64,
     /// Query executions actually computed.
     pub answer_misses: u64,
+    /// Answers evicted from the bounded memo (oldest first).
+    pub answer_evictions: u64,
 }
 
 /// `(global component id, family)` → that component's preferred repairs.
 type ComponentMemo = RwLock<HashMap<(usize, FamilyKind), Arc<Vec<TupleSet>>>>;
 
+/// The bounded answer memo: entries plus their insertion order. Invariant: `order`
+/// holds exactly the keys of `entries`, each once, oldest first.
+struct AnswerMemo {
+    entries: HashMap<AnswerKey, Arc<AnswerEntry>>,
+    order: VecDeque<AnswerKey>,
+    capacity: usize,
+}
+
+impl Default for AnswerMemo {
+    fn default() -> Self {
+        AnswerMemo { entries: HashMap::new(), order: VecDeque::new(), capacity: ANSWER_MEMO_LIMIT }
+    }
+}
+
 #[derive(Default)]
 struct Memo {
     components: ComponentMemo,
     /// Memoised query executions.
-    answers: RwLock<HashMap<AnswerKey, Arc<AnswerEntry>>>,
+    answers: RwLock<AnswerMemo>,
     component_hits: AtomicU64,
     component_misses: AtomicU64,
     answer_hits: AtomicU64,
     answer_misses: AtomicU64,
+    answer_evictions: AtomicU64,
 }
 
 struct SnapshotInner {
@@ -514,7 +545,7 @@ impl EngineSnapshot {
         total
     }
 
-    /// Memo hit/miss counters (fresh counters on derived snapshots).
+    /// Memo hit/miss/eviction counters (fresh counters on derived snapshots).
     pub fn memo_stats(&self) -> MemoStats {
         let memo = &self.inner.memo;
         MemoStats {
@@ -522,6 +553,27 @@ impl EngineSnapshot {
             component_misses: memo.component_misses.load(Ordering::Relaxed),
             answer_hits: memo.answer_hits.load(Ordering::Relaxed),
             answer_misses: memo.answer_misses.load(Ordering::Relaxed),
+            answer_evictions: memo.answer_evictions.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The maximum number of memoised answers this snapshot retains before evicting the
+    /// oldest entry.
+    pub fn answer_cache_capacity(&self) -> usize {
+        self.inner.memo.answers.read().expect("memo lock").capacity
+    }
+
+    /// Changes the bound of the answer memo (clamped to at least 1), evicting the oldest
+    /// entries immediately if the memo is over the new capacity. Affects every clone
+    /// sharing this snapshot's memo; derived snapshots inherit the capacity.
+    pub fn set_answer_cache_capacity(&self, capacity: usize) {
+        let mut answers = self.inner.memo.answers.write().expect("memo lock");
+        answers.capacity = capacity.max(1);
+        while answers.entries.len() > answers.capacity {
+            let Some(oldest) = answers.order.pop_front() else { break };
+            if answers.entries.remove(&oldest).is_some() {
+                self.inner.memo.answer_evictions.fetch_add(1, Ordering::Relaxed);
+            }
         }
     }
 
@@ -582,6 +634,35 @@ impl EngineSnapshot {
         preferred
     }
 
+    /// The per-component choice lists of the requested relations, in enumeration order
+    /// (relations as given, components in component-id order). Returns `None` if some
+    /// component has no preferred repair at all (impossible for families satisfying P1,
+    /// but representable): the cartesian product is empty.
+    pub(crate) fn selection_lists(
+        &self,
+        kind: FamilyKind,
+        relations: &[usize],
+    ) -> Option<Vec<(usize, Arc<Vec<TupleSet>>)>> {
+        let mut lists: Vec<(usize, Arc<Vec<TupleSet>>)> = Vec::new();
+        for &rel in relations {
+            let entry = &self.inner.relations[rel];
+            for comp in 0..entry.components.len() {
+                let choices = self.component_preferred(rel, comp, kind);
+                if choices.is_empty() {
+                    return None;
+                }
+                lists.push((rel, choices));
+            }
+        }
+        Some(lists)
+    }
+
+    /// A fresh base selection: one [`TupleSet`] per relation holding its conflict-free
+    /// tuples, index-aligned with [`EngineSnapshot::entries`].
+    pub(crate) fn base_selection(&self) -> Vec<TupleSet> {
+        self.inner.relations.iter().map(|entry| TupleSet::clone(&entry.base)).collect()
+    }
+
     /// Visits every preferred repair of the given family, assembled as the cartesian
     /// product of memoised per-component preferred repairs over *all* relations. Each
     /// visited slice holds one [`TupleSet`] per relation, index-aligned with
@@ -592,23 +673,77 @@ impl EngineSnapshot {
         relations: &[usize],
         callback: &mut dyn FnMut(&[TupleSet]) -> ControlFlow<()>,
     ) -> bool {
-        // Gather the per-component choice lists of the requested relations.
-        let mut lists: Vec<(usize, Arc<Vec<TupleSet>>)> = Vec::new();
-        for &rel in relations {
-            let entry = &self.inner.relations[rel];
-            for comp in 0..entry.components.len() {
-                let choices = self.component_preferred(rel, comp, kind);
-                if choices.is_empty() {
-                    // No preferred repair at all (impossible for families satisfying P1,
-                    // but representable): the product is empty.
-                    return true;
+        let Some(lists) = self.selection_lists(kind, relations) else {
+            return true;
+        };
+        let mut current = self.base_selection();
+        self.combine_selections(&lists, 0, &mut current, callback).is_continue()
+    }
+
+    /// Enumerates the preferred repairs of every *missing* `(component, family)` memo
+    /// entry in parallel, returning the number of components actually computed.
+    ///
+    /// Per-component enumeration is pure (it reads only the immutable graph and
+    /// priority), so fanning components out over workers is safe and the memo contents
+    /// are bit-identical to a sequential warm-up. Two serving uses:
+    ///
+    /// * right after [`EngineBuilder::build`], to pay the whole enumeration cost up
+    ///   front across cores before queries arrive;
+    /// * right after [`EngineSnapshot::with_priority`], to revalidate **only the
+    ///   components the priority change invalidated** — untouched components were
+    ///   carried over and are skipped here.
+    pub fn warm_components(&self, kind: FamilyKind, parallelism: Parallelism) -> usize {
+        let all: Vec<usize> = (0..self.inner.relations.len()).collect();
+        self.warm_relation_components(kind, &all, parallelism)
+    }
+
+    /// [`EngineSnapshot::warm_components`] restricted to the given relation indices
+    /// (used by query execution to warm only the components a query depends on).
+    pub(crate) fn warm_relation_components(
+        &self,
+        kind: FamilyKind,
+        relations: &[usize],
+        parallelism: Parallelism,
+    ) -> usize {
+        let mut missing: Vec<(usize, usize)> = Vec::new();
+        {
+            let memo = self.inner.memo.components.read().expect("memo lock");
+            for &rel in relations {
+                let entry = &self.inner.relations[rel];
+                for comp in 0..entry.components.len() {
+                    if !memo.contains_key(&(entry.comp_offset + comp, kind)) {
+                        missing.push((rel, comp));
+                    }
                 }
-                lists.push((rel, choices));
             }
         }
-        let mut current: Vec<TupleSet> =
-            self.inner.relations.iter().map(|entry| TupleSet::clone(&entry.base)).collect();
-        self.combine_selections(&lists, 0, &mut current, callback).is_continue()
+        // Largest components first: they dominate enumeration time, and scheduling them
+        // early keeps the workers balanced.
+        let sizes: Vec<usize> = missing
+            .iter()
+            .map(|&(rel, comp)| self.inner.relations[rel].components[comp].len())
+            .collect();
+        let order = pdqi_solve::mis::schedule_by_descending_size(&sizes);
+        let jobs: Vec<(usize, usize)> = order.into_iter().map(|i| missing[i]).collect();
+        crate::parallel::run_jobs(parallelism, jobs.len(), |i| {
+            let (rel, comp) = jobs[i];
+            self.component_preferred(rel, comp, kind);
+        });
+        jobs.len()
+    }
+
+    /// A snapshot sharing this snapshot's relations, graphs and priorities but starting
+    /// from an **empty** memo (entries, counters and all; the answer-cache capacity is
+    /// kept). Useful for benchmarking cold-start behaviour and for reclaiming memo
+    /// memory in long-lived servers.
+    pub fn with_cleared_memo(&self) -> EngineSnapshot {
+        let relations: Vec<RelationEntry> =
+            self.inner.relations.iter().map(RelationEntry::share).collect();
+        let memo = Memo::default();
+        memo.answers.write().expect("memo lock").capacity = self.answer_cache_capacity();
+        EngineSnapshot {
+            inner: Arc::new(SnapshotInner { relations, by_name: self.inner.by_name.clone(), memo }),
+        }
     }
 
     fn combine_selections(
@@ -707,28 +842,13 @@ impl EngineSnapshot {
         let (new_entry, affected_local) = entry.with_priority(priority);
         let affected: BTreeSet<usize> =
             affected_local.into_iter().map(|c| entry.comp_offset + c).collect();
-        let mut relations: Vec<RelationEntry> = Vec::with_capacity(self.inner.relations.len());
-        for (i, existing) in self.inner.relations.iter().enumerate() {
-            if i == rel {
-                relations.push(RelationEntry {
-                    ctx: Arc::clone(&new_entry.ctx),
-                    priority: new_entry.priority.clone(),
-                    components: Arc::clone(&new_entry.components),
-                    base: Arc::clone(&new_entry.base),
-                    comp_of: Arc::clone(&new_entry.comp_of),
-                    comp_offset: new_entry.comp_offset,
-                });
-            } else {
-                relations.push(RelationEntry {
-                    ctx: Arc::clone(&existing.ctx),
-                    priority: existing.priority.clone(),
-                    components: Arc::clone(&existing.components),
-                    base: Arc::clone(&existing.base),
-                    comp_of: Arc::clone(&existing.comp_of),
-                    comp_offset: existing.comp_offset,
-                });
-            }
-        }
+        let relations: Vec<RelationEntry> = self
+            .inner
+            .relations
+            .iter()
+            .enumerate()
+            .map(|(i, existing)| if i == rel { new_entry.share() } else { existing.share() })
+            .collect();
         // Carry over every memo entry the priority change cannot have touched: `Rep`
         // never depends on the priority, and other families only through the affected
         // components.
@@ -745,11 +865,15 @@ impl EngineSnapshot {
         {
             let old = self.inner.memo.answers.read().expect("memo lock");
             let mut new = memo.answers.write().expect("memo lock");
-            for (key, answer) in old.iter() {
+            new.capacity = old.capacity;
+            // Walk the old insertion order so surviving entries keep their age.
+            for key in old.order.iter() {
+                let answer = &old.entries[key];
                 let untouched = !answer.priority_sensitive
                     || answer.depends_on.iter().all(|comp| !affected.contains(comp));
                 if untouched {
-                    new.insert(*key, Arc::clone(answer));
+                    new.order.push_back(*key);
+                    new.entries.insert(*key, Arc::clone(answer));
                 }
             }
         }
@@ -782,6 +906,7 @@ impl EngineSnapshot {
             .answers
             .read()
             .expect("memo lock")
+            .entries
             .get(key)
             .filter(|entry| entry.formula == *formula)
             .cloned();
@@ -794,7 +919,9 @@ impl EngineSnapshot {
 
     /// Stores a memoised answer. `relations` are the indices of the relations the query
     /// mentions; the entry records their components so priority derivation can decide
-    /// whether to keep it. The memo is bounded by [`ANSWER_MEMO_LIMIT`].
+    /// whether to keep it. The memo is bounded ([`ANSWER_MEMO_LIMIT`] by default; see
+    /// [`EngineSnapshot::set_answer_cache_capacity`]): when full, the oldest entry is
+    /// evicted and counted in [`MemoStats::answer_evictions`].
     pub(crate) fn store_answer(
         &self,
         key: AnswerKey,
@@ -818,10 +945,16 @@ impl EngineSnapshot {
             priority_sensitive: key.family != FamilyKind::Rep,
         });
         let mut answers = self.inner.memo.answers.write().expect("memo lock");
-        if answers.len() >= ANSWER_MEMO_LIMIT && !answers.contains_key(&key) {
-            answers.clear();
+        if !answers.entries.contains_key(&key) {
+            while answers.entries.len() >= answers.capacity {
+                let Some(oldest) = answers.order.pop_front() else { break };
+                if answers.entries.remove(&oldest).is_some() {
+                    self.inner.memo.answer_evictions.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            answers.order.push_back(key);
         }
-        answers.insert(key, Arc::clone(&entry));
+        answers.entries.insert(key, Arc::clone(&entry));
         entry
     }
 }
@@ -957,6 +1090,101 @@ mod tests {
             .priority_pairs(&[(TupleId(0), TupleId(3))])
             .build();
         assert!(bad_pair.err().and_then(|e| e.as_priority_error().cloned()).is_some());
+    }
+
+    #[test]
+    fn answer_memo_evicts_oldest_entries_and_counts_them() {
+        use crate::{FamilyKind, PreparedQuery, Semantics};
+        let ctx = example1();
+        let snapshot = snapshot_of(&ctx);
+        snapshot.set_answer_cache_capacity(2);
+        assert_eq!(snapshot.answer_cache_capacity(), 2);
+        let queries: Vec<PreparedQuery> = [
+            "EXISTS d,s,r . Mgr(x,d,s,r)",
+            "EXISTS n,s,r . Mgr(n,x,s,r)",
+            "EXISTS n,d,r . Mgr(n,d,x,r)",
+        ]
+        .iter()
+        .map(|q| PreparedQuery::parse(q).unwrap())
+        .collect();
+        for query in &queries {
+            query.execute(&snapshot, FamilyKind::Rep, Semantics::Possible).unwrap();
+        }
+        // Capacity 2, three inserts: the oldest (first) entry was evicted.
+        let stats = snapshot.memo_stats();
+        assert_eq!(stats.answer_evictions, 1);
+        let hits_before = stats.answer_hits;
+        // The two youngest entries are still served from the memo...
+        queries[1].execute(&snapshot, FamilyKind::Rep, Semantics::Possible).unwrap();
+        queries[2].execute(&snapshot, FamilyKind::Rep, Semantics::Possible).unwrap();
+        assert_eq!(snapshot.memo_stats().answer_hits, hits_before + 2);
+        // ...while the evicted one is recomputed (a miss, and it evicts the next oldest,
+        // which is queries[1] — queries[2] survives).
+        queries[0].execute(&snapshot, FamilyKind::Rep, Semantics::Possible).unwrap();
+        let stats = snapshot.memo_stats();
+        assert_eq!(stats.answer_hits, hits_before + 2);
+        assert_eq!(stats.answer_evictions, 2);
+        queries[2].execute(&snapshot, FamilyKind::Rep, Semantics::Possible).unwrap();
+        assert_eq!(snapshot.memo_stats().answer_hits, hits_before + 3);
+    }
+
+    #[test]
+    fn shrinking_the_answer_cache_evicts_immediately() {
+        use crate::{FamilyKind, PreparedQuery, Semantics};
+        let ctx = example1();
+        let snapshot = snapshot_of(&ctx);
+        for query in ["EXISTS d,s,r . Mgr(x,d,s,r)", "EXISTS n,s,r . Mgr(n,x,s,r)"] {
+            PreparedQuery::parse(query)
+                .unwrap()
+                .execute(&snapshot, FamilyKind::Rep, Semantics::Possible)
+                .unwrap();
+        }
+        snapshot.set_answer_cache_capacity(1);
+        assert_eq!(snapshot.memo_stats().answer_evictions, 1);
+    }
+
+    #[test]
+    fn warm_components_fills_the_memo_once_for_any_parallelism() {
+        let ctx = example4(5);
+        for parallelism in [Parallelism::sequential(), Parallelism::threads(4)] {
+            let snapshot = snapshot_of(&ctx);
+            let warmed = snapshot.warm_components(FamilyKind::Local, parallelism);
+            assert_eq!(warmed, 5);
+            let stats = snapshot.memo_stats();
+            assert_eq!(stats.component_misses, 5);
+            // Everything is memoised now: re-warming computes nothing...
+            assert_eq!(snapshot.warm_components(FamilyKind::Local, parallelism), 0);
+            // ...and enumeration is all hits.
+            snapshot.preferred_repairs(FamilyKind::Local, usize::MAX);
+            assert_eq!(snapshot.memo_stats().component_misses, stats.component_misses);
+        }
+    }
+
+    #[test]
+    fn warm_after_derivation_recomputes_only_invalidated_components() {
+        let ctx = example4(3);
+        let base = snapshot_of(&ctx);
+        base.warm_components(FamilyKind::Global, Parallelism::threads(2));
+        let priority = ctx.priority_from_pairs(&[(TupleId(0), TupleId(1))]).unwrap();
+        let derived = base.with_priority(priority).unwrap();
+        // Only the component touched by the new priority edge is missing.
+        assert_eq!(derived.warm_components(FamilyKind::Global, Parallelism::threads(2)), 1);
+        assert_eq!(derived.memo_stats().component_misses, 1);
+    }
+
+    #[test]
+    fn cleared_memo_shares_structure_but_recomputes() {
+        let ctx = example4(4);
+        let snapshot = snapshot_of(&ctx);
+        snapshot.set_answer_cache_capacity(7);
+        snapshot.preferred_repairs(FamilyKind::Rep, usize::MAX);
+        assert!(snapshot.memo_stats().component_misses > 0);
+        let cold = snapshot.with_cleared_memo();
+        assert!(Arc::ptr_eq(snapshot.graph(), cold.graph()));
+        assert_eq!(cold.memo_stats(), MemoStats::default());
+        assert_eq!(cold.answer_cache_capacity(), 7);
+        assert_eq!(cold.count_repairs(), 16);
+        assert!(cold.memo_stats().component_misses > 0);
     }
 
     #[test]

@@ -32,5 +32,6 @@ pub use priorities::{random_priority, random_total_priority};
 pub use queries::{random_conjunctive_query, random_ground_query};
 pub use sat_instances::random_3cnf;
 pub use synthetic::{
-    chain_instance, duplicate_instance, example4_instance, random_conflict_instance,
+    chain_instance, duplicate_instance, example4_instance, multi_chain_instance,
+    random_conflict_instance,
 };

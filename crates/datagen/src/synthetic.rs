@@ -88,6 +88,33 @@ pub fn chain_instance(length: usize) -> (RelationInstance, FdSet) {
     (instance, fds)
 }
 
+/// Many independent conflict chains: `chains` disjoint copies of [`chain_instance`]'s
+/// path, each over its own key space, inside one relation. The conflict graph has
+/// exactly `chains` non-trivial connected components (each a path of `length` tuples),
+/// which makes this the canonical workload for component-parallel execution: per-chain
+/// preferred-repair enumeration is sizeable (a path of `n` vertices has
+/// Fibonacci-many maximal independent sets) and the components are embarrassingly
+/// independent.
+pub fn multi_chain_instance(chains: usize, length: usize) -> (RelationInstance, FdSet) {
+    let schema = abcd_schema();
+    let mut rows = Vec::with_capacity(chains * length);
+    // Per-chain offsets keep the A- and C-key spaces of different chains disjoint, so
+    // no conflict edge ever crosses chains.
+    let stride = (length + 2) as i64;
+    for chain in 0..chains {
+        for i in 0..length {
+            let a = chain as i64 * stride + (i / 2) as i64;
+            let b = (i % 2) as i64;
+            let c = 1_000_000 + chain as i64 * stride + i.div_ceil(2) as i64;
+            let d = ((i + 1) % 2) as i64;
+            rows.push(vec![Value::int(a), Value::int(b), Value::int(c), Value::int(d)]);
+        }
+    }
+    let instance = RelationInstance::from_rows(Arc::clone(&schema), rows).unwrap();
+    let fds = FdSet::parse(schema, &["A -> B", "C -> D"]).unwrap();
+    (instance, fds)
+}
+
 /// Random two-FD instances with a tunable conflict rate: `n` tuples over `R(A,B,C)` with
 /// FDs `A → B` and `C → B`. Key values are drawn from a pool whose size controls how many
 /// tuples collide; `conflict_rate ∈ [0, 1]` is the approximate fraction of tuples that
@@ -146,6 +173,22 @@ mod tests {
         // Per group: either the duplicates (1 repair) or the odd tuple (1 repair) ⇒ 2 each.
         let ctx = RepairContext::new(instance, fds);
         assert_eq!(ctx.count_repairs(), 8);
+    }
+
+    #[test]
+    fn multi_chain_instances_have_one_component_per_chain() {
+        let (instance, fds) = multi_chain_instance(8, 6);
+        assert_eq!(instance.len(), 48);
+        let ctx = RepairContext::new(instance, fds);
+        let components: Vec<_> =
+            ctx.graph().connected_components().into_iter().filter(|c| c.len() >= 2).collect();
+        assert_eq!(components.len(), 8);
+        assert!(components.iter().all(|c| c.len() == 6));
+        // Each chain is a path: same repair count per component as chain_instance.
+        let (single, single_fds) = chain_instance(6);
+        let single_ctx = RepairContext::new(single, single_fds);
+        let per_chain = single_ctx.count_repairs();
+        assert_eq!(ctx.count_repairs(), per_chain.pow(8));
     }
 
     #[test]

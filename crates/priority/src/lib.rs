@@ -9,8 +9,8 @@
 //! This crate provides:
 //!
 //! * [`Priority`] — construction, cycle-safe edge insertion, extension/totality tests,
-//! * [`winnow`] — the winnow operator `ω_≻` of Chomicki's preference queries \[5\],
-//!   used by the paper's Algorithm 1,
+//! * [`winnow`](mod@winnow) — the winnow operator `ω_≻` of Chomicki's preference
+//!   queries \[5\], used by the paper's Algorithm 1,
 //! * [`orientation`] — total extensions (enumeration and random sampling) and the
 //!   "can the priority be extended to a cyclic orientation?" test used by Theorem 2,
 //! * [`generators`] — priorities derived from ranking information: per-tuple scores,

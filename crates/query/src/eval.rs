@@ -11,7 +11,7 @@
 //! instance per repair: the active domain is still drawn from the full instance, so all
 //! repairs of one instance are evaluated over the same domain.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
 
 use pdqi_relation::{DatabaseInstance, RelationInstance, TupleSet, Value};
@@ -177,34 +177,52 @@ impl<'a> Evaluator<'a> {
     /// (drawn from the active domain) under which the formula holds, in lexicographic
     /// variable order. A closed formula yields one empty assignment if it is true and no
     /// assignment if it is false.
+    ///
+    /// A thin wrapper over [`Evaluator::answer_rows`]: distinct assignments are distinct
+    /// rows, and the enumeration visits them in ascending row order, so wrapping the
+    /// sorted row set back into maps reproduces the historical output exactly.
     pub fn answers(&self, formula: &Formula) -> Result<Vec<BTreeMap<String, Value>>, QueryError> {
+        let free = formula.free_vars();
+        let rows = self.answer_rows(formula)?;
+        Ok(rows.into_iter().map(|row| free.iter().cloned().zip(row).collect()).collect())
+    }
+
+    /// The answers to an open formula as plain **rows**: for every satisfying
+    /// assignment, the values of the free variables in lexicographic variable order
+    /// (the order [`Evaluator::answers`] reports), collected into a sorted,
+    /// de-duplicated set.
+    ///
+    /// This is the per-repair entry point of the repair-enumeration pipelines
+    /// (sequential and parallel alike): it skips the per-answer name→value maps of
+    /// [`Evaluator::answers`] and hands back a set ready for certain/possible folding.
+    pub fn answer_rows(&self, formula: &Formula) -> Result<BTreeSet<Vec<Value>>, QueryError> {
         self.check_atoms(formula)?;
         let free = formula.free_vars();
         let domain = self.active_domain(formula);
-        let mut results = Vec::new();
+        let mut rows = BTreeSet::new();
         let mut env: HashMap<String, Value> = HashMap::new();
-        self.answers_rec(formula, &free, 0, &domain, &mut env, &mut results)?;
-        Ok(results)
+        self.answer_rows_rec(formula, &free, 0, &domain, &mut env, &mut rows)?;
+        Ok(rows)
     }
 
-    fn answers_rec(
+    fn answer_rows_rec(
         &self,
         formula: &Formula,
         free: &[String],
         next: usize,
         domain: &[Value],
         env: &mut HashMap<String, Value>,
-        out: &mut Vec<BTreeMap<String, Value>>,
+        out: &mut BTreeSet<Vec<Value>>,
     ) -> Result<(), QueryError> {
         if next == free.len() {
             if self.eval(formula, env, domain)? {
-                out.push(free.iter().map(|v| (v.clone(), env[v].clone())).collect());
+                out.insert(free.iter().map(|v| env[v].clone()).collect());
             }
             return Ok(());
         }
         for value in domain {
             env.insert(free[next].clone(), value.clone());
-            self.answers_rec(formula, free, next + 1, domain, env, out)?;
+            self.answer_rows_rec(formula, free, next + 1, domain, env, out)?;
         }
         env.remove(&free[next]);
         Ok(())

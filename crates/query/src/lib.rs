@@ -9,7 +9,7 @@
 //!   `EXISTS d1,s1,r1,d2,s2,r2 . Mgr('Mary',d1,s1,r1) AND Mgr('John',d2,s2,r2) AND s1 < s2`,
 //! * [`eval`] — model-theoretic evaluation with active-domain quantifier semantics, both
 //!   for closed formulas (truth values) and open formulas (answer sets),
-//! * [`classify`] — the query-class analysis behind the columns of the paper's Fig. 5
+//! * [`classify`](mod@classify) — the query-class analysis behind the columns of the paper's Fig. 5
 //!   ({∀,∃}-free, conjunctive, ...),
 //! * [`normalize`] — negation normal form, prenex form and related transformations,
 //! * [`builder`] — a concise programmatic construction API.

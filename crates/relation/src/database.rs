@@ -2,7 +2,7 @@
 //!
 //! The paper restricts its exposition to a single relation "only for the sake of
 //! clarity"; the framework extends to databases with multiple relations along the lines
-//! of its reference [7]. [`DatabaseInstance`] provides that general container so the SQL
+//! of its reference \[7\]. [`DatabaseInstance`] provides that general container so the SQL
 //! front end and the examples can work with several relations at once.
 
 use std::collections::BTreeMap;

@@ -24,7 +24,10 @@ pub mod reductions;
 pub mod sat;
 pub mod search;
 
-pub use mis::{maximal_independent_sets_within, GraphMisEnumerator, HypergraphMisEnumerator};
+pub use mis::{
+    maximal_independent_sets_within, schedule_by_descending_size, GraphMisEnumerator,
+    HypergraphMisEnumerator,
+};
 pub use reductions::{cqa_instance_from_3sat, SatCqaInstance};
 pub use sat::{Clause, CnfFormula, Lit, SatResult};
 pub use search::exists_dominating_repair;

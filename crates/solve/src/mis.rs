@@ -147,6 +147,30 @@ impl<'g> GraphMisEnumerator<'g> {
     }
 }
 
+/// A schedule for fanning independent per-component enumeration jobs out over workers:
+/// the indices of `sizes` (per-component vertex counts) sorted descending (ties by
+/// ascending index, so the schedule is deterministic).
+///
+/// MIS enumeration cost grows exponentially with component size, so the largest
+/// components dominate the wall-clock of any parallel enumeration; pulling them first
+/// lets the small components fill the tail and keeps workers balanced.
+pub fn schedule_by_descending_size(sizes: &[usize]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..sizes.len()).collect();
+    order.sort_by_key(|&i| (std::cmp::Reverse(sizes[i]), i));
+    order
+}
+
+#[cfg(test)]
+mod schedule_tests {
+    use super::schedule_by_descending_size;
+
+    #[test]
+    fn largest_first_with_deterministic_ties() {
+        assert_eq!(schedule_by_descending_size(&[2, 9, 4, 9, 1]), vec![1, 3, 2, 0, 4]);
+        assert!(schedule_by_descending_size(&[]).is_empty());
+    }
+}
+
 /// All maximal independent sets of the subgraph induced by `vertices`, which must be
 /// closed under conflict neighbourhoods (a connected component, or a union of
 /// components). This is the building block of component-memoised repair pipelines: the

@@ -16,7 +16,7 @@ use std::fmt;
 use std::sync::Arc;
 
 use pdqi_constraints::FdSet;
-use pdqi_core::{EngineBuilder, EngineSnapshot, PreparedQuery, Semantics};
+use pdqi_core::{EngineBuilder, EngineSnapshot, Parallelism, PreparedQuery, Semantics};
 use pdqi_query::builder::{and_all, atom, exists, var};
 use pdqi_query::{Evaluator, Formula, Term};
 use pdqi_relation::{RelationInstance, RelationSchema, Value, ValueType};
@@ -121,12 +121,26 @@ pub struct Session {
     snapshots: HashMap<String, EngineSnapshot>,
     /// Per-statement-text prepared `SELECT`s.
     prepared: HashMap<String, PreparedSelect>,
+    /// Worker threads used by repair-quantified `SELECT`s (sequential by default).
+    parallelism: Parallelism,
 }
 
 impl Session {
     /// Creates an empty session.
     pub fn new() -> Self {
         Session::default()
+    }
+
+    /// Sets the degree of parallelism used by `SELECT … WITH REPAIRS` statements.
+    /// Parallel execution is bit-identical to sequential execution; this only trades
+    /// threads for latency on large repair spaces.
+    pub fn set_parallelism(&mut self, parallelism: Parallelism) {
+        self.parallelism = parallelism;
+    }
+
+    /// The degree of parallelism repair-quantified `SELECT`s run with.
+    pub fn parallelism(&self) -> Parallelism {
+        self.parallelism
     }
 
     /// Parses and executes one statement.
@@ -412,7 +426,7 @@ impl Session {
                 // free-variable order of the formula.
                 let snapshot = self.snapshot(&select.table)?;
                 let answers = query
-                    .execute(&snapshot, kind, Semantics::Certain)
+                    .execute_with(&snapshot, kind, Semantics::Certain, self.parallelism)
                     .map_err(|e| SqlError::Query(e.to_string()))?;
                 let free = query.free_vars();
                 answers
@@ -547,6 +561,26 @@ mod tests {
         session.execute("PREFER ('Mary','R&D',40,3) OVER ('Mary','IT',20,1) IN Mgr").unwrap();
         let fourth = session.snapshot("Mgr").unwrap();
         assert_eq!(fourth.priority().edge_count(), 1);
+    }
+
+    #[test]
+    fn parallel_sessions_answer_exactly_like_sequential_ones() {
+        let statements = [
+            "SELECT Name FROM Mgr WITH REPAIRS ALL",
+            "SELECT Dept FROM Mgr WITH REPAIRS LOCAL",
+            "SELECT * FROM Mgr WHERE Salary >= 10 WITH REPAIRS GLOBAL",
+        ];
+        let mut sequential = session_with_example1();
+        let mut parallel = session_with_example1();
+        parallel.set_parallelism(Parallelism::threads(4));
+        assert_eq!(parallel.parallelism().thread_count(), 4);
+        for statement in statements {
+            assert_eq!(
+                rows(sequential.execute(statement).unwrap()),
+                rows(parallel.execute(statement).unwrap()),
+                "{statement}"
+            );
+        }
     }
 
     #[test]

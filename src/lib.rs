@@ -109,8 +109,8 @@ pub use pdqi_constraints::{ConflictGraph, FdSet, FunctionalDependency};
 #[allow(deprecated)]
 pub use pdqi_core::PdqiEngine;
 pub use pdqi_core::{
-    AnswerSet, BuildError, CqaOutcome, EngineBuilder, EngineSnapshot, FamilyKind, MemoStats,
-    PreparedQuery, RepairContext, Semantics,
+    AnswerSet, BatchExecutor, BatchRequest, BatchResponse, BuildError, CqaOutcome, EngineBuilder,
+    EngineSnapshot, FamilyKind, MemoStats, Parallelism, PreparedQuery, RepairContext, Semantics,
 };
 pub use pdqi_priority::Priority;
 pub use pdqi_query::{parse_formula, Evaluator, Formula};

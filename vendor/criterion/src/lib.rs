@@ -11,10 +11,19 @@
 //! mean, minimum and maximum per-iteration wall-clock times are printed in a
 //! criterion-like format. Passing `--test` (as `cargo test` does for bench targets) or
 //! setting `CRITERION_SMOKE=1` runs every benchmark exactly once, so benches double as
-//! smoke tests.
+//! smoke tests (`CRITERION_SMOKE=0` or an empty value turns smoke mode back off).
+//!
+//! Two environment knobs support the CI bench-regression harness:
+//!
+//! * `CRITERION_JSON=<path>` — append one JSON line `{"id":"…","median_ns":…}` per
+//!   benchmark (median of the per-batch per-iteration times; in smoke mode, the one
+//!   measured run). `bench_diff collect` merges these lines into a JSON map.
+//! * `CRITERION_MEASURE_MS` / `CRITERION_WARMUP_MS` — override every benchmark's
+//!   measurement/warm-up budget, so CI can run the full suite briefly.
 
 #![forbid(unsafe_code)]
 
+use std::io::Write as _;
 use std::time::{Duration, Instant};
 
 /// An opaque value barrier preventing the optimiser from deleting benchmarked work.
@@ -59,20 +68,37 @@ pub struct Bencher {
     warm_up_time: Duration,
     /// Mean/min/max per-iteration nanoseconds of the last `iter` call.
     last: Option<(f64, f64, f64)>,
+    /// Per-batch per-iteration nanoseconds of the last `iter` call (median source).
+    samples: Vec<f64>,
 }
 
 impl Bencher {
     /// Times `routine`, storing per-iteration statistics for the caller to report.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        self.samples.clear();
         if self.smoke {
+            let start = Instant::now();
             black_box(routine());
+            let ns = start.elapsed().as_nanos() as f64;
+            self.samples.push(ns);
             self.last = Some((0.0, 0.0, 0.0));
             return;
         }
         // Warm-up: run until the warm-up budget is spent and estimate the iteration cost.
         let warm_start = Instant::now();
-        let mut warm_iters = 0u64;
-        while warm_start.elapsed() < self.warm_up_time || warm_iters == 0 {
+        black_box(routine());
+        let first = warm_start.elapsed();
+        // A single iteration that already exceeds the measurement budget is its own
+        // measurement: long-running benches cost exactly one iteration instead of one
+        // per warm-up plus one per batch.
+        if first >= self.measurement_time {
+            let ns = first.as_nanos() as f64;
+            self.samples.push(ns);
+            self.last = Some((ns, ns, ns));
+            return;
+        }
+        let mut warm_iters = 1u64;
+        while warm_start.elapsed() < self.warm_up_time {
             black_box(routine());
             warm_iters += 1;
             if warm_iters >= 1_000_000 {
@@ -97,12 +123,43 @@ impl Bencher {
             total_iters += batch;
             min_ns = min_ns.min(per_iter);
             max_ns = max_ns.max(per_iter);
+            self.samples.push(per_iter);
             if Instant::now() >= deadline {
                 break;
             }
         }
         self.last = Some((total_ns / total_iters as f64, min_ns, max_ns));
     }
+
+    /// The median per-iteration nanoseconds of the last `iter` call (in smoke mode, the
+    /// wall-clock of the single run).
+    fn median_ns(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+        let mid = sorted.len() / 2;
+        Some(if sorted.len().is_multiple_of(2) {
+            (sorted[mid - 1] + sorted[mid]) / 2.0
+        } else {
+            sorted[mid]
+        })
+    }
+}
+
+/// Escapes a benchmark id for inclusion in a JSON string literal.
+fn json_escape(id: &str) -> String {
+    let mut out = String::with_capacity(id.len());
+    for c in id.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 fn render_ns(ns: f64) -> String {
@@ -122,15 +179,21 @@ struct Config {
     smoke: bool,
     measurement_time: Duration,
     warm_up_time: Duration,
+    /// Hard budget overrides from `CRITERION_MEASURE_MS` / `CRITERION_WARMUP_MS`.
+    measure_override: Option<Duration>,
+    warmup_override: Option<Duration>,
+    /// Append-path for per-bench JSON lines (`CRITERION_JSON`).
+    json_path: Option<std::path::PathBuf>,
 }
 
 impl Config {
     fn run<F: FnMut(&mut Bencher)>(&self, id: &str, mut f: F) {
         let mut bencher = Bencher {
             smoke: self.smoke,
-            measurement_time: self.measurement_time,
-            warm_up_time: self.warm_up_time,
+            measurement_time: self.measure_override.unwrap_or(self.measurement_time),
+            warm_up_time: self.warmup_override.unwrap_or(self.warm_up_time),
             last: None,
+            samples: Vec::new(),
         };
         f(&mut bencher);
         match bencher.last {
@@ -143,6 +206,17 @@ impl Config {
             ),
             None => println!("{id:<40} ... no measurement"),
         }
+        if let (Some(path), Some(median)) = (&self.json_path, bencher.median_ns()) {
+            let line = format!("{{\"id\":\"{}\",\"median_ns\":{median:.1}}}\n", json_escape(id));
+            let appended = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+                .and_then(|mut file| file.write_all(line.as_bytes()));
+            if let Err(e) = appended {
+                eprintln!("warning: cannot append to {}: {e}", path.display());
+            }
+        }
     }
 }
 
@@ -151,15 +225,28 @@ pub struct Criterion {
     config: Config,
 }
 
+/// Reads a millisecond duration from the environment (`None` when unset or invalid).
+fn env_millis(name: &str) -> Option<Duration> {
+    std::env::var(name).ok()?.trim().parse::<u64>().ok().map(Duration::from_millis)
+}
+
 impl Default for Criterion {
     fn default() -> Self {
-        let smoke = std::env::args().any(|a| a == "--test")
-            || std::env::var_os("CRITERION_SMOKE").is_some();
+        // Smoke mode: `--test` (as `cargo test` passes to bench targets), or
+        // CRITERION_SMOKE set to anything but "0"/"" (so CI can override a globally
+        // exported CRITERION_SMOKE=1 per step).
+        let smoke_env = std::env::var("CRITERION_SMOKE")
+            .map(|v| !v.trim().is_empty() && v.trim() != "0")
+            .unwrap_or(false);
+        let smoke = std::env::args().any(|a| a == "--test") || smoke_env;
         Criterion {
             config: Config {
                 smoke,
                 measurement_time: Duration::from_secs(1),
                 warm_up_time: Duration::from_millis(300),
+                measure_override: env_millis("CRITERION_MEASURE_MS"),
+                warmup_override: env_millis("CRITERION_WARMUP_MS"),
+                json_path: std::env::var_os("CRITERION_JSON").map(std::path::PathBuf::from),
             },
         }
     }
@@ -290,6 +377,41 @@ mod tests {
         group.bench_function("sum", |b| b.iter(|| total = total.wrapping_add(1)));
         group.finish();
         assert!(total > 0);
+    }
+
+    #[test]
+    fn medians_come_from_the_recorded_samples() {
+        let mut bencher = Bencher {
+            smoke: false,
+            measurement_time: Duration::from_millis(1),
+            warm_up_time: Duration::from_millis(1),
+            last: None,
+            samples: vec![30.0, 10.0, 20.0],
+        };
+        assert_eq!(bencher.median_ns(), Some(20.0));
+        bencher.samples = vec![10.0, 20.0, 30.0, 40.0];
+        assert_eq!(bencher.median_ns(), Some(25.0));
+        bencher.samples.clear();
+        assert_eq!(bencher.median_ns(), None);
+    }
+
+    #[test]
+    fn json_ids_are_escaped() {
+        assert_eq!(json_escape("plain/bench"), "plain/bench");
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("tab\there"), "tab\\u0009here");
+    }
+
+    #[test]
+    fn smoke_mode_still_records_one_sample() {
+        let mut criterion = Criterion::default();
+        criterion.config.smoke = true;
+        let mut ran = false;
+        criterion.config.clone().run("probe", |b| {
+            b.iter(|| ran = true);
+            assert_eq!(b.samples.len(), 1);
+        });
+        assert!(ran);
     }
 
     #[test]
