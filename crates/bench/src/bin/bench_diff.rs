@@ -12,10 +12,18 @@
 //! cargo run -p pdqi-bench --bin bench_diff -- compare BENCH_baseline.json BENCH_ci.json
 //! ```
 //!
-//! `compare` exits non-zero if any benchmark's median grew by more than the threshold
-//! (25% by default, `--threshold 0.4` for 40%). Benchmarks present on only one side are
-//! reported but never fail the comparison, so adding or retiring benches does not
-//! require touching the baseline in the same commit.
+//! `compare` exits non-zero if any benchmark's median grew by more than its threshold.
+//! Thresholds are **per-bench**, tiered by the baseline's time scale:
+//!
+//! * `< 10µs` — 20%: micro-benches are memo hits and cheap lookups whose medians are
+//!   extremely stable, so a genuine regression shows up as a large relative jump;
+//! * `10µs – 1ms` — 25%: the historical default;
+//! * `≥ 1ms` — 50%: long enumerations run few iterations inside the short CI budgets,
+//!   so their medians carry the most sampling noise.
+//!
+//! `--threshold 0.4` overrides every tier with a flat 40%. Benchmarks present on only
+//! one side are reported but never fail the comparison, so adding or retiring benches
+//! does not require touching the baseline in the same commit.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -149,7 +157,23 @@ fn collect(raw_path: &str, out_path: &str) -> Result<(), String> {
     Ok(())
 }
 
-fn compare(baseline_path: &str, current_path: &str, threshold: f64) -> Result<bool, String> {
+/// The regression threshold for one benchmark, tiered by the baseline's time scale (see
+/// the module docs): tight for µs-scale memo hits, loose for ms-scale enumerations.
+fn tiered_threshold(base_ns: f64) -> f64 {
+    if base_ns < 10_000.0 {
+        0.20
+    } else if base_ns < 1_000_000.0 {
+        0.25
+    } else {
+        0.50
+    }
+}
+
+fn compare(
+    baseline_path: &str,
+    current_path: &str,
+    flat_threshold: Option<f64>,
+) -> Result<bool, String> {
     let baseline = parse_medians(
         &std::fs::read_to_string(baseline_path)
             .map_err(|e| format!("cannot read {baseline_path}: {e}"))?,
@@ -162,12 +186,16 @@ fn compare(baseline_path: &str, current_path: &str, threshold: f64) -> Result<bo
         return Err(format!("{baseline_path} holds no benchmark medians"));
     }
     let mut regressions = 0usize;
-    println!("{:<56} {:>12} {:>12} {:>8}", "benchmark", "baseline", "current", "delta");
+    println!(
+        "{:<56} {:>12} {:>12} {:>8} {:>6}",
+        "benchmark", "baseline", "current", "delta", "limit"
+    );
     for (id, &base_ns) in &baseline {
         let Some(&cur_ns) = current.get(id) else {
-            println!("{id:<56} {base_ns:>12.1} {:>12} {:>8}", "absent", "-");
+            println!("{id:<56} {base_ns:>12.1} {:>12} {:>8} {:>6}", "absent", "-", "-");
             continue;
         };
+        let threshold = flat_threshold.unwrap_or_else(|| tiered_threshold(base_ns));
         let delta = if base_ns > 0.0 { cur_ns / base_ns - 1.0 } else { 0.0 };
         let flag = if delta > threshold {
             regressions += 1;
@@ -175,25 +203,28 @@ fn compare(baseline_path: &str, current_path: &str, threshold: f64) -> Result<bo
         } else {
             ""
         };
-        println!("{id:<56} {base_ns:>12.1} {cur_ns:>12.1} {:>+7.1}%{flag}", delta * 100.0);
+        println!(
+            "{id:<56} {base_ns:>12.1} {cur_ns:>12.1} {:>+7.1}% {:>5.0}%{flag}",
+            delta * 100.0,
+            threshold * 100.0
+        );
     }
     for id in current.keys().filter(|id| !baseline.contains_key(*id)) {
-        println!("{id:<56} {:>12} {:>12.1} {:>8}", "new", current[id], "-");
+        println!("{id:<56} {:>12} {:>12.1} {:>8} {:>6}", "new", current[id], "-", "-");
     }
     if regressions > 0 {
         println!(
-            "\n{regressions} benchmark(s) regressed more than {:.0}% against {baseline_path}",
-            threshold * 100.0
+            "\n{regressions} benchmark(s) regressed past their threshold against {baseline_path}"
         );
     } else {
-        println!("\nno benchmark regressed more than {:.0}%", threshold * 100.0);
+        println!("\nno benchmark regressed past its threshold");
     }
     Ok(regressions == 0)
 }
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  bench_diff collect <raw.jsonl> <out.json>\n  bench_diff compare <baseline.json> <current.json> [--threshold <fraction>]"
+        "usage:\n  bench_diff collect <raw.jsonl> <out.json>\n  bench_diff compare <baseline.json> <current.json> [--threshold <fraction>]\n\nwithout --threshold, per-bench tiered thresholds apply: 20% below 10µs,\n25% up to 1ms, 50% beyond (tight for memo hits, loose for enumerations)"
     );
     ExitCode::from(2)
 }
@@ -214,11 +245,12 @@ fn main() -> ExitCode {
                     return usage();
                 }
                 match args[4].parse::<f64>() {
-                    Ok(t) if t > 0.0 => t,
+                    Ok(t) if t > 0.0 => Some(t),
                     _ => return usage(),
                 }
             } else {
-                0.25
+                // Per-bench tiered thresholds (see `tiered_threshold`).
+                None
             };
             match compare(&args[1], &args[2], threshold) {
                 Ok(true) => ExitCode::SUCCESS,
@@ -255,6 +287,19 @@ mod tests {
         let medians = parse_medians(RAW);
         let rendered = render_map(&medians);
         assert_eq!(parse_medians(&rendered), medians);
+    }
+
+    #[test]
+    fn thresholds_tier_by_time_scale() {
+        // Tight for µs-scale memo hits...
+        assert_eq!(tiered_threshold(400.0), 0.20);
+        assert_eq!(tiered_threshold(9_999.0), 0.20);
+        // ...the historical default in the middle...
+        assert_eq!(tiered_threshold(10_000.0), 0.25);
+        assert_eq!(tiered_threshold(999_999.0), 0.25);
+        // ...loose for ms-scale enumerations.
+        assert_eq!(tiered_threshold(1_000_000.0), 0.50);
+        assert_eq!(tiered_threshold(2.5e9), 0.50);
     }
 
     #[test]

@@ -19,7 +19,7 @@
 use std::fmt::Write as _;
 
 use pdqi_aggregate::{range_by_enumeration, AggregateFunction, AggregateQuery};
-use pdqi_core::{properties, EngineSnapshot, FamilyKind, Parallelism, PreparedQuery};
+use pdqi_core::{properties, EngineSnapshot, FamilyKind, Parallelism, PreparedQuery, MAX_THREADS};
 use pdqi_relation::{RelationInstance, TupleSet};
 use pdqi_sql::{Session, SqlError, StatementOutcome};
 use rand::rngs::StdRng;
@@ -134,6 +134,7 @@ impl Interpreter {
             "tables" => Ok(self.tables()),
             "schema" => self.schema(&args),
             "conflicts" => self.conflicts(&args),
+            "shards" => self.shards(&args),
             "count" => self.count(&args),
             "repairs" => self.repairs(&args),
             "preferred" => self.preferred(&args),
@@ -164,8 +165,17 @@ impl Interpreter {
                     ));
                 }
                 self.set_threads(threads);
-                // Report the effective count: pathological requests are clamped.
-                Ok(format!("using {} worker thread(s)", self.parallelism().thread_count()))
+                // Report the effective count. The clamp is `pdqi_core::MAX_THREADS` —
+                // the engine's single source of truth — so the message can never drift
+                // from what the pool actually does.
+                let effective = self.parallelism().thread_count();
+                if effective < threads {
+                    Ok(format!(
+                        "using {effective} worker thread(s) (clamped from {threads}; max {MAX_THREADS})"
+                    ))
+                } else {
+                    Ok(format!("using {effective} worker thread(s)"))
+                }
             }
         }
     }
@@ -229,6 +239,32 @@ impl Interpreter {
                 "  {} <-> {}{orientation}",
                 instance.tuple_unchecked(a),
                 instance.tuple_unchecked(b)
+            );
+        }
+        Ok(out)
+    }
+
+    fn shards(&mut self, args: &[&str]) -> Result<String, CliError> {
+        let (snapshot, table) = self.snapshot_for(args, ".shards <table>")?;
+        let shards = snapshot.shards_of(&table).unwrap_or_default();
+        if shards.is_empty() {
+            return Ok(format!("`{table}` is conflict-free (no shards)"));
+        }
+        let mut out = format!(
+            "{} shard(s) over {} conflict component(s)\n",
+            shards.len(),
+            snapshot.component_count()
+        );
+        for (index, shard) in shards.iter().enumerate() {
+            let range = shard.component_range();
+            let _ = writeln!(
+                out,
+                "  shard #{}: components {}..{} ({} component(s), {} tuple(s))",
+                index + 1,
+                range.start,
+                range.end,
+                shard.component_count(),
+                shard.tuple_count()
             );
         }
         Ok(out)
@@ -368,6 +404,7 @@ meta commands:
   .tables                                   list tables
   .schema <table>                           schema and functional dependencies
   .conflicts <table>                        list conflicting tuple pairs
+  .shards <table>                           shard layout (component groups and sizes)
   .count <table>                            number of repairs
   .repairs <table> [limit]                  list repairs
   .preferred <table> <family> [limit]       list preferred repairs (ALL/L/S/G/C)
@@ -545,6 +582,42 @@ mod tests {
         assert!(parallel.run_line(".threads auto").unwrap().contains("auto"));
         assert!(parallel.run_line(".threads nope").is_err());
         assert!(parallel.run_line(".threads 0").is_err());
+    }
+
+    #[test]
+    fn pathological_thread_counts_report_the_engine_clamp() {
+        let mut interpreter = loaded();
+        // The clamp and the message share one source of truth: pdqi_core::MAX_THREADS.
+        let clamped = interpreter.run_line(".threads 100000").unwrap();
+        assert_eq!(
+            clamped,
+            format!(
+                "using {max} worker thread(s) (clamped from 100000; max {max})",
+                max = pdqi_core::MAX_THREADS
+            )
+        );
+        assert_eq!(
+            interpreter.run_line(".threads").unwrap(),
+            format!("{} worker thread(s)", pdqi_core::MAX_THREADS)
+        );
+        // In-range requests report without the clamp note.
+        assert_eq!(interpreter.run_line(".threads 3").unwrap(), "using 3 worker thread(s)");
+    }
+
+    #[test]
+    fn shards_are_rendered_per_table() {
+        let mut interpreter = loaded();
+        let shards = interpreter.run_line(".shards Mgr").unwrap();
+        // Example 1's four tuples form one conflict component, hence one shard.
+        assert!(shards.starts_with("1 shard(s) over 1 conflict component(s)"), "{shards}");
+        assert!(shards.contains("4 tuple(s)"), "{shards}");
+        interpreter
+            .run_line("CREATE TABLE Clean (A INT, B INT)")
+            .and_then(|_| interpreter.run_line("INSERT INTO Clean VALUES (1, 2)"))
+            .unwrap();
+        let clean = interpreter.run_line(".shards Clean").unwrap();
+        assert!(clean.contains("conflict-free"), "{clean}");
+        assert!(interpreter.run_line(".shards").is_err());
     }
 
     #[test]

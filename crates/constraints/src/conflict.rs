@@ -26,33 +26,64 @@ pub struct ConflictGraph {
     edges: Vec<(TupleId, TupleId)>,
 }
 
+/// The conflict edges a single functional dependency induces on `instance`, sorted with
+/// the smaller id first.
+///
+/// This is the per-FD *shard* of [`ConflictGraph::build`]: the edge lists of distinct
+/// FDs are independent (each only compares tuples agreeing on its own left-hand side),
+/// so callers may compute them concurrently and merge them with
+/// [`ConflictGraph::from_edge_lists`] — the merge is a set union, so the result is
+/// identical to building the graph from all FDs at once.
+pub fn fd_conflict_edges(
+    instance: &RelationInstance,
+    fd: &crate::fd::FunctionalDependency,
+) -> Vec<(TupleId, TupleId)> {
+    let mut edges = Vec::new();
+    if fd.is_trivial() {
+        return edges;
+    }
+    // Group tuples by their projection on the FD's left-hand side; only tuples in
+    // the same group can conflict with this FD.
+    let mut groups: HashMap<Vec<Value>, Vec<TupleId>> = HashMap::new();
+    for (id, tuple) in instance.iter() {
+        groups.entry(tuple.project(fd.lhs())).or_default().push(id);
+    }
+    for group in groups.values() {
+        for (i, &a) in group.iter().enumerate() {
+            let ta = instance.tuple_unchecked(a);
+            for &b in &group[i + 1..] {
+                let tb = instance.tuple_unchecked(b);
+                if ta.differs_on(tb, fd.rhs()) {
+                    edges.push((a.min(b), a.max(b)));
+                }
+            }
+        }
+    }
+    // HashMap group order is unspecified; sort so the per-FD shard is deterministic.
+    edges.sort_unstable();
+    edges
+}
+
 impl ConflictGraph {
     /// Builds the conflict graph of `instance` w.r.t. `fds`.
     pub fn build(instance: &RelationInstance, fds: &FdSet) -> Self {
-        let n = instance.len();
-        let mut neighbors = vec![TupleSet::with_capacity(n); n];
+        let lists: Vec<Vec<(TupleId, TupleId)>> =
+            fds.fds().iter().map(|fd| fd_conflict_edges(instance, fd)).collect();
+        ConflictGraph::from_edge_lists(instance.len(), &lists)
+    }
+
+    /// Merges per-FD edge shards (see [`fd_conflict_edges`]) into one conflict graph.
+    /// The union is order-insensitive, so the result does not depend on how the shards
+    /// were produced or listed.
+    pub fn from_edge_lists(vertex_count: usize, lists: &[Vec<(TupleId, TupleId)>]) -> Self {
+        let mut neighbors = vec![TupleSet::with_capacity(vertex_count); vertex_count];
         let mut edges = Vec::new();
-        for fd in fds.fds() {
-            if fd.is_trivial() {
-                continue;
-            }
-            // Group tuples by their projection on the FD's left-hand side; only tuples in
-            // the same group can conflict with this FD.
-            let mut groups: HashMap<Vec<Value>, Vec<TupleId>> = HashMap::new();
-            for (id, tuple) in instance.iter() {
-                groups.entry(tuple.project(fd.lhs())).or_default().push(id);
-            }
-            for group in groups.values() {
-                for (i, &a) in group.iter().enumerate() {
-                    let ta = instance.tuple_unchecked(a);
-                    for &b in &group[i + 1..] {
-                        let tb = instance.tuple_unchecked(b);
-                        if ta.differs_on(tb, fd.rhs()) && !neighbors[a.index()].contains(b) {
-                            neighbors[a.index()].insert(b);
-                            neighbors[b.index()].insert(a);
-                            edges.push((a.min(b), a.max(b)));
-                        }
-                    }
+        for list in lists {
+            for &(a, b) in list {
+                if !neighbors[a.index()].contains(b) {
+                    neighbors[a.index()].insert(b);
+                    neighbors[b.index()].insert(a);
+                    edges.push((a.min(b), a.max(b)));
                 }
             }
         }

@@ -100,7 +100,7 @@ pub use hyper::HyperRepairContext;
 pub use optimality::{
     is_globally_optimal, is_locally_optimal, is_semi_globally_optimal, preferred_over,
 };
-pub use parallel::{BatchExecutor, BatchRequest, BatchResponse, Parallelism};
+pub use parallel::{BatchExecutor, BatchRequest, BatchResponse, Parallelism, MAX_THREADS};
 pub use prepared::{AnswerSet, PreparedQuery, Semantics};
 pub use repair::RepairContext;
-pub use snapshot::{BuildError, EngineBuilder, EngineSnapshot, MemoStats};
+pub use snapshot::{BuildError, EngineBuilder, EngineSnapshot, MemoStats, Shard};

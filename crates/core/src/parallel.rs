@@ -19,7 +19,12 @@
 //!   order-insensitive, and closed outcomes are replayed in enumeration order so even
 //!   the `examined` counter matches the sequential path;
 //! * [`BatchExecutor`] answers many prepared queries against one shared snapshot
-//!   concurrently (the multi-user serving shape), one query per worker at a time.
+//!   concurrently (the multi-user serving shape), one query per worker at a time;
+//! * [`EngineBuilder::build`](crate::EngineBuilder::build) fans conflict-graph shard
+//!   scans and relation assembly out per `(relation, FD)` and per relation, and
+//!   [`EngineSnapshot::with_priority_revalidated`](crate::EngineSnapshot::with_priority_revalidated)
+//!   re-enumerates the invalidated memo entries across workers (see the shard-layer
+//!   docs in [`crate::snapshot`]).
 //!
 //! The pool is dependency-free: plain [`std::thread::scope`] workers pulling job indices
 //! from an atomic counter. Nothing here allocates threads when
@@ -48,6 +53,10 @@ pub struct Parallelism {
 /// hardware thread count only add scheduling overhead — and an unbounded user-supplied
 /// degree (`--threads 100000`) would make the scoped spawn abort the process when the
 /// OS refuses a thread.
+///
+/// This constant is the **single source of truth** for the clamp: front ends (the CLI's
+/// `--threads` / `.threads`) must report it rather than hard-coding their own limit, so
+/// the message a user sees can never drift from what the pool actually does.
 pub const MAX_THREADS: usize = 256;
 
 impl Default for Parallelism {

@@ -162,10 +162,16 @@ impl PreparedQuery {
     ///
     /// With a parallel configuration, the relevant components are warmed across workers
     /// and the cartesian product of per-component preferred repairs is split into
-    /// contiguous chunks evaluated concurrently. The answer set is **bit-identical** to
-    /// the sequential execution — certain/possible folding is a set
+    /// contiguous chunks evaluated concurrently. Chunking is **adaptive**: the chunk
+    /// count is derived from the memoised per-component preferred-repair counts and the
+    /// estimated per-selection evaluation cost (see [`adaptive_chunk_count`]), so small
+    /// products pay few cursor setups while heavy or skewed products hand the pool
+    /// enough chunks for the shared atomic work index to steal from. The answer set is
+    /// **bit-identical** to the sequential execution — certain/possible folding is a set
     /// intersection/union, so merging per-chunk folds in chunk order reproduces the
     /// sequential fold exactly — and the memoised entry is indistinguishable too.
+    /// Products that saturate the `u128` counter fall back to the sequential path
+    /// rather than trusting truncated chunk boundaries.
     pub fn execute_with(
         &self,
         snapshot: &EngineSnapshot,
@@ -201,9 +207,11 @@ impl PreparedQuery {
             {
                 return Ok(rows);
             }
-            // A worker hit an evaluation error. Rerun sequentially so error reporting
-            // (and its interaction with early exits) matches the sequential path
-            // exactly; the redundant work only happens on the failure path.
+            // Fall back to the sequential path: either a worker hit an evaluation
+            // error (rerunning sequentially makes error reporting, and its interaction
+            // with early exits, match exactly — redundant work only on the failure
+            // path), or the repair product saturated `u128` (the sequential recursion
+            // never indexes the product, so it needs no chunk boundaries).
         }
         self.accumulate_rows_sequential(snapshot, kind, semantics, relevant)
     }
@@ -242,8 +250,10 @@ impl PreparedQuery {
         Ok(accumulated.unwrap_or_default())
     }
 
-    /// The parallel row fold: `None` means some worker hit an evaluation error and the
-    /// caller must fall back to the sequential path.
+    /// The parallel row fold: `None` means the caller must fall back to the sequential
+    /// path — either a worker hit an evaluation error (rerunning sequentially reproduces
+    /// its exact reporting), or the repair product saturated `u128` and indexed chunking
+    /// is off the table.
     fn accumulate_rows_parallel(
         &self,
         snapshot: &EngineSnapshot,
@@ -257,7 +267,15 @@ impl PreparedQuery {
             // Some component has no preferred repair: the product is empty.
             return Some(BTreeSet::new());
         };
-        let chunks = chunk_ranges(product_size(&lists), parallelism);
+        let total = product_size(&lists);
+        if total == u128::MAX {
+            // The product saturated the counter: chunk boundaries could no longer be
+            // trusted to cover every selection, so fall back to the sequential path
+            // (which enumerates recursively and never indexes the product).
+            return None;
+        }
+        let cost = snapshot.estimate_selection_cost(relevant, &lists);
+        let chunks = chunk_ranges(total, adaptive_chunk_count(total, cost, parallelism));
         // The parallel analogue of the sequential Certain early exit: the merged result
         // is an intersection, so one empty chunk fold empties it globally and every
         // worker can stop.
@@ -403,7 +421,7 @@ impl PreparedQuery {
                 }
                 return Ok(outcome);
             }
-            // A worker hit an evaluation error: rerun sequentially (see
+            // Evaluation error or saturated product: rerun sequentially (see
             // `accumulate_rows`).
         }
         self.closed_outcome_sequential(snapshot, kind, relevant)
@@ -441,7 +459,8 @@ impl PreparedQuery {
     }
 
     /// Per-repair truth values in enumeration order, evaluated across workers. `None`
-    /// means some worker hit an evaluation error (fall back to the sequential path).
+    /// means fall back to the sequential path: a worker hit an evaluation error, or the
+    /// repair product saturated `u128`.
     ///
     /// The sequential path stops at the first position whose prefix holds both a true
     /// and a false verdict (undetermined). The parallel analogue: a chunk that becomes
@@ -461,7 +480,14 @@ impl PreparedQuery {
         let Some(lists) = snapshot.selection_lists(kind, relevant) else {
             return Some(Vec::new());
         };
-        let chunks = chunk_ranges(product_size(&lists), parallelism);
+        let total = product_size(&lists);
+        if total == u128::MAX {
+            // Saturated product: fall back to the sequential path (see
+            // `accumulate_rows_parallel`).
+            return None;
+        }
+        let cost = snapshot.estimate_selection_cost(relevant, &lists);
+        let chunks = chunk_ranges(total, adaptive_chunk_count(total, cost, parallelism));
         let undetermined_chunk = std::sync::atomic::AtomicUsize::new(usize::MAX);
         let verdicts: Vec<Result<Vec<bool>, QueryError>> =
             run_jobs(parallelism, chunks.len(), |index| {
@@ -570,14 +596,47 @@ fn product_size(lists: &[(usize, Arc<Vec<TupleSet>>)]) -> u128 {
     lists.iter().fold(1u128, |total, (_, choices)| total.saturating_mul(choices.len() as u128))
 }
 
-/// Splits `[0, total)` into contiguous chunks, a few per worker so a chunk that happens
-/// to hold cheap repairs does not leave its worker idle while others still grind.
-fn chunk_ranges(total: u128, parallelism: Parallelism) -> Vec<(u128, u128)> {
+/// Ceiling on chunks per worker. More chunks give the atomic work index finer stealing
+/// granularity on skewed products (early exits make chunk costs uneven even when
+/// per-item cost is uniform), but each chunk pays one cursor setup; 16 bounds that
+/// overhead while still letting a worker that drew cheap chunks pull many more.
+const MAX_CHUNKS_PER_WORKER: u128 = 16;
+
+/// Target estimated work per chunk, in tuple-evaluations (the cost unit of
+/// [`EngineSnapshot`]'s selection-cost estimate). Products whose total estimated work is
+/// below `workers × TARGET_CHUNK_COST` get fewer, larger chunks — a tiny product is not
+/// worth 64 cursor setups — while heavy products saturate at the per-worker ceiling.
+const TARGET_CHUNK_COST: u128 = 4096;
+
+/// The number of chunks a repair product of `total` selections is split into, derived
+/// from the **memoised per-component preferred-repair counts**: `total` is their
+/// product and `cost_per_item` the estimated tuples per selection, so the division
+/// balances estimated work rather than blindly cutting index ranges four per worker.
+/// Clamped to `[workers, workers × MAX_CHUNKS_PER_WORKER]` (and never more than one
+/// chunk per selection).
+pub fn adaptive_chunk_count(total: u128, cost_per_item: u128, parallelism: Parallelism) -> u128 {
     let workers = parallelism.thread_count() as u128;
-    let chunks = (workers * 4).min(total).max(1);
+    let work = total.saturating_mul(cost_per_item.max(1));
+    let ideal = work / TARGET_CHUNK_COST;
+    ideal.clamp(workers, workers.saturating_mul(MAX_CHUNKS_PER_WORKER)).min(total).max(1)
+}
+
+/// Hard ceiling on the ranges [`chunk_ranges`] materialises. One entry per chunk is
+/// allocated, so an unclamped caller-supplied count could otherwise loop (and allocate)
+/// itself to death; engine callers stay far below this via [`adaptive_chunk_count`].
+const MAX_CHUNKS: u128 = 65_536;
+
+/// Splits `[0, total)` into `chunks` contiguous ranges of near-equal length (the first
+/// `total % chunks` ranges are one longer). The ranges cover the product exactly once:
+/// no gaps, no overlaps, in ascending order. Everything is `u128` — repair products
+/// routinely exceed `usize::MAX`, and truncating here would silently drop repairs.
+/// `chunks` is clamped to `[1, min(total, 65536)]` (one allocation per chunk; see
+/// [`MAX_CHUNKS`]).
+pub fn chunk_ranges(total: u128, chunks: u128) -> Vec<(u128, u128)> {
+    let chunks = chunks.min(total).clamp(1, MAX_CHUNKS);
     let base = total / chunks;
     let remainder = total % chunks;
-    let mut ranges = Vec::with_capacity(chunks as usize);
+    let mut ranges = Vec::with_capacity(usize::try_from(chunks).unwrap_or(0));
     let mut start = 0u128;
     for index in 0..chunks {
         let len = base + u128::from(index < remainder);
@@ -950,6 +1009,81 @@ mod tests {
                     assert_eq!(direct, batched.outcome().unwrap());
                 }
             }
+        }
+    }
+
+    #[test]
+    fn chunk_ranges_partition_exactly_even_beyond_usize() {
+        for (total, chunks) in
+            [(0u128, 4u128), (1, 4), (7, 3), (4096, 16), (1 << 80, 64), (u128::MAX - 1, 37)]
+        {
+            let ranges = chunk_ranges(total, chunks);
+            assert!(!ranges.is_empty());
+            assert_eq!(ranges[0].0, 0, "total {total} chunks {chunks}");
+            for window in ranges.windows(2) {
+                assert_eq!(window[0].1, window[1].0, "gap/overlap at {window:?}");
+                assert!(window[0].0 <= window[0].1);
+            }
+            assert_eq!(ranges.last().unwrap().1, total, "total {total} chunks {chunks}");
+        }
+    }
+
+    #[test]
+    fn adaptive_chunk_counts_scale_with_estimated_work() {
+        let four = crate::Parallelism::threads(4);
+        // Tiny products collapse to one chunk per selection.
+        assert_eq!(adaptive_chunk_count(3, 10, four), 3);
+        // Small-but-parallel products stay at one chunk per worker.
+        assert_eq!(adaptive_chunk_count(64, 1, four), 4);
+        // Heavier work grows the chunk count between the clamps...
+        let mid = adaptive_chunk_count(4096, 12, four);
+        assert!(mid > 4 && mid < 64, "mid-size product got {mid} chunks");
+        // ...and heavy products saturate at MAX_CHUNKS_PER_WORKER per worker.
+        assert_eq!(adaptive_chunk_count(1 << 80, 100, four), 64);
+        // Saturated work products do not overflow.
+        assert_eq!(adaptive_chunk_count(u128::MAX - 1, u128::MAX, four), 64);
+    }
+
+    #[test]
+    fn repair_products_beyond_u64_execute_in_parallel_without_truncation() {
+        // 80 independent two-repair components: 2^80 repairs, far beyond usize::MAX.
+        // A certain-answer query that empties immediately exercises the chunked path
+        // (cursor seeks into the >2^64 product) and terminates through the shared
+        // early-exit flag; any usize truncation in chunking would panic or misindex.
+        let ctx = example4(80);
+        let snapshot = snapshot_of(&ctx);
+        assert_eq!(snapshot.count_repairs(), 1u128 << 80);
+        assert!(snapshot.count_repairs() > u64::MAX as u128);
+        let query = PreparedQuery::parse("EXISTS y . R(x,y) AND x < 0").unwrap();
+        let sequential: Vec<_> = query
+            .execute(&snapshot.with_cleared_memo(), FamilyKind::Rep, Semantics::Certain)
+            .unwrap()
+            .collect();
+        let parallel: Vec<_> = query
+            .execute_with(
+                &snapshot.with_cleared_memo(),
+                FamilyKind::Rep,
+                Semantics::Certain,
+                crate::Parallelism::threads(4),
+            )
+            .unwrap()
+            .collect();
+        assert_eq!(sequential, parallel);
+        assert!(parallel.is_empty());
+    }
+
+    #[test]
+    fn selection_cursor_seeks_correctly_past_u64_boundaries() {
+        // The cursor must decompose start indices above 2^64 digit-exactly: seeking to
+        // `start` and advancing must agree with seeking to `start + 1`.
+        let ctx = example4(80);
+        let snapshot = snapshot_of(&ctx);
+        let lists = snapshot.selection_lists(FamilyKind::Rep, &[0]).unwrap();
+        for start in [0u128, 1, (1 << 70) - 1, 1 << 70, (1 << 80) - 2] {
+            let mut cursor = SelectionCursor::new(&snapshot, &lists, start);
+            cursor.advance();
+            let next = SelectionCursor::new(&snapshot, &lists, start + 1);
+            assert_eq!(cursor.selection(), next.selection(), "start {start}");
         }
     }
 

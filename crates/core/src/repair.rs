@@ -32,6 +32,18 @@ impl RepairContext {
         RepairContext { instance, fds, graph }
     }
 
+    /// A context over a conflict graph computed elsewhere (the sharded snapshot builder
+    /// fans per-FD edge scans across workers and merges them before assembling the
+    /// context). The graph must be exactly `ConflictGraph::build(&instance, &fds)`.
+    pub(crate) fn with_graph(
+        instance: RelationInstance,
+        fds: FdSet,
+        graph: Arc<ConflictGraph>,
+    ) -> Self {
+        debug_assert_eq!(graph.vertex_count(), instance.len());
+        RepairContext { instance, fds, graph }
+    }
+
     /// The underlying instance.
     pub fn instance(&self) -> &RelationInstance {
         &self.instance

@@ -21,17 +21,44 @@
 //! * [`EngineSnapshot::with_priority`] derives a snapshot with a revised priority
 //!   without rebuilding: the conflict graph, components and instance are shared, and only
 //!   the memo entries of components actually touched by the priority change are dropped.
+//!   [`EngineSnapshot::with_priority_revalidated`] additionally re-enumerates exactly
+//!   those dropped entries across workers before handing the snapshot out.
+//!
+//! # The shard layer
+//!
+//! Construction and revalidation are **sharded** so they fan out over the
+//! [`crate::parallel`] pool, exploiting the same observation that makes the memo safe:
+//! conflicts and priority edges never cross connected components. The decomposition,
+//! from coarse to fine:
+//!
+//! ```text
+//! instance ──(per-FD conflict scans, one shard job per (relation, FD))──► conflict graph
+//!    │                                                                        │
+//!    └► relation entry ◄──(per-relation assembly: priority + components)──────┘
+//!            │
+//!            ├── components [c₀, c₁, …]      (global ids assigned via comp_offset)
+//!            ├── shards     [Shard {components: i..j, tuples}]   (contiguous,
+//!            │                tuple-balanced runs of components — the unit of
+//!            │                revalidation fan-out and adaptive chunk estimates)
+//!            └── memo       component id → stripe (id mod STRIPES) → preferred repairs
+//! ```
+//!
+//! Every parallel path is **bit-identical** to its sequential counterpart: per-FD edge
+//! shards merge by set union, component order is a deterministic function of the graph,
+//! and `comp_offset` is assigned in relation insertion order after the fan-out — so a
+//! snapshot built with any [`Parallelism`] has the same components, the same global
+//! component ids, the same repairs and the same answers as a sequential build.
 //!
 //! Queries are executed against snapshots through [`crate::prepared::PreparedQuery`],
 //! which adds a second memo level keyed by `(component set, family, query fingerprint)`.
 
 use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 use std::fmt;
-use std::ops::ControlFlow;
+use std::ops::{ControlFlow, Range};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 
-use pdqi_constraints::{ConflictGraph, FdSet};
+use pdqi_constraints::{fd_conflict_edges, ConflictGraph, FdSet};
 use pdqi_priority::{
     priority_from_scores, priority_from_source_reliability, Priority, PriorityError, SourceOrder,
 };
@@ -139,6 +166,12 @@ struct RelationSpec {
     priority: PrioritySource,
 }
 
+/// Conflict edges (smaller tuple id first), as produced by one per-FD shard scan.
+type EdgeList = Vec<(TupleId, TupleId)>;
+
+/// One relation's per-FD edge shards, in FD order.
+type EdgeShards = Vec<EdgeList>;
+
 /// Assembles relations, constraints and priority sources into an [`EngineSnapshot`].
 ///
 /// ```
@@ -163,12 +196,22 @@ struct RelationSpec {
 pub struct EngineBuilder {
     relations: Vec<RelationSpec>,
     orphan_priority: bool,
+    parallelism: Parallelism,
 }
 
 impl EngineBuilder {
     /// An empty builder.
     pub fn new() -> Self {
         EngineBuilder::default()
+    }
+
+    /// Sets the degree of parallelism [`EngineBuilder::build`] fans shard jobs out with
+    /// (sequential by default). Parallel builds are **bit-identical** to sequential
+    /// builds — same components, same `comp_offset` assignment, same repairs and
+    /// answers; the degree only trades threads for build latency.
+    pub fn parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
     }
 
     /// Adds a relation with its functional dependencies (and, initially, the empty
@@ -207,45 +250,99 @@ impl EngineBuilder {
 
     /// Freezes the builder into an immutable snapshot, computing every relation's
     /// conflict graph and connected components once.
+    ///
+    /// The build runs in three stages. With a parallel configuration (see
+    /// [`EngineBuilder::parallelism`]) the first two fan out over the worker pool; the
+    /// result is bit-identical either way:
+    ///
+    /// 1. **edge shards** — one job per `(relation, FD)` pair scans that FD's conflict
+    ///    pairs (per-FD scans only compare tuples agreeing on the FD's left-hand side,
+    ///    so they are independent);
+    /// 2. **relation assembly** — one job per relation merges its edge shards into the
+    ///    conflict graph (a set union, order-insensitive), orients the priority and
+    ///    partitions the graph into components;
+    /// 3. **sequential stitching** — duplicate checks, error selection, `comp_offset`
+    ///    assignment and shard planning walk the relations in insertion order, so names,
+    ///    global component ids and reported errors match the sequential build exactly.
+    ///
+    /// Stages 1–2 run speculatively for *every* relation so that stage 3 can replay the
+    /// sequential walk's error selection verbatim: a failing build therefore pays the
+    /// full fan-out cost before reporting. That trade (cold error path for exact error
+    /// parity) is deliberate — callers feeding invalid specs get the same error at any
+    /// parallelism degree.
     pub fn build(self) -> Result<EngineSnapshot, BuildError> {
+        let parallelism = self.parallelism;
+        self.build_with(parallelism)
+    }
+
+    /// [`EngineBuilder::build`] with an explicit degree of parallelism (overriding
+    /// [`EngineBuilder::parallelism`]).
+    pub fn build_with(self, parallelism: Parallelism) -> Result<EngineSnapshot, BuildError> {
         if self.orphan_priority {
             return Err(BuildError::PriorityWithoutRelation);
         }
-        let mut entries = Vec::with_capacity(self.relations.len());
+        let specs = self.relations;
+        let names: Vec<String> =
+            specs.iter().map(|spec| spec.instance.schema().name().to_string()).collect();
+
+        // Stage 1 — per-(relation, FD) conflict-edge shards, heaviest relations first so
+        // the atomic work index keeps workers balanced.
+        let mut edge_jobs: Vec<(usize, usize)> = Vec::new();
+        for (rel, spec) in specs.iter().enumerate() {
+            for fd in 0..spec.fds.fds().len() {
+                edge_jobs.push((rel, fd));
+            }
+        }
+        let weights: Vec<u128> =
+            edge_jobs.iter().map(|&(rel, _)| specs[rel].instance.len() as u128).collect();
+        let order = pdqi_solve::mis::schedule_by_descending_weight(&weights);
+        let edge_jobs: Vec<(usize, usize)> = order.into_iter().map(|i| edge_jobs[i]).collect();
+        let edge_shards: Vec<((usize, usize), EdgeList)> =
+            crate::parallel::run_jobs(parallelism, edge_jobs.len(), |i| {
+                let (rel, fd) = edge_jobs[i];
+                let spec = &specs[rel];
+                ((rel, fd), fd_conflict_edges(&spec.instance, &spec.fds.fds()[fd]))
+            });
+        let mut edge_lists: Vec<EdgeShards> =
+            specs.iter().map(|spec| vec![Vec::new(); spec.fds.fds().len()]).collect();
+        for ((rel, fd), edges) in edge_shards {
+            edge_lists[rel][fd] = edges;
+        }
+
+        // Stage 2 — per-relation assembly. Each slot hands its job ownership of the spec
+        // and edge shards without cloning; jobs run heaviest relation first.
+        let rel_weights: Vec<u128> = specs.iter().map(|spec| spec.instance.len() as u128).collect();
+        let slots: Vec<Mutex<Option<(RelationSpec, EdgeShards)>>> = specs
+            .into_iter()
+            .zip(edge_lists)
+            .map(|(spec, lists)| Mutex::new(Some((spec, lists))))
+            .collect();
+        let rel_jobs = pdqi_solve::mis::schedule_by_descending_weight(&rel_weights);
+        let assembled: Vec<(usize, Result<RelationEntry, BuildError>)> =
+            crate::parallel::run_jobs(parallelism, rel_jobs.len(), |i| {
+                let rel = rel_jobs[i];
+                let (spec, lists) =
+                    slots[rel].lock().expect("builder slot").take().expect("slot taken once");
+                (rel, assemble_relation(spec, &lists))
+            });
+        let mut by_relation: Vec<Option<Result<RelationEntry, BuildError>>> =
+            (0..names.len()).map(|_| None).collect();
+        for (rel, result) in assembled {
+            by_relation[rel] = Some(result);
+        }
+
+        // Stage 3 — sequential stitching in insertion order: the duplicate check and the
+        // first reported error interleave per relation exactly like the sequential
+        // single-pass build, and `comp_offset` / shard plans are assigned in order.
+        let mut entries = Vec::with_capacity(names.len());
         let mut by_name = BTreeMap::new();
         let mut comp_offset = 0usize;
-        for spec in self.relations {
-            let name = spec.instance.schema().name().to_string();
-            if by_name.insert(name.clone(), entries.len()).is_some() {
-                return Err(BuildError::DuplicateRelation { relation: name });
+        for (rel, result) in by_relation.into_iter().enumerate() {
+            if by_name.insert(names[rel].clone(), entries.len()).is_some() {
+                return Err(BuildError::DuplicateRelation { relation: names[rel].clone() });
             }
-            let ctx = RepairContext::new(spec.instance, spec.fds);
-            let graph = Arc::clone(ctx.graph());
-            let priority = match spec.priority {
-                PrioritySource::Empty => Priority::empty(Arc::clone(&graph)),
-                PrioritySource::Pairs(pairs) => Priority::from_pairs(Arc::clone(&graph), &pairs)?,
-                PrioritySource::Scores(scores) => {
-                    if scores.len() != graph.vertex_count() {
-                        return Err(BuildError::AnnotationLength {
-                            relation: name,
-                            supplied: scores.len(),
-                            expected: graph.vertex_count(),
-                        });
-                    }
-                    priority_from_scores(Arc::clone(&graph), &scores)
-                }
-                PrioritySource::Sources(sources, order) => {
-                    if sources.len() != graph.vertex_count() {
-                        return Err(BuildError::AnnotationLength {
-                            relation: name,
-                            supplied: sources.len(),
-                            expected: graph.vertex_count(),
-                        });
-                    }
-                    priority_from_source_reliability(Arc::clone(&graph), &sources, &order)
-                }
-            };
-            let entry = RelationEntry::new(Arc::new(ctx), priority, comp_offset);
+            let entry = result.expect("every relation was assembled")?;
+            let entry = entry.with_offset(rel, comp_offset);
             comp_offset += entry.components.len();
             entries.push(entry);
         }
@@ -253,6 +350,135 @@ impl EngineBuilder {
             inner: Arc::new(SnapshotInner { relations: entries, by_name, memo: Memo::default() }),
         })
     }
+}
+
+/// Stage-2 assembly of one relation: merge its per-FD edge shards into the conflict
+/// graph, orient the priority source over it, and partition the components (the
+/// `comp_offset` and shard plan are stitched in afterwards, in relation order).
+fn assemble_relation(
+    spec: RelationSpec,
+    edge_lists: &[EdgeList],
+) -> Result<RelationEntry, BuildError> {
+    let name = spec.instance.schema().name().to_string();
+    let graph = Arc::new(ConflictGraph::from_edge_lists(spec.instance.len(), edge_lists));
+    let priority = match spec.priority {
+        PrioritySource::Empty => Priority::empty(Arc::clone(&graph)),
+        PrioritySource::Pairs(pairs) => Priority::from_pairs(Arc::clone(&graph), &pairs)?,
+        PrioritySource::Scores(scores) => {
+            if scores.len() != graph.vertex_count() {
+                return Err(BuildError::AnnotationLength {
+                    relation: name,
+                    supplied: scores.len(),
+                    expected: graph.vertex_count(),
+                });
+            }
+            priority_from_scores(Arc::clone(&graph), &scores)
+        }
+        PrioritySource::Sources(sources, order) => {
+            if sources.len() != graph.vertex_count() {
+                return Err(BuildError::AnnotationLength {
+                    relation: name,
+                    supplied: sources.len(),
+                    expected: graph.vertex_count(),
+                });
+            }
+            priority_from_source_reliability(Arc::clone(&graph), &sources, &order)
+        }
+    };
+    let ctx = RepairContext::with_graph(spec.instance, spec.fds, Arc::clone(&graph));
+    Ok(RelationEntry::new(Arc::new(ctx), priority))
+}
+
+/// One shard of a relation's conflict structure: a contiguous, tuple-balanced run of the
+/// relation's non-trivial connected components.
+///
+/// Shards are planned deterministically at build time (a pure function of the component
+/// partition, independent of the build's parallelism) and are the coarse unit of the
+/// shard layer described in the [module docs](self): builds fan out per `(relation,
+/// FD)` and per relation, revalidation and warming fan out per component, and the
+/// component memo is striped by global component id. Shard metadata is what ties those
+/// levels together for observability (`.shards` in the CLI) and for the adaptive
+/// chunking estimates of [`crate::PreparedQuery::execute_with`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Shard {
+    /// Index of the relation inside its snapshot.
+    relation: usize,
+    /// Local (per-relation) component indices covered by this shard.
+    local_components: Range<usize>,
+    /// Global id of the shard's first component.
+    comp_offset: usize,
+    /// Total tuples across the shard's components.
+    tuples: usize,
+}
+
+impl Shard {
+    /// Index of the relation this shard belongs to (snapshot entry order).
+    pub fn relation(&self) -> usize {
+        self.relation
+    }
+
+    /// The **global** component ids covered by this shard (contiguous by construction).
+    pub fn component_range(&self) -> Range<usize> {
+        self.comp_offset..self.comp_offset + self.local_components.len()
+    }
+
+    /// Number of components in this shard (always at least 1).
+    pub fn component_count(&self) -> usize {
+        self.local_components.len()
+    }
+
+    /// Total tuples across this shard's components.
+    pub fn tuple_count(&self) -> usize {
+        self.tuples
+    }
+}
+
+/// Upper bound on the number of shards one relation's components are partitioned into.
+/// Shards are scheduling metadata, not storage: a small fixed fan-out keeps planning
+/// O(components) while still feeding enough independent units to the worker pool.
+const MAX_SHARDS_PER_RELATION: usize = 16;
+
+/// Partitions `components` into at most [`MAX_SHARDS_PER_RELATION`] contiguous shards
+/// balancing tuple counts (components stay in component-id order, so shard boundaries
+/// are deterministic and independent of parallelism).
+fn plan_shards(relation: usize, comp_offset: usize, components: &[TupleSet]) -> Vec<Shard> {
+    if components.is_empty() {
+        return Vec::new();
+    }
+    let shard_count = components.len().min(MAX_SHARDS_PER_RELATION);
+    let total_tuples: usize = components.iter().map(TupleSet::len).sum();
+    let target = total_tuples.div_ceil(shard_count);
+    let mut shards = Vec::with_capacity(shard_count);
+    let mut start = 0usize;
+    let mut tuples = 0usize;
+    for (index, component) in components.iter().enumerate() {
+        tuples += component.len();
+        let remaining_components = components.len() - index - 1;
+        let remaining_shards = shard_count - shards.len() - 1;
+        // Close the shard once it reaches the tuple target — but never leave fewer
+        // components than shards still to fill, and never close the last shard early.
+        let must_close = remaining_components == remaining_shards;
+        if remaining_shards > 0
+            && remaining_components >= remaining_shards
+            && (tuples >= target || must_close)
+        {
+            shards.push(Shard {
+                relation,
+                local_components: start..index + 1,
+                comp_offset: comp_offset + start,
+                tuples,
+            });
+            start = index + 1;
+            tuples = 0;
+        }
+    }
+    shards.push(Shard {
+        relation,
+        local_components: start..components.len(),
+        comp_offset: comp_offset + start,
+        tuples,
+    });
+    shards
 }
 
 /// One relation frozen inside a snapshot.
@@ -269,10 +495,12 @@ pub(crate) struct RelationEntry {
     comp_of: Arc<Vec<usize>>,
     /// Global id of this relation's first component within the snapshot.
     pub(crate) comp_offset: usize,
+    /// The shard plan: contiguous, tuple-balanced runs of this relation's components.
+    pub(crate) shards: Arc<Vec<Shard>>,
 }
 
 impl RelationEntry {
-    fn new(ctx: Arc<RepairContext>, priority: Priority, comp_offset: usize) -> Self {
+    fn new(ctx: Arc<RepairContext>, priority: Priority) -> Self {
         let graph = ctx.graph();
         let mut components = Vec::new();
         let mut base = TupleSet::with_capacity(graph.vertex_count());
@@ -293,8 +521,17 @@ impl RelationEntry {
             components: Arc::new(components),
             base: Arc::new(base),
             comp_of: Arc::new(comp_of),
-            comp_offset,
+            comp_offset: 0,
+            shards: Arc::new(Vec::new()),
         }
+    }
+
+    /// Stitches in the relation's position and global component offset (assigned
+    /// sequentially in relation order) and plans the shards over them.
+    fn with_offset(mut self, relation: usize, comp_offset: usize) -> Self {
+        self.comp_offset = comp_offset;
+        self.shards = Arc::new(plan_shards(relation, comp_offset, &self.components));
+        self
     }
 
     /// A copy of this entry sharing every [`Arc`]-held part (the cheap "clone").
@@ -306,6 +543,7 @@ impl RelationEntry {
             base: Arc::clone(&self.base),
             comp_of: Arc::clone(&self.comp_of),
             comp_offset: self.comp_offset,
+            shards: Arc::clone(&self.shards),
         }
     }
 
@@ -330,6 +568,7 @@ impl RelationEntry {
             base: Arc::clone(&self.base),
             comp_of: Arc::clone(&self.comp_of),
             comp_offset: self.comp_offset,
+            shards: Arc::clone(&self.shards),
         };
         (entry, affected)
     }
@@ -393,8 +632,60 @@ pub struct MemoStats {
     pub answer_evictions: u64,
 }
 
-/// `(global component id, family)` → that component's preferred repairs.
-type ComponentMemo = RwLock<HashMap<(usize, FamilyKind), Arc<Vec<TupleSet>>>>;
+/// Number of lock stripes the component memo is split into. Global component ids map to
+/// stripes by `id % MEMO_STRIPES`; shard planning assigns ids contiguously, so the
+/// components of a hot shard spread across stripes instead of serialising on one lock
+/// when builds, warms and queries race.
+const MEMO_STRIPES: usize = 16;
+
+/// One lock stripe of the component memo.
+type MemoStripe = RwLock<HashMap<(usize, FamilyKind), Arc<Vec<TupleSet>>>>;
+
+/// `(global component id, family)` → that component's preferred repairs, striped by
+/// component id (each shard's memo slice spans several stripes; see [`MEMO_STRIPES`]).
+struct ComponentMemo {
+    stripes: Vec<MemoStripe>,
+}
+
+impl Default for ComponentMemo {
+    fn default() -> Self {
+        ComponentMemo { stripes: (0..MEMO_STRIPES).map(|_| RwLock::default()).collect() }
+    }
+}
+
+impl ComponentMemo {
+    fn stripe(&self, comp: usize) -> &MemoStripe {
+        &self.stripes[comp % MEMO_STRIPES]
+    }
+
+    fn get(&self, key: &(usize, FamilyKind)) -> Option<Arc<Vec<TupleSet>>> {
+        self.stripe(key.0).read().expect("memo lock").get(key).cloned()
+    }
+
+    fn contains(&self, key: &(usize, FamilyKind)) -> bool {
+        self.stripe(key.0).read().expect("memo lock").contains_key(key)
+    }
+
+    /// Inserts `value` unless a racing computation beat this one to the key (both
+    /// computed the same deterministic result; the first stays, keeping every
+    /// outstanding `Arc` consistent).
+    fn insert_if_missing(&self, key: (usize, FamilyKind), value: &Arc<Vec<TupleSet>>) {
+        self.stripe(key.0)
+            .write()
+            .expect("memo lock")
+            .entry(key)
+            .or_insert_with(|| Arc::clone(value));
+    }
+
+    /// Visits every memoised entry, holding one stripe lock at a time.
+    fn for_each(&self, mut f: impl FnMut(&(usize, FamilyKind), &Arc<Vec<TupleSet>>)) {
+        for stripe in &self.stripes {
+            for (key, value) in stripe.read().expect("memo lock").iter() {
+                f(key, value);
+            }
+        }
+    }
+}
 
 /// The bounded answer memo: entries plus their insertion order. Invariant: `order`
 /// holds exactly the keys of `entries`, each once, oldest first.
@@ -597,9 +888,9 @@ impl EngineSnapshot {
         let entry = &self.inner.relations[rel];
         let key = (entry.comp_offset + comp, kind);
         let memo = &self.inner.memo;
-        if let Some(cached) = memo.components.read().expect("memo lock").get(&key) {
+        if let Some(cached) = memo.components.get(&key) {
             memo.component_hits.fetch_add(1, Ordering::Relaxed);
-            return Arc::clone(cached);
+            return cached;
         }
         memo.component_misses.fetch_add(1, Ordering::Relaxed);
         let graph = entry.ctx.graph();
@@ -626,11 +917,7 @@ impl EngineSnapshot {
             FamilyKind::Common => common_repairs_within(graph, priority, component, usize::MAX),
         };
         let preferred = Arc::new(preferred);
-        memo.components
-            .write()
-            .expect("memo lock")
-            .entry(key)
-            .or_insert_with(|| Arc::clone(&preferred));
+        memo.components.insert_if_missing(key, &preferred);
         preferred
     }
 
@@ -706,14 +993,11 @@ impl EngineSnapshot {
         parallelism: Parallelism,
     ) -> usize {
         let mut missing: Vec<(usize, usize)> = Vec::new();
-        {
-            let memo = self.inner.memo.components.read().expect("memo lock");
-            for &rel in relations {
-                let entry = &self.inner.relations[rel];
-                for comp in 0..entry.components.len() {
-                    if !memo.contains_key(&(entry.comp_offset + comp, kind)) {
-                        missing.push((rel, comp));
-                    }
+        for &rel in relations {
+            let entry = &self.inner.relations[rel];
+            for comp in 0..entry.components.len() {
+                if !self.inner.memo.components.contains(&(entry.comp_offset + comp, kind)) {
+                    missing.push((rel, comp));
                 }
             }
         }
@@ -740,7 +1024,14 @@ impl EngineSnapshot {
         let relations: Vec<RelationEntry> =
             self.inner.relations.iter().map(RelationEntry::share).collect();
         let memo = Memo::default();
-        memo.answers.write().expect("memo lock").capacity = self.answer_cache_capacity();
+        {
+            // Copy the capacity while holding the parent's lock: a concurrent
+            // `set_answer_cache_capacity` then strictly precedes or follows the
+            // derivation, so the derived snapshot always carries a bound the parent
+            // actually had (never a torn or stale intermediate).
+            let parent = self.inner.memo.answers.read().expect("memo lock");
+            memo.answers.write().expect("memo lock").capacity = parent.capacity;
+        }
         EngineSnapshot {
             inner: Arc::new(SnapshotInner { relations, by_name: self.inner.by_name.clone(), memo }),
         }
@@ -853,15 +1144,11 @@ impl EngineSnapshot {
         // never depends on the priority, and other families only through the affected
         // components.
         let memo = Memo::default();
-        {
-            let old = self.inner.memo.components.read().expect("memo lock");
-            let mut new = memo.components.write().expect("memo lock");
-            for (&(comp, kind), sets) in old.iter() {
-                if kind == FamilyKind::Rep || !affected.contains(&comp) {
-                    new.insert((comp, kind), Arc::clone(sets));
-                }
+        self.inner.memo.components.for_each(|&(comp, kind), sets| {
+            if kind == FamilyKind::Rep || !affected.contains(&comp) {
+                memo.components.insert_if_missing((comp, kind), sets);
             }
-        }
+        });
         {
             let old = self.inner.memo.answers.read().expect("memo lock");
             let mut new = memo.answers.write().expect("memo lock");
@@ -891,6 +1178,111 @@ impl EngineSnapshot {
         let graph = Arc::clone(self.single().ctx.graph());
         let priority = Priority::from_pairs(graph, pairs)?;
         self.with_priority(priority)
+    }
+
+    /// [`EngineSnapshot::with_priority`] followed by **parallel revalidation** of
+    /// exactly the memo entries the priority change invalidated: every `(component,
+    /// family)` pair the parent had memoised and the derivation dropped is re-enumerated
+    /// across workers (largest components first) before the snapshot is handed out.
+    ///
+    /// The derived snapshot is indistinguishable from `with_priority` + lazy
+    /// re-enumeration — revalidation only moves the recomputation cost to this call,
+    /// where it fans out over the invalidated shards instead of serialising on the
+    /// first query to touch them.
+    pub fn with_priority_revalidated(
+        &self,
+        priority: Priority,
+        parallelism: Parallelism,
+    ) -> Result<EngineSnapshot, BuildError> {
+        self.single();
+        let name = self.inner.relations[0].ctx.instance().schema().name().to_string();
+        self.with_priority_revalidated_for(&name, priority, parallelism)
+    }
+
+    /// [`EngineSnapshot::with_priority_revalidated`] for relation `name` of a
+    /// multi-relation snapshot.
+    pub fn with_priority_revalidated_for(
+        &self,
+        name: &str,
+        priority: Priority,
+        parallelism: Parallelism,
+    ) -> Result<EngineSnapshot, BuildError> {
+        let derived = self.with_priority_for(name, priority)?;
+        // The invalidated slice of the memo: entries the parent had that derivation
+        // dropped (only components the priority change touched, only priority-sensitive
+        // families).
+        let mut dropped: Vec<(usize, FamilyKind)> = Vec::new();
+        self.inner.memo.components.for_each(|key, _| {
+            if !derived.inner.memo.components.contains(key) {
+                dropped.push(*key);
+            }
+        });
+        dropped.sort_unstable_by_key(|&(comp, kind)| (comp, kind.label()));
+        let weights: Vec<u128> = dropped
+            .iter()
+            .map(|&(comp, _)| {
+                let (rel, local) = derived.locate_component(comp);
+                derived.inner.relations[rel].components[local].len() as u128
+            })
+            .collect();
+        let order = pdqi_solve::mis::schedule_by_descending_weight(&weights);
+        let jobs: Vec<(usize, FamilyKind)> = order.into_iter().map(|i| dropped[i]).collect();
+        crate::parallel::run_jobs(parallelism, jobs.len(), |i| {
+            let (comp, kind) = jobs[i];
+            let (rel, local) = derived.locate_component(comp);
+            derived.component_preferred(rel, local, kind);
+        });
+        Ok(derived)
+    }
+
+    /// Maps a global component id back to `(relation index, local component index)`.
+    fn locate_component(&self, global: usize) -> (usize, usize) {
+        for (rel, entry) in self.inner.relations.iter().enumerate() {
+            if global >= entry.comp_offset && global < entry.comp_offset + entry.components.len() {
+                return (rel, global - entry.comp_offset);
+            }
+        }
+        panic!("global component id {global} is out of range for this snapshot");
+    }
+
+    /// Total number of shards across all relations (each relation's components are
+    /// partitioned into contiguous, tuple-balanced [`Shard`]s at build time).
+    pub fn shard_count(&self) -> usize {
+        self.inner.relations.iter().map(|r| r.shards.len()).sum()
+    }
+
+    /// The shard plan of relation `name` (empty when the relation is conflict-free).
+    pub fn shards_of(&self, name: &str) -> Option<&[Shard]> {
+        self.entry_index(name).map(|i| self.inner.relations[i].shards.as_slice())
+    }
+
+    /// The shard plan of a single-relation snapshot.
+    ///
+    /// # Panics
+    /// If the snapshot holds more than one relation (use [`EngineSnapshot::shards_of`]).
+    pub fn shards(&self) -> &[Shard] {
+        &self.single().shards
+    }
+
+    /// Estimated evaluation cost of one repair selection over the given relations, in
+    /// tuples: the conflict-free base plus the average memoised per-component preferred
+    /// repair size. Adaptive chunking uses this to convert the repair-product size into
+    /// estimated work (see [`crate::PreparedQuery::execute_with`]).
+    pub(crate) fn estimate_selection_cost(
+        &self,
+        relations: &[usize],
+        lists: &[(usize, Arc<Vec<TupleSet>>)],
+    ) -> u128 {
+        let base: u128 =
+            relations.iter().map(|&rel| self.inner.relations[rel].base.len() as u128).sum();
+        let per_component: u128 = lists
+            .iter()
+            .map(|(_, choices)| {
+                let tuples: u128 = choices.iter().map(|c| c.len() as u128).sum();
+                tuples / (choices.len() as u128).max(1)
+            })
+            .sum();
+        (base + per_component).max(1)
     }
 
     /// Looks up a memoised answer. The key carries only a fingerprint, so a hit is
@@ -1194,5 +1586,169 @@ mod tests {
         let cleaned = snapshot.clean().unwrap();
         assert!(snapshot.is_preferred_repair(FamilyKind::Common, &cleaned));
         assert_eq!(snapshot.preferred_repairs(FamilyKind::Common, 10), vec![cleaned]);
+    }
+
+    #[test]
+    fn parallel_builds_are_bit_identical_to_sequential_builds() {
+        let first = example1();
+        let second = example4(6);
+        let build = |parallelism: Parallelism| {
+            EngineBuilder::new()
+                .relation(first.instance().clone(), first.fds().clone())
+                .relation(second.instance().clone(), second.fds().clone())
+                .parallelism(parallelism)
+                .build()
+                .unwrap()
+        };
+        let sequential = build(Parallelism::sequential());
+        for workers in [2, 4, 8] {
+            let parallel = build(Parallelism::threads(workers));
+            assert_eq!(parallel.relation_names(), sequential.relation_names());
+            assert_eq!(parallel.component_count(), sequential.component_count());
+            for name in sequential.relation_names() {
+                let s = sequential.context_of(&name).unwrap();
+                let p = parallel.context_of(&name).unwrap();
+                assert_eq!(s.graph().edges(), p.graph().edges(), "{name} edges");
+                assert_eq!(parallel.shards_of(&name), sequential.shards_of(&name), "{name}");
+            }
+            assert_eq!(parallel.count_repairs(), sequential.count_repairs());
+            // Enumeration order (not just the set of repairs) must match.
+            let enumerate = |snapshot: &EngineSnapshot| {
+                let mut seen = Vec::new();
+                snapshot.for_each_preferred_selection(FamilyKind::Rep, &[0, 1], &mut |sel| {
+                    seen.push(sel.to_vec());
+                    ControlFlow::Continue(())
+                });
+                seen
+            };
+            assert_eq!(enumerate(&parallel), enumerate(&sequential));
+        }
+    }
+
+    #[test]
+    fn parallel_builds_report_the_same_errors_as_sequential_builds() {
+        let ctx = example1();
+        for workers in [1usize, 4] {
+            let parallelism = Parallelism::threads(workers);
+            let duplicate = EngineBuilder::new()
+                .relation(ctx.instance().clone(), ctx.fds().clone())
+                .relation(ctx.instance().clone(), ctx.fds().clone())
+                .build_with(parallelism);
+            assert!(matches!(duplicate, Err(BuildError::DuplicateRelation { .. })));
+            let wrong_len = EngineBuilder::new()
+                .relation(ctx.instance().clone(), ctx.fds().clone())
+                .priority_from_scores(&[1, 2])
+                .build_with(parallelism);
+            assert!(matches!(wrong_len, Err(BuildError::AnnotationLength { .. })));
+        }
+    }
+
+    #[test]
+    fn shard_plans_are_contiguous_tuple_balanced_covers() {
+        // 40 two-tuple components: the plan caps at MAX_SHARDS_PER_RELATION shards
+        // covering every component exactly once, in order.
+        let ctx = example4(40);
+        let snapshot = snapshot_of(&ctx);
+        let shards = snapshot.shards();
+        assert_eq!(shards.len(), MAX_SHARDS_PER_RELATION);
+        assert_eq!(snapshot.shard_count(), shards.len());
+        let mut next = 0usize;
+        for shard in shards {
+            assert_eq!(shard.relation(), 0);
+            assert_eq!(shard.component_range().start, next);
+            assert!(shard.component_count() >= 1);
+            assert_eq!(shard.tuple_count(), 2 * shard.component_count());
+            next = shard.component_range().end;
+        }
+        assert_eq!(next, snapshot.component_count());
+        // Fewer components than the cap: one shard per component.
+        let small = snapshot_of(&example4(3));
+        assert_eq!(small.shards().len(), 3);
+        // A conflict-free relation has no shards.
+        let consistent = snapshot_of(&example4(0));
+        assert!(consistent.shards().is_empty());
+    }
+
+    #[test]
+    fn revalidated_derivation_recomputes_exactly_the_invalidated_entries() {
+        let ctx = example4(5);
+        let base = snapshot_of(&ctx);
+        base.warm_components(FamilyKind::Global, Parallelism::sequential());
+        base.warm_components(FamilyKind::Local, Parallelism::sequential());
+        let priority = ctx.priority_from_pairs(&[(TupleId(0), TupleId(1))]).unwrap();
+        for workers in [1usize, 4] {
+            let derived = base
+                .with_priority_revalidated(priority.clone(), Parallelism::threads(workers))
+                .unwrap();
+            // Global and Local of the touched component were re-enumerated eagerly...
+            let stats = derived.memo_stats();
+            assert_eq!(stats.component_misses, 2, "{workers} workers");
+            // ...so everything the parent had memoised is warm again: no further misses.
+            derived.preferred_repairs(FamilyKind::Global, usize::MAX);
+            derived.preferred_repairs(FamilyKind::Local, usize::MAX);
+            assert_eq!(derived.memo_stats().component_misses, 2, "{workers} workers");
+            // And the revalidated snapshot answers exactly like a lazily derived one.
+            let lazy = base.with_priority(priority.clone()).unwrap();
+            assert_eq!(
+                derived.preferred_repairs(FamilyKind::Global, usize::MAX),
+                lazy.preferred_repairs(FamilyKind::Global, usize::MAX)
+            );
+        }
+    }
+
+    #[test]
+    fn derived_snapshots_pin_the_capacity_at_derivation_time() {
+        let ctx = example4(3);
+        let snapshot = snapshot_of(&ctx);
+        snapshot.set_answer_cache_capacity(7);
+        let cleared = snapshot.with_cleared_memo();
+        let derived = snapshot
+            .with_priority(ctx.priority_from_pairs(&[(TupleId(0), TupleId(1))]).unwrap())
+            .unwrap();
+        assert_eq!(cleared.answer_cache_capacity(), 7);
+        assert_eq!(derived.answer_cache_capacity(), 7);
+        // Capacity changes after derivation stay on the snapshot they were made on.
+        snapshot.set_answer_cache_capacity(3);
+        assert_eq!(cleared.answer_cache_capacity(), 7);
+        assert_eq!(derived.answer_cache_capacity(), 7);
+        derived.set_answer_cache_capacity(11);
+        assert_eq!(snapshot.answer_cache_capacity(), 3);
+    }
+
+    #[test]
+    fn capacity_changes_racing_derivations_never_tear() {
+        use crate::{PreparedQuery, Semantics};
+        let ctx = example1();
+        let snapshot = snapshot_of(&ctx);
+        // Populate a couple of answers so derivations carry entries.
+        for text in ["EXISTS d,s,r . Mgr(x,d,s,r)", "EXISTS n,s,r . Mgr(n,x,s,r)"] {
+            PreparedQuery::parse(text)
+                .unwrap()
+                .execute(&snapshot, FamilyKind::Rep, Semantics::Possible)
+                .unwrap();
+        }
+        let priority = ctx.priority_from_pairs(&[(TupleId(0), TupleId(1))]).unwrap();
+        std::thread::scope(|scope| {
+            let toggler = scope.spawn(|| {
+                for round in 0..200 {
+                    snapshot.set_answer_cache_capacity(if round % 2 == 0 { 1 } else { 4096 });
+                }
+            });
+            let derivations = scope.spawn(|| {
+                for _ in 0..100 {
+                    for derived in [
+                        snapshot.with_cleared_memo(),
+                        snapshot.with_priority(priority.clone()).unwrap(),
+                    ] {
+                        let capacity = derived.answer_cache_capacity();
+                        // The bound is always one the parent actually had, and the
+                        // carried-over entries never exceed it.
+                        assert!(capacity == 1 || capacity == 4096, "torn capacity {capacity}");
+                    }
+                }
+            });
+            toggler.join().unwrap();
+            derivations.join().unwrap();
+        });
     }
 }

@@ -33,5 +33,5 @@ pub use queries::{random_conjunctive_query, random_ground_query};
 pub use sat_instances::random_3cnf;
 pub use synthetic::{
     chain_instance, duplicate_instance, example4_instance, multi_chain_instance,
-    random_conflict_instance,
+    multi_chain_relations, random_conflict_instance, skewed_chain_instance,
 };

@@ -22,10 +22,10 @@ fn abc_schema() -> Arc<RelationSchema> {
     )
 }
 
-fn abcd_schema() -> Arc<RelationSchema> {
+fn abcd_schema_named(name: &str) -> Arc<RelationSchema> {
     Arc::new(
         RelationSchema::from_pairs(
-            "R",
+            name,
             &[
                 ("A", ValueType::Int),
                 ("B", ValueType::Int),
@@ -35,6 +35,10 @@ fn abcd_schema() -> Arc<RelationSchema> {
         )
         .unwrap(),
     )
+}
+
+fn abcd_schema() -> Arc<RelationSchema> {
+    abcd_schema_named("R")
 }
 
 /// Example 4: `r_n = {(i, 0), (i, 1) | i < n}` with the FD `A → B`; the instance has
@@ -96,7 +100,15 @@ pub fn chain_instance(length: usize) -> (RelationInstance, FdSet) {
 /// Fibonacci-many maximal independent sets) and the components are embarrassingly
 /// independent.
 pub fn multi_chain_instance(chains: usize, length: usize) -> (RelationInstance, FdSet) {
-    let schema = abcd_schema();
+    named_multi_chain_instance("R", chains, length)
+}
+
+fn named_multi_chain_instance(
+    name: &str,
+    chains: usize,
+    length: usize,
+) -> (RelationInstance, FdSet) {
+    let schema = abcd_schema_named(name);
     let mut rows = Vec::with_capacity(chains * length);
     // Per-chain offsets keep the A- and C-key spaces of different chains disjoint, so
     // no conflict edge ever crosses chains.
@@ -113,6 +125,50 @@ pub fn multi_chain_instance(chains: usize, length: usize) -> (RelationInstance, 
     let instance = RelationInstance::from_rows(Arc::clone(&schema), rows).unwrap();
     let fds = FdSet::parse(schema, &["A -> B", "C -> D"]).unwrap();
     (instance, fds)
+}
+
+/// A **skewed-shard** workload: `chains` independent conflict chains whose lengths decay
+/// geometrically from `max_length` down to 2 (chain `i` has `max(2, max_length >> i)`
+/// tuples). The conflict graph has exactly `chains` non-trivial components of wildly
+/// different sizes, so per-component preferred-repair counts — and with them the chunks
+/// of the adaptive repair-product split and the shard plan of the sharded builder — are
+/// heavily skewed: the canonical adversary for work-stealing schedulers that assume
+/// uniform components.
+pub fn skewed_chain_instance(chains: usize, max_length: usize) -> (RelationInstance, FdSet) {
+    assert!(max_length >= 2, "chains need at least 2 tuples to conflict");
+    let schema = abcd_schema();
+    let mut rows = Vec::new();
+    // Offsets keyed off the *maximum* length keep every chain's A- and C-key spaces
+    // disjoint regardless of its own length.
+    let stride = (max_length + 2) as i64;
+    for chain in 0..chains {
+        // checked_shr: `>>` with a shift ≥ the bit width panics in debug and wraps in
+        // release, which would hand chains past 64 their full length again.
+        let length = max_length.checked_shr(chain as u32).unwrap_or(0).max(2);
+        for i in 0..length {
+            let a = chain as i64 * stride + (i / 2) as i64;
+            let b = (i % 2) as i64;
+            let c = 1_000_000 + chain as i64 * stride + i.div_ceil(2) as i64;
+            let d = ((i + 1) % 2) as i64;
+            rows.push(vec![Value::int(a), Value::int(b), Value::int(c), Value::int(d)]);
+        }
+    }
+    let instance = RelationInstance::from_rows(Arc::clone(&schema), rows).unwrap();
+    let fds = FdSet::parse(schema, &["A -> B", "C -> D"]).unwrap();
+    (instance, fds)
+}
+
+/// `relations` disjoint copies of [`multi_chain_instance`], each under its own schema
+/// name (`R0`, `R1`, …) — the multi-relation workload of the sharded snapshot builder,
+/// whose build stages fan out per `(relation, FD)` and per relation.
+pub fn multi_chain_relations(
+    relations: usize,
+    chains: usize,
+    length: usize,
+) -> Vec<(RelationInstance, FdSet)> {
+    (0..relations)
+        .map(|index| named_multi_chain_instance(&format!("R{index}"), chains, length))
+        .collect()
 }
 
 /// Random two-FD instances with a tunable conflict rate: `n` tuples over `R(A,B,C)` with
@@ -189,6 +245,53 @@ mod tests {
         let single_ctx = RepairContext::new(single, single_fds);
         let per_chain = single_ctx.count_repairs();
         assert_eq!(ctx.count_repairs(), per_chain.pow(8));
+    }
+
+    #[test]
+    fn skewed_chains_have_geometrically_decaying_components() {
+        let (instance, fds) = skewed_chain_instance(4, 16);
+        // Lengths 16, 8, 4, 2.
+        assert_eq!(instance.len(), 30);
+        let ctx = RepairContext::new(instance, fds);
+        let mut sizes: Vec<usize> = ctx
+            .graph()
+            .connected_components()
+            .into_iter()
+            .filter(|c| c.len() >= 2)
+            .map(|c| c.len())
+            .collect();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![2, 4, 8, 16]);
+        // Short chains floor at 2 tuples, so every requested chain exists — including
+        // past the 64-chain shift width, where a plain `>>` would overflow (debug) or
+        // wrap back to the full length (release).
+        for chains in [8usize, 70] {
+            let (deep, deep_fds) = skewed_chain_instance(chains, 16);
+            let deep_ctx = RepairContext::new(deep, deep_fds);
+            let components: Vec<_> = deep_ctx
+                .graph()
+                .connected_components()
+                .into_iter()
+                .filter(|c| c.len() >= 2)
+                .collect();
+            assert_eq!(components.len(), chains, "chains {chains}");
+            assert!(components.iter().filter(|c| c.len() > 2).count() <= 3, "chains {chains}");
+        }
+    }
+
+    #[test]
+    fn multi_chain_relations_carry_distinct_names_and_identical_shapes() {
+        let relations = multi_chain_relations(3, 4, 6);
+        assert_eq!(relations.len(), 3);
+        let names: Vec<&str> = relations.iter().map(|(r, _)| r.schema().name()).collect();
+        assert_eq!(names, vec!["R0", "R1", "R2"]);
+        for (instance, fds) in &relations {
+            assert_eq!(instance.len(), 24);
+            let ctx = RepairContext::new(instance.clone(), fds.clone());
+            let components: Vec<_> =
+                ctx.graph().connected_components().into_iter().filter(|c| c.len() >= 2).collect();
+            assert_eq!(components.len(), 4);
+        }
     }
 
     #[test]

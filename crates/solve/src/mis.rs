@@ -155,19 +155,34 @@ impl<'g> GraphMisEnumerator<'g> {
 /// components dominate the wall-clock of any parallel enumeration; pulling them first
 /// lets the small components fill the tail and keeps workers balanced.
 pub fn schedule_by_descending_size(sizes: &[usize]) -> Vec<usize> {
-    let mut order: Vec<usize> = (0..sizes.len()).collect();
-    order.sort_by_key(|&i| (std::cmp::Reverse(sizes[i]), i));
+    let weights: Vec<u128> = sizes.iter().map(|&s| s as u128).collect();
+    schedule_by_descending_weight(&weights)
+}
+
+/// [`schedule_by_descending_size`] for arbitrary (estimated) job weights — tuple counts
+/// of shard builds, memoised repair counts of revalidation jobs — rather than vertex
+/// counts. Heaviest first, ties broken by ascending index, so the schedule is
+/// deterministic for a fixed weight vector.
+pub fn schedule_by_descending_weight(weights: &[u128]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..weights.len()).collect();
+    order.sort_by_key(|&i| (std::cmp::Reverse(weights[i]), i));
     order
 }
 
 #[cfg(test)]
 mod schedule_tests {
-    use super::schedule_by_descending_size;
+    use super::{schedule_by_descending_size, schedule_by_descending_weight};
 
     #[test]
     fn largest_first_with_deterministic_ties() {
         assert_eq!(schedule_by_descending_size(&[2, 9, 4, 9, 1]), vec![1, 3, 2, 0, 4]);
         assert!(schedule_by_descending_size(&[]).is_empty());
+    }
+
+    #[test]
+    fn weight_schedules_accept_counts_beyond_usize() {
+        let weights = [1u128 << 90, 3, 1 << 100, 3];
+        assert_eq!(schedule_by_descending_weight(&weights), vec![2, 0, 1, 3]);
     }
 }
 

@@ -131,14 +131,17 @@ impl Session {
         Session::default()
     }
 
-    /// Sets the degree of parallelism used by `SELECT … WITH REPAIRS` statements.
-    /// Parallel execution is bit-identical to sequential execution; this only trades
-    /// threads for latency on large repair spaces.
+    /// Sets the degree of parallelism used by `SELECT … WITH REPAIRS` statements **and**
+    /// by snapshot builds (the sharded builder fans conflict-graph shards across the
+    /// same pool). Parallel execution and parallel builds are bit-identical to their
+    /// sequential counterparts; this only trades threads for latency on large tables
+    /// and repair spaces.
     pub fn set_parallelism(&mut self, parallelism: Parallelism) {
         self.parallelism = parallelism;
     }
 
-    /// The degree of parallelism repair-quantified `SELECT`s run with.
+    /// The degree of parallelism repair-quantified `SELECT`s and snapshot builds run
+    /// with.
     pub fn parallelism(&self) -> Parallelism {
         self.parallelism
     }
@@ -293,6 +296,9 @@ impl Session {
         EngineBuilder::new()
             .relation(instance, fds)
             .priority_pairs(&pairs)
+            // Builds fan conflict-graph shards out over the session's workers; the
+            // snapshot is bit-identical to a sequential build.
+            .parallelism(self.parallelism)
             .build()
             .map_err(|e| SqlError::Schema(format!("preference cannot be installed: {e}")))
     }
@@ -561,6 +567,19 @@ mod tests {
         session.execute("PREFER ('Mary','R&D',40,3) OVER ('Mary','IT',20,1) IN Mgr").unwrap();
         let fourth = session.snapshot("Mgr").unwrap();
         assert_eq!(fourth.priority().edge_count(), 1);
+    }
+
+    #[test]
+    fn parallel_sessions_build_identical_snapshots() {
+        let mut sequential = session_with_example1();
+        let mut parallel = session_with_example1();
+        parallel.set_parallelism(Parallelism::threads(4));
+        let s = sequential.snapshot("Mgr").unwrap();
+        let p = parallel.snapshot("Mgr").unwrap();
+        assert_eq!(p.graph().edges(), s.graph().edges());
+        assert_eq!(p.component_count(), s.component_count());
+        assert_eq!(p.shards_of("Mgr"), s.shards_of("Mgr"));
+        assert_eq!(p.count_repairs(), s.count_repairs());
     }
 
     #[test]

@@ -111,6 +111,7 @@ pub use pdqi_core::PdqiEngine;
 pub use pdqi_core::{
     AnswerSet, BatchExecutor, BatchRequest, BatchResponse, BuildError, CqaOutcome, EngineBuilder,
     EngineSnapshot, FamilyKind, MemoStats, Parallelism, PreparedQuery, RepairContext, Semantics,
+    Shard, MAX_THREADS,
 };
 pub use pdqi_priority::Priority;
 pub use pdqi_query::{parse_formula, Evaluator, Formula};
