@@ -1,7 +1,7 @@
 //! E13 — amortisation of the prepared-query pipeline: a repeated-query workload through
 //! `EngineBuilder` / `PreparedQuery` (parse + classify once, per-component preferred
-//! repairs memoised in the snapshot) against the same workload through the ad-hoc
-//! `PdqiEngine` path, which re-derives everything per call.
+//! repairs memoised in the snapshot) against the same workload run ad hoc, re-parsing
+//! the query and rebuilding a cold snapshot per call.
 
 use std::time::Duration;
 
@@ -16,7 +16,6 @@ const QUERIES: [&str; 3] = [
     "EXISTS d,s,r . Mgr(x,d,s,r) AND s >= 10",
 ];
 
-#[allow(deprecated)]
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e13_prepared_vs_adhoc");
     group
@@ -51,11 +50,13 @@ fn bench(c: &mut Criterion) {
             let mut rows = 0usize;
             for text in QUERIES {
                 for kind in FamilyKind::ALL {
-                    let mut engine =
-                        pdqi_core::PdqiEngine::new(ctx.instance().clone(), ctx.fds().clone());
-                    engine.set_priority_from_sources(&sources, &order);
-                    let formula = pdqi_query::parse_formula(text).unwrap();
-                    rows += engine.certain_answers(&formula, kind).unwrap().len();
+                    let cold = EngineBuilder::new()
+                        .relation(ctx.instance().clone(), ctx.fds().clone())
+                        .priority_from_sources(&sources, &order)
+                        .build()
+                        .unwrap();
+                    let query = PreparedQuery::parse(text).unwrap();
+                    rows += query.execute(&cold, kind, Semantics::Certain).unwrap().count();
                 }
             }
             rows
@@ -82,9 +83,13 @@ fn bench(c: &mut Criterion) {
             b.iter(|| {
                 (0..8)
                     .map(|_| {
-                        let engine = pdqi_core::PdqiEngine::new(instance.clone(), fds.clone());
-                        engine
-                            .consistent_answer_text("EXISTS x . R(x,0)", FamilyKind::Local)
+                        let cold = EngineBuilder::new()
+                            .relation(instance.clone(), fds.clone())
+                            .build()
+                            .unwrap();
+                        PreparedQuery::parse("EXISTS x . R(x,0)")
+                            .unwrap()
+                            .consistent_answer(&cold, FamilyKind::Local)
                             .unwrap()
                             .examined
                     })

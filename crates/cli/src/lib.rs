@@ -17,6 +17,7 @@
 #![forbid(unsafe_code)]
 
 use std::fmt::Write as _;
+use std::sync::Arc;
 
 use pdqi_aggregate::{range_by_enumeration, AggregateFunction, AggregateQuery};
 use pdqi_core::{properties, EngineSnapshot, FamilyKind, Parallelism, PreparedQuery, MAX_THREADS};
@@ -86,6 +87,12 @@ impl Interpreter {
     /// Access to the underlying SQL session (used by tests and by embedding callers).
     pub fn session(&self) -> &Session {
         &self.session
+    }
+
+    /// Mutable access to the underlying SQL session — the `serve` subcommand uses this
+    /// to publish the loaded tables into the session's registry before binding.
+    pub fn session_mut(&mut self) -> &mut Session {
+        &mut self.session
     }
 
     /// Interprets one line (an SQL statement or a meta command) and returns the text to
@@ -193,7 +200,7 @@ impl Interpreter {
         &mut self,
         args: &[&str],
         usage: &str,
-    ) -> Result<(EngineSnapshot, String), CliError> {
+    ) -> Result<(Arc<EngineSnapshot>, String), CliError> {
         let table =
             args.first().ok_or_else(|| CliError::Command(format!("usage: {usage}")))?.to_string();
         let snapshot = self.session.snapshot(&table)?;
@@ -412,6 +419,59 @@ meta commands:
   .answer <table> <family> <FO query>       preferred consistent answer to a closed query
   .aggregate <table> <func> <attr> [family] range-consistent aggregate answer
   .properties <table>                       evaluate P1-P4 for every family";
+
+/// Turns one `pdqi connect` input line into a protocol frame payload, or `None` for
+/// blank and `--` comment lines. `BATCH` requests are multi-line frames; on the
+/// single-line `connect` surface the entries are separated with `;`:
+///
+/// ```text
+/// BATCH q1 ALL CERTAIN; q2 G CLOSED
+/// ```
+pub fn frame_payload_of_line(line: &str) -> Option<String> {
+    let trimmed = line.trim();
+    if trimmed.is_empty() || trimmed.starts_with("--") {
+        return None;
+    }
+    let is_batch =
+        trimmed.split_whitespace().next().is_some_and(|word| word.eq_ignore_ascii_case("BATCH"));
+    if is_batch {
+        let rest = trimmed[5.min(trimmed.len())..].trim();
+        let mut payload = String::from("BATCH");
+        for entry in rest.split(';') {
+            let entry = entry.trim();
+            if !entry.is_empty() {
+                payload.push('\n');
+                payload.push_str(entry);
+            }
+        }
+        return Some(payload);
+    }
+    Some(trimmed.to_string())
+}
+
+/// Drives a scripted client session against a running server: one request per
+/// non-empty input line, each response echoed back, stopping after a `SHUTDOWN`
+/// request is answered. This is the whole of `pdqi connect` — kept here so tests can
+/// run it in-process against a loopback server.
+pub fn run_connect_script(addr: &str, input: &str) -> Result<String, pdqi_server::ClientError> {
+    let mut client = pdqi_server::Client::connect(addr)
+        .map_err(|e| pdqi_server::ClientError::Frame(pdqi_server::FrameError::Io(e)))?;
+    let mut out = String::new();
+    for line in input.lines() {
+        let Some(payload) = frame_payload_of_line(line) else {
+            continue;
+        };
+        let response = client.request_raw(&payload)?;
+        out.push_str(&response);
+        if !response.ends_with('\n') {
+            out.push('\n');
+        }
+        if payload.trim().eq_ignore_ascii_case("SHUTDOWN") {
+            break;
+        }
+    }
+    Ok(out)
+}
 
 fn render_outcome(outcome: &StatementOutcome) -> String {
     match outcome {

@@ -19,7 +19,10 @@
 //!   queries under the plain repair family ([`cqa`], [`cqa_ground`]),
 //! * the **prepared-query engine**: [`EngineBuilder`] / [`EngineSnapshot`] /
 //!   [`PreparedQuery`], the primary API ([`snapshot`], [`prepared`]),
-//! * the deprecated one-stop shim [`PdqiEngine`] ([`engine`]).
+//! * the **serving core**: [`SnapshotRegistry`], one atomically-swappable
+//!   [`Arc`](std::sync::Arc)-shared snapshot per table with generation counters, the
+//!   structure SQL sessions and the `pdqi-server` network front end serve from
+//!   ([`registry`]).
 //!
 //! # Quick start
 //!
@@ -78,20 +81,18 @@
 pub mod clean;
 pub mod cqa;
 pub mod cqa_ground;
-pub mod engine;
 pub mod families;
 pub mod hyper;
 pub mod optimality;
 pub mod parallel;
 pub mod prepared;
 pub mod properties;
+pub mod registry;
 pub mod repair;
 pub mod snapshot;
 
 pub use clean::{clean_with_total_priority, CleaningError};
 pub use cqa::{preferred_consistent_answer, CqaOutcome};
-#[allow(deprecated)]
-pub use engine::PdqiEngine;
 pub use families::{
     AllRepairs, CommonOptimal, FamilyKind, GlobalOptimal, LocalOptimal, RepairFamily,
     SemiGlobalOptimal,
@@ -102,5 +103,6 @@ pub use optimality::{
 };
 pub use parallel::{BatchExecutor, BatchRequest, BatchResponse, Parallelism, MAX_THREADS};
 pub use prepared::{AnswerSet, PreparedQuery, Semantics};
+pub use registry::{RegistryStats, ReviseError, SnapshotLease, SnapshotRegistry, TableStats};
 pub use repair::RepairContext;
 pub use snapshot::{BuildError, EngineBuilder, EngineSnapshot, MemoStats, Shard};

@@ -631,7 +631,7 @@ const MAX_CHUNKS: u128 = 65_536;
 /// no gaps, no overlaps, in ascending order. Everything is `u128` — repair products
 /// routinely exceed `usize::MAX`, and truncating here would silently drop repairs.
 /// `chunks` is clamped to `[1, min(total, 65536)]` (one allocation per chunk; see
-/// [`MAX_CHUNKS`]).
+/// the private `MAX_CHUNKS` bound).
 pub fn chunk_ranges(total: u128, chunks: u128) -> Vec<(u128, u128)> {
     let chunks = chunks.min(total).clamp(1, MAX_CHUNKS);
     let base = total / chunks;

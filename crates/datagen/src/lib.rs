@@ -13,7 +13,9 @@
 //!   of conflict edges oriented), plus total priorities,
 //! * [`queries`] — ground and conjunctive query workloads over the generated instances,
 //! * [`sat_instances`] — random 3-CNF formulas feeding the hardness reduction of
-//!   [`pdqi_solve::reductions`].
+//!   [`pdqi_solve::reductions`],
+//! * [`trace`] — interleaved query/revision streams for the swap-under-load serving
+//!   experiments (snapshot registry + network front end).
 //!
 //! All generators are deterministic given a seed (`StdRng`), so every experiment is
 //! reproducible.
@@ -26,6 +28,7 @@ pub mod priorities;
 pub mod queries;
 pub mod sat_instances;
 pub mod synthetic;
+pub mod trace;
 
 pub use integration::IntegrationScenario;
 pub use priorities::{random_priority, random_total_priority};
@@ -35,3 +38,4 @@ pub use synthetic::{
     chain_instance, duplicate_instance, example4_instance, multi_chain_instance,
     multi_chain_relations, random_conflict_instance, skewed_chain_instance,
 };
+pub use trace::{revision_trace, RevisionTrace, TraceEvent};

@@ -1,0 +1,237 @@
+//! A blocking client for the `pdqi` wire protocol.
+//!
+//! [`Client`] is deliberately thin: one request frame out, one response frame in, plus
+//! typed helpers that parse the response head. The CLI's `connect` subcommand and the
+//! serving tests and benches all drive servers through it.
+
+use std::fmt;
+use std::io::{self, BufReader, BufWriter};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use pdqi_core::FamilyKind;
+
+use crate::protocol::{read_frame, write_frame, ExecMode, ExecSpec, FrameError, Request};
+
+/// Errors raised by client calls.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The transport or framing failed.
+    Frame(FrameError),
+    /// The server answered `ERR …`.
+    Server(String),
+    /// The server answered `OK` but the response body did not have the promised shape.
+    Malformed(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Frame(e) => write!(f, "{e}"),
+            ClientError::Server(message) => write!(f, "server error: {message}"),
+            ClientError::Malformed(message) => write!(f, "malformed response: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        ClientError::Frame(e)
+    }
+}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Frame(FrameError::Io(e))
+    }
+}
+
+/// The result of one `EXEC` (or one entry of a `BATCH`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecOutcome {
+    /// Open-query rows: column headers plus tab-split rows, sorted and de-duplicated.
+    Rows {
+        /// The column headers (the query's free variables).
+        columns: Vec<String>,
+        /// The answer rows, one `Vec<String>` per row.
+        rows: Vec<Vec<String>>,
+    },
+    /// Closed-query verdict (`true`, `false` or `undetermined`).
+    Outcome {
+        /// The rendered verdict.
+        verdict: String,
+        /// Preferred repairs the server examined (0 for the polynomial fast path).
+        examined: u64,
+    },
+    /// This batch entry failed (other entries may still have succeeded).
+    Error(String),
+}
+
+/// A blocking protocol client over one TCP connection.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    /// Connects to a `pdqi` server.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client { reader, writer: BufWriter::new(stream) })
+    }
+
+    /// Sends one raw payload and returns the raw response payload. `ERR` responses are
+    /// returned verbatim, not turned into [`ClientError::Server`] — this is the escape
+    /// hatch scripted sessions (`pdqi connect`) use.
+    pub fn request_raw(&mut self, payload: &str) -> Result<String, ClientError> {
+        write_frame(&mut self.writer, payload)?;
+        Ok(read_frame(&mut self.reader)?)
+    }
+
+    /// Sends a typed request; `ERR` responses become [`ClientError::Server`].
+    fn request(&mut self, request: &Request) -> Result<String, ClientError> {
+        let response = self.request_raw(&request.render())?;
+        match response.strip_prefix("ERR ") {
+            Some(message) => Err(ClientError::Server(message.to_string())),
+            None => Ok(response),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        self.request(&Request::Ping).map(|_| ())
+    }
+
+    /// Parses and stores `query` under `id` on the server.
+    pub fn prepare(&mut self, id: &str, query: &str) -> Result<(), ClientError> {
+        self.request(&Request::Prepare { id: id.to_string(), query: query.to_string() }).map(|_| ())
+    }
+
+    /// Executes a prepared query; returns the outcome and the snapshot generation the
+    /// server answered against.
+    pub fn exec(
+        &mut self,
+        id: &str,
+        family: FamilyKind,
+        mode: ExecMode,
+    ) -> Result<(ExecOutcome, u64), ClientError> {
+        let spec = ExecSpec { id: id.to_string(), family, mode };
+        let response = self.request(&Request::Exec(spec))?;
+        // split('\n'), not lines(): a zero-column answer row renders as an empty line,
+        // which lines() would silently drop at the end of the payload.
+        let mut lines = response.split('\n');
+        let head = lines.next().unwrap_or("");
+        let head = head.strip_prefix("OK ").unwrap_or(head);
+        let generation = parse_tagged(head, "gen")?;
+        let outcome = parse_block(head, &mut lines)?;
+        Ok((outcome, generation))
+    }
+
+    /// Executes several prepared queries against one pinned snapshot; outcomes come
+    /// back in request order, all answered at the returned generation.
+    pub fn batch(&mut self, specs: Vec<ExecSpec>) -> Result<(Vec<ExecOutcome>, u64), ClientError> {
+        let expected = specs.len();
+        let response = self.request(&Request::Batch(specs))?;
+        let mut lines = response.split('\n');
+        let head = lines.next().unwrap_or("");
+        let generation = parse_tagged(head, "gen")?;
+        let mut outcomes = Vec::with_capacity(expected);
+        while let Some(line) = lines.next() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            outcomes.push(parse_block(line, &mut lines)?);
+        }
+        if outcomes.len() != expected {
+            return Err(ClientError::Malformed(format!(
+                "expected {expected} batch responses, got {}",
+                outcomes.len()
+            )));
+        }
+        Ok((outcomes, generation))
+    }
+
+    /// Replaces `table`'s priority with explicit `winner ≻ loser` tuple-id pairs and
+    /// swaps the revised snapshot in; returns the new generation.
+    pub fn set_priority(&mut self, table: &str, pairs: &[(u32, u32)]) -> Result<u64, ClientError> {
+        let response = self
+            .request(&Request::SetPriority { table: table.to_string(), pairs: pairs.to_vec() })?;
+        parse_tagged(response.lines().next().unwrap_or(""), "gen")
+    }
+
+    /// The server's raw `STATS` response.
+    pub fn stats(&mut self) -> Result<String, ClientError> {
+        self.request(&Request::Stats)
+    }
+
+    /// Asks the server to stop (the server answers, then shuts down).
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        self.request(&Request::Shutdown).map(|_| ())
+    }
+}
+
+/// Extracts `tag=<u64>` from a response head line.
+fn parse_tagged(line: &str, tag: &str) -> Result<u64, ClientError> {
+    let prefix = format!("{tag}=");
+    line.split_whitespace()
+        .find_map(|token| token.strip_prefix(&prefix))
+        .and_then(|text| text.parse().ok())
+        .ok_or_else(|| ClientError::Malformed(format!("no `{tag}=` in `{line}`")))
+}
+
+/// Parses one response block: `rows <n>` (consuming a header and `n` row lines from
+/// `lines`), `outcome <verdict> examined=<k>`, or `error <message>`.
+fn parse_block<'a>(
+    head: &str,
+    lines: &mut impl Iterator<Item = &'a str>,
+) -> Result<ExecOutcome, ClientError> {
+    let mut tokens = head.split_whitespace();
+    match tokens.next() {
+        Some("rows") => {
+            let count: usize = tokens
+                .next()
+                .and_then(|text| text.parse().ok())
+                .ok_or_else(|| ClientError::Malformed(format!("bad rows head `{head}`")))?;
+            let header = lines
+                .next()
+                .ok_or_else(|| ClientError::Malformed("missing column header".to_string()))?;
+            let columns: Vec<String> = if header.is_empty() {
+                Vec::new()
+            } else {
+                header.split('\t').map(str::to_string).collect()
+            };
+            let mut rows = Vec::with_capacity(count);
+            for _ in 0..count {
+                let line = lines
+                    .next()
+                    .ok_or_else(|| ClientError::Malformed("missing answer row".to_string()))?;
+                // A closed query executed under row semantics yields zero-column rows,
+                // which render as empty lines — not as one empty value. Non-empty
+                // fields are unescaped (the server escapes embedded tabs/newlines).
+                let row: Vec<String> = if columns.is_empty() && line.is_empty() {
+                    Vec::new()
+                } else {
+                    line.split('\t').map(crate::protocol::unescape_field).collect()
+                };
+                rows.push(row);
+            }
+            Ok(ExecOutcome::Rows { columns, rows })
+        }
+        Some("outcome") => {
+            let verdict = tokens
+                .next()
+                .ok_or_else(|| ClientError::Malformed(format!("bad outcome head `{head}`")))?
+                .to_string();
+            let examined = parse_tagged(head, "examined")?;
+            Ok(ExecOutcome::Outcome { verdict, examined })
+        }
+        Some("error") => {
+            let message = head.strip_prefix("error ").unwrap_or(head).to_string();
+            Ok(ExecOutcome::Error(message))
+        }
+        _ => Err(ClientError::Malformed(format!("unrecognised response block `{head}`"))),
+    }
+}

@@ -1,0 +1,38 @@
+//! Network front end for `pdqi`: serve preferred consistent answers over TCP.
+//!
+//! The crate puts a wire protocol on the serving core that `pdqi-core` exposes:
+//!
+//! ```text
+//!            clients                      pdqi-server                   pdqi-core
+//!  ┌──────────┐  frames   ┌──────────────────────────────┐   ┌───────────────────────┐
+//!  │ Client / │ ────────► │ accept loops → per-connection │   │   SnapshotRegistry    │
+//!  │ pdqi     │ ◄──────── │ handlers → Request dispatch   │──►│ table → Arc<Snapshot> │
+//!  │ connect  │           │   EXEC/BATCH: BatchExecutor   │   │ (generation counters) │
+//!  └──────────┘           │   SET-PRIORITY: revise+swap   │   └───────────────────────┘
+//! ```
+//!
+//! * [`protocol`] — the length-prefixed line protocol: framing, request parsing,
+//!   response shapes, malformed-frame rules;
+//! * [`server`] — the std-only serving loop: accept threads, per-connection handlers,
+//!   snapshot-pinned dispatch through [`pdqi_core::BatchExecutor`], revisions through
+//!   [`pdqi_core::SnapshotRegistry::revise`];
+//! * [`client`] — a blocking [`Client`] with typed helpers, used by the CLI's
+//!   `connect` subcommand, the serving tests and the `e16_serving` bench.
+//!
+//! Everything is plain [`std`]: no async runtime exists in this build environment, so
+//! concurrency is accept-loop threads plus a handler thread per connection, and all
+//! sharing goes through the same `Arc`/atomic structures the in-process serving path
+//! uses. The protocol guarantees of the in-process API carry over: every request is
+//! answered against **one** pinned snapshot generation, and priority swaps never block
+//! in-flight readers.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use client::{Client, ClientError, ExecOutcome};
+pub use protocol::{ExecMode, ExecSpec, FrameError, Request, MAX_FRAME_BYTES};
+pub use server::{serve, ServerConfig, ServerHandle};

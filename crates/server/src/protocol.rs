@@ -1,0 +1,463 @@
+//! The wire protocol: length-prefixed UTF-8 frames carrying one request or response.
+//!
+//! # Framing
+//!
+//! Every message — request and response alike — is one **frame**:
+//!
+//! ```text
+//! +----------------+---------------------+
+//! | length: u32 BE | payload: UTF-8 text |
+//! +----------------+---------------------+
+//! ```
+//!
+//! The length counts payload bytes only and must not exceed [`MAX_FRAME_BYTES`]; a
+//! frame that is too large, truncated, or not valid UTF-8 is *malformed* and the peer
+//! answers with an `ERR` frame and closes the connection (a malformed length prefix
+//! leaves no trustworthy framing to resynchronise on).
+//!
+//! # Requests
+//!
+//! The payload's first line is the command; `BATCH` carries one extra line per entry:
+//!
+//! ```text
+//! PING
+//! PREPARE <id> <first-order query text>
+//! EXEC <id> <family> <CERTAIN|POSSIBLE|CLOSED>
+//! BATCH
+//! <id> <family> <CERTAIN|POSSIBLE|CLOSED>      (repeated, one line per entry)
+//! SET-PRIORITY <table> [<winner>><loser> ...]
+//! STATS
+//! SHUTDOWN
+//! ```
+//!
+//! Families use the SQL tokens (`ALL`/`L`/`S`/`G`/`C` or the paper labels). Priorities
+//! are explicit tuple-id pairs `3>7` (tuple 3 preferred over tuple 7).
+//!
+//! # Responses
+//!
+//! The first line starts with `OK` or `ERR`. Row-bearing responses append one header
+//! line and one tab-separated line per row:
+//!
+//! ```text
+//! OK rows 2 gen=3                      OK outcome undetermined examined=5 gen=3
+//! x                                    OK swapped Mgr gen=4
+//! Mary                                 ERR unknown prepared query `q9`
+//! John
+//! ```
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+use pdqi_core::{FamilyKind, Semantics};
+
+/// Hard ceiling on a frame's payload size. Frames are statements and answer sets, not
+/// bulk data transfer; the cap bounds per-connection memory and lets the server reject
+/// garbage (e.g. an HTTP request aimed at the wrong port) before allocating.
+pub const MAX_FRAME_BYTES: usize = 1 << 20;
+
+/// What a request asks the executor to do with a prepared query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Open-query execution under [`Semantics::Certain`].
+    Certain,
+    /// Open-query execution under [`Semantics::Possible`].
+    Possible,
+    /// Closed-query consistent answer (true / false / undetermined).
+    Closed,
+}
+
+impl ExecMode {
+    /// Parses the wire token.
+    pub fn parse(text: &str) -> Option<ExecMode> {
+        match text.to_ascii_uppercase().as_str() {
+            "CERTAIN" => Some(ExecMode::Certain),
+            "POSSIBLE" => Some(ExecMode::Possible),
+            "CLOSED" => Some(ExecMode::Closed),
+            _ => None,
+        }
+    }
+
+    /// The open-query semantics, unless this is the closed mode.
+    pub fn semantics(self) -> Option<Semantics> {
+        match self {
+            ExecMode::Certain => Some(Semantics::Certain),
+            ExecMode::Possible => Some(Semantics::Possible),
+            ExecMode::Closed => None,
+        }
+    }
+}
+
+impl fmt::Display for ExecMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ExecMode::Certain => "CERTAIN",
+            ExecMode::Possible => "POSSIBLE",
+            ExecMode::Closed => "CLOSED",
+        })
+    }
+}
+
+/// One `EXEC`-shaped entry: a prepared-query id, a family and a mode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecSpec {
+    /// The id the query was `PREPARE`d under.
+    pub id: String,
+    /// The family of preferred repairs to quantify over.
+    pub family: FamilyKind,
+    /// Open semantics or the closed consistent answer.
+    pub mode: ExecMode,
+}
+
+impl ExecSpec {
+    fn parse(line: &str) -> Result<ExecSpec, String> {
+        let mut parts = line.split_whitespace();
+        let (Some(id), Some(family), Some(mode), None) =
+            (parts.next(), parts.next(), parts.next(), parts.next())
+        else {
+            return Err(format!(
+                "expected `<id> <family> <CERTAIN|POSSIBLE|CLOSED>`, got `{line}`"
+            ));
+        };
+        let family = FamilyKind::parse(family)
+            .ok_or_else(|| format!("`{family}` is not a repair family (use ALL, L, S, G or C)"))?;
+        let mode = ExecMode::parse(mode).ok_or_else(|| {
+            format!("`{mode}` is not an execution mode (use CERTAIN, POSSIBLE or CLOSED)")
+        })?;
+        Ok(ExecSpec { id: id.to_string(), family, mode })
+    }
+}
+
+/// A parsed request frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Parse and store a query under an id.
+    Prepare {
+        /// The id later `EXEC`s refer to.
+        id: String,
+        /// The first-order query text.
+        query: String,
+    },
+    /// Execute one prepared query.
+    Exec(ExecSpec),
+    /// Execute several prepared queries against **one** pinned snapshot.
+    Batch(Vec<ExecSpec>),
+    /// Revise a table's priority and swap the registry snapshot.
+    SetPriority {
+        /// The table whose priority is revised.
+        table: String,
+        /// Explicit `winner ≻ loser` tuple-id pairs (replacing the current priority).
+        pairs: Vec<(u32, u32)>,
+    },
+    /// Registry and executor statistics.
+    Stats,
+    /// Stop the server after answering.
+    Shutdown,
+}
+
+impl Request {
+    /// Parses a request payload. Errors are protocol-level (`ERR` text), not I/O.
+    pub fn parse(payload: &str) -> Result<Request, String> {
+        let mut lines = payload.lines();
+        let head = lines.next().unwrap_or("").trim();
+        // Commands are case-insensitive; everything after the command keeps its case.
+        let (command, rest) = match head.split_once(char::is_whitespace) {
+            Some((command, rest)) => (command.to_ascii_uppercase(), rest.trim_start()),
+            None => (head.to_ascii_uppercase(), ""),
+        };
+        match command.as_str() {
+            "PING" => Ok(Request::Ping),
+            "PREPARE" => {
+                let Some((id, query)) = rest.split_once(char::is_whitespace) else {
+                    return Err("usage: PREPARE <id> <query>".to_string());
+                };
+                Ok(Request::Prepare { id: id.to_string(), query: query.trim().to_string() })
+            }
+            "EXEC" => Ok(Request::Exec(ExecSpec::parse(rest)?)),
+            "BATCH" => {
+                let specs: Vec<ExecSpec> = lines
+                    .filter(|line| !line.trim().is_empty())
+                    .map(ExecSpec::parse)
+                    .collect::<Result<_, _>>()?;
+                if specs.is_empty() {
+                    return Err("BATCH needs at least one `<id> <family> <mode>` line".to_string());
+                }
+                Ok(Request::Batch(specs))
+            }
+            "SET-PRIORITY" => {
+                let (table, pair_text) = match rest.split_once(char::is_whitespace) {
+                    Some((table, pair_text)) => (table, pair_text),
+                    None => (rest, ""),
+                };
+                if table.is_empty() {
+                    return Err("usage: SET-PRIORITY <table> [<winner>><loser> ...]".to_string());
+                }
+                let mut pairs = Vec::new();
+                for token in pair_text.split_whitespace() {
+                    let Some((winner, loser)) = token.split_once('>') else {
+                        return Err(format!(
+                            "`{token}` is not a priority pair (use `<winner>><loser>`, e.g. `3>7`)"
+                        ));
+                    };
+                    let parse = |text: &str| {
+                        text.parse::<u32>().map_err(|_| format!("`{text}` is not a tuple id"))
+                    };
+                    pairs.push((parse(winner)?, parse(loser)?));
+                }
+                Ok(Request::SetPriority { table: table.to_string(), pairs })
+            }
+            "STATS" => Ok(Request::Stats),
+            "SHUTDOWN" => Ok(Request::Shutdown),
+            other => Err(format!("unknown command `{other}`")),
+        }
+    }
+
+    /// Renders the request as a payload [`Request::parse`] round-trips.
+    pub fn render(&self) -> String {
+        match self {
+            Request::Ping => "PING".to_string(),
+            Request::Prepare { id, query } => format!("PREPARE {id} {query}"),
+            Request::Exec(spec) => {
+                format!("EXEC {} {} {}", spec.id, spec.family.label(), spec.mode)
+            }
+            Request::Batch(specs) => {
+                let mut out = String::from("BATCH");
+                for spec in specs {
+                    out.push('\n');
+                    out.push_str(&format!("{} {} {}", spec.id, spec.family.label(), spec.mode));
+                }
+                out
+            }
+            Request::SetPriority { table, pairs } => {
+                let mut out = format!("SET-PRIORITY {table}");
+                for (winner, loser) in pairs {
+                    out.push_str(&format!(" {winner}>{loser}"));
+                }
+                out
+            }
+            Request::Stats => "STATS".to_string(),
+            Request::Shutdown => "SHUTDOWN".to_string(),
+        }
+    }
+}
+
+/// Errors surfaced while reading a frame.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The underlying transport failed (including EOF mid-frame).
+    Io(io::Error),
+    /// The peer announced a payload larger than [`MAX_FRAME_BYTES`].
+    TooLarge {
+        /// The announced payload size.
+        announced: usize,
+    },
+    /// The payload was not valid UTF-8.
+    NotUtf8,
+    /// The peer closed the connection cleanly (EOF at a frame boundary).
+    Closed,
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "transport error: {e}"),
+            FrameError::TooLarge { announced } => write!(
+                f,
+                "frame too large: {announced} bytes announced, limit is {MAX_FRAME_BYTES}"
+            ),
+            FrameError::NotUtf8 => f.write_str("frame payload is not valid UTF-8"),
+            FrameError::Closed => f.write_str("connection closed"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+/// Escapes one row value for the tab/newline-delimited response encoding: `\` → `\\`,
+/// tab → `\t`, newline → `\n`. Without this, a stored `TEXT` value containing a tab or
+/// newline would shift the positional structure every later row (and batch block) is
+/// parsed by.
+pub fn escape_field(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Reverses [`escape_field`]. Unknown escapes (and a trailing lone `\`) pass through
+/// verbatim rather than erroring: the value is still displayable and the framing is
+/// already safe.
+pub fn unescape_field(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    let mut chars = text.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('t') => out.push('\t'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some(other) => {
+                out.push('\\');
+                out.push(other);
+            }
+            None => out.push('\\'),
+        }
+    }
+    out
+}
+
+/// Writes one frame: `u32` big-endian payload length, then the payload bytes.
+///
+/// A payload over [`MAX_FRAME_BYTES`] is refused with `InvalidInput` **before** any
+/// byte hits the wire — the peer would reject the frame as too large anyway, and a
+/// half-written oversized frame would desynchronise the stream. The server turns this
+/// into a small `ERR response too large` answer; clients surface it as an error.
+pub fn write_frame(writer: &mut impl Write, payload: &str) -> io::Result<()> {
+    let bytes = payload.as_bytes();
+    if bytes.len() > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("payload is {} bytes; the frame limit is {MAX_FRAME_BYTES}", bytes.len()),
+        ));
+    }
+    writer.write_all(&(bytes.len() as u32).to_be_bytes())?;
+    writer.write_all(bytes)?;
+    writer.flush()
+}
+
+/// Reads one frame, enforcing [`MAX_FRAME_BYTES`] **before** allocating the payload.
+///
+/// EOF at a frame boundary reports [`FrameError::Closed`]; EOF inside a frame is an
+/// [`FrameError::Io`] error (the peer vanished mid-message).
+pub fn read_frame(reader: &mut impl Read) -> Result<String, FrameError> {
+    let mut len_bytes = [0u8; 4];
+    match reader.read_exact(&mut len_bytes) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Err(FrameError::Closed),
+        Err(e) => return Err(FrameError::Io(e)),
+    }
+    let announced = u32::from_be_bytes(len_bytes) as usize;
+    if announced > MAX_FRAME_BYTES {
+        return Err(FrameError::TooLarge { announced });
+    }
+    let mut payload = vec![0u8; announced];
+    reader.read_exact(&mut payload)?;
+    String::from_utf8(payload).map_err(|_| FrameError::NotUtf8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buffer = Vec::new();
+        write_frame(&mut buffer, "PING").unwrap();
+        write_frame(&mut buffer, "STATS").unwrap();
+        let mut cursor = io::Cursor::new(buffer);
+        assert_eq!(read_frame(&mut cursor).unwrap(), "PING");
+        assert_eq!(read_frame(&mut cursor).unwrap(), "STATS");
+        assert!(matches!(read_frame(&mut cursor), Err(FrameError::Closed)));
+    }
+
+    #[test]
+    fn oversized_and_truncated_frames_are_rejected() {
+        let mut oversized = Vec::new();
+        oversized.extend_from_slice(&((MAX_FRAME_BYTES as u32) + 1).to_be_bytes());
+        let mut cursor = io::Cursor::new(oversized);
+        assert!(matches!(read_frame(&mut cursor), Err(FrameError::TooLarge { .. })));
+
+        let mut truncated = Vec::new();
+        truncated.extend_from_slice(&8u32.to_be_bytes());
+        truncated.extend_from_slice(b"hi");
+        let mut cursor = io::Cursor::new(truncated);
+        assert!(matches!(read_frame(&mut cursor), Err(FrameError::Io(_))));
+
+        let mut binary = Vec::new();
+        binary.extend_from_slice(&2u32.to_be_bytes());
+        binary.extend_from_slice(&[0xff, 0xfe]);
+        let mut cursor = io::Cursor::new(binary);
+        assert!(matches!(read_frame(&mut cursor), Err(FrameError::NotUtf8)));
+    }
+
+    #[test]
+    fn field_escaping_round_trips() {
+        for value in
+            ["plain", "tab\there", "line\nbreak", "back\\slash", "\t\n\\", "", "trailing\\"]
+        {
+            assert_eq!(unescape_field(&escape_field(value)), value, "{value:?}");
+            // Escaped text never contains raw structure characters.
+            assert!(!escape_field(value).contains('\t'));
+            assert!(!escape_field(value).contains('\n'));
+        }
+        // Unknown escapes and lone trailing backslashes pass through.
+        assert_eq!(unescape_field("a\\xb"), "a\\xb");
+        assert_eq!(unescape_field("end\\"), "end\\");
+    }
+
+    #[test]
+    fn requests_parse_and_render() {
+        let cases = [
+            Request::Ping,
+            Request::Prepare { id: "q1".into(), query: "EXISTS d,s,r . Mgr(x,d,s,r)".into() },
+            Request::Exec(ExecSpec {
+                id: "q1".into(),
+                family: FamilyKind::Global,
+                mode: ExecMode::Certain,
+            }),
+            Request::Batch(vec![
+                ExecSpec { id: "q1".into(), family: FamilyKind::Rep, mode: ExecMode::Possible },
+                ExecSpec { id: "q2".into(), family: FamilyKind::Common, mode: ExecMode::Closed },
+            ]),
+            Request::SetPriority { table: "Mgr".into(), pairs: vec![(0, 2), (1, 3)] },
+            Request::SetPriority { table: "Mgr".into(), pairs: vec![] },
+            Request::Stats,
+            Request::Shutdown,
+        ];
+        for request in cases {
+            assert_eq!(Request::parse(&request.render()).unwrap(), request);
+        }
+    }
+
+    #[test]
+    fn malformed_requests_report_usage() {
+        for bad in [
+            "",
+            "NOPE",
+            "PREPARE onlyid",
+            "EXEC q1",
+            "EXEC q1 ALL MAYBE",
+            "EXEC q1 NOPE CERTAIN",
+            "EXEC q1 ALL CERTAIN extra",
+            "BATCH",
+            "BATCH\nq1 ALL",
+            "SET-PRIORITY",
+            "SET-PRIORITY Mgr 1-2",
+            "SET-PRIORITY Mgr x>y",
+        ] {
+            assert!(Request::parse(bad).is_err(), "{bad:?} should be malformed");
+        }
+        // Commands are case-insensitive; ids and queries keep their case.
+        let lower = Request::parse("prepare Q1 EXISTS b . R(x,b)").unwrap();
+        assert_eq!(lower, Request::Prepare { id: "Q1".into(), query: "EXISTS b . R(x,b)".into() });
+        assert!(Request::parse("exec Q1 all certain").is_ok());
+    }
+}

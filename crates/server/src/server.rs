@@ -1,0 +1,529 @@
+//! The serving loop: accept threads, per-connection handlers, request dispatch.
+//!
+//! The server is **std-only** (this build environment has no async runtime): a
+//! configurable number of accept-loop threads share one `TcpListener` (the kernel wakes
+//! exactly one blocked acceptor per incoming connection — the thread-per-core accept
+//! pattern), and every accepted connection gets a handler thread that reads frames,
+//! dispatches them, and writes response frames back.
+//!
+//! Dispatch is where the serving-core architecture shows:
+//!
+//! * `EXEC`/`BATCH` **pin one snapshot** per request — a [`SnapshotRegistry::read`]
+//!   lease taken once, before any work — and run every query of the request through a
+//!   [`BatchExecutor`] over that snapshot. Answers are bit-identical to calling
+//!   [`pdqi_core::PreparedQuery::execute`] on the leased snapshot directly, and the
+//!   response reports the pinned generation;
+//! * `SET-PRIORITY` revises **off the serving path** through
+//!   [`SnapshotRegistry::revise`]: the replacement snapshot derives (and eagerly
+//!   revalidates) while in-flight readers keep their leases, then one atomic swap
+//!   publishes it;
+//! * prepared queries are parsed once (`PREPARE`) into a shared plan cache keyed by
+//!   client-chosen ids, so repeated `EXEC`s skip parsing and classification exactly
+//!   like prepared statements in the SQL session.
+
+use std::collections::HashMap;
+use std::io::{self, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use pdqi_core::{
+    BatchExecutor, BatchRequest, BatchResponse, Parallelism, PreparedQuery, SnapshotLease,
+    SnapshotRegistry,
+};
+use pdqi_priority::Priority;
+use pdqi_relation::TupleId;
+
+use crate::protocol::{escape_field, write_frame, ExecSpec, FrameError, Request};
+
+/// How often blocked connection reads wake up to check the shutdown flag. Connections
+/// use a read timeout instead of a blocking read so a `shutdown` call (or a remote
+/// `SHUTDOWN` command) drains handler threads promptly without poking every socket.
+const SHUTDOWN_POLL: Duration = Duration::from_millis(50);
+
+/// Cap on the shared `PREPARE` plan cache (cleared wholesale when exceeded): the ids
+/// are client-chosen, so an unbounded map would let one misbehaving client grow a
+/// long-lived server without limit.
+const PREPARED_CACHE_LIMIT: usize = 4096;
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads used by query execution and revision revalidation.
+    pub parallelism: Parallelism,
+    /// Accept-loop threads sharing the listener (thread-per-core accept; clamped to at
+    /// least 1).
+    pub acceptors: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig { parallelism: Parallelism::sequential(), acceptors: 1 }
+    }
+}
+
+/// A prepared query stored under a client-chosen id.
+struct PreparedEntry {
+    query: Arc<PreparedQuery>,
+    /// The single table the query reads (the registry serves snapshots per table).
+    table: String,
+}
+
+/// State shared by every connection handler.
+struct ServerState {
+    registry: Arc<SnapshotRegistry>,
+    prepared: RwLock<HashMap<String, Arc<PreparedEntry>>>,
+    parallelism: Parallelism,
+    /// Accept-loop thread count: a remote `SHUTDOWN` must wake every one of them.
+    acceptors: usize,
+    shutdown: AtomicBool,
+    requests: AtomicU64,
+    protocol_errors: AtomicU64,
+}
+
+impl ServerState {
+    fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::Relaxed)
+    }
+}
+
+/// A handle on a running server: its address, a shutdown trigger, and a join point.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    state: Arc<ServerState>,
+    acceptors: Vec<JoinHandle<()>>,
+    connections: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl ServerHandle {
+    /// The address the server is listening on (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The registry the server serves from.
+    pub fn registry(&self) -> &Arc<SnapshotRegistry> {
+        &self.state.registry
+    }
+
+    /// Asks the server to stop and joins every thread: in-flight requests finish,
+    /// acceptors wake and exit, handler threads drain.
+    pub fn shutdown(mut self) {
+        self.state.shutdown.store(true, Ordering::Relaxed);
+        // Wake every blocked acceptor: each connect is accepted by exactly one of them,
+        // which then observes the flag and exits.
+        for _ in 0..self.acceptors.len() {
+            let _ = TcpStream::connect(self.addr);
+        }
+        self.join_threads();
+    }
+
+    /// Blocks until the server stops (via [`ServerHandle::shutdown`] from another
+    /// thread's clone of the trigger, or a remote `SHUTDOWN` command).
+    pub fn wait(mut self) {
+        self.join_threads();
+    }
+
+    fn join_threads(&mut self) {
+        for acceptor in self.acceptors.drain(..) {
+            let _ = acceptor.join();
+        }
+        let connections = std::mem::take(&mut *self.connections.lock().expect("connection list"));
+        for connection in connections {
+            let _ = connection.join();
+        }
+    }
+}
+
+/// Binds `addr` and starts serving `registry` — see the [module docs](self).
+///
+/// Returns once the listener is bound and the accept loops are running; the returned
+/// handle reports the bound address (pass port 0 for an ephemeral port) and shuts the
+/// server down cleanly when asked.
+pub fn serve(
+    addr: impl ToSocketAddrs,
+    registry: Arc<SnapshotRegistry>,
+    config: ServerConfig,
+) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let acceptor_count = config.acceptors.max(1);
+    let state = Arc::new(ServerState {
+        registry,
+        prepared: RwLock::new(HashMap::new()),
+        parallelism: config.parallelism,
+        acceptors: acceptor_count,
+        shutdown: AtomicBool::new(false),
+        requests: AtomicU64::new(0),
+        protocol_errors: AtomicU64::new(0),
+    });
+    let connections: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+    let mut acceptors = Vec::new();
+    for _ in 0..acceptor_count {
+        let listener = listener.try_clone()?;
+        let state = Arc::clone(&state);
+        let connections = Arc::clone(&connections);
+        let wake_addr = addr;
+        acceptors.push(std::thread::spawn(move || {
+            accept_loop(&listener, wake_addr, &state, &connections);
+        }));
+    }
+    Ok(ServerHandle { addr, state, acceptors, connections })
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    wake_addr: SocketAddr,
+    state: &Arc<ServerState>,
+    connections: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    loop {
+        let Ok((stream, _peer)) = listener.accept() else {
+            if state.shutting_down() {
+                return;
+            }
+            // Persistent accept failures (e.g. EMFILE when handler threads exhaust
+            // file descriptors) must not hot-spin a core; back off briefly so the
+            // handlers that would free descriptors get to run.
+            std::thread::sleep(SHUTDOWN_POLL);
+            continue;
+        };
+        if state.shutting_down() {
+            // The connection that woke us (or a late client): nothing more to serve.
+            return;
+        }
+        let state = Arc::clone(state);
+        let handle = std::thread::spawn(move || {
+            // A remote SHUTDOWN must wake this server's own acceptors; connecting needs
+            // the bound address, so the handler closes over it.
+            handle_connection(stream, &state, wake_addr);
+        });
+        connections.lock().expect("connection list").push(handle);
+        // Reap finished handlers so long-lived servers do not accumulate handles.
+        let mut list = connections.lock().expect("connection list");
+        let mut index = 0;
+        while index < list.len() {
+            if list[index].is_finished() {
+                let _ = list.swap_remove(index).join();
+            } else {
+                index += 1;
+            }
+        }
+    }
+}
+
+/// Reads one frame from a stream whose read timeout is [`SHUTDOWN_POLL`], resuming
+/// across timeouts. A timeout **before** the first byte of a frame is an idle poll and
+/// returns `Ok(None)`; a timeout **mid-frame** keeps waiting for the remaining bytes —
+/// partially-read frames must never be abandoned and re-parsed from the middle, which
+/// would desynchronise the stream (a client sending prefix and payload in separate
+/// segments more than one poll apart would otherwise be cut off).
+fn read_frame_patient(
+    stream: &mut TcpStream,
+    state: &ServerState,
+) -> Result<Option<String>, FrameError> {
+    let mut len_bytes = [0u8; 4];
+    if !fill_buffer(stream, state, &mut len_bytes, true)? {
+        return Ok(None);
+    }
+    let announced = u32::from_be_bytes(len_bytes) as usize;
+    if announced > crate::protocol::MAX_FRAME_BYTES {
+        return Err(FrameError::TooLarge { announced });
+    }
+    let mut payload = vec![0u8; announced];
+    fill_buffer(stream, state, &mut payload, false)?;
+    String::from_utf8(payload).map(Some).map_err(|_| FrameError::NotUtf8)
+}
+
+/// Fills `buf` completely, retrying read timeouts. With `at_boundary`, a timeout before
+/// the first byte returns `Ok(false)` (nothing started) and EOF reports
+/// [`FrameError::Closed`]; once any byte of the frame has been consumed — or when
+/// filling the payload — timeouts retry until the server shuts down, and EOF is a
+/// transport error (the peer vanished mid-message).
+fn fill_buffer(
+    stream: &mut TcpStream,
+    state: &ServerState,
+    buf: &mut [u8],
+    at_boundary: bool,
+) -> Result<bool, FrameError> {
+    use std::io::Read as _;
+    let mut filled = 0usize;
+    while filled < buf.len() {
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Err(if at_boundary && filled == 0 {
+                    FrameError::Closed
+                } else {
+                    FrameError::Io(io::ErrorKind::UnexpectedEof.into())
+                });
+            }
+            Ok(read) => filled += read,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if at_boundary && filled == 0 {
+                    return Ok(false);
+                }
+                if state.shutting_down() {
+                    return Err(FrameError::Closed);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    Ok(true)
+}
+
+fn handle_connection(stream: TcpStream, state: &Arc<ServerState>, wake_addr: SocketAddr) {
+    let _ = stream.set_read_timeout(Some(SHUTDOWN_POLL));
+    let mut reader = match stream.try_clone() {
+        Ok(reader) => reader,
+        Err(_) => return,
+    };
+    let mut writer = io::BufWriter::new(stream);
+    loop {
+        if state.shutting_down() {
+            return;
+        }
+        let payload = match read_frame_patient(&mut reader, state) {
+            Ok(Some(payload)) => payload,
+            // Idle poll: no frame started; check the shutdown flag and keep waiting.
+            Ok(None) => continue,
+            Err(FrameError::Closed) => return,
+            Err(malformed) => {
+                // Oversized, truncated or non-UTF-8 frame: the framing itself is gone,
+                // so answer once and drop the connection instead of guessing where the
+                // next frame starts.
+                state.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                let _ = write_frame(&mut writer, &format!("ERR {malformed}"));
+                return;
+            }
+        };
+        state.requests.fetch_add(1, Ordering::Relaxed);
+        let (mut response, shutdown) = match Request::parse(&payload) {
+            Err(message) => {
+                state.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                (format!("ERR {message}"), false)
+            }
+            Ok(Request::Shutdown) => ("OK bye".to_string(), true),
+            Ok(request) => (dispatch(state, &request), false),
+        };
+        if response.len() > crate::protocol::MAX_FRAME_BYTES {
+            // A legitimately huge answer set cannot be framed; answer with a small
+            // ERR instead of killing the connection (the query itself succeeded —
+            // the client can narrow the projection or filter).
+            response = format!(
+                "ERR response too large ({} bytes exceeds the {}-byte frame limit); \
+                 narrow the query",
+                response.len(),
+                crate::protocol::MAX_FRAME_BYTES
+            );
+        }
+        if write_frame(&mut writer, &response).is_err() {
+            return;
+        }
+        if shutdown {
+            let _ = writer.flush();
+            state.shutdown.store(true, Ordering::Relaxed);
+            // Wake every blocked acceptor, exactly like ServerHandle::shutdown: one
+            // connect per acceptor thread, each accepted (or queued) once.
+            for _ in 0..state.acceptors {
+                let _ = TcpStream::connect(wake_addr);
+            }
+            return;
+        }
+    }
+}
+
+/// Answers one well-formed request. Every error is a protocol-level `ERR` response;
+/// the connection stays usable.
+fn dispatch(state: &ServerState, request: &Request) -> String {
+    match request {
+        Request::Ping => "OK pong".to_string(),
+        Request::Prepare { id, query } => match PreparedQuery::parse(query) {
+            Err(e) => format!("ERR query error: {e}"),
+            Ok(prepared) => {
+                let tables = prepared.relations();
+                let [table] = tables else {
+                    return format!(
+                        "ERR queries must read exactly one table (this one reads {})",
+                        tables.len()
+                    );
+                };
+                let entry =
+                    Arc::new(PreparedEntry { table: table.clone(), query: Arc::new(prepared) });
+                let columns = entry.query.free_vars().join(",");
+                let mut prepared = state.prepared.write().expect("prepared lock");
+                // Bound the network-facing plan cache: a client minting fresh ids per
+                // request must not grow a long-lived server without bound. Like the
+                // SQL session's statement cache, overflow clears wholesale — clients
+                // re-PREPARE on `unknown prepared query`, so this only costs a
+                // re-parse.
+                if prepared.len() >= PREPARED_CACHE_LIMIT && !prepared.contains_key(id) {
+                    prepared.clear();
+                }
+                prepared.insert(id.clone(), Arc::clone(&entry));
+                format!("OK prepared {id} table={} columns={columns}", entry.table)
+            }
+        },
+        Request::Exec(spec) => match execute_specs(state, std::slice::from_ref(spec)) {
+            Err(message) => format!("ERR {message}"),
+            Ok((lease, mut blocks)) => {
+                let block = blocks.pop().expect("one response per spec");
+                match block.strip_prefix("error ") {
+                    // A single failed execution reports as a plain ERR response.
+                    Some(message) => format!("ERR {message}"),
+                    None => {
+                        // The generation tag belongs on the head line; the block may
+                        // carry header and row lines after it.
+                        let (head, rest) = match block.split_once('\n') {
+                            Some((head, rest)) => (head, Some(rest)),
+                            None => (block.as_str(), None),
+                        };
+                        let mut out = format!("OK {head} gen={}", lease.generation());
+                        if let Some(rest) = rest {
+                            out.push('\n');
+                            out.push_str(rest);
+                        }
+                        out
+                    }
+                }
+            }
+        },
+        Request::Batch(specs) => match execute_specs(state, specs) {
+            Err(message) => format!("ERR {message}"),
+            Ok((lease, blocks)) => {
+                let mut out = format!("OK batch {} gen={}", blocks.len(), lease.generation());
+                for block in blocks {
+                    out.push('\n');
+                    out.push_str(&block);
+                }
+                out
+            }
+        },
+        Request::SetPriority { table, pairs } => {
+            let pairs: Vec<(TupleId, TupleId)> =
+                pairs.iter().map(|&(w, l)| (TupleId(w), TupleId(l))).collect();
+            let parallelism = state.parallelism;
+            let revised =
+                state.registry.revise(table, |current| {
+                    let graph = Arc::clone(current.context_of(table).ok_or_else(|| {
+                    format!("registry snapshot for `{table}` does not contain that relation")
+                })?.graph());
+                    let priority = Priority::from_pairs(graph, &pairs)
+                        .map_err(|e| format!("priority cannot be installed: {e}"))?;
+                    current
+                        .with_priority_revalidated_for(table, priority, parallelism)
+                        .map_err(|e| e.to_string())
+                });
+            match revised {
+                Ok(generation) => format!("OK swapped {table} gen={generation}"),
+                Err(e) => format!("ERR {e}"),
+            }
+        }
+        Request::Stats => {
+            let registry = state.registry.stats();
+            let mut out = format!(
+                "OK stats tables={} reads={} swaps={} prepared={} requests={} protocol_errors={}",
+                registry.tables,
+                registry.reads,
+                registry.swaps,
+                state.prepared.read().expect("prepared lock").len(),
+                state.requests.load(Ordering::Relaxed),
+                state.protocol_errors.load(Ordering::Relaxed),
+            );
+            for table in state.registry.table_names() {
+                if let Some(stats) = state.registry.table_stats(&table) {
+                    out.push_str(&format!(
+                        "\ntable {table} gen={} reads={} swaps={}",
+                        stats.generation, stats.reads, stats.swaps
+                    ));
+                }
+            }
+            out
+        }
+        Request::Shutdown => unreachable!("SHUTDOWN is handled by the connection loop"),
+    }
+}
+
+/// Resolves `specs` against the plan cache, pins **one** snapshot lease for all of
+/// them, and runs them through a [`BatchExecutor`] over that lease. Returns the lease
+/// (for the generation tag) and one rendered response block per spec.
+fn execute_specs(
+    state: &ServerState,
+    specs: &[ExecSpec],
+) -> Result<(SnapshotLease, Vec<String>), String> {
+    let prepared = state.prepared.read().expect("prepared lock");
+    let entries: Vec<Arc<PreparedEntry>> = specs
+        .iter()
+        .map(|spec| {
+            prepared
+                .get(&spec.id)
+                .cloned()
+                .ok_or_else(|| format!("unknown prepared query `{}` (PREPARE it first)", spec.id))
+        })
+        .collect::<Result<_, _>>()?;
+    drop(prepared);
+    let table = &entries[0].table;
+    if let Some(mixed) = entries.iter().find(|entry| entry.table != *table) {
+        return Err(format!(
+            "a batch pins one snapshot: all queries must read one table (got `{table}` and `{}`)",
+            mixed.table
+        ));
+    }
+    let lease = state
+        .registry
+        .read(table)
+        .ok_or_else(|| format!("no snapshot published for table `{table}`"))?;
+    // One pinned snapshot for the whole request: every answer below is bit-identical
+    // to PreparedQuery::execute / consistent_answer on this exact snapshot.
+    let executor = BatchExecutor::with_parallelism(
+        pdqi_core::EngineSnapshot::clone(lease.snapshot()),
+        state.parallelism,
+    );
+    let requests: Vec<BatchRequest> = specs
+        .iter()
+        .zip(&entries)
+        .map(|(spec, entry)| {
+            let query = Arc::clone(&entry.query);
+            match spec.mode.semantics() {
+                Some(semantics) => BatchRequest::execute(query, spec.family, semantics),
+                None => BatchRequest::consistent_answer(query, spec.family),
+            }
+        })
+        .collect();
+    let blocks = executor
+        .run(&requests)
+        .into_iter()
+        .map(|result| match result {
+            Err(e) => format!("error query error: {e}"),
+            Ok(BatchResponse::Rows(answers)) => {
+                let mut block =
+                    format!("rows {}\n{}", answers.rows().len(), answers.columns().join("\t"));
+                for row in answers.rows() {
+                    // Values are escaped so embedded tabs/newlines cannot shift the
+                    // positional row structure (the client unescapes per field).
+                    let rendered: Vec<String> =
+                        row.iter().map(|v| escape_field(&v.to_string())).collect();
+                    block.push('\n');
+                    block.push_str(&rendered.join("\t"));
+                }
+                block
+            }
+            Ok(BatchResponse::Outcome(outcome)) => {
+                let verdict = if outcome.certainly_true {
+                    "true"
+                } else if outcome.certainly_false {
+                    "false"
+                } else {
+                    "undetermined"
+                };
+                format!("outcome {verdict} examined={}", outcome.examined)
+            }
+        })
+        .collect();
+    Ok((lease, blocks))
+}

@@ -1,0 +1,120 @@
+//! Loopback smoke tests for the server crate: one server, scripted client sessions.
+//! The full protocol matrix (families × modes, swap-under-load, malformed frames) lives
+//! in the workspace-level `tests/serving.rs` suite.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+use pdqi_constraints::FdSet;
+use pdqi_core::{EngineBuilder, FamilyKind, SnapshotRegistry};
+use pdqi_relation::{RelationInstance, RelationSchema, Value, ValueType};
+use pdqi_server::{serve, Client, ExecMode, ExecOutcome, ServerConfig};
+
+fn example1_registry() -> Arc<SnapshotRegistry> {
+    let schema = Arc::new(
+        RelationSchema::from_pairs(
+            "Mgr",
+            &[
+                ("Name", ValueType::Name),
+                ("Dept", ValueType::Name),
+                ("Salary", ValueType::Int),
+                ("Reports", ValueType::Int),
+            ],
+        )
+        .unwrap(),
+    );
+    let instance = RelationInstance::from_rows(
+        Arc::clone(&schema),
+        vec![
+            vec!["Mary".into(), "R&D".into(), Value::int(40), Value::int(3)],
+            vec!["John".into(), "R&D".into(), Value::int(10), Value::int(2)],
+            vec!["Mary".into(), "IT".into(), Value::int(20), Value::int(1)],
+            vec!["John".into(), "PR".into(), Value::int(30), Value::int(4)],
+        ],
+    )
+    .unwrap();
+    let fds = FdSet::parse(schema, &["Dept -> Name Salary Reports", "Name -> Dept Salary Reports"])
+        .unwrap();
+    let snapshot = EngineBuilder::new().relation(instance, fds).build().unwrap();
+    let registry = SnapshotRegistry::shared();
+    registry.publish("Mgr", snapshot);
+    registry
+}
+
+#[test]
+fn a_scripted_session_prepares_executes_revises_and_shuts_down() {
+    let handle = serve("127.0.0.1:0", example1_registry(), ServerConfig::default()).unwrap();
+    let addr = handle.local_addr();
+    let mut client = Client::connect(addr).unwrap();
+    client.ping().unwrap();
+    client.prepare("managers", "EXISTS d,s,r . Mgr(x,d,s,r)").unwrap();
+    client.prepare("depts", "EXISTS n,s,r . Mgr(n,x,s,r)").unwrap();
+
+    let (outcome, generation) =
+        client.exec("managers", FamilyKind::Rep, ExecMode::Certain).unwrap();
+    assert_eq!(generation, 1);
+    assert_eq!(
+        outcome,
+        ExecOutcome::Rows {
+            columns: vec!["x".to_string()],
+            rows: vec![vec!["John".to_string()], vec!["Mary".to_string()]],
+        }
+    );
+
+    // No department is certain without preferences; after the Example 3 revision, R&D is.
+    let (before, _) = client.exec("depts", FamilyKind::Global, ExecMode::Certain).unwrap();
+    assert_eq!(before, ExecOutcome::Rows { columns: vec!["x".to_string()], rows: vec![] });
+    let generation = client.set_priority("Mgr", &[(0, 2), (1, 3)]).unwrap();
+    assert_eq!(generation, 2);
+    let (after, generation) = client.exec("depts", FamilyKind::Global, ExecMode::Certain).unwrap();
+    assert_eq!(generation, 2);
+    assert_eq!(
+        after,
+        ExecOutcome::Rows { columns: vec!["x".to_string()], rows: vec![vec!["R&D".to_string()]] }
+    );
+
+    let stats = client.stats().unwrap();
+    assert!(stats.contains("tables=1"), "{stats}");
+    assert!(stats.contains("table Mgr gen=2"), "{stats}");
+
+    // A second connection sees the same registry state.
+    let mut second = Client::connect(addr).unwrap();
+    second.prepare("q", "EXISTS d,s,r . Mgr(x,d,s,r)").unwrap();
+    let (_, generation) = second.exec("q", FamilyKind::Rep, ExecMode::Possible).unwrap();
+    assert_eq!(generation, 2);
+
+    // Remote shutdown: the server answers, then every thread drains.
+    client.shutdown().unwrap();
+    handle.wait();
+}
+
+#[test]
+fn protocol_errors_keep_the_connection_alive_but_malformed_frames_close_it() {
+    let handle = serve("127.0.0.1:0", example1_registry(), ServerConfig::default()).unwrap();
+    let addr = handle.local_addr();
+    let mut client = Client::connect(addr).unwrap();
+
+    // Unknown commands, unknown ids and bad queries are ERR responses, not hangups.
+    assert!(client.request_raw("FLY TO THE MOON").unwrap().starts_with("ERR unknown command"));
+    assert!(client
+        .request_raw("EXEC nope ALL CERTAIN")
+        .unwrap()
+        .starts_with("ERR unknown prepared query"));
+    assert!(client.request_raw("PREPARE q )(").unwrap().starts_with("ERR query error"));
+    assert!(client
+        .request_raw("SET-PRIORITY Nope 0>1")
+        .unwrap()
+        .starts_with("ERR registry serves no table"));
+    client.ping().unwrap();
+
+    // An oversized frame announcement poisons the framing: ERR, then EOF.
+    let mut raw = TcpStream::connect(addr).unwrap();
+    raw.write_all(&u32::MAX.to_be_bytes()).unwrap();
+    let mut response = Vec::new();
+    raw.read_to_end(&mut response).unwrap();
+    let text = String::from_utf8_lossy(&response);
+    assert!(text.contains("frame too large"), "{text}");
+
+    handle.shutdown();
+}

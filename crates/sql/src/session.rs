@@ -1,22 +1,33 @@
 //! Catalog and statement execution.
 //!
-//! [`Session`] keeps two caches on top of its table catalog, both flowing through the
+//! [`Session`] is a thin view over a shared serving core: it owns the table *catalog*
+//! (schemas, rows, FDs, preferences) but the snapshots themselves live in a
+//! [`SnapshotRegistry`] — one atomically-swappable [`Arc<EngineSnapshot>`] per table.
+//! Several sessions constructed with [`Session::with_registry`] serve **one snapshot
+//! set**: a table published by any of them is readable by all, and a revision swapped
+//! into the registry (for example by the `pdqi-server` front end) is what every later
+//! `SELECT … WITH REPAIRS` answers against.
+//!
+//! Two cache layers keep repeated statements cheap, both flowing through the
 //! `pdqi-core` prepared-query pipeline:
 //!
-//! * a per-table [`EngineSnapshot`], built on first use and invalidated by the
+//! * the registry's per-table snapshot, built on first use and re-published by the
 //!   statements that change the table (`INSERT`, `ALTER TABLE … ADD FD`, `PREFER`);
 //!   repeated `SELECT`s against an unchanged table share the snapshot's component and
-//!   answer memos;
+//!   answer memos, across every session on the registry;
 //! * a per-statement-text [`PreparedQuery`], so re-executing the same `SELECT` skips
 //!   SQL-to-formula planning entirely. Prepared statements survive table mutations —
 //!   they depend only on the schema, which the current SQL surface never alters.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
 use std::sync::Arc;
 
 use pdqi_constraints::FdSet;
-use pdqi_core::{EngineBuilder, EngineSnapshot, Parallelism, PreparedQuery, Semantics};
+use pdqi_core::{
+    EngineBuilder, EngineSnapshot, Parallelism, PreparedQuery, Semantics, SnapshotLease,
+    SnapshotRegistry,
+};
 use pdqi_query::builder::{and_all, atom, exists, var};
 use pdqi_query::{Evaluator, Formula, Term};
 use pdqi_relation::{RelationInstance, RelationSchema, Value, ValueType};
@@ -112,23 +123,51 @@ struct PreparedSelect {
 }
 
 /// An interactive session: a catalog of tables, their constraints, their data and the
-/// preferences accumulated so far, plus the snapshot and prepared-statement caches
-/// described in the [module docs](self).
-#[derive(Debug, Default)]
+/// preferences accumulated so far, serving snapshots out of a (possibly shared)
+/// [`SnapshotRegistry`] as described in the [module docs](self).
+#[derive(Debug)]
 pub struct Session {
     tables: BTreeMap<String, Table>,
-    /// Per-table snapshots, invalidated by mutating statements.
-    snapshots: HashMap<String, EngineSnapshot>,
+    /// The serving core: per-table snapshots, shared with every other session (and
+    /// server) constructed over the same registry.
+    registry: Arc<SnapshotRegistry>,
+    /// Tables this session mutated since it last published them; the next snapshot
+    /// read rebuilds and re-publishes through the registry.
+    stale: BTreeSet<String>,
     /// Per-statement-text prepared `SELECT`s.
     prepared: HashMap<String, PreparedSelect>,
     /// Worker threads used by repair-quantified `SELECT`s (sequential by default).
     parallelism: Parallelism,
 }
 
+impl Default for Session {
+    fn default() -> Self {
+        Session::new()
+    }
+}
+
 impl Session {
-    /// Creates an empty session.
+    /// Creates an empty session over its own private registry.
     pub fn new() -> Self {
-        Session::default()
+        Session::with_registry(SnapshotRegistry::shared())
+    }
+
+    /// Creates an empty session serving snapshots out of `registry`. Sessions sharing a
+    /// registry share one snapshot set: publishes and revisions made by any of them
+    /// (or by a server front end over the same registry) are visible to all.
+    pub fn with_registry(registry: Arc<SnapshotRegistry>) -> Self {
+        Session {
+            tables: BTreeMap::new(),
+            registry,
+            stale: BTreeSet::new(),
+            prepared: HashMap::new(),
+            parallelism: Parallelism::default(),
+        }
+    }
+
+    /// The registry this session serves snapshots from.
+    pub fn registry(&self) -> &Arc<SnapshotRegistry> {
+        &self.registry
     }
 
     /// Sets the degree of parallelism used by `SELECT … WITH REPAIRS` statements **and**
@@ -185,6 +224,10 @@ impl Session {
                     .collect();
                 let schema = RelationSchema::from_pairs(&name, &defs)
                     .map_err(|e| SqlError::Schema(e.to_string()))?;
+                // Mark the new table stale: a shared registry may already serve a
+                // same-named snapshot published by a sibling session, which must not
+                // shadow the (empty) table this session just defined.
+                self.stale.insert(name.clone());
                 self.tables.insert(
                     name,
                     Table {
@@ -202,7 +245,7 @@ impl Session {
                 FdSet::parse(Arc::clone(&entry.schema), &[fd.as_str()])
                     .map_err(|e| SqlError::Schema(e.to_string()))?;
                 entry.fds.push(fd);
-                self.snapshots.remove(&table);
+                self.stale.insert(table);
                 Ok(StatementOutcome::FdAdded)
             }
             Statement::Insert { table, rows } => {
@@ -212,7 +255,7 @@ impl Session {
                     entry.schema.tuple(row.clone()).map_err(|e| SqlError::Schema(e.to_string()))?;
                 }
                 entry.rows.extend(rows);
-                self.snapshots.remove(&table);
+                self.stale.insert(table);
                 Ok(StatementOutcome::Inserted(count))
             }
             Statement::Prefer { table, winner, loser } => {
@@ -231,7 +274,7 @@ impl Session {
                     }
                 }
                 entry.preferences.push((winner, loser));
-                self.snapshots.remove(&table);
+                self.stale.insert(table);
                 Ok(StatementOutcome::PreferenceAdded)
             }
             Statement::Select(_) => {
@@ -303,27 +346,59 @@ impl Session {
             .map_err(|e| SqlError::Schema(format!("preference cannot be installed: {e}")))
     }
 
-    /// The engine snapshot for `table`, built on first use and reused until a statement
-    /// mutates the table. Clones are cheap and share the snapshot's memo.
-    pub fn snapshot(&mut self, table: &str) -> Result<EngineSnapshot, SqlError> {
-        if let Some(snapshot) = self.snapshots.get(table) {
-            return Ok(snapshot.clone());
-        }
-        let snapshot = self.build_snapshot(table)?;
-        self.snapshots.insert(table.to_string(), snapshot.clone());
-        Ok(snapshot)
+    /// The engine snapshot for `table`: the registry's current snapshot, pinned behind
+    /// an [`Arc`] (no copies — every caller shares the snapshot and its memo).
+    ///
+    /// Built and published through the registry on first use; a statement that mutates
+    /// the table marks it stale in this session, and the next read re-publishes. Tables
+    /// this session never defined are still served when another session (or a server)
+    /// published them into the shared registry.
+    pub fn snapshot(&mut self, table: &str) -> Result<Arc<EngineSnapshot>, SqlError> {
+        self.snapshot_lease(table).map(SnapshotLease::into_snapshot)
     }
 
-    /// A `pdqi-core` engine for `table`, with the session's preferences installed.
-    #[deprecated(since = "0.2.0", note = "use Session::snapshot and the prepared-query API")]
-    #[allow(deprecated)]
-    pub fn engine(&self, table: &str) -> Result<pdqi_core::PdqiEngine, SqlError> {
-        let instance = self.instance(table)?;
-        let fds = self.fds(table)?;
+    /// [`Session::snapshot`] plus the registry generation the snapshot was published
+    /// under (monotone per table — useful for observing revision swaps).
+    pub fn snapshot_lease(&mut self, table: &str) -> Result<SnapshotLease, SqlError> {
+        if self.tables.contains_key(table) {
+            self.publish_if_stale(table)?;
+            // A racing `SnapshotRegistry::remove` on a shared registry can still take
+            // the slot away between the publish and this read; surface it as an
+            // unknown table rather than panicking inside library code.
+            return self.registry.read(table).ok_or_else(|| {
+                SqlError::UnknownTable(format!("{table} (removed from the shared registry)"))
+            });
+        }
+        // Not in this session's catalog: serve it if a sibling session or server
+        // published it into the shared registry.
+        self.registry.read(table).ok_or_else(|| SqlError::UnknownTable(table.to_string()))
+    }
+
+    /// Builds and publishes `table`'s snapshot when this session mutated it since the
+    /// last publish (or the registry does not serve it yet). Returns whether a publish
+    /// happened. The single site of the build → publish → stale-clear sequence.
+    fn publish_if_stale(&mut self, table: &str) -> Result<bool, SqlError> {
+        if !self.stale.contains(table) && self.registry.contains(table) {
+            return Ok(false);
+        }
         let snapshot = self.build_snapshot(table)?;
-        let mut engine = pdqi_core::PdqiEngine::new(instance, fds);
-        engine.set_priority(snapshot.priority().clone());
-        Ok(engine)
+        self.registry.publish(table, snapshot);
+        self.stale.remove(table);
+        Ok(true)
+    }
+
+    /// Builds and publishes every catalog table that is stale or unpublished, returning
+    /// the number of snapshots published. Servers call this once after loading a script
+    /// so the registry serves every table before the first request arrives.
+    pub fn publish_tables(&mut self) -> Result<usize, SqlError> {
+        let names: Vec<String> = self.tables.keys().cloned().collect();
+        let mut published = 0;
+        for table in names {
+            if self.publish_if_stale(&table)? {
+                published += 1;
+            }
+        }
+        Ok(published)
     }
 
     /// Builds the open conjunctive query corresponding to a `SELECT`: one variable per
@@ -548,10 +623,6 @@ mod tests {
         assert_eq!(session.fds("Mgr").unwrap().len(), 2);
         let snapshot = session.snapshot("Mgr").unwrap();
         assert_eq!(snapshot.count_repairs(), 3);
-        // The deprecated engine accessor still works and sees the same state.
-        #[allow(deprecated)]
-        let engine = session.engine("Mgr").unwrap();
-        assert_eq!(engine.count_repairs(), 3);
     }
 
     #[test]
@@ -560,13 +631,55 @@ mod tests {
         let first = session.snapshot("Mgr").unwrap();
         let second = session.snapshot("Mgr").unwrap();
         // Same snapshot object (shared memo), not a rebuild.
-        assert!(std::sync::Arc::ptr_eq(first.graph(), second.graph()));
+        assert!(std::sync::Arc::ptr_eq(&first, &second));
+        assert_eq!(session.snapshot_lease("Mgr").unwrap().generation(), 1);
         session.execute("INSERT INTO Mgr VALUES ('Eve', 'HR', 15, 2)").unwrap();
         let third = session.snapshot("Mgr").unwrap();
         assert_eq!(third.context().instance().len(), 5);
         session.execute("PREFER ('Mary','R&D',40,3) OVER ('Mary','IT',20,1) IN Mgr").unwrap();
-        let fourth = session.snapshot("Mgr").unwrap();
-        assert_eq!(fourth.priority().edge_count(), 1);
+        let fourth = session.snapshot_lease("Mgr").unwrap();
+        assert_eq!(fourth.snapshot().priority().edge_count(), 1);
+        // Each mutation bumped the published generation exactly once.
+        assert_eq!(fourth.generation(), 3);
+    }
+
+    #[test]
+    fn sessions_sharing_a_registry_serve_one_snapshot_set() {
+        let registry = pdqi_core::SnapshotRegistry::shared();
+        let mut writer = Session::with_registry(Arc::clone(&registry));
+        writer.execute_script(SETUP).unwrap();
+        let published = writer.snapshot("Mgr").unwrap();
+        // A reader session that never defined the table serves the shared snapshot.
+        let mut reader = Session::with_registry(Arc::clone(&registry));
+        let shared = reader.snapshot("Mgr").unwrap();
+        assert!(Arc::ptr_eq(&published, &shared));
+        // A mutation in the writer re-publishes; the reader sees the new generation.
+        writer.execute("INSERT INTO Mgr VALUES ('Eve', 'HR', 15, 2)").unwrap();
+        writer.snapshot("Mgr").unwrap();
+        assert_eq!(reader.snapshot("Mgr").unwrap().context().instance().len(), 5);
+        // Tables nobody published are still unknown.
+        assert!(matches!(reader.snapshot("Nope"), Err(SqlError::UnknownTable(_))));
+        // A session defining its *own* table under a served name must not be shadowed
+        // by the sibling's snapshot: CREATE TABLE marks the name stale, so the next
+        // read publishes this session's (empty, differently-shaped) table.
+        let mut third = Session::with_registry(Arc::clone(&registry));
+        third.execute("CREATE TABLE Mgr (Id INT)").unwrap();
+        let own = third.snapshot("Mgr").unwrap();
+        assert_eq!(own.context().instance().len(), 0);
+        assert_eq!(own.context().instance().schema().attributes().len(), 1);
+    }
+
+    #[test]
+    fn publish_tables_publishes_the_whole_catalog_once() {
+        let mut session = session_with_example1();
+        session.execute("CREATE TABLE Clean (A INT, B INT)").unwrap();
+        session.execute("INSERT INTO Clean VALUES (1, 2)").unwrap();
+        assert_eq!(session.publish_tables().unwrap(), 2);
+        assert_eq!(session.registry().table_names(), vec!["Clean", "Mgr"]);
+        // Re-publishing without mutations is a no-op.
+        assert_eq!(session.publish_tables().unwrap(), 0);
+        session.execute("INSERT INTO Clean VALUES (2, 3)").unwrap();
+        assert_eq!(session.publish_tables().unwrap(), 1);
     }
 
     #[test]

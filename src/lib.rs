@@ -67,8 +67,10 @@
 //! assert_eq!(certain.collect::<Vec<_>>(), vec![vec![Value::name("R&D")]]);
 //! ```
 //!
-//! The legacy [`PdqiEngine`] façade is kept as a deprecated shim over the same
-//! pipeline; the SQL front end ([`Session`]) and the `pdqi` CLI run on it natively.
+//! For serving, a [`SnapshotRegistry`] holds one atomically-swappable snapshot per
+//! table; the SQL front end ([`Session`]) is a thin view over it, and the
+//! `pdqi-server` crate puts a network front end (length-prefixed TCP protocol over
+//! [`BatchExecutor`]) on the same registry.
 //!
 //! # Crate map
 //!
@@ -102,16 +104,15 @@ pub use pdqi_ext as ext;
 pub use pdqi_priority as priority;
 pub use pdqi_query as query;
 pub use pdqi_relation as relation;
+pub use pdqi_server as server;
 pub use pdqi_solve as solve;
 pub use pdqi_sql as sql;
 
 pub use pdqi_constraints::{ConflictGraph, FdSet, FunctionalDependency};
-#[allow(deprecated)]
-pub use pdqi_core::PdqiEngine;
 pub use pdqi_core::{
     AnswerSet, BatchExecutor, BatchRequest, BatchResponse, BuildError, CqaOutcome, EngineBuilder,
-    EngineSnapshot, FamilyKind, MemoStats, Parallelism, PreparedQuery, RepairContext, Semantics,
-    Shard, MAX_THREADS,
+    EngineSnapshot, FamilyKind, MemoStats, Parallelism, PreparedQuery, RegistryStats,
+    RepairContext, Semantics, Shard, SnapshotLease, SnapshotRegistry, TableStats, MAX_THREADS,
 };
 pub use pdqi_priority::Priority;
 pub use pdqi_query::{parse_formula, Evaluator, Formula};

@@ -2,11 +2,6 @@
 //! the polynomial ground-query algorithm vs. naive repair enumeration, the engine's fast
 //! path vs. the generic path, and the SAT reduction vs. the DPLL oracle.
 
-// These suites deliberately keep exercising the deprecated `PdqiEngine`/`Session::engine`
-// shims: they are the regression net proving the shims stay equivalent to the
-// snapshot pipeline they now delegate to (see `tests/prepared_api.rs` for the new API).
-#![allow(deprecated)]
-
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -16,7 +11,11 @@ use pdqi::core::cqa_ground::ground_consistent_answer;
 use pdqi::core::AllRepairs;
 use pdqi::datagen::{random_3cnf, random_conflict_instance, random_ground_query};
 use pdqi::solve::cqa_instance_from_3sat;
-use pdqi::{FamilyKind, PdqiEngine, RepairContext};
+use pdqi::{EngineBuilder, EngineSnapshot, FamilyKind, PreparedQuery, RepairContext, Semantics};
+
+fn snapshot_of(instance: pdqi::RelationInstance, fds: pdqi::FdSet) -> EngineSnapshot {
+    EngineBuilder::new().relation(instance, fds).build().unwrap()
+}
 
 proptest! {
     #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
@@ -43,10 +42,11 @@ proptest! {
     fn engine_fast_path_matches_generic_path(seed in 0u64..1_000, n in 3usize..10, literals in 1usize..5) {
         let mut rng = StdRng::seed_from_u64(seed);
         let (instance, fds) = random_conflict_instance(n, 0.7, &mut rng);
-        let engine = PdqiEngine::new(instance, fds);
-        let query = random_ground_query(engine.instance(), literals, &mut rng);
-        let fast = engine.consistent_answer(&query, FamilyKind::Rep).unwrap();
-        let generic = engine.consistent_answer(&query, FamilyKind::Global).unwrap();
+        let snapshot = snapshot_of(instance, fds);
+        let query = random_ground_query(snapshot.context().instance(), literals, &mut rng);
+        let prepared = PreparedQuery::from_formula(query);
+        let fast = prepared.consistent_answer(&snapshot, FamilyKind::Rep).unwrap();
+        let generic = prepared.consistent_answer(&snapshot, FamilyKind::Global).unwrap();
         prop_assert_eq!(fast.certainly_true, generic.certainly_true);
         prop_assert_eq!(fast.certainly_false, generic.certainly_false);
     }
@@ -80,9 +80,9 @@ fn sat_reduction_agrees_with_the_dpll_oracle() {
 fn certain_answers_grow_with_more_selective_families() {
     let mut rng = StdRng::seed_from_u64(99);
     let (instance, fds) = random_conflict_instance(10, 0.8, &mut rng);
-    let mut engine = PdqiEngine::new(instance, fds);
-    let scores: Vec<i64> = (0..engine.instance().len() as i64).collect();
-    engine.set_priority_from_scores(&scores);
+    let scores: Vec<i64> = (0..instance.len() as i64).collect();
+    let snapshot =
+        EngineBuilder::new().relation(instance, fds).priority_from_scores(&scores).build().unwrap();
     let query = pdqi::query::builder::exists(
         &["b", "c"],
         pdqi::query::builder::atom(
@@ -95,9 +95,13 @@ fn certain_answers_grow_with_more_selective_families() {
         ),
     );
     // Fewer preferred repairs ⇒ the intersection of answer sets can only grow.
-    let rep = engine.certain_answers(&query, FamilyKind::Rep).unwrap();
-    let global = engine.certain_answers(&query, FamilyKind::Global).unwrap();
-    let common = engine.certain_answers(&query, FamilyKind::Common).unwrap();
+    let prepared = PreparedQuery::from_formula(query);
+    let answers = |kind: FamilyKind| -> Vec<Vec<pdqi::Value>> {
+        prepared.execute(&snapshot, kind, Semantics::Certain).unwrap().collect()
+    };
+    let rep = answers(FamilyKind::Rep);
+    let global = answers(FamilyKind::Global);
+    let common = answers(FamilyKind::Common);
     for row in &rep {
         assert!(global.contains(row), "a Rep-certain answer must stay certain under G-Rep");
     }

@@ -3,11 +3,6 @@
 //! every other), and the interaction of each with priorities, families, consistent
 //! answers and aggregates.
 
-// These suites deliberately keep exercising the deprecated `PdqiEngine`/`Session::engine`
-// shims: they are the regression net proving the shims stay equivalent to the
-// snapshot pipeline they now delegate to (see `tests/prepared_api.rs` for the new API).
-#![allow(deprecated)]
-
 use std::sync::Arc;
 
 use pdqi::aggregate::{range_by_enumeration, range_closed_form, AggregateFunction, AggregateQuery};
@@ -15,8 +10,8 @@ use pdqi::core::cqa::preferred_consistent_answer;
 use pdqi::core::properties::{check_p1, check_p3};
 use pdqi::priority::total_extensions;
 use pdqi::{
-    parse_formula, FamilyKind, FdSet, PdqiEngine, RelationInstance, RelationSchema, RepairContext,
-    TupleId, TupleSet, Value, ValueType,
+    parse_formula, EngineBuilder, FamilyKind, FdSet, RelationInstance, RelationSchema,
+    RepairContext, TupleId, TupleSet, Value, ValueType,
 };
 
 fn schema() -> Arc<RelationSchema> {
@@ -99,13 +94,15 @@ fn a_consistent_instance_is_its_own_unique_repair_for_every_family() {
 #[test]
 fn a_single_tuple_survives_everything() {
     let ctx = context(&[(7, 7)]);
-    let engine = PdqiEngine::new(ctx.instance().clone(), ctx.fds().clone());
-    assert!(engine.is_consistent());
-    assert_eq!(engine.count_repairs(), 1);
-    assert_eq!(engine.clean().unwrap(), TupleSet::from_ids([TupleId(0)]));
+    let snapshot =
+        EngineBuilder::new().relation(ctx.instance().clone(), ctx.fds().clone()).build().unwrap();
+    assert!(snapshot.is_consistent());
+    assert_eq!(snapshot.count_repairs(), 1);
+    assert_eq!(snapshot.clean().unwrap(), TupleSet::from_ids([TupleId(0)]));
     let sum =
-        AggregateQuery::over(engine.instance().schema(), AggregateFunction::Sum, "B").unwrap();
-    let range = range_closed_form(engine.context(), &sum).unwrap();
+        AggregateQuery::over(snapshot.context().instance().schema(), AggregateFunction::Sum, "B")
+            .unwrap();
+    let range = range_closed_form(snapshot.context(), &sum).unwrap();
     assert!(range.is_exact());
     assert_eq!(range.glb, Some(7.0));
 }
@@ -123,14 +120,17 @@ fn a_complete_conflict_graph_yields_singleton_repairs() {
     // Scores induce a total priority on the clique; the best-scored tuple wins under
     // every preference-respecting family.
     let scores: Vec<i64> = (0..10).collect();
-    let mut engine = PdqiEngine::new(ctx.instance().clone(), ctx.fds().clone());
-    engine.set_priority_from_scores(&scores);
-    assert!(engine.priority().is_total());
+    let snapshot = EngineBuilder::new()
+        .relation(ctx.instance().clone(), ctx.fds().clone())
+        .priority_from_scores(&scores)
+        .build()
+        .unwrap();
+    assert!(snapshot.priority().is_total());
     for kind in [FamilyKind::SemiGlobal, FamilyKind::Global, FamilyKind::Common] {
-        let preferred = engine.preferred_repairs(kind, 10);
+        let preferred = snapshot.preferred_repairs(kind, 10);
         assert_eq!(preferred, vec![TupleSet::from_ids([TupleId(9)])], "{}", kind.label());
     }
-    assert_eq!(engine.clean().unwrap(), TupleSet::from_ids([TupleId(9)]));
+    assert_eq!(snapshot.clean().unwrap(), TupleSet::from_ids([TupleId(9)]));
 }
 
 #[test]

@@ -2,11 +2,6 @@
 //! schema violations, illegal priorities and unsupported closed-form requests must all
 //! surface as errors (never panics) and must leave the surrounding state usable.
 
-// These suites deliberately keep exercising the deprecated `PdqiEngine`/`Session::engine`
-// shims: they are the regression net proving the shims stay equivalent to the
-// snapshot pipeline they now delegate to (see `tests/prepared_api.rs` for the new API).
-#![allow(deprecated)]
-
 use std::sync::Arc;
 
 use pdqi::aggregate::{range_closed_form, AggregateFunction, AggregateQuery, ClosedFormError};
@@ -15,8 +10,8 @@ use pdqi::priority::PriorityError;
 use pdqi::query::parse_formula;
 use pdqi::sql::Session;
 use pdqi::{
-    FamilyKind, FdSet, PdqiEngine, RelationInstance, RelationSchema, RepairContext, TupleId, Value,
-    ValueType,
+    EngineBuilder, FamilyKind, FdSet, RelationInstance, RelationSchema, RepairContext, TupleId,
+    Value, ValueType,
 };
 
 fn mgr_context() -> RepairContext {
@@ -106,13 +101,12 @@ fn illegal_priorities_are_rejected_with_specific_errors() {
         ctx.priority_from_pairs(&[(TupleId(0), TupleId(77))]),
         Err(PriorityError::UnknownTuple { .. })
     ));
-    // The engine surfaces the same failures.
-    let engine = PdqiEngine::with_priority_pairs(
-        ctx.instance().clone(),
-        ctx.fds().clone(),
-        &[(TupleId(0), TupleId(2))],
-    );
-    assert!(engine.is_err());
+    // The builder surfaces the same failures.
+    let build = EngineBuilder::new()
+        .relation(ctx.instance().clone(), ctx.fds().clone())
+        .priority_pairs(&[(TupleId(0), TupleId(2))])
+        .build();
+    assert!(build.is_err());
 }
 
 #[test]
@@ -150,8 +144,8 @@ fn the_sql_session_reports_errors_and_stays_usable() {
     // The session is still fully usable after all of the failures above.
     session.execute("ALTER TABLE T ADD FD A -> B").unwrap();
     session.execute("INSERT INTO T VALUES (1, 'x'), (1, 'y')").unwrap();
-    let engine = session.engine("T").unwrap();
-    assert_eq!(engine.count_repairs(), 2);
+    let snapshot = session.snapshot("T").unwrap();
+    assert_eq!(snapshot.count_repairs(), 2);
 }
 
 #[test]
@@ -176,10 +170,14 @@ fn closed_form_refusals_name_the_reason() {
 #[test]
 fn cleaning_without_a_total_priority_is_an_error_not_a_guess() {
     let ctx = mgr_context();
-    let engine = PdqiEngine::new(ctx.instance().clone(), ctx.fds().clone());
-    assert!(engine.clean().is_err());
-    let mut engine = engine;
-    engine.set_priority_from_scores(&[2, 1, 0]);
-    assert!(engine.priority().is_total());
-    assert!(engine.clean().is_ok());
+    let snapshot =
+        EngineBuilder::new().relation(ctx.instance().clone(), ctx.fds().clone()).build().unwrap();
+    assert!(snapshot.clean().is_err());
+    let scored = EngineBuilder::new()
+        .relation(ctx.instance().clone(), ctx.fds().clone())
+        .priority_from_scores(&[2, 1, 0])
+        .build()
+        .unwrap();
+    assert!(scored.priority().is_total());
+    assert!(scored.clean().is_ok());
 }

@@ -1,18 +1,14 @@
 //! Integration tests replaying every worked example and figure of the paper end to end,
 //! through the public façade API only.
 
-// These suites deliberately keep exercising the deprecated `PdqiEngine`/`Session::engine`
-// shims: they are the regression net proving the shims stay equivalent to the
-// snapshot pipeline they now delegate to (see `tests/prepared_api.rs` for the new API).
-#![allow(deprecated)]
-
 use std::sync::Arc;
 
 use pdqi::core::clean_with_total_priority;
+use pdqi::priority::priority_from_source_reliability;
 use pdqi::priority::SourceOrder;
 use pdqi::{
-    ConflictGraph, FamilyKind, FdSet, PdqiEngine, RelationInstance, RelationSchema, TupleId,
-    TupleSet, Value, ValueType,
+    ConflictGraph, EngineBuilder, EngineSnapshot, FamilyKind, FdSet, PreparedQuery,
+    RelationInstance, RelationSchema, TupleId, TupleSet, Value, ValueType,
 };
 
 const Q1: &str =
@@ -34,7 +30,7 @@ fn mgr_schema() -> Arc<RelationSchema> {
     )
 }
 
-fn example1_engine() -> PdqiEngine {
+fn example1_snapshot() -> EngineSnapshot {
     let schema = mgr_schema();
     let instance = RelationInstance::from_rows(
         Arc::clone(&schema),
@@ -48,16 +44,29 @@ fn example1_engine() -> PdqiEngine {
     .unwrap();
     let fds = FdSet::parse(schema, &["Dept -> Name Salary Reports", "Name -> Dept Salary Reports"])
         .unwrap();
-    PdqiEngine::new(instance, fds)
+    EngineBuilder::new().relation(instance, fds).build().unwrap()
+}
+
+/// The Example 3 reliability priority (`s3` below `s1` and `s2`) over a snapshot's
+/// conflict graph.
+fn example3_priority(snapshot: &EngineSnapshot) -> pdqi::Priority {
+    let mut order = SourceOrder::new();
+    order.prefer("s1", "s3").prefer("s2", "s3");
+    let sources = vec!["s1".to_string(), "s2".to_string(), "s3".to_string(), "s3".to_string()];
+    priority_from_source_reliability(Arc::clone(snapshot.graph()), &sources, &order)
+}
+
+fn answer(snapshot: &EngineSnapshot, query: &str, kind: FamilyKind) -> pdqi::CqaOutcome {
+    PreparedQuery::parse(query).unwrap().consistent_answer(snapshot, kind).unwrap()
 }
 
 #[test]
 fn example_1_the_integrated_instance_has_three_conflicts_and_a_misleading_q1() {
-    let engine = example1_engine();
-    assert!(!engine.is_consistent());
-    assert_eq!(engine.graph().edge_count(), 3);
+    let snapshot = example1_snapshot();
+    assert!(!snapshot.is_consistent());
+    assert_eq!(snapshot.graph().edge_count(), 3);
     // Evaluating Q1 directly over the inconsistent instance yields the misleading `true`.
-    let direct = pdqi::Evaluator::with_relation(engine.instance())
+    let direct = pdqi::Evaluator::with_relation(snapshot.context().instance())
         .eval_closed(&pdqi::parse_formula(Q1).unwrap())
         .unwrap();
     assert!(direct);
@@ -65,31 +74,29 @@ fn example_1_the_integrated_instance_has_three_conflicts_and_a_misleading_q1() {
 
 #[test]
 fn example_2_the_three_repairs_and_the_classic_consistent_answer_to_q1() {
-    let engine = example1_engine();
-    assert_eq!(engine.count_repairs(), 3);
-    let outcome = engine.consistent_answer_text(Q1, FamilyKind::Rep).unwrap();
+    let snapshot = example1_snapshot();
+    assert_eq!(snapshot.count_repairs(), 3);
+    let outcome = answer(&snapshot, Q1, FamilyKind::Rep);
     assert!(!outcome.certainly_true, "true is not a consistent answer to Q1");
 }
 
 #[test]
 fn example_3_partial_reliability_makes_q2_certainly_true_under_preferred_repairs() {
-    let mut engine = example1_engine();
+    let snapshot = example1_snapshot();
     // Without preferences neither true nor false is a consistent answer to Q2.
-    let before = engine.consistent_answer_text(Q2, FamilyKind::Rep).unwrap();
+    let before = answer(&snapshot, Q2, FamilyKind::Rep);
     assert!(before.is_undetermined());
 
-    let mut order = SourceOrder::new();
-    order.prefer("s1", "s3").prefer("s2", "s3");
-    let sources = vec!["s1".to_string(), "s2".to_string(), "s3".to_string(), "s3".to_string()];
-    engine.set_priority_from_sources(&sources, &order);
+    // Revising the priority derives a snapshot sharing the graph and components.
+    let revised = snapshot.with_priority(example3_priority(&snapshot)).unwrap();
 
     // The preferred repairs are r1 and r2 of Example 2 (r3 uses only the unreliable s3).
-    let preferred = engine.preferred_repairs(FamilyKind::Global, 10);
+    let preferred = revised.preferred_repairs(FamilyKind::Global, 10);
     assert_eq!(preferred.len(), 2);
     let r3 = TupleSet::from_ids([TupleId(2), TupleId(3)]);
     assert!(!preferred.contains(&r3));
 
-    let after = engine.consistent_answer_text(Q2, FamilyKind::Global).unwrap();
+    let after = answer(&revised, Q2, FamilyKind::Global);
     assert!(after.certainly_true, "true is the preferred consistent answer to Q2");
 }
 
@@ -110,8 +117,8 @@ fn example_4_and_figure_1_the_repair_space_is_two_to_the_n() {
         // Figure 1: the conflict graph is a perfect matching of n edges.
         assert_eq!(graph.edge_count(), n as usize);
         assert_eq!(graph.max_degree(), 1);
-        let engine = PdqiEngine::new(instance, fds);
-        assert_eq!(engine.count_repairs(), 1u128 << n);
+        let snapshot = EngineBuilder::new().relation(instance, fds).build().unwrap();
+        assert_eq!(snapshot.count_repairs(), 1u128 << n);
     }
     // A consistent relation has exactly one repair: itself.
     let consistent = RelationInstance::from_rows(
@@ -120,8 +127,8 @@ fn example_4_and_figure_1_the_repair_space_is_two_to_the_n() {
     )
     .unwrap();
     let fds = FdSet::parse(schema, &["A -> B"]).unwrap();
-    let engine = PdqiEngine::new(consistent, fds);
-    assert_eq!(engine.count_repairs(), 1);
+    let snapshot = EngineBuilder::new().relation(consistent, fds).build().unwrap();
+    assert_eq!(snapshot.count_repairs(), 1);
 }
 
 #[test]
@@ -139,18 +146,17 @@ fn example_7_and_figure_2_local_optimality_uses_the_priority_on_a_key_relation()
     )
     .unwrap();
     let fds = FdSet::parse(schema, &["A -> B"]).unwrap();
-    let engine = PdqiEngine::with_priority_pairs(
-        instance,
-        fds,
-        &[(TupleId(0), TupleId(2)), (TupleId(0), TupleId(1))],
-    )
-    .unwrap();
+    let snapshot = EngineBuilder::new()
+        .relation(instance, fds)
+        .priority_pairs(&[(TupleId(0), TupleId(2)), (TupleId(0), TupleId(1))])
+        .build()
+        .unwrap();
     // Figure 2: the conflict graph is a triangle; the three singletons are the repairs.
-    assert_eq!(engine.graph().edge_count(), 3);
-    assert_eq!(engine.count_repairs(), 3);
+    assert_eq!(snapshot.graph().edge_count(), 3);
+    assert_eq!(snapshot.count_repairs(), 3);
     // Only r1 = {ta} is locally preferred.
     assert_eq!(
-        engine.preferred_repairs(FamilyKind::Local, 10),
+        snapshot.preferred_repairs(FamilyKind::Local, 10),
         vec![TupleSet::from_ids([TupleId(0)])]
     );
 }
@@ -174,22 +180,21 @@ fn example_8_and_figure_3_non_categoricity_of_l_rep_but_not_of_s_rep() {
     )
     .unwrap();
     let fds = FdSet::parse(schema, &["A -> B"]).unwrap();
-    let engine = PdqiEngine::with_priority_pairs(
-        instance,
-        fds,
-        &[(TupleId(2), TupleId(0)), (TupleId(2), TupleId(1))],
-    )
-    .unwrap();
-    assert!(engine.priority().is_total());
+    let snapshot = EngineBuilder::new()
+        .relation(instance, fds)
+        .priority_pairs(&[(TupleId(2), TupleId(0)), (TupleId(2), TupleId(1))])
+        .build()
+        .unwrap();
+    assert!(snapshot.priority().is_total());
     // Figure 3: tc conflicts with both ta and tb; the repairs are {ta,tb} and {tc}.
-    assert_eq!(engine.count_repairs(), 2);
+    assert_eq!(snapshot.count_repairs(), 2);
     // Both repairs are locally optimal (P4 fails for L-Rep) ...
-    assert_eq!(engine.preferred_repairs(FamilyKind::Local, 10).len(), 2);
+    assert_eq!(snapshot.preferred_repairs(FamilyKind::Local, 10).len(), 2);
     // ... but S-Rep, G-Rep and C-Rep all select only {tc}.
     let tc_only = vec![TupleSet::from_ids([TupleId(2)])];
-    assert_eq!(engine.preferred_repairs(FamilyKind::SemiGlobal, 10), tc_only);
-    assert_eq!(engine.preferred_repairs(FamilyKind::Global, 10), tc_only);
-    assert_eq!(engine.preferred_repairs(FamilyKind::Common, 10), tc_only);
+    assert_eq!(snapshot.preferred_repairs(FamilyKind::SemiGlobal, 10), tc_only);
+    assert_eq!(snapshot.preferred_repairs(FamilyKind::Global, 10), tc_only);
+    assert_eq!(snapshot.preferred_repairs(FamilyKind::Common, 10), tc_only);
 }
 
 #[test]
@@ -220,42 +225,38 @@ fn example_9_and_figure_4_the_path_conflict_graph_and_the_family_hierarchy() {
     )
     .unwrap();
     let fds = FdSet::parse(schema, &["A -> B", "C -> D"]).unwrap();
-    let engine = PdqiEngine::with_priority_pairs(
-        instance,
-        fds,
-        &[
+    let snapshot = EngineBuilder::new()
+        .relation(instance, fds)
+        .priority_pairs(&[
             (TupleId(0), TupleId(1)),
             (TupleId(1), TupleId(2)),
             (TupleId(2), TupleId(3)),
             (TupleId(3), TupleId(4)),
-        ],
-    )
-    .unwrap();
+        ])
+        .build()
+        .unwrap();
     // Figure 4: the conflict graph is the path ta – tb – tc – td – te.
-    assert_eq!(engine.graph().edge_count(), 4);
-    assert_eq!(engine.graph().max_degree(), 2);
+    assert_eq!(snapshot.graph().edge_count(), 4);
+    assert_eq!(snapshot.graph().max_degree(), 2);
     // The paper's r1 and r2 are repairs; the alternating r1 is the preferred one for
     // every optimality-based family, and Algorithm 1 computes exactly r1.
     let r1 = TupleSet::from_ids([TupleId(0), TupleId(2), TupleId(4)]);
     let r2 = TupleSet::from_ids([TupleId(1), TupleId(3)]);
-    let repairs = engine.repairs(10);
+    let repairs = snapshot.repairs(10);
     assert!(repairs.contains(&r1) && repairs.contains(&r2));
-    assert_eq!(engine.preferred_repairs(FamilyKind::Global, 10), vec![r1.clone()]);
-    assert_eq!(engine.preferred_repairs(FamilyKind::Common, 10), vec![r1.clone()]);
-    let cleaned = clean_with_total_priority(engine.graph(), engine.priority()).unwrap();
+    assert_eq!(snapshot.preferred_repairs(FamilyKind::Global, 10), vec![r1.clone()]);
+    assert_eq!(snapshot.preferred_repairs(FamilyKind::Common, 10), vec![r1.clone()]);
+    let cleaned = clean_with_total_priority(snapshot.graph(), snapshot.priority()).unwrap();
     assert_eq!(cleaned, r1);
 }
 
 #[test]
 fn figure_5_family_inclusion_chain_on_the_motivating_instance() {
     // C-Rep ⊆ G-Rep ⊆ S-Rep ⊆ L-Rep ⊆ Rep under the Example 3 priority.
-    let mut engine = example1_engine();
-    let mut order = SourceOrder::new();
-    order.prefer("s1", "s3").prefer("s2", "s3");
-    let sources = vec!["s1".to_string(), "s2".to_string(), "s3".to_string(), "s3".to_string()];
-    engine.set_priority_from_sources(&sources, &order);
+    let base = example1_snapshot();
+    let snapshot = base.with_priority(example3_priority(&base)).unwrap();
     let by_kind: Vec<Vec<TupleSet>> =
-        FamilyKind::ALL.iter().map(|kind| engine.preferred_repairs(*kind, 100)).collect();
+        FamilyKind::ALL.iter().map(|kind| snapshot.preferred_repairs(*kind, 100)).collect();
     let [rep, local, semi, global, common] = &by_kind[..] else { unreachable!() };
     for set in local {
         assert!(rep.contains(set));

@@ -181,8 +181,7 @@ fn one_prepared_query_serves_every_snapshot_and_family() {
 }
 
 #[test]
-fn prepared_pipeline_agrees_with_the_deprecated_engine_on_random_workloads() {
-    #![allow(deprecated)]
+fn derived_snapshots_agree_with_fresh_builds_on_random_workloads() {
     let mut rng = StdRng::seed_from_u64(7);
     let queries =
         ["EXISTS a,b,c . R(a,b,c)", "EXISTS a,c . R(a,0,c)", "EXISTS a,b,c . R(a,b,c) AND b > 0"];
@@ -191,23 +190,20 @@ fn prepared_pipeline_agrees_with_the_deprecated_engine_on_random_workloads() {
         let snapshot =
             EngineBuilder::new().relation(instance.clone(), fds.clone()).build().unwrap();
         let priority = random_priority(Arc::clone(snapshot.graph()), 0.5, &mut rng);
-        let snapshot = snapshot.with_priority(priority.clone()).unwrap();
-        #[allow(deprecated)]
-        let engine = {
-            let mut engine = pdqi::PdqiEngine::new(instance, fds);
-            engine.set_priority(priority);
-            engine
-        };
+        let pairs = priority.edges();
+        let snapshot = snapshot.with_priority(priority).unwrap();
+        // A fresh build with the same priority pairs: no carried-over memo at all.
+        let fresh =
+            EngineBuilder::new().relation(instance, fds).priority_pairs(&pairs).build().unwrap();
         for text in queries {
             let prepared = PreparedQuery::parse(text).unwrap();
             for kind in FamilyKind::ALL {
                 let piped = prepared.consistent_answer(&snapshot, kind).unwrap();
-                #[allow(deprecated)]
-                let legacy = engine.consistent_answer_text(text, kind).unwrap();
-                assert_eq!(piped.certainly_true, legacy.certainly_true, "{text} {}", kind.label());
+                let scratch = prepared.consistent_answer(&fresh, kind).unwrap();
+                assert_eq!(piped.certainly_true, scratch.certainly_true, "{text} {}", kind.label());
                 assert_eq!(
                     piped.certainly_false,
-                    legacy.certainly_false,
+                    scratch.certainly_false,
                     "{text} {}",
                     kind.label()
                 );

@@ -1,16 +1,14 @@
 //! End-to-end test of the SQL front end against the core engine: the same scenario
 //! expressed through SQL statements and through the programmatic API must agree.
 
-// These suites deliberately keep exercising the deprecated `PdqiEngine`/`Session::engine`
-// shims: they are the regression net proving the shims stay equivalent to the
-// snapshot pipeline they now delegate to (see `tests/prepared_api.rs` for the new API).
-#![allow(deprecated)]
-
 use std::sync::Arc;
 
 use pdqi::priority::SourceOrder;
 use pdqi::sql::{Session, StatementOutcome};
-use pdqi::{FamilyKind, FdSet, PdqiEngine, RelationInstance, RelationSchema, Value, ValueType};
+use pdqi::{
+    EngineBuilder, FamilyKind, FdSet, PreparedQuery, RelationInstance, RelationSchema, Semantics,
+    Value, ValueType,
+};
 
 fn rows(outcome: StatementOutcome) -> Vec<Vec<Value>> {
     match outcome {
@@ -61,25 +59,29 @@ fn sql_and_programmatic_answers_agree_on_the_paper_scenario() {
     .unwrap();
     let fds = FdSet::parse(schema, &["Dept -> Name Salary Reports", "Name -> Dept Salary Reports"])
         .unwrap();
-    let mut engine = PdqiEngine::new(instance, fds);
     let mut order = SourceOrder::new();
     order.prefer("s1", "s3").prefer("s2", "s3");
     let sources = vec!["s1".to_string(), "s2".to_string(), "s3".to_string(), "s3".to_string()];
-    engine.set_priority_from_sources(&sources, &order);
-    let query = pdqi::parse_formula("EXISTS n,s,r . Mgr(n,d,s,r)").unwrap();
-    let api_depts = engine.certain_answers(&query, FamilyKind::Global).unwrap();
+    let snapshot = EngineBuilder::new()
+        .relation(instance, fds)
+        .priority_from_sources(&sources, &order)
+        .build()
+        .unwrap();
+    let query = PreparedQuery::parse("EXISTS n,s,r . Mgr(n,d,s,r)").unwrap();
+    let api_depts: Vec<Vec<Value>> =
+        query.execute(&snapshot, FamilyKind::Global, Semantics::Certain).unwrap().collect();
 
     // Both report exactly {R&D} as the certainly-managed department.
     assert_eq!(sql_depts, vec![vec![Value::name("R&D")]]);
     assert_eq!(api_depts, vec![vec![Value::name("R&D")]]);
 
-    // The SQL session's engine view agrees with the programmatic engine on repair counts
-    // and preferred repairs.
-    let sql_engine = session.engine("Mgr").unwrap();
-    assert_eq!(sql_engine.count_repairs(), engine.count_repairs());
+    // The SQL session's published snapshot agrees with the programmatic snapshot on
+    // repair counts and preferred repairs.
+    let sql_snapshot = session.snapshot("Mgr").unwrap();
+    assert_eq!(sql_snapshot.count_repairs(), snapshot.count_repairs());
     assert_eq!(
-        sql_engine.preferred_repairs(FamilyKind::Global, 10).len(),
-        engine.preferred_repairs(FamilyKind::Global, 10).len()
+        sql_snapshot.preferred_repairs(FamilyKind::Global, 10).len(),
+        snapshot.preferred_repairs(FamilyKind::Global, 10).len()
     );
 }
 
