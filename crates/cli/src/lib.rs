@@ -404,7 +404,8 @@ impl Interpreter {
 
 const HELP: &str = "\
 SQL statements: CREATE TABLE, ALTER TABLE <t> ADD FD <fd>, INSERT INTO <t> VALUES …,
-                PREFER (<row>) OVER (<row>) IN <t>, SELECT … [WITH REPAIRS <family>]
+                DELETE FROM <t> VALUES …, PREFER (<row>) OVER (<row>) IN <t>,
+                SELECT … [WITH REPAIRS <family>]
 meta commands:
   .help                                     this message
   .threads [n|auto]                         show or set the worker-thread count
@@ -421,20 +422,27 @@ meta commands:
   .properties <table>                       evaluate P1-P4 for every family";
 
 /// Turns one `pdqi connect` input line into a protocol frame payload, or `None` for
-/// blank and `--` comment lines. `BATCH` requests are multi-line frames; on the
-/// single-line `connect` surface the entries are separated with `;`:
+/// blank and `--` comment lines. `BATCH`, `INSERT` and `DELETE` requests are
+/// multi-line frames; on the single-line `connect` surface their entries are separated
+/// with `;`:
 ///
 /// ```text
 /// BATCH q1 ALL CERTAIN; q2 G CLOSED
+/// INSERT Mgr 'Eve','HR',15,2; 'Bob','HR',16,1
+/// DELETE Mgr 'Eve','HR',15,2
 /// ```
+///
+/// Mutation rows split on `;` and fields on `,` **before** quote handling; each field
+/// is then trimmed and may be wrapped in single quotes. Quoting therefore cannot
+/// protect the separators themselves — values containing semicolons, commas or tabs
+/// need the frame protocol (or the SQL surface) directly.
 pub fn frame_payload_of_line(line: &str) -> Option<String> {
     let trimmed = line.trim();
     if trimmed.is_empty() || trimmed.starts_with("--") {
         return None;
     }
-    let is_batch =
-        trimmed.split_whitespace().next().is_some_and(|word| word.eq_ignore_ascii_case("BATCH"));
-    if is_batch {
+    let command = trimmed.split_whitespace().next().unwrap_or("").to_ascii_uppercase();
+    if command == "BATCH" {
         let rest = trimmed[5.min(trimmed.len())..].trim();
         let mut payload = String::from("BATCH");
         for entry in rest.split(';') {
@@ -443,6 +451,35 @@ pub fn frame_payload_of_line(line: &str) -> Option<String> {
                 payload.push('\n');
                 payload.push_str(entry);
             }
+        }
+        return Some(payload);
+    }
+    if command == "INSERT" || command == "DELETE" {
+        let rest = trimmed[6.min(trimmed.len())..].trim_start();
+        let (table, rows_text) = match rest.split_once(char::is_whitespace) {
+            Some((table, rows_text)) => (table, rows_text),
+            // No rows on the line: pass through so the server reports usage.
+            None => return Some(trimmed.to_string()),
+        };
+        let mut payload = format!("{command} {table}");
+        for row in rows_text.split(';') {
+            let row = row.trim();
+            if row.is_empty() {
+                continue;
+            }
+            let fields: Vec<String> = row
+                .split(',')
+                .map(|field| {
+                    let field = field.trim();
+                    let unquoted = field
+                        .strip_prefix('\'')
+                        .and_then(|f| f.strip_suffix('\''))
+                        .unwrap_or(field);
+                    pdqi_server::escape_field(unquoted)
+                })
+                .collect();
+            payload.push('\n');
+            payload.push_str(&fields.join("\t"));
         }
         return Some(payload);
     }
@@ -478,6 +515,7 @@ fn render_outcome(outcome: &StatementOutcome) -> String {
         StatementOutcome::Created => "table created".to_string(),
         StatementOutcome::FdAdded => "functional dependency added".to_string(),
         StatementOutcome::Inserted(n) => format!("{n} row(s) inserted"),
+        StatementOutcome::Deleted(n) => format!("{n} row(s) deleted"),
         StatementOutcome::PreferenceAdded => "preference recorded".to_string(),
         StatementOutcome::Rows(result) => {
             let mut out = result.columns.join(" | ");
@@ -678,6 +716,38 @@ mod tests {
         let clean = interpreter.run_line(".shards Clean").unwrap();
         assert!(clean.contains("conflict-free"), "{clean}");
         assert!(interpreter.run_line(".shards").is_err());
+    }
+
+    #[test]
+    fn connect_lines_convert_batch_and_mutation_surfaces() {
+        // BATCH entries split on `;` into one line each.
+        assert_eq!(
+            frame_payload_of_line("BATCH q1 ALL CERTAIN; q2 G CLOSED").unwrap(),
+            "BATCH\nq1 ALL CERTAIN\nq2 G CLOSED"
+        );
+        // Mutation rows split on `;`, fields on `,`; quotes strip, fields escape.
+        assert_eq!(
+            frame_payload_of_line("INSERT Mgr 'Eve','HR',15,2; 'Bob','HR',16,1").unwrap(),
+            "INSERT Mgr\nEve\tHR\t15\t2\nBob\tHR\t16\t1"
+        );
+        assert_eq!(
+            frame_payload_of_line("delete Mgr 'Eve','HR',15,2").unwrap(),
+            "DELETE Mgr\nEve\tHR\t15\t2"
+        );
+        // A mutation without rows passes through for the server's usage error.
+        assert_eq!(frame_payload_of_line("INSERT Mgr").unwrap(), "INSERT Mgr");
+        // Comments and blanks produce no frame.
+        assert!(frame_payload_of_line("  -- nope").is_none());
+        assert!(frame_payload_of_line("   ").is_none());
+    }
+
+    #[test]
+    fn sql_deletes_flow_through_the_interpreter() {
+        let mut interpreter = loaded();
+        let out = interpreter.run_line("DELETE FROM Mgr VALUES ('Mary','IT',20,1)").unwrap();
+        assert_eq!(out, "1 row(s) deleted");
+        let out = interpreter.run_line(".count Mgr").unwrap();
+        assert!(out.contains("2 repair(s)"), "{out}");
     }
 
     #[test]

@@ -64,6 +64,67 @@ pub fn fd_conflict_edges(
     edges
 }
 
+/// The conflict edges of one functional dependency that are **incident to at least one
+/// tuple of `touched`**, sorted with the smaller id first.
+///
+/// This is the *delta* analogue of [`fd_conflict_edges`], built for incremental
+/// maintenance: when a batch of tuples is inserted into an instance whose conflict
+/// graph is already known, the only edges that can appear are those touching an
+/// inserted tuple (a conflict is a property of the two tuples alone, so edges between
+/// pre-existing tuples are unchanged). The scan still walks the instance once to
+/// project left-hand sides, but pairwise comparisons happen only inside groups that
+/// contain a touched tuple, and only for pairs involving a touched tuple — on a large
+/// instance with a small delta that is the difference between `O(comparable pairs)`
+/// and `O(delta × group sizes)`.
+///
+/// The result equals `fd_conflict_edges(instance, fd)` filtered to edges with an
+/// endpoint in `touched` (pinned by tests), so unioning it with the carried-over edges
+/// of the untouched tuples reproduces the full edge set exactly.
+pub fn fd_conflict_edges_touching(
+    instance: &RelationInstance,
+    fd: &crate::fd::FunctionalDependency,
+    touched: &TupleSet,
+) -> Vec<(TupleId, TupleId)> {
+    let mut edges = Vec::new();
+    if fd.is_trivial() || touched.is_empty() {
+        return edges;
+    }
+    // Group the *touched* tuples by their left-hand-side projection; only tuples whose
+    // projection hits one of these groups can gain an edge.
+    let mut groups: HashMap<Vec<Value>, Vec<TupleId>> = HashMap::new();
+    for id in touched.iter() {
+        let tuple = instance.tuple_unchecked(id);
+        groups.entry(tuple.project(fd.lhs())).or_default().push(id);
+    }
+    // Pass 1 — untouched × touched: each such pair is visited exactly once (from the
+    // untouched side).
+    for (id, tuple) in instance.iter() {
+        if touched.contains(id) {
+            continue;
+        }
+        if let Some(group) = groups.get(&tuple.project(fd.lhs())) {
+            for &t in group {
+                if tuple.differs_on(instance.tuple_unchecked(t), fd.rhs()) {
+                    edges.push((id.min(t), id.max(t)));
+                }
+            }
+        }
+    }
+    // Pass 2 — touched × touched, once per unordered pair within a group.
+    for group in groups.values() {
+        for (i, &a) in group.iter().enumerate() {
+            let ta = instance.tuple_unchecked(a);
+            for &b in &group[i + 1..] {
+                if ta.differs_on(instance.tuple_unchecked(b), fd.rhs()) {
+                    edges.push((a.min(b), a.max(b)));
+                }
+            }
+        }
+    }
+    edges.sort_unstable();
+    edges
+}
+
 impl ConflictGraph {
     /// Builds the conflict graph of `instance` w.r.t. `fds`.
     pub fn build(instance: &RelationInstance, fds: &FdSet) -> Self {
@@ -405,6 +466,43 @@ mod tests {
         let completed = graph.complete_to_maximal(&TupleSet::from_ids([TupleId(2)]));
         assert!(graph.is_maximal_independent(&completed));
         assert!(completed.contains(TupleId(2)));
+    }
+
+    #[test]
+    fn touching_edges_equal_the_full_scan_filtered_to_the_touched_set() {
+        let (instance, fds) = example1();
+        for touched in [
+            TupleSet::new(),
+            TupleSet::from_ids([TupleId(0)]),
+            TupleSet::from_ids([TupleId(1), TupleId(2)]),
+            TupleSet::full(instance.len()),
+        ] {
+            for fd in fds.fds() {
+                let full = fd_conflict_edges(&instance, fd);
+                let expected: Vec<_> = full
+                    .iter()
+                    .copied()
+                    .filter(|&(a, b)| touched.contains(a) || touched.contains(b))
+                    .collect();
+                let delta = fd_conflict_edges_touching(&instance, fd, &touched);
+                assert_eq!(delta, expected, "touched {touched:?}");
+            }
+        }
+        // Unioning untouched-survivor edges with the delta reproduces the full graph.
+        let (instance, fds) = example4(5);
+        let touched = TupleSet::from_ids([TupleId(2), TupleId(3), TupleId(7)]);
+        for fd in fds.fds() {
+            let full = fd_conflict_edges(&instance, fd);
+            let untouched: Vec<_> = full
+                .iter()
+                .copied()
+                .filter(|&(a, b)| !touched.contains(a) && !touched.contains(b))
+                .collect();
+            let mut union = untouched;
+            union.extend(fd_conflict_edges_touching(&instance, fd, &touched));
+            union.sort_unstable();
+            assert_eq!(union, full);
+        }
     }
 
     #[test]

@@ -26,7 +26,7 @@ pub mod fd;
 pub mod hypergraph;
 pub mod violations;
 
-pub use conflict::{fd_conflict_edges, ConflictGraph};
+pub use conflict::{fd_conflict_edges, fd_conflict_edges_touching, ConflictGraph};
 pub use denial::{CompOp, DenialAtom, DenialConstraint, DenialTerm};
 pub use fd::{FdSet, FunctionalDependency};
 pub use hypergraph::ConflictHypergraph;

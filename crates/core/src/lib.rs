@@ -22,7 +22,12 @@
 //! * the **serving core**: [`SnapshotRegistry`], one atomically-swappable
 //!   [`Arc`](std::sync::Arc)-shared snapshot per table with generation counters, the
 //!   structure SQL sessions and the `pdqi-server` network front end serve from
-//!   ([`registry`]).
+//!   ([`registry`]),
+//! * the **incremental delta-maintenance subsystem**: a [`Mutation`] batch of row
+//!   inserts/deletes derives a snapshot for the mutated instance through
+//!   [`EngineSnapshot::with_mutations`] — re-partitioning only the affected conflict
+//!   components and carrying over every untouched memo entry, bit-identical to a
+//!   fresh build ([`delta`]).
 //!
 //! # Quick start
 //!
@@ -81,6 +86,7 @@
 pub mod clean;
 pub mod cqa;
 pub mod cqa_ground;
+pub mod delta;
 pub mod families;
 pub mod hyper;
 pub mod optimality;
@@ -93,6 +99,7 @@ pub mod snapshot;
 
 pub use clean::{clean_with_total_priority, CleaningError};
 pub use cqa::{preferred_consistent_answer, CqaOutcome};
+pub use delta::{Mutation, MutationError, MutationReport};
 pub use families::{
     AllRepairs, CommonOptimal, FamilyKind, GlobalOptimal, LocalOptimal, RepairFamily,
     SemiGlobalOptimal,
@@ -102,7 +109,7 @@ pub use optimality::{
     is_globally_optimal, is_locally_optimal, is_semi_globally_optimal, preferred_over,
 };
 pub use parallel::{BatchExecutor, BatchRequest, BatchResponse, Parallelism, MAX_THREADS};
-pub use prepared::{AnswerSet, PreparedQuery, Semantics};
+pub use prepared::{AnswerSet, ChunkTuner, ChunkTunerStats, PreparedQuery, Semantics};
 pub use registry::{RegistryStats, ReviseError, SnapshotLease, SnapshotRegistry, TableStats};
 pub use repair::RepairContext;
 pub use snapshot::{BuildError, EngineBuilder, EngineSnapshot, MemoStats, Shard};

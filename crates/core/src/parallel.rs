@@ -37,7 +37,7 @@ use pdqi_query::QueryError;
 
 use crate::cqa::CqaOutcome;
 use crate::families::FamilyKind;
-use crate::prepared::{AnswerSet, PreparedQuery, Semantics};
+use crate::prepared::{AnswerSet, ChunkTuner, PreparedQuery, Semantics};
 use crate::snapshot::EngineSnapshot;
 
 /// How many worker threads an operation may use.
@@ -243,6 +243,9 @@ impl BatchResponse {
 pub struct BatchExecutor {
     snapshot: EngineSnapshot,
     parallelism: Parallelism,
+    /// Measured-chunk feedback for single-request batches (see [`ChunkTuner`]); shared
+    /// across clones so a long-lived server front end keeps one converging target.
+    tuner: Arc<ChunkTuner>,
 }
 
 impl BatchExecutor {
@@ -253,7 +256,18 @@ impl BatchExecutor {
 
     /// An executor over `snapshot` with an explicit degree of parallelism.
     pub fn with_parallelism(snapshot: EngineSnapshot, parallelism: Parallelism) -> Self {
-        BatchExecutor { snapshot, parallelism }
+        BatchExecutor::with_tuner(snapshot, parallelism, ChunkTuner::shared())
+    }
+
+    /// An executor sharing a caller-owned [`ChunkTuner`], so the measured chunk-cost
+    /// target survives across executors (a serving front end builds one executor per
+    /// request but wants one feedback loop per process).
+    pub fn with_tuner(
+        snapshot: EngineSnapshot,
+        parallelism: Parallelism,
+        tuner: Arc<ChunkTuner>,
+    ) -> Self {
+        BatchExecutor { snapshot, parallelism, tuner }
     }
 
     /// The snapshot every request is answered against.
@@ -266,8 +280,38 @@ impl BatchExecutor {
         self.parallelism
     }
 
+    /// The chunk-cost feedback loop single-request batches execute under.
+    pub fn tuner(&self) -> &Arc<ChunkTuner> {
+        &self.tuner
+    }
+
     /// Answers every request, returning responses in request order.
+    ///
+    /// Multi-request batches run one request per worker (requests are the parallel
+    /// unit, sharing the snapshot's memos). A **single-request** batch instead splits
+    /// its repair product into chunks across the whole pool — otherwise a lone `EXEC`
+    /// would leave every other worker idle — with measured per-chunk wall-clock feeding
+    /// the shared [`ChunkTuner`]. Either way each response is bit-identical to
+    /// [`PreparedQuery::execute`] / [`PreparedQuery::consistent_answer`] on the same
+    /// snapshot.
     pub fn run(&self, requests: &[BatchRequest]) -> Vec<Result<BatchResponse, QueryError>> {
+        if requests.len() == 1 {
+            let response = match &requests[0] {
+                BatchRequest::Execute { query, family, semantics } => query
+                    .execute_tuned(
+                        &self.snapshot,
+                        *family,
+                        *semantics,
+                        self.parallelism,
+                        &self.tuner,
+                    )
+                    .map(BatchResponse::Rows),
+                BatchRequest::ConsistentAnswer { query, family } => query
+                    .consistent_answer_tuned(&self.snapshot, *family, self.parallelism, &self.tuner)
+                    .map(BatchResponse::Outcome),
+            };
+            return vec![response];
+        }
         run_jobs(self.parallelism, requests.len(), |index| match &requests[index] {
             BatchRequest::Execute { query, family, semantics } => {
                 query.execute(&self.snapshot, *family, *semantics).map(BatchResponse::Rows)

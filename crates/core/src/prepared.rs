@@ -20,7 +20,9 @@ use std::collections::BTreeSet;
 use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::ops::ControlFlow;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 use pdqi_query::classify::{classify, QueryClass};
 use pdqi_query::{parse_formula, Evaluator, Formula, QueryError};
@@ -179,13 +181,39 @@ impl PreparedQuery {
         semantics: Semantics,
         parallelism: Parallelism,
     ) -> Result<AnswerSet, QueryError> {
+        self.execute_inner(snapshot, kind, semantics, parallelism, None)
+    }
+
+    /// [`PreparedQuery::execute_with`] with a [`ChunkTuner`] in the loop: chunk sizes
+    /// come from the tuner's measured per-chunk cost target, and every fully-evaluated
+    /// chunk's wall-clock is recorded back. Results are bit-identical either way; only
+    /// the split of the repair product changes.
+    pub fn execute_tuned(
+        &self,
+        snapshot: &EngineSnapshot,
+        kind: FamilyKind,
+        semantics: Semantics,
+        parallelism: Parallelism,
+        tuner: &ChunkTuner,
+    ) -> Result<AnswerSet, QueryError> {
+        self.execute_inner(snapshot, kind, semantics, parallelism, Some(tuner))
+    }
+
+    fn execute_inner(
+        &self,
+        snapshot: &EngineSnapshot,
+        kind: FamilyKind,
+        semantics: Semantics,
+        parallelism: Parallelism,
+        tuner: Option<&ChunkTuner>,
+    ) -> Result<AnswerSet, QueryError> {
         let key = AnswerKey { fingerprint: self.fingerprint, family: kind, mode: semantics.mode() };
         if let Some(entry) = snapshot.cached_answer(&key, &self.formula) {
             return Ok(AnswerSet::new(Arc::clone(&entry.columns), Arc::clone(&entry.rows)));
         }
         let relevant = self.relevant_relations(snapshot);
         let accumulated =
-            self.accumulate_rows(snapshot, kind, semantics, &relevant, parallelism)?;
+            self.accumulate_rows(snapshot, kind, semantics, &relevant, parallelism, tuner)?;
         let rows: Arc<Vec<Vec<Value>>> = Arc::new(accumulated.into_iter().collect());
         let columns = Arc::new(self.free.clone());
         let entry = snapshot.store_answer(key, &self.formula, &relevant, rows, columns, None);
@@ -200,11 +228,17 @@ impl PreparedQuery {
         semantics: Semantics,
         relevant: &[usize],
         parallelism: Parallelism,
+        tuner: Option<&ChunkTuner>,
     ) -> Result<BTreeSet<Vec<Value>>, QueryError> {
         if !parallelism.is_sequential() {
-            if let Some(rows) =
-                self.accumulate_rows_parallel(snapshot, kind, semantics, relevant, parallelism)
-            {
+            if let Some(rows) = self.accumulate_rows_parallel(
+                snapshot,
+                kind,
+                semantics,
+                relevant,
+                parallelism,
+                tuner,
+            ) {
                 return Ok(rows);
             }
             // Fall back to the sequential path: either a worker hit an evaluation
@@ -261,6 +295,7 @@ impl PreparedQuery {
         semantics: Semantics,
         relevant: &[usize],
         parallelism: Parallelism,
+        tuner: Option<&ChunkTuner>,
     ) -> Option<BTreeSet<Vec<Value>>> {
         snapshot.warm_relation_components(kind, relevant, parallelism);
         let Some(lists) = snapshot.selection_lists(kind, relevant) else {
@@ -275,7 +310,9 @@ impl PreparedQuery {
             return None;
         }
         let cost = snapshot.estimate_selection_cost(relevant, &lists);
-        let chunks = chunk_ranges(total, adaptive_chunk_count(total, cost, parallelism));
+        let target = tuner.map_or(TARGET_CHUNK_COST, ChunkTuner::target_chunk_cost);
+        let chunks =
+            chunk_ranges(total, adaptive_chunk_count_with_target(total, cost, parallelism, target));
         // The parallel analogue of the sequential Certain early exit: the merged result
         // is an intersection, so one empty chunk fold empties it globally and every
         // worker can stop.
@@ -283,6 +320,7 @@ impl PreparedQuery {
         let folds: Vec<Result<Option<BTreeSet<Vec<Value>>>, QueryError>> =
             run_jobs(parallelism, chunks.len(), |index| {
                 let (start, end) = chunks[index];
+                let started = tuner.map(|_| Instant::now());
                 let mut cursor = SelectionCursor::new(snapshot, &lists, start);
                 let mut accumulated: Option<BTreeSet<Vec<Value>>> = None;
                 let mut at = start;
@@ -305,6 +343,11 @@ impl PreparedQuery {
                     if at < end {
                         cursor.advance();
                     }
+                }
+                // Only fully-evaluated chunks feed the tuner: an early exit's timing
+                // reflects the cut-off, not the per-selection cost.
+                if let (Some(tuner), Some(started)) = (tuner, started) {
+                    tuner.record((end - start).saturating_mul(cost), started.elapsed().as_nanos());
                 }
                 Ok(accumulated)
             });
@@ -348,6 +391,28 @@ impl PreparedQuery {
         kind: FamilyKind,
         parallelism: Parallelism,
     ) -> Result<CqaOutcome, QueryError> {
+        self.consistent_answer_inner(snapshot, kind, parallelism, None)
+    }
+
+    /// [`PreparedQuery::consistent_answer_with`] with a [`ChunkTuner`] in the loop (see
+    /// [`PreparedQuery::execute_tuned`]).
+    pub fn consistent_answer_tuned(
+        &self,
+        snapshot: &EngineSnapshot,
+        kind: FamilyKind,
+        parallelism: Parallelism,
+        tuner: &ChunkTuner,
+    ) -> Result<CqaOutcome, QueryError> {
+        self.consistent_answer_inner(snapshot, kind, parallelism, Some(tuner))
+    }
+
+    fn consistent_answer_inner(
+        &self,
+        snapshot: &EngineSnapshot,
+        kind: FamilyKind,
+        parallelism: Parallelism,
+        tuner: Option<&ChunkTuner>,
+    ) -> Result<CqaOutcome, QueryError> {
         if !self.free.is_empty() {
             return Err(QueryError::FreeVariables { variables: self.free.clone() });
         }
@@ -382,7 +447,7 @@ impl PreparedQuery {
             // Fall through to the generic pipeline on analysis errors so the caller
             // gets the standard error reporting.
         }
-        let outcome = self.closed_outcome(snapshot, kind, &relevant, parallelism)?;
+        let outcome = self.closed_outcome(snapshot, kind, &relevant, parallelism, tuner)?;
         snapshot.store_answer(
             key,
             &self.formula,
@@ -400,10 +465,11 @@ impl PreparedQuery {
         kind: FamilyKind,
         relevant: &[usize],
         parallelism: Parallelism,
+        tuner: Option<&ChunkTuner>,
     ) -> Result<CqaOutcome, QueryError> {
         if !parallelism.is_sequential() {
             if let Some(verdicts) =
-                self.closed_verdicts_parallel(snapshot, kind, relevant, parallelism)
+                self.closed_verdicts_parallel(snapshot, kind, relevant, parallelism, tuner)
             {
                 // Replay the per-repair truth values in enumeration order under the
                 // sequential early-exit rule: identical outcome, identical `examined`.
@@ -475,6 +541,7 @@ impl PreparedQuery {
         kind: FamilyKind,
         relevant: &[usize],
         parallelism: Parallelism,
+        tuner: Option<&ChunkTuner>,
     ) -> Option<Vec<bool>> {
         snapshot.warm_relation_components(kind, relevant, parallelism);
         let Some(lists) = snapshot.selection_lists(kind, relevant) else {
@@ -487,11 +554,14 @@ impl PreparedQuery {
             return None;
         }
         let cost = snapshot.estimate_selection_cost(relevant, &lists);
-        let chunks = chunk_ranges(total, adaptive_chunk_count(total, cost, parallelism));
+        let target = tuner.map_or(TARGET_CHUNK_COST, ChunkTuner::target_chunk_cost);
+        let chunks =
+            chunk_ranges(total, adaptive_chunk_count_with_target(total, cost, parallelism, target));
         let undetermined_chunk = std::sync::atomic::AtomicUsize::new(usize::MAX);
         let verdicts: Vec<Result<Vec<bool>, QueryError>> =
             run_jobs(parallelism, chunks.len(), |index| {
                 let (start, end) = chunks[index];
+                let started = tuner.map(|_| Instant::now());
                 let mut cursor = SelectionCursor::new(snapshot, &lists, start);
                 let mut mine = Vec::new();
                 let (mut saw_true, mut saw_false) = (false, false);
@@ -521,6 +591,9 @@ impl PreparedQuery {
                     if at < end {
                         cursor.advance();
                     }
+                }
+                if let (Some(tuner), Some(started)) = (tuner, started) {
+                    tuner.record((end - start).saturating_mul(cost), started.elapsed().as_nanos());
                 }
                 Ok(mine)
             });
@@ -615,10 +688,114 @@ const TARGET_CHUNK_COST: u128 = 4096;
 /// Clamped to `[workers, workers × MAX_CHUNKS_PER_WORKER]` (and never more than one
 /// chunk per selection).
 pub fn adaptive_chunk_count(total: u128, cost_per_item: u128, parallelism: Parallelism) -> u128 {
+    adaptive_chunk_count_with_target(total, cost_per_item, parallelism, TARGET_CHUNK_COST)
+}
+
+/// [`adaptive_chunk_count`] with an explicit per-chunk work target (the knob a
+/// [`ChunkTuner`] moves from measured chunk wall-clocks).
+fn adaptive_chunk_count_with_target(
+    total: u128,
+    cost_per_item: u128,
+    parallelism: Parallelism,
+    target: u128,
+) -> u128 {
     let workers = parallelism.thread_count() as u128;
     let work = total.saturating_mul(cost_per_item.max(1));
-    let ideal = work / TARGET_CHUNK_COST;
+    let ideal = work / target.max(1);
     ideal.clamp(workers, workers.saturating_mul(MAX_CHUNKS_PER_WORKER)).min(total).max(1)
+}
+
+/// Wall-clock a chunk should take. The static [`TARGET_CHUNK_COST`] assumes one
+/// tuple-evaluation costs roughly the same everywhere; measured chunk timings replace
+/// that guess with the session's real cost, converging the chunk *duration* (the thing
+/// scheduling actually cares about) to this target instead.
+const TARGET_CHUNK_NANOS: u128 = 500_000;
+
+/// Clamps on the tuned per-chunk work target: never below one cursor-setup's worth of
+/// work, never so high that a heavy product degenerates to one chunk per worker.
+const MIN_TARGET_CHUNK_COST: u64 = 64;
+const MAX_TARGET_CHUNK_COST: u64 = 1 << 24;
+
+/// A [`ChunkTuner`]'s counters at one instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkTunerStats {
+    /// The current per-chunk work target, in estimated tuple-evaluations.
+    pub target_chunk_cost: u64,
+    /// Fully-evaluated chunks whose wall-clock fed the target so far.
+    pub samples: u64,
+}
+
+/// Feedback from measured per-chunk wall-clock into the next execution's chunk sizing.
+///
+/// [`adaptive_chunk_count`] converts a repair product into chunks using a *static*
+/// work-per-chunk target (`TARGET_CHUNK_COST`, 4096 tuple-evaluations). That guess is off
+/// whenever the per-tuple evaluation cost differs from the assumed one — complex
+/// formulas, wide tuples, cold caches. A `ChunkTuner` closes the loop for long-lived
+/// sessions: every fully-evaluated chunk records its estimated work and measured
+/// wall-clock, and an exponentially-weighted average moves the target so chunks
+/// converge towards `TARGET_CHUNK_NANOS` (0.5 ms) of real time each. Early-exited chunks
+/// (certain-empty cut-offs, undetermined closes) are not recorded — their timings
+/// reflect the exit, not the work.
+///
+/// Tuning only changes how the product is *split*; every execution stays bit-identical
+/// to the sequential path regardless of the chunk count. Share one tuner per session
+/// (or per [`crate::BatchExecutor`]) — it is internally synchronised and updates are
+/// deliberately racy-but-monotonic (a lost update costs one sample, never correctness).
+#[derive(Debug)]
+pub struct ChunkTuner {
+    /// Current target, in estimated tuple-evaluations per chunk.
+    target: AtomicU64,
+    /// Number of recorded chunk timings.
+    samples: AtomicU64,
+}
+
+impl Default for ChunkTuner {
+    fn default() -> Self {
+        ChunkTuner::new()
+    }
+}
+
+impl ChunkTuner {
+    /// A tuner starting from the static `TARGET_CHUNK_COST` guess.
+    pub fn new() -> Self {
+        ChunkTuner { target: AtomicU64::new(TARGET_CHUNK_COST as u64), samples: AtomicU64::new(0) }
+    }
+
+    /// A shared tuner, ready to hand to a session or executor.
+    pub fn shared() -> Arc<Self> {
+        Arc::new(ChunkTuner::new())
+    }
+
+    /// The current per-chunk work target, in estimated tuple-evaluations.
+    pub fn target_chunk_cost(&self) -> u128 {
+        self.target.load(Ordering::Relaxed) as u128
+    }
+
+    /// The counters at one instant.
+    pub fn stats(&self) -> ChunkTunerStats {
+        ChunkTunerStats {
+            target_chunk_cost: self.target.load(Ordering::Relaxed),
+            samples: self.samples.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Records one fully-evaluated chunk: `work` estimated tuple-evaluations took
+    /// `elapsed_nanos` of wall-clock. Moves the target an eighth of the way towards the
+    /// work volume that would have taken `TARGET_CHUNK_NANOS`.
+    fn record(&self, work: u128, elapsed_nanos: u128) {
+        if work == 0 {
+            return;
+        }
+        let ideal = work.saturating_mul(TARGET_CHUNK_NANOS) / elapsed_nanos.max(1);
+        let ideal = ideal.clamp(MIN_TARGET_CHUNK_COST as u128, MAX_TARGET_CHUNK_COST as u128);
+        let current = self.target.load(Ordering::Relaxed) as u128;
+        let moved = (current * 7 + ideal) / 8;
+        self.target.store(
+            (moved as u64).clamp(MIN_TARGET_CHUNK_COST, MAX_TARGET_CHUNK_COST),
+            Ordering::Relaxed,
+        );
+        self.samples.fetch_add(1, Ordering::Relaxed);
+    }
 }
 
 /// Hard ceiling on the ranges [`chunk_ranges`] materialises. One entry per chunk is
@@ -1042,6 +1219,95 @@ mod tests {
         assert_eq!(adaptive_chunk_count(1 << 80, 100, four), 64);
         // Saturated work products do not overflow.
         assert_eq!(adaptive_chunk_count(u128::MAX - 1, u128::MAX, four), 64);
+    }
+
+    #[test]
+    fn chunk_tuner_moves_the_target_with_measured_costs() {
+        let tuner = ChunkTuner::new();
+        assert_eq!(tuner.stats(), ChunkTunerStats { target_chunk_cost: 4096, samples: 0 });
+        // Chunks that finish far faster than the wall-clock target pull the target up...
+        for _ in 0..64 {
+            tuner.record(4096, 1_000); // 4096 evals in 1µs — dirt cheap
+        }
+        let fast = tuner.stats();
+        assert!(fast.target_chunk_cost > 4096, "cheap chunks must grow, got {fast:?}");
+        assert_eq!(fast.samples, 64);
+        // ...and chunks that blow through it pull the target down, within the clamps.
+        for _ in 0..128 {
+            tuner.record(4096, 4_000_000_000); // 4096 evals in 4s — extremely expensive
+        }
+        let slow = tuner.stats();
+        assert!(slow.target_chunk_cost < fast.target_chunk_cost, "{slow:?}");
+        assert!(slow.target_chunk_cost >= MIN_TARGET_CHUNK_COST);
+        // Degenerate samples never move the target or the counter.
+        let before = tuner.stats();
+        tuner.record(0, 12345);
+        assert_eq!(tuner.stats(), before);
+    }
+
+    #[test]
+    fn tuned_executions_feed_the_tuner_and_stay_bit_identical() {
+        let ctx = example4(9);
+        let snapshot = snapshot_of(&ctx);
+        let tuner = ChunkTuner::new();
+        let query = PreparedQuery::parse("EXISTS y . R(x,y)").unwrap();
+        let tuned: Vec<_> = query
+            .execute_tuned(
+                &snapshot.with_cleared_memo(),
+                FamilyKind::Rep,
+                Semantics::Possible,
+                crate::Parallelism::threads(2),
+                &tuner,
+            )
+            .unwrap()
+            .collect();
+        let sequential: Vec<_> = query
+            .execute(&snapshot.with_cleared_memo(), FamilyKind::Rep, Semantics::Possible)
+            .unwrap()
+            .collect();
+        assert_eq!(tuned, sequential);
+        let stats = tuner.stats();
+        assert!(stats.samples > 0, "fully-evaluated chunks must be recorded: {stats:?}");
+        assert_ne!(stats.target_chunk_cost, 4096, "measured costs must move the target");
+        // Closed executions feed the same loop.
+        let closed = PreparedQuery::parse("EXISTS x,y . R(x,y) AND x > 100").unwrap();
+        let before = tuner.stats().samples;
+        let outcome = closed
+            .consistent_answer_tuned(
+                &snapshot.with_cleared_memo(),
+                FamilyKind::Rep,
+                crate::Parallelism::threads(2),
+                &tuner,
+            )
+            .unwrap();
+        assert!(outcome.certainly_false);
+        assert!(tuner.stats().samples > before);
+    }
+
+    #[test]
+    fn single_request_batches_use_the_pool_and_the_shared_tuner() {
+        use crate::{BatchExecutor, BatchRequest, Parallelism};
+        let ctx = example4(9);
+        let snapshot = snapshot_of(&ctx);
+        let tuner = ChunkTuner::shared();
+        let executor = BatchExecutor::with_tuner(
+            snapshot.with_cleared_memo(),
+            Parallelism::threads(2),
+            Arc::clone(&tuner),
+        );
+        let query = Arc::new(PreparedQuery::parse("EXISTS y . R(x,y)").unwrap());
+        let request =
+            BatchRequest::execute(Arc::clone(&query), FamilyKind::Rep, Semantics::Possible);
+        let responses = executor.run(std::slice::from_ref(&request));
+        assert_eq!(responses.len(), 1);
+        let rows: Vec<_> = responses[0].as_ref().unwrap().rows().unwrap().clone().collect();
+        let direct: Vec<_> = query
+            .execute(&snapshot_of(&ctx), FamilyKind::Rep, Semantics::Possible)
+            .unwrap()
+            .collect();
+        assert_eq!(rows, direct);
+        assert!(tuner.stats().samples > 0, "single-request batches must chunk and record");
+        assert!(Arc::ptr_eq(executor.tuner(), &tuner));
     }
 
     #[test]

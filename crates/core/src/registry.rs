@@ -30,6 +30,8 @@ use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 
+use crate::delta::{Mutation, MutationError, MutationReport};
+use crate::parallel::Parallelism;
 use crate::snapshot::EngineSnapshot;
 
 /// One table's serving slot: the current snapshot plus its counters.
@@ -277,6 +279,66 @@ impl SnapshotRegistry {
         Ok(slot.swap_in(Arc::new(revised)))
     }
 
+    /// Applies a [`Mutation`] to `table`'s snapshot **as a delta** and publishes the
+    /// derived snapshot under the per-table revision lock: the replacement is built by
+    /// [`EngineSnapshot::with_mutations`](crate::EngineSnapshot::with_mutations) off the
+    /// serving path (readers keep their leases; only the final swap touches the slot),
+    /// re-partitioning only the affected components and carrying over every untouched
+    /// memo entry — no rebuild. Returns the new generation and what the delta did.
+    ///
+    /// Like [`SnapshotRegistry::revise`], writers of one table serialise, so
+    /// interleaved mutations and priority revisions each get their own generation and
+    /// every published state is derived from the previously published one.
+    pub fn apply(
+        &self,
+        table: &str,
+        mutation: &Mutation,
+        parallelism: Parallelism,
+    ) -> Result<(u64, MutationReport), ReviseError<MutationError>> {
+        let mut report = None;
+        let generation = self.revise(table, |current| {
+            let (snapshot, applied) = current.with_mutations_reported(mutation, parallelism)?;
+            report = Some(applied);
+            Ok(snapshot)
+        })?;
+        Ok((generation, report.expect("a successful revision ran the builder")))
+    }
+
+    /// [`SnapshotRegistry::apply`] guarded by an expected generation, verified **under
+    /// the per-table revision lock**: the delta derives and swaps only if `table`'s
+    /// current generation still equals `expected`; otherwise `Ok(None)` is returned
+    /// and the slot is untouched. This is the compare-and-swap a catalog-owning writer
+    /// (like `sql::Session`) needs — deriving a delta from a snapshot some *other*
+    /// writer published would silently adopt foreign state, so a stale expectation
+    /// must surface as a conflict, not a swap.
+    pub fn apply_if_generation(
+        &self,
+        table: &str,
+        mutation: &Mutation,
+        parallelism: Parallelism,
+        expected: u64,
+    ) -> Result<Option<(u64, MutationReport)>, ReviseError<MutationError>> {
+        let Some(slot) = self.slot(table) else {
+            return Err(ReviseError::UnknownTable(table.to_string()));
+        };
+        let _serialised = slot.revision.lock().expect("registry revision lock");
+        // All writers hold the revision lock across base-pin → swap, so the generation
+        // read here cannot move before our swap lands.
+        let (base, generation) = {
+            let current = slot.current.lock().expect("registry slot");
+            (Arc::clone(&current.0), current.1)
+        };
+        if generation != expected {
+            return Ok(None);
+        }
+        let (snapshot, report) =
+            base.with_mutations_reported(mutation, parallelism).map_err(ReviseError::Build)?;
+        if !self.slot_is_current(table, &slot) {
+            return Err(ReviseError::UnknownTable(table.to_string()));
+        }
+        Ok(Some((slot.swap_in(Arc::new(snapshot)), report)))
+    }
+
     /// Removes `table`'s slot. Outstanding leases keep their snapshot alive; an
     /// in-flight [`SnapshotRegistry::revise`] of the table fails with
     /// [`ReviseError::UnknownTable`] rather than swapping into the detached slot, and
@@ -397,6 +459,62 @@ mod tests {
         assert_eq!(registry.generation("Mgr"), 1);
         let missing = registry.revise("Nope", |s| Ok::<_, String>(s.clone()));
         assert!(matches!(missing, Err(ReviseError::UnknownTable(_))));
+    }
+
+    #[test]
+    fn apply_publishes_delta_derived_snapshots_with_generations() {
+        use pdqi_relation::Value;
+        let registry = SnapshotRegistry::new();
+        registry.publish("Mgr", example1_snapshot());
+        let before = registry.read("Mgr").unwrap();
+        // Delete one of Example 1's conflicting managers: a repair disappears.
+        let mutation = crate::Mutation::new()
+            .delete("Mgr", vec!["Mary".into(), "IT".into(), Value::int(20), Value::int(1)]);
+        let (generation, report) =
+            registry.apply("Mgr", &mutation, Parallelism::sequential()).expect("delta applies");
+        assert_eq!(generation, 2);
+        assert_eq!(report.deleted, 1);
+        assert_eq!(report.inserted, 0);
+        let after = registry.read("Mgr").unwrap();
+        assert_eq!(after.generation(), 2);
+        assert_eq!(after.snapshot().count_repairs(), 2);
+        // The pinned pre-mutation lease still serves the old state.
+        assert_eq!(before.snapshot().count_repairs(), 3);
+        // Errors surface without touching the slot.
+        let bad = crate::Mutation::new().insert("Nope", vec![Value::int(1)]);
+        assert!(matches!(
+            registry.apply("Mgr", &bad, Parallelism::sequential()),
+            Err(ReviseError::Build(crate::MutationError::UnknownRelation { .. }))
+        ));
+        assert_eq!(registry.generation("Mgr"), 2);
+        assert!(matches!(
+            registry.apply("Nope", &crate::Mutation::new(), Parallelism::sequential()),
+            Err(ReviseError::UnknownTable(_))
+        ));
+    }
+
+    #[test]
+    fn apply_if_generation_refuses_stale_expectations() {
+        use pdqi_relation::Value;
+        let registry = SnapshotRegistry::new();
+        registry.publish("Mgr", example1_snapshot());
+        let mutation = crate::Mutation::new()
+            .delete("Mgr", vec!["Mary".into(), "IT".into(), Value::int(20), Value::int(1)]);
+        // The expectation matches: the delta swaps and reports the new generation.
+        let applied = registry
+            .apply_if_generation("Mgr", &mutation, Parallelism::sequential(), 1)
+            .expect("table exists");
+        assert!(matches!(applied, Some((2, _))));
+        // The same expectation is now stale: no swap, no error, slot untouched.
+        let stale = registry
+            .apply_if_generation("Mgr", &mutation, Parallelism::sequential(), 1)
+            .expect("table exists");
+        assert!(stale.is_none());
+        assert_eq!(registry.generation("Mgr"), 2);
+        assert!(matches!(
+            registry.apply_if_generation("Nope", &mutation, Parallelism::sequential(), 1),
+            Err(ReviseError::UnknownTable(_))
+        ));
     }
 
     #[test]

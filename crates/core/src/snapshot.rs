@@ -441,7 +441,11 @@ const MAX_SHARDS_PER_RELATION: usize = 16;
 /// Partitions `components` into at most [`MAX_SHARDS_PER_RELATION`] contiguous shards
 /// balancing tuple counts (components stay in component-id order, so shard boundaries
 /// are deterministic and independent of parallelism).
-fn plan_shards(relation: usize, comp_offset: usize, components: &[TupleSet]) -> Vec<Shard> {
+pub(crate) fn plan_shards(
+    relation: usize,
+    comp_offset: usize,
+    components: &[TupleSet],
+) -> Vec<Shard> {
     if components.is_empty() {
         return Vec::new();
     }
@@ -492,7 +496,7 @@ pub(crate) struct RelationEntry {
     /// Conflict-free tuples: members of every repair, of every family.
     pub(crate) base: Arc<TupleSet>,
     /// Per-tuple component index (`usize::MAX` for conflict-free tuples).
-    comp_of: Arc<Vec<usize>>,
+    pub(crate) comp_of: Arc<Vec<usize>>,
     /// Global id of this relation's first component within the snapshot.
     pub(crate) comp_offset: usize,
     /// The shard plan: contiguous, tuple-balanced runs of this relation's components.
@@ -528,14 +532,14 @@ impl RelationEntry {
 
     /// Stitches in the relation's position and global component offset (assigned
     /// sequentially in relation order) and plans the shards over them.
-    fn with_offset(mut self, relation: usize, comp_offset: usize) -> Self {
+    pub(crate) fn with_offset(mut self, relation: usize, comp_offset: usize) -> Self {
         self.comp_offset = comp_offset;
         self.shards = Arc::new(plan_shards(relation, comp_offset, &self.components));
         self
     }
 
     /// A copy of this entry sharing every [`Arc`]-held part (the cheap "clone").
-    fn share(&self) -> RelationEntry {
+    pub(crate) fn share(&self) -> RelationEntry {
         RelationEntry {
             ctx: Arc::clone(&self.ctx),
             priority: self.priority.clone(),
@@ -597,7 +601,7 @@ pub(crate) enum AnswerMode {
 pub(crate) struct AnswerEntry {
     /// The exact formula this entry answers. The memo key holds only a 64-bit
     /// fingerprint, so hits re-check the formula to rule out hash collisions.
-    formula: pdqi_query::Formula,
+    pub(crate) formula: pdqi_query::Formula,
     /// Sorted, de-duplicated answer rows (empty for closed outcomes).
     pub(crate) rows: Arc<Vec<Vec<Value>>>,
     /// Column headers (the query's free variables, lexicographically).
@@ -605,9 +609,13 @@ pub(crate) struct AnswerEntry {
     /// The closed-query outcome, for [`AnswerMode::Closed`].
     pub(crate) outcome: Option<CqaOutcome>,
     /// Global component ids this result depends on (used by priority invalidation).
-    depends_on: Vec<usize>,
+    pub(crate) depends_on: Vec<usize>,
+    /// Snapshot relation indices the query mentions (used by mutation invalidation —
+    /// a conflict-free relation contributes no component to `depends_on`, so component
+    /// ids alone cannot tell whether a mutation touched the answer).
+    pub(crate) relations: Vec<usize>,
     /// Whether the result depends on the priority at all.
-    priority_sensitive: bool,
+    pub(crate) priority_sensitive: bool,
 }
 
 /// Default cap on memoised answers per snapshot. The component memo is naturally
@@ -643,7 +651,7 @@ type MemoStripe = RwLock<HashMap<(usize, FamilyKind), Arc<Vec<TupleSet>>>>;
 
 /// `(global component id, family)` → that component's preferred repairs, striped by
 /// component id (each shard's memo slice spans several stripes; see [`MEMO_STRIPES`]).
-struct ComponentMemo {
+pub(crate) struct ComponentMemo {
     stripes: Vec<MemoStripe>,
 }
 
@@ -669,7 +677,7 @@ impl ComponentMemo {
     /// Inserts `value` unless a racing computation beat this one to the key (both
     /// computed the same deterministic result; the first stays, keeping every
     /// outstanding `Arc` consistent).
-    fn insert_if_missing(&self, key: (usize, FamilyKind), value: &Arc<Vec<TupleSet>>) {
+    pub(crate) fn insert_if_missing(&self, key: (usize, FamilyKind), value: &Arc<Vec<TupleSet>>) {
         self.stripe(key.0)
             .write()
             .expect("memo lock")
@@ -678,7 +686,7 @@ impl ComponentMemo {
     }
 
     /// Visits every memoised entry, holding one stripe lock at a time.
-    fn for_each(&self, mut f: impl FnMut(&(usize, FamilyKind), &Arc<Vec<TupleSet>>)) {
+    pub(crate) fn for_each(&self, mut f: impl FnMut(&(usize, FamilyKind), &Arc<Vec<TupleSet>>)) {
         for stripe in &self.stripes {
             for (key, value) in stripe.read().expect("memo lock").iter() {
                 f(key, value);
@@ -702,8 +710,8 @@ impl Default for AnswerMemo {
 }
 
 #[derive(Default)]
-struct Memo {
-    components: ComponentMemo,
+pub(crate) struct Memo {
+    pub(crate) components: ComponentMemo,
     /// Memoised query executions.
     answers: RwLock<AnswerMemo>,
     component_hits: AtomicU64,
@@ -713,10 +721,50 @@ struct Memo {
     answer_evictions: AtomicU64,
 }
 
-struct SnapshotInner {
-    relations: Vec<RelationEntry>,
-    by_name: BTreeMap<String, usize>,
-    memo: Memo,
+impl Memo {
+    /// Carries answer entries over from `parent` into this (fresh) memo, copying the
+    /// capacity and walking the old insertion order so surviving entries keep their
+    /// age. `keep` decides per entry: `None` drops it, `Some(depends_on)` keeps it
+    /// with the given (possibly remapped) component dependencies — the entry is
+    /// shared when they are unchanged and re-assembled otherwise. Every derivation
+    /// (priority revision, mutation delta) funnels through here, so the
+    /// entries/order/capacity invariant lives in one place.
+    pub(crate) fn carry_answers_from(
+        &self,
+        parent: &Memo,
+        mut keep: impl FnMut(&AnswerEntry) -> Option<Vec<usize>>,
+    ) {
+        let old = parent.answers.read().expect("memo lock");
+        let mut new = self.answers.write().expect("memo lock");
+        new.capacity = old.capacity;
+        for key in old.order.iter() {
+            let answer = &old.entries[key];
+            let Some(depends_on) = keep(answer) else {
+                continue;
+            };
+            let entry = if depends_on == answer.depends_on {
+                Arc::clone(answer)
+            } else {
+                Arc::new(AnswerEntry {
+                    formula: answer.formula.clone(),
+                    rows: Arc::clone(&answer.rows),
+                    columns: Arc::clone(&answer.columns),
+                    outcome: answer.outcome,
+                    depends_on,
+                    relations: answer.relations.clone(),
+                    priority_sensitive: answer.priority_sensitive,
+                })
+            };
+            new.order.push_back(*key);
+            new.entries.insert(*key, entry);
+        }
+    }
+}
+
+pub(crate) struct SnapshotInner {
+    pub(crate) relations: Vec<RelationEntry>,
+    pub(crate) by_name: BTreeMap<String, usize>,
+    pub(crate) memo: Memo,
 }
 
 /// An immutable, shareable engine state: relations, constraints, conflict graphs,
@@ -726,7 +774,7 @@ struct SnapshotInner {
 /// [module docs](self) for the overall design and [`EngineBuilder`] for construction.
 #[derive(Clone)]
 pub struct EngineSnapshot {
-    inner: Arc<SnapshotInner>,
+    pub(crate) inner: Arc<SnapshotInner>,
 }
 
 impl fmt::Debug for EngineSnapshot {
@@ -1149,21 +1197,11 @@ impl EngineSnapshot {
                 memo.components.insert_if_missing((comp, kind), sets);
             }
         });
-        {
-            let old = self.inner.memo.answers.read().expect("memo lock");
-            let mut new = memo.answers.write().expect("memo lock");
-            new.capacity = old.capacity;
-            // Walk the old insertion order so surviving entries keep their age.
-            for key in old.order.iter() {
-                let answer = &old.entries[key];
-                let untouched = !answer.priority_sensitive
-                    || answer.depends_on.iter().all(|comp| !affected.contains(comp));
-                if untouched {
-                    new.order.push_back(*key);
-                    new.entries.insert(*key, Arc::clone(answer));
-                }
-            }
-        }
+        memo.carry_answers_from(&self.inner.memo, |answer| {
+            let untouched = !answer.priority_sensitive
+                || answer.depends_on.iter().all(|comp| !affected.contains(comp));
+            untouched.then(|| answer.depends_on.clone())
+        });
         Ok(EngineSnapshot {
             inner: Arc::new(SnapshotInner { relations, by_name: self.inner.by_name.clone(), memo }),
         })
@@ -1236,7 +1274,7 @@ impl EngineSnapshot {
     }
 
     /// Maps a global component id back to `(relation index, local component index)`.
-    fn locate_component(&self, global: usize) -> (usize, usize) {
+    pub(crate) fn locate_component(&self, global: usize) -> (usize, usize) {
         for (rel, entry) in self.inner.relations.iter().enumerate() {
             if global >= entry.comp_offset && global < entry.comp_offset + entry.components.len() {
                 return (rel, global - entry.comp_offset);
@@ -1334,6 +1372,7 @@ impl EngineSnapshot {
             columns,
             outcome,
             depends_on,
+            relations: relations.to_vec(),
             priority_sensitive: key.family != FamilyKind::Rep,
         });
         let mut answers = self.inner.memo.answers.write().expect("memo lock");

@@ -15,7 +15,8 @@
 //! * [`sat_instances`] — random 3-CNF formulas feeding the hardness reduction of
 //!   [`pdqi_solve::reductions`],
 //! * [`trace`] — interleaved query/revision streams for the swap-under-load serving
-//!   experiments (snapshot registry + network front end).
+//!   experiments (snapshot registry + network front end), and interleaved
+//!   insert/delete/query streams for the incremental delta-maintenance experiments.
 //!
 //! All generators are deterministic given a seed (`StdRng`), so every experiment is
 //! reproducible.
@@ -38,4 +39,6 @@ pub use synthetic::{
     chain_instance, duplicate_instance, example4_instance, multi_chain_instance,
     multi_chain_relations, random_conflict_instance, skewed_chain_instance,
 };
-pub use trace::{revision_trace, RevisionTrace, TraceEvent};
+pub use trace::{
+    mutation_trace, revision_trace, MutationEvent, MutationTrace, RevisionTrace, TraceEvent,
+};

@@ -154,6 +154,41 @@ impl Client {
         Ok((outcomes, generation))
     }
 
+    /// Inserts rows into `table` over the wire. The server types the raw fields
+    /// against the served schema and publishes a **delta-derived** snapshot (affected
+    /// conflict components only — no rebuild). Returns how many rows were genuinely
+    /// inserted (duplicates collapse under set semantics) and the new generation.
+    pub fn insert(
+        &mut self,
+        table: &str,
+        rows: &[Vec<String>],
+    ) -> Result<(usize, u64), ClientError> {
+        self.mutate(Request::Insert { table: table.to_string(), rows: rows.to_vec() }, "inserted")
+    }
+
+    /// Deletes rows (by value) from `table` over the wire; absent rows are no-ops.
+    /// Returns how many tuples were genuinely removed and the new generation.
+    pub fn delete(
+        &mut self,
+        table: &str,
+        rows: &[Vec<String>],
+    ) -> Result<(usize, u64), ClientError> {
+        self.mutate(Request::Delete { table: table.to_string(), rows: rows.to_vec() }, "deleted")
+    }
+
+    fn mutate(&mut self, request: Request, verb: &str) -> Result<(usize, u64), ClientError> {
+        let response = self.request(&request)?;
+        let head = response.lines().next().unwrap_or("");
+        let generation = parse_tagged(head, "gen")?;
+        let count = head
+            .split_whitespace()
+            .skip_while(|token| *token != verb)
+            .nth(1)
+            .and_then(|token| token.parse().ok())
+            .ok_or_else(|| ClientError::Malformed(format!("no `{verb} <n>` in `{head}`")))?;
+        Ok((count, generation))
+    }
+
     /// Replaces `table`'s priority with explicit `winner ≻ loser` tuple-id pairs and
     /// swaps the revised snapshot in; returns the new generation.
     pub fn set_priority(&mut self, table: &str, pairs: &[(u32, u32)]) -> Result<u64, ClientError> {

@@ -34,5 +34,7 @@ pub mod protocol;
 pub mod server;
 
 pub use client::{Client, ClientError, ExecOutcome};
-pub use protocol::{ExecMode, ExecSpec, FrameError, Request, MAX_FRAME_BYTES};
+pub use protocol::{
+    escape_field, unescape_field, ExecMode, ExecSpec, FrameError, Request, MAX_FRAME_BYTES,
+};
 pub use server::{serve, ServerConfig, ServerHandle};

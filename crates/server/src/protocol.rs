@@ -25,13 +25,21 @@
 //! EXEC <id> <family> <CERTAIN|POSSIBLE|CLOSED>
 //! BATCH
 //! <id> <family> <CERTAIN|POSSIBLE|CLOSED>      (repeated, one line per entry)
+//! INSERT <table>
+//! <value>\t<value>\t...                        (repeated, one escaped row per line)
+//! DELETE <table>
+//! <value>\t<value>\t...                        (repeated, one escaped row per line)
 //! SET-PRIORITY <table> [<winner>><loser> ...]
 //! STATS
 //! SHUTDOWN
 //! ```
 //!
 //! Families use the SQL tokens (`ALL`/`L`/`S`/`G`/`C` or the paper labels). Priorities
-//! are explicit tuple-id pairs `3>7` (tuple 3 preferred over tuple 7).
+//! are explicit tuple-id pairs `3>7` (tuple 3 preferred over tuple 7). `INSERT` and
+//! `DELETE` rows use the same tab-separated, [`escape_field`]-escaped encoding as
+//! answer rows; values are typed against the served table's schema at dispatch, and
+//! the mutation publishes a **delta-derived** snapshot (affected conflict components
+//! only — no rebuild), so the response carries the new generation.
 //!
 //! # Responses
 //!
@@ -41,8 +49,9 @@
 //! ```text
 //! OK rows 2 gen=3                      OK outcome undetermined examined=5 gen=3
 //! x                                    OK swapped Mgr gen=4
-//! Mary                                 ERR unknown prepared query `q9`
-//! John
+//! Mary                                 OK inserted 2 gen=5
+//! John                                 OK deleted 1 gen=6
+//!                                      ERR unknown prepared query `q9`
 //! ```
 
 use std::fmt;
@@ -143,6 +152,20 @@ pub enum Request {
     Exec(ExecSpec),
     /// Execute several prepared queries against **one** pinned snapshot.
     Batch(Vec<ExecSpec>),
+    /// Insert rows into a table, publishing a delta-derived snapshot (no rebuild).
+    Insert {
+        /// The table to insert into.
+        table: String,
+        /// Raw row fields (typed against the table's schema at dispatch).
+        rows: Vec<Vec<String>>,
+    },
+    /// Delete rows (by value) from a table, publishing a delta-derived snapshot.
+    Delete {
+        /// The table to delete from.
+        table: String,
+        /// Raw row fields of the tuples to remove.
+        rows: Vec<Vec<String>>,
+    },
     /// Revise a table's priority and swap the registry snapshot.
     SetPriority {
         /// The table whose priority is revised.
@@ -184,6 +207,34 @@ impl Request {
                     return Err("BATCH needs at least one `<id> <family> <mode>` line".to_string());
                 }
                 Ok(Request::Batch(specs))
+            }
+            "INSERT" | "DELETE" => {
+                let table = rest.trim();
+                if table.is_empty() || table.split_whitespace().count() != 1 {
+                    return Err(format!(
+                        "usage: {command} <table> followed by one tab-separated row per line"
+                    ));
+                }
+                // Rows reuse the response encoding: tab-separated fields, escaped with
+                // `escape_field` so embedded tabs/newlines cannot shift the structure.
+                // Every line after the head is a row — split('\n'), not lines(), and no
+                // blank-line filtering: a single-column row holding the empty string
+                // legitimately encodes as an empty line, and silently dropping it would
+                // be indistinguishable from a set-semantics no-op (a stray blank line
+                // in a multi-column frame surfaces as an arity error instead).
+                let Some((_, row_block)) = payload.split_once('\n') else {
+                    return Err(format!("{command} needs at least one row line"));
+                };
+                let rows: Vec<Vec<String>> = row_block
+                    .split('\n')
+                    .map(|line| line.split('\t').map(unescape_field).collect())
+                    .collect();
+                let table = table.to_string();
+                Ok(if command == "INSERT" {
+                    Request::Insert { table, rows }
+                } else {
+                    Request::Delete { table, rows }
+                })
             }
             "SET-PRIORITY" => {
                 let (table, pair_text) = match rest.split_once(char::is_whitespace) {
@@ -229,6 +280,8 @@ impl Request {
                 }
                 out
             }
+            Request::Insert { table, rows } => render_mutation("INSERT", table, rows),
+            Request::Delete { table, rows } => render_mutation("DELETE", table, rows),
             Request::SetPriority { table, pairs } => {
                 let mut out = format!("SET-PRIORITY {table}");
                 for (winner, loser) in pairs {
@@ -240,6 +293,18 @@ impl Request {
             Request::Shutdown => "SHUTDOWN".to_string(),
         }
     }
+}
+
+/// Renders an `INSERT`/`DELETE` payload: the command head line, then one escaped
+/// tab-separated row per line (the same encoding answer rows use).
+fn render_mutation(command: &str, table: &str, rows: &[Vec<String>]) -> String {
+    let mut out = format!("{command} {table}");
+    for row in rows {
+        out.push('\n');
+        let rendered: Vec<String> = row.iter().map(|field| escape_field(field)).collect();
+        out.push_str(&rendered.join("\t"));
+    }
+    out
 }
 
 /// Errors surfaced while reading a frame.
@@ -429,6 +494,21 @@ mod tests {
             ]),
             Request::SetPriority { table: "Mgr".into(), pairs: vec![(0, 2), (1, 3)] },
             Request::SetPriority { table: "Mgr".into(), pairs: vec![] },
+            Request::Insert {
+                table: "Mgr".into(),
+                rows: vec![
+                    vec!["Mary".into(), "R&D".into(), "40".into(), "3".into()],
+                    vec!["tab\there".into(), "line\nbreak".into(), "1".into(), "2".into()],
+                ],
+            },
+            Request::Delete { table: "Mgr".into(), rows: vec![vec!["John".into(), "PR".into()]] },
+            // A single-column row holding the empty string encodes as an empty line
+            // and must survive the round trip (not be dropped as a blank line).
+            Request::Insert { table: "T".into(), rows: vec![vec![String::new()]] },
+            Request::Insert {
+                table: "T".into(),
+                rows: vec![vec!["a".into()], vec![String::new()], vec!["b".into()]],
+            },
             Request::Stats,
             Request::Shutdown,
         ];
@@ -452,6 +532,11 @@ mod tests {
             "SET-PRIORITY",
             "SET-PRIORITY Mgr 1-2",
             "SET-PRIORITY Mgr x>y",
+            "INSERT",
+            "INSERT Mgr",
+            "INSERT two tables\nrow",
+            "DELETE",
+            "DELETE Mgr",
         ] {
             assert!(Request::parse(bad).is_err(), "{bad:?} should be malformed");
         }

@@ -30,11 +30,11 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use pdqi_core::{
-    BatchExecutor, BatchRequest, BatchResponse, Parallelism, PreparedQuery, SnapshotLease,
-    SnapshotRegistry,
+    BatchExecutor, BatchRequest, BatchResponse, ChunkTuner, Mutation, Parallelism, PreparedQuery,
+    SnapshotLease, SnapshotRegistry,
 };
 use pdqi_priority::Priority;
-use pdqi_relation::TupleId;
+use pdqi_relation::{TupleId, Value, ValueType};
 
 use crate::protocol::{escape_field, write_frame, ExecSpec, FrameError, Request};
 
@@ -76,6 +76,9 @@ struct ServerState {
     registry: Arc<SnapshotRegistry>,
     prepared: RwLock<HashMap<String, Arc<PreparedEntry>>>,
     parallelism: Parallelism,
+    /// One chunk-cost feedback loop per server: measured per-chunk wall-clock from
+    /// single-query requests converges the chunk split for the whole process.
+    tuner: Arc<ChunkTuner>,
     /// Accept-loop thread count: a remote `SHUTDOWN` must wake every one of them.
     acceptors: usize,
     shutdown: AtomicBool,
@@ -154,6 +157,7 @@ pub fn serve(
         registry,
         prepared: RwLock::new(HashMap::new()),
         parallelism: config.parallelism,
+        tuner: ChunkTuner::shared(),
         acceptors: acceptor_count,
         shutdown: AtomicBool::new(false),
         requests: AtomicU64::new(0),
@@ -404,6 +408,8 @@ fn dispatch(state: &ServerState, request: &Request) -> String {
                 out
             }
         },
+        Request::Insert { table, rows } => apply_mutation(state, table, rows, true),
+        Request::Delete { table, rows } => apply_mutation(state, table, rows, false),
         Request::SetPriority { table, pairs } => {
             let pairs: Vec<(TupleId, TupleId)> =
                 pairs.iter().map(|&(w, l)| (TupleId(w), TupleId(l))).collect();
@@ -449,6 +455,64 @@ fn dispatch(state: &ServerState, request: &Request) -> String {
     }
 }
 
+/// Answers an `INSERT`/`DELETE` request: types the raw row fields against the served
+/// table's schema, then publishes a **delta-derived** snapshot through
+/// [`SnapshotRegistry::apply`] — the replacement re-partitions only the conflict
+/// components the mutation touches and carries every untouched memo entry, building
+/// off the serving path under the same per-table writer lock `SET-PRIORITY` uses. The
+/// response reports what the mutation actually did (set semantics: duplicate inserts
+/// and absent deletes are no-ops) and the new generation.
+fn apply_mutation(state: &ServerState, table: &str, rows: &[Vec<String>], insert: bool) -> String {
+    let Some(lease) = state.registry.read(table) else {
+        return format!("ERR no snapshot published for table `{table}`");
+    };
+    let Some(ctx) = lease.snapshot().context_of(table) else {
+        return format!("ERR registry snapshot for `{table}` does not contain that relation");
+    };
+    let attributes = ctx.instance().schema().attributes();
+    let mut typed: Vec<Vec<Value>> = Vec::with_capacity(rows.len());
+    for row in rows {
+        if row.len() != attributes.len() {
+            return format!(
+                "ERR row has {} value(s) but `{table}` has {} column(s)",
+                row.len(),
+                attributes.len()
+            );
+        }
+        let mut values = Vec::with_capacity(row.len());
+        for (field, attribute) in row.iter().zip(attributes) {
+            match attribute.ty {
+                ValueType::Int => match field.parse::<i64>() {
+                    Ok(n) => values.push(Value::int(n)),
+                    Err(_) => {
+                        return format!(
+                            "ERR `{field}` is not an integer (column `{}`)",
+                            attribute.name
+                        )
+                    }
+                },
+                ValueType::Name => values.push(Value::name(field)),
+            }
+        }
+        typed.push(values);
+    }
+    let mutation = if insert {
+        Mutation::new().insert_rows(table, typed)
+    } else {
+        Mutation::new().delete_rows(table, typed)
+    };
+    match state.registry.apply(table, &mutation, state.parallelism) {
+        Ok((generation, report)) => {
+            if insert {
+                format!("OK inserted {} gen={generation}", report.inserted)
+            } else {
+                format!("OK deleted {} gen={generation}", report.deleted)
+            }
+        }
+        Err(e) => format!("ERR {e}"),
+    }
+}
+
 /// Resolves `specs` against the plan cache, pins **one** snapshot lease for all of
 /// them, and runs them through a [`BatchExecutor`] over that lease. Returns the lease
 /// (for the generation tag) and one rendered response block per spec.
@@ -479,10 +543,13 @@ fn execute_specs(
         .read(table)
         .ok_or_else(|| format!("no snapshot published for table `{table}`"))?;
     // One pinned snapshot for the whole request: every answer below is bit-identical
-    // to PreparedQuery::execute / consistent_answer on this exact snapshot.
-    let executor = BatchExecutor::with_parallelism(
+    // to PreparedQuery::execute / consistent_answer on this exact snapshot. The
+    // server-wide tuner feeds measured chunk costs across requests, so single-EXEC
+    // traffic converges its chunk split over the connection's lifetime.
+    let executor = BatchExecutor::with_tuner(
         pdqi_core::EngineSnapshot::clone(lease.snapshot()),
         state.parallelism,
+        Arc::clone(&state.tuner),
     );
     let requests: Vec<BatchRequest> = specs
         .iter()

@@ -90,6 +90,63 @@ fn a_scripted_session_prepares_executes_revises_and_shuts_down() {
 }
 
 #[test]
+fn wire_mutations_publish_delta_snapshots_with_generations() {
+    let handle = serve("127.0.0.1:0", example1_registry(), ServerConfig::default()).unwrap();
+    let addr = handle.local_addr();
+    let mut client = Client::connect(addr).unwrap();
+    client.prepare("managers", "EXISTS d,s,r . Mgr(x,d,s,r)").unwrap();
+
+    // Insert a conflict-free manager: she becomes a certain answer at generation 2.
+    let row = |fields: &[&str]| fields.iter().map(|f| f.to_string()).collect::<Vec<_>>();
+    let (inserted, generation) = client.insert("Mgr", &[row(&["Eve", "HR", "15", "2"])]).unwrap();
+    assert_eq!((inserted, generation), (1, 2));
+    let (outcome, generation) =
+        client.exec("managers", FamilyKind::Rep, ExecMode::Certain).unwrap();
+    assert_eq!(generation, 2);
+    assert_eq!(
+        outcome,
+        ExecOutcome::Rows {
+            columns: vec!["x".to_string()],
+            rows: vec![vec!["Eve".to_string()], vec!["John".to_string()], vec!["Mary".to_string()]],
+        }
+    );
+
+    // Duplicate inserts collapse under set semantics; absent deletes are no-ops.
+    let (inserted, generation) = client.insert("Mgr", &[row(&["Eve", "HR", "15", "2"])]).unwrap();
+    assert_eq!((inserted, generation), (0, 3));
+    let (deleted, generation) = client.delete("Mgr", &[row(&["Ghost", "X", "1", "1"])]).unwrap();
+    assert_eq!((deleted, generation), (0, 4));
+
+    // Deleting both of Mary's conflicting tuples leaves John's conflict only.
+    let (deleted, generation) = client
+        .delete("Mgr", &[row(&["Eve", "HR", "15", "2"]), row(&["Mary", "IT", "20", "1"])])
+        .unwrap();
+    assert_eq!((deleted, generation), (2, 5));
+    let (outcome, _) = client.exec("managers", FamilyKind::Rep, ExecMode::Certain).unwrap();
+    assert_eq!(
+        outcome,
+        ExecOutcome::Rows { columns: vec!["x".to_string()], rows: vec![vec!["John".to_string()]] }
+    );
+
+    // Typing errors and unknown tables are protocol-level ERRs.
+    assert!(client
+        .request_raw("INSERT Mgr\nEve\tHR\tfifteen\t2")
+        .unwrap()
+        .starts_with("ERR `fifteen` is not an integer"));
+    assert!(client
+        .request_raw("INSERT Mgr\nEve\tHR\t15")
+        .unwrap()
+        .starts_with("ERR row has 3 value(s)"));
+    assert!(client
+        .request_raw("INSERT Nope\n1\t2")
+        .unwrap()
+        .starts_with("ERR no snapshot published"));
+
+    client.shutdown().unwrap();
+    handle.wait();
+}
+
+#[test]
 fn protocol_errors_keep_the_connection_alive_but_malformed_frames_close_it() {
     let handle = serve("127.0.0.1:0", example1_registry(), ServerConfig::default()).unwrap();
     let addr = handle.local_addr();

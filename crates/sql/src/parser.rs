@@ -72,6 +72,14 @@ pub enum Statement {
         /// The literal rows.
         rows: Vec<Vec<Value>>,
     },
+    /// `DELETE FROM name VALUES (...), (...)` — removes the listed rows by value
+    /// (set semantics address tuples by their values; absent rows are no-ops).
+    Delete {
+        /// Table name.
+        table: String,
+        /// The literal rows to remove.
+        rows: Vec<Vec<Value>>,
+    },
     /// `PREFER (row) OVER (row) IN table`.
     Prefer {
         /// Table name.
@@ -379,6 +387,21 @@ impl Parser {
             }
             return Ok(Statement::Insert { table, rows });
         }
+        if self.keyword("DELETE") {
+            self.expect_keyword("FROM")?;
+            let table = self.ident()?;
+            self.expect_keyword("VALUES")?;
+            let mut rows = Vec::new();
+            loop {
+                rows.push(self.row()?);
+                if self.peek() == Some(&Token::Comma) {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+            return Ok(Statement::Delete { table, rows });
+        }
         if self.keyword("PREFER") {
             let winner = self.row()?;
             self.expect_keyword("OVER")?;
@@ -439,7 +462,7 @@ impl Parser {
                 repairs,
             }));
         }
-        self.error("expected CREATE, ALTER, INSERT, PREFER or SELECT")
+        self.error("expected CREATE, ALTER, INSERT, DELETE, PREFER or SELECT")
     }
 }
 
@@ -498,6 +521,21 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn delete_rows_by_value() {
+        let stmt = parse_statement("DELETE FROM T VALUES ('a', 1), ('b', 2);").unwrap();
+        match stmt {
+            Statement::Delete { table, rows } => {
+                assert_eq!(table, "T");
+                assert_eq!(rows.len(), 2);
+                assert_eq!(rows[1], vec![Value::name("b"), Value::int(2)]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse_statement("DELETE FROM T").is_err());
+        assert!(parse_statement("DELETE T VALUES (1)").is_err());
     }
 
     #[test]

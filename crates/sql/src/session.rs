@@ -11,10 +11,14 @@
 //! Two cache layers keep repeated statements cheap, both flowing through the
 //! `pdqi-core` prepared-query pipeline:
 //!
-//! * the registry's per-table snapshot, built on first use and re-published by the
-//!   statements that change the table (`INSERT`, `ALTER TABLE … ADD FD`, `PREFER`);
-//!   repeated `SELECT`s against an unchanged table share the snapshot's component and
-//!   answer memos, across every session on the registry;
+//! * the registry's per-table snapshot, built on first use. `INSERT` and `DELETE`
+//!   publish **delta-derived** replacements through [`SnapshotRegistry::apply`] — only
+//!   the conflict components the mutation touches are re-partitioned and re-enumerated,
+//!   everything else (including the memo) carries over — falling back to a rebuild only
+//!   when another writer got between this session and the registry. `ALTER TABLE … ADD
+//!   FD` and `PREFER` still re-publish whole snapshots. Repeated `SELECT`s against an
+//!   unchanged table share the snapshot's component and answer memos, across every
+//!   session on the registry;
 //! * a per-statement-text [`PreparedQuery`], so re-executing the same `SELECT` skips
 //!   SQL-to-formula planning entirely. Prepared statements survive table mutations —
 //!   they depend only on the schema, which the current SQL surface never alters.
@@ -25,8 +29,8 @@ use std::sync::Arc;
 
 use pdqi_constraints::FdSet;
 use pdqi_core::{
-    EngineBuilder, EngineSnapshot, Parallelism, PreparedQuery, Semantics, SnapshotLease,
-    SnapshotRegistry,
+    ChunkTuner, EngineBuilder, EngineSnapshot, Mutation, Parallelism, PreparedQuery, Semantics,
+    SnapshotLease, SnapshotRegistry,
 };
 use pdqi_query::builder::{and_all, atom, exists, var};
 use pdqi_query::{Evaluator, Formula, Term};
@@ -98,6 +102,8 @@ pub enum StatementOutcome {
     FdAdded,
     /// Rows were inserted (duplicates collapse under set semantics).
     Inserted(usize),
+    /// Tuples were removed (the count is distinct stored tuples actually deleted).
+    Deleted(usize),
     /// A preference was recorded.
     PreferenceAdded,
     /// A query produced rows.
@@ -131,13 +137,24 @@ pub struct Session {
     /// The serving core: per-table snapshots, shared with every other session (and
     /// server) constructed over the same registry.
     registry: Arc<SnapshotRegistry>,
-    /// Tables this session mutated since it last published them; the next snapshot
-    /// read rebuilds and re-publishes through the registry.
+    /// Tables whose published snapshot no longer reflects this session's catalog; the
+    /// next snapshot read rebuilds and re-publishes through the registry. `INSERT` and
+    /// `DELETE` avoid this path entirely when the registry still serves the snapshot
+    /// this session last wrote: they apply the mutation **as a delta** (see
+    /// [`SnapshotRegistry::apply`]) instead of marking the table stale.
     stale: BTreeSet<String>,
+    /// The registry generation of this session's last write per table. A delta only
+    /// applies when the current generation still matches — another writer having
+    /// swapped the slot since means the served snapshot no longer corresponds to this
+    /// session's rows, so the mutation falls back to the rebuild path.
+    published_gen: BTreeMap<String, u64>,
     /// Per-statement-text prepared `SELECT`s.
     prepared: HashMap<String, PreparedSelect>,
     /// Worker threads used by repair-quantified `SELECT`s (sequential by default).
     parallelism: Parallelism,
+    /// Measured-chunk feedback for repair-quantified `SELECT`s: long-lived sessions
+    /// converge the parallel chunk split towards real per-chunk wall-clock.
+    tuner: Arc<ChunkTuner>,
 }
 
 impl Default for Session {
@@ -160,14 +177,24 @@ impl Session {
             tables: BTreeMap::new(),
             registry,
             stale: BTreeSet::new(),
+            published_gen: BTreeMap::new(),
             prepared: HashMap::new(),
             parallelism: Parallelism::default(),
+            tuner: ChunkTuner::shared(),
         }
     }
 
     /// The registry this session serves snapshots from.
     pub fn registry(&self) -> &Arc<SnapshotRegistry> {
         &self.registry
+    }
+
+    /// The chunk-cost feedback loop this session's repair-quantified `SELECT`s run
+    /// under: measured per-chunk wall-clock moves the target work per chunk, so
+    /// long-lived sessions split repair products by observed cost instead of the static
+    /// guess. Inspect it through [`ChunkTuner::stats`].
+    pub fn chunk_tuner(&self) -> &Arc<ChunkTuner> {
+        &self.tuner
     }
 
     /// Sets the degree of parallelism used by `SELECT … WITH REPAIRS` statements **and**
@@ -254,9 +281,43 @@ impl Session {
                 for row in &rows {
                     entry.schema.tuple(row.clone()).map_err(|e| SqlError::Schema(e.to_string()))?;
                 }
-                entry.rows.extend(rows);
-                self.stale.insert(table);
+                entry.rows.extend(rows.clone());
+                self.apply_or_mark_stale(&table, Mutation::new().insert_rows(&table, rows));
                 Ok(StatementOutcome::Inserted(count))
+            }
+            Statement::Delete { table, rows } => {
+                let entry = self.table_mut(&table)?;
+                // Validate and de-duplicate the targets once; tuple validation
+                // normalises nothing beyond type checks, so stored rows (validated at
+                // INSERT) compare against target values directly — the catalog is
+                // walked exactly once, with no per-row conversion.
+                let mut targets: Vec<Vec<Value>> = Vec::new();
+                for row in &rows {
+                    entry.schema.tuple(row.clone()).map_err(|e| SqlError::Schema(e.to_string()))?;
+                    if !targets.contains(row) {
+                        targets.push(row.clone());
+                    }
+                }
+                // Drop every matching raw row, counting distinct stored tuples
+                // actually removed (set semantics: duplicate raw rows of one tuple
+                // count once).
+                let mut matched = vec![false; targets.len()];
+                entry.rows.retain(|row| match targets.iter().position(|t| t == row) {
+                    Some(index) => {
+                        matched[index] = true;
+                        false
+                    }
+                    None => true,
+                });
+                let removed = matched.into_iter().filter(|&m| m).count();
+                // Preferences relating a deleted tuple die with it — a rebuild would
+                // otherwise fail to resolve them, and the delta path drops exactly the
+                // priority edges incident to deleted tuples.
+                entry.preferences.retain(|(winner, loser)| {
+                    !targets.contains(winner) && !targets.contains(loser)
+                });
+                self.apply_or_mark_stale(&table, Mutation::new().delete_rows(&table, rows));
+                Ok(StatementOutcome::Deleted(removed))
             }
             Statement::Prefer { table, winner, loser } => {
                 // Both tuples must already be stored: a preference relates existing tuples.
@@ -382,9 +443,33 @@ impl Session {
             return Ok(false);
         }
         let snapshot = self.build_snapshot(table)?;
-        self.registry.publish(table, snapshot);
+        let generation = self.registry.publish(table, snapshot);
+        self.published_gen.insert(table.to_string(), generation);
         self.stale.remove(table);
         Ok(true)
+    }
+
+    /// Routes an `INSERT`/`DELETE` through the registry **as a delta** when the served
+    /// snapshot is still the one this session last wrote (the common single-writer
+    /// case): the published replacement re-partitions only the affected conflict
+    /// components and carries every untouched memo entry — no rebuild, no staleness.
+    /// The generation check runs under the registry's per-table revision lock
+    /// ([`SnapshotRegistry::apply_if_generation`]), so a racing writer can never slip
+    /// between the check and the swap: if anyone else published since this session
+    /// last wrote, the delta is refused and the mutation falls back to the mark-stale
+    /// path (the next read rebuilds from this session's catalog).
+    fn apply_or_mark_stale(&mut self, table: &str, mutation: Mutation) {
+        if !self.stale.contains(table) {
+            if let Some(&expected) = self.published_gen.get(table) {
+                if let Ok(Some((generation, _))) =
+                    self.registry.apply_if_generation(table, &mutation, self.parallelism, expected)
+                {
+                    self.published_gen.insert(table.to_string(), generation);
+                    return;
+                }
+            }
+        }
+        self.stale.insert(table.to_string());
     }
 
     /// Builds and publishes every catalog table that is stale or unpublished, returning
@@ -507,7 +592,13 @@ impl Session {
                 // free-variable order of the formula.
                 let snapshot = self.snapshot(&select.table)?;
                 let answers = query
-                    .execute_with(&snapshot, kind, Semantics::Certain, self.parallelism)
+                    .execute_tuned(
+                        &snapshot,
+                        kind,
+                        Semantics::Certain,
+                        self.parallelism,
+                        &self.tuner,
+                    )
                     .map_err(|e| SqlError::Query(e.to_string()))?;
                 let free = query.free_vars();
                 answers
@@ -626,6 +717,79 @@ mod tests {
     }
 
     #[test]
+    fn deletes_remove_tuples_their_preferences_and_their_answers() {
+        let mut session = session_with_example1();
+        session.execute("PREFER ('Mary','R&D',40,3) OVER ('Mary','IT',20,1) IN Mgr").unwrap();
+        assert_eq!(session.snapshot("Mgr").unwrap().priority().edge_count(), 1);
+        // Deleting the losing tuple removes it, its conflicts and the preference.
+        let outcome = session.execute("DELETE FROM Mgr VALUES ('Mary','IT',20,1)").unwrap();
+        assert_eq!(outcome, StatementOutcome::Deleted(1));
+        let snapshot = session.snapshot("Mgr").unwrap();
+        assert_eq!(snapshot.context().instance().len(), 3);
+        assert_eq!(snapshot.priority().edge_count(), 0);
+        assert_eq!(snapshot.count_repairs(), 2);
+        // Deleting an absent row is a no-op.
+        let outcome = session.execute("DELETE FROM Mgr VALUES ('Ghost','X',1,1)").unwrap();
+        assert_eq!(outcome, StatementOutcome::Deleted(0));
+        // And the certain answers reflect the smaller instance: the remaining tuples
+        // form one conflict path Mary-R&D — John-R&D — John-PR whose repairs are
+        // {Mary-R&D, John-PR} and {John-R&D}, so only John manages certainly.
+        let result = rows(session.execute("SELECT Name FROM Mgr WITH REPAIRS ALL").unwrap());
+        assert_eq!(result.rows, vec![vec![Value::name("John")]]);
+    }
+
+    #[test]
+    fn mutations_apply_as_deltas_once_the_table_is_published() {
+        let mut session = session_with_example1();
+        // First read publishes generation 1.
+        assert_eq!(session.snapshot_lease("Mgr").unwrap().generation(), 1);
+        // A mutation on a published table applies as a delta: the generation bumps
+        // immediately, without waiting for the next read to rebuild.
+        session.execute("INSERT INTO Mgr VALUES ('Eve','HR',15,2)").unwrap();
+        assert_eq!(session.registry().generation("Mgr"), 2);
+        let lease = session.snapshot_lease("Mgr").unwrap();
+        assert_eq!(lease.generation(), 2);
+        assert_eq!(lease.snapshot().context().instance().len(), 5);
+        // The delta-derived snapshot matches a from-scratch session bit for bit.
+        let mut fresh = session_with_example1();
+        fresh.execute("INSERT INTO Mgr VALUES ('Eve','HR',15,2)").unwrap();
+        let rebuilt = fresh.snapshot("Mgr").unwrap();
+        assert_eq!(lease.snapshot().graph().edges(), rebuilt.graph().edges());
+        assert_eq!(lease.snapshot().shards_of("Mgr"), rebuilt.shards_of("Mgr"));
+        assert_eq!(lease.snapshot().count_repairs(), rebuilt.count_repairs());
+        // DELETE applies as a delta too.
+        session.execute("DELETE FROM Mgr VALUES ('Eve','HR',15,2)").unwrap();
+        assert_eq!(session.registry().generation("Mgr"), 3);
+        assert_eq!(session.snapshot("Mgr").unwrap().context().instance().len(), 4);
+    }
+
+    #[test]
+    fn mutations_fall_back_to_rebuilds_when_another_writer_interferes() {
+        let registry = pdqi_core::SnapshotRegistry::shared();
+        let mut writer = Session::with_registry(Arc::clone(&registry));
+        writer.execute_script(SETUP).unwrap();
+        writer.snapshot("Mgr").unwrap();
+        // A sibling session re-publishes the table: the writer's recorded generation
+        // is now behind, so its next mutation must not delta against foreign state.
+        let mut sibling = Session::with_registry(Arc::clone(&registry));
+        sibling.execute_script(SETUP).unwrap();
+        sibling.snapshot("Mgr").unwrap();
+        writer.execute("INSERT INTO Mgr VALUES ('Eve','HR',15,2)").unwrap();
+        // The insert fell back to mark-stale; the next read rebuilds and re-publishes.
+        let snapshot = writer.snapshot("Mgr").unwrap();
+        assert_eq!(snapshot.context().instance().len(), 5);
+    }
+
+    #[test]
+    fn tuned_selects_feed_the_session_chunk_tuner() {
+        let mut session = session_with_example1();
+        session.set_parallelism(Parallelism::threads(2));
+        session.execute("SELECT Name FROM Mgr WITH REPAIRS ALL").unwrap();
+        // Example 1 is one 4-tuple component: 3 selections split across 2 workers.
+        assert!(session.chunk_tuner().stats().samples > 0);
+    }
+
+    #[test]
     fn snapshots_are_cached_until_the_table_changes() {
         let mut session = session_with_example1();
         let first = session.snapshot("Mgr").unwrap();
@@ -678,7 +842,13 @@ mod tests {
         assert_eq!(session.registry().table_names(), vec!["Clean", "Mgr"]);
         // Re-publishing without mutations is a no-op.
         assert_eq!(session.publish_tables().unwrap(), 0);
+        // An insert into a published table applies as a delta and re-publishes
+        // immediately, so there is nothing left for publish_tables to do.
         session.execute("INSERT INTO Clean VALUES (2, 3)").unwrap();
+        assert_eq!(session.registry().generation("Clean"), 2);
+        assert_eq!(session.publish_tables().unwrap(), 0);
+        // A preference change still goes through the rebuild path.
+        session.execute("ALTER TABLE Clean ADD FD A -> B").unwrap();
         assert_eq!(session.publish_tables().unwrap(), 1);
     }
 

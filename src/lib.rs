@@ -110,9 +110,10 @@ pub use pdqi_sql as sql;
 
 pub use pdqi_constraints::{ConflictGraph, FdSet, FunctionalDependency};
 pub use pdqi_core::{
-    AnswerSet, BatchExecutor, BatchRequest, BatchResponse, BuildError, CqaOutcome, EngineBuilder,
-    EngineSnapshot, FamilyKind, MemoStats, Parallelism, PreparedQuery, RegistryStats,
-    RepairContext, Semantics, Shard, SnapshotLease, SnapshotRegistry, TableStats, MAX_THREADS,
+    AnswerSet, BatchExecutor, BatchRequest, BatchResponse, BuildError, ChunkTuner, ChunkTunerStats,
+    CqaOutcome, EngineBuilder, EngineSnapshot, FamilyKind, MemoStats, Mutation, MutationError,
+    MutationReport, Parallelism, PreparedQuery, RegistryStats, RepairContext, Semantics, Shard,
+    SnapshotLease, SnapshotRegistry, TableStats, MAX_THREADS,
 };
 pub use pdqi_priority::Priority;
 pub use pdqi_query::{parse_formula, Evaluator, Formula};
