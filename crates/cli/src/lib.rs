@@ -20,7 +20,10 @@ use std::fmt::Write as _;
 use std::sync::Arc;
 
 use pdqi_aggregate::{range_by_enumeration, AggregateFunction, AggregateQuery};
-use pdqi_core::{properties, EngineSnapshot, FamilyKind, Parallelism, PreparedQuery, MAX_THREADS};
+use pdqi_core::{
+    properties, EngineSnapshot, FamilyKind, Parallelism, PreparedQuery, Semantics,
+    SubscriptionEvent, MAX_THREADS,
+};
 use pdqi_relation::{RelationInstance, TupleSet};
 use pdqi_sql::{Session, SqlError, StatementOutcome};
 use rand::rngs::StdRng;
@@ -102,11 +105,21 @@ impl Interpreter {
         if trimmed.is_empty() || trimmed.starts_with("--") {
             return Ok(String::new());
         }
-        if let Some(command) = trimmed.strip_prefix('.') {
-            return self.run_meta(command);
+        let mut output = if let Some(command) = trimmed.strip_prefix('.') {
+            self.run_meta(command)?
+        } else {
+            let outcome = self.session.execute(trimmed)?;
+            render_outcome(&outcome)
+        };
+        // Continuous queries piggyback on the interactive loop: any swap the line
+        // caused (INSERT, DELETE, PREFER, …) queued events — print them right away.
+        for (id, event) in self.session.drain_subscription_events() {
+            if !output.is_empty() && !output.ends_with('\n') {
+                output.push('\n');
+            }
+            output.push_str(&render_subscription_event(id, &event));
         }
-        let outcome = self.session.execute(trimmed)?;
-        Ok(render_outcome(&outcome))
+        Ok(output)
     }
 
     /// Interprets a whole script, accumulating the output of every line. Errors are
@@ -149,6 +162,9 @@ impl Interpreter {
             "answer" => self.answer(&args),
             "aggregate" => self.aggregate(&args),
             "properties" => self.properties(&args),
+            "subscribe" => self.subscribe(&args),
+            "unsubscribe" => self.unsubscribe(&args),
+            "subscriptions" => Ok(self.subscriptions()),
             other => Err(CliError::Command(format!("unknown command `.{other}` (try `.help`)"))),
         }
     }
@@ -376,6 +392,73 @@ impl Interpreter {
         ))
     }
 
+    fn subscribe(&mut self, args: &[&str]) -> Result<String, CliError> {
+        // Optional leading semantics token; the repair family comes from the
+        // statement's own WITH REPAIRS clause.
+        let (semantics, rest) = match args.first().map(|t| t.to_ascii_uppercase()) {
+            Some(token) if token == "POSSIBLE" => (Semantics::Possible, &args[1..]),
+            Some(token) if token == "CERTAIN" => (Semantics::Certain, &args[1..]),
+            _ => (Semantics::Certain, args),
+        };
+        if rest.is_empty() {
+            return Err(CliError::Command(
+                "usage: .subscribe [CERTAIN|POSSIBLE] <SELECT … WITH REPAIRS <family>>".to_string(),
+            ));
+        }
+        let sql = rest.join(" ");
+        let subscribed = self.session.subscribe(&sql, semantics)?;
+        let mut out = format!(
+            "subscription #{} at gen {} ({} initial row(s))\n{}\n",
+            subscribed.id,
+            subscribed.generation,
+            subscribed.rows.len(),
+            subscribed.columns.join(" | ")
+        );
+        for row in &subscribed.rows {
+            let rendered: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+            let _ = writeln!(out, "{}", rendered.join(" | "));
+        }
+        Ok(out)
+    }
+
+    fn unsubscribe(&mut self, args: &[&str]) -> Result<String, CliError> {
+        let id: u64 = args
+            .first()
+            .and_then(|text| text.parse().ok())
+            .ok_or_else(|| CliError::Command("usage: .unsubscribe <id>".to_string()))?;
+        if self.session.unsubscribe(id) {
+            Ok(format!("subscription #{id} dropped"))
+        } else {
+            Err(CliError::Command(format!("no subscription #{id}")))
+        }
+    }
+
+    fn subscriptions(&self) -> String {
+        let infos = self.session.subscriptions();
+        if infos.is_empty() {
+            return "no subscriptions".to_string();
+        }
+        let mut out = String::new();
+        for info in infos {
+            let semantics = match info.semantics {
+                Semantics::Certain => "CERTAIN",
+                Semantics::Possible => "POSSIBLE",
+            };
+            let _ = writeln!(
+                out,
+                "#{} {} {} gen={} pending={}{} {}",
+                info.id,
+                info.family.label(),
+                semantics,
+                info.generation,
+                info.pending,
+                if info.lagged { " lagged" } else { "" },
+                info.query
+            );
+        }
+        out
+    }
+
     fn properties(&mut self, args: &[&str]) -> Result<String, CliError> {
         let (snapshot, _) = self.snapshot_for(args, ".properties <table>")?;
         let mut rng = StdRng::seed_from_u64(0);
@@ -419,7 +502,46 @@ meta commands:
   .clean <table>                            run Algorithm 1 (needs a total priority)
   .answer <table> <family> <FO query>       preferred consistent answer to a closed query
   .aggregate <table> <func> <attr> [family] range-consistent aggregate answer
-  .properties <table>                       evaluate P1-P4 for every family";
+  .properties <table>                       evaluate P1-P4 for every family
+  .subscribe [CERTAIN|POSSIBLE] <SELECT …>  register a continuous query (needs
+                                            WITH REPAIRS); deltas print after the
+                                            statements that cause them
+  .subscriptions                            list continuous queries
+  .unsubscribe <id>                         drop a continuous query";
+
+/// Renders one queued continuous-query event for the interactive surface.
+fn render_subscription_event(id: u64, event: &SubscriptionEvent) -> String {
+    let mut out = String::new();
+    match event {
+        SubscriptionEvent::Delta(delta) => {
+            let _ = writeln!(
+                out,
+                "subscription #{id} delta at gen {}: +{} -{}",
+                delta.generation,
+                delta.added.len(),
+                delta.removed.len()
+            );
+            for (sign, rows) in [('+', &delta.added), ('-', &delta.removed)] {
+                for row in rows {
+                    let rendered: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+                    let _ = writeln!(out, "  {sign} {}", rendered.join(" | "));
+                }
+            }
+        }
+        SubscriptionEvent::Lagged { generation, rows } => {
+            let _ = writeln!(
+                out,
+                "subscription #{id} lagged; resynced at gen {generation} ({} row(s))",
+                rows.len()
+            );
+            for row in rows {
+                let rendered: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+                let _ = writeln!(out, "  {}", rendered.join(" | "));
+            }
+        }
+    }
+    out
+}
 
 /// Turns one `pdqi connect` input line into a protocol frame payload, or `None` for
 /// blank and `--` comment lines. `BATCH`, `INSERT` and `DELETE` requests are
@@ -467,47 +589,146 @@ pub fn frame_payload_of_line(line: &str) -> Option<String> {
             if row.is_empty() {
                 continue;
             }
-            let fields: Vec<String> = row
-                .split(',')
-                .map(|field| {
-                    let field = field.trim();
-                    let unquoted = field
-                        .strip_prefix('\'')
-                        .and_then(|f| f.strip_suffix('\''))
-                        .unwrap_or(field);
-                    pdqi_server::escape_field(unquoted)
-                })
-                .collect();
             payload.push('\n');
-            payload.push_str(&fields.join("\t"));
+            payload.push_str(&escape_row(row));
+        }
+        return Some(payload);
+    }
+    if command == "MUTATE" {
+        let rest = trimmed[6.min(trimmed.len())..].trim_start();
+        let (table, rows_text) = match rest.split_once(char::is_whitespace) {
+            Some((table, rows_text)) => (table, rows_text),
+            None => return Some(trimmed.to_string()),
+        };
+        // Mixed batch: each `;`-separated row leads with its op, `+` insert or
+        // `-` delete, e.g. `MUTATE Mgr +'Eve','HR',15,2; -'Mary','IT',20,1`.
+        let mut payload = format!("MUTATE {table}");
+        for row in rows_text.split(';') {
+            let row = row.trim();
+            if row.is_empty() {
+                continue;
+            }
+            let (op, fields) = if let Some(rest) = row.strip_prefix('+') {
+                ("+", rest.trim_start())
+            } else if let Some(rest) = row.strip_prefix('-') {
+                ("-", rest.trim_start())
+            } else {
+                // No op prefix: forward the raw row so the server reports the error.
+                ("", row)
+            };
+            payload.push('\n');
+            payload.push_str(op);
+            if !op.is_empty() {
+                payload.push('\t');
+            }
+            payload.push_str(&escape_row(fields));
         }
         return Some(payload);
     }
     Some(trimmed.to_string())
 }
 
+/// Splits one `connect`-surface mutation row on `,`, strips optional single quotes and
+/// escapes each field for the wire (see [`frame_payload_of_line`] for the caveats).
+fn escape_row(row: &str) -> String {
+    let fields: Vec<String> = row
+        .split(',')
+        .map(|field| {
+            let field = field.trim();
+            let unquoted =
+                field.strip_prefix('\'').and_then(|f| f.strip_suffix('\'')).unwrap_or(field);
+            pdqi_server::escape_field(unquoted)
+        })
+        .collect();
+    fields.join("\t")
+}
+
 /// Drives a scripted client session against a running server: one request per
 /// non-empty input line, each response echoed back, stopping after a `SHUTDOWN`
 /// request is answered. This is the whole of `pdqi connect` — kept here so tests can
 /// run it in-process against a loopback server.
+///
+/// Two extras support subscriptions. `WAIT <n> [timeout_ms]` is handled client-side:
+/// it blocks until `n` pushed `DELTA`/`LAGGED` frames arrived (default timeout
+/// 5000 ms) and prints each one. And after every response, pushed frames that arrived
+/// interleaved with it are printed immediately.
 pub fn run_connect_script(addr: &str, input: &str) -> Result<String, pdqi_server::ClientError> {
     let mut client = pdqi_server::Client::connect(addr)
         .map_err(|e| pdqi_server::ClientError::Frame(pdqi_server::FrameError::Io(e)))?;
     let mut out = String::new();
+    // Pushed frames already printed by the after-response drain below; a later WAIT
+    // counts them as received so `MUTATE` + `WAIT 1` is deterministic no matter how
+    // the push raced the response.
+    let mut drained = 0usize;
     for line in input.lines() {
         let Some(payload) = frame_payload_of_line(line) else {
             continue;
         };
+        let mut words = payload.split_whitespace();
+        if words.next().is_some_and(|w| w.eq_ignore_ascii_case("WAIT")) {
+            let expected: usize = words.next().and_then(|w| w.parse().ok()).unwrap_or(1);
+            let timeout_ms: u64 = words.next().and_then(|w| w.parse().ok()).unwrap_or(5000);
+            let deadline = std::time::Instant::now() + std::time::Duration::from_millis(timeout_ms);
+            let mut received = drained.min(expected);
+            drained -= received;
+            while received < expected {
+                let left = deadline.saturating_duration_since(std::time::Instant::now());
+                if left.is_zero() {
+                    let _ =
+                        writeln!(out, "ERR wait timed out after {received} of {expected} event(s)");
+                    break;
+                }
+                if let Some(event) = client.wait_event(left)? {
+                    out.push_str(&render_push_event(&event));
+                    received += 1;
+                }
+            }
+            continue;
+        }
         let response = client.request_raw(&payload)?;
         out.push_str(&response);
         if !response.ends_with('\n') {
             out.push('\n');
         }
         if payload.trim().eq_ignore_ascii_case("SHUTDOWN") {
+            // The server closes the socket right after `OK bye` — don't poll it.
             break;
+        }
+        // Pushed frames the server interleaved with (or queued before) the response.
+        while let Some(event) = client.try_event()? {
+            out.push_str(&render_push_event(&event));
+            drained += 1;
         }
     }
     Ok(out)
+}
+
+/// Renders one pushed frame for the `connect` surface: the wire head line, then one
+/// tab-joined row per line (`+`/`-`-prefixed for deltas).
+fn render_push_event(event: &pdqi_server::PushEvent) -> String {
+    let mut out = String::new();
+    match event {
+        pdqi_server::PushEvent::Delta { sub, generation, added, removed } => {
+            let _ = writeln!(
+                out,
+                "DELTA sub={sub} gen={generation} added={} removed={}",
+                added.len(),
+                removed.len()
+            );
+            for (sign, rows) in [('+', added), ('-', removed)] {
+                for row in rows {
+                    let _ = writeln!(out, "{sign} {}", row.join("\t"));
+                }
+            }
+        }
+        pdqi_server::PushEvent::Lagged { sub, generation, rows } => {
+            let _ = writeln!(out, "LAGGED sub={sub} gen={generation} rows {}", rows.len());
+            for row in rows {
+                let _ = writeln!(out, "{}", row.join("\t"));
+            }
+        }
+    }
+    out
 }
 
 fn render_outcome(outcome: &StatementOutcome) -> String {

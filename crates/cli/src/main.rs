@@ -10,9 +10,12 @@
 //! ```
 //!
 //! `serve` loads the scripts into a SQL session, publishes every table into a snapshot
-//! registry, and serves the wire protocol (PREPARE / EXEC / BATCH / SET-PRIORITY /
-//! STATS / SHUTDOWN) until a client sends `SHUTDOWN`. `connect` sends one request per
-//! input line (`BATCH` entries separated by `;`) and prints each response.
+//! registry, and serves the wire protocol (PREPARE / EXEC / BATCH / INSERT / DELETE /
+//! MUTATE / SET-PRIORITY / SUBSCRIBE / UNSUBSCRIBE / STATS / SHUTDOWN) until a client
+//! sends `SHUTDOWN`. `connect` sends one request per input line (`BATCH` entries and
+//! mutation rows separated by `;`) and prints each response; after a `SUBSCRIBE`,
+//! pushed `DELTA`/`LAGGED` frames print as they arrive, and a client-side
+//! `WAIT <n> [timeout_ms]` line blocks until `n` of them arrived.
 //!
 //! `--threads N` runs repair-quantified work with up to `N` worker threads
 //! (`--threads 0` or `--threads auto` uses one worker per hardware thread). Parallelism

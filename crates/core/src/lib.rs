@@ -27,7 +27,12 @@
 //!   inserts/deletes derives a snapshot for the mutated instance through
 //!   [`EngineSnapshot::with_mutations`] — re-partitioning only the affected conflict
 //!   components and carrying over every untouched memo entry, bit-identical to a
-//!   fresh build ([`delta`]).
+//!   fresh build ([`delta`]),
+//! * the **continuous-query subsystem**: a [`SubscriptionManager`] observes registry
+//!   generation swaps and pushes incremental [`AnswerDelta`]s to registered prepared
+//!   queries — proving answers unchanged from the swap's [`ChangeScope`] (and skipping
+//!   re-execution) whenever the mutation or priority revision cannot have touched the
+//!   query's component footprint ([`subscribe`]).
 //!
 //! # Quick start
 //!
@@ -96,6 +101,7 @@ pub mod properties;
 pub mod registry;
 pub mod repair;
 pub mod snapshot;
+pub mod subscribe;
 
 pub use clean::{clean_with_total_priority, CleaningError};
 pub use cqa::{preferred_consistent_answer, CqaOutcome};
@@ -110,6 +116,13 @@ pub use optimality::{
 };
 pub use parallel::{BatchExecutor, BatchRequest, BatchResponse, Parallelism, MAX_THREADS};
 pub use prepared::{AnswerSet, ChunkTuner, ChunkTunerStats, PreparedQuery, Semantics};
-pub use registry::{RegistryStats, ReviseError, SnapshotLease, SnapshotRegistry, TableStats};
+pub use registry::{
+    ChangeScope, RegistryStats, ReviseError, SnapshotLease, SnapshotRegistry, SwapEvent,
+    SwapObserver, TableStats,
+};
 pub use repair::RepairContext;
 pub use snapshot::{BuildError, EngineBuilder, EngineSnapshot, MemoStats, Shard};
+pub use subscribe::{
+    AnswerDelta, SubscribeError, SubscribeStats, Subscribed, SubscriptionEvent, SubscriptionInfo,
+    SubscriptionManager,
+};

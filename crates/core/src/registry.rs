@@ -25,7 +25,7 @@
 //! sharing one registry serve one snapshot set — and the `pdqi-server` crate puts a
 //! network front end on the same structure.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
@@ -33,6 +33,64 @@ use std::sync::{Arc, Mutex, RwLock};
 use crate::delta::{Mutation, MutationError, MutationReport};
 use crate::parallel::Parallelism;
 use crate::snapshot::EngineSnapshot;
+
+/// What a swap changed relative to the previously served snapshot — the provenance a
+/// [`SwapObserver`] needs to **prove** answers unchanged without re-executing.
+///
+/// The scope is deliberately conservative: it may over-approximate the change (a
+/// [`ChangeScope::Rebuild`] claims nothing), but it must never under-report — every
+/// relation or component the swap could have touched is included, so "my query's
+/// footprint is disjoint from the scope" is a sound skip rule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChangeScope {
+    /// The snapshot was replaced wholesale (a direct publish or an opaque revision):
+    /// anything may have changed.
+    Rebuild,
+    /// A row-level [`Mutation`] was applied as a delta: only the named relations (and
+    /// their conflict components) changed; every other relation's tuples, components
+    /// and memo entries were carried over verbatim.
+    Mutation {
+        /// The relations the mutation named, in lexicographic order.
+        relations: Vec<String>,
+    },
+    /// One relation's priority was revised: tuples and conflict structure are
+    /// untouched, and only the listed **global component ids** had their preferred
+    /// repairs (and priority-sensitive answers) invalidated. `Rep`-family results
+    /// never depend on the priority at all.
+    Priority {
+        /// The relation whose priority was replaced.
+        relation: String,
+        /// The global component ids the revision touched (empty when the new priority
+        /// agrees with the old one on every component).
+        affected: BTreeSet<usize>,
+    },
+}
+
+/// One generation swap, as seen by a [`SwapObserver`].
+///
+/// Observers run **under the per-table writer lock**, after the slot swapped: events
+/// for one table arrive in strict generation order, and no later swap of that table
+/// can begin until every observer returned.
+#[derive(Debug)]
+pub struct SwapEvent<'a> {
+    /// The table whose slot swapped.
+    pub table: &'a str,
+    /// The generation the snapshot was published under.
+    pub generation: u64,
+    /// The snapshot that is now being served.
+    pub snapshot: &'a Arc<EngineSnapshot>,
+    /// What the swap changed relative to the previous snapshot.
+    pub scope: &'a ChangeScope,
+}
+
+/// A callback invoked after every generation swap — see [`SwapEvent`] for the
+/// ordering guarantees. Observers must be cheap or shed work internally: they run on
+/// the writer's thread, under the per-table writer lock (readers are unaffected, but
+/// other writers of the same table wait).
+pub trait SwapObserver: Send + Sync {
+    /// Called once per swap, after the new snapshot is visible to readers.
+    fn on_swap(&self, event: &SwapEvent<'_>);
+}
 
 /// One table's serving slot: the current snapshot plus its counters.
 struct TableSlot {
@@ -167,6 +225,8 @@ impl<E: fmt::Debug + fmt::Display> std::error::Error for ReviseError<E> {}
 #[derive(Default)]
 pub struct SnapshotRegistry {
     tables: RwLock<BTreeMap<String, Arc<TableSlot>>>,
+    /// Swap observers, notified under the per-table writer lock (see [`SwapObserver`]).
+    observers: RwLock<Vec<Arc<dyn SwapObserver>>>,
 }
 
 impl SnapshotRegistry {
@@ -182,6 +242,34 @@ impl SnapshotRegistry {
 
     fn slot(&self, table: &str) -> Option<Arc<TableSlot>> {
         self.tables.read().expect("registry lock").get(table).cloned()
+    }
+
+    /// Registers a [`SwapObserver`]: from now on every generation swap — publishes,
+    /// revisions, deltas — notifies it under the swapped table's writer lock, so the
+    /// observer sees each table's events in strict generation order. Observers cannot
+    /// be unregistered; long-lived consumers (like a subscription manager) deregister
+    /// their *clients* instead.
+    pub fn register_observer(&self, observer: Arc<dyn SwapObserver>) {
+        self.observers.write().expect("registry observer lock").push(observer);
+    }
+
+    /// Notifies every observer of one swap. Callers hold the swapped table's writer
+    /// lock, which is what makes per-table event order equal generation order.
+    fn notify(
+        &self,
+        table: &str,
+        generation: u64,
+        snapshot: &Arc<EngineSnapshot>,
+        scope: &ChangeScope,
+    ) {
+        let observers = self.observers.read().expect("registry observer lock");
+        if observers.is_empty() {
+            return;
+        }
+        let event = SwapEvent { table, generation, snapshot, scope };
+        for observer in observers.iter() {
+            observer.on_swap(&event);
+        }
     }
 
     /// Publishes `snapshot` as `table`'s current snapshot, swapping out whatever was
@@ -206,23 +294,32 @@ impl SnapshotRegistry {
                     // would silently lose this publish. Start over.
                     continue;
                 }
-                return slot.swap_in(snapshot);
+                let generation = slot.swap_in(Arc::clone(&snapshot));
+                self.notify(table, generation, &snapshot, &ChangeScope::Rebuild);
+                return generation;
             }
-            let mut tables = self.tables.write().expect("registry lock");
-            // A racing first publish may have created the slot since the fast path;
-            // loop back to the slow-but-safe swap path above.
-            if tables.contains_key(table) {
-                continue;
+            let slot = Arc::new(TableSlot {
+                current: Mutex::new((Arc::clone(&snapshot), 1)),
+                reads: AtomicU64::new(0),
+                swaps: AtomicU64::new(1),
+                revision: Mutex::new(()),
+            });
+            // Hold the fresh slot's writer lock across map-insert → notify: a writer
+            // that finds the slot the moment it lands in the map blocks until our
+            // generation-1 notification ran, so observers see generations in order
+            // even across the very first publish.
+            let serialised = slot.revision.lock().expect("registry revision lock");
+            {
+                let mut tables = self.tables.write().expect("registry lock");
+                // A racing first publish may have created the slot since the fast
+                // path; loop back to the slow-but-safe swap path above.
+                if tables.contains_key(table) {
+                    continue;
+                }
+                tables.insert(table.to_string(), Arc::clone(&slot));
             }
-            tables.insert(
-                table.to_string(),
-                Arc::new(TableSlot {
-                    current: Mutex::new((snapshot, 1)),
-                    reads: AtomicU64::new(0),
-                    swaps: AtomicU64::new(1),
-                    revision: Mutex::new(()),
-                }),
-            );
+            self.notify(table, 1, &snapshot, &ChangeScope::Rebuild);
+            drop(serialised);
             return 1;
         }
     }
@@ -264,19 +361,37 @@ impl SnapshotRegistry {
         table: &str,
         build: impl FnOnce(&EngineSnapshot) -> Result<EngineSnapshot, E>,
     ) -> Result<u64, ReviseError<E>> {
+        // A plain revision is opaque: observers are told anything may have changed.
+        self.revise_scoped(table, |base| build(base).map(|s| (s, ChangeScope::Rebuild)))
+    }
+
+    /// [`SnapshotRegistry::revise`] whose builder also states **what changed**: the
+    /// closure returns the replacement snapshot plus the [`ChangeScope`] describing
+    /// the delta, and registered [`SwapObserver`]s receive that scope with the swap
+    /// notification. Use this when the derivation knows its own footprint (e.g.
+    /// [`EngineSnapshot::with_priority_revalidated_reported_for`] reports the touched
+    /// components); an over-approximation is safe, an under-approximation is not.
+    pub fn revise_scoped<E>(
+        &self,
+        table: &str,
+        build: impl FnOnce(&EngineSnapshot) -> Result<(EngineSnapshot, ChangeScope), E>,
+    ) -> Result<u64, ReviseError<E>> {
         let Some(slot) = self.slot(table) else {
             return Err(ReviseError::UnknownTable(table.to_string()));
         };
         let _serialised = slot.revision.lock().expect("registry revision lock");
         let base = Arc::clone(&slot.current.lock().expect("registry slot").0);
-        let revised = build(&base).map_err(ReviseError::Build)?;
+        let (revised, scope) = build(&base).map_err(ReviseError::Build)?;
         // The table may have been removed (or removed and re-created) during the
         // build; swapping into the detached slot would report success for a revision
         // nobody can ever read. Surface the removal instead.
         if !self.slot_is_current(table, &slot) {
             return Err(ReviseError::UnknownTable(table.to_string()));
         }
-        Ok(slot.swap_in(Arc::new(revised)))
+        let revised = Arc::new(revised);
+        let generation = slot.swap_in(Arc::clone(&revised));
+        self.notify(table, generation, &revised, &scope);
+        Ok(generation)
     }
 
     /// Applies a [`Mutation`] to `table`'s snapshot **as a delta** and publishes the
@@ -296,10 +411,10 @@ impl SnapshotRegistry {
         parallelism: Parallelism,
     ) -> Result<(u64, MutationReport), ReviseError<MutationError>> {
         let mut report = None;
-        let generation = self.revise(table, |current| {
+        let generation = self.revise_scoped(table, |current| {
             let (snapshot, applied) = current.with_mutations_reported(mutation, parallelism)?;
             report = Some(applied);
-            Ok(snapshot)
+            Ok((snapshot, ChangeScope::Mutation { relations: mutation.relation_names() }))
         })?;
         Ok((generation, report.expect("a successful revision ran the builder")))
     }
@@ -336,7 +451,15 @@ impl SnapshotRegistry {
         if !self.slot_is_current(table, &slot) {
             return Err(ReviseError::UnknownTable(table.to_string()));
         }
-        Ok(Some((slot.swap_in(Arc::new(snapshot)), report)))
+        let snapshot = Arc::new(snapshot);
+        let swapped = slot.swap_in(Arc::clone(&snapshot));
+        self.notify(
+            table,
+            swapped,
+            &snapshot,
+            &ChangeScope::Mutation { relations: mutation.relation_names() },
+        );
+        Ok(Some((swapped, report)))
     }
 
     /// Removes `table`'s slot. Outstanding leases keep their snapshot alive; an

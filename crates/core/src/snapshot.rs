@@ -1168,6 +1168,21 @@ impl EngineSnapshot {
         name: &str,
         priority: Priority,
     ) -> Result<EngineSnapshot, BuildError> {
+        self.with_priority_reported_for(name, priority).map(|(snapshot, _)| snapshot)
+    }
+
+    /// [`EngineSnapshot::with_priority_for`] that also reports **which global
+    /// component ids the priority change touched**: exactly the components whose
+    /// priority-sensitive memo entries the derivation dropped. Component ids are
+    /// stable across the derivation (priority revisions share the conflict graph and
+    /// its partition), so the reported set is the precise invalidation footprint a
+    /// swap observer needs to prove answers unchanged — an answer whose
+    /// `depends_on` components are disjoint from this set was carried over verbatim.
+    pub fn with_priority_reported_for(
+        &self,
+        name: &str,
+        priority: Priority,
+    ) -> Result<(EngineSnapshot, BTreeSet<usize>), BuildError> {
         let Some(rel) = self.entry_index(name) else {
             return Err(BuildError::UnknownRelation { relation: name.to_string() });
         };
@@ -1202,9 +1217,10 @@ impl EngineSnapshot {
                 || answer.depends_on.iter().all(|comp| !affected.contains(comp));
             untouched.then(|| answer.depends_on.clone())
         });
-        Ok(EngineSnapshot {
+        let snapshot = EngineSnapshot {
             inner: Arc::new(SnapshotInner { relations, by_name: self.inner.by_name.clone(), memo }),
-        })
+        };
+        Ok((snapshot, affected))
     }
 
     /// Derives a single-relation snapshot whose priority is built from explicit
@@ -1245,7 +1261,22 @@ impl EngineSnapshot {
         priority: Priority,
         parallelism: Parallelism,
     ) -> Result<EngineSnapshot, BuildError> {
-        let derived = self.with_priority_for(name, priority)?;
+        self.with_priority_revalidated_reported_for(name, priority, parallelism)
+            .map(|(snapshot, _)| snapshot)
+    }
+
+    /// [`EngineSnapshot::with_priority_revalidated_for`] that also reports the global
+    /// component ids the priority change touched (see
+    /// [`EngineSnapshot::with_priority_reported_for`]) — the registry's
+    /// priority-revision path forwards this set to swap observers so subscriptions can
+    /// prove answers unchanged without re-executing.
+    pub fn with_priority_revalidated_reported_for(
+        &self,
+        name: &str,
+        priority: Priority,
+        parallelism: Parallelism,
+    ) -> Result<(EngineSnapshot, BTreeSet<usize>), BuildError> {
+        let (derived, affected) = self.with_priority_reported_for(name, priority)?;
         // The invalidated slice of the memo: entries the parent had that derivation
         // dropped (only components the priority change touched, only priority-sensitive
         // families).
@@ -1270,7 +1301,7 @@ impl EngineSnapshot {
             let (rel, local) = derived.locate_component(comp);
             derived.component_preferred(rel, local, kind);
         });
-        Ok(derived)
+        Ok((derived, affected))
     }
 
     /// Maps a global component id back to `(relation index, local component index)`.

@@ -4,13 +4,20 @@
 //! typed helpers that parse the response head. The CLI's `connect` subcommand and the
 //! serving tests and benches all drive servers through it.
 
+use std::collections::VecDeque;
 use std::fmt;
-use std::io::{self, BufReader, BufWriter};
+use std::io::{self, BufReader, BufWriter, Read as _};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
 
-use pdqi_core::FamilyKind;
+use pdqi_core::{FamilyKind, Semantics};
 
-use crate::protocol::{read_frame, write_frame, ExecMode, ExecSpec, FrameError, Request};
+use crate::protocol::{
+    read_frame, write_frame, ExecMode, ExecSpec, FrameError, Request, MAX_FRAME_BYTES,
+};
+
+/// How often a mid-frame deadline read re-polls the socket.
+const PUSH_POLL: Duration = Duration::from_millis(50);
 
 /// Errors raised by client calls.
 #[derive(Debug)]
@@ -68,10 +75,52 @@ pub enum ExecOutcome {
     Error(String),
 }
 
+/// One pushed subscription frame, parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PushEvent {
+    /// An incremental answer change for one subscription.
+    Delta {
+        /// The subscription the delta belongs to.
+        sub: u64,
+        /// The snapshot generation the delta carries the answer to.
+        generation: u64,
+        /// Rows that entered the answer, tab-split and unescaped.
+        added: Vec<Vec<String>>,
+        /// Rows that left the answer.
+        removed: Vec<Vec<String>>,
+    },
+    /// The subscriber fell behind and the server resynced it with a full answer.
+    Lagged {
+        /// The subscription that lagged.
+        sub: u64,
+        /// The generation of the full answer below.
+        generation: u64,
+        /// The complete current answer rows.
+        rows: Vec<Vec<String>>,
+    },
+}
+
+/// The server's answer to a successful `SUBSCRIBE`: the subscription id plus the full
+/// initial answer every later [`PushEvent::Delta`] is relative to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubscribeReply {
+    /// The subscription id (`UNSUBSCRIBE` takes it; pushed frames carry it).
+    pub sub: u64,
+    /// The generation the initial answer was computed at.
+    pub generation: u64,
+    /// The column headers (the query's free variables).
+    pub columns: Vec<String>,
+    /// The initial answer rows.
+    pub rows: Vec<Vec<String>>,
+}
+
 /// A blocking protocol client over one TCP connection.
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
+    /// Pushed `DELTA `/`LAGGED ` frames that arrived interleaved with a response;
+    /// drained by [`Client::try_event`] / [`Client::wait_event`] before the socket is.
+    pending: VecDeque<String>,
 }
 
 impl Client {
@@ -80,15 +129,25 @@ impl Client {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true).ok();
         let reader = BufReader::new(stream.try_clone()?);
-        Ok(Client { reader, writer: BufWriter::new(stream) })
+        Ok(Client { reader, writer: BufWriter::new(stream), pending: VecDeque::new() })
     }
 
     /// Sends one raw payload and returns the raw response payload. `ERR` responses are
     /// returned verbatim, not turned into [`ClientError::Server`] — this is the escape
     /// hatch scripted sessions (`pdqi connect`) use.
+    ///
+    /// Pushed subscription frames that arrive before the response are buffered for
+    /// [`Client::try_event`] / [`Client::wait_event`], never returned from here.
     pub fn request_raw(&mut self, payload: &str) -> Result<String, ClientError> {
         write_frame(&mut self.writer, payload)?;
-        Ok(read_frame(&mut self.reader)?)
+        loop {
+            let response = read_frame(&mut self.reader)?;
+            if response.starts_with("DELTA ") || response.starts_with("LAGGED ") {
+                self.pending.push_back(response);
+                continue;
+            }
+            return Ok(response);
+        }
     }
 
     /// Sends a typed request; `ERR` responses become [`ClientError::Server`].
@@ -163,7 +222,10 @@ impl Client {
         table: &str,
         rows: &[Vec<String>],
     ) -> Result<(usize, u64), ClientError> {
-        self.mutate(Request::Insert { table: table.to_string(), rows: rows.to_vec() }, "inserted")
+        self.mutation_request(
+            Request::Insert { table: table.to_string(), rows: rows.to_vec() },
+            "inserted",
+        )
     }
 
     /// Deletes rows (by value) from `table` over the wire; absent rows are no-ops.
@@ -173,20 +235,171 @@ impl Client {
         table: &str,
         rows: &[Vec<String>],
     ) -> Result<(usize, u64), ClientError> {
-        self.mutate(Request::Delete { table: table.to_string(), rows: rows.to_vec() }, "deleted")
+        self.mutation_request(
+            Request::Delete { table: table.to_string(), rows: rows.to_vec() },
+            "deleted",
+        )
     }
 
-    fn mutate(&mut self, request: Request, verb: &str) -> Result<(usize, u64), ClientError> {
+    /// Applies one mixed batch of inserts and deletes to `table` as a **single**
+    /// generation swap (one delta derivation, one subscription delta). Returns
+    /// `(inserted, deleted, generation)`.
+    pub fn mutate(
+        &mut self,
+        table: &str,
+        inserts: &[Vec<String>],
+        deletes: &[Vec<String>],
+    ) -> Result<(usize, usize, u64), ClientError> {
+        let response = self.request(&Request::Mutate {
+            table: table.to_string(),
+            inserts: inserts.to_vec(),
+            deletes: deletes.to_vec(),
+        })?;
+        let head = response.lines().next().unwrap_or("");
+        Ok((counted(head, "inserted")?, counted(head, "deleted")?, parse_tagged(head, "gen")?))
+    }
+
+    fn mutation_request(
+        &mut self,
+        request: Request,
+        verb: &str,
+    ) -> Result<(usize, u64), ClientError> {
         let response = self.request(&request)?;
         let head = response.lines().next().unwrap_or("");
+        Ok((counted(head, verb)?, parse_tagged(head, "gen")?))
+    }
+
+    /// Registers a continuous query on the prepared query `id` and switches the
+    /// connection into push mode: subsequent swaps of the query's table arrive as
+    /// [`PushEvent`]s through [`Client::try_event`] / [`Client::wait_event`] /
+    /// [`Client::events`].
+    pub fn subscribe(
+        &mut self,
+        id: &str,
+        family: FamilyKind,
+        semantics: Semantics,
+    ) -> Result<SubscribeReply, ClientError> {
+        let response =
+            self.request(&Request::Subscribe { id: id.to_string(), family, semantics })?;
+        let mut lines = response.split('\n');
+        let head = lines.next().unwrap_or("");
+        let sub = parse_tagged(head, "sub")?;
         let generation = parse_tagged(head, "gen")?;
-        let count = head
-            .split_whitespace()
-            .skip_while(|token| *token != verb)
-            .nth(1)
-            .and_then(|token| token.parse().ok())
-            .ok_or_else(|| ClientError::Malformed(format!("no `{verb} <n>` in `{head}`")))?;
-        Ok((count, generation))
+        let rows_head = head
+            .find("rows ")
+            .map(|at| &head[at..])
+            .ok_or_else(|| ClientError::Malformed(format!("no `rows <n>` in `{head}`")))?;
+        match parse_block(rows_head, &mut lines)? {
+            ExecOutcome::Rows { columns, rows } => {
+                Ok(SubscribeReply { sub, generation, columns, rows })
+            }
+            other => Err(ClientError::Malformed(format!("unexpected subscribe body {other:?}"))),
+        }
+    }
+
+    /// Drops a subscription registered on this connection.
+    pub fn unsubscribe(&mut self, sub: u64) -> Result<(), ClientError> {
+        self.request(&Request::Unsubscribe { sub }).map(|_| ())
+    }
+
+    /// Returns one pushed event if one is already buffered or immediately readable;
+    /// never blocks longer than one short poll.
+    pub fn try_event(&mut self) -> Result<Option<PushEvent>, ClientError> {
+        self.wait_event(Duration::from_millis(1))
+    }
+
+    /// Waits up to `timeout` for one pushed event. The timeout only gates the wait for
+    /// the **first** byte: once a frame starts arriving the read patiently finishes it
+    /// (a half-read frame would desynchronise the stream). Returns `Ok(None)` on
+    /// timeout; the socket is back in blocking mode either way.
+    pub fn wait_event(&mut self, timeout: Duration) -> Result<Option<PushEvent>, ClientError> {
+        if let Some(payload) = self.pending.pop_front() {
+            return parse_push(&payload).map(Some);
+        }
+        let deadline = Instant::now() + timeout;
+        let result = self.read_frame_deadline(deadline);
+        self.reader.get_ref().set_read_timeout(None).ok();
+        match result? {
+            None => Ok(None),
+            Some(payload) if payload.starts_with("DELTA ") || payload.starts_with("LAGGED ") => {
+                parse_push(&payload).map(Some)
+            }
+            Some(payload) => {
+                let head = payload.lines().next().unwrap_or("");
+                Err(ClientError::Malformed(format!("unexpected non-push frame `{head}`")))
+            }
+        }
+    }
+
+    /// A blocking iterator over pushed events; ends when the server closes the
+    /// connection, yields one final `Err` on any other failure.
+    pub fn events(&mut self) -> Events<'_> {
+        Events { client: self, done: false }
+    }
+
+    /// Reads one frame, giving up (→ `None`) only if no byte arrives by `deadline`.
+    fn read_frame_deadline(&mut self, deadline: Instant) -> Result<Option<String>, FrameError> {
+        let mut len_bytes = [0u8; 4];
+        if !self.read_exact_deadline(&mut len_bytes, deadline, false)? {
+            return Ok(None);
+        }
+        let announced = u32::from_be_bytes(len_bytes) as usize;
+        if announced > MAX_FRAME_BYTES {
+            return Err(FrameError::TooLarge { announced });
+        }
+        let mut payload = vec![0u8; announced];
+        self.read_exact_deadline(&mut payload, deadline, true)?;
+        String::from_utf8(payload).map(Some).map_err(|_| FrameError::NotUtf8)
+    }
+
+    /// Fills `buf` with short timed reads. With `committed` false the deadline may
+    /// expire *before the first byte* (→ `Ok(false)`); after any byte — or when the
+    /// caller is already mid-frame — the read commits and polls until the frame's
+    /// bytes arrive.
+    fn read_exact_deadline(
+        &mut self,
+        buf: &mut [u8],
+        deadline: Instant,
+        mut committed: bool,
+    ) -> Result<bool, FrameError> {
+        let mut filled = 0;
+        while filled < buf.len() {
+            let now = Instant::now();
+            if !committed && now >= deadline {
+                return Ok(false);
+            }
+            let wait = if committed {
+                PUSH_POLL
+            } else {
+                deadline.saturating_duration_since(now).min(PUSH_POLL)
+            };
+            self.reader.get_ref().set_read_timeout(Some(wait.max(Duration::from_millis(1))))?;
+            match self.reader.read(&mut buf[filled..]) {
+                Ok(0) => {
+                    return Err(if filled == 0 && !committed {
+                        FrameError::Closed
+                    } else {
+                        FrameError::Io(io::Error::new(
+                            io::ErrorKind::UnexpectedEof,
+                            "connection closed mid-frame",
+                        ))
+                    });
+                }
+                Ok(n) => {
+                    filled += n;
+                    committed = true;
+                }
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock
+                            | io::ErrorKind::TimedOut
+                            | io::ErrorKind::Interrupted
+                    ) => {}
+                Err(e) => return Err(FrameError::Io(e)),
+            }
+        }
+        Ok(true)
     }
 
     /// Replaces `table`'s priority with explicit `winner ≻ loser` tuple-id pairs and
@@ -205,6 +418,87 @@ impl Client {
     /// Asks the server to stop (the server answers, then shuts down).
     pub fn shutdown(&mut self) -> Result<(), ClientError> {
         self.request(&Request::Shutdown).map(|_| ())
+    }
+}
+
+/// Blocking push-event iterator returned by [`Client::events`].
+pub struct Events<'a> {
+    client: &'a mut Client,
+    done: bool,
+}
+
+impl Iterator for Events<'_> {
+    type Item = Result<PushEvent, ClientError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        loop {
+            match self.client.wait_event(Duration::from_secs(3600)) {
+                Ok(Some(event)) => return Some(Ok(event)),
+                Ok(None) => {}
+                Err(ClientError::Frame(FrameError::Closed)) => {
+                    self.done = true;
+                    return None;
+                }
+                Err(e) => {
+                    self.done = true;
+                    return Some(Err(e));
+                }
+            }
+        }
+    }
+}
+
+/// Extracts `<verb> <count>` from a mutation response head.
+fn counted(head: &str, verb: &str) -> Result<usize, ClientError> {
+    head.split_whitespace()
+        .skip_while(|token| *token != verb)
+        .nth(1)
+        .and_then(|token| token.parse().ok())
+        .ok_or_else(|| ClientError::Malformed(format!("no `{verb} <n>` in `{head}`")))
+}
+
+/// Parses one pushed `DELTA `/`LAGGED ` frame into a [`PushEvent`].
+fn parse_push(payload: &str) -> Result<PushEvent, ClientError> {
+    let mut lines = payload.split('\n');
+    let head = lines.next().unwrap_or("");
+    if head.starts_with("DELTA ") {
+        let sub = parse_tagged(head, "sub")?;
+        let generation = parse_tagged(head, "gen")?;
+        let mut added = Vec::new();
+        let mut removed = Vec::new();
+        for line in lines {
+            // `+\ta\tb` → op `+`, fields `[a, b]`; a bare op line is a zero-column row.
+            let (op, fields) = match line.split_once('\t') {
+                Some((op, rest)) => {
+                    (op, rest.split('\t').map(crate::protocol::unescape_field).collect())
+                }
+                None => (line, Vec::new()),
+            };
+            match op {
+                "+" => added.push(fields),
+                "-" => removed.push(fields),
+                _ => return Err(ClientError::Malformed(format!("bad delta row `{line}`"))),
+            }
+        }
+        Ok(PushEvent::Delta { sub, generation, added, removed })
+    } else if head.starts_with("LAGGED ") {
+        let sub = parse_tagged(head, "sub")?;
+        let generation = parse_tagged(head, "gen")?;
+        let rows = lines
+            .map(|line| {
+                if line.is_empty() {
+                    Vec::new()
+                } else {
+                    line.split('\t').map(crate::protocol::unescape_field).collect()
+                }
+            })
+            .collect();
+        Ok(PushEvent::Lagged { sub, generation, rows })
+    } else {
+        Err(ClientError::Malformed(format!("not a push frame `{head}`")))
     }
 }
 

@@ -19,6 +19,11 @@
 //! * [`client`] — a blocking [`Client`] with typed helpers, used by the CLI's
 //!   `connect` subcommand, the serving tests and the `e16_serving` bench.
 //!
+//! Connections double as **push channels**: `SUBSCRIBE` registers a continuous query
+//! with the server's [`pdqi_core::SubscriptionManager`], after which `DELTA` (and, for
+//! slow readers, `LAGGED` resync) frames are interleaved onto the same socket between
+//! responses; [`Client`] buffers them and hands them out as typed [`PushEvent`]s.
+//!
 //! Everything is plain [`std`]: no async runtime exists in this build environment, so
 //! concurrency is accept-loop threads plus a handler thread per connection, and all
 //! sharing goes through the same `Arc`/atomic structures the in-process serving path
@@ -33,7 +38,7 @@ pub mod client;
 pub mod protocol;
 pub mod server;
 
-pub use client::{Client, ClientError, ExecOutcome};
+pub use client::{Client, ClientError, Events, ExecOutcome, PushEvent, SubscribeReply};
 pub use protocol::{
     escape_field, unescape_field, ExecMode, ExecSpec, FrameError, Request, MAX_FRAME_BYTES,
 };

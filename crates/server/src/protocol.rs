@@ -30,6 +30,11 @@
 //! DELETE <table>
 //! <value>\t<value>\t...                        (repeated, one escaped row per line)
 //! SET-PRIORITY <table> [<winner>><loser> ...]
+//! MUTATE <table>
+//! +\t<value>\t<value>\t...                     (one op-prefixed row per line:
+//! -\t<value>\t<value>\t...                      `+` inserts, `-` deletes)
+//! SUBSCRIBE <id> <family> <CERTAIN|POSSIBLE>
+//! UNSUBSCRIBE <subscription-id>
 //! STATS
 //! SHUTDOWN
 //! ```
@@ -53,6 +58,19 @@
 //! John                                 OK deleted 1 gen=6
 //!                                      ERR unknown prepared query `q9`
 //! ```
+//!
+//! A connection that issued `SUBSCRIBE` additionally receives **pushed frames** —
+//! server-initiated, never in response to a request — which always start with `DELTA`
+//! or `LAGGED`:
+//!
+//! ```text
+//! DELTA sub=1 gen=5 added=1 removed=1          LAGGED sub=1 gen=9 rows 2
+//! +\tMary                                      Mary
+//! -\tJohn                                      Eve
+//! ```
+//!
+//! `DELTA` rows are op-prefixed like `MUTATE` rows (`+` added, `-` removed); a
+//! `LAGGED` frame replaces lost deltas with the full answer at the stated generation.
 
 use std::fmt;
 use std::io::{self, Read, Write};
@@ -173,6 +191,31 @@ pub enum Request {
         /// Explicit `winner ≻ loser` tuple-id pairs (replacing the current priority).
         pairs: Vec<(u32, u32)>,
     },
+    /// Apply mixed inserts and deletes to one table as **one** delta derivation and
+    /// one generation swap (and hence at most one subscription delta per subscriber).
+    Mutate {
+        /// The table to mutate.
+        table: String,
+        /// Raw row fields to insert (typed against the table's schema at dispatch).
+        inserts: Vec<Vec<String>>,
+        /// Raw row fields of the tuples to remove.
+        deletes: Vec<Vec<String>>,
+    },
+    /// Register a continuous query: the connection switches into push mode and
+    /// receives `DELTA`/`LAGGED` frames for this subscription.
+    Subscribe {
+        /// The id of a previously `PREPARE`d query.
+        id: String,
+        /// The family of preferred repairs to quantify over.
+        family: FamilyKind,
+        /// The open-query semantics (`CLOSED` verdicts have no row delta).
+        semantics: Semantics,
+    },
+    /// Drop a subscription registered on this connection.
+    Unsubscribe {
+        /// The subscription id `OK subscribed sub=<id> …` reported.
+        sub: u64,
+    },
     /// Registry and executor statistics.
     Stats,
     /// Stop the server after answering.
@@ -258,6 +301,64 @@ impl Request {
                 }
                 Ok(Request::SetPriority { table: table.to_string(), pairs })
             }
+            "MUTATE" => {
+                let table = rest.trim();
+                if table.is_empty() || table.split_whitespace().count() != 1 {
+                    return Err(
+                        "usage: MUTATE <table> followed by one `+`/`-`-prefixed row per line"
+                            .to_string(),
+                    );
+                }
+                let Some((_, row_block)) = payload.split_once('\n') else {
+                    return Err("MUTATE needs at least one row line".to_string());
+                };
+                let (mut inserts, mut deletes) = (Vec::new(), Vec::new());
+                // Like INSERT/DELETE: split('\n') so a single-column empty-string row
+                // (encoded as `+\t`) survives; the op is the first tab-separated cell.
+                for line in row_block.split('\n') {
+                    let (op, fields) = match line.split_once('\t') {
+                        Some((op, fields)) => {
+                            (op, fields.split('\t').map(unescape_field).collect())
+                        }
+                        // A zero-field line can only be a bare op (closed queries have
+                        // zero columns, tables never do — but parse stays total).
+                        None => (line, Vec::new()),
+                    };
+                    match op {
+                        "+" => inserts.push(fields),
+                        "-" => deletes.push(fields),
+                        other => {
+                            return Err(format!(
+                                "MUTATE rows start with `+` or `-` (got `{other}`)"
+                            ))
+                        }
+                    }
+                }
+                Ok(Request::Mutate { table: table.to_string(), inserts, deletes })
+            }
+            "SUBSCRIBE" => {
+                let mut parts = rest.split_whitespace();
+                let (Some(id), Some(family), Some(mode), None) =
+                    (parts.next(), parts.next(), parts.next(), parts.next())
+                else {
+                    return Err("usage: SUBSCRIBE <id> <family> <CERTAIN|POSSIBLE>".to_string());
+                };
+                let family = FamilyKind::parse(family).ok_or_else(|| {
+                    format!("`{family}` is not a repair family (use ALL, L, S, G or C)")
+                })?;
+                let semantics =
+                    ExecMode::parse(mode).and_then(ExecMode::semantics).ok_or_else(|| {
+                        format!("`{mode}` is not a subscription mode (use CERTAIN or POSSIBLE)")
+                    })?;
+                Ok(Request::Subscribe { id: id.to_string(), family, semantics })
+            }
+            "UNSUBSCRIBE" => {
+                let sub = rest
+                    .trim()
+                    .parse::<u64>()
+                    .map_err(|_| "usage: UNSUBSCRIBE <subscription-id>".to_string())?;
+                Ok(Request::Unsubscribe { sub })
+            }
             "STATS" => Ok(Request::Stats),
             "SHUTDOWN" => Ok(Request::Shutdown),
             other => Err(format!("unknown command `{other}`")),
@@ -282,6 +383,20 @@ impl Request {
             }
             Request::Insert { table, rows } => render_mutation("INSERT", table, rows),
             Request::Delete { table, rows } => render_mutation("DELETE", table, rows),
+            Request::Mutate { table, inserts, deletes } => {
+                let mut out = format!("MUTATE {table}");
+                push_op_rows(&mut out, '+', inserts);
+                push_op_rows(&mut out, '-', deletes);
+                out
+            }
+            Request::Subscribe { id, family, semantics } => {
+                let mode = match semantics {
+                    Semantics::Certain => ExecMode::Certain,
+                    Semantics::Possible => ExecMode::Possible,
+                };
+                format!("SUBSCRIBE {id} {} {mode}", family.label())
+            }
+            Request::Unsubscribe { sub } => format!("UNSUBSCRIBE {sub}"),
             Request::SetPriority { table, pairs } => {
                 let mut out = format!("SET-PRIORITY {table}");
                 for (winner, loser) in pairs {
@@ -305,6 +420,19 @@ fn render_mutation(command: &str, table: &str, rows: &[Vec<String>]) -> String {
         out.push_str(&rendered.join("\t"));
     }
     out
+}
+
+/// Appends op-prefixed row lines (`<op>\t<escaped fields…>`) — the encoding `MUTATE`
+/// requests and pushed `DELTA` frames share.
+pub(crate) fn push_op_rows(out: &mut String, op: char, rows: &[Vec<String>]) {
+    for row in rows {
+        out.push('\n');
+        out.push(op);
+        for field in row {
+            out.push('\t');
+            out.push_str(&escape_field(field));
+        }
+    }
 }
 
 /// Errors surfaced while reading a frame.
@@ -509,6 +637,31 @@ mod tests {
                 table: "T".into(),
                 rows: vec![vec!["a".into()], vec![String::new()], vec!["b".into()]],
             },
+            Request::Mutate {
+                table: "Mgr".into(),
+                inserts: vec![vec!["Eve".into(), "HR".into(), "15".into(), "2".into()]],
+                deletes: vec![
+                    vec!["Mary".into(), "IT".into(), "20".into(), "1".into()],
+                    vec!["tab\there".into(), "line\nbreak".into(), "1".into(), "2".into()],
+                ],
+            },
+            // Op-prefixed single-column empty-string rows survive like INSERT's do.
+            Request::Mutate {
+                table: "T".into(),
+                inserts: vec![vec![String::new()]],
+                deletes: vec![vec!["a".into()]],
+            },
+            Request::Subscribe {
+                id: "q1".into(),
+                family: FamilyKind::Global,
+                semantics: Semantics::Certain,
+            },
+            Request::Subscribe {
+                id: "q2".into(),
+                family: FamilyKind::Rep,
+                semantics: Semantics::Possible,
+            },
+            Request::Unsubscribe { sub: 7 },
             Request::Stats,
             Request::Shutdown,
         ];
@@ -537,6 +690,19 @@ mod tests {
             "INSERT two tables\nrow",
             "DELETE",
             "DELETE Mgr",
+            "MUTATE",
+            "MUTATE Mgr",
+            "MUTATE two tables\n+\trow",
+            "MUTATE Mgr\nrow without op",
+            "MUTATE Mgr\n*\trow",
+            "SUBSCRIBE",
+            "SUBSCRIBE q1",
+            "SUBSCRIBE q1 ALL",
+            "SUBSCRIBE q1 ALL CLOSED",
+            "SUBSCRIBE q1 NOPE CERTAIN",
+            "SUBSCRIBE q1 ALL CERTAIN extra",
+            "UNSUBSCRIBE",
+            "UNSUBSCRIBE x",
         ] {
             assert!(Request::parse(bad).is_err(), "{bad:?} should be malformed");
         }

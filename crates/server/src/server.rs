@@ -30,13 +30,13 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use pdqi_core::{
-    BatchExecutor, BatchRequest, BatchResponse, ChunkTuner, Mutation, Parallelism, PreparedQuery,
-    SnapshotLease, SnapshotRegistry,
+    BatchExecutor, BatchRequest, BatchResponse, ChangeScope, ChunkTuner, Mutation, Parallelism,
+    PreparedQuery, SnapshotLease, SnapshotRegistry, SubscriptionEvent, SubscriptionManager,
 };
 use pdqi_priority::Priority;
 use pdqi_relation::{TupleId, Value, ValueType};
 
-use crate::protocol::{escape_field, write_frame, ExecSpec, FrameError, Request};
+use crate::protocol::{escape_field, push_op_rows, write_frame, ExecSpec, FrameError, Request};
 
 /// How often blocked connection reads wake up to check the shutdown flag. Connections
 /// use a read timeout instead of a blocking read so a `shutdown` call (or a remote
@@ -81,6 +81,10 @@ struct ServerState {
     tuner: Arc<ChunkTuner>,
     /// Accept-loop thread count: a remote `SHUTDOWN` must wake every one of them.
     acceptors: usize,
+    /// The continuous-query manager, attached to `registry` as a swap observer:
+    /// `SUBSCRIBE`d connections drain their bounded per-subscriber queues on idle
+    /// polls and after every response.
+    subscriptions: Arc<SubscriptionManager>,
     shutdown: AtomicBool,
     requests: AtomicU64,
     protocol_errors: AtomicU64,
@@ -153,12 +157,15 @@ pub fn serve(
     let listener = TcpListener::bind(addr)?;
     let addr = listener.local_addr()?;
     let acceptor_count = config.acceptors.max(1);
+    let subscriptions = SubscriptionManager::new(config.parallelism);
+    subscriptions.attach(&registry);
     let state = Arc::new(ServerState {
         registry,
         prepared: RwLock::new(HashMap::new()),
         parallelism: config.parallelism,
         tuner: ChunkTuner::shared(),
         acceptors: acceptor_count,
+        subscriptions,
         shutdown: AtomicBool::new(false),
         requests: AtomicU64::new(0),
         protocol_errors: AtomicU64::new(0),
@@ -281,6 +288,78 @@ fn fill_buffer(
     Ok(true)
 }
 
+/// The subscriptions registered on one connection. Dropping the tracker (connection
+/// close, error paths included) unregisters every one of them — a vanished subscriber
+/// must not keep accumulating queued deltas in the manager.
+struct ConnectionSubs {
+    manager: Arc<SubscriptionManager>,
+    ids: Vec<u64>,
+}
+
+impl ConnectionSubs {
+    /// Renders every queued event of this connection's subscriptions as pushed
+    /// frames, oldest first, in subscription order.
+    fn pending_frames(&self) -> Vec<String> {
+        let mut frames = Vec::new();
+        for &sub in &self.ids {
+            for event in self.manager.drain(sub) {
+                frames.push(render_push(sub, &event));
+            }
+        }
+        frames
+    }
+}
+
+impl Drop for ConnectionSubs {
+    fn drop(&mut self) {
+        for &sub in &self.ids {
+            self.manager.unsubscribe(sub);
+        }
+    }
+}
+
+/// Renders one pushed frame: `DELTA` with op-prefixed rows, or `LAGGED` with the
+/// resync answer (header-less — the subscriber learned its columns at SUBSCRIBE time).
+fn render_push(sub: u64, event: &SubscriptionEvent) -> String {
+    let render_rows = |rows: &[Vec<Value>]| -> Vec<Vec<String>> {
+        rows.iter().map(|row| row.iter().map(|v| v.to_string()).collect()).collect()
+    };
+    match event {
+        SubscriptionEvent::Delta(delta) => {
+            let mut out = format!(
+                "DELTA sub={sub} gen={} added={} removed={}",
+                delta.generation,
+                delta.added.len(),
+                delta.removed.len()
+            );
+            push_op_rows(&mut out, '+', &render_rows(&delta.added));
+            push_op_rows(&mut out, '-', &render_rows(&delta.removed));
+            out
+        }
+        SubscriptionEvent::Lagged { generation, rows } => {
+            let mut out = format!("LAGGED sub={sub} gen={generation} rows {}", rows.len());
+            for row in rows {
+                let rendered: Vec<String> =
+                    row.iter().map(|v| escape_field(&v.to_string())).collect();
+                out.push('\n');
+                out.push_str(&rendered.join("\t"));
+            }
+            out
+        }
+    }
+}
+
+/// Writes every pending pushed frame of this connection's subscriptions. Returns
+/// `false` when the peer is gone.
+fn flush_pushes(writer: &mut impl io::Write, subs: &ConnectionSubs) -> bool {
+    for frame in subs.pending_frames() {
+        if write_frame(writer, &frame).is_err() {
+            return false;
+        }
+    }
+    true
+}
+
 fn handle_connection(stream: TcpStream, state: &Arc<ServerState>, wake_addr: SocketAddr) {
     let _ = stream.set_read_timeout(Some(SHUTDOWN_POLL));
     let mut reader = match stream.try_clone() {
@@ -288,14 +367,21 @@ fn handle_connection(stream: TcpStream, state: &Arc<ServerState>, wake_addr: Soc
         Err(_) => return,
     };
     let mut writer = io::BufWriter::new(stream);
+    let mut subs = ConnectionSubs { manager: Arc::clone(&state.subscriptions), ids: Vec::new() };
     loop {
         if state.shutting_down() {
             return;
         }
         let payload = match read_frame_patient(&mut reader, state) {
             Ok(Some(payload)) => payload,
-            // Idle poll: no frame started; check the shutdown flag and keep waiting.
-            Ok(None) => continue,
+            // Idle poll: no frame started; push queued subscription events, check the
+            // shutdown flag and keep waiting.
+            Ok(None) => {
+                if !flush_pushes(&mut writer, &subs) {
+                    return;
+                }
+                continue;
+            }
             Err(FrameError::Closed) => return,
             Err(malformed) => {
                 // Oversized, truncated or non-UTF-8 frame: the framing itself is gone,
@@ -313,7 +399,7 @@ fn handle_connection(stream: TcpStream, state: &Arc<ServerState>, wake_addr: Soc
                 (format!("ERR {message}"), false)
             }
             Ok(Request::Shutdown) => ("OK bye".to_string(), true),
-            Ok(request) => (dispatch(state, &request), false),
+            Ok(request) => (dispatch(state, &request, &mut subs), false),
         };
         if response.len() > crate::protocol::MAX_FRAME_BYTES {
             // A legitimately huge answer set cannot be framed; answer with a small
@@ -327,6 +413,13 @@ fn handle_connection(stream: TcpStream, state: &Arc<ServerState>, wake_addr: Soc
             );
         }
         if write_frame(&mut writer, &response).is_err() {
+            return;
+        }
+        // A request that swapped a generation (MUTATE/INSERT/DELETE/SET-PRIORITY on
+        // this very connection) has its subscription events queued by now — the swap
+        // notification runs before the dispatch returns. Push them immediately rather
+        // than waiting for the next idle poll.
+        if !flush_pushes(&mut writer, &subs) {
             return;
         }
         if shutdown {
@@ -343,8 +436,10 @@ fn handle_connection(stream: TcpStream, state: &Arc<ServerState>, wake_addr: Soc
 }
 
 /// Answers one well-formed request. Every error is a protocol-level `ERR` response;
-/// the connection stays usable.
-fn dispatch(state: &ServerState, request: &Request) -> String {
+/// the connection stays usable. `subs` tracks the subscriptions registered on this
+/// connection (pushed frames go to the connection that subscribed, and close
+/// unregisters them).
+fn dispatch(state: &ServerState, request: &Request, subs: &mut ConnectionSubs) -> String {
     match request {
         Request::Ping => "OK pong".to_string(),
         Request::Prepare { id, query } => match PreparedQuery::parse(query) {
@@ -410,19 +505,87 @@ fn dispatch(state: &ServerState, request: &Request) -> String {
         },
         Request::Insert { table, rows } => apply_mutation(state, table, rows, true),
         Request::Delete { table, rows } => apply_mutation(state, table, rows, false),
+        Request::Mutate { table, inserts, deletes } => {
+            let inserts = match type_rows(state, table, inserts) {
+                Ok(rows) => rows,
+                Err(message) => return message,
+            };
+            let deletes = match type_rows(state, table, deletes) {
+                Ok(rows) => rows,
+                Err(message) => return message,
+            };
+            // One Mutation batch → one delta derivation → one generation swap: the k
+            // row-level writes below cost one re-partition and push at most one
+            // subscription delta per subscriber.
+            let mutation = Mutation::new().insert_rows(table, inserts).delete_rows(table, deletes);
+            match state.registry.apply(table, &mutation, state.parallelism) {
+                Ok((generation, report)) => format!(
+                    "OK mutated inserted {} deleted {} gen={generation}",
+                    report.inserted, report.deleted
+                ),
+                Err(e) => format!("ERR {e}"),
+            }
+        }
+        Request::Subscribe { id, family, semantics } => {
+            let entry = state.prepared.read().expect("prepared lock").get(id).cloned();
+            let Some(entry) = entry else {
+                return format!("ERR unknown prepared query `{id}` (PREPARE it first)");
+            };
+            match state.subscriptions.subscribe(
+                &state.registry,
+                Arc::clone(&entry.query),
+                *family,
+                *semantics,
+            ) {
+                Ok(subscribed) => {
+                    subs.ids.push(subscribed.id);
+                    let mut out = format!(
+                        "OK subscribed sub={} gen={} rows {}\n{}",
+                        subscribed.id,
+                        subscribed.generation,
+                        subscribed.rows.len(),
+                        subscribed.columns.join("\t")
+                    );
+                    for row in &subscribed.rows {
+                        let rendered: Vec<String> =
+                            row.iter().map(|v| escape_field(&v.to_string())).collect();
+                        out.push('\n');
+                        out.push_str(&rendered.join("\t"));
+                    }
+                    out
+                }
+                Err(e) => format!("ERR {e}"),
+            }
+        }
+        Request::Unsubscribe { sub } => {
+            let Some(position) = subs.ids.iter().position(|id| id == sub) else {
+                // Subscriptions are per-connection: a foreign id must not be
+                // detachable from another session.
+                return format!("ERR no subscription `{sub}` on this connection");
+            };
+            subs.ids.remove(position);
+            state.subscriptions.unsubscribe(*sub);
+            format!("OK unsubscribed sub={sub}")
+        }
         Request::SetPriority { table, pairs } => {
             let pairs: Vec<(TupleId, TupleId)> =
                 pairs.iter().map(|&(w, l)| (TupleId(w), TupleId(l))).collect();
             let parallelism = state.parallelism;
             let revised =
-                state.registry.revise(table, |current| {
+                state.registry.revise_scoped(table, |current| {
                     let graph = Arc::clone(current.context_of(table).ok_or_else(|| {
                     format!("registry snapshot for `{table}` does not contain that relation")
                 })?.graph());
                     let priority = Priority::from_pairs(graph, &pairs)
                         .map_err(|e| format!("priority cannot be installed: {e}"))?;
+                    // The reported component set scopes the swap: observers skip every
+                    // query whose footprint the revision provably did not touch.
                     current
-                        .with_priority_revalidated_for(table, priority, parallelism)
+                        .with_priority_revalidated_reported_for(table, priority, parallelism)
+                        .map(|(snapshot, affected)| {
+                            let scope = ChangeScope::Priority { relation: table.clone(), affected };
+                            (snapshot, scope)
+                        })
                         .map_err(|e| e.to_string())
                 });
             match revised {
@@ -441,11 +604,23 @@ fn dispatch(state: &ServerState, request: &Request) -> String {
                 state.requests.load(Ordering::Relaxed),
                 state.protocol_errors.load(Ordering::Relaxed),
             );
+            let subscribe = state.subscriptions.stats();
+            out.push_str(&format!(
+                "\nsubscriptions subscribers={} pushed={} skipped={} executions={} lagged={}",
+                subscribe.subscribers,
+                subscribe.deltas_pushed,
+                subscribe.skipped_unchanged,
+                subscribe.executions,
+                subscribe.lagged_resyncs,
+            ));
             for table in state.registry.table_names() {
                 if let Some(stats) = state.registry.table_stats(&table) {
                     out.push_str(&format!(
-                        "\ntable {table} gen={} reads={} swaps={}",
-                        stats.generation, stats.reads, stats.swaps
+                        "\ntable {table} gen={} reads={} swaps={} subs={}",
+                        stats.generation,
+                        stats.reads,
+                        stats.swaps,
+                        state.subscriptions.subscriber_count_for(&table),
                     ));
                 }
             }
@@ -463,39 +638,10 @@ fn dispatch(state: &ServerState, request: &Request) -> String {
 /// response reports what the mutation actually did (set semantics: duplicate inserts
 /// and absent deletes are no-ops) and the new generation.
 fn apply_mutation(state: &ServerState, table: &str, rows: &[Vec<String>], insert: bool) -> String {
-    let Some(lease) = state.registry.read(table) else {
-        return format!("ERR no snapshot published for table `{table}`");
+    let typed = match type_rows(state, table, rows) {
+        Ok(typed) => typed,
+        Err(message) => return message,
     };
-    let Some(ctx) = lease.snapshot().context_of(table) else {
-        return format!("ERR registry snapshot for `{table}` does not contain that relation");
-    };
-    let attributes = ctx.instance().schema().attributes();
-    let mut typed: Vec<Vec<Value>> = Vec::with_capacity(rows.len());
-    for row in rows {
-        if row.len() != attributes.len() {
-            return format!(
-                "ERR row has {} value(s) but `{table}` has {} column(s)",
-                row.len(),
-                attributes.len()
-            );
-        }
-        let mut values = Vec::with_capacity(row.len());
-        for (field, attribute) in row.iter().zip(attributes) {
-            match attribute.ty {
-                ValueType::Int => match field.parse::<i64>() {
-                    Ok(n) => values.push(Value::int(n)),
-                    Err(_) => {
-                        return format!(
-                            "ERR `{field}` is not an integer (column `{}`)",
-                            attribute.name
-                        )
-                    }
-                },
-                ValueType::Name => values.push(Value::name(field)),
-            }
-        }
-        typed.push(values);
-    }
     let mutation = if insert {
         Mutation::new().insert_rows(table, typed)
     } else {
@@ -511,6 +657,49 @@ fn apply_mutation(state: &ServerState, table: &str, rows: &[Vec<String>], insert
         }
         Err(e) => format!("ERR {e}"),
     }
+}
+
+/// Types raw wire fields against `table`'s served schema, producing the value rows a
+/// [`Mutation`] takes. Errors are rendered `ERR` responses.
+fn type_rows(
+    state: &ServerState,
+    table: &str,
+    rows: &[Vec<String>],
+) -> Result<Vec<Vec<Value>>, String> {
+    let Some(lease) = state.registry.read(table) else {
+        return Err(format!("ERR no snapshot published for table `{table}`"));
+    };
+    let Some(ctx) = lease.snapshot().context_of(table) else {
+        return Err(format!("ERR registry snapshot for `{table}` does not contain that relation"));
+    };
+    let attributes = ctx.instance().schema().attributes();
+    let mut typed: Vec<Vec<Value>> = Vec::with_capacity(rows.len());
+    for row in rows {
+        if row.len() != attributes.len() {
+            return Err(format!(
+                "ERR row has {} value(s) but `{table}` has {} column(s)",
+                row.len(),
+                attributes.len()
+            ));
+        }
+        let mut values = Vec::with_capacity(row.len());
+        for (field, attribute) in row.iter().zip(attributes) {
+            match attribute.ty {
+                ValueType::Int => match field.parse::<i64>() {
+                    Ok(n) => values.push(Value::int(n)),
+                    Err(_) => {
+                        return Err(format!(
+                            "ERR `{field}` is not an integer (column `{}`)",
+                            attribute.name
+                        ))
+                    }
+                },
+                ValueType::Name => values.push(Value::name(field)),
+            }
+        }
+        typed.push(values);
+    }
+    Ok(typed)
 }
 
 /// Resolves `specs` against the plan cache, pins **one** snapshot lease for all of

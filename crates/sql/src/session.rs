@@ -30,7 +30,8 @@ use std::sync::Arc;
 use pdqi_constraints::FdSet;
 use pdqi_core::{
     ChunkTuner, EngineBuilder, EngineSnapshot, Mutation, Parallelism, PreparedQuery, Semantics,
-    SnapshotLease, SnapshotRegistry,
+    SnapshotLease, SnapshotRegistry, Subscribed, SubscriptionEvent, SubscriptionInfo,
+    SubscriptionManager,
 };
 use pdqi_query::builder::{and_all, atom, exists, var};
 use pdqi_query::{Evaluator, Formula, Term};
@@ -155,6 +156,9 @@ pub struct Session {
     /// Measured-chunk feedback for repair-quantified `SELECT`s: long-lived sessions
     /// converge the parallel chunk split towards real per-chunk wall-clock.
     tuner: Arc<ChunkTuner>,
+    /// Continuous queries registered through [`Session::subscribe`]; created (and
+    /// attached to the registry) on first use.
+    subscriptions: Option<Arc<SubscriptionManager>>,
 }
 
 impl Default for Session {
@@ -181,6 +185,7 @@ impl Session {
             prepared: HashMap::new(),
             parallelism: Parallelism::default(),
             tuner: ChunkTuner::shared(),
+            subscriptions: None,
         }
     }
 
@@ -484,6 +489,77 @@ impl Session {
             }
         }
         Ok(published)
+    }
+
+    /// The continuous-query manager this session registers subscriptions with,
+    /// created (with the session's parallelism) and attached to the registry on
+    /// first use. Sessions sharing a registry each attach their own manager; every
+    /// manager observes every swap.
+    pub fn subscription_manager(&mut self) -> Arc<SubscriptionManager> {
+        if let Some(manager) = &self.subscriptions {
+            return Arc::clone(manager);
+        }
+        let manager = SubscriptionManager::new(self.parallelism);
+        manager.attach(&self.registry);
+        self.subscriptions = Some(Arc::clone(&manager));
+        manager
+    }
+
+    /// Registers a repair-quantified `SELECT … WITH REPAIRS <family>` as a continuous
+    /// query: the statement is planned through the ordinary prepared-`SELECT` path,
+    /// its table is published if this session holds it, and later generation swaps
+    /// arrive as [`SubscriptionEvent`]s through [`Session::drain_subscription_events`].
+    /// Returns the subscription id plus the initial full answer the deltas build on.
+    pub fn subscribe(&mut self, sql: &str, semantics: Semantics) -> Result<Subscribed, SqlError> {
+        let Statement::Select(select) = parse_statement(sql)? else {
+            return Err(SqlError::Query("only SELECT statements can be subscribed".to_string()));
+        };
+        let Some(family) = select.repairs else {
+            return Err(SqlError::Query(
+                "subscriptions quantify over repairs; add WITH REPAIRS <family>".to_string(),
+            ));
+        };
+        // Publish the table first so the registry serves a slot to register against.
+        self.snapshot(&select.table)?;
+        let prepared = self.prepare_select(sql.trim(), &select)?;
+        let manager = self.subscription_manager();
+        let mut subscribed = manager
+            .subscribe(&self.registry, Arc::clone(&prepared.query), family, semantics)
+            .map_err(|e| SqlError::Query(e.to_string()))?;
+        // The engine reports free-variable names (`v_<Column>`); surface the SQL
+        // column names instead.
+        for column in &mut subscribed.columns {
+            if let Some(stripped) = column.strip_prefix("v_") {
+                *column = stripped.to_string();
+            }
+        }
+        Ok(subscribed)
+    }
+
+    /// Drops a subscription registered through [`Session::subscribe`]. Returns whether
+    /// it existed.
+    pub fn unsubscribe(&mut self, id: u64) -> bool {
+        self.subscriptions.as_ref().is_some_and(|manager| manager.unsubscribe(id))
+    }
+
+    /// The subscriptions this session registered, with their current positions.
+    pub fn subscriptions(&self) -> Vec<SubscriptionInfo> {
+        self.subscriptions.as_ref().map_or_else(Vec::new, |manager| manager.list())
+    }
+
+    /// Takes every queued event across this session's subscriptions, tagged with the
+    /// subscription id (oldest first per subscription).
+    pub fn drain_subscription_events(&mut self) -> Vec<(u64, SubscriptionEvent)> {
+        let Some(manager) = self.subscriptions.as_ref().map(Arc::clone) else {
+            return Vec::new();
+        };
+        let mut events = Vec::new();
+        for info in manager.list() {
+            for event in manager.drain(info.id) {
+                events.push((info.id, event));
+            }
+        }
+        events
     }
 
     /// Builds the open conjunctive query corresponding to a `SELECT`: one variable per

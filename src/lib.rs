@@ -110,10 +110,11 @@ pub use pdqi_sql as sql;
 
 pub use pdqi_constraints::{ConflictGraph, FdSet, FunctionalDependency};
 pub use pdqi_core::{
-    AnswerSet, BatchExecutor, BatchRequest, BatchResponse, BuildError, ChunkTuner, ChunkTunerStats,
-    CqaOutcome, EngineBuilder, EngineSnapshot, FamilyKind, MemoStats, Mutation, MutationError,
-    MutationReport, Parallelism, PreparedQuery, RegistryStats, RepairContext, Semantics, Shard,
-    SnapshotLease, SnapshotRegistry, TableStats, MAX_THREADS,
+    AnswerDelta, AnswerSet, BatchExecutor, BatchRequest, BatchResponse, BuildError, ChangeScope,
+    ChunkTuner, ChunkTunerStats, CqaOutcome, EngineBuilder, EngineSnapshot, FamilyKind, MemoStats,
+    Mutation, MutationError, MutationReport, Parallelism, PreparedQuery, RegistryStats,
+    RepairContext, Semantics, Shard, SnapshotLease, SnapshotRegistry, SubscribeStats, Subscribed,
+    SubscriptionEvent, SubscriptionInfo, SubscriptionManager, TableStats, MAX_THREADS,
 };
 pub use pdqi_priority::Priority;
 pub use pdqi_query::{parse_formula, Evaluator, Formula};
