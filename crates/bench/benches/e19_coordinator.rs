@@ -1,0 +1,95 @@
+//! E19 — the scatter-gather coordinator: fan-out overhead versus shard count.
+//!
+//! The coordinator answers every request by scattering one `BATCH` per shard over
+//! loopback TCP and merging the per-shard folds, so its latency is the per-shard
+//! serving cost (memo-warm after the first iteration) plus the scatter/merge overhead.
+//! Measured at 1, 2 and 4 shards over the same logical relation:
+//!
+//! * `exec/N` — one `EXEC … G CERTAIN` through the coordinator (a 1-shard coordinator
+//!   isolates the pure coordination overhead against `e16_serving/loopback/exec`);
+//! * `batch8/N` — an 8-entry `BATCH` mixing open certain/possible folds and a closed
+//!   `PROFILE`-merged verdict, all answered at one generation vector per shard.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pdqi_core::{EngineBuilder, RouteSpec, SnapshotRegistry};
+use pdqi_datagen::{key_range_split, multi_chain_instance};
+use pdqi_relation::Value;
+use pdqi_server::{coordinate, serve, Client, CoordinatorConfig, ExecMode, ExecSpec, ServerConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e19_coordinator");
+    group
+        .sample_size(15)
+        .measurement_time(Duration::from_millis(700))
+        .warm_up_time(Duration::from_millis(200));
+
+    let (instance, fds) = multi_chain_instance(4, 6);
+    for shards in [1usize, 2, 4] {
+        let (parts, plan) =
+            key_range_split(&instance, &fds, "A", shards).expect("the chains split");
+        let mut shard_handles = Vec::new();
+        let mut shard_addrs = Vec::new();
+        for part in &parts {
+            let registry = SnapshotRegistry::shared();
+            registry.publish(
+                "R",
+                EngineBuilder::new()
+                    .relation(part.clone(), fds.clone())
+                    .build()
+                    .expect("shard part builds"),
+            );
+            let handle =
+                serve("127.0.0.1:0", registry, ServerConfig::default()).expect("shard binds");
+            shard_addrs.push(handle.local_addr().to_string());
+            shard_handles.push(handle);
+        }
+        let route = RouteSpec {
+            table: "R".to_string(),
+            key_column: "A".to_string(),
+            splits: plan.splits().iter().map(Value::to_string).collect(),
+        };
+        let coordinator =
+            coordinate("127.0.0.1:0", &shard_addrs, &[route], CoordinatorConfig::default())
+                .expect("coordinator binds");
+        let mut client = Client::connect(coordinator.local_addr()).expect("client connects");
+        client.prepare("open", "EXISTS b,c,d . R(x,b,c,d)").expect("open query prepares");
+        client.prepare("closed", "EXISTS a,b,c,d . R(a,b,c,d)").expect("closed query prepares");
+
+        group.bench_function(format!("exec/{shards}"), |b| {
+            b.iter(|| {
+                client.exec("open", pdqi_core::FamilyKind::Global, ExecMode::Certain).unwrap()
+            })
+        });
+
+        // Every batch entry fans out to every shard: 8 entries × N shards of folds,
+        // merged back into one response at one generation vector.
+        group.bench_function(format!("batch8/{shards}"), |b| {
+            b.iter(|| {
+                let specs: Vec<ExecSpec> = (0..8)
+                    .map(|index| ExecSpec {
+                        id: if index % 4 == 3 { "closed" } else { "open" }.to_string(),
+                        family: pdqi_core::FamilyKind::Global,
+                        mode: match index % 4 {
+                            1 => ExecMode::Possible,
+                            3 => ExecMode::Closed,
+                            _ => ExecMode::Certain,
+                        },
+                    })
+                    .collect();
+                client.batch(specs).unwrap()
+            })
+        });
+
+        client.shutdown().expect("coordinator answers the shutdown");
+        coordinator.wait();
+        for handle in shard_handles {
+            handle.shutdown();
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

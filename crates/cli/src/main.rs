@@ -6,16 +6,22 @@
 //! pdqi [--threads N] script1.sql script2.sql   # run the given scripts in order
 //! pdqi [--threads N]                           # read a script from standard input
 //! pdqi serve [--addr HOST:PORT] [--threads N] [--acceptors N] script.sql ...
+//! pdqi coord --shard HOST:PORT [--shard HOST:PORT ...] --route TABLE:KEY:SPLITS
 //! pdqi connect HOST:PORT                       # protocol lines on stdin → responses
 //! ```
 //!
 //! `serve` loads the scripts into a SQL session, publishes every table into a snapshot
 //! registry, and serves the wire protocol (PREPARE / EXEC / BATCH / INSERT / DELETE /
-//! MUTATE / SET-PRIORITY / SUBSCRIBE / UNSUBSCRIBE / STATS / SHUTDOWN) until a client
-//! sends `SHUTDOWN`. `connect` sends one request per input line (`BATCH` entries and
-//! mutation rows separated by `;`) and prints each response; after a `SUBSCRIBE`,
-//! pushed `DELTA`/`LAGGED` frames print as they arrive, and a client-side
-//! `WAIT <n> [timeout_ms]` line blocks until `n` of them arrived.
+//! MUTATE / SET-PRIORITY / SUBSCRIBE / UNSUBSCRIBE / DESCRIBE / STATS / SHUTDOWN)
+//! until a client sends `SHUTDOWN`. `coord` serves the same protocol as a
+//! scatter-gather front end over running shard servers: `--shard` names each shard
+//! endpoint in key-range order, `--route` gives a table's key column and the
+//! `shards-1` ascending split values that carve its key domain (e.g.
+//! `--route Emp:Id:10` for two shards splitting at `Id = 10`). `connect` sends one
+//! request per input line (`BATCH` entries and mutation rows separated by `;`) and
+//! prints each response; after a `SUBSCRIBE`, pushed `DELTA`/`LAGGED` frames print as
+//! they arrive, and a client-side `WAIT <n> [timeout_ms]` line blocks until `n` of
+//! them arrived.
 //!
 //! `--threads N` runs repair-quantified work with up to `N` worker threads
 //! (`--threads 0` or `--threads auto` uses one worker per hardware thread). Parallelism
@@ -28,6 +34,10 @@ fn usage_error(message: &str) -> ! {
     eprintln!("usage: pdqi [--threads N|auto] [script.sql ...]");
     eprintln!(
         "       pdqi serve [--addr HOST:PORT] [--threads N|auto] [--acceptors N] [script.sql ...]"
+    );
+    eprintln!(
+        "       pdqi coord [--addr HOST:PORT] [--acceptors N] --shard HOST:PORT ... \
+         --route TABLE:KEY:SPLITS ..."
     );
     eprintln!("       pdqi connect HOST:PORT");
     std::process::exit(2);
@@ -174,6 +184,68 @@ fn serve_main(args: &[String]) {
     println!("server stopped");
 }
 
+fn coord_main(args: &[String]) {
+    use std::io::Write as _;
+
+    let mut addr = "127.0.0.1:4998".to_string();
+    let mut acceptors = 1usize;
+    let mut shards: Vec<String> = Vec::new();
+    let mut routes: Vec<pdqi_core::RouteSpec> = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut flag_value = |name: &str| -> Option<String> {
+            if let Some(value) = arg.strip_prefix(name).and_then(|rest| rest.strip_prefix('=')) {
+                return Some(value.to_string());
+            }
+            if arg == name {
+                return Some(
+                    iter.next()
+                        .cloned()
+                        .unwrap_or_else(|| usage_error(&format!("{name} needs a value"))),
+                );
+            }
+            None
+        };
+        if let Some(value) = flag_value("--addr") {
+            addr = value;
+        } else if let Some(value) = flag_value("--acceptors") {
+            acceptors = value
+                .parse()
+                .unwrap_or_else(|_| usage_error(&format!("`{value}` is not an acceptor count")));
+        } else if let Some(value) = flag_value("--shard") {
+            shards.push(value);
+        } else if let Some(value) = flag_value("--route") {
+            match pdqi_core::RouteSpec::parse(&value) {
+                Ok(route) => routes.push(route),
+                Err(e) => usage_error(&format!("bad --route: {e}")),
+            }
+        } else {
+            usage_error(&format!("unknown argument `{arg}`"));
+        }
+    }
+    if shards.is_empty() {
+        usage_error("coord needs at least one --shard HOST:PORT");
+    }
+    let config = pdqi_server::CoordinatorConfig { acceptors };
+    let handle = match pdqi_server::coordinate(addr.as_str(), &shards, &routes, config) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("error: cannot start the coordinator: {e}");
+            std::process::exit(1);
+        }
+    };
+    // One parseable readiness line, flushed before blocking, mirroring `serve`'s.
+    println!(
+        "coordinating {} shard(s) [{}] at {}",
+        shards.len(),
+        shards.join(", "),
+        handle.local_addr()
+    );
+    let _ = std::io::stdout().flush();
+    handle.wait();
+    println!("coordinator stopped");
+}
+
 fn connect_main(args: &[String]) {
     let [addr] = args else {
         usage_error("connect takes exactly one HOST:PORT argument");
@@ -196,6 +268,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("serve") => serve_main(&args[1..]),
+        Some("coord") => coord_main(&args[1..]),
         Some("connect") => connect_main(&args[1..]),
         _ => script_main(&args),
     }

@@ -100,6 +100,7 @@ pub mod prepared;
 pub mod properties;
 pub mod registry;
 pub mod repair;
+pub mod shard_plan;
 pub mod snapshot;
 pub mod subscribe;
 
@@ -115,12 +116,15 @@ pub use optimality::{
     is_globally_optimal, is_locally_optimal, is_semi_globally_optimal, preferred_over,
 };
 pub use parallel::{BatchExecutor, BatchRequest, BatchResponse, Parallelism, MAX_THREADS};
-pub use prepared::{AnswerSet, ChunkTuner, ChunkTunerStats, PreparedQuery, Semantics};
+pub use prepared::{
+    AnswerSet, ChunkTuner, ChunkTunerStats, ClosedProfile, PreparedQuery, Semantics,
+};
 pub use registry::{
     ChangeScope, RegistryStats, ReviseError, SnapshotLease, SnapshotRegistry, SwapEvent,
     SwapObserver, TableStats,
 };
 pub use repair::RepairContext;
+pub use shard_plan::{RouteSpec, ShardPlan, ShardPlanError};
 pub use snapshot::{BuildError, EngineBuilder, EngineSnapshot, MemoStats, Shard};
 pub use subscribe::{
     AnswerDelta, SubscribeError, SubscribeStats, Subscribed, SubscriptionEvent, SubscriptionInfo,

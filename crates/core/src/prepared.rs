@@ -607,6 +607,57 @@ impl PreparedQuery {
         Some(ordered)
     }
 
+    /// The enumeration-order [`ClosedProfile`] of a closed query: the size of the
+    /// preferred-repair product plus the positions of the first `true` and first
+    /// `false` verdicts, in the exact order the sequential fold visits selections.
+    ///
+    /// The walk stops as soon as both positions are known (everything after the later
+    /// of the two can no longer change the profile), so the cost matches
+    /// [`PreparedQuery::consistent_answer`]'s undetermined early exit on undetermined
+    /// outcomes and the full enumeration otherwise. Results are not memoised — the
+    /// caller (the scatter-gather coordinator's `PROFILE` surface) asks each shard
+    /// once per merge.
+    pub fn closed_profile(
+        &self,
+        snapshot: &EngineSnapshot,
+        kind: FamilyKind,
+    ) -> Result<ClosedProfile, QueryError> {
+        if !self.free.is_empty() {
+            return Err(QueryError::FreeVariables { variables: self.free.clone() });
+        }
+        let relevant = self.relevant_relations(snapshot);
+        snapshot.warm_relation_components(kind, &relevant, Parallelism::sequential());
+        let Some(lists) = snapshot.selection_lists(kind, &relevant) else {
+            return Ok(ClosedProfile { total: 0, first_true: None, first_false: None });
+        };
+        let total = product_size(&lists);
+        let mut first_true = None;
+        let mut first_false = None;
+        if total > 0 {
+            let mut cursor = SelectionCursor::new(snapshot, &lists, 0);
+            let mut at = 0u128;
+            loop {
+                let verdict = {
+                    let evaluator = self.evaluator_for(snapshot, &relevant, cursor.selection());
+                    evaluator.eval_closed(&self.formula)?
+                };
+                match verdict {
+                    true => first_true = first_true.or(Some(at)),
+                    false => first_false = first_false.or(Some(at)),
+                }
+                if first_true.is_some() && first_false.is_some() {
+                    break;
+                }
+                at += 1;
+                if at >= total {
+                    break;
+                }
+                cursor.advance();
+            }
+        }
+        Ok(ClosedProfile { total, first_true, first_false })
+    }
+
     /// Certain answers as an eager, sorted row list (convenience over
     /// [`PreparedQuery::execute`]).
     pub fn certain_answers(
@@ -643,6 +694,61 @@ impl PreparedQuery {
             }
         }
         evaluator
+    }
+}
+
+/// The enumeration-order truth profile of a closed query over one snapshot: the size
+/// of the preferred-repair product and the positions of the first `true` and first
+/// `false` verdicts, counted in the exact order the sequential fold enumerates
+/// selections (components in ascending-minimum-tuple-id order, last component varying
+/// fastest).
+///
+/// A profile is what a scatter-gather coordinator needs to reproduce
+/// [`PreparedQuery::consistent_answer`] — verdict *and* the `examined` counter —
+/// bit-identically from per-shard state: when the global repair product is the
+/// shard-ordered cartesian product of per-shard products (no conflict component
+/// crosses shards) and a combination's verdict is the OR of per-shard verdicts
+/// (single-positive-atom existential queries), the global profile derives from
+/// per-shard profiles by mixed-radix weight arithmetic alone, and
+/// [`ClosedProfile::outcome`] turns it back into the sequential outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClosedProfile {
+    /// The size of the preferred-repair product (0 when some component has no
+    /// preferred repair at all).
+    pub total: u128,
+    /// The enumeration index of the first selection where the query holds.
+    pub first_true: Option<u128>,
+    /// The enumeration index of the first selection where the query fails.
+    pub first_false: Option<u128>,
+}
+
+impl ClosedProfile {
+    /// Replays the profile under the sequential early-exit rule, reproducing
+    /// [`PreparedQuery::consistent_answer`]'s outcome exactly: a determined outcome
+    /// examines the whole product, an undetermined one stops right after the later of
+    /// the first-`true` / first-`false` positions.
+    pub fn outcome(&self) -> CqaOutcome {
+        let clamp = |n: u128| usize::try_from(n).unwrap_or(usize::MAX);
+        if self.total == 0 {
+            return CqaOutcome { certainly_true: true, certainly_false: true, examined: 0 };
+        }
+        match (self.first_true, self.first_false) {
+            (Some(t), Some(f)) => CqaOutcome {
+                certainly_true: false,
+                certainly_false: false,
+                examined: clamp(t.max(f).saturating_add(1)),
+            },
+            (Some(_), None) => CqaOutcome {
+                certainly_true: true,
+                certainly_false: false,
+                examined: clamp(self.total),
+            },
+            (None, _) => CqaOutcome {
+                certainly_true: false,
+                certainly_false: true,
+                examined: clamp(self.total),
+            },
+        }
     }
 }
 
@@ -960,6 +1066,38 @@ mod tests {
         assert_eq!(query.source(), Some(Q1));
         // Fingerprints are stable across re-preparation.
         assert_eq!(query.fingerprint(), PreparedQuery::parse(Q1).unwrap().fingerprint());
+    }
+
+    #[test]
+    fn closed_profiles_replay_to_the_consistent_answer() {
+        let ctx = example1();
+        let snapshot = snapshot_of(&ctx);
+        // A conjunctive closed query, a ground query, and family-sensitive variants.
+        let queries = [
+            Q1,
+            "Mgr('Mary','R&D',40,3)",
+            "EXISTS n,s,r . Mgr(n,'R&D',s,r)",
+            "EXISTS d,s,r . Mgr('Mary',d,s,r) AND s > 25",
+        ];
+        for text in queries {
+            let query = PreparedQuery::parse(text).unwrap();
+            for kind in FamilyKind::ALL {
+                let profile = query.closed_profile(&snapshot, kind).unwrap();
+                let replayed = profile.outcome();
+                let direct = query.consistent_answer(&snapshot, kind).unwrap();
+                assert_eq!(replayed.certainly_true, direct.certainly_true, "{text} {kind:?}");
+                assert_eq!(replayed.certainly_false, direct.certainly_false, "{text} {kind:?}");
+                // Ground queries under Rep answer through the polynomial fast path
+                // (examined == 0); every other combination walks the same enumeration
+                // the profile records, so the replayed counter must match exactly.
+                if direct.examined != 0 {
+                    assert_eq!(replayed.examined, direct.examined, "{text} {kind:?}");
+                }
+            }
+        }
+        // An open query has no closed profile.
+        let open = PreparedQuery::parse("EXISTS d,s,r . Mgr(x,d,s,r)").unwrap();
+        assert!(open.closed_profile(&snapshot, FamilyKind::Rep).is_err());
     }
 
     #[test]

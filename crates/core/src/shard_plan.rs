@@ -1,0 +1,257 @@
+//! Key-range shard plans: mapping one logical relation onto N shard endpoints.
+//!
+//! A [`ShardPlan`] describes how a relation's rows are partitioned across shards by a
+//! **key column**: `n - 1` strictly ascending split values carve the key domain into
+//! `n` contiguous ranges, and [`ShardPlan::shard_of`] routes a key to the shard whose
+//! range contains it (shard `i` owns keys in `[splits[i-1], splits[i])`, with the
+//! first and last ranges open-ended). The scatter-gather coordinator uses the plan to
+//! route mutations to the owning shard; query fan-out needs no plan at all because
+//! certain/possible folds merge associatively across shards.
+//!
+//! The soundness contract the coordinator relies on — and the datagen splitter
+//! enforces — is that **no conflict edge crosses a shard boundary**: tuples that
+//! violate a functional dependency together agree on the FD's left-hand side, so
+//! splitting between distinct key values of an FD-key column keeps every conflict
+//! (and hence every conflict-graph component and every repair choice) local to one
+//! shard. Under that invariant the global repair product factorises as the cartesian
+//! product of per-shard products, in shard order.
+//!
+//! [`RouteSpec`] is the untyped CLI surface (`Mgr:Name:John,Paula` — table, key
+//! column *name*, comma-separated split values): the coordinator resolves the column
+//! name and value type against the served schema at startup and types the splits into
+//! a [`ShardPlan`].
+
+use std::fmt;
+
+use pdqi_relation::{Value, ValueType};
+
+/// Errors building or parsing a shard plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardPlanError {
+    /// The split values were not strictly ascending.
+    UnorderedSplits {
+        /// The offending adjacent pair, rendered.
+        pair: (String, String),
+    },
+    /// A route description did not have the `table:key:split,…` shape.
+    Malformed {
+        /// The offending text.
+        text: String,
+    },
+    /// A split value could not be typed against the key column's type.
+    BadSplit {
+        /// The raw split text.
+        text: String,
+        /// The key column's type.
+        ty: ValueType,
+    },
+}
+
+impl fmt::Display for ShardPlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShardPlanError::UnorderedSplits { pair } => write!(
+                f,
+                "split values must be strictly ascending (`{}` is not below `{}`)",
+                pair.0, pair.1
+            ),
+            ShardPlanError::Malformed { text } => {
+                write!(f, "`{text}` is not a route (use `<table>:<key column>:<split>,<split>,…`)")
+            }
+            ShardPlanError::BadSplit { text, ty } => {
+                write!(f, "split value `{text}` does not have the key column's type {ty:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ShardPlanError {}
+
+/// A key-range partition of one relation over `splits.len() + 1` shards.
+///
+/// ```
+/// use pdqi_core::ShardPlan;
+/// use pdqi_relation::Value;
+///
+/// let plan = ShardPlan::new("R", 0, vec![Value::int(10), Value::int(20)]).unwrap();
+/// assert_eq!(plan.shard_count(), 3);
+/// assert_eq!(plan.shard_of(&Value::int(3)), 0);
+/// assert_eq!(plan.shard_of(&Value::int(10)), 1); // a split value starts the next range
+/// assert_eq!(plan.shard_of(&Value::int(25)), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardPlan {
+    table: String,
+    key_column: usize,
+    splits: Vec<Value>,
+}
+
+impl ShardPlan {
+    /// Builds a plan from typed split values, which must be strictly ascending.
+    pub fn new(
+        table: impl Into<String>,
+        key_column: usize,
+        splits: Vec<Value>,
+    ) -> Result<ShardPlan, ShardPlanError> {
+        for pair in splits.windows(2) {
+            if pair[0] >= pair[1] {
+                return Err(ShardPlanError::UnorderedSplits {
+                    pair: (pair[0].to_string(), pair[1].to_string()),
+                });
+            }
+        }
+        Ok(ShardPlan { table: table.into(), key_column, splits })
+    }
+
+    /// The partitioned relation's name.
+    pub fn table(&self) -> &str {
+        &self.table
+    }
+
+    /// The index of the key column within the relation's schema.
+    pub fn key_column(&self) -> usize {
+        self.key_column
+    }
+
+    /// The split values: `shard_count() - 1` strictly ascending keys, each the first
+    /// key of the next shard's range.
+    pub fn splits(&self) -> &[Value] {
+        &self.splits
+    }
+
+    /// The number of shards the plan distributes over.
+    pub fn shard_count(&self) -> usize {
+        self.splits.len() + 1
+    }
+
+    /// The shard owning `key`: the number of split values at or below it.
+    pub fn shard_of(&self, key: &Value) -> usize {
+        self.splits.partition_point(|split| split <= key)
+    }
+}
+
+/// An untyped route description: what `pdqi coord --route Mgr:Name:John,Paula`
+/// carries before the served schema is known.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RouteSpec {
+    /// The partitioned relation's name.
+    pub table: String,
+    /// The key column's **name** (resolved to an index against the schema).
+    pub key_column: String,
+    /// The raw split values, typed once the key column's type is known.
+    pub splits: Vec<String>,
+}
+
+impl RouteSpec {
+    /// Parses `table:key_column:split,split,…` (an empty split list — a single-shard
+    /// route — is written with a trailing colon: `Mgr:Name:`).
+    pub fn parse(text: &str) -> Result<RouteSpec, ShardPlanError> {
+        let mut parts = text.splitn(3, ':');
+        let (Some(table), Some(key_column), Some(split_text)) =
+            (parts.next(), parts.next(), parts.next())
+        else {
+            return Err(ShardPlanError::Malformed { text: text.to_string() });
+        };
+        if table.is_empty() || key_column.is_empty() {
+            return Err(ShardPlanError::Malformed { text: text.to_string() });
+        }
+        let splits = if split_text.is_empty() {
+            Vec::new()
+        } else {
+            split_text.split(',').map(|s| s.trim().to_string()).collect()
+        };
+        Ok(RouteSpec { table: table.to_string(), key_column: key_column.to_string(), splits })
+    }
+
+    /// Types the raw splits against the key column's resolved index and type.
+    pub fn typed(&self, key_column: usize, ty: ValueType) -> Result<ShardPlan, ShardPlanError> {
+        let splits = self
+            .splits
+            .iter()
+            .map(|text| type_value(text, ty))
+            .collect::<Result<Vec<Value>, _>>()?;
+        ShardPlan::new(self.table.clone(), key_column, splits)
+    }
+}
+
+impl fmt::Display for RouteSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}:{}", self.table, self.key_column, self.splits.join(","))
+    }
+}
+
+/// Types one raw field against a column type — the same convention the wire protocol
+/// uses for mutation rows.
+pub fn type_value(text: &str, ty: ValueType) -> Result<Value, ShardPlanError> {
+    match ty {
+        ValueType::Int => text
+            .parse::<i64>()
+            .map(Value::int)
+            .map_err(|_| ShardPlanError::BadSplit { text: text.to_string(), ty }),
+        ValueType::Name => Ok(Value::name(text)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_of_routes_by_key_range() {
+        let plan = ShardPlan::new("R", 0, vec![Value::int(10), Value::int(20)]).unwrap();
+        assert_eq!(plan.shard_count(), 3);
+        for (key, shard) in [(i64::MIN, 0), (9, 0), (10, 1), (19, 1), (20, 2), (i64::MAX, 2)] {
+            assert_eq!(plan.shard_of(&Value::int(key)), shard, "key {key}");
+        }
+        let single = ShardPlan::new("R", 0, Vec::new()).unwrap();
+        assert_eq!(single.shard_count(), 1);
+        assert_eq!(single.shard_of(&Value::int(7)), 0);
+    }
+
+    #[test]
+    fn name_keys_route_lexicographically() {
+        let plan = ShardPlan::new("Mgr", 0, vec![Value::name("M")]).unwrap();
+        assert_eq!(plan.shard_of(&Value::name("John")), 0);
+        assert_eq!(plan.shard_of(&Value::name("M")), 1);
+        assert_eq!(plan.shard_of(&Value::name("Mary")), 1);
+    }
+
+    #[test]
+    fn unordered_splits_are_rejected() {
+        assert!(matches!(
+            ShardPlan::new("R", 0, vec![Value::int(20), Value::int(10)]),
+            Err(ShardPlanError::UnorderedSplits { .. })
+        ));
+        assert!(matches!(
+            ShardPlan::new("R", 0, vec![Value::int(10), Value::int(10)]),
+            Err(ShardPlanError::UnorderedSplits { .. })
+        ));
+    }
+
+    #[test]
+    fn routes_parse_and_type() {
+        let route = RouteSpec::parse("Mgr:Name:John,Paula").unwrap();
+        assert_eq!(route.table, "Mgr");
+        assert_eq!(route.key_column, "Name");
+        assert_eq!(route.splits, ["John", "Paula"]);
+        assert_eq!(route.to_string(), "Mgr:Name:John,Paula");
+
+        let plan = route.typed(0, ValueType::Name).unwrap();
+        assert_eq!(plan.shard_count(), 3);
+        assert_eq!(plan.shard_of(&Value::name("Alice")), 0);
+        assert_eq!(plan.shard_of(&Value::name("Zoe")), 2);
+
+        let numeric = RouteSpec::parse("R:A:10,20").unwrap().typed(0, ValueType::Int).unwrap();
+        assert_eq!(numeric.shard_of(&Value::int(15)), 1);
+        // Numeric keys route numerically, not lexicographically.
+        let wide = RouteSpec::parse("R:A:100").unwrap().typed(0, ValueType::Int).unwrap();
+        assert_eq!(wide.shard_of(&Value::int(99)), 0);
+
+        let single = RouteSpec::parse("R:A:").unwrap();
+        assert!(single.splits.is_empty());
+        assert!(RouteSpec::parse("R").is_err());
+        assert!(RouteSpec::parse("R:A").is_err());
+        assert!(RouteSpec::parse(":A:1").is_err());
+        assert!(RouteSpec::parse("R:A:x").unwrap().typed(0, ValueType::Int).is_err());
+    }
+}

@@ -14,6 +14,9 @@
 //! * [`queries`] — ground and conjunctive query workloads over the generated instances,
 //! * [`sat_instances`] — random 3-CNF formulas feeding the hardness reduction of
 //!   [`pdqi_solve::reductions`],
+//! * [`shard`] — key-range splitting of one instance into per-shard blocks whose
+//!   boundaries no conflict edge crosses, for the scatter-gather coordinator
+//!   experiments,
 //! * [`trace`] — interleaved query/revision streams for the swap-under-load serving
 //!   experiments (snapshot registry + network front end), and interleaved
 //!   insert/delete/query streams for the incremental delta-maintenance experiments.
@@ -28,6 +31,7 @@ pub mod integration;
 pub mod priorities;
 pub mod queries;
 pub mod sat_instances;
+pub mod shard;
 pub mod synthetic;
 pub mod trace;
 
@@ -35,6 +39,7 @@ pub use integration::IntegrationScenario;
 pub use priorities::{random_priority, random_total_priority};
 pub use queries::{random_conjunctive_query, random_ground_query};
 pub use sat_instances::random_3cnf;
+pub use shard::{key_range_split, ShardSplitError};
 pub use synthetic::{
     chain_instance, duplicate_instance, example4_instance, multi_chain_instance,
     multi_chain_relations, random_conflict_instance, skewed_chain_instance,

@@ -1,0 +1,248 @@
+//! Key-range splitting for the scatter-gather coordinator experiments.
+//!
+//! [`key_range_split`] carves one relation instance into `n` contiguous row blocks such
+//! that the concatenation of the blocks is the original instance **and no conflict edge
+//! crosses a block boundary**. That second property is the soundness contract of
+//! [`pdqi_core::ShardPlan`]: with every conflict local to one shard, the global repair
+//! product factorises as the cartesian product of per-shard products, which is exactly
+//! what the coordinator's merge rules assume.
+//!
+//! The splitter only places boundaries where the key column strictly increases (so the
+//! resulting [`ShardPlan`] routes every existing row back to the block that holds it)
+//! and where no conflict edge of any FD spans the cut. Among the admissible cut points
+//! it picks the ones nearest to the equal-row-count targets, so shards come out as
+//! balanced as the conflict structure allows.
+
+use pdqi_constraints::conflict::fd_conflict_edges;
+use pdqi_constraints::FdSet;
+use pdqi_core::ShardPlan;
+use pdqi_relation::{RelationInstance, Value};
+use std::fmt;
+use std::sync::Arc;
+
+/// Why an instance could not be split into the requested number of shards.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardSplitError {
+    /// The requested shard count was zero.
+    ZeroShards,
+    /// The named key column does not exist in the instance's schema.
+    UnknownKeyColumn {
+        /// The requested column name.
+        name: String,
+    },
+    /// The key column's values are not non-decreasing in row order, so contiguous row
+    /// blocks would not be key ranges.
+    UnsortedKey {
+        /// The first out-of-order row index.
+        row: usize,
+    },
+    /// Fewer admissible cut points exist than the split needs: every candidate boundary
+    /// either sits inside a run of equal keys or is crossed by a conflict edge.
+    NotEnoughBoundaries {
+        /// How many admissible cut points the instance has.
+        admissible: usize,
+        /// How many the requested shard count needs.
+        needed: usize,
+    },
+}
+
+impl fmt::Display for ShardSplitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShardSplitError::ZeroShards => write!(f, "cannot split into zero shards"),
+            ShardSplitError::UnknownKeyColumn { name } => {
+                write!(f, "the schema has no column named `{name}`")
+            }
+            ShardSplitError::UnsortedKey { row } => write!(
+                f,
+                "key column must be non-decreasing in row order (row {row} breaks the order)"
+            ),
+            ShardSplitError::NotEnoughBoundaries { admissible, needed } => write!(
+                f,
+                "only {admissible} admissible cut point(s) exist but the split needs {needed} \
+                 (boundaries must separate distinct keys and cross no conflict edge)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ShardSplitError {}
+
+/// Splits `instance` into `shards` contiguous row blocks by the `key_column`, returning
+/// the per-shard instances (in key-range order, sharing the original schema) and the
+/// [`ShardPlan`] that routes keys back to them.
+///
+/// Requirements checked at runtime:
+///
+/// * the key column exists and its values are **non-decreasing** in row order;
+/// * at least `shards - 1` admissible cut points exist — a cut point is a row index
+///   where the key strictly increases and which no conflict edge (of any FD in `fds`)
+///   spans.
+///
+/// Boundaries are chosen greedily nearest to the equal-row-count targets
+/// `len * k / shards`, so the blocks are as balanced as the conflict structure allows.
+/// The returned plan's split values are the first key of each block after the first.
+pub fn key_range_split(
+    instance: &RelationInstance,
+    fds: &FdSet,
+    key_column: &str,
+    shards: usize,
+) -> Result<(Vec<RelationInstance>, ShardPlan), ShardSplitError> {
+    if shards == 0 {
+        return Err(ShardSplitError::ZeroShards);
+    }
+    let schema = instance.schema();
+    let key_index = schema
+        .attr_id(key_column)
+        .map_err(|_| ShardSplitError::UnknownKeyColumn { name: key_column.to_string() })?
+        .index();
+
+    // Rows in id order; contiguous blocks of this sequence are what shards serve.
+    let rows: Vec<Vec<Value>> = instance.iter().map(|(_, tuple)| tuple.values().to_vec()).collect();
+    let keys: Vec<&Value> = rows.iter().map(|row| &row[key_index]).collect();
+    for (i, pair) in keys.windows(2).enumerate() {
+        if pair[0] > pair[1] {
+            return Err(ShardSplitError::UnsortedKey { row: i + 1 });
+        }
+    }
+
+    // A cut at position p (splitting rows [0, p) from [p, len)) is admissible iff the
+    // key strictly increases at p — so the ShardPlan routes by range — and no conflict
+    // edge spans it — so repair choices stay local to one block.
+    let mut crossing = vec![0i64; rows.len() + 1];
+    for fd in fds.fds() {
+        for (a, b) in fd_conflict_edges(instance, fd) {
+            // The edge (a, b) with a < b blocks every cut in (a, b]: mark the range
+            // in a difference array, prefix-summed below.
+            crossing[a.index() + 1] += 1;
+            crossing[b.index() + 1] -= 1;
+        }
+    }
+    let mut spanned = 0i64;
+    let admissible: Vec<usize> = (1..rows.len())
+        .filter(|&p| {
+            spanned += crossing[p];
+            spanned == 0 && keys[p - 1] < keys[p]
+        })
+        .collect();
+
+    let needed = shards - 1;
+    if admissible.len() < needed {
+        return Err(ShardSplitError::NotEnoughBoundaries { admissible: admissible.len(), needed });
+    }
+
+    // Greedy nearest-to-target selection over the sorted admissible list. For target k
+    // the usable window is [prev + 1, len - remaining], which always leaves room for
+    // the remaining targets, so feasibility is preserved.
+    let mut chosen: Vec<usize> = Vec::with_capacity(needed);
+    let mut prev_index: Option<usize> = None;
+    for k in 0..needed {
+        let target = rows.len() * (k + 1) / shards;
+        let low = prev_index.map_or(0, |i| i + 1);
+        let high = admissible.len() - (needed - k - 1);
+        let (best_index, _) = admissible[low..high]
+            .iter()
+            .enumerate()
+            .map(|(offset, &cut)| (low + offset, cut.abs_diff(target)))
+            .min_by_key(|&(index, distance)| (distance, index))
+            .expect("the feasibility window is non-empty");
+        chosen.push(admissible[best_index]);
+        prev_index = Some(best_index);
+    }
+
+    let mut parts = Vec::with_capacity(shards);
+    let mut start = 0usize;
+    for &cut in chosen.iter().chain(std::iter::once(&rows.len())) {
+        let block = rows[start..cut].to_vec();
+        let part = RelationInstance::from_rows(Arc::clone(schema), block)
+            .expect("rows of a valid instance re-validate");
+        parts.push(part);
+        start = cut;
+    }
+
+    let splits: Vec<Value> = chosen.iter().map(|&cut| rows[cut][key_index].clone()).collect();
+    let plan = ShardPlan::new(schema.name(), key_index, splits)
+        .expect("split keys strictly increase by construction");
+    Ok((parts, plan))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::multi_chain_instance;
+
+    fn concat_rows(parts: &[RelationInstance]) -> Vec<Vec<Value>> {
+        parts
+            .iter()
+            .flat_map(|part| part.iter().map(|(_, tuple)| tuple.values().to_vec()))
+            .collect()
+    }
+
+    #[test]
+    fn parts_concatenate_back_to_the_original() {
+        let (instance, fds) = multi_chain_instance(6, 4);
+        for shards in [1usize, 2, 3, 4] {
+            let (parts, plan) = key_range_split(&instance, &fds, "A", shards).unwrap();
+            assert_eq!(parts.len(), shards, "shards {shards}");
+            assert_eq!(plan.shard_count(), shards);
+            let original: Vec<Vec<Value>> =
+                instance.iter().map(|(_, tuple)| tuple.values().to_vec()).collect();
+            assert_eq!(concat_rows(&parts), original, "shards {shards}");
+        }
+    }
+
+    #[test]
+    fn no_conflict_edge_crosses_a_boundary_and_the_plan_routes_rows_home() {
+        let (instance, fds) = multi_chain_instance(5, 6);
+        let (parts, plan) = key_range_split(&instance, &fds, "A", 3).unwrap();
+
+        // Every row routes (by its key) to the part that physically holds it.
+        for (shard, part) in parts.iter().enumerate() {
+            for (_, tuple) in part.iter() {
+                assert_eq!(plan.shard_of(&tuple.values()[plan.key_column()]), shard);
+            }
+        }
+
+        // No conflict edge of any FD crosses a block boundary: every edge's endpoints
+        // route to the same shard.
+        for fd in fds.fds() {
+            for (a, b) in fd_conflict_edges(&instance, fd) {
+                let key_a = &instance.tuple_unchecked(a).values()[plan.key_column()];
+                let key_b = &instance.tuple_unchecked(b).values()[plan.key_column()];
+                assert_eq!(plan.shard_of(key_a), plan.shard_of(key_b), "edge {a:?}-{b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn blocks_are_roughly_balanced() {
+        let (instance, fds) = multi_chain_instance(8, 4);
+        let (parts, _) = key_range_split(&instance, &fds, "A", 4).unwrap();
+        // 8 chains of 4 rows over 4 shards: the equal-count targets all fall on chain
+        // boundaries, so the greedy split lands exactly on 2 chains per shard.
+        assert_eq!(parts.iter().map(RelationInstance::len).collect::<Vec<_>>(), [8, 8, 8, 8]);
+    }
+
+    #[test]
+    fn impossible_splits_are_reported() {
+        let (instance, fds) = multi_chain_instance(2, 4);
+        // Only one chain boundary exists, so three shards cannot be cut.
+        assert!(matches!(
+            key_range_split(&instance, &fds, "A", 3),
+            Err(ShardSplitError::NotEnoughBoundaries { needed: 2, .. })
+        ));
+        assert!(matches!(
+            key_range_split(&instance, &fds, "A", 0),
+            Err(ShardSplitError::ZeroShards)
+        ));
+        assert!(matches!(
+            key_range_split(&instance, &fds, "Z", 2),
+            Err(ShardSplitError::UnknownKeyColumn { .. })
+        ));
+        // The B column alternates 0/1 — not non-decreasing.
+        assert!(matches!(
+            key_range_split(&instance, &fds, "B", 2),
+            Err(ShardSplitError::UnsortedKey { .. })
+        ));
+    }
+}

@@ -11,6 +11,7 @@ use std::net::{TcpStream, ToSocketAddrs};
 use std::time::{Duration, Instant};
 
 use pdqi_core::{FamilyKind, Semantics};
+use pdqi_relation::ValueType;
 
 use crate::protocol::{
     read_frame, write_frame, ExecMode, ExecSpec, FrameError, Request, MAX_FRAME_BYTES,
@@ -71,8 +72,31 @@ pub enum ExecOutcome {
         /// Preferred repairs the server examined (0 for the polynomial fast path).
         examined: u64,
     },
+    /// Closed-query profile: the repair-product size and the first true/false
+    /// positions within it (`PROFILE` mode — the scatter-gather merge input).
+    Profile {
+        /// The size of the product of per-component preferred repairs.
+        total: u128,
+        /// Position of the first repair satisfying the query, if any.
+        first_true: Option<u128>,
+        /// Position of the first repair falsifying the query, if any.
+        first_false: Option<u128>,
+    },
     /// This batch entry failed (other entries may still have succeeded).
     Error(String),
+}
+
+/// The server's answer to a `DESCRIBE`: the served table's shape at one generation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableDescription {
+    /// The described table.
+    pub table: String,
+    /// Its current row count.
+    pub rows: usize,
+    /// The snapshot generation the description was taken at.
+    pub generation: u64,
+    /// Column names and types, in schema order.
+    pub columns: Vec<(String, ValueType)>,
 }
 
 /// One pushed subscription frame, parsed.
@@ -410,6 +434,47 @@ impl Client {
         parse_tagged(response.lines().next().unwrap_or(""), "gen")
     }
 
+    /// Fetches the closed-query profile of a prepared query: the repair-product size
+    /// and the first true/false positions — what a coordinator merges across shards.
+    pub fn profile(
+        &mut self,
+        id: &str,
+        family: FamilyKind,
+    ) -> Result<(ExecOutcome, u64), ClientError> {
+        self.exec(id, family, ExecMode::Profile)
+    }
+
+    /// Describes a served table: row count, generation, column names and types.
+    pub fn describe(&mut self, table: &str) -> Result<TableDescription, ClientError> {
+        let response = self.request(&Request::Describe { table: table.to_string() })?;
+        let mut lines = response.split('\n');
+        let head = lines.next().unwrap_or("");
+        // `OK describe <table> rows=<n> gen=<g>`: the table is the token after the verb.
+        let table = head
+            .split_whitespace()
+            .skip_while(|token| *token != "describe")
+            .nth(1)
+            .ok_or_else(|| ClientError::Malformed(format!("no table in `{head}`")))?
+            .to_string();
+        let rows = usize::try_from(parse_tagged(head, "rows")?).unwrap_or(usize::MAX);
+        let generation = parse_tagged(head, "gen")?;
+        let mut columns = Vec::new();
+        for line in lines {
+            let Some((name, ty)) = line.split_once('\t') else {
+                return Err(ClientError::Malformed(format!("bad column line `{line}`")));
+            };
+            let ty = match ty {
+                "INT" => ValueType::Int,
+                "NAME" => ValueType::Name,
+                other => {
+                    return Err(ClientError::Malformed(format!("unknown column type `{other}`")))
+                }
+            };
+            columns.push((crate::protocol::unescape_field(name), ty));
+        }
+        Ok(TableDescription { table, rows, generation, columns })
+    }
+
     /// The server's raw `STATS` response.
     pub fn stats(&mut self) -> Result<String, ClientError> {
         self.request(&Request::Stats)
@@ -556,6 +621,31 @@ fn parse_block<'a>(
                 .to_string();
             let examined = parse_tagged(head, "examined")?;
             Ok(ExecOutcome::Outcome { verdict, examined })
+        }
+        Some("profile") => {
+            let position = |tag: &str| -> Result<Option<u128>, ClientError> {
+                let prefix = format!("{tag}=");
+                let token = head
+                    .split_whitespace()
+                    .find_map(|token| token.strip_prefix(&prefix))
+                    .ok_or_else(|| {
+                    ClientError::Malformed(format!("no `{tag}=` in `{head}`"))
+                })?;
+                if token == "none" {
+                    return Ok(None);
+                }
+                token
+                    .parse::<u128>()
+                    .map(Some)
+                    .map_err(|_| ClientError::Malformed(format!("bad `{tag}=` in `{head}`")))
+            };
+            let total = position("total")?
+                .ok_or_else(|| ClientError::Malformed(format!("no total in `{head}`")))?;
+            Ok(ExecOutcome::Profile {
+                total,
+                first_true: position("first_true")?,
+                first_false: position("first_false")?,
+            })
         }
         Some("error") => {
             let message = head.strip_prefix("error ").unwrap_or(head).to_string();

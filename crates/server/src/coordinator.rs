@@ -1,0 +1,979 @@
+//! The scatter-gather coordinator: one protocol front end over N key-range shards.
+//!
+//! A coordinator is a *serve-compatible* process: it listens on the same
+//! length-prefixed frame protocol `pdqi serve` speaks, so `pdqi connect` (and
+//! [`Client`]) work against it unmodified — but behind the front end every request
+//! fans out to the shard endpoints of a [`ShardPlan`] and the per-shard answers merge
+//! back into one response:
+//!
+//! ```text
+//!                        ┌────────────┐      ┌──────────────────┐
+//!  pdqi connect ───────► │ pdqi coord │ ───► │ pdqi serve shard0 │  keys < split
+//!     (frames)           │  scatter/  │ ───► │ pdqi serve shard1 │  keys ≥ split
+//!                        │   gather   │      └──────────────────┘
+//!                        └────────────┘   one Client per shard, PREPARE on all,
+//!                                         EXEC/BATCH fan-out, mutations routed
+//! ```
+//!
+//! # Merge rules
+//!
+//! Soundness rests on the routing invariant of [`pdqi_core::shard_plan`]: no conflict
+//! edge crosses a shard boundary, so the mirror instance's repair product factorises
+//! as the shard-ordered cartesian product of per-shard repair products. For queries
+//! with a **single positive relation atom** (what the coordinator's `PREPARE`
+//! admits), the folds then merge per shard:
+//!
+//! | request            | merge                                                      |
+//! |--------------------|------------------------------------------------------------|
+//! | `EXEC … CERTAIN`   | union of per-shard certain rows                            |
+//! | `EXEC … POSSIBLE`  | union of per-shard possible rows                           |
+//! | `EXEC … CLOSED`    | certainly-true = **or**, certainly-false = **and**; the    |
+//! |                    | `examined` counter replays from per-shard `PROFILE`s       |
+//! | `INSERT`/`DELETE`  | routed to the owning shard by key range, counts summed     |
+//! | `SET-PRIORITY`     | global tuple ids translated by per-shard row offsets       |
+//!
+//! *Certain is a union, not an intersection*: a row certain on one shard appears in
+//! every combination of the repair product (the other shards' repairs cannot remove
+//! it), and a row certain on no shard has a refuting combination assembled from one
+//! refuting repair per shard. The closed `examined` counter is exact, not just the
+//! verdict: shard `s`'s positions scale by the suffix weight `W_s = Π_{s'>s}
+//! total_{s'}` of the row-major product order, the global first-true is the minimum
+//! of `ft_s·W_s`, the global first-false the sum of `ff_s·W_s` (the lexicographically
+//! least all-false combination), and [`ClosedProfile::outcome`] replays the verdict
+//! and stop position from those — bit-identical to single-snapshot execution.
+//!
+//! Responses carry both `gen=<sum>` (so [`Client`]'s tag parser keeps working) and a
+//! per-shard generation vector `gens=<g0>,<g1>,…` a client can pin a consistent cut
+//! with. Subscriptions are not proxied (`SUBSCRIBE` answers `ERR`): push channels
+//! belong to the shard that owns the data — connect to it directly. `SHUTDOWN` stops
+//! the coordinator only; shards are independent processes with their own lifecycle.
+
+use std::collections::{BTreeSet, HashMap};
+use std::io::{self, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::RwLock;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use pdqi_core::shard_plan::type_value;
+use pdqi_core::{ClosedProfile, CqaOutcome, RouteSpec, ShardPlan};
+use pdqi_query::ast::{Formula, Term};
+use pdqi_query::classify::{classify, QueryClass};
+use pdqi_query::parse_formula;
+use pdqi_relation::{Value, ValueType};
+
+use crate::client::{Client, ClientError, ExecOutcome, TableDescription};
+use crate::protocol::{escape_field, write_frame, ExecMode, ExecSpec, FrameError, Request};
+use crate::server::read_frame_patient;
+
+/// Cap on the coordinator's prepared-query map, mirroring the server's plan cache:
+/// ids are client-chosen, so overflow clears wholesale.
+const PREPARED_CACHE_LIMIT: usize = 4096;
+
+/// How often blocked accept loops back off after persistent failures.
+const ACCEPT_BACKOFF: std::time::Duration = std::time::Duration::from_millis(50);
+
+/// Coordinator tuning knobs.
+#[derive(Debug, Clone)]
+pub struct CoordinatorConfig {
+    /// Accept-loop threads sharing the listener (clamped to at least 1).
+    pub acceptors: usize,
+}
+
+impl Default for CoordinatorConfig {
+    fn default() -> Self {
+        CoordinatorConfig { acceptors: 1 }
+    }
+}
+
+/// One shard endpoint: its address and a lazily-(re)connected [`Client`].
+struct ShardSlot {
+    index: usize,
+    addr: String,
+    client: Mutex<Option<Client>>,
+}
+
+impl ShardSlot {
+    /// Runs `f` on this shard's connection, reconnecting once on a transport error
+    /// (the protocol's requests are idempotent: set-semantics mutations, replacing
+    /// priorities, re-`PREPARE`s). Errors name the shard so a one-shard-down failure
+    /// is diagnosable from the merged `ERR` alone.
+    fn call<T>(&self, f: impl Fn(&mut Client) -> Result<T, ClientError>) -> Result<T, String> {
+        let mut guard = self.client.lock().expect("shard client lock");
+        for attempt in 0..2 {
+            if guard.is_none() {
+                match Client::connect(&*self.addr) {
+                    Ok(client) => *guard = Some(client),
+                    Err(e) => return Err(self.unreachable(&e.to_string())),
+                }
+            }
+            let client = guard.as_mut().expect("shard connection");
+            match f(client) {
+                Ok(value) => return Ok(value),
+                Err(ClientError::Frame(e)) => {
+                    // The connection is gone or desynchronised: drop it and retry
+                    // once on a fresh one before reporting the shard unreachable.
+                    *guard = None;
+                    if attempt == 1 {
+                        return Err(self.unreachable(&e.to_string()));
+                    }
+                }
+                Err(ClientError::Server(message)) => {
+                    return Err(format!("shard {} ({}): {message}", self.index, self.addr))
+                }
+                Err(e) => return Err(format!("shard {} ({}): {e}", self.index, self.addr)),
+            }
+        }
+        unreachable!("the retry loop returns on every path")
+    }
+
+    fn unreachable(&self, detail: &str) -> String {
+        format!("shard {} ({}) unreachable: {detail}", self.index, self.addr)
+    }
+}
+
+/// One routed table: its typed key-range plan and the schema every shard agreed on.
+struct TableRoute {
+    plan: ShardPlan,
+    columns: Vec<(String, ValueType)>,
+}
+
+/// What the coordinator remembers about a `PREPARE`d query.
+struct CoordPrepared {
+    table: String,
+    /// The free variables in answer-column order (lexicographic, like the engine's).
+    free: Vec<String>,
+    /// The value type of each answer column, resolved through the relation atom —
+    /// merged rows re-type wire fields so numeric columns sort numerically.
+    free_types: Vec<ValueType>,
+    /// Ground class: closed answers under the plain-repair family take the
+    /// polynomial fast path (`examined == 0`) on shards and mirror alike, so the
+    /// coordinator merges `CLOSED` verdicts directly instead of profiling.
+    ground: bool,
+}
+
+/// State shared by every coordinator connection handler.
+struct CoordinatorState {
+    shards: Vec<ShardSlot>,
+    routes: HashMap<String, TableRoute>,
+    prepared: RwLock<HashMap<String, Arc<CoordPrepared>>>,
+    /// Last generation observed per shard (monotone via `fetch_max`): the `gens=`
+    /// vector of every response.
+    gens: Vec<AtomicU64>,
+    acceptors: usize,
+    shutdown: AtomicBool,
+    requests: AtomicU64,
+    protocol_errors: AtomicU64,
+}
+
+impl CoordinatorState {
+    fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::Relaxed)
+    }
+
+    fn note_gen(&self, shard: usize, generation: u64) {
+        self.gens[shard].fetch_max(generation, Ordering::Relaxed);
+    }
+
+    /// Renders `gen=<sum> gens=<g0>,<g1>,…` from the observed generation vector.
+    fn gen_tags(&self) -> String {
+        let gens: Vec<u64> = self.gens.iter().map(|g| g.load(Ordering::Relaxed)).collect();
+        let sum: u64 = gens.iter().sum();
+        let list: Vec<String> = gens.iter().map(u64::to_string).collect();
+        format!("gen={sum} gens={}", list.join(","))
+    }
+
+    /// Fans `f` out to every shard concurrently and gathers per-shard results.
+    fn scatter<T: Send>(
+        &self,
+        f: impl Fn(usize, &mut Client) -> Result<T, ClientError> + Sync,
+    ) -> Vec<Result<T, String>> {
+        std::thread::scope(|scope| {
+            let f = &f;
+            let handles: Vec<_> = self
+                .shards
+                .iter()
+                .map(|slot| scope.spawn(move || slot.call(|client| f(slot.index, client))))
+                .collect();
+            handles
+                .into_iter()
+                .map(|handle| {
+                    handle.join().unwrap_or_else(|_| Err("shard worker panicked".to_string()))
+                })
+                .collect()
+        })
+    }
+}
+
+/// A handle on a running coordinator: its address, a shutdown trigger, a join point.
+pub struct CoordinatorHandle {
+    addr: SocketAddr,
+    state: Arc<CoordinatorState>,
+    acceptors: Vec<JoinHandle<()>>,
+    connections: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl CoordinatorHandle {
+    /// The address the coordinator is listening on (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Asks the coordinator to stop and joins every thread. Shards keep running —
+    /// they are independent processes with their own lifecycle.
+    pub fn shutdown(mut self) {
+        self.state.shutdown.store(true, Ordering::Relaxed);
+        for _ in 0..self.acceptors.len() {
+            let _ = TcpStream::connect(self.addr);
+        }
+        self.join_threads();
+    }
+
+    /// Blocks until the coordinator stops (via a remote `SHUTDOWN` command).
+    pub fn wait(mut self) {
+        self.join_threads();
+    }
+
+    fn join_threads(&mut self) {
+        for acceptor in self.acceptors.drain(..) {
+            let _ = acceptor.join();
+        }
+        let connections = std::mem::take(&mut *self.connections.lock().expect("connection list"));
+        for connection in connections {
+            let _ = connection.join();
+        }
+    }
+}
+
+/// Binds `addr` and starts coordinating over `shard_addrs` — see the
+/// [module docs](self).
+///
+/// Startup is fail-fast: every shard is contacted, every routed table `DESCRIBE`d on
+/// every shard, schemas checked for agreement, key columns resolved and split values
+/// typed into [`ShardPlan`]s. Each route must carve the key domain into exactly
+/// `shard_addrs.len()` ranges.
+pub fn coordinate(
+    addr: impl ToSocketAddrs,
+    shard_addrs: &[String],
+    routes: &[RouteSpec],
+    config: CoordinatorConfig,
+) -> io::Result<CoordinatorHandle> {
+    if shard_addrs.is_empty() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "a coordinator needs at least one shard endpoint",
+        ));
+    }
+    let shards: Vec<ShardSlot> = shard_addrs
+        .iter()
+        .enumerate()
+        .map(|(index, addr)| ShardSlot { index, addr: addr.clone(), client: Mutex::new(None) })
+        .collect();
+    let gens: Vec<AtomicU64> = shard_addrs.iter().map(|_| AtomicU64::new(0)).collect();
+    let mut table_routes = HashMap::new();
+    for route in routes {
+        if route.splits.len() + 1 != shards.len() {
+            return Err(io::Error::other(format!(
+                "route `{route}` carves {} shard range(s) but {} shard endpoint(s) were given",
+                route.splits.len() + 1,
+                shards.len()
+            )));
+        }
+        let mut agreed: Option<Vec<(String, ValueType)>> = None;
+        for slot in &shards {
+            let description =
+                slot.call(|client| client.describe(&route.table)).map_err(io::Error::other)?;
+            gens[slot.index].fetch_max(description.generation, Ordering::Relaxed);
+            match &agreed {
+                None => agreed = Some(description.columns),
+                Some(columns) if *columns == description.columns => {}
+                Some(_) => {
+                    return Err(io::Error::other(format!(
+                        "shard {} ({}) disagrees on `{}`'s schema",
+                        slot.index, slot.addr, route.table
+                    )))
+                }
+            }
+        }
+        let columns = agreed.expect("at least one shard");
+        let Some(key_column) = columns.iter().position(|(name, _)| *name == route.key_column)
+        else {
+            return Err(io::Error::other(format!(
+                "`{}` is not a column of `{}`",
+                route.key_column, route.table
+            )));
+        };
+        let plan = route
+            .typed(key_column, columns[key_column].1)
+            .map_err(|e| io::Error::other(format!("route `{route}`: {e}")))?;
+        table_routes.insert(route.table.clone(), TableRoute { plan, columns });
+    }
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let acceptor_count = config.acceptors.max(1);
+    let state = Arc::new(CoordinatorState {
+        shards,
+        routes: table_routes,
+        prepared: RwLock::new(HashMap::new()),
+        gens,
+        acceptors: acceptor_count,
+        shutdown: AtomicBool::new(false),
+        requests: AtomicU64::new(0),
+        protocol_errors: AtomicU64::new(0),
+    });
+    let connections: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+    let mut acceptors = Vec::new();
+    for _ in 0..acceptor_count {
+        let listener = listener.try_clone()?;
+        let state = Arc::clone(&state);
+        let connections = Arc::clone(&connections);
+        let wake_addr = addr;
+        acceptors.push(std::thread::spawn(move || {
+            accept_loop(&listener, wake_addr, &state, &connections);
+        }));
+    }
+    Ok(CoordinatorHandle { addr, state, acceptors, connections })
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    wake_addr: SocketAddr,
+    state: &Arc<CoordinatorState>,
+    connections: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    loop {
+        let Ok((stream, _peer)) = listener.accept() else {
+            if state.shutting_down() {
+                return;
+            }
+            std::thread::sleep(ACCEPT_BACKOFF);
+            continue;
+        };
+        if state.shutting_down() {
+            return;
+        }
+        let state = Arc::clone(state);
+        let handle = std::thread::spawn(move || {
+            handle_connection(stream, &state, wake_addr);
+        });
+        connections.lock().expect("connection list").push(handle);
+        let mut list = connections.lock().expect("connection list");
+        let mut index = 0;
+        while index < list.len() {
+            if list[index].is_finished() {
+                let _ = list.swap_remove(index).join();
+            } else {
+                index += 1;
+            }
+        }
+    }
+}
+
+fn handle_connection(stream: TcpStream, state: &Arc<CoordinatorState>, wake_addr: SocketAddr) {
+    let _ = stream.set_read_timeout(Some(std::time::Duration::from_millis(50)));
+    let mut reader = match stream.try_clone() {
+        Ok(reader) => reader,
+        Err(_) => return,
+    };
+    let mut writer = io::BufWriter::new(stream);
+    loop {
+        if state.shutting_down() {
+            return;
+        }
+        let payload = match read_frame_patient(&mut reader, &state.shutdown) {
+            Ok(Some(payload)) => payload,
+            Ok(None) => continue,
+            Err(FrameError::Closed) => return,
+            Err(malformed) => {
+                state.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                let _ = write_frame(&mut writer, &format!("ERR {malformed}"));
+                return;
+            }
+        };
+        state.requests.fetch_add(1, Ordering::Relaxed);
+        let (mut response, shutdown) = match Request::parse(&payload) {
+            Err(message) => {
+                state.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                (format!("ERR {message}"), false)
+            }
+            Ok(Request::Shutdown) => ("OK bye".to_string(), true),
+            Ok(request) => (dispatch(state, &request), false),
+        };
+        if response.len() > crate::protocol::MAX_FRAME_BYTES {
+            response = format!(
+                "ERR response too large ({} bytes exceeds the {}-byte frame limit); \
+                 narrow the query",
+                response.len(),
+                crate::protocol::MAX_FRAME_BYTES
+            );
+        }
+        if write_frame(&mut writer, &response).is_err() {
+            return;
+        }
+        if shutdown {
+            let _ = writer.flush();
+            state.shutdown.store(true, Ordering::Relaxed);
+            for _ in 0..state.acceptors {
+                let _ = TcpStream::connect(wake_addr);
+            }
+            return;
+        }
+    }
+}
+
+/// Answers one well-formed request by scattering it over the shards and merging.
+fn dispatch(state: &CoordinatorState, request: &Request) -> String {
+    match request {
+        Request::Ping => "OK pong".to_string(),
+        Request::Prepare { id, query } => prepare(state, id, query),
+        Request::Exec(spec) => match run_specs(state, std::slice::from_ref(spec)) {
+            Err(message) => format!("ERR {message}"),
+            Ok(mut blocks) => {
+                let block = blocks.pop().expect("one merged block per spec");
+                match block.strip_prefix("error ") {
+                    Some(message) => format!("ERR {message}"),
+                    None => {
+                        let (head, rest) = match block.split_once('\n') {
+                            Some((head, rest)) => (head, Some(rest)),
+                            None => (block.as_str(), None),
+                        };
+                        let mut out = format!("OK {head} {}", state.gen_tags());
+                        if let Some(rest) = rest {
+                            out.push('\n');
+                            out.push_str(rest);
+                        }
+                        out
+                    }
+                }
+            }
+        },
+        Request::Batch(specs) => match run_specs(state, specs) {
+            Err(message) => format!("ERR {message}"),
+            Ok(blocks) => {
+                let mut out = format!("OK batch {} {}", blocks.len(), state.gen_tags());
+                for block in blocks {
+                    out.push('\n');
+                    out.push_str(&block);
+                }
+                out
+            }
+        },
+        Request::Insert { table, rows } => {
+            route_mutation(state, table, rows, &[], MutationOp::Insert)
+        }
+        Request::Delete { table, rows } => {
+            route_mutation(state, table, rows, &[], MutationOp::Delete)
+        }
+        Request::Mutate { table, inserts, deletes } => {
+            route_mutation(state, table, inserts, deletes, MutationOp::Mixed)
+        }
+        Request::SetPriority { table, pairs } => set_priority(state, table, pairs),
+        Request::Describe { table } => {
+            let results = state.scatter(|_, client| client.describe(table));
+            let mut descriptions = Vec::with_capacity(results.len());
+            for (shard, result) in results.into_iter().enumerate() {
+                match result {
+                    Err(message) => return format!("ERR {message}"),
+                    Ok(description) => {
+                        state.note_gen(shard, description.generation);
+                        descriptions.push(description);
+                    }
+                }
+            }
+            let rows: usize = descriptions.iter().map(|d| d.rows).sum();
+            let mut out = format!("OK describe {table} rows={rows} {}", state.gen_tags());
+            for (name, ty) in &descriptions[0].columns {
+                let ty = match ty {
+                    ValueType::Int => "INT",
+                    ValueType::Name => "NAME",
+                };
+                out.push('\n');
+                out.push_str(&escape_field(name));
+                out.push('\t');
+                out.push_str(ty);
+            }
+            out
+        }
+        Request::Stats => {
+            let mut out = format!(
+                "OK stats shards={} routes={} prepared={} requests={} protocol_errors={}",
+                state.shards.len(),
+                state.routes.len(),
+                state.prepared.read().expect("prepared lock").len(),
+                state.requests.load(Ordering::Relaxed),
+                state.protocol_errors.load(Ordering::Relaxed),
+            );
+            for slot in &state.shards {
+                out.push_str(&format!(
+                    "\nshard {} addr={} gen={}",
+                    slot.index,
+                    slot.addr,
+                    state.gens[slot.index].load(Ordering::Relaxed),
+                ));
+            }
+            out
+        }
+        Request::Subscribe { .. } | Request::Unsubscribe { .. } => {
+            "ERR subscriptions are not supported through the coordinator \
+             (connect to a shard directly)"
+                .to_string()
+        }
+        Request::Shutdown => unreachable!("SHUTDOWN is handled by the connection loop"),
+    }
+}
+
+/// Validates a query for shard distribution, fans `PREPARE` out to every shard, and
+/// remembers the answer-column types the merge needs.
+///
+/// Distributable queries have exactly one **positive** relation atom (no `NOT`,
+/// `->`, `FORALL`): a single atom keeps every witness tuple on one shard, so
+/// per-repair evaluation is the union of per-shard evaluations and the merge rules
+/// of the [module docs](self) are exact. Joins and negation would need cross-shard
+/// evaluation the coordinator deliberately does not do.
+fn prepare(state: &CoordinatorState, id: &str, query: &str) -> String {
+    let formula = match parse_formula(query) {
+        Ok(formula) => formula,
+        Err(e) => return format!("ERR query error: {e}"),
+    };
+    let relations = formula.relations();
+    if relations.len() != 1 {
+        return format!(
+            "ERR queries must read exactly one table (this one reads {})",
+            relations.len()
+        );
+    }
+    let table = relations.into_iter().next().expect("one relation");
+    let Some(route) = state.routes.get(&table) else {
+        return format!("ERR no route for table `{table}` (pass --route {table}:<key>:…)");
+    };
+    let mut atoms = Vec::new();
+    if !collect_atoms(&formula, &mut atoms) {
+        return "ERR query is not distributable: the coordinator serves positive queries \
+                only (no NOT, ->, FORALL)"
+            .to_string();
+    }
+    let [atom] = atoms.as_slice() else {
+        return format!(
+            "ERR query is not distributable: exactly one relation atom is required \
+             (this query has {})",
+            atoms.len()
+        );
+    };
+    if atom.args.len() != route.columns.len() {
+        return format!(
+            "ERR `{table}` has {} column(s) but the atom has {} argument(s)",
+            route.columns.len(),
+            atom.args.len()
+        );
+    }
+    let free = formula.free_vars();
+    let mut free_types = Vec::with_capacity(free.len());
+    for var in &free {
+        let Some(position) =
+            atom.args.iter().position(|term| matches!(term, Term::Var(name) if name == var))
+        else {
+            return format!(
+                "ERR query is not distributable: free variable `{var}` does not appear \
+                 in the relation atom"
+            );
+        };
+        free_types.push(route.columns[position].1);
+    }
+    let ground = classify(&formula) == QueryClass::Ground;
+    let results = state.scatter(|_, client| client.prepare(id, query));
+    for result in results {
+        if let Err(message) = result {
+            return format!("ERR {message}");
+        }
+    }
+    let entry =
+        Arc::new(CoordPrepared { table: table.clone(), free: free.clone(), free_types, ground });
+    let mut prepared = state.prepared.write().expect("prepared lock");
+    if prepared.len() >= PREPARED_CACHE_LIMIT && !prepared.contains_key(id) {
+        prepared.clear();
+    }
+    prepared.insert(id.to_string(), entry);
+    format!("OK prepared {id} table={table} columns={}", free.join(","))
+}
+
+/// Collects the relation atoms of `formula`; returns `false` if the formula uses a
+/// non-monotone connective (`NOT`, `->`, `FORALL`) the merge rules do not cover.
+fn collect_atoms<'a>(formula: &'a Formula, out: &mut Vec<&'a pdqi_query::ast::Atom>) -> bool {
+    match formula {
+        Formula::True | Formula::False | Formula::Comparison(..) => true,
+        Formula::Atom(atom) => {
+            out.push(atom);
+            true
+        }
+        Formula::And(lhs, rhs) | Formula::Or(lhs, rhs) => {
+            collect_atoms(lhs, out) && collect_atoms(rhs, out)
+        }
+        Formula::Exists(_, body) => collect_atoms(body, out),
+        Formula::Not(..) | Formula::Implies(..) | Formula::Forall(..) => false,
+    }
+}
+
+/// Resolves `specs` against the prepared map, fans one `BATCH` per shard out (closed
+/// entries rewritten to `PROFILE` so `examined` merges exactly), and merges each
+/// entry back into a rendered response block.
+fn run_specs(state: &CoordinatorState, specs: &[ExecSpec]) -> Result<Vec<String>, String> {
+    let prepared = state.prepared.read().expect("prepared lock");
+    let infos: Vec<Arc<CoordPrepared>> = specs
+        .iter()
+        .map(|spec| {
+            prepared
+                .get(&spec.id)
+                .cloned()
+                .ok_or_else(|| format!("unknown prepared query `{}` (PREPARE it first)", spec.id))
+        })
+        .collect::<Result<_, _>>()?;
+    drop(prepared);
+    let table = &infos[0].table;
+    if let Some(mixed) = infos.iter().find(|info| info.table != *table) {
+        return Err(format!(
+            "a batch pins one snapshot: all queries must read one table (got `{table}` and `{}`)",
+            mixed.table
+        ));
+    }
+    // Closed entries go out as PROFILE (except the ground/plain-repair fast path,
+    // which answers examined == 0 on shards and mirror alike): the verdict alone
+    // cannot reproduce the mirror's `examined`, the profile can.
+    let shard_specs: Vec<ExecSpec> = specs
+        .iter()
+        .zip(&infos)
+        .map(|(spec, info)| {
+            let mode = match spec.mode {
+                ExecMode::Closed if !(spec.family == pdqi_core::FamilyKind::Rep && info.ground) => {
+                    ExecMode::Profile
+                }
+                mode => mode,
+            };
+            ExecSpec { id: spec.id.clone(), family: spec.family, mode }
+        })
+        .collect();
+    let results = state.scatter(|_, client| client.batch(shard_specs.clone()));
+    let mut per_shard: Vec<Vec<ExecOutcome>> = Vec::with_capacity(results.len());
+    for (shard, result) in results.into_iter().enumerate() {
+        let (outcomes, generation) = result?;
+        state.note_gen(shard, generation);
+        per_shard.push(outcomes);
+    }
+    let blocks = specs
+        .iter()
+        .zip(&infos)
+        .enumerate()
+        .map(|(entry, (spec, info))| {
+            let shard_outcomes: Vec<&ExecOutcome> =
+                per_shard.iter().map(|outcomes| &outcomes[entry]).collect();
+            merge_entry(spec, info, &shard_outcomes)
+        })
+        .collect();
+    Ok(blocks)
+}
+
+/// Merges one batch entry's per-shard outcomes into a rendered response block.
+fn merge_entry(spec: &ExecSpec, info: &CoordPrepared, shards: &[&ExecOutcome]) -> String {
+    if let Some(ExecOutcome::Error(message)) =
+        shards.iter().find(|outcome| matches!(outcome, ExecOutcome::Error(_)))
+    {
+        return format!("error {message}");
+    }
+    match spec.mode {
+        ExecMode::Certain | ExecMode::Possible => merge_rows(info, shards),
+        ExecMode::Profile => match merge_profiles(shards) {
+            Err(message) => format!("error {message}"),
+            Ok(profile) => {
+                let position = |at: Option<u128>| at.map_or("none".to_string(), |v| v.to_string());
+                format!(
+                    "profile total={} first_true={} first_false={}",
+                    profile.total,
+                    position(profile.first_true),
+                    position(profile.first_false)
+                )
+            }
+        },
+        ExecMode::Closed if spec.family == pdqi_core::FamilyKind::Rep && info.ground => {
+            // Per-shard ground fast-path verdicts: certainly-true is an OR (a shard's
+            // certain truth survives every combination), certainly-false an AND.
+            let mut certainly_true = false;
+            let mut certainly_false = true;
+            for outcome in shards {
+                let ExecOutcome::Outcome { verdict, .. } = outcome else {
+                    return "error shard answered a CLOSED request with a non-outcome block"
+                        .to_string();
+                };
+                certainly_true |= verdict == "true";
+                certainly_false &= verdict == "false";
+            }
+            let outcome = CqaOutcome { certainly_true, certainly_false, examined: 0 };
+            render_outcome(&outcome)
+        }
+        ExecMode::Closed => match merge_profiles(shards) {
+            Err(message) => format!("error {message}"),
+            Ok(profile) => render_outcome(&profile.outcome()),
+        },
+    }
+}
+
+fn render_outcome(outcome: &CqaOutcome) -> String {
+    let verdict = if outcome.certainly_true {
+        "true"
+    } else if outcome.certainly_false {
+        "false"
+    } else {
+        "undetermined"
+    };
+    format!("outcome {verdict} examined={}", outcome.examined)
+}
+
+/// Merges per-shard open-query answers: the union of per-shard rows, re-typed so the
+/// merged [`BTreeSet`] sorts exactly like the engine's (numeric columns numerically,
+/// names lexicographically) and re-rendered in that order.
+fn merge_rows(info: &CoordPrepared, shards: &[&ExecOutcome]) -> String {
+    let mut merged: BTreeSet<Vec<Value>> = BTreeSet::new();
+    for outcome in shards {
+        let ExecOutcome::Rows { rows, .. } = outcome else {
+            return "error shard answered a row request with a non-row block".to_string();
+        };
+        for row in rows {
+            if row.len() != info.free_types.len() {
+                return format!(
+                    "error shard row has {} field(s), expected {}",
+                    row.len(),
+                    info.free_types.len()
+                );
+            }
+            let typed: Result<Vec<Value>, _> = row
+                .iter()
+                .zip(&info.free_types)
+                .map(|(field, ty)| type_value(field, *ty))
+                .collect();
+            match typed {
+                Ok(values) => {
+                    merged.insert(values);
+                }
+                Err(e) => return format!("error shard row does not type: {e}"),
+            }
+        }
+    }
+    let mut block = format!("rows {}\n{}", merged.len(), info.free.join("\t"));
+    for row in &merged {
+        let rendered: Vec<String> = row.iter().map(|v| escape_field(&v.to_string())).collect();
+        block.push('\n');
+        block.push_str(&rendered.join("\t"));
+    }
+    block
+}
+
+/// Merges per-shard closed profiles over the row-major product order: shard `s`'s
+/// positions scale by the suffix weight `W_s = Π_{s'>s} total_{s'}`; the global
+/// first-true is the least single-shard witness, the global first-false the
+/// lexicographically least all-false combination.
+fn merge_profiles(shards: &[&ExecOutcome]) -> Result<ClosedProfile, String> {
+    let mut parts = Vec::with_capacity(shards.len());
+    for outcome in shards {
+        let ExecOutcome::Profile { total, first_true, first_false } = outcome else {
+            return Err("shard answered a PROFILE request with a non-profile block".to_string());
+        };
+        parts.push((*total, *first_true, *first_false));
+    }
+    let mut total: u128 = 1;
+    for &(t, _, _) in &parts {
+        total = total.saturating_mul(t);
+    }
+    if total == 0 {
+        return Ok(ClosedProfile { total: 0, first_true: None, first_false: None });
+    }
+    let mut weights = vec![1u128; parts.len()];
+    for s in (0..parts.len().saturating_sub(1)).rev() {
+        weights[s] = weights[s + 1].saturating_mul(parts[s + 1].0);
+    }
+    let first_true = parts
+        .iter()
+        .zip(&weights)
+        .filter_map(|((_, ft, _), weight)| ft.map(|at| at.saturating_mul(*weight)))
+        .min();
+    let mut first_false = Some(0u128);
+    for ((_, _, ff), weight) in parts.iter().zip(&weights) {
+        first_false = match (first_false, ff) {
+            (Some(sum), Some(at)) => Some(sum.saturating_add(at.saturating_mul(*weight))),
+            _ => None,
+        };
+    }
+    Ok(ClosedProfile { total, first_true, first_false })
+}
+
+/// Which mutation request [`route_mutation`] is routing.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum MutationOp {
+    Insert,
+    Delete,
+    /// A `MUTATE` request: `primary` holds the inserts, `deletes` the deletes.
+    Mixed,
+}
+
+/// Routes `INSERT`/`DELETE`/`MUTATE` rows to their owning shards by key range and
+/// applies them there; untouched shards are skipped entirely (no generation bump —
+/// exactly the rows' owners swap).
+fn route_mutation(
+    state: &CoordinatorState,
+    table: &str,
+    primary: &[Vec<String>],
+    deletes: &[Vec<String>],
+    op: MutationOp,
+) -> String {
+    let Some(route) = state.routes.get(table) else {
+        return format!("ERR no route for table `{table}` (pass --route {table}:<key>:…)");
+    };
+    let bucket = |rows: &[Vec<String>]| -> Result<Vec<Vec<Vec<String>>>, String> {
+        let mut buckets = vec![Vec::new(); state.shards.len()];
+        for row in rows {
+            if row.len() != route.columns.len() {
+                return Err(format!(
+                    "row has {} value(s) but `{table}` has {} column(s)",
+                    row.len(),
+                    route.columns.len()
+                ));
+            }
+            let key_text = &row[route.plan.key_column()];
+            let key =
+                type_value(key_text, route.columns[route.plan.key_column()].1).map_err(|_| {
+                    format!(
+                        "`{key_text}` is not a valid key for column `{}`",
+                        route.columns[route.plan.key_column()].0
+                    )
+                })?;
+            buckets[route.plan.shard_of(&key)].push(row.clone());
+        }
+        Ok(buckets)
+    };
+    let primary_buckets = match bucket(primary) {
+        Ok(buckets) => buckets,
+        Err(message) => return format!("ERR {message}"),
+    };
+    let delete_buckets = match bucket(deletes) {
+        Ok(buckets) => buckets,
+        Err(message) => return format!("ERR {message}"),
+    };
+    let mut inserted = 0usize;
+    let mut deleted = 0usize;
+    // (inserted, deleted, generation) from the shards that received rows.
+    type ShardWrite = Result<(usize, usize, u64), String>;
+    let results: Vec<Option<ShardWrite>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = state
+            .shards
+            .iter()
+            .map(|slot| {
+                let rows = &primary_buckets[slot.index];
+                let dels = &delete_buckets[slot.index];
+                if rows.is_empty() && dels.is_empty() {
+                    return None;
+                }
+                Some(scope.spawn(move || {
+                    slot.call(|client| match op {
+                        MutationOp::Mixed => client.mutate(table, rows, dels),
+                        MutationOp::Insert => {
+                            client.insert(table, rows).map(|(i, gen)| (i, 0, gen))
+                        }
+                        MutationOp::Delete => {
+                            client.delete(table, rows).map(|(d, gen)| (0, d, gen))
+                        }
+                    })
+                }))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|handle| {
+                handle
+                    .map(|h| h.join().unwrap_or_else(|_| Err("shard worker panicked".to_string())))
+            })
+            .collect()
+    });
+    for (shard, result) in results.into_iter().enumerate() {
+        match result {
+            None => {}
+            Some(Err(message)) => return format!("ERR {message}"),
+            Some(Ok((i, d, generation))) => {
+                inserted += i;
+                deleted += d;
+                state.note_gen(shard, generation);
+            }
+        }
+    }
+    match op {
+        MutationOp::Mixed => {
+            format!("OK mutated inserted {inserted} deleted {deleted} {}", state.gen_tags())
+        }
+        MutationOp::Insert => format!("OK inserted {inserted} {}", state.gen_tags()),
+        MutationOp::Delete => format!("OK deleted {deleted} {}", state.gen_tags()),
+    }
+}
+
+/// Translates global tuple-id pairs into per-shard local ids and replaces every
+/// shard's priority in one scatter.
+///
+/// The coordinator's global tuple-id space is the concatenation of the shard row
+/// blocks in shard order, so the translation needs the shards' **current** row
+/// counts — a fresh `DESCRIBE` fan-out, not a startup-cached one, because mutations
+/// shift the offsets. A pair whose endpoints live on different shards is rejected:
+/// cross-shard tuples share no conflict component, so no preference between them can
+/// affect any repair (the mirror would simply reject the non-edge pair too).
+fn set_priority(state: &CoordinatorState, table: &str, pairs: &[(u32, u32)]) -> String {
+    if !state.routes.contains_key(table) {
+        return format!("ERR no route for table `{table}` (pass --route {table}:<key>:…)");
+    }
+    let descriptions = state.scatter(|_, client| client.describe(table));
+    let mut counts = Vec::with_capacity(descriptions.len());
+    for (shard, result) in descriptions.into_iter().enumerate() {
+        match result {
+            Err(message) => return format!("ERR {message}"),
+            Ok(TableDescription { rows, generation, .. }) => {
+                state.note_gen(shard, generation);
+                counts.push(rows as u64);
+            }
+        }
+    }
+    let mut offsets = Vec::with_capacity(counts.len());
+    let mut at = 0u64;
+    for &count in &counts {
+        offsets.push(at);
+        at += count;
+    }
+    let total = at;
+    let shard_of = |id: u32| -> Result<usize, String> {
+        if u64::from(id) >= total {
+            return Err(format!("tuple id {id} is out of range (the table has {total} row(s))"));
+        }
+        Ok(offsets.partition_point(|&offset| offset <= u64::from(id)) - 1)
+    };
+    let mut shard_pairs: Vec<Vec<(u32, u32)>> = vec![Vec::new(); state.shards.len()];
+    for &(winner, loser) in pairs {
+        let (ws, ls) = match (shard_of(winner), shard_of(loser)) {
+            (Ok(ws), Ok(ls)) => (ws, ls),
+            (Err(message), _) | (_, Err(message)) => return format!("ERR {message}"),
+        };
+        if ws != ls {
+            return format!(
+                "ERR priority pair {winner}>{loser} crosses shards (tuples on shard {ws} \
+                 and shard {ls} never conflict)"
+            );
+        }
+        shard_pairs[ws].push((
+            winner - u32::try_from(offsets[ws]).unwrap_or(0),
+            loser - u32::try_from(offsets[ls]).unwrap_or(0),
+        ));
+    }
+    // SET-PRIORITY replaces the table's whole priority, so every shard swaps — a
+    // shard with no pair of its own installs the empty priority, exactly as the
+    // mirror replaces preferences for tuples the pair list no longer mentions.
+    let results = state.scatter(|shard, client| client.set_priority(table, &shard_pairs[shard]));
+    for (shard, result) in results.into_iter().enumerate() {
+        match result {
+            Err(message) => return format!("ERR {message}"),
+            Ok(generation) => state.note_gen(shard, generation),
+        }
+    }
+    format!("OK swapped {table} {}", state.gen_tags())
+}

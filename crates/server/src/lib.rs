@@ -17,7 +17,10 @@
 //!   snapshot-pinned dispatch through [`pdqi_core::BatchExecutor`], revisions through
 //!   [`pdqi_core::SnapshotRegistry::revise`];
 //! * [`client`] — a blocking [`Client`] with typed helpers, used by the CLI's
-//!   `connect` subcommand, the serving tests and the `e16_serving` bench.
+//!   `connect` subcommand, the serving tests and the `e16_serving` bench;
+//! * [`coordinator`] — the scatter-gather front end: one serve-compatible endpoint
+//!   fanning requests out over N key-range shards and merging per-shard answer folds
+//!   bit-identically to single-snapshot execution.
 //!
 //! Connections double as **push channels**: `SUBSCRIBE` registers a continuous query
 //! with the server's [`pdqi_core::SubscriptionManager`], after which `DELTA` (and, for
@@ -35,10 +38,14 @@
 #![forbid(unsafe_code)]
 
 pub mod client;
+pub mod coordinator;
 pub mod protocol;
 pub mod server;
 
-pub use client::{Client, ClientError, Events, ExecOutcome, PushEvent, SubscribeReply};
+pub use client::{
+    Client, ClientError, Events, ExecOutcome, PushEvent, SubscribeReply, TableDescription,
+};
+pub use coordinator::{coordinate, CoordinatorConfig, CoordinatorHandle};
 pub use protocol::{
     escape_field, unescape_field, ExecMode, ExecSpec, FrameError, Request, MAX_FRAME_BYTES,
 };

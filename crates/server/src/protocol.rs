@@ -22,9 +22,10 @@
 //! ```text
 //! PING
 //! PREPARE <id> <first-order query text>
-//! EXEC <id> <family> <CERTAIN|POSSIBLE|CLOSED>
+//! EXEC <id> <family> <CERTAIN|POSSIBLE|CLOSED|PROFILE>
 //! BATCH
-//! <id> <family> <CERTAIN|POSSIBLE|CLOSED>      (repeated, one line per entry)
+//! <id> <family> <mode>                         (repeated, one line per entry)
+//! DESCRIBE <table>
 //! INSERT <table>
 //! <value>\t<value>\t...                        (repeated, one escaped row per line)
 //! DELETE <table>
@@ -57,6 +58,12 @@
 //! Mary                                 OK inserted 2 gen=5
 //! John                                 OK deleted 1 gen=6
 //!                                      ERR unknown prepared query `q9`
+//!
+//! OK describe Mgr rows=4 gen=3         OK profile total=6 first_true=0 first_false=2 gen=3
+//! Name<TAB>NAME
+//! Dept<TAB>NAME
+//! Salary<TAB>INT
+//! Reports<TAB>INT
 //! ```
 //!
 //! A connection that issued `SUBSCRIBE` additionally receives **pushed frames** —
@@ -91,6 +98,12 @@ pub enum ExecMode {
     Possible,
     /// Closed-query consistent answer (true / false / undetermined).
     Closed,
+    /// Closed-query **profile**: instead of the verdict, report the repair-product
+    /// size and the first true/false positions within it. A profile is what a
+    /// scatter-gather coordinator needs to merge closed outcomes across shards
+    /// bit-identically — `examined` depends on *where* in the product the deciding
+    /// repairs sit, which the bare verdict no longer carries.
+    Profile,
 }
 
 impl ExecMode {
@@ -100,16 +113,17 @@ impl ExecMode {
             "CERTAIN" => Some(ExecMode::Certain),
             "POSSIBLE" => Some(ExecMode::Possible),
             "CLOSED" => Some(ExecMode::Closed),
+            "PROFILE" => Some(ExecMode::Profile),
             _ => None,
         }
     }
 
-    /// The open-query semantics, unless this is the closed mode.
+    /// The open-query semantics, unless this is a closed mode.
     pub fn semantics(self) -> Option<Semantics> {
         match self {
             ExecMode::Certain => Some(Semantics::Certain),
             ExecMode::Possible => Some(Semantics::Possible),
-            ExecMode::Closed => None,
+            ExecMode::Closed | ExecMode::Profile => None,
         }
     }
 }
@@ -120,6 +134,7 @@ impl fmt::Display for ExecMode {
             ExecMode::Certain => "CERTAIN",
             ExecMode::Possible => "POSSIBLE",
             ExecMode::Closed => "CLOSED",
+            ExecMode::Profile => "PROFILE",
         })
     }
 }
@@ -148,7 +163,7 @@ impl ExecSpec {
         let family = FamilyKind::parse(family)
             .ok_or_else(|| format!("`{family}` is not a repair family (use ALL, L, S, G or C)"))?;
         let mode = ExecMode::parse(mode).ok_or_else(|| {
-            format!("`{mode}` is not an execution mode (use CERTAIN, POSSIBLE or CLOSED)")
+            format!("`{mode}` is not an execution mode (use CERTAIN, POSSIBLE, CLOSED or PROFILE)")
         })?;
         Ok(ExecSpec { id: id.to_string(), family, mode })
     }
@@ -215,6 +230,11 @@ pub enum Request {
     Unsubscribe {
         /// The subscription id `OK subscribed sub=<id> …` reported.
         sub: u64,
+    },
+    /// Report a table's schema (column names and types), row count and generation.
+    Describe {
+        /// The table to describe.
+        table: String,
     },
     /// Registry and executor statistics.
     Stats,
@@ -359,6 +379,13 @@ impl Request {
                     .map_err(|_| "usage: UNSUBSCRIBE <subscription-id>".to_string())?;
                 Ok(Request::Unsubscribe { sub })
             }
+            "DESCRIBE" => {
+                let table = rest.trim();
+                if table.is_empty() || table.split_whitespace().count() != 1 {
+                    return Err("usage: DESCRIBE <table>".to_string());
+                }
+                Ok(Request::Describe { table: table.to_string() })
+            }
             "STATS" => Ok(Request::Stats),
             "SHUTDOWN" => Ok(Request::Shutdown),
             other => Err(format!("unknown command `{other}`")),
@@ -404,6 +431,7 @@ impl Request {
                 }
                 out
             }
+            Request::Describe { table } => format!("DESCRIBE {table}"),
             Request::Stats => "STATS".to_string(),
             Request::Shutdown => "SHUTDOWN".to_string(),
         }
@@ -619,7 +647,14 @@ mod tests {
             Request::Batch(vec![
                 ExecSpec { id: "q1".into(), family: FamilyKind::Rep, mode: ExecMode::Possible },
                 ExecSpec { id: "q2".into(), family: FamilyKind::Common, mode: ExecMode::Closed },
+                ExecSpec { id: "q3".into(), family: FamilyKind::Local, mode: ExecMode::Profile },
             ]),
+            Request::Exec(ExecSpec {
+                id: "q9".into(),
+                family: FamilyKind::SemiGlobal,
+                mode: ExecMode::Profile,
+            }),
+            Request::Describe { table: "Mgr".into() },
             Request::SetPriority { table: "Mgr".into(), pairs: vec![(0, 2), (1, 3)] },
             Request::SetPriority { table: "Mgr".into(), pairs: vec![] },
             Request::Insert {
@@ -699,10 +734,13 @@ mod tests {
             "SUBSCRIBE q1",
             "SUBSCRIBE q1 ALL",
             "SUBSCRIBE q1 ALL CLOSED",
+            "SUBSCRIBE q1 ALL PROFILE",
             "SUBSCRIBE q1 NOPE CERTAIN",
             "SUBSCRIBE q1 ALL CERTAIN extra",
             "UNSUBSCRIBE",
             "UNSUBSCRIBE x",
+            "DESCRIBE",
+            "DESCRIBE two tables",
         ] {
             assert!(Request::parse(bad).is_err(), "{bad:?} should be malformed");
         }

@@ -36,7 +36,9 @@ use pdqi_core::{
 use pdqi_priority::Priority;
 use pdqi_relation::{TupleId, Value, ValueType};
 
-use crate::protocol::{escape_field, push_op_rows, write_frame, ExecSpec, FrameError, Request};
+use crate::protocol::{
+    escape_field, push_op_rows, write_frame, ExecMode, ExecSpec, FrameError, Request,
+};
 
 /// How often blocked connection reads wake up to check the shutdown flag. Connections
 /// use a read timeout instead of a blocking read so a `shutdown` call (or a remote
@@ -231,12 +233,12 @@ fn accept_loop(
 /// partially-read frames must never be abandoned and re-parsed from the middle, which
 /// would desynchronise the stream (a client sending prefix and payload in separate
 /// segments more than one poll apart would otherwise be cut off).
-fn read_frame_patient(
+pub(crate) fn read_frame_patient(
     stream: &mut TcpStream,
-    state: &ServerState,
+    shutdown: &AtomicBool,
 ) -> Result<Option<String>, FrameError> {
     let mut len_bytes = [0u8; 4];
-    if !fill_buffer(stream, state, &mut len_bytes, true)? {
+    if !fill_buffer(stream, shutdown, &mut len_bytes, true)? {
         return Ok(None);
     }
     let announced = u32::from_be_bytes(len_bytes) as usize;
@@ -244,7 +246,7 @@ fn read_frame_patient(
         return Err(FrameError::TooLarge { announced });
     }
     let mut payload = vec![0u8; announced];
-    fill_buffer(stream, state, &mut payload, false)?;
+    fill_buffer(stream, shutdown, &mut payload, false)?;
     String::from_utf8(payload).map(Some).map_err(|_| FrameError::NotUtf8)
 }
 
@@ -255,7 +257,7 @@ fn read_frame_patient(
 /// transport error (the peer vanished mid-message).
 fn fill_buffer(
     stream: &mut TcpStream,
-    state: &ServerState,
+    shutdown: &AtomicBool,
     buf: &mut [u8],
     at_boundary: bool,
 ) -> Result<bool, FrameError> {
@@ -277,7 +279,7 @@ fn fill_buffer(
                 if at_boundary && filled == 0 {
                     return Ok(false);
                 }
-                if state.shutting_down() {
+                if shutdown.load(Ordering::Relaxed) {
                     return Err(FrameError::Closed);
                 }
             }
@@ -372,7 +374,7 @@ fn handle_connection(stream: TcpStream, state: &Arc<ServerState>, wake_addr: Soc
         if state.shutting_down() {
             return;
         }
-        let payload = match read_frame_patient(&mut reader, state) {
+        let payload = match read_frame_patient(&mut reader, &state.shutdown) {
             Ok(Some(payload)) => payload,
             // Idle poll: no frame started; push queued subscription events, check the
             // shutdown flag and keep waiting.
@@ -593,6 +595,30 @@ fn dispatch(state: &ServerState, request: &Request, subs: &mut ConnectionSubs) -
                 Err(e) => format!("ERR {e}"),
             }
         }
+        Request::Describe { table } => {
+            let Some(lease) = state.registry.read(table) else {
+                return format!("ERR no snapshot published for table `{table}`");
+            };
+            let Some(ctx) = lease.snapshot().context_of(table) else {
+                return format!(
+                    "ERR registry snapshot for `{table}` does not contain that relation"
+                );
+            };
+            let instance = ctx.instance();
+            let mut out =
+                format!("OK describe {table} rows={} gen={}", instance.len(), lease.generation());
+            for attribute in instance.schema().attributes() {
+                let ty = match attribute.ty {
+                    ValueType::Int => "INT",
+                    ValueType::Name => "NAME",
+                };
+                out.push('\n');
+                out.push_str(&escape_field(&attribute.name));
+                out.push('\t');
+                out.push_str(ty);
+            }
+            out
+        }
         Request::Stats => {
             let registry = state.registry.stats();
             let mut out = format!(
@@ -740,9 +766,13 @@ fn execute_specs(
         state.parallelism,
         Arc::clone(&state.tuner),
     );
+    // PROFILE specs bypass the executor: a profile walks the repair product in
+    // deterministic order on the leased snapshot itself. Executor blocks are
+    // re-interleaved in spec order below, so mixed batches keep their shape.
     let requests: Vec<BatchRequest> = specs
         .iter()
         .zip(&entries)
+        .filter(|(spec, _)| spec.mode != ExecMode::Profile)
         .map(|(spec, entry)| {
             let query = Arc::clone(&entry.query);
             match spec.mode.semantics() {
@@ -751,7 +781,7 @@ fn execute_specs(
             }
         })
         .collect();
-    let blocks = executor
+    let mut executor_blocks = executor
         .run(&requests)
         .into_iter()
         .map(|result| match result {
@@ -778,6 +808,26 @@ fn execute_specs(
                     "undetermined"
                 };
                 format!("outcome {verdict} examined={}", outcome.examined)
+            }
+        })
+        .collect::<Vec<String>>()
+        .into_iter();
+    let position = |at: Option<u128>| at.map_or("none".to_string(), |v| v.to_string());
+    let blocks = specs
+        .iter()
+        .zip(&entries)
+        .map(|(spec, entry)| {
+            if spec.mode != ExecMode::Profile {
+                return executor_blocks.next().expect("one executor block per non-profile spec");
+            }
+            match entry.query.closed_profile(lease.snapshot(), spec.family) {
+                Ok(profile) => format!(
+                    "profile total={} first_true={} first_false={}",
+                    profile.total,
+                    position(profile.first_true),
+                    position(profile.first_false)
+                ),
+                Err(e) => format!("error query error: {e}"),
             }
         })
         .collect();

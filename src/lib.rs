@@ -113,8 +113,9 @@ pub use pdqi_core::{
     AnswerDelta, AnswerSet, BatchExecutor, BatchRequest, BatchResponse, BuildError, ChangeScope,
     ChunkTuner, ChunkTunerStats, CqaOutcome, EngineBuilder, EngineSnapshot, FamilyKind, MemoStats,
     Mutation, MutationError, MutationReport, Parallelism, PreparedQuery, RegistryStats,
-    RepairContext, Semantics, Shard, SnapshotLease, SnapshotRegistry, SubscribeStats, Subscribed,
-    SubscriptionEvent, SubscriptionInfo, SubscriptionManager, TableStats, MAX_THREADS,
+    RepairContext, RouteSpec, Semantics, Shard, ShardPlan, SnapshotLease, SnapshotRegistry,
+    SubscribeStats, Subscribed, SubscriptionEvent, SubscriptionInfo, SubscriptionManager,
+    TableStats, MAX_THREADS,
 };
 pub use pdqi_priority::Priority;
 pub use pdqi_query::{parse_formula, Evaluator, Formula};
