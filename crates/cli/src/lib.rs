@@ -165,6 +165,7 @@ impl Interpreter {
             "subscribe" => self.subscribe(&args),
             "unsubscribe" => self.unsubscribe(&args),
             "subscriptions" => Ok(self.subscriptions()),
+            "stats" => Ok(self.stats()),
             other => Err(CliError::Command(format!("unknown command `.{other}` (try `.help`)"))),
         }
     }
@@ -459,6 +460,23 @@ impl Interpreter {
         out
     }
 
+    fn stats(&self) -> String {
+        let schema = self.session.schema_delta_stats();
+        let eval = pdqi_query::eval_path_stats();
+        format!(
+            "schema deltas: fd delta={} rebuild={}\n\
+             preference deltas: swaps={} coalesced={} rebuild={}\n\
+             eval paths: vectorized={} scalar={}",
+            schema.fds_delta,
+            schema.fds_rebuild,
+            schema.prefers_delta,
+            schema.prefers_coalesced,
+            schema.prefers_rebuild,
+            eval.vectorized,
+            eval.scalar
+        )
+    }
+
     fn properties(&mut self, args: &[&str]) -> Result<String, CliError> {
         let (snapshot, _) = self.snapshot_for(args, ".properties <table>")?;
         let mut rng = StdRng::seed_from_u64(0);
@@ -507,7 +525,8 @@ meta commands:
                                             WITH REPAIRS); deltas print after the
                                             statements that cause them
   .subscriptions                            list continuous queries
-  .unsubscribe <id>                         drop a continuous query";
+  .unsubscribe <id>                         drop a continuous query
+  .stats                                    schema-delta and eval-path accounting";
 
 /// Renders one queued continuous-query event for the interactive surface.
 fn render_subscription_event(id: u64, event: &SubscriptionEvent) -> String {
@@ -880,6 +899,23 @@ mod tests {
         let cleaned = interpreter.run_line(".clean Mgr").unwrap();
         assert!(cleaned.contains("unique repair"));
         assert!(cleaned.contains("Mary"));
+    }
+
+    #[test]
+    fn stats_reports_schema_delta_accounting() {
+        let mut interpreter = loaded();
+        // Publish, then ALTER: the new FD lands as a snapshot derivation.
+        interpreter.run_line(".count Mgr").unwrap();
+        interpreter.run_line("ALTER TABLE Mgr ADD FD Salary -> Reports").unwrap();
+        let stats = interpreter.run_line(".stats").unwrap();
+        assert!(stats.contains("fd delta=1"), "{stats}");
+        // Two PREFERs stay queued until the next read, then coalesce into one swap.
+        interpreter.run_line("PREFER ('Mary','R&D',40,3) OVER ('Mary','IT',20,1) IN Mgr").unwrap();
+        interpreter.run_line("PREFER ('John','R&D',10,2) OVER ('John','PR',30,4) IN Mgr").unwrap();
+        interpreter.run_line(".count Mgr").unwrap();
+        let stats = interpreter.run_line(".stats").unwrap();
+        assert!(stats.contains("preference deltas: swaps=1 coalesced=2 rebuild=0"), "{stats}");
+        assert!(stats.contains("eval paths:"), "{stats}");
     }
 
     #[test]

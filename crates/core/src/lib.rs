@@ -28,6 +28,11 @@
 //!   [`EngineSnapshot::with_mutations`] — re-partitioning only the affected conflict
 //!   components and carrying over every untouched memo entry, bit-identical to a
 //!   fresh build ([`delta`]),
+//! * the **schema-delta subsystem**: `ALTER TABLE … ADD FD` derives a snapshot through
+//!   [`EngineSnapshot::with_fd_added`] — scanning only the new FD's LHS groups for
+//!   edges, re-partitioning only the components those edges touch, and sharing the
+//!   whole parent (graph, memo, columnar views) when the FD adds no edge at all
+//!   ([`schema_delta`]),
 //! * the **continuous-query subsystem**: a [`SubscriptionManager`] observes registry
 //!   generation swaps and pushes incremental [`AnswerDelta`]s to registered prepared
 //!   queries — proving answers unchanged from the swap's [`ChangeScope`] (and skipping
@@ -100,6 +105,7 @@ pub mod prepared;
 pub mod properties;
 pub mod registry;
 pub mod repair;
+pub mod schema_delta;
 pub mod shard_plan;
 pub mod snapshot;
 pub mod subscribe;
@@ -124,6 +130,7 @@ pub use registry::{
     SwapObserver, TableStats,
 };
 pub use repair::RepairContext;
+pub use schema_delta::{FdDeltaError, FdDeltaReport};
 pub use shard_plan::{RouteSpec, ShardPlan, ShardPlanError};
 pub use snapshot::{BuildError, EngineBuilder, EngineSnapshot, MemoStats, Shard};
 pub use subscribe::{

@@ -688,9 +688,13 @@ impl PreparedQuery {
         let mut evaluator = Evaluator::new();
         for (index, entry) in snapshot.entries().iter().enumerate() {
             if relevant.contains(&index) {
-                evaluator.add_restricted(entry.ctx.instance(), &selection[index]);
+                evaluator.add_restricted_columnar(
+                    entry.ctx.instance(),
+                    &selection[index],
+                    entry.ctx.columns(),
+                );
             } else {
-                evaluator.add_relation(entry.ctx.instance());
+                evaluator.add_relation_columnar(entry.ctx.instance(), entry.ctx.columns());
             }
         }
         evaluator

@@ -64,6 +64,22 @@ pub enum ChangeScope {
         /// agrees with the old one on every component).
         affected: BTreeSet<usize>,
     },
+    /// One relation's constraint set changed (`ALTER TABLE … ADD FD` applied as a
+    /// delta): tuples are untouched, but conflict edges may have been added inside the
+    /// new FD's LHS groups, merging components of the named relation. Unlike
+    /// [`ChangeScope::Priority`] there is no `Rep` exemption — new conflict edges
+    /// change the repair space of **every** family. An empty `affected` set means the
+    /// FD added no edge at all (it was implied by the existing set on this instance)
+    /// and nothing changed.
+    Schema {
+        /// The relation whose FD set was extended.
+        relation: String,
+        /// The **derived-snapshot** global component ids of the re-partitioned
+        /// components (empty exactly when the FD added no edge — also when the new
+        /// edges only touched previously conflict-free tuples, which form fresh
+        /// components of their own).
+        affected: BTreeSet<usize>,
+    },
 }
 
 /// One generation swap, as seen by a [`SwapObserver`].
@@ -460,6 +476,43 @@ impl SnapshotRegistry {
             &ChangeScope::Mutation { relations: mutation.relation_names() },
         );
         Ok(Some((swapped, report)))
+    }
+
+    /// [`SnapshotRegistry::revise_scoped`] guarded by an expected generation, verified
+    /// **under the per-table revision lock**: `build` derives and the slot swaps only
+    /// if `table`'s current generation still equals `expected`; otherwise `Ok(None)`
+    /// is returned, the builder never runs, and the slot is untouched. This is the
+    /// generic compare-and-swap behind catalog-owning writers — `sql::Session` routes
+    /// `ALTER TABLE … ADD FD` and `PREFER` through it (falling back to a rebuild only
+    /// on a generation conflict), exactly like
+    /// [`SnapshotRegistry::apply_if_generation`] does for row mutations.
+    pub fn revise_scoped_if_generation<E>(
+        &self,
+        table: &str,
+        expected: u64,
+        build: impl FnOnce(&EngineSnapshot) -> Result<(EngineSnapshot, ChangeScope), E>,
+    ) -> Result<Option<u64>, ReviseError<E>> {
+        let Some(slot) = self.slot(table) else {
+            return Err(ReviseError::UnknownTable(table.to_string()));
+        };
+        let _serialised = slot.revision.lock().expect("registry revision lock");
+        // All writers hold the revision lock across base-pin → swap, so the generation
+        // read here cannot move before our swap lands.
+        let (base, generation) = {
+            let current = slot.current.lock().expect("registry slot");
+            (Arc::clone(&current.0), current.1)
+        };
+        if generation != expected {
+            return Ok(None);
+        }
+        let (revised, scope) = build(&base).map_err(ReviseError::Build)?;
+        if !self.slot_is_current(table, &slot) {
+            return Err(ReviseError::UnknownTable(table.to_string()));
+        }
+        let revised = Arc::new(revised);
+        let swapped = slot.swap_in(Arc::clone(&revised));
+        self.notify(table, swapped, &revised, &scope);
+        Ok(Some(swapped))
     }
 
     /// Removes `table`'s slot. Outstanding leases keep their snapshot alive; an

@@ -9,11 +9,11 @@
 //! the shared input of the repair families, the cleaning algorithm and the CQA engines.
 
 use std::ops::ControlFlow;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use pdqi_constraints::{ConflictGraph, FdSet};
 use pdqi_priority::Priority;
-use pdqi_relation::{RelationInstance, TupleSet};
+use pdqi_relation::{ColumnarView, RelationInstance, TupleSet};
 use pdqi_solve::GraphMisEnumerator;
 
 /// An inconsistent (or consistent) instance together with its constraints and conflict
@@ -23,13 +23,14 @@ pub struct RepairContext {
     instance: RelationInstance,
     fds: FdSet,
     graph: Arc<ConflictGraph>,
+    columns: OnceLock<Arc<ColumnarView>>,
 }
 
 impl RepairContext {
     /// Builds the context (and the conflict graph) for `instance` under `fds`.
     pub fn new(instance: RelationInstance, fds: FdSet) -> Self {
         let graph = Arc::new(ConflictGraph::build(&instance, &fds));
-        RepairContext { instance, fds, graph }
+        RepairContext { instance, fds, graph, columns: OnceLock::new() }
     }
 
     /// A context over a conflict graph computed elsewhere (the sharded snapshot builder
@@ -41,7 +42,25 @@ impl RepairContext {
         graph: Arc<ConflictGraph>,
     ) -> Self {
         debug_assert_eq!(graph.vertex_count(), instance.len());
-        RepairContext { instance, fds, graph }
+        RepairContext { instance, fds, graph, columns: OnceLock::new() }
+    }
+
+    /// A context sharing another context's instance and (already-built) columnar view
+    /// but with a different FD set and conflict graph — used by schema deltas
+    /// (`EngineSnapshot::with_fd_added`) so the columnar transpose survives derivations
+    /// whose instance is unchanged.
+    pub(crate) fn with_columns_from(
+        parent: &RepairContext,
+        fds: FdSet,
+        graph: Arc<ConflictGraph>,
+    ) -> Self {
+        debug_assert_eq!(graph.vertex_count(), parent.instance.len());
+        RepairContext {
+            instance: parent.instance.clone(),
+            fds,
+            graph,
+            columns: parent.columns.clone(),
+        }
     }
 
     /// The underlying instance.
@@ -57,6 +76,13 @@ impl RepairContext {
     /// The conflict graph.
     pub fn graph(&self) -> &Arc<ConflictGraph> {
         &self.graph
+    }
+
+    /// The columnar transpose of the instance, built lazily on first use and shared by
+    /// every clone made after that point (snapshots clone their entries per derivation,
+    /// so the transpose is paid once per distinct instance, not once per query).
+    pub fn columns(&self) -> &Arc<ColumnarView> {
+        self.columns.get_or_init(|| Arc::new(ColumnarView::build(&self.instance)))
     }
 
     /// Whether the instance is consistent (no conflict at all).

@@ -13,9 +13,10 @@
 //!   the current snapshot and remembers the full answer;
 //! * the manager is a [`SwapObserver`]: on every generation swap it first tries to
 //!   **prove the answer unchanged** from the swap's [`ChangeScope`] — a mutation of
-//!   relations the query does not read, or a priority revision that touched no
+//!   relations the query does not read, a priority revision that touched no
 //!   component the answer depends on (or a `Rep`-family query, which never depends on
-//!   the priority at all) — and skips re-execution entirely;
+//!   the priority at all), or a schema delta whose FD added no conflict edge or whose
+//!   relation the query never reads — and skips re-execution entirely;
 //! * only genuinely affected queries fall back to **execute-and-diff**: re-run against
 //!   the new snapshot (memo-assisted — untouched components stream from carried
 //!   entries) and diff the sorted answer sets into an [`AnswerDelta`], bit-identical
@@ -345,7 +346,12 @@ impl SubscriptionManager {
     ///   that do not read the revised relation, and to every query when the revision
     ///   touched no component (`affected` is empty). When the query *does* read the
     ///   revised relation and components were touched, its answer depends on all of
-    ///   that relation's components, so no finer test applies.
+    ///   that relation's components, so no finer test applies;
+    /// * a [`ChangeScope::Schema`] (an FD added as a delta) is invisible to queries
+    ///   that do not read the altered relation, and to every query when the FD added
+    ///   no conflict edge (`affected` is empty — the snapshot's repairs are identical).
+    ///   Unlike a priority revision there is **no `Rep` exemption**: new conflict
+    ///   edges change the repair space of every family.
     fn provably_unchanged(subscription: &Subscription, event: &SwapEvent<'_>) -> bool {
         if subscription.table != event.table {
             return true;
@@ -358,6 +364,10 @@ impl SubscriptionManager {
             ChangeScope::Priority { relation, affected } => {
                 subscription.family == FamilyKind::Rep
                     || affected.is_empty()
+                    || !subscription.query.relations().iter().any(|read| read == relation)
+            }
+            ChangeScope::Schema { relation, affected } => {
+                affected.is_empty()
                     || !subscription.query.relations().iter().any(|read| read == relation)
             }
         }

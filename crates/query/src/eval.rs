@@ -14,10 +14,11 @@
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
 
-use pdqi_relation::{DatabaseInstance, RelationInstance, TupleSet, Value};
+use pdqi_relation::{ColumnarView, DatabaseInstance, RelationInstance, TupleSet, Value};
 
 use crate::ast::{Atom, Comparison, Formula, Term};
 use crate::parser::ParseError;
+use crate::vector::{self, SlotData, VectorPlan};
 
 /// Errors raised during query analysis or evaluation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -88,10 +89,12 @@ impl From<ParseError> for QueryError {
     }
 }
 
-/// One visible relation: the instance and an optional restriction to a tuple subset.
+/// One visible relation: the instance, an optional restriction to a tuple subset, and
+/// (when the caller supplies one) the instance's columnar view for vectorized plans.
 struct View<'a> {
     instance: &'a RelationInstance,
     subset: Option<&'a TupleSet>,
+    columns: Option<&'a ColumnarView>,
 }
 
 impl<'a> View<'a> {
@@ -139,8 +142,10 @@ impl<'a> Evaluator<'a> {
 
     /// Makes `instance` visible under its schema name.
     pub fn add_relation(&mut self, instance: &'a RelationInstance) -> &mut Self {
-        self.relations
-            .insert(instance.schema().name().to_string(), View { instance, subset: None });
+        self.relations.insert(
+            instance.schema().name().to_string(),
+            View { instance, subset: None, columns: None },
+        );
         self
     }
 
@@ -150,18 +155,64 @@ impl<'a> Evaluator<'a> {
         instance: &'a RelationInstance,
         subset: &'a TupleSet,
     ) -> &mut Self {
-        self.relations
-            .insert(instance.schema().name().to_string(), View { instance, subset: Some(subset) });
+        self.relations.insert(
+            instance.schema().name().to_string(),
+            View { instance, subset: Some(subset), columns: None },
+        );
+        self
+    }
+
+    /// [`Evaluator::add_relation`] with the instance's columnar view attached, enabling
+    /// vectorized evaluation of eligible formulas over this relation. `columns` must be
+    /// `ColumnarView::build(instance)` (snapshots build it once and share it).
+    pub fn add_relation_columnar(
+        &mut self,
+        instance: &'a RelationInstance,
+        columns: &'a ColumnarView,
+    ) -> &mut Self {
+        debug_assert_eq!(columns.rows(), instance.len());
+        self.relations.insert(
+            instance.schema().name().to_string(),
+            View { instance, subset: None, columns: Some(columns) },
+        );
+        self
+    }
+
+    /// [`Evaluator::add_restricted`] with the instance's columnar view attached; the
+    /// vectorized path applies `subset` as the base of its selection bitmasks.
+    pub fn add_restricted_columnar(
+        &mut self,
+        instance: &'a RelationInstance,
+        subset: &'a TupleSet,
+        columns: &'a ColumnarView,
+    ) -> &mut Self {
+        debug_assert_eq!(columns.rows(), instance.len());
+        self.relations.insert(
+            instance.schema().name().to_string(),
+            View { instance, subset: Some(subset), columns: Some(columns) },
+        );
         self
     }
 
     /// Evaluates a closed formula, returning its truth value.
+    ///
+    /// Eligible conjunctive formulas over relations with columnar views run through the
+    /// vectorized plan of [`crate::vector`], pinned bit-identical to the scalar path
+    /// (same verdicts; any evaluation error re-runs the scalar path so errors are the
+    /// scalar ones). `PDQI_FORCE_SCALAR_EVAL=1` disables the vectorized path.
     pub fn eval_closed(&self, formula: &Formula) -> Result<bool, QueryError> {
         let free = formula.free_vars();
         if !free.is_empty() {
             return Err(QueryError::FreeVariables { variables: free });
         }
         self.check_atoms(formula)?;
+        if let Some((plan, data)) = self.vector_plan(formula) {
+            if let Ok(verdict) = plan.eval_closed(&data) {
+                vector::count_vectorized();
+                return Ok(verdict);
+            }
+        }
+        vector::count_scalar();
         let domain = self.active_domain(formula);
         let mut env = HashMap::new();
         self.eval(formula, &mut env, &domain)
@@ -197,12 +248,38 @@ impl<'a> Evaluator<'a> {
     /// [`Evaluator::answers`] and hands back a set ready for certain/possible folding.
     pub fn answer_rows(&self, formula: &Formula) -> Result<BTreeSet<Vec<Value>>, QueryError> {
         self.check_atoms(formula)?;
+        if let Some((plan, data)) = self.vector_plan(formula) {
+            if let Ok(rows) = plan.answer_rows(&data) {
+                vector::count_vectorized();
+                return Ok(rows);
+            }
+        }
+        vector::count_scalar();
         let free = formula.free_vars();
         let domain = self.active_domain(formula);
         let mut rows = BTreeSet::new();
         let mut env: HashMap<String, Value> = HashMap::new();
         self.answer_rows_rec(formula, &free, 0, &domain, &mut env, &mut rows)?;
         Ok(rows)
+    }
+
+    /// Compiles `formula` into a vectorized plan and resolves its atoms' columnar data,
+    /// or `None` when scalar evaluation is forced, the shape is unsupported, or some
+    /// mentioned relation has no columnar view attached.
+    fn vector_plan<'f>(&self, formula: &'f Formula) -> Option<(VectorPlan<'f>, Vec<SlotData<'a>>)> {
+        if vector::scalar_eval_forced() {
+            return None;
+        }
+        let plan = VectorPlan::compile(formula)?;
+        let data = plan
+            .relations
+            .iter()
+            .map(|name| {
+                let view = self.relations.get(*name)?;
+                Some(SlotData { columns: view.columns?, visible: view.subset })
+            })
+            .collect::<Option<Vec<_>>>()?;
+        Some((plan, data))
     }
 
     fn answer_rows_rec(

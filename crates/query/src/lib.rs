@@ -12,7 +12,11 @@
 //! * [`classify`](mod@classify) — the query-class analysis behind the columns of the paper's Fig. 5
 //!   ({∀,∃}-free, conjunctive, ...),
 //! * [`normalize`] — negation normal form, prenex form and related transformations,
-//! * [`builder`] — a concise programmatic construction API.
+//! * [`builder`] — a concise programmatic construction API,
+//! * [`vector`] — the vectorized (columnar) evaluation hot path: eligible conjunctive
+//!   formulas compile to bitmask-selection + column-gather plans over
+//!   [`ColumnarView`](pdqi_relation::ColumnarView)s, pinned bit-identical to the scalar
+//!   evaluator and disabled wholesale by `PDQI_FORCE_SCALAR_EVAL=1`.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -23,11 +27,13 @@ pub mod classify;
 pub mod eval;
 pub mod normalize;
 pub mod parser;
+pub mod vector;
 
 pub use ast::{Atom, Comparison, Formula, Term};
 pub use classify::{classify, QueryClass};
 pub use eval::{Evaluator, QueryError};
 pub use parser::parse_formula;
+pub use vector::{eval_path_stats, force_scalar_eval, scalar_eval_forced, EvalPathStats};
 
 /// Convenience result alias for query operations.
 pub type Result<T, E = QueryError> = std::result::Result<T, E>;

@@ -1,0 +1,523 @@
+//! Vectorized (columnar) evaluation of conjunctive formulas.
+//!
+//! The scalar evaluator walks tuples row-at-a-time through `HashMap<String, Value>`
+//! environments. For the conjunctive shapes that dominate the paper's workload —
+//! a block of existential quantifiers over a conjunction of atoms and comparisons —
+//! this module compiles the formula once into a `VectorPlan` and executes it over
+//! [`ColumnarView`] column slices instead:
+//!
+//! ```text
+//! column slice ──(constant filters, per slot)──► selection bitmask
+//!      │                                              │
+//!      └──(join: bind variables by (slot, column))◄───┘
+//!                     │
+//!                     └──(comparisons over bound columns, gather free columns)──► rows
+//! ```
+//!
+//! The plan is **pinned bit-identical** to the scalar path wherever it engages:
+//!
+//! * answer rows are collected into the same sorted, de-duplicated `BTreeSet`, and the
+//!   set of satisfying assignments is identical by construction (every plan variable is
+//!   bound by an atom, so both paths enumerate exactly the visible-tuple bindings that
+//!   pass every conjunct);
+//! * closed verdicts are the same booleans (non-emptiness of the same set);
+//! * any evaluation error (a type error in a comparison) aborts the vectorized run and
+//!   the caller re-runs the scalar path, so error values and their ordering always come
+//!   from the scalar evaluator.
+//!
+//! Formulas outside the supported shape (negation, disjunction, universal quantifiers,
+//! comparison variables not bound by any atom, relations without a columnar view)
+//! simply don't compile to a plan and take the scalar path. The environment knob
+//! `PDQI_FORCE_SCALAR_EVAL=1` (or [`force_scalar_eval`]) disables the vectorized path
+//! globally so the scalar fallback stays exercised; [`eval_path_stats`] reports how
+//! many evaluations each path served.
+
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+use pdqi_constraints::CompOp;
+use pdqi_relation::{ColumnarView, TupleSet, Value};
+
+use crate::ast::{Comparison, Formula, Term};
+
+/// Process-wide switch disabling the vectorized path, seeded from the
+/// `PDQI_FORCE_SCALAR_EVAL` environment variable on first use.
+fn force_flag() -> &'static AtomicBool {
+    static FLAG: OnceLock<AtomicBool> = OnceLock::new();
+    FLAG.get_or_init(|| {
+        AtomicBool::new(std::env::var("PDQI_FORCE_SCALAR_EVAL").is_ok_and(|v| v == "1"))
+    })
+}
+
+/// Forces (or un-forces) scalar evaluation process-wide. The differential test suites
+/// use this to run the same query through both paths; servers leave it to the
+/// `PDQI_FORCE_SCALAR_EVAL` environment variable.
+pub fn force_scalar_eval(force: bool) {
+    force_flag().store(force, Ordering::SeqCst);
+}
+
+/// Whether scalar evaluation is currently forced (env knob or programmatic override).
+pub fn scalar_eval_forced() -> bool {
+    force_flag().load(Ordering::SeqCst)
+}
+
+static VECTORIZED_EVALS: AtomicU64 = AtomicU64::new(0);
+static SCALAR_EVALS: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide counters of how many evaluations each path served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EvalPathStats {
+    /// Evaluations served by the vectorized (columnar) path.
+    pub vectorized: u64,
+    /// Evaluations served by the scalar path (ineligible shape, missing columns,
+    /// forced scalar, or fallback after a vectorized evaluation error).
+    pub scalar: u64,
+}
+
+/// The current evaluation-path counters (monotonic over the process lifetime).
+pub fn eval_path_stats() -> EvalPathStats {
+    EvalPathStats {
+        vectorized: VECTORIZED_EVALS.load(Ordering::Relaxed),
+        scalar: SCALAR_EVALS.load(Ordering::Relaxed),
+    }
+}
+
+pub(crate) fn count_vectorized() {
+    VECTORIZED_EVALS.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn count_scalar() {
+    SCALAR_EVALS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// The vectorized run hit an evaluation error (e.g. a comparison type error); the
+/// caller must re-run the scalar path so the reported error is the scalar one.
+pub(crate) struct Fallback;
+
+/// Where a plan variable's value lives: the current row of atom slot `slot`, column
+/// `col` of that slot's relation.
+#[derive(Debug, Clone, Copy)]
+struct VarSource {
+    slot: usize,
+    col: usize,
+}
+
+/// A comparison operand, resolved at compile time.
+#[derive(Debug, Clone, Copy)]
+enum CmpSrc<'f> {
+    Const(&'f Value),
+    Var(VarSource),
+}
+
+/// A comparison scheduled at the innermost slot binding one of its variables.
+#[derive(Debug, Clone, Copy)]
+struct CompiledCmp<'f> {
+    left: CmpSrc<'f>,
+    op: CompOp,
+    right: CmpSrc<'f>,
+}
+
+/// A conjunct with no variables at all, evaluated once before any scan (mirroring the
+/// scalar evaluator, which checks fully-bound conjuncts before the atom-driven search).
+#[derive(Debug)]
+enum GroundStep<'f> {
+    /// A constant-constant comparison.
+    Comparison(&'f Comparison),
+    /// An all-constant atom: a columnar membership test against data slot `data`.
+    AtomScan { data: usize, const_checks: Vec<(usize, &'f Value)> },
+}
+
+/// One variable-binding atom of the join, in conjunct order.
+#[derive(Debug)]
+struct Slot<'f> {
+    /// Index into the plan's relation/data table.
+    data: usize,
+    /// `column == constant` filters (compiled into the slot's selection bitmask).
+    const_checks: Vec<(usize, &'f Value)>,
+    /// `column == already-bound variable` filters (join bindings and duplicate
+    /// variables within one atom).
+    eq_checks: Vec<(usize, VarSource)>,
+    /// Comparisons whose variables are all bound once this slot is bound.
+    comparisons: Vec<CompiledCmp<'f>>,
+}
+
+/// The columnar data one atom scans: the relation's column slices plus the current
+/// visibility restriction (e.g. one repair).
+pub(crate) struct SlotData<'a> {
+    pub(crate) columns: &'a ColumnarView,
+    pub(crate) visible: Option<&'a TupleSet>,
+}
+
+/// A compiled vectorized plan for one conjunctive formula. See the [module docs](self)
+/// for the supported shape and the bit-identity contract.
+pub(crate) struct VectorPlan<'f> {
+    /// Relation name per data slot (ground atoms and join slots alike); the evaluator
+    /// resolves these to [`SlotData`] before running the plan.
+    pub(crate) relations: Vec<&'f str>,
+    ground: Vec<GroundStep<'f>>,
+    slots: Vec<Slot<'f>>,
+    /// Per free variable (lexicographic order), where to gather its value from.
+    gather: Vec<VarSource>,
+}
+
+impl<'f> VectorPlan<'f> {
+    /// Compiles `formula` into a vectorized plan, or `None` when the shape is
+    /// unsupported: anything but a (possibly empty) prefix of existential quantifiers
+    /// over a conjunction of atoms and comparisons, a comparison variable bound by no
+    /// atom, or a conjunction with no atom at all.
+    pub(crate) fn compile(formula: &'f Formula) -> Option<VectorPlan<'f>> {
+        // Peel the leading existential block(s), exactly like the scalar evaluator
+        // collapses ∃x.∃y.φ into ∃x,y.φ.
+        let mut body = formula;
+        while let Formula::Exists(_, inner) = body {
+            body = inner;
+        }
+        let mut conjuncts = Vec::new();
+        flatten(body, &mut conjuncts);
+
+        // First pass: assign every variable its binding source — the first atom (in
+        // conjunct order) and first column where it appears.
+        let mut relations: Vec<&'f str> = Vec::new();
+        let mut vars: Vec<(&'f str, VarSource)> = Vec::new();
+        let mut next_slot = 0usize;
+        for conjunct in &conjuncts {
+            match conjunct {
+                Formula::Atom(atom) => {
+                    let has_vars = atom.args.iter().any(|t| matches!(t, Term::Var(_)));
+                    if has_vars {
+                        for (col, term) in atom.args.iter().enumerate() {
+                            if let Term::Var(v) = term {
+                                if !vars.iter().any(|(name, _)| name == v) {
+                                    vars.push((v, VarSource { slot: next_slot, col }));
+                                }
+                            }
+                        }
+                        next_slot += 1;
+                    }
+                }
+                Formula::Comparison(_) => {}
+                _ => return None,
+            }
+        }
+
+        let resolve = |term: &'f Term| -> Option<CmpSrc<'f>> {
+            match term {
+                Term::Const(v) => Some(CmpSrc::Const(v)),
+                Term::Var(v) => {
+                    vars.iter().find(|(name, _)| name == v).map(|&(_, source)| CmpSrc::Var(source))
+                }
+            }
+        };
+
+        // Second pass: build ground steps, join slots and the comparison schedule.
+        let mut ground = Vec::new();
+        let mut slots: Vec<Slot<'f>> = Vec::new();
+        for conjunct in &conjuncts {
+            match conjunct {
+                Formula::Atom(atom) => {
+                    let mut const_checks = Vec::new();
+                    let mut eq_checks = Vec::new();
+                    let mut bound_here: Vec<&'f str> = Vec::new();
+                    let slot_index = slots.len();
+                    for (col, term) in atom.args.iter().enumerate() {
+                        match term {
+                            Term::Const(v) => const_checks.push((col, v)),
+                            Term::Var(v) => {
+                                let (_, source) =
+                                    *vars.iter().find(|(name, _)| name == v).expect("var indexed");
+                                if source.slot == slot_index && source.col == col {
+                                    bound_here.push(v); // first occurrence: binds here
+                                } else {
+                                    eq_checks.push((col, source));
+                                }
+                            }
+                        }
+                    }
+                    let data = relations.len();
+                    relations.push(&atom.relation);
+                    if bound_here.is_empty() && eq_checks.is_empty() {
+                        ground.push(GroundStep::AtomScan { data, const_checks });
+                    } else {
+                        slots.push(Slot { data, const_checks, eq_checks, comparisons: Vec::new() });
+                    }
+                }
+                Formula::Comparison(cmp) => {
+                    let left = resolve(&cmp.left)?; // None: variable bound by no atom
+                    let right = resolve(&cmp.right)?;
+                    let slot_of = |src: &CmpSrc<'f>| match src {
+                        CmpSrc::Const(_) => None,
+                        CmpSrc::Var(source) => Some(source.slot),
+                    };
+                    match slot_of(&left).max(slot_of(&right)) {
+                        None => ground.push(GroundStep::Comparison(cmp)),
+                        Some(slot) => {
+                            slots[slot].comparisons.push(CompiledCmp { left, op: cmp.op, right })
+                        }
+                    }
+                }
+                _ => unreachable!("rejected in the first pass"),
+            }
+        }
+        if relations.is_empty() {
+            return None;
+        }
+
+        // Free variables must all be gatherable from an atom binding. (They are:
+        // comparison-only variables were rejected above, so every free variable is
+        // bound by some atom.)
+        let mut gather = Vec::new();
+        for free in formula.free_vars() {
+            let (_, source) = *vars.iter().find(|(name, _)| *name == free)?;
+            gather.push(source);
+        }
+        Some(VectorPlan { relations, ground, slots, gather })
+    }
+
+    /// Vectorized [`answer_rows`](crate::Evaluator::answer_rows): the satisfying
+    /// free-variable rows, sorted and de-duplicated. `Err(Fallback)` means a comparison
+    /// errored — re-run the scalar path.
+    pub(crate) fn answer_rows<'a>(
+        &self,
+        data: &'a [SlotData<'a>],
+    ) -> Result<BTreeSet<Vec<Value>>, Fallback>
+    where
+        'f: 'a,
+    {
+        let mut rows = BTreeSet::new();
+        if !self.run_ground(data)? {
+            return Ok(rows);
+        }
+        let masks = self.slot_masks(data);
+        let mut bound = vec![0usize; self.slots.len()];
+        self.search(data, &masks, 0, &mut bound, &mut |slots_bound| {
+            let row: Vec<Value> = self
+                .gather
+                .iter()
+                .map(|src| {
+                    let slot = &self.slots[src.slot];
+                    data[slot.data].columns.column(src.col)[slots_bound[src.slot]].clone()
+                })
+                .collect();
+            rows.insert(row);
+            false // keep enumerating
+        })?;
+        Ok(rows)
+    }
+
+    /// Vectorized [`eval_closed`](crate::Evaluator::eval_closed): whether any
+    /// satisfying binding exists. `Err(Fallback)` means a comparison errored.
+    pub(crate) fn eval_closed<'a>(&self, data: &'a [SlotData<'a>]) -> Result<bool, Fallback>
+    where
+        'f: 'a,
+    {
+        if !self.run_ground(data)? {
+            return Ok(false);
+        }
+        let masks = self.slot_masks(data);
+        let mut bound = vec![0usize; self.slots.len()];
+        self.search(data, &masks, 0, &mut bound, &mut |_| true /* stop at first */)
+    }
+
+    /// Resolves a comparison operand against the current join binding.
+    fn resolve_value<'a>(
+        &self,
+        data: &'a [SlotData<'a>],
+        bound: &[usize],
+        src: CmpSrc<'f>,
+    ) -> &'a Value
+    where
+        'f: 'a,
+    {
+        match src {
+            CmpSrc::Const(v) => v,
+            CmpSrc::Var(source) => {
+                let slot = &self.slots[source.slot];
+                &data[slot.data].columns.column(source.col)[bound[source.slot]]
+            }
+        }
+    }
+
+    /// Evaluates every variable-free conjunct. `Ok(false)` short-circuits the whole
+    /// query to empty/false; `Err` reports a comparison error (scalar fallback).
+    fn run_ground(&self, data: &[SlotData<'_>]) -> Result<bool, Fallback> {
+        for step in &self.ground {
+            match step {
+                GroundStep::Comparison(cmp) => {
+                    let constant = |term: &Term| match term {
+                        Term::Const(v) => v.clone(),
+                        Term::Var(_) => unreachable!("ground comparison"),
+                    };
+                    match cmp.op.eval(&constant(&cmp.left), &constant(&cmp.right)) {
+                        Ok(true) => {}
+                        Ok(false) => return Ok(false),
+                        Err(_) => return Err(Fallback),
+                    }
+                }
+                GroundStep::AtomScan { data: d, const_checks } => {
+                    let mask = row_mask(&data[*d], const_checks);
+                    if !mask.iter().any(|&word| word != 0) {
+                        return Ok(false);
+                    }
+                }
+            }
+        }
+        Ok(true)
+    }
+
+    /// The per-slot selection bitmasks: visibility ∧ every `column == constant` filter,
+    /// computed once per run with one columnar pass per filter and reused across every
+    /// outer join binding.
+    fn slot_masks(&self, data: &[SlotData<'_>]) -> Vec<Vec<u64>> {
+        self.slots.iter().map(|slot| row_mask(&data[slot.data], &slot.const_checks)).collect()
+    }
+
+    /// Depth-first join over the slots: iterate slot `depth`'s bitmask, check its join
+    /// bindings and scheduled comparisons against bound columns, recurse. `emit` runs
+    /// per full binding and returns `true` to stop the search (closed evaluation).
+    fn search<'a>(
+        &self,
+        data: &'a [SlotData<'a>],
+        masks: &[Vec<u64>],
+        depth: usize,
+        bound: &mut Vec<usize>,
+        emit: &mut dyn FnMut(&[usize]) -> bool,
+    ) -> Result<bool, Fallback>
+    where
+        'f: 'a,
+    {
+        if depth == self.slots.len() {
+            return Ok(emit(bound));
+        }
+        let slot = &self.slots[depth];
+        let columns = data[slot.data].columns;
+        for row in iter_mask(&masks[depth]) {
+            bound[depth] = row;
+            let joins = slot.eq_checks.iter().all(|(col, source)| {
+                columns.column(*col)[row] == *self.resolve_value(data, bound, CmpSrc::Var(*source))
+            });
+            if !joins {
+                continue;
+            }
+            let mut keep = true;
+            for cmp in &slot.comparisons {
+                let left = self.resolve_value(data, bound, cmp.left);
+                let right = self.resolve_value(data, bound, cmp.right);
+                match cmp.op.eval(left, right) {
+                    Ok(true) => {}
+                    Ok(false) => {
+                        keep = false;
+                        break;
+                    }
+                    Err(_) => return Err(Fallback),
+                }
+            }
+            if keep && self.search(data, masks, depth + 1, bound, emit)? {
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+}
+
+/// Builds the selection bitmask of one atom: a bit per row of the relation, set when
+/// the row is visible and passes every `column == constant` filter (one columnar pass
+/// per filter).
+fn row_mask(data: &SlotData<'_>, const_checks: &[(usize, &Value)]) -> Vec<u64> {
+    let rows = data.columns.rows();
+    let words = rows.div_ceil(64);
+    let mut mask = vec![0u64; words];
+    match data.visible {
+        Some(subset) => {
+            for id in subset.iter() {
+                if id.index() < rows {
+                    mask[id.index() / 64] |= 1u64 << (id.index() % 64);
+                }
+            }
+        }
+        None => {
+            for (i, word) in mask.iter_mut().enumerate() {
+                let bits = rows - i * 64;
+                *word = if bits >= 64 { !0 } else { (1u64 << bits) - 1 };
+            }
+        }
+    }
+    for (col, expected) in const_checks {
+        let column = data.columns.column(*col);
+        for word_idx in 0..mask.len() {
+            let mut bits = mask[word_idx];
+            while bits != 0 {
+                let bit = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                if column[word_idx * 64 + bit] != **expected {
+                    mask[word_idx] &= !(1u64 << bit);
+                }
+            }
+        }
+    }
+    mask
+}
+
+/// Iterates the set bits of a bitmask in ascending order.
+fn iter_mask(mask: &[u64]) -> impl Iterator<Item = usize> + '_ {
+    mask.iter().enumerate().flat_map(|(word_idx, &word)| {
+        let mut bits = word;
+        std::iter::from_fn(move || {
+            if bits == 0 {
+                None
+            } else {
+                let bit = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                Some(word_idx * 64 + bit)
+            }
+        })
+    })
+}
+
+/// Flattens nested conjunctions into their conjuncts (same shape as the scalar
+/// evaluator's search).
+fn flatten<'f>(formula: &'f Formula, out: &mut Vec<&'f Formula>) {
+    match formula {
+        Formula::And(a, b) => {
+            flatten(a, out);
+            flatten(b, out);
+        }
+        other => out.push(other),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_formula;
+
+    fn compiles(text: &str) -> bool {
+        VectorPlan::compile(&parse_formula(text).unwrap()).is_some()
+    }
+
+    #[test]
+    fn conjunctive_shapes_compile() {
+        assert!(compiles("EXISTS d,s,r . Mgr(x,d,s,r)"));
+        assert!(compiles("EXISTS d,s,r . Mgr(x,d,s,r) AND s > 10"));
+        assert!(compiles(
+            "EXISTS d1,s1,r1,d2,s2,r2 . \
+             Mgr('Mary',d1,s1,r1) AND Mgr('John',d2,s2,r2) AND s1 < s2"
+        ));
+        assert!(compiles("Mgr('Mary','R&D',40,3)"));
+        assert!(compiles("Mgr(x,d,s,r) AND s >= 20"));
+        // Duplicate variable inside one atom (self-equality).
+        assert!(compiles("EXISTS a . R(a,a,x)"));
+    }
+
+    #[test]
+    fn unsupported_shapes_do_not_compile() {
+        assert!(!compiles("NOT Mgr('Mary','R&D',40,3)"));
+        assert!(!compiles("EXISTS x,y . R(x,y) OR S(x,y)"));
+        assert!(!compiles("FORALL n,d,s,rep . Mgr(n,d,s,rep) -> s >= 10"));
+        // Comparison variable bound by no atom.
+        assert!(!compiles("EXISTS x . x = 40"));
+        assert!(!compiles("x < 5"));
+        // No atom at all.
+        assert!(!compiles("3 < 5"));
+    }
+}

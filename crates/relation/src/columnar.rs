@@ -1,0 +1,100 @@
+//! Columnar projection of a relation instance.
+//!
+//! A [`ColumnarView`] stores one dense `Vec<Value>` per attribute, indexed by
+//! [`TupleId`](crate::TupleId) — the transpose of the row-major tuple storage of
+//! [`RelationInstance`]. Vectorized query evaluation scans these column slices
+//! (constant filters, comparisons, duplicate-variable equality) and gathers answer
+//! rows from them without materialising per-row environments.
+//!
+//! Views are derived, immutable data: build one per instance (snapshots build one per
+//! swap and share it across derived snapshots whose instance is unchanged) and hand
+//! out `&[Value]` slices per attribute.
+
+use crate::relation::RelationInstance;
+use crate::value::Value;
+
+/// Dense per-attribute columns of one relation instance.
+///
+/// Column `a` holds the value of attribute `a` for every tuple, indexed by tuple id;
+/// all columns have the same length (the number of tuples in the instance).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnarView {
+    columns: Vec<Vec<Value>>,
+    rows: usize,
+}
+
+impl ColumnarView {
+    /// Transposes `instance` into per-attribute columns (`O(rows × arity)` value
+    /// clones; values are cheap to clone — interned names or integers).
+    pub fn build(instance: &RelationInstance) -> Self {
+        let arity = instance.schema().arity();
+        let rows = instance.len();
+        let mut columns: Vec<Vec<Value>> = (0..arity).map(|_| Vec::with_capacity(rows)).collect();
+        for (_, tuple) in instance.iter() {
+            for (column, value) in columns.iter_mut().zip(tuple.values()) {
+                column.push(value.clone());
+            }
+        }
+        ColumnarView { columns, rows }
+    }
+
+    /// Number of rows (tuples) each column covers.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (the relation's arity).
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// The dense column of attribute `attr`, indexed by tuple id.
+    ///
+    /// # Panics
+    /// If `attr >= self.arity()`.
+    pub fn column(&self, attr: usize) -> &[Value] {
+        &self.columns[attr]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::RelationSchema;
+    use crate::value::ValueType;
+    use std::sync::Arc;
+
+    #[test]
+    fn build_transposes_rows_into_columns() {
+        let schema = Arc::new(
+            RelationSchema::from_pairs("R", &[("A", ValueType::Name), ("B", ValueType::Int)])
+                .unwrap(),
+        );
+        let instance = RelationInstance::from_rows(
+            schema,
+            vec![
+                vec![Value::name("x"), Value::int(1)],
+                vec![Value::name("y"), Value::int(2)],
+                vec![Value::name("x"), Value::int(3)],
+            ],
+        )
+        .unwrap();
+        let view = ColumnarView::build(&instance);
+        assert_eq!(view.rows(), 3);
+        assert_eq!(view.arity(), 2);
+        assert_eq!(view.column(0), &[Value::name("x"), Value::name("y"), Value::name("x")]);
+        assert_eq!(view.column(1), &[Value::int(1), Value::int(2), Value::int(3)]);
+    }
+
+    #[test]
+    fn empty_instances_yield_empty_columns() {
+        let schema = Arc::new(
+            RelationSchema::from_pairs("R", &[("A", ValueType::Int), ("B", ValueType::Int)])
+                .unwrap(),
+        );
+        let view = ColumnarView::build(&RelationInstance::new(schema));
+        assert_eq!(view.rows(), 0);
+        assert_eq!(view.arity(), 2);
+        assert!(view.column(0).is_empty());
+    }
+}

@@ -10,6 +10,8 @@
 //! * [`RelationSchema`], [`AttrId`], [`AttrSet`] — schemas and attribute sets,
 //! * [`Tuple`], [`TupleId`] — tuples and stable tuple identities inside an instance,
 //! * [`RelationInstance`] — a finite set of tuples with stable identities,
+//! * [`ColumnarView`] — the per-attribute columnar transpose of an instance, the
+//!   substrate of vectorized query evaluation,
 //! * [`DatabaseInstance`] — a multi-relation instance (the paper restricts itself to a
 //!   single relation "for the sake of clarity"; we support the general case),
 //! * [`text`] — a small plain-text loader/renderer used by examples and tests.
@@ -20,6 +22,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod columnar;
 pub mod database;
 pub mod error;
 pub mod relation;
@@ -29,6 +32,7 @@ pub mod text;
 pub mod tuple;
 pub mod value;
 
+pub use columnar::ColumnarView;
 pub use database::DatabaseInstance;
 pub use error::RelationError;
 pub use relation::{RelationInstance, TupleSet};

@@ -434,6 +434,16 @@ impl Client {
         parse_tagged(response.lines().next().unwrap_or(""), "gen")
     }
 
+    /// Adds one functional dependency (`"lhs attrs -> rhs attrs"`, parsed against the
+    /// served schema) to `table` and swaps in the delta-derived snapshot — new
+    /// conflict edges are scanned only inside the FD's left-hand-side groups, never by
+    /// re-pairing the whole relation. Returns the new generation.
+    pub fn alter(&mut self, table: &str, fd: &str) -> Result<u64, ClientError> {
+        let response =
+            self.request(&Request::Alter { table: table.to_string(), fd: fd.to_string() })?;
+        parse_tagged(response.lines().next().unwrap_or(""), "gen")
+    }
+
     /// Fetches the closed-query profile of a prepared query: the repair-product size
     /// and the first true/false positions — what a coordinator merges across shards.
     pub fn profile(

@@ -514,6 +514,15 @@ fn dispatch(state: &CoordinatorState, request: &Request) -> String {
             }
             out
         }
+        Request::Alter { .. } => {
+            // A new FD can create conflict edges between tuples in *different* key
+            // ranges, breaking the no-cross-shard-edge invariant every merge rule
+            // above rests on. Refusing is the only sound answer: constraint changes
+            // belong in the shard plan, re-sharded so the invariant is re-established.
+            "ERR ALTER is not supported through the coordinator (a new FD can create \
+             conflict edges across shard boundaries; rebuild the shard plan instead)"
+                .to_string()
+        }
         Request::Subscribe { .. } | Request::Unsubscribe { .. } => {
             "ERR subscriptions are not supported through the coordinator \
              (connect to a shard directly)"

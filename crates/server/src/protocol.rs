@@ -31,6 +31,7 @@
 //! DELETE <table>
 //! <value>\t<value>\t...                        (repeated, one escaped row per line)
 //! SET-PRIORITY <table> [<winner>><loser> ...]
+//! ALTER <table> <lhs attrs -> rhs attrs>
 //! MUTATE <table>
 //! +\t<value>\t<value>\t...                     (one op-prefixed row per line:
 //! -\t<value>\t<value>\t...                      `+` inserts, `-` deletes)
@@ -45,7 +46,10 @@
 //! `DELETE` rows use the same tab-separated, [`escape_field`]-escaped encoding as
 //! answer rows; values are typed against the served table's schema at dispatch, and
 //! the mutation publishes a **delta-derived** snapshot (affected conflict components
-//! only — no rebuild), so the response carries the new generation.
+//! only — no rebuild), so the response carries the new generation. `ALTER` adds one
+//! functional dependency (parsed against the served schema, e.g. `ALTER Mgr Name ->
+//! Dept Salary`) and likewise swaps in a delta-derived snapshot — new conflict edges
+//! are scanned only inside the added FD's left-hand-side groups.
 //!
 //! # Responses
 //!
@@ -199,6 +203,14 @@ pub enum Request {
         /// Raw row fields of the tuples to remove.
         rows: Vec<Vec<String>>,
     },
+    /// Add one functional dependency to a table, publishing a delta-derived snapshot
+    /// (new edges scanned only inside the FD's LHS groups — no rebuild).
+    Alter {
+        /// The table whose constraint set grows.
+        table: String,
+        /// The FD text (`lhs attrs -> rhs attrs`), parsed against the served schema.
+        fd: String,
+    },
     /// Revise a table's priority and swap the registry snapshot.
     SetPriority {
         /// The table whose priority is revised.
@@ -298,6 +310,16 @@ impl Request {
                 } else {
                     Request::Delete { table, rows }
                 })
+            }
+            "ALTER" => {
+                let Some((table, fd)) = rest.split_once(char::is_whitespace) else {
+                    return Err("usage: ALTER <table> <lhs attrs -> rhs attrs>".to_string());
+                };
+                let fd = fd.trim();
+                if fd.is_empty() {
+                    return Err("usage: ALTER <table> <lhs attrs -> rhs attrs>".to_string());
+                }
+                Ok(Request::Alter { table: table.to_string(), fd: fd.to_string() })
             }
             "SET-PRIORITY" => {
                 let (table, pair_text) = match rest.split_once(char::is_whitespace) {
@@ -424,6 +446,7 @@ impl Request {
                 format!("SUBSCRIBE {id} {} {mode}", family.label())
             }
             Request::Unsubscribe { sub } => format!("UNSUBSCRIBE {sub}"),
+            Request::Alter { table, fd } => format!("ALTER {table} {fd}"),
             Request::SetPriority { table, pairs } => {
                 let mut out = format!("SET-PRIORITY {table}");
                 for (winner, loser) in pairs {
@@ -655,6 +678,7 @@ mod tests {
                 mode: ExecMode::Profile,
             }),
             Request::Describe { table: "Mgr".into() },
+            Request::Alter { table: "Mgr".into(), fd: "Name -> Dept Salary Reports".into() },
             Request::SetPriority { table: "Mgr".into(), pairs: vec![(0, 2), (1, 3)] },
             Request::SetPriority { table: "Mgr".into(), pairs: vec![] },
             Request::Insert {
@@ -717,6 +741,9 @@ mod tests {
             "EXEC q1 ALL CERTAIN extra",
             "BATCH",
             "BATCH\nq1 ALL",
+            "ALTER",
+            "ALTER Mgr",
+            "ALTER Mgr   ",
             "SET-PRIORITY",
             "SET-PRIORITY Mgr 1-2",
             "SET-PRIORITY Mgr x>y",

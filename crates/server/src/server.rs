@@ -13,10 +13,12 @@
 //!   [`BatchExecutor`] over that snapshot. Answers are bit-identical to calling
 //!   [`pdqi_core::PreparedQuery::execute`] on the leased snapshot directly, and the
 //!   response reports the pinned generation;
-//! * `SET-PRIORITY` revises **off the serving path** through
+//! * `SET-PRIORITY` and `ALTER` revise **off the serving path** through
 //!   [`SnapshotRegistry::revise`]: the replacement snapshot derives (and eagerly
 //!   revalidates) while in-flight readers keep their leases, then one atomic swap
-//!   publishes it;
+//!   publishes it. `ALTER` derives through
+//!   [`pdqi_core::EngineSnapshot::with_fd_added`] — new conflict edges are scanned
+//!   only inside the added FD's LHS groups, never by re-pairing the whole relation;
 //! * prepared queries are parsed once (`PREPARE`) into a shared plan cache keyed by
 //!   client-chosen ids, so repeated `EXEC`s skip parsing and classification exactly
 //!   like prepared statements in the SQL session.
@@ -29,6 +31,7 @@ use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use pdqi_constraints::FunctionalDependency;
 use pdqi_core::{
     BatchExecutor, BatchRequest, BatchResponse, ChangeScope, ChunkTuner, Mutation, Parallelism,
     PreparedQuery, SnapshotLease, SnapshotRegistry, SubscriptionEvent, SubscriptionManager,
@@ -90,6 +93,9 @@ struct ServerState {
     shutdown: AtomicBool,
     requests: AtomicU64,
     protocol_errors: AtomicU64,
+    /// `ALTER` requests that swapped in an FD-delta-derived snapshot (the server has
+    /// no rebuild fallback — a failed delta is an `ERR`, counted nowhere).
+    alters_applied: AtomicU64,
 }
 
 impl ServerState {
@@ -171,6 +177,7 @@ pub fn serve(
         shutdown: AtomicBool::new(false),
         requests: AtomicU64::new(0),
         protocol_errors: AtomicU64::new(0),
+        alters_applied: AtomicU64::new(0),
     });
     let connections: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
     let mut acceptors = Vec::new();
@@ -569,6 +576,37 @@ fn dispatch(state: &ServerState, request: &Request, subs: &mut ConnectionSubs) -
             state.subscriptions.unsubscribe(*sub);
             format!("OK unsubscribed sub={sub}")
         }
+        Request::Alter { table, fd } => {
+            let parallelism = state.parallelism;
+            let revised = state.registry.revise_scoped(table, |current| {
+                let ctx = current.context_of(table).ok_or_else(|| {
+                    format!("registry snapshot for `{table}` does not contain that relation")
+                })?;
+                let parsed = FunctionalDependency::parse(ctx.instance().schema(), fd)
+                    .map_err(|e| e.to_string())?;
+                // The derivation scans for new conflict edges only inside the added
+                // FD's LHS groups and re-partitions only the components those edges
+                // touch; the reported scope lets subscription observers skip queries
+                // the schema change provably cannot affect.
+                current
+                    .with_fd_added_reported(table, parsed, parallelism)
+                    .map(|(snapshot, report)| {
+                        let scope = ChangeScope::Schema {
+                            relation: table.clone(),
+                            affected: report.affected,
+                        };
+                        (snapshot, scope)
+                    })
+                    .map_err(|e| e.to_string())
+            });
+            match revised {
+                Ok(generation) => {
+                    state.alters_applied.fetch_add(1, Ordering::Relaxed);
+                    format!("OK altered {table} gen={generation}")
+                }
+                Err(e) => format!("ERR {e}"),
+            }
+        }
         Request::SetPriority { table, pairs } => {
             let pairs: Vec<(TupleId, TupleId)> =
                 pairs.iter().map(|&(w, l)| (TupleId(w), TupleId(l))).collect();
@@ -639,6 +677,16 @@ fn dispatch(state: &ServerState, request: &Request, subs: &mut ConnectionSubs) -
                 subscribe.executions,
                 subscribe.lagged_resyncs,
             ));
+            // Schema-delta and evaluation-path accounting. Every server-side ALTER is
+            // a delta (there is no rebuild fallback over the wire); the eval counters
+            // are process-wide — vectorized and scalar executions of the columnar hot
+            // path, bit-identical by construction.
+            out.push_str(&format!(
+                "\nschema alters={}",
+                state.alters_applied.load(Ordering::Relaxed)
+            ));
+            let eval = pdqi_query::eval_path_stats();
+            out.push_str(&format!("\neval vectorized={} scalar={}", eval.vectorized, eval.scalar));
             for table in state.registry.table_names() {
                 if let Some(stats) = state.registry.table_stats(&table) {
                     out.push_str(&format!(

@@ -26,4 +26,4 @@ pub mod parser;
 pub mod session;
 
 pub use parser::{parse_statement, ColumnType, Condition, SelectStatement, Statement};
-pub use session::{QueryResult, Session, SqlError, StatementOutcome};
+pub use session::{QueryResult, SchemaDeltaStats, Session, SqlError, StatementOutcome};

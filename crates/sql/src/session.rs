@@ -14,24 +14,30 @@
 //! * the registry's per-table snapshot, built on first use. `INSERT` and `DELETE`
 //!   publish **delta-derived** replacements through [`SnapshotRegistry::apply`] — only
 //!   the conflict components the mutation touches are re-partitioned and re-enumerated,
-//!   everything else (including the memo) carries over — falling back to a rebuild only
-//!   when another writer got between this session and the registry. `ALTER TABLE … ADD
-//!   FD` and `PREFER` still re-publish whole snapshots. Repeated `SELECT`s against an
-//!   unchanged table share the snapshot's component and answer memos, across every
+//!   everything else (including the memo) carries over. `ALTER TABLE … ADD FD` derives
+//!   through [`EngineSnapshot::with_fd_added`](EngineSnapshot::with_fd_added) (new
+//!   edges are scanned only inside the added FD's LHS groups), and `PREFER` statements
+//!   **coalesce**: consecutive preferences on one table batch into a single
+//!   priority-revalidation derivation + swap at the next read, mirroring how `MUTATE`
+//!   batches rows. Every delta path is a registry compare-and-swap, falling back to a
+//!   rebuild only when another writer got between this session and the registry (see
+//!   [`Session::schema_delta_stats`] for the accounting). Repeated `SELECT`s against
+//!   an unchanged table share the snapshot's component and answer memos, across every
 //!   session on the registry;
 //! * a per-statement-text [`PreparedQuery`], so re-executing the same `SELECT` skips
-//!   SQL-to-formula planning entirely. Prepared statements survive table mutations —
-//!   they depend only on the schema, which the current SQL surface never alters.
+//!   SQL-to-formula planning entirely. Prepared statements survive table mutations and
+//!   FD additions — they depend only on the relation's column shape, which the current
+//!   SQL surface never alters (FDs constrain rows, they do not reshape them).
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
 use std::sync::Arc;
 
-use pdqi_constraints::FdSet;
+use pdqi_constraints::{FdSet, FunctionalDependency};
 use pdqi_core::{
-    ChunkTuner, EngineBuilder, EngineSnapshot, Mutation, Parallelism, PreparedQuery, Semantics,
-    SnapshotLease, SnapshotRegistry, Subscribed, SubscriptionEvent, SubscriptionInfo,
-    SubscriptionManager,
+    ChangeScope, ChunkTuner, EngineBuilder, EngineSnapshot, Mutation, Parallelism, PreparedQuery,
+    ReviseError, Semantics, SnapshotLease, SnapshotRegistry, Subscribed, SubscriptionEvent,
+    SubscriptionInfo, SubscriptionManager,
 };
 use pdqi_query::builder::{and_all, atom, exists, var};
 use pdqi_query::{Evaluator, Formula, Term};
@@ -129,6 +135,27 @@ struct PreparedSelect {
     query: Arc<PreparedQuery>,
 }
 
+/// Schema/constraint delta accounting for one session: how many `ALTER TABLE … ADD FD`
+/// and `PREFER` statements were applied as registry **deltas** (a derived snapshot
+/// compare-and-swapped into the slot) versus falling back to full rebuilds, and how
+/// effectively consecutive `PREFER`s coalesced into shared swaps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SchemaDeltaStats {
+    /// `ALTER TABLE … ADD FD` statements applied through
+    /// [`EngineSnapshot::with_fd_added`](EngineSnapshot::with_fd_added).
+    pub fds_delta: u64,
+    /// `ALTER TABLE … ADD FD` statements that fell back to the mark-stale/rebuild path.
+    pub fds_rebuild: u64,
+    /// Coalesced `PREFER` flushes applied as priority-revalidation derivations — one
+    /// swap per table per read boundary, however many statements were batched into it.
+    pub prefers_delta: u64,
+    /// `PREFER` statements whose installation fell back to the rebuild path.
+    pub prefers_rebuild: u64,
+    /// `PREFER` statements absorbed into delta flushes. Always `≥ prefers_delta`; the
+    /// gap is statements that shared a swap with an earlier queued preference.
+    pub prefers_coalesced: u64,
+}
+
 /// An interactive session: a catalog of tables, their constraints, their data and the
 /// preferences accumulated so far, serving snapshots out of a (possibly shared)
 /// [`SnapshotRegistry`] as described in the [module docs](self).
@@ -139,11 +166,18 @@ pub struct Session {
     /// server) constructed over the same registry.
     registry: Arc<SnapshotRegistry>,
     /// Tables whose published snapshot no longer reflects this session's catalog; the
-    /// next snapshot read rebuilds and re-publishes through the registry. `INSERT` and
-    /// `DELETE` avoid this path entirely when the registry still serves the snapshot
-    /// this session last wrote: they apply the mutation **as a delta** (see
-    /// [`SnapshotRegistry::apply`]) instead of marking the table stale.
+    /// next snapshot read rebuilds and re-publishes through the registry. Every
+    /// catalog-changing statement avoids this path when the registry still serves the
+    /// snapshot this session last wrote: `INSERT`/`DELETE` apply **as mutation
+    /// deltas** (see [`SnapshotRegistry::apply`]), `ALTER TABLE … ADD FD` as a
+    /// schema delta, and queued `PREFER`s as one coalesced priority derivation.
     stale: BTreeSet<String>,
+    /// Per-table count of `PREFER` statements recorded in the catalog but not yet
+    /// installed into the served snapshot; they flush as **one** coalesced
+    /// priority-revalidation swap right before the next snapshot read.
+    pending_prefers: BTreeMap<String, u64>,
+    /// Delta-vs-rebuild accounting for `ALTER`/`PREFER` (see [`SchemaDeltaStats`]).
+    schema_stats: SchemaDeltaStats,
     /// The registry generation of this session's last write per table. A delta only
     /// applies when the current generation still matches — another writer having
     /// swapped the slot since means the served snapshot no longer corresponds to this
@@ -181,6 +215,8 @@ impl Session {
             tables: BTreeMap::new(),
             registry,
             stale: BTreeSet::new(),
+            pending_prefers: BTreeMap::new(),
+            schema_stats: SchemaDeltaStats::default(),
             published_gen: BTreeMap::new(),
             prepared: HashMap::new(),
             parallelism: Parallelism::default(),
@@ -260,6 +296,7 @@ impl Session {
                 // same-named snapshot published by a sibling session, which must not
                 // shadow the (empty) table this session just defined.
                 self.stale.insert(name.clone());
+                self.pending_prefers.remove(&name);
                 self.tables.insert(
                     name,
                     Table {
@@ -274,10 +311,10 @@ impl Session {
             Statement::AddFd { table, fd } => {
                 let entry = self.table_mut(&table)?;
                 // Validate the FD against the schema before recording it.
-                FdSet::parse(Arc::clone(&entry.schema), &[fd.as_str()])
+                let parsed = FunctionalDependency::parse(&entry.schema, &fd)
                     .map_err(|e| SqlError::Schema(e.to_string()))?;
                 entry.fds.push(fd);
-                self.stale.insert(table);
+                self.add_fd_or_mark_stale(&table, parsed);
                 Ok(StatementOutcome::FdAdded)
             }
             Statement::Insert { table, rows } => {
@@ -340,7 +377,7 @@ impl Session {
                     }
                 }
                 entry.preferences.push((winner, loser));
-                self.stale.insert(table);
+                self.queue_prefer(&table);
                 Ok(StatementOutcome::PreferenceAdded)
             }
             Statement::Select(_) => {
@@ -415,10 +452,12 @@ impl Session {
     /// The engine snapshot for `table`: the registry's current snapshot, pinned behind
     /// an [`Arc`] (no copies — every caller shares the snapshot and its memo).
     ///
-    /// Built and published through the registry on first use; a statement that mutates
-    /// the table marks it stale in this session, and the next read re-publishes. Tables
-    /// this session never defined are still served when another session (or a server)
-    /// published them into the shared registry.
+    /// Built and published through the registry on first use; a statement that changes
+    /// the table either swaps a delta-derived replacement into the registry right away
+    /// (`INSERT`/`DELETE`/`ALTER`), queues for a coalesced swap at this read
+    /// (`PREFER`), or marks the table stale so this read rebuilds and re-publishes.
+    /// Tables this session never defined are still served when another session (or a
+    /// server) published them into the shared registry.
     pub fn snapshot(&mut self, table: &str) -> Result<Arc<EngineSnapshot>, SqlError> {
         self.snapshot_lease(table).map(SnapshotLease::into_snapshot)
     }
@@ -444,6 +483,9 @@ impl Session {
     /// last publish (or the registry does not serve it yet). Returns whether a publish
     /// happened. The single site of the build → publish → stale-clear sequence.
     fn publish_if_stale(&mut self, table: &str) -> Result<bool, SqlError> {
+        // Queued PREFERs install first — as one coalesced priority derivation when the
+        // delta path is available, otherwise by folding into the rebuild below.
+        self.flush_pending_prefers(table)?;
         if !self.stale.contains(table) && self.registry.contains(table) {
             return Ok(false);
         }
@@ -452,6 +494,134 @@ impl Session {
         self.published_gen.insert(table.to_string(), generation);
         self.stale.remove(table);
         Ok(true)
+    }
+
+    /// Routes `ALTER TABLE … ADD FD` through the registry **as a schema delta** when
+    /// the served snapshot is still the one this session last wrote: the published
+    /// replacement scans for new conflict edges only inside the added FD's LHS groups
+    /// and re-partitions only the components those edges touch
+    /// ([`EngineSnapshot::with_fd_added`](EngineSnapshot::with_fd_added)). The
+    /// generation check runs under the registry's per-table revision lock, exactly
+    /// like the `INSERT`/`DELETE` delta path; interference from another writer (or a
+    /// delta error) falls back to mark-stale + rebuild.
+    fn add_fd_or_mark_stale(&mut self, table: &str, fd: FunctionalDependency) {
+        if !self.stale.contains(table) {
+            if let Some(&expected) = self.published_gen.get(table) {
+                let parallelism = self.parallelism;
+                let name = table.to_string();
+                let applied = self.registry.revise_scoped_if_generation(table, expected, |base| {
+                    base.with_fd_added_reported(&name, fd, parallelism).map(|(snapshot, report)| {
+                        let scope = ChangeScope::Schema {
+                            relation: name.clone(),
+                            affected: report.affected,
+                        };
+                        (snapshot, scope)
+                    })
+                });
+                if let Ok(Some(generation)) = applied {
+                    self.published_gen.insert(table.to_string(), generation);
+                    self.schema_stats.fds_delta += 1;
+                    return;
+                }
+            }
+        }
+        self.stale.insert(table.to_string());
+        self.schema_stats.fds_rebuild += 1;
+    }
+
+    /// Records a `PREFER` for installation at the next read boundary. Preferences on a
+    /// table whose served snapshot this session last wrote queue up and later flush as
+    /// **one** coalesced swap ([`Session::flush_pending_prefers`]); anything else goes
+    /// through the mark-stale/rebuild path directly.
+    fn queue_prefer(&mut self, table: &str) {
+        if !self.stale.contains(table) && self.published_gen.contains_key(table) {
+            *self.pending_prefers.entry(table.to_string()).or_insert(0) += 1;
+        } else {
+            self.stale.insert(table.to_string());
+            self.schema_stats.prefers_rebuild += 1;
+        }
+    }
+
+    /// Installs every queued `PREFER` on `table` as **one** priority-revalidation
+    /// derivation + registry swap — the coalescing described in the [module
+    /// docs](self). Runs right before any snapshot read of the table. A generation
+    /// conflict (another writer swapped the slot since this session last wrote) falls
+    /// back to the mark-stale/rebuild path; an installation error (for example a
+    /// cyclic preference) also marks the table stale, so later reads keep surfacing
+    /// the error through the rebuild until the catalog is fixed.
+    fn flush_pending_prefers(&mut self, table: &str) -> Result<(), SqlError> {
+        let Some(batched) = self.pending_prefers.remove(table) else {
+            return Ok(());
+        };
+        if self.stale.contains(table) {
+            // A later statement already forced a rebuild; it installs the whole
+            // catalog, queued preferences included.
+            self.schema_stats.prefers_rebuild += batched;
+            return Ok(());
+        }
+        let Some(&expected) = self.published_gen.get(table) else {
+            self.stale.insert(table.to_string());
+            self.schema_stats.prefers_rebuild += batched;
+            return Ok(());
+        };
+        let entry = self.table(table)?;
+        let schema = Arc::clone(&entry.schema);
+        let preferences = entry.preferences.clone();
+        let parallelism = self.parallelism;
+        let name = table.to_string();
+        let applied = self.registry.revise_scoped_if_generation(table, expected, |base| {
+            let ctx = base.context_of(&name).ok_or_else(|| SqlError::UnknownTable(name.clone()))?;
+            let instance = ctx.instance();
+            // Resolve the *whole* catalog preference list against the served
+            // instance: the replacement priority carries every preference, old and
+            // queued, so the result matches a fresh build exactly.
+            let mut pairs = Vec::new();
+            for (winner, loser) in &preferences {
+                let winner_tuple =
+                    schema.tuple(winner.clone()).map_err(|e| SqlError::Schema(e.to_string()))?;
+                let loser_tuple =
+                    schema.tuple(loser.clone()).map_err(|e| SqlError::Schema(e.to_string()))?;
+                let (Some(w), Some(l)) =
+                    (instance.id_of(&winner_tuple), instance.id_of(&loser_tuple))
+                else {
+                    return Err(SqlError::Schema(
+                        "PREFER statements must reference inserted tuples".to_string(),
+                    ));
+                };
+                pairs.push((w, l));
+            }
+            let priority = ctx
+                .priority_from_pairs(&pairs)
+                .map_err(|e| SqlError::Schema(format!("preference cannot be installed: {e}")))?;
+            let (snapshot, affected) = base
+                .with_priority_revalidated_reported_for(&name, priority, parallelism)
+                .map_err(|e| SqlError::Schema(format!("preference cannot be installed: {e}")))?;
+            Ok((snapshot, ChangeScope::Priority { relation: name.clone(), affected }))
+        });
+        match applied {
+            Ok(Some(generation)) => {
+                self.published_gen.insert(table.to_string(), generation);
+                self.schema_stats.prefers_delta += 1;
+                self.schema_stats.prefers_coalesced += batched;
+                Ok(())
+            }
+            Ok(None) | Err(ReviseError::UnknownTable(_)) => {
+                self.stale.insert(table.to_string());
+                self.schema_stats.prefers_rebuild += batched;
+                Ok(())
+            }
+            Err(ReviseError::Build(e)) => {
+                self.stale.insert(table.to_string());
+                self.schema_stats.prefers_rebuild += batched;
+                Err(e)
+            }
+        }
+    }
+
+    /// The delta-vs-rebuild accounting for this session's `ALTER TABLE … ADD FD` and
+    /// `PREFER` statements (see [`SchemaDeltaStats`]). Counters only ever grow.
+    pub fn schema_delta_stats(&self) -> SchemaDeltaStats {
+        self.schema_stats
     }
 
     /// Routes an `INSERT`/`DELETE` through the registry **as a delta** when the served
@@ -923,9 +1093,72 @@ mod tests {
         session.execute("INSERT INTO Clean VALUES (2, 3)").unwrap();
         assert_eq!(session.registry().generation("Clean"), 2);
         assert_eq!(session.publish_tables().unwrap(), 0);
-        // A preference change still goes through the rebuild path.
+        // An FD addition applies as a schema delta and re-publishes immediately too.
         session.execute("ALTER TABLE Clean ADD FD A -> B").unwrap();
-        assert_eq!(session.publish_tables().unwrap(), 1);
+        assert_eq!(session.registry().generation("Clean"), 3);
+        assert_eq!(session.publish_tables().unwrap(), 0);
+        assert_eq!(session.schema_delta_stats().fds_delta, 1);
+    }
+
+    #[test]
+    fn consecutive_prefers_coalesce_into_one_swap() {
+        let mut session = session_with_example1();
+        assert_eq!(session.snapshot_lease("Mgr").unwrap().generation(), 1);
+        // Three preferences, each a conflict edge of Example 1, queued back to back.
+        session.execute("PREFER ('Mary','R&D',40,3) OVER ('Mary','IT',20,1) IN Mgr").unwrap();
+        session.execute("PREFER ('John','R&D',10,2) OVER ('John','PR',30,4) IN Mgr").unwrap();
+        session.execute("PREFER ('Mary','R&D',40,3) OVER ('John','R&D',10,2) IN Mgr").unwrap();
+        // Nothing swapped yet; the flush happens at the read boundary, once.
+        assert_eq!(session.registry().generation("Mgr"), 1);
+        let lease = session.snapshot_lease("Mgr").unwrap();
+        assert_eq!(lease.generation(), 2);
+        assert_eq!(lease.snapshot().priority().edge_count(), 3);
+        let stats = session.schema_delta_stats();
+        assert_eq!(stats.prefers_delta, 1);
+        assert_eq!(stats.prefers_coalesced, 3);
+        assert_eq!(stats.prefers_rebuild, 0);
+        // The coalesced delta matches a from-scratch build of the same catalog.
+        let mut fresh = session_with_example1();
+        fresh.execute("PREFER ('Mary','R&D',40,3) OVER ('Mary','IT',20,1) IN Mgr").unwrap();
+        fresh.execute("PREFER ('John','R&D',10,2) OVER ('John','PR',30,4) IN Mgr").unwrap();
+        fresh.execute("PREFER ('Mary','R&D',40,3) OVER ('John','R&D',10,2) IN Mgr").unwrap();
+        let rebuilt = fresh.snapshot("Mgr").unwrap();
+        assert_eq!(lease.snapshot().count_repairs(), rebuilt.count_repairs());
+        let statement = "SELECT Dept FROM Mgr WITH REPAIRS GLOBAL";
+        assert_eq!(
+            rows(session.execute(statement).unwrap()),
+            rows(fresh.execute(statement).unwrap())
+        );
+    }
+
+    #[test]
+    fn fd_additions_apply_as_schema_deltas_end_to_end() {
+        let mut session = session_with_example1();
+        let before = session.snapshot("Mgr").unwrap();
+        // Salaries are pairwise distinct, so this FD adds no edge: the delta shares
+        // the parent's conflict graph outright and still bumps the generation.
+        session.execute("ALTER TABLE Mgr ADD FD Salary -> Dept").unwrap();
+        assert_eq!(session.registry().generation("Mgr"), 2);
+        let lease = session.snapshot_lease("Mgr").unwrap();
+        assert!(Arc::ptr_eq(lease.snapshot().graph(), before.graph()));
+        assert_eq!(lease.snapshot().context().fds().len(), 3);
+        assert_eq!(session.schema_delta_stats().fds_delta, 1);
+        // A later insert conflicts under the *new* FD (salary 40 twice, different
+        // departments); the mutation delta over the FD-extended snapshot matches a
+        // fresh session replaying the whole script.
+        session.execute("INSERT INTO Mgr VALUES ('Zoe','HR',40,9)").unwrap();
+        let delta = session.snapshot("Mgr").unwrap();
+        let mut fresh = session_with_example1();
+        fresh.execute("ALTER TABLE Mgr ADD FD Salary -> Dept").unwrap();
+        fresh.execute("INSERT INTO Mgr VALUES ('Zoe','HR',40,9)").unwrap();
+        let rebuilt = fresh.snapshot("Mgr").unwrap();
+        assert_eq!(delta.graph().edges(), rebuilt.graph().edges());
+        assert_eq!(delta.count_repairs(), rebuilt.count_repairs());
+        let statement = "SELECT Name FROM Mgr WITH REPAIRS ALL";
+        assert_eq!(
+            rows(session.execute(statement).unwrap()),
+            rows(fresh.execute(statement).unwrap())
+        );
     }
 
     #[test]
