@@ -264,8 +264,9 @@ impl<'a> Evaluator<'a> {
     }
 
     /// Compiles `formula` into a vectorized plan and resolves its atoms' columnar data,
-    /// or `None` when scalar evaluation is forced, the shape is unsupported, or some
-    /// mentioned relation has no columnar view attached.
+    /// or `None` when scalar evaluation is forced, the shape is unsupported, some
+    /// mentioned relation has no columnar view attached, or a view's row count doesn't
+    /// match its instance (a stale view must take the scalar path, not drop tuples).
     fn vector_plan<'f>(&self, formula: &'f Formula) -> Option<(VectorPlan<'f>, Vec<SlotData<'a>>)> {
         if vector::scalar_eval_forced() {
             return None;
@@ -276,7 +277,11 @@ impl<'a> Evaluator<'a> {
             .iter()
             .map(|name| {
                 let view = self.relations.get(*name)?;
-                Some(SlotData { columns: view.columns?, visible: view.subset })
+                let columns = view.columns?;
+                if columns.rows() != view.instance.len() {
+                    return None;
+                }
+                Some(SlotData { columns, visible: view.subset })
             })
             .collect::<Option<Vec<_>>>()?;
         Some((plan, data))
@@ -741,5 +746,50 @@ mod tests {
         let r = mgr_instance();
         let eval = Evaluator::with_relation(&r);
         assert!(matches!(eval.eval_closed_text("Mgr("), Err(QueryError::Parse(_))));
+    }
+
+    #[test]
+    fn columnar_path_handles_comparisons_preceding_their_binding_atoms() {
+        // Regression: this conjunct order used to panic the plan compiler; the
+        // comparison must also land on the right slot, so pin against the scalar path.
+        let r = mgr_instance();
+        let columns = ColumnarView::build(&r);
+        let mut columnar = Evaluator::new();
+        columnar.add_relation_columnar(&r, &columns);
+        let scalar = Evaluator::with_relation(&r);
+        for text in [
+            "EXISTS x,d,s,r . s >= 20 AND Mgr(x,d,s,r)",
+            "EXISTS d,s,r . s >= 20 AND Mgr(x,d,s,r)",
+            "EXISTS d1,s1,r1,d2,s2,r2 . \
+             s1 < s2 AND Mgr('Mary',d1,s1,r1) AND Mgr('John',d2,s2,r2)",
+        ] {
+            let f = parse_formula(text).unwrap();
+            assert_eq!(
+                columnar.answer_rows(&f).unwrap(),
+                scalar.answer_rows(&f).unwrap(),
+                "{text}"
+            );
+        }
+    }
+
+    #[test]
+    fn stale_columnar_view_falls_back_to_the_scalar_path() {
+        // A view whose row count disagrees with the instance must not drop tuples.
+        let r = mgr_instance();
+        let truncated = {
+            let rows: Vec<Vec<Value>> =
+                r.iter().take(2).map(|(_, t)| t.values().to_vec()).collect();
+            RelationInstance::from_rows(r.schema().clone(), rows).unwrap()
+        };
+        let stale = ColumnarView::build(&truncated);
+        let mut eval = Evaluator::new();
+        eval.add_relation(&r); // no debug_assert on the mismatched pairing
+        eval.relations.get_mut("Mgr").unwrap().columns = Some(&stale);
+        // The only 'IT' tuple sits past the stale view's rows: a silent columnar run
+        // would answer empty.
+        let f = parse_formula("EXISTS s,rep . Mgr(x,'IT',s,rep)").unwrap();
+        let rows = eval.answer_rows(&f).unwrap();
+        assert_eq!(rows, Evaluator::with_relation(&r).answer_rows(&f).unwrap());
+        assert_eq!(rows.len(), 1);
     }
 }

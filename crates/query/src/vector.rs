@@ -210,9 +210,13 @@ impl<'f> VectorPlan<'f> {
             }
         };
 
-        // Second pass: build ground steps, join slots and the comparison schedule.
+        // Second pass: build ground steps, join slots and the comparison schedule. A
+        // comparison may precede (in conjunct order) the atom binding its variables, so
+        // scheduled comparisons are buffered per first-pass slot index and attached once
+        // every slot exists.
         let mut ground = Vec::new();
         let mut slots: Vec<Slot<'f>> = Vec::new();
+        let mut scheduled: Vec<Vec<CompiledCmp<'f>>> = vec![Vec::new(); next_slot];
         for conjunct in &conjuncts {
             match conjunct {
                 Formula::Atom(atom) => {
@@ -251,9 +255,7 @@ impl<'f> VectorPlan<'f> {
                     };
                     match slot_of(&left).max(slot_of(&right)) {
                         None => ground.push(GroundStep::Comparison(cmp)),
-                        Some(slot) => {
-                            slots[slot].comparisons.push(CompiledCmp { left, op: cmp.op, right })
-                        }
+                        Some(slot) => scheduled[slot].push(CompiledCmp { left, op: cmp.op, right }),
                     }
                 }
                 _ => unreachable!("rejected in the first pass"),
@@ -261,6 +263,10 @@ impl<'f> VectorPlan<'f> {
         }
         if relations.is_empty() {
             return None;
+        }
+        debug_assert_eq!(slots.len(), next_slot);
+        for (slot, comparisons) in slots.iter_mut().zip(scheduled) {
+            slot.comparisons = comparisons;
         }
 
         // Free variables must all be gatherable from an atom binding. (They are:
@@ -507,6 +513,18 @@ mod tests {
         assert!(compiles("Mgr(x,d,s,r) AND s >= 20"));
         // Duplicate variable inside one atom (self-equality).
         assert!(compiles("EXISTS a . R(a,a,x)"));
+    }
+
+    #[test]
+    fn comparisons_may_precede_the_atoms_binding_their_variables() {
+        // Regression: scheduling a comparison used to index `slots[slot]` before the
+        // binding atom's slot existed, panicking on these valid conjunct orders.
+        assert!(compiles("EXISTS x,d,s,r . s >= 20 AND Mgr(x,d,s,r)"));
+        assert!(compiles("s >= 20 AND Mgr(x,d,s,r)"));
+        assert!(compiles(
+            "EXISTS d1,s1,r1,d2,s2,r2 . \
+             s1 < s2 AND Mgr('Mary',d1,s1,r1) AND Mgr('John',d2,s2,r2)"
+        ));
     }
 
     #[test]

@@ -183,6 +183,9 @@ fn vectorized_and_scalar_evaluation_are_bit_identical() {
     let open_queries = [
         PreparedQuery::parse("EXISTS b,c,d . R(x,b,c,d)").unwrap(),
         PreparedQuery::parse("EXISTS b,c,d . R(x,b,c,d) AND b > 0").unwrap(),
+        // Comparison before the atom binding its variable (regression: used to panic
+        // the vectorized plan compiler).
+        PreparedQuery::parse("EXISTS b,c,d . b > 0 AND R(x,b,c,d)").unwrap(),
     ];
     let closed_queries = [
         PreparedQuery::parse("EXISTS a,b,c,d . R(a,b,c,d) AND b > 0").unwrap(),

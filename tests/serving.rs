@@ -79,7 +79,10 @@ fn swap_under_load_readers_only_observe_fully_built_snapshots() {
             scope.spawn(move || {
                 let mut last_generation = 0u64;
                 let mut round = 0usize;
-                while !done.load(Ordering::Relaxed) {
+                // Check `done` at the bottom: every reader completes at least one
+                // read/verify round even if the publisher finishes first (revisions
+                // through the delta path can outrun thread startup).
+                loop {
                     let lease = registry.read("R").expect("table is always served");
                     if lease.generation() < last_generation {
                         violations.lock().unwrap().push(format!(
@@ -111,6 +114,9 @@ fn swap_under_load_readers_only_observe_fully_built_snapshots() {
                              at generation {last_generation} (torn snapshot?)"
                         ));
                         return;
+                    }
+                    if done.load(Ordering::Relaxed) {
+                        break;
                     }
                 }
             });
