@@ -1,0 +1,100 @@
+//! E21 — cost-based planning over the repair product.
+//!
+//! Two comparisons, each at growing skew, planner versus the naive fixed strategy
+//! (`PDQI_FORCE_NAIVE_PLAN`); both paths are pinned bit-identical, so the gap is
+//! pure physical-plan quality. Each iteration builds a fresh snapshot (the answer
+//! memo would otherwise serve every iteration after the first) and pre-warms the
+//! `Rep` component lists — both sides pay identically for that setup, so the
+//! measured gap comes from the planner's choices alone:
+//!
+//! * `join_planner`/`join_naive` — a three-atom self-join written in the worst
+//!   textual order: the first two atoms share no variable, so the naive path pays a
+//!   per-repair cross product before the third atom constrains both. The planner's
+//!   cardinality estimates put the connecting atom second, replacing the cross
+//!   product with two selective joins.
+//! * `grep_planner`/`grep_naive` — the same skewed join under **G-Rep** on a
+//!   snapshot whose `Rep` lists are memoised but whose G-Rep lists are cold (the
+//!   serving steady state after a priority swap). On top of the join order, the
+//!   planner derives each component's G-Rep candidates from the memoised
+//!   maximal-independent-set list; the naive path re-runs the MIS search for every
+//!   component before filtering.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pdqi_core::{EngineBuilder, EngineSnapshot, FamilyKind, Parallelism, PreparedQuery, Semantics};
+use pdqi_datagen::skewed_chain_instance;
+use pdqi_query::force_naive_plan;
+use pdqi_relation::RelationInstance;
+
+/// The worst textual order: atoms 1 and 2 are disconnected (their join is a cross
+/// product), atom 3 connects to both through `x` and `b2`.
+const SKEWED_JOIN: &str = "EXISTS b,c,d,a2,b2,c2,d2,c3,d3 . \
+     R(x,b,c,d) AND R(a2,b2,c2,d2) AND R(x,b2,c3,d3)";
+
+/// A fresh snapshot over pre-generated rows with the `Rep` component lists warm —
+/// the per-iteration setup shared by both sides of every comparison.
+fn warmed_snapshot(instance: &RelationInstance, fds: &pdqi_constraints::FdSet) -> EngineSnapshot {
+    let snapshot = EngineBuilder::new()
+        .relation(instance.clone(), fds.clone())
+        .build()
+        .expect("workload builds");
+    snapshot.warm_components(FamilyKind::Rep, Parallelism::sequential());
+    snapshot
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e21_planner");
+    group
+        .sample_size(15)
+        .measurement_time(Duration::from_millis(700))
+        .warm_up_time(Duration::from_millis(200));
+
+    let join = PreparedQuery::parse(SKEWED_JOIN).expect("join parses");
+
+    for chains in [4usize, 8] {
+        let (join_instance, join_fds) = skewed_chain_instance(chains, 10);
+        for (label, naive) in [("join_planner", false), ("join_naive", true)] {
+            group.bench_function(format!("{label}/{chains}"), |b| {
+                force_naive_plan(naive);
+                b.iter(|| {
+                    let snapshot = warmed_snapshot(&join_instance, &join_fds);
+                    join.execute_with(
+                        &snapshot,
+                        FamilyKind::Rep,
+                        Semantics::Certain,
+                        Parallelism::sequential(),
+                    )
+                    .expect("join evaluates")
+                    .len()
+                })
+            });
+        }
+
+        // The same join under G-Rep with `Rep` warm and G-Rep cold: the naive path
+        // re-runs the MIS search per component before the G-Rep filter, the planner
+        // derives the candidates from the carried `Rep` lists — and both then pay
+        // the product evaluation their join order dictates.
+        for (label, naive) in [("grep_planner", false), ("grep_naive", true)] {
+            group.bench_function(format!("{label}/{chains}"), |b| {
+                force_naive_plan(naive);
+                b.iter(|| {
+                    let snapshot = warmed_snapshot(&join_instance, &join_fds);
+                    join.execute_with(
+                        &snapshot,
+                        FamilyKind::Global,
+                        Semantics::Certain,
+                        Parallelism::sequential(),
+                    )
+                    .expect("join evaluates")
+                    .len()
+                })
+            });
+        }
+    }
+    force_naive_plan(false);
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -162,6 +162,7 @@ impl Interpreter {
             "answer" => self.answer(&args),
             "aggregate" => self.aggregate(&args),
             "properties" => self.properties(&args),
+            "explain" => self.explain(command),
             "subscribe" => self.subscribe(&args),
             "unsubscribe" => self.unsubscribe(&args),
             "subscriptions" => Ok(self.subscriptions()),
@@ -460,20 +461,43 @@ impl Interpreter {
         out
     }
 
+    /// `.explain <SELECT … WITH REPAIRS <family>>` — the SQL `EXPLAIN` statement as a
+    /// meta command, so interactive sessions can inspect a plan without retyping the
+    /// keyword.
+    fn explain(&mut self, command: &str) -> Result<String, CliError> {
+        let statement = command.trim()["explain".len()..].trim();
+        if statement.is_empty() {
+            return Err(CliError::Command(
+                "usage: .explain <SELECT … WITH REPAIRS <family>>".to_string(),
+            ));
+        }
+        let outcome = self.session.execute(&format!("EXPLAIN {statement}"))?;
+        Ok(render_outcome(&outcome))
+    }
+
     fn stats(&self) -> String {
         let schema = self.session.schema_delta_stats();
         let eval = pdqi_query::eval_path_stats();
+        let plans = pdqi_core::plan_stats();
         format!(
             "schema deltas: fd delta={} rebuild={}\n\
              preference deltas: swaps={} coalesced={} rebuild={}\n\
-             eval paths: vectorized={} scalar={}",
+             eval paths: vectorized={} scalar={}\n\
+             planner: planned={} cache hits={} naive={}\n\
+             planner choices: join reorders={} scalar picks={} derived components={}",
             schema.fds_delta,
             schema.fds_rebuild,
             schema.prefers_delta,
             schema.prefers_coalesced,
             schema.prefers_rebuild,
             eval.vectorized,
-            eval.scalar
+            eval.scalar,
+            plans.planned,
+            plans.cache_hits,
+            plans.naive,
+            plans.join_reorders,
+            plans.scalar_picks,
+            plans.derived_components
         )
     }
 
@@ -506,7 +530,7 @@ impl Interpreter {
 const HELP: &str = "\
 SQL statements: CREATE TABLE, ALTER TABLE <t> ADD FD <fd>, INSERT INTO <t> VALUES …,
                 DELETE FROM <t> VALUES …, PREFER (<row>) OVER (<row>) IN <t>,
-                SELECT … [WITH REPAIRS <family>]
+                SELECT … [WITH REPAIRS <family>], EXPLAIN SELECT … WITH REPAIRS <family>
 meta commands:
   .help                                     this message
   .threads [n|auto]                         show or set the worker-thread count
@@ -521,12 +545,13 @@ meta commands:
   .answer <table> <family> <FO query>       preferred consistent answer to a closed query
   .aggregate <table> <func> <attr> [family] range-consistent aggregate answer
   .properties <table>                       evaluate P1-P4 for every family
+  .explain <SELECT … WITH REPAIRS <f>>      costed physical plan plus actuals
   .subscribe [CERTAIN|POSSIBLE] <SELECT …>  register a continuous query (needs
                                             WITH REPAIRS); deltas print after the
                                             statements that cause them
   .subscriptions                            list continuous queries
   .unsubscribe <id>                         drop a continuous query
-  .stats                                    schema-delta and eval-path accounting";
+  .stats                                    schema-delta, eval-path and planner accounting";
 
 /// Renders one queued continuous-query event for the interactive surface.
 fn render_subscription_event(id: u64, event: &SubscriptionEvent) -> String {
@@ -770,6 +795,7 @@ fn render_outcome(outcome: &StatementOutcome) -> String {
             }
             out
         }
+        StatementOutcome::Plan(report) => report.clone(),
     }
 }
 
@@ -916,6 +942,22 @@ mod tests {
         let stats = interpreter.run_line(".stats").unwrap();
         assert!(stats.contains("preference deltas: swaps=1 coalesced=2 rebuild=0"), "{stats}");
         assert!(stats.contains("eval paths:"), "{stats}");
+    }
+
+    #[test]
+    fn explain_meta_command_renders_the_plan() {
+        let mut interpreter = loaded();
+        let report =
+            interpreter.run_line(".explain SELECT Name FROM Mgr WITH REPAIRS ALL").unwrap();
+        assert!(report.contains("plan family=Rep"), "{report}");
+        assert!(report.contains("actual product="), "{report}");
+        // The bare SQL statement works too, and planner counters surface in .stats.
+        let report = interpreter.run_line("EXPLAIN SELECT Name FROM Mgr WITH REPAIRS ALL").unwrap();
+        assert!(report.contains("plan family=Rep") || report.contains("naive"), "{report}");
+        let stats = interpreter.run_line(".stats").unwrap();
+        assert!(stats.contains("planner:"), "{stats}");
+        assert!(stats.contains("planner choices:"), "{stats}");
+        assert!(interpreter.run_line(".explain").is_err());
     }
 
     #[test]

@@ -535,6 +535,12 @@ impl EngineSnapshot {
             }
             answer.depends_on.iter().map(|&global| global_map[global]).collect()
         });
+        memo.carry_plans_from(&self.inner.memo, |plan| {
+            if plan.relations.iter().any(|&rel| id_maps[rel].is_some()) {
+                return None;
+            }
+            plan.depends_on.iter().map(|&global| global_map[global]).collect()
+        });
 
         let derived = EngineSnapshot {
             inner: Arc::new(SnapshotInner {

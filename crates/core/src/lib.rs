@@ -122,6 +122,7 @@ pub use optimality::{
     is_globally_optimal, is_locally_optimal, is_semi_globally_optimal, preferred_over,
 };
 pub use parallel::{BatchExecutor, BatchRequest, BatchResponse, Parallelism, MAX_THREADS};
+pub use pdqi_query::{force_naive_plan, naive_plan_forced, plan_stats, PhysicalPlan, PlanStats};
 pub use prepared::{
     AnswerSet, ChunkTuner, ChunkTunerStats, ClosedProfile, PreparedQuery, Semantics,
 };

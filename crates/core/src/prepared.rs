@@ -111,6 +111,17 @@ impl PreparedQuery {
         self.source.as_deref()
     }
 
+    /// Attaches a source text to a formula-built query (builder style). [`parse`]
+    /// records it automatically; front ends that lower their own surface syntax —
+    /// SQL `SELECT`s, say — set it so [`explain`](PreparedQuery::explain) reports
+    /// the statement the user actually wrote instead of the raw fingerprint.
+    ///
+    /// [`parse`]: PreparedQuery::parse
+    pub fn with_source(mut self, text: &str) -> Self {
+        self.source = Some(text.to_string());
+        self
+    }
+
     /// The query's most specific class (ground, quantifier-free, conjunctive, ...).
     pub fn class(&self) -> QueryClass {
         self.class
@@ -212,8 +223,16 @@ impl PreparedQuery {
             return Ok(AnswerSet::new(Arc::clone(&entry.columns), Arc::clone(&entry.rows)));
         }
         let relevant = self.relevant_relations(snapshot);
-        let accumulated =
-            self.accumulate_rows(snapshot, kind, semantics, &relevant, parallelism, tuner)?;
+        let plan = self.plan_for(snapshot, kind, &relevant, parallelism, tuner);
+        let accumulated = self.accumulate_rows(
+            snapshot,
+            kind,
+            semantics,
+            &relevant,
+            parallelism,
+            tuner,
+            plan.as_deref(),
+        )?;
         let rows: Arc<Vec<Vec<Value>>> = Arc::new(accumulated.into_iter().collect());
         let columns = Arc::new(self.free.clone());
         let entry = snapshot.store_answer(key, &self.formula, &relevant, rows, columns, None);
@@ -221,6 +240,7 @@ impl PreparedQuery {
     }
 
     /// Folds per-repair answer rows under the chosen semantics, parallel when asked.
+    #[allow(clippy::too_many_arguments)]
     fn accumulate_rows(
         &self,
         snapshot: &EngineSnapshot,
@@ -229,6 +249,7 @@ impl PreparedQuery {
         relevant: &[usize],
         parallelism: Parallelism,
         tuner: Option<&ChunkTuner>,
+        plan: Option<&pdqi_query::PhysicalPlan>,
     ) -> Result<BTreeSet<Vec<Value>>, QueryError> {
         if !parallelism.is_sequential() {
             if let Some(rows) = self.accumulate_rows_parallel(
@@ -238,6 +259,7 @@ impl PreparedQuery {
                 relevant,
                 parallelism,
                 tuner,
+                plan,
             ) {
                 return Ok(rows);
             }
@@ -247,7 +269,7 @@ impl PreparedQuery {
             // path), or the repair product saturated `u128` (the sequential recursion
             // never indexes the product, so it needs no chunk boundaries).
         }
-        self.accumulate_rows_sequential(snapshot, kind, semantics, relevant)
+        self.accumulate_rows_sequential(snapshot, kind, semantics, relevant, plan)
     }
 
     fn accumulate_rows_sequential(
@@ -256,11 +278,12 @@ impl PreparedQuery {
         kind: FamilyKind,
         semantics: Semantics,
         relevant: &[usize],
+        plan: Option<&pdqi_query::PhysicalPlan>,
     ) -> Result<BTreeSet<Vec<Value>>, QueryError> {
         let mut accumulated: Option<BTreeSet<Vec<Value>>> = None;
         let mut error: Option<QueryError> = None;
         snapshot.for_each_preferred_selection(kind, relevant, &mut |selection| {
-            let evaluator = self.evaluator_for(snapshot, relevant, selection);
+            let evaluator = self.evaluator_for(snapshot, relevant, selection, plan);
             let rows = match evaluator.answer_rows(&self.formula) {
                 Ok(rows) => rows,
                 Err(e) => {
@@ -288,6 +311,7 @@ impl PreparedQuery {
     /// path — either a worker hit an evaluation error (rerunning sequentially reproduces
     /// its exact reporting), or the repair product saturated `u128` and indexed chunking
     /// is off the table.
+    #[allow(clippy::too_many_arguments)]
     fn accumulate_rows_parallel(
         &self,
         snapshot: &EngineSnapshot,
@@ -296,6 +320,7 @@ impl PreparedQuery {
         relevant: &[usize],
         parallelism: Parallelism,
         tuner: Option<&ChunkTuner>,
+        plan: Option<&pdqi_query::PhysicalPlan>,
     ) -> Option<BTreeSet<Vec<Value>>> {
         snapshot.warm_relation_components(kind, relevant, parallelism);
         let Some(lists) = snapshot.selection_lists(kind, relevant) else {
@@ -309,8 +334,8 @@ impl PreparedQuery {
             // (which enumerates recursively and never indexes the product).
             return None;
         }
-        let cost = snapshot.estimate_selection_cost(relevant, &lists);
-        let target = tuner.map_or(TARGET_CHUNK_COST, ChunkTuner::target_chunk_cost);
+        let cost = self.selection_cost(snapshot, relevant, &lists, plan);
+        let target = tuner.map_or(TARGET_CHUNK_COST, |t| t.target_chunk_cost_for(self.fingerprint));
         let chunks =
             chunk_ranges(total, adaptive_chunk_count_with_target(total, cost, parallelism, target));
         // The parallel analogue of the sequential Certain early exit: the merged result
@@ -330,7 +355,8 @@ impl PreparedQuery {
                     {
                         return Ok(Some(BTreeSet::new()));
                     }
-                    let evaluator = self.evaluator_for(snapshot, relevant, cursor.selection());
+                    let evaluator =
+                        self.evaluator_for(snapshot, relevant, cursor.selection(), plan);
                     let rows = evaluator.answer_rows(&self.formula)?;
                     accumulated = Some(fold_rows(accumulated.take(), rows, semantics));
                     if semantics == Semantics::Certain
@@ -347,7 +373,11 @@ impl PreparedQuery {
                 // Only fully-evaluated chunks feed the tuner: an early exit's timing
                 // reflects the cut-off, not the per-selection cost.
                 if let (Some(tuner), Some(started)) = (tuner, started) {
-                    tuner.record((end - start).saturating_mul(cost), started.elapsed().as_nanos());
+                    tuner.record_for(
+                        self.fingerprint,
+                        (end - start).saturating_mul(cost),
+                        started.elapsed().as_nanos(),
+                    );
                 }
                 Ok(accumulated)
             });
@@ -447,7 +477,9 @@ impl PreparedQuery {
             // Fall through to the generic pipeline on analysis errors so the caller
             // gets the standard error reporting.
         }
-        let outcome = self.closed_outcome(snapshot, kind, &relevant, parallelism, tuner)?;
+        let plan = self.plan_for(snapshot, kind, &relevant, parallelism, tuner);
+        let outcome =
+            self.closed_outcome(snapshot, kind, &relevant, parallelism, tuner, plan.as_deref())?;
         snapshot.store_answer(
             key,
             &self.formula,
@@ -466,10 +498,11 @@ impl PreparedQuery {
         relevant: &[usize],
         parallelism: Parallelism,
         tuner: Option<&ChunkTuner>,
+        plan: Option<&pdqi_query::PhysicalPlan>,
     ) -> Result<CqaOutcome, QueryError> {
         if !parallelism.is_sequential() {
             if let Some(verdicts) =
-                self.closed_verdicts_parallel(snapshot, kind, relevant, parallelism, tuner)
+                self.closed_verdicts_parallel(snapshot, kind, relevant, parallelism, tuner, plan)
             {
                 // Replay the per-repair truth values in enumeration order under the
                 // sequential early-exit rule: identical outcome, identical `examined`.
@@ -490,7 +523,7 @@ impl PreparedQuery {
             // Evaluation error or saturated product: rerun sequentially (see
             // `accumulate_rows`).
         }
-        self.closed_outcome_sequential(snapshot, kind, relevant)
+        self.closed_outcome_sequential(snapshot, kind, relevant, plan)
     }
 
     fn closed_outcome_sequential(
@@ -498,11 +531,12 @@ impl PreparedQuery {
         snapshot: &EngineSnapshot,
         kind: FamilyKind,
         relevant: &[usize],
+        plan: Option<&pdqi_query::PhysicalPlan>,
     ) -> Result<CqaOutcome, QueryError> {
         let mut outcome = CqaOutcome { certainly_true: true, certainly_false: true, examined: 0 };
         let mut error: Option<QueryError> = None;
         snapshot.for_each_preferred_selection(kind, relevant, &mut |selection| {
-            let evaluator = self.evaluator_for(snapshot, relevant, selection);
+            let evaluator = self.evaluator_for(snapshot, relevant, selection, plan);
             match evaluator.eval_closed(&self.formula) {
                 Ok(true) => outcome.certainly_false = false,
                 Ok(false) => outcome.certainly_true = false,
@@ -535,6 +569,7 @@ impl PreparedQuery {
     /// later chunk, whose verdicts the replay can then never reach, stops as well.
     /// Earlier chunks still run to completion: their verdicts feed the replayed
     /// `examined` count, which must match the sequential path exactly.
+    #[allow(clippy::too_many_arguments)]
     fn closed_verdicts_parallel(
         &self,
         snapshot: &EngineSnapshot,
@@ -542,6 +577,7 @@ impl PreparedQuery {
         relevant: &[usize],
         parallelism: Parallelism,
         tuner: Option<&ChunkTuner>,
+        plan: Option<&pdqi_query::PhysicalPlan>,
     ) -> Option<Vec<bool>> {
         snapshot.warm_relation_components(kind, relevant, parallelism);
         let Some(lists) = snapshot.selection_lists(kind, relevant) else {
@@ -553,8 +589,8 @@ impl PreparedQuery {
             // `accumulate_rows_parallel`).
             return None;
         }
-        let cost = snapshot.estimate_selection_cost(relevant, &lists);
-        let target = tuner.map_or(TARGET_CHUNK_COST, ChunkTuner::target_chunk_cost);
+        let cost = self.selection_cost(snapshot, relevant, &lists, plan);
+        let target = tuner.map_or(TARGET_CHUNK_COST, |t| t.target_chunk_cost_for(self.fingerprint));
         let chunks =
             chunk_ranges(total, adaptive_chunk_count_with_target(total, cost, parallelism, target));
         let undetermined_chunk = std::sync::atomic::AtomicUsize::new(usize::MAX);
@@ -573,7 +609,8 @@ impl PreparedQuery {
                         return Ok(mine);
                     }
                     let verdict = {
-                        let evaluator = self.evaluator_for(snapshot, relevant, cursor.selection());
+                        let evaluator =
+                            self.evaluator_for(snapshot, relevant, cursor.selection(), plan);
                         evaluator.eval_closed(&self.formula)?
                     };
                     mine.push(verdict);
@@ -593,7 +630,11 @@ impl PreparedQuery {
                     }
                 }
                 if let (Some(tuner), Some(started)) = (tuner, started) {
-                    tuner.record((end - start).saturating_mul(cost), started.elapsed().as_nanos());
+                    tuner.record_for(
+                        self.fingerprint,
+                        (end - start).saturating_mul(cost),
+                        started.elapsed().as_nanos(),
+                    );
                 }
                 Ok(mine)
             });
@@ -638,7 +679,8 @@ impl PreparedQuery {
             let mut at = 0u128;
             loop {
                 let verdict = {
-                    let evaluator = self.evaluator_for(snapshot, &relevant, cursor.selection());
+                    let evaluator =
+                        self.evaluator_for(snapshot, &relevant, cursor.selection(), None);
                     evaluator.eval_closed(&self.formula)?
                 };
                 match verdict {
@@ -678,14 +720,23 @@ impl PreparedQuery {
     }
 
     /// An evaluator exposing every snapshot relation, with the relations this query
-    /// mentions restricted to the current repair selection.
+    /// mentions restricted to the current repair selection. A [`PhysicalPlan`] supplies
+    /// the evaluation hints — the chosen join order and eval path — both pinned
+    /// bit-identical to the unhinted evaluator.
+    ///
+    /// [`PhysicalPlan`]: pdqi_query::PhysicalPlan
     fn evaluator_for<'a>(
         &self,
         snapshot: &'a EngineSnapshot,
         relevant: &[usize],
         selection: &'a [TupleSet],
+        plan: Option<&pdqi_query::PhysicalPlan>,
     ) -> Evaluator<'a> {
         let mut evaluator = Evaluator::new();
+        if let Some(plan) = plan {
+            evaluator.set_atom_order(plan.atom_order.clone());
+            evaluator.set_prefer_scalar(!plan.vectorized);
+        }
         for (index, entry) in snapshot.entries().iter().enumerate() {
             if relevant.contains(&index) {
                 evaluator.add_restricted_columnar(
@@ -698,6 +749,143 @@ impl PreparedQuery {
             }
         }
         evaluator
+    }
+
+    /// The per-selection evaluation cost fed to adaptive chunking: the physical plan's
+    /// estimate when one was costed, the uniform structural heuristic under the naive
+    /// strategy. Either way the number only shapes the chunk split, never the answers.
+    fn selection_cost(
+        &self,
+        snapshot: &EngineSnapshot,
+        relevant: &[usize],
+        lists: &[(usize, Arc<Vec<TupleSet>>)],
+        plan: Option<&pdqi_query::PhysicalPlan>,
+    ) -> u128 {
+        match plan {
+            Some(plan) => (plan.est_selection_cost as u128).max(1),
+            None => snapshot.estimate_selection_cost(relevant, lists),
+        }
+    }
+
+    /// The physical plan for this query on this snapshot: served from the snapshot's
+    /// plan cache when this `(fingerprint, family)` was costed before (and the swap
+    /// derivations carried it), costed fresh from the memo's cardinalities otherwise.
+    /// `None` when the naive fixed strategy is forced (`PDQI_FORCE_NAIVE_PLAN=1` /
+    /// [`pdqi_query::force_naive_plan`]).
+    fn plan_for(
+        &self,
+        snapshot: &EngineSnapshot,
+        kind: FamilyKind,
+        relevant: &[usize],
+        parallelism: Parallelism,
+        tuner: Option<&ChunkTuner>,
+    ) -> Option<Arc<pdqi_query::PhysicalPlan>> {
+        if pdqi_query::naive_plan_forced() {
+            pdqi_query::planner::note_naive();
+            return None;
+        }
+        if let Some(entry) = snapshot.cached_plan(self.fingerprint, kind, &self.formula) {
+            pdqi_query::planner::note_plan_cache_hit();
+            return Some(Arc::clone(&entry.plan));
+        }
+        let inputs = self.planner_inputs(snapshot, kind, relevant, parallelism, tuner);
+        let plan = pdqi_query::planner::plan(&self.formula, &inputs);
+        let entry = snapshot.store_plan(self.fingerprint, kind, &self.formula, relevant, plan);
+        Some(Arc::clone(&entry.plan))
+    }
+
+    /// Assembles the planner's cardinality inputs from the snapshot: relation row
+    /// counts, per-component conflict sizes and whatever repair counts the memo already
+    /// holds (a cold component stays `None` and is estimated structurally).
+    fn planner_inputs(
+        &self,
+        snapshot: &EngineSnapshot,
+        kind: FamilyKind,
+        relevant: &[usize],
+        parallelism: Parallelism,
+        tuner: Option<&ChunkTuner>,
+    ) -> pdqi_query::PlannerInputs {
+        let entries = snapshot.entries();
+        let relations: Vec<pdqi_query::RelationStats> = relevant
+            .iter()
+            .map(|&rel| {
+                let entry = &entries[rel];
+                pdqi_query::RelationStats {
+                    name: entry.ctx.instance().schema().name().to_string(),
+                    rows: entry.ctx.instance().len(),
+                    base_rows: entry.base.len(),
+                }
+            })
+            .collect();
+        let mut components = Vec::new();
+        for (position, &rel) in relevant.iter().enumerate() {
+            let entry = &entries[rel];
+            for comp in 0..entry.components.len() {
+                components.push(pdqi_query::ComponentStats {
+                    relation: position,
+                    tuples: entry.components[comp].len(),
+                    repairs: snapshot.memoised_component_count(rel, comp, kind),
+                    rep_repairs: snapshot.memoised_component_count(rel, comp, FamilyKind::Rep),
+                });
+            }
+        }
+        pdqi_query::PlannerInputs {
+            relations,
+            components,
+            family: kind.label(),
+            derive_eligible: matches!(
+                kind,
+                FamilyKind::Local | FamilyKind::SemiGlobal | FamilyKind::Global
+            ),
+            workers: parallelism.thread_count(),
+            target_chunk_cost: tuner
+                .map_or(TARGET_CHUNK_COST, |t| t.target_chunk_cost_for(self.fingerprint))
+                .try_into()
+                .unwrap_or(u64::MAX),
+        }
+    }
+
+    /// Renders the costed physical plan for this query on this snapshot, executes it,
+    /// and appends the **actual** cardinalities next to the estimates — the engine half
+    /// of `EXPLAIN SELECT …` / `.explain`. Deterministic for a given query and
+    /// snapshot: no timings, no pointers, stable tree layout.
+    ///
+    /// Closed queries report the replayed outcome (verdict and `examined`); open
+    /// queries report the answer row count. Either way the execution is the ordinary
+    /// memoising one, so explaining a query warms the same caches running it would.
+    pub fn explain(
+        &self,
+        snapshot: &EngineSnapshot,
+        kind: FamilyKind,
+        semantics: Semantics,
+        parallelism: Parallelism,
+    ) -> Result<String, QueryError> {
+        let relevant = self.relevant_relations(snapshot);
+        let summary = match &self.source {
+            Some(text) => format!("query {text}"),
+            None => format!("query fingerprint={:016x}", self.fingerprint),
+        };
+        let mut out = match self.plan_for(snapshot, kind, &relevant, parallelism, None) {
+            Some(plan) => plan.render(Some(&summary)),
+            None => format!(
+                "plan family={} naive (PDQI_FORCE_NAIVE_PLAN)\n├─ {summary}\n",
+                kind.label()
+            ),
+        };
+        snapshot.warm_relation_components(kind, &relevant, parallelism);
+        let product =
+            snapshot.selection_lists(kind, &relevant).map_or(0, |lists| product_size(&lists));
+        if self.is_closed() {
+            let outcome = self.consistent_answer_with(snapshot, kind, parallelism)?;
+            out.push_str(&format!(
+                "actual product={product} examined={} certainly_true={} certainly_false={}\n",
+                outcome.examined, outcome.certainly_true, outcome.certainly_false
+            ));
+        } else {
+            let answers = self.execute_with(snapshot, kind, semantics, parallelism)?;
+            out.push_str(&format!("actual product={product} rows={}\n", answers.rows().len()));
+        }
+        Ok(out)
     }
 }
 
@@ -826,13 +1014,49 @@ const TARGET_CHUNK_NANOS: u128 = 500_000;
 const MIN_TARGET_CHUNK_COST: u64 = 64;
 const MAX_TARGET_CHUNK_COST: u64 = 1 << 24;
 
+/// Cap on per-query calibration cells a [`ChunkTuner`] retains. Past the cap a new
+/// fingerprint still updates the aggregate counters but reads the static default — a
+/// bounded footprint beats perfect calibration for the cache-busting tail.
+const TUNER_QUERY_LIMIT: usize = 1024;
+
 /// A [`ChunkTuner`]'s counters at one instant.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ChunkTunerStats {
-    /// The current per-chunk work target, in estimated tuple-evaluations.
+    /// The aggregate per-chunk work target over every recorded chunk, in estimated
+    /// tuple-evaluations (observability; chunk sizing reads the per-query targets).
     pub target_chunk_cost: u64,
-    /// Fully-evaluated chunks whose wall-clock fed the target so far.
+    /// Fully-evaluated chunks whose wall-clock fed a target so far.
     pub samples: u64,
+}
+
+/// One EWMA calibration cell: a target and the number of samples that moved it.
+#[derive(Debug)]
+struct TunerCell {
+    /// Current target, in estimated tuple-evaluations per chunk.
+    target: AtomicU64,
+    /// Number of recorded chunk timings.
+    samples: AtomicU64,
+}
+
+impl TunerCell {
+    fn new() -> Self {
+        TunerCell { target: AtomicU64::new(TARGET_CHUNK_COST as u64), samples: AtomicU64::new(0) }
+    }
+
+    /// Records one fully-evaluated chunk: `work` estimated tuple-evaluations took
+    /// `elapsed_nanos` of wall-clock. Moves the target an eighth of the way towards the
+    /// work volume that would have taken `TARGET_CHUNK_NANOS`.
+    fn record(&self, work: u128, elapsed_nanos: u128) {
+        let ideal = work.saturating_mul(TARGET_CHUNK_NANOS) / elapsed_nanos.max(1);
+        let ideal = ideal.clamp(MIN_TARGET_CHUNK_COST as u128, MAX_TARGET_CHUNK_COST as u128);
+        let current = self.target.load(Ordering::Relaxed) as u128;
+        let moved = (current * 7 + ideal) / 8;
+        self.target.store(
+            (moved as u64).clamp(MIN_TARGET_CHUNK_COST, MAX_TARGET_CHUNK_COST),
+            Ordering::Relaxed,
+        );
+        self.samples.fetch_add(1, Ordering::Relaxed);
+    }
 }
 
 /// Feedback from measured per-chunk wall-clock into the next execution's chunk sizing.
@@ -847,16 +1071,22 @@ pub struct ChunkTunerStats {
 /// (certain-empty cut-offs, undetermined closes) are not recorded — their timings
 /// reflect the exit, not the work.
 ///
+/// Calibration is **per prepared-query fingerprint**: every query reads and feeds its
+/// own EWMA cell, so one pathological query (huge formula, cold columnar views) cannot
+/// distort chunking for every other prepared query sharing the server's tuner. A
+/// fingerprint without samples starts from the static default, and an aggregate cell
+/// feeds [`ChunkTuner::stats`] for observability.
+///
 /// Tuning only changes how the product is *split*; every execution stays bit-identical
 /// to the sequential path regardless of the chunk count. Share one tuner per session
 /// (or per [`crate::BatchExecutor`]) — it is internally synchronised and updates are
 /// deliberately racy-but-monotonic (a lost update costs one sample, never correctness).
 #[derive(Debug)]
 pub struct ChunkTuner {
-    /// Current target, in estimated tuple-evaluations per chunk.
-    target: AtomicU64,
-    /// Number of recorded chunk timings.
-    samples: AtomicU64,
+    /// The aggregate cell: every recorded chunk moves it, regardless of fingerprint.
+    aggregate: TunerCell,
+    /// Per-fingerprint calibration cells, bounded by [`TUNER_QUERY_LIMIT`].
+    per_query: std::sync::RwLock<std::collections::HashMap<u64, Arc<TunerCell>>>,
 }
 
 impl Default for ChunkTuner {
@@ -868,7 +1098,10 @@ impl Default for ChunkTuner {
 impl ChunkTuner {
     /// A tuner starting from the static `TARGET_CHUNK_COST` guess.
     pub fn new() -> Self {
-        ChunkTuner { target: AtomicU64::new(TARGET_CHUNK_COST as u64), samples: AtomicU64::new(0) }
+        ChunkTuner {
+            aggregate: TunerCell::new(),
+            per_query: std::sync::RwLock::new(std::collections::HashMap::new()),
+        }
     }
 
     /// A shared tuner, ready to hand to a session or executor.
@@ -876,35 +1109,63 @@ impl ChunkTuner {
         Arc::new(ChunkTuner::new())
     }
 
-    /// The current per-chunk work target, in estimated tuple-evaluations.
+    /// The aggregate per-chunk work target, in estimated tuple-evaluations. Chunk
+    /// sizing reads [`ChunkTuner::target_chunk_cost_for`] instead; this is the
+    /// observability view over every recorded chunk.
     pub fn target_chunk_cost(&self) -> u128 {
-        self.target.load(Ordering::Relaxed) as u128
+        self.aggregate.target.load(Ordering::Relaxed) as u128
     }
 
-    /// The counters at one instant.
-    pub fn stats(&self) -> ChunkTunerStats {
-        ChunkTunerStats {
-            target_chunk_cost: self.target.load(Ordering::Relaxed),
-            samples: self.samples.load(Ordering::Relaxed),
+    /// The calibrated per-chunk work target for one query fingerprint: its own cell
+    /// when that query's chunks have been measured before, the static default
+    /// otherwise — never another query's measurements.
+    pub fn target_chunk_cost_for(&self, fingerprint: u64) -> u128 {
+        let cells = self.per_query.read().expect("tuner lock");
+        match cells.get(&fingerprint) {
+            Some(cell) if cell.samples.load(Ordering::Relaxed) > 0 => {
+                cell.target.load(Ordering::Relaxed) as u128
+            }
+            _ => TARGET_CHUNK_COST,
         }
     }
 
-    /// Records one fully-evaluated chunk: `work` estimated tuple-evaluations took
-    /// `elapsed_nanos` of wall-clock. Moves the target an eighth of the way towards the
-    /// work volume that would have taken `TARGET_CHUNK_NANOS`.
-    fn record(&self, work: u128, elapsed_nanos: u128) {
+    /// The aggregate counters at one instant.
+    pub fn stats(&self) -> ChunkTunerStats {
+        ChunkTunerStats {
+            target_chunk_cost: self.aggregate.target.load(Ordering::Relaxed),
+            samples: self.aggregate.samples.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Records one fully-evaluated chunk of the given query: `work` estimated
+    /// tuple-evaluations took `elapsed_nanos` of wall-clock. Feeds the query's own
+    /// cell (created on first sample, up to [`TUNER_QUERY_LIMIT`] queries) and the
+    /// aggregate.
+    fn record_for(&self, fingerprint: u64, work: u128, elapsed_nanos: u128) {
         if work == 0 {
             return;
         }
-        let ideal = work.saturating_mul(TARGET_CHUNK_NANOS) / elapsed_nanos.max(1);
-        let ideal = ideal.clamp(MIN_TARGET_CHUNK_COST as u128, MAX_TARGET_CHUNK_COST as u128);
-        let current = self.target.load(Ordering::Relaxed) as u128;
-        let moved = (current * 7 + ideal) / 8;
-        self.target.store(
-            (moved as u64).clamp(MIN_TARGET_CHUNK_COST, MAX_TARGET_CHUNK_COST),
-            Ordering::Relaxed,
-        );
-        self.samples.fetch_add(1, Ordering::Relaxed);
+        let cell = {
+            let cells = self.per_query.read().expect("tuner lock");
+            cells.get(&fingerprint).cloned()
+        };
+        let cell = match cell {
+            Some(cell) => Some(cell),
+            None => {
+                let mut cells = self.per_query.write().expect("tuner lock");
+                if cells.len() < TUNER_QUERY_LIMIT || cells.contains_key(&fingerprint) {
+                    Some(Arc::clone(
+                        cells.entry(fingerprint).or_insert_with(|| Arc::new(TunerCell::new())),
+                    ))
+                } else {
+                    None
+                }
+            }
+        };
+        if let Some(cell) = cell {
+            cell.record(work, elapsed_nanos);
+        }
+        self.aggregate.record(work, elapsed_nanos);
     }
 }
 
@@ -1366,25 +1627,52 @@ mod tests {
     #[test]
     fn chunk_tuner_moves_the_target_with_measured_costs() {
         let tuner = ChunkTuner::new();
+        let fp = 0xfeed;
         assert_eq!(tuner.stats(), ChunkTunerStats { target_chunk_cost: 4096, samples: 0 });
+        assert_eq!(tuner.target_chunk_cost_for(fp), 4096);
         // Chunks that finish far faster than the wall-clock target pull the target up...
         for _ in 0..64 {
-            tuner.record(4096, 1_000); // 4096 evals in 1µs — dirt cheap
+            tuner.record_for(fp, 4096, 1_000); // 4096 evals in 1µs — dirt cheap
         }
         let fast = tuner.stats();
         assert!(fast.target_chunk_cost > 4096, "cheap chunks must grow, got {fast:?}");
         assert_eq!(fast.samples, 64);
+        assert!(tuner.target_chunk_cost_for(fp) > 4096);
         // ...and chunks that blow through it pull the target down, within the clamps.
         for _ in 0..128 {
-            tuner.record(4096, 4_000_000_000); // 4096 evals in 4s — extremely expensive
+            tuner.record_for(fp, 4096, 4_000_000_000); // 4096 evals in 4s — very expensive
         }
         let slow = tuner.stats();
         assert!(slow.target_chunk_cost < fast.target_chunk_cost, "{slow:?}");
         assert!(slow.target_chunk_cost >= MIN_TARGET_CHUNK_COST);
         // Degenerate samples never move the target or the counter.
         let before = tuner.stats();
-        tuner.record(0, 12345);
+        tuner.record_for(fp, 0, 12345);
         assert_eq!(tuner.stats(), before);
+    }
+
+    #[test]
+    fn chunk_tuner_calibration_is_per_fingerprint() {
+        // The historical bug: one pathological query dragged the process-global EWMA
+        // down for every prepared query sharing the tuner. Calibration cells are now
+        // keyed by fingerprint, so a distorted query leaves its neighbours on their
+        // own (or the default) target.
+        let tuner = ChunkTuner::new();
+        let (pathological, innocent) = (0xbad, 0x600d);
+        for _ in 0..128 {
+            tuner.record_for(pathological, 4096, 4_000_000_000);
+        }
+        assert!(tuner.target_chunk_cost_for(pathological) < 4096);
+        assert_eq!(
+            tuner.target_chunk_cost_for(innocent),
+            4096,
+            "an unsampled query must read the static default, not its neighbour's EWMA"
+        );
+        for _ in 0..64 {
+            tuner.record_for(innocent, 4096, 1_000);
+        }
+        assert!(tuner.target_chunk_cost_for(innocent) > 4096);
+        assert!(tuner.target_chunk_cost_for(pathological) < 4096, "still isolated");
     }
 
     #[test]

@@ -342,6 +342,12 @@ impl EngineSnapshot {
             }
             answer.depends_on.iter().map(|&global| global_map[global]).collect()
         });
+        memo.carry_plans_from(&self.inner.memo, |plan| {
+            if edges_added && plan.relations.contains(&rel_index) {
+                return None;
+            }
+            plan.depends_on.iter().map(|&global| global_map[global]).collect()
+        });
 
         let derived = EngineSnapshot {
             inner: Arc::new(SnapshotInner {

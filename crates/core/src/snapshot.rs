@@ -618,12 +618,37 @@ pub(crate) struct AnswerEntry {
     pub(crate) priority_sensitive: bool,
 }
 
+/// A memoised physical plan: the cost-based planner's choice for one
+/// `(fingerprint, family)` on this snapshot, plus the invalidation footprint that
+/// decides whether a derived snapshot may keep it. Mirrors [`AnswerEntry`]: plans are
+/// carried across priority/mutation/schema derivations exactly when the cardinalities
+/// they were costed from survived, and re-costed otherwise.
+pub(crate) struct PlanEntry {
+    /// The exact formula this plan was costed for (the cache key holds only a 64-bit
+    /// fingerprint, so hits re-check the formula to rule out hash collisions).
+    pub(crate) formula: pdqi_query::Formula,
+    /// The chosen physical plan.
+    pub(crate) plan: Arc<pdqi_query::PhysicalPlan>,
+    /// Global component ids whose memoised repair counts fed the cost model.
+    pub(crate) depends_on: Vec<usize>,
+    /// Snapshot relation indices the query mentions (mutation invalidation; see
+    /// [`AnswerEntry::relations`]).
+    pub(crate) relations: Vec<usize>,
+    /// Whether the plan's cardinalities depend on the priority (non-`Rep` families).
+    pub(crate) priority_sensitive: bool,
+}
+
 /// Default cap on memoised answers per snapshot. The component memo is naturally
 /// bounded (components × families), but answers grow with the number of distinct
 /// queries; past this limit the **oldest** entry is evicted (insertion order), which
 /// keeps long-lived sessions at a bounded footprint with O(1) amortised insertions while
 /// retaining the recently stored answers a serving workload is most likely to repeat.
 const ANSWER_MEMO_LIMIT: usize = 4096;
+
+/// Cap on memoised physical plans per snapshot. Plans are tiny (a few vectors of
+/// indices), so a simple insert-refusal bound suffices: past the cap new plans are
+/// handed back uncached and re-costed per execution.
+const PLAN_MEMO_LIMIT: usize = 4096;
 
 /// Hit/miss/eviction counters of a snapshot's memo, for observability and tests.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -714,6 +739,8 @@ pub(crate) struct Memo {
     pub(crate) components: ComponentMemo,
     /// Memoised query executions.
     answers: RwLock<AnswerMemo>,
+    /// Memoised physical plans, keyed by `(query fingerprint, family)`.
+    plans: RwLock<HashMap<(u64, FamilyKind), Arc<PlanEntry>>>,
     component_hits: AtomicU64,
     component_misses: AtomicU64,
     answer_hits: AtomicU64,
@@ -757,6 +784,36 @@ impl Memo {
             };
             new.order.push_back(*key);
             new.entries.insert(*key, entry);
+        }
+    }
+
+    /// The plan-cache analogue of [`Memo::carry_answers_from`]: every derivation calls
+    /// both with the *same* keep closure, so a plan survives a swap exactly when the
+    /// memoised cardinalities it was costed from did — anything else is dropped here
+    /// and re-costed by the first execution to need it.
+    pub(crate) fn carry_plans_from(
+        &self,
+        parent: &Memo,
+        mut keep: impl FnMut(&PlanEntry) -> Option<Vec<usize>>,
+    ) {
+        let old = parent.plans.read().expect("memo lock");
+        let mut new = self.plans.write().expect("memo lock");
+        for (key, plan) in old.iter() {
+            let Some(depends_on) = keep(plan) else {
+                continue;
+            };
+            let entry = if depends_on == plan.depends_on {
+                Arc::clone(plan)
+            } else {
+                Arc::new(PlanEntry {
+                    formula: plan.formula.clone(),
+                    plan: Arc::clone(&plan.plan),
+                    depends_on,
+                    relations: plan.relations.clone(),
+                    priority_sensitive: plan.priority_sensitive,
+                })
+            };
+            new.insert(*key, entry);
         }
     }
 }
@@ -944,7 +1001,22 @@ impl EngineSnapshot {
         let graph = entry.ctx.graph();
         let priority = &entry.priority;
         let component = &entry.components[comp];
-        let mis = maximal_independent_sets_within(graph, component);
+        // The planner's derive-from-Rep strategy: `L-Rep`/`S-Rep`/`G-Rep` all filter
+        // the maximal-independent-set list, and a memoised `Rep` entry *is* that list
+        // verbatim — reuse it instead of re-running the MIS search. Bit-identical by
+        // construction; `PDQI_FORCE_NAIVE_PLAN` keeps the recomputing path exercised.
+        let derive_eligible =
+            matches!(kind, FamilyKind::Local | FamilyKind::SemiGlobal | FamilyKind::Global)
+                && !pdqi_query::naive_plan_forced();
+        let derived =
+            derive_eligible.then(|| memo.components.get(&(key.0, FamilyKind::Rep))).flatten();
+        let mis = match derived {
+            Some(rep) => {
+                pdqi_query::planner::note_derived_component();
+                rep.as_ref().clone()
+            }
+            None => maximal_independent_sets_within(graph, component),
+        };
         let preferred: Vec<TupleSet> = match kind {
             FamilyKind::Rep => mis,
             FamilyKind::Local => {
@@ -1217,6 +1289,11 @@ impl EngineSnapshot {
                 || answer.depends_on.iter().all(|comp| !affected.contains(comp));
             untouched.then(|| answer.depends_on.clone())
         });
+        memo.carry_plans_from(&self.inner.memo, |plan| {
+            let untouched = !plan.priority_sensitive
+                || plan.depends_on.iter().all(|comp| !affected.contains(comp));
+            untouched.then(|| plan.depends_on.clone())
+        });
         let snapshot = EngineSnapshot {
             inner: Arc::new(SnapshotInner { relations, by_name: self.inner.by_name.clone(), memo }),
         };
@@ -1418,6 +1495,81 @@ impl EngineSnapshot {
         }
         answers.entries.insert(key, Arc::clone(&entry));
         entry
+    }
+
+    /// The memoised preferred-repair count of one component, when the `(component,
+    /// family)` pair has been enumerated before — the exact cardinality the cost-based
+    /// planner feeds on (`None` keeps the planner on its structural estimate).
+    pub(crate) fn memoised_component_count(
+        &self,
+        rel: usize,
+        comp: usize,
+        kind: FamilyKind,
+    ) -> Option<usize> {
+        let entry = &self.inner.relations[rel];
+        self.inner.memo.components.get(&(entry.comp_offset + comp, kind)).map(|sets| sets.len())
+    }
+
+    /// Looks up a memoised physical plan; like [`EngineSnapshot::cached_answer`], a
+    /// fingerprint hit is trusted only when the stored formula matches exactly.
+    pub(crate) fn cached_plan(
+        &self,
+        fingerprint: u64,
+        family: FamilyKind,
+        formula: &pdqi_query::Formula,
+    ) -> Option<Arc<PlanEntry>> {
+        self.inner
+            .memo
+            .plans
+            .read()
+            .expect("memo lock")
+            .get(&(fingerprint, family))
+            .filter(|entry| entry.formula == *formula)
+            .cloned()
+    }
+
+    /// Caches a costed physical plan under `(fingerprint, family)`, recording the
+    /// component/relation footprint derivations use to decide whether it survives a
+    /// swap. Bounded ([`PLAN_MEMO_LIMIT`]): at capacity the plan is handed back
+    /// uncached instead of evicting.
+    pub(crate) fn store_plan(
+        &self,
+        fingerprint: u64,
+        family: FamilyKind,
+        formula: &pdqi_query::Formula,
+        relations: &[usize],
+        plan: pdqi_query::PhysicalPlan,
+    ) -> Arc<PlanEntry> {
+        let mut depends_on = Vec::new();
+        for &rel in relations {
+            let entry = &self.inner.relations[rel];
+            depends_on.extend(entry.comp_offset..entry.comp_offset + entry.components.len());
+        }
+        let entry = Arc::new(PlanEntry {
+            formula: formula.clone(),
+            plan: Arc::new(plan),
+            depends_on,
+            relations: relations.to_vec(),
+            priority_sensitive: family != FamilyKind::Rep,
+        });
+        let mut plans = self.inner.memo.plans.write().expect("memo lock");
+        let key = (fingerprint, family);
+        if plans.len() < PLAN_MEMO_LIMIT || plans.contains_key(&key) {
+            plans.insert(key, Arc::clone(&entry));
+        }
+        entry
+    }
+
+    /// Whether the plan cache holds a costed plan for this query fingerprint and
+    /// family — the invalidation-test observability hook: after a swap, exactly the
+    /// plans whose cardinality footprint the swap left alone should still be here.
+    pub fn has_cached_plan(&self, fingerprint: u64, family: FamilyKind) -> bool {
+        self.inner.memo.plans.read().expect("memo lock").contains_key(&(fingerprint, family))
+    }
+
+    /// Number of memoised physical plans on this snapshot.
+    pub fn cached_plan_count(&self) -> usize {
+        self.inner.memo.plans.read().expect("memo lock").len()
     }
 }
 

@@ -109,12 +109,32 @@ impl<'a> View<'a> {
 /// A first-order query evaluator over a set of (possibly restricted) relation instances.
 pub struct Evaluator<'a> {
     relations: HashMap<String, View<'a>>,
+    /// Planner-chosen join order for the vectorized path: a permutation of the
+    /// formula's variable-binding atoms. `None` keeps the formula's own order.
+    atom_order: Option<Vec<usize>>,
+    /// Planner-chosen eval path: `true` skips the vectorized plan for this evaluator
+    /// (the scalar interpreter is pinned bit-identical, so the choice is free).
+    prefer_scalar: bool,
 }
 
 impl<'a> Evaluator<'a> {
     /// An evaluator with no visible relation.
     pub fn new() -> Self {
-        Evaluator { relations: HashMap::new() }
+        Evaluator { relations: HashMap::new(), atom_order: None, prefer_scalar: false }
+    }
+
+    /// Sets the planner-chosen join order for the vectorized path (a permutation of
+    /// the formula's variable-binding atoms, in conjunct order). Reordering never
+    /// changes results — rows land in a sorted set and closed evaluation is an
+    /// existence check — only the enumeration order of join candidates.
+    pub fn set_atom_order(&mut self, order: Option<Vec<usize>>) {
+        self.atom_order = order;
+    }
+
+    /// Prefers the scalar interpreter for this evaluator regardless of shape (a
+    /// planner cost decision; both paths are pinned bit-identical).
+    pub fn set_prefer_scalar(&mut self, prefer: bool) {
+        self.prefer_scalar = prefer;
     }
 
     /// An evaluator over every relation of a database instance.
@@ -268,10 +288,10 @@ impl<'a> Evaluator<'a> {
     /// mentioned relation has no columnar view attached, or a view's row count doesn't
     /// match its instance (a stale view must take the scalar path, not drop tuples).
     fn vector_plan<'f>(&self, formula: &'f Formula) -> Option<(VectorPlan<'f>, Vec<SlotData<'a>>)> {
-        if vector::scalar_eval_forced() {
+        if vector::scalar_eval_forced() || self.prefer_scalar {
             return None;
         }
-        let plan = VectorPlan::compile(formula)?;
+        let plan = VectorPlan::compile_ordered(formula, self.atom_order.as_deref())?;
         let data = plan
             .relations
             .iter()

@@ -16,7 +16,12 @@
 //! * [`vector`] — the vectorized (columnar) evaluation hot path: eligible conjunctive
 //!   formulas compile to bitmask-selection + column-gather plans over
 //!   [`ColumnarView`](pdqi_relation::ColumnarView)s, pinned bit-identical to the scalar
-//!   evaluator and disabled wholesale by `PDQI_FORCE_SCALAR_EVAL=1`.
+//!   evaluator and disabled wholesale by `PDQI_FORCE_SCALAR_EVAL=1`,
+//! * [`planner`] — the Volcano-style cost-based planner: caller-supplied memo
+//!   cardinalities (per-component repair counts, relation row counts) are costed into
+//!   a [`PhysicalPlan`] choosing join order, eval path,
+//!   per-component repair strategy and chunking, pinned bit-identical to the naive
+//!   fixed strategy and disabled wholesale by `PDQI_FORCE_NAIVE_PLAN=1`.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -27,12 +32,17 @@ pub mod classify;
 pub mod eval;
 pub mod normalize;
 pub mod parser;
+pub mod planner;
 pub mod vector;
 
 pub use ast::{Atom, Comparison, Formula, Term};
 pub use classify::{classify, QueryClass};
 pub use eval::{Evaluator, QueryError};
 pub use parser::parse_formula;
+pub use planner::{
+    force_naive_plan, naive_plan_forced, plan_stats, ComponentStats, ComponentStrategy,
+    PhysicalPlan, PlanStats, PlannerInputs, RelationStats,
+};
 pub use vector::{eval_path_stats, force_scalar_eval, scalar_eval_forced, EvalPathStats};
 
 /// Convenience result alias for query operations.

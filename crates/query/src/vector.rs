@@ -166,7 +166,17 @@ impl<'f> VectorPlan<'f> {
     /// unsupported: anything but a (possibly empty) prefix of existential quantifiers
     /// over a conjunction of atoms and comparisons, a comparison variable bound by no
     /// atom, or a conjunction with no atom at all.
-    pub(crate) fn compile(formula: &'f Formula) -> Option<VectorPlan<'f>> {
+    ///
+    /// `atom_order` optionally applies a planner-chosen join order: a permutation of
+    /// the formula's variable-binding atoms (in conjunct order) that becomes the slot
+    /// order of the depth-first join. Reordering never changes results — answer rows
+    /// are collected into a sorted set and closed evaluation is an existence check —
+    /// only the order candidates are enumerated in. An order whose length doesn't
+    /// match the binding-atom count is ignored.
+    pub(crate) fn compile_ordered(
+        formula: &'f Formula,
+        atom_order: Option<&[usize]>,
+    ) -> Option<VectorPlan<'f>> {
         // Peel the leading existential block(s), exactly like the scalar evaluator
         // collapses ∃x.∃y.φ into ∃x,y.φ.
         let mut body = formula;
@@ -175,6 +185,9 @@ impl<'f> VectorPlan<'f> {
         }
         let mut conjuncts = Vec::new();
         flatten(body, &mut conjuncts);
+        if let Some(order) = atom_order {
+            reorder_binding_atoms(&mut conjuncts, order);
+        }
 
         // First pass: assign every variable its binding source — the first atom (in
         // conjunct order) and first column where it appears.
@@ -480,6 +493,32 @@ fn iter_mask(mask: &[u64]) -> impl Iterator<Item = usize> + '_ {
     })
 }
 
+/// Applies a planner-chosen join order: the variable-binding atoms among `conjuncts`
+/// are permuted by `order` (indices into the binding-atom subsequence, source order);
+/// ground atoms and comparisons keep their positions. A malformed `order` (wrong
+/// length, out-of-range or repeated index) leaves the conjuncts untouched — the naive
+/// order is always a correct fallback.
+fn reorder_binding_atoms(conjuncts: &mut [&Formula], order: &[usize]) {
+    let binding: Vec<usize> = conjuncts
+        .iter()
+        .enumerate()
+        .filter(|(_, conjunct)| match conjunct {
+            Formula::Atom(atom) => atom.args.iter().any(|t| matches!(t, Term::Var(_))),
+            _ => false,
+        })
+        .map(|(index, _)| index)
+        .collect();
+    let valid = order.len() == binding.len()
+        && (0..binding.len()).all(|slot| order.iter().filter(|&&o| o == slot).count() == 1);
+    if !valid {
+        return;
+    }
+    let originals: Vec<&Formula> = binding.iter().map(|&i| conjuncts[i]).collect();
+    for (position, &from) in order.iter().enumerate() {
+        conjuncts[binding[position]] = originals[from];
+    }
+}
+
 /// Flattens nested conjunctions into their conjuncts (same shape as the scalar
 /// evaluator's search).
 fn flatten<'f>(formula: &'f Formula, out: &mut Vec<&'f Formula>) {
@@ -498,7 +537,27 @@ mod tests {
     use crate::parser::parse_formula;
 
     fn compiles(text: &str) -> bool {
-        VectorPlan::compile(&parse_formula(text).unwrap()).is_some()
+        VectorPlan::compile_ordered(&parse_formula(text).unwrap(), None).is_some()
+    }
+
+    /// Reordered compilation produces the same join slots in the permuted order:
+    /// the relation list of the plan reflects the chosen order.
+    #[test]
+    fn atom_order_permutes_binding_atoms() {
+        let formula = parse_formula(
+            "EXISTS d1,s1,r1,d2,s2,r2 . \
+             Mgr('Mary',d1,s1,r1) AND Aux('John',d2,s2,r2) AND s1 < s2",
+        )
+        .unwrap();
+        let natural = VectorPlan::compile_ordered(&formula, None).unwrap();
+        assert_eq!(natural.relations, vec!["Mgr", "Aux"]);
+        let flipped = VectorPlan::compile_ordered(&formula, Some(&[1, 0])).unwrap();
+        assert_eq!(flipped.relations, vec!["Aux", "Mgr"]);
+        // Malformed orders fall back to the natural order instead of failing.
+        let bad = VectorPlan::compile_ordered(&formula, Some(&[2, 0])).unwrap();
+        assert_eq!(bad.relations, vec!["Mgr", "Aux"]);
+        let short = VectorPlan::compile_ordered(&formula, Some(&[0])).unwrap();
+        assert_eq!(short.relations, vec!["Mgr", "Aux"]);
     }
 
     #[test]

@@ -237,6 +237,24 @@ impl Client {
         Ok((outcomes, generation))
     }
 
+    /// Fetches the costed physical plan the server's planner picks for a prepared
+    /// query — the deterministic plan tree (estimated cardinalities, join order,
+    /// per-component strategies, eval path) followed by the post-execution actuals —
+    /// plus the generation of the snapshot it was planned against.
+    pub fn explain(
+        &mut self,
+        id: &str,
+        family: FamilyKind,
+        semantics: Semantics,
+    ) -> Result<(String, u64), ClientError> {
+        let response = self.request(&Request::Explain { id: id.to_string(), family, semantics })?;
+        let (head, report) = response
+            .split_once('\n')
+            .ok_or_else(|| ClientError::Malformed(format!("no plan body in `{response}`")))?;
+        let generation = parse_tagged(head, "gen")?;
+        Ok((report.to_string(), generation))
+    }
+
     /// Inserts rows into `table` over the wire. The server types the raw fields
     /// against the served schema and publishes a **delta-derived** snapshot (affected
     /// conflict components only — no rebuild). Returns how many rows were genuinely

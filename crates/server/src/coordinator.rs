@@ -528,6 +528,13 @@ fn dispatch(state: &CoordinatorState, request: &Request) -> String {
              (connect to a shard directly)"
                 .to_string()
         }
+        Request::Explain { .. } => {
+            // Each shard plans against its own snapshot and cardinalities; there is
+            // no single merged physical plan to report for the scattered execution.
+            "ERR EXPLAIN is not supported through the coordinator (each shard plans \
+             independently; connect to a shard directly)"
+                .to_string()
+        }
         Request::Shutdown => unreachable!("SHUTDOWN is handled by the connection loop"),
     }
 }

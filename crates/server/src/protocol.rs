@@ -23,6 +23,7 @@
 //! PING
 //! PREPARE <id> <first-order query text>
 //! EXEC <id> <family> <CERTAIN|POSSIBLE|CLOSED|PROFILE>
+//! EXPLAIN <id> <family> [CERTAIN|POSSIBLE]
 //! BATCH
 //! <id> <family> <mode>                         (repeated, one line per entry)
 //! DESCRIBE <table>
@@ -187,6 +188,16 @@ pub enum Request {
     },
     /// Execute one prepared query.
     Exec(ExecSpec),
+    /// Render the costed physical plan the planner picks for a prepared query, then
+    /// execute it and append the post-execution actuals.
+    Explain {
+        /// The id of a previously `PREPARE`d query.
+        id: String,
+        /// The family of preferred repairs to quantify over.
+        family: FamilyKind,
+        /// The open-query semantics the actuals run under (closed queries ignore it).
+        semantics: Semantics,
+    },
     /// Execute several prepared queries against **one** pinned snapshot.
     Batch(Vec<ExecSpec>),
     /// Insert rows into a table, publishing a delta-derived snapshot (no rebuild).
@@ -273,6 +284,26 @@ impl Request {
                 Ok(Request::Prepare { id: id.to_string(), query: query.trim().to_string() })
             }
             "EXEC" => Ok(Request::Exec(ExecSpec::parse(rest)?)),
+            "EXPLAIN" => {
+                let mut parts = rest.split_whitespace();
+                let (Some(id), Some(family), mode, None) =
+                    (parts.next(), parts.next(), parts.next(), parts.next())
+                else {
+                    return Err("usage: EXPLAIN <id> <family> [CERTAIN|POSSIBLE]".to_string());
+                };
+                let family = FamilyKind::parse(family).ok_or_else(|| {
+                    format!("`{family}` is not a repair family (use ALL, L, S, G or C)")
+                })?;
+                let semantics = match mode {
+                    None => Semantics::Certain,
+                    Some(mode) => {
+                        ExecMode::parse(mode).and_then(ExecMode::semantics).ok_or_else(|| {
+                            format!("`{mode}` is not an EXPLAIN mode (use CERTAIN or POSSIBLE)")
+                        })?
+                    }
+                };
+                Ok(Request::Explain { id: id.to_string(), family, semantics })
+            }
             "BATCH" => {
                 let specs: Vec<ExecSpec> = lines
                     .filter(|line| !line.trim().is_empty())
@@ -421,6 +452,13 @@ impl Request {
             Request::Prepare { id, query } => format!("PREPARE {id} {query}"),
             Request::Exec(spec) => {
                 format!("EXEC {} {} {}", spec.id, spec.family.label(), spec.mode)
+            }
+            Request::Explain { id, family, semantics } => {
+                let mode = match semantics {
+                    Semantics::Certain => ExecMode::Certain,
+                    Semantics::Possible => ExecMode::Possible,
+                };
+                format!("EXPLAIN {id} {} {mode}", family.label())
             }
             Request::Batch(specs) => {
                 let mut out = String::from("BATCH");
@@ -677,6 +715,16 @@ mod tests {
                 family: FamilyKind::SemiGlobal,
                 mode: ExecMode::Profile,
             }),
+            Request::Explain {
+                id: "q1".into(),
+                family: FamilyKind::Global,
+                semantics: Semantics::Certain,
+            },
+            Request::Explain {
+                id: "q2".into(),
+                family: FamilyKind::Rep,
+                semantics: Semantics::Possible,
+            },
             Request::Describe { table: "Mgr".into() },
             Request::Alter { table: "Mgr".into(), fd: "Name -> Dept Salary Reports".into() },
             Request::SetPriority { table: "Mgr".into(), pairs: vec![(0, 2), (1, 3)] },
@@ -741,6 +789,11 @@ mod tests {
             "EXEC q1 ALL CERTAIN extra",
             "BATCH",
             "BATCH\nq1 ALL",
+            "EXPLAIN",
+            "EXPLAIN q1",
+            "EXPLAIN q1 NOPE",
+            "EXPLAIN q1 ALL CLOSED",
+            "EXPLAIN q1 ALL CERTAIN extra",
             "ALTER",
             "ALTER Mgr",
             "ALTER Mgr   ",

@@ -501,6 +501,26 @@ fn dispatch(state: &ServerState, request: &Request, subs: &mut ConnectionSubs) -
                 }
             }
         },
+        Request::Explain { id, family, semantics } => {
+            let entry = state.prepared.read().expect("prepared lock").get(id).cloned();
+            let Some(entry) = entry else {
+                return format!("ERR unknown prepared query `{id}` (PREPARE it first)");
+            };
+            let Some(lease) = state.registry.read(&entry.table) else {
+                return format!("ERR no snapshot published for table `{}`", entry.table);
+            };
+            // The plan renders against the pinned lease; the appended actuals execute
+            // through the ordinary memoising pipeline on that same snapshot.
+            match entry.query.explain(lease.snapshot(), *family, *semantics, state.parallelism) {
+                Ok(report) => format!(
+                    "OK explain {id} {} gen={}\n{}",
+                    family.label(),
+                    lease.generation(),
+                    report.trim_end()
+                ),
+                Err(e) => format!("ERR query error: {e}"),
+            }
+        }
         Request::Batch(specs) => match execute_specs(state, specs) {
             Err(message) => format!("ERR {message}"),
             Ok((lease, blocks)) => {
@@ -687,6 +707,21 @@ fn dispatch(state: &ServerState, request: &Request, subs: &mut ConnectionSubs) -
             ));
             let eval = pdqi_query::eval_path_stats();
             out.push_str(&format!("\neval vectorized={} scalar={}", eval.vectorized, eval.scalar));
+            // Cost-based planner accounting (process-wide, like the eval counters):
+            // how many executions were planned fresh, served from the per-snapshot
+            // plan cache, or ran naive (PDQI_FORCE_NAIVE_PLAN), and which non-default
+            // physical choices the planner made.
+            let plans = pdqi_core::plan_stats();
+            out.push_str(&format!(
+                "\nplanner planned={} cache_hits={} naive={} join_reorders={} \
+                 scalar_picks={} derived_components={}",
+                plans.planned,
+                plans.cache_hits,
+                plans.naive,
+                plans.join_reorders,
+                plans.scalar_picks,
+                plans.derived_components,
+            ));
             for table in state.registry.table_names() {
                 if let Some(stats) = state.registry.table_stats(&table) {
                     out.push_str(&format!(

@@ -91,6 +91,8 @@ pub enum Statement {
     },
     /// A `SELECT`.
     Select(SelectStatement),
+    /// `EXPLAIN SELECT …` — the costed physical plan plus post-execution actuals.
+    Explain(SelectStatement),
 }
 
 /// A parse error with a human-readable message.
@@ -327,6 +329,12 @@ impl Parser {
     }
 
     fn statement(&mut self) -> Result<Statement, SqlParseError> {
+        if self.keyword("EXPLAIN") {
+            return match self.statement()? {
+                Statement::Select(select) => Ok(Statement::Explain(select)),
+                _ => self.error("EXPLAIN supports only SELECT statements"),
+            };
+        }
         if self.keyword("CREATE") {
             self.expect_keyword("TABLE")?;
             let name = self.ident()?;

@@ -115,6 +115,10 @@ pub enum StatementOutcome {
     PreferenceAdded,
     /// A query produced rows.
     Rows(QueryResult),
+    /// An `EXPLAIN` produced a plan report: the costed physical plan the planner
+    /// chose (or the naive marker when planning is disabled), followed by the
+    /// post-execution actuals.
+    Plan(String),
 }
 
 #[derive(Debug, Clone)]
@@ -259,6 +263,13 @@ impl Session {
         if let Statement::Select(select) = statement {
             return self.select(sql.trim(), &select);
         }
+        if let Statement::Explain(select) = statement {
+            // Strip the leading `EXPLAIN` keyword so the underlying SELECT shares
+            // its prepared-statement cache entry (and engine fingerprint) with
+            // direct executions of the same statement.
+            let inner = sql.trim()["EXPLAIN".len()..].trim_start();
+            return self.explain(inner, &select);
+        }
         self.run(statement)
     }
 
@@ -380,8 +391,8 @@ impl Session {
                 self.queue_prefer(&table);
                 Ok(StatementOutcome::PreferenceAdded)
             }
-            Statement::Select(_) => {
-                unreachable!("SELECT statements are routed through Session::select")
+            Statement::Select(_) | Statement::Explain(_) => {
+                unreachable!("SELECT/EXPLAIN statements are routed through Session::execute")
             }
         }
     }
@@ -799,8 +810,10 @@ impl Session {
         }
         let entry = self.table(&select.table)?;
         let (projected, formula) = self.select_query(entry, select)?;
-        let prepared =
-            PreparedSelect { projected, query: Arc::new(PreparedQuery::from_formula(formula)) };
+        let prepared = PreparedSelect {
+            projected,
+            query: Arc::new(PreparedQuery::from_formula(formula).with_source(sql_text)),
+        };
         // Bound the plan cache so sessions fed parameter-inlined statement streams
         // (`... WHERE Salary >= 10`, `>= 11`, ...) stay at a fixed footprint.
         if self.prepared.len() >= PREPARED_CACHE_LIMIT {
@@ -868,6 +881,30 @@ impl Session {
         rows.sort();
         rows.dedup();
         Ok(StatementOutcome::Rows(QueryResult { columns: projected, rows }))
+    }
+
+    /// Executes `EXPLAIN SELECT … WITH REPAIRS <family>`: renders the costed
+    /// physical plan the Volcano-style planner picked for the statement (estimated
+    /// cardinalities, join order, per-component strategies, eval path), executes it
+    /// through the ordinary memoising pipeline, and appends the actual product size
+    /// and row count. Plain `SELECT`s without a repair clause evaluate directly over
+    /// the stored instance — there is nothing to plan — so they are rejected.
+    fn explain(
+        &mut self,
+        sql_text: &str,
+        select: &SelectStatement,
+    ) -> Result<StatementOutcome, SqlError> {
+        let Some(kind) = select.repairs else {
+            return Err(SqlError::Query(
+                "EXPLAIN covers repair-quantified SELECTs; add WITH REPAIRS <family>".to_string(),
+            ));
+        };
+        let PreparedSelect { query, .. } = self.prepare_select(sql_text, select)?;
+        let snapshot = self.snapshot(&select.table)?;
+        let report = query
+            .explain(&snapshot, kind, Semantics::Certain, self.parallelism)
+            .map_err(|e| SqlError::Query(e.to_string()))?;
+        Ok(StatementOutcome::Plan(report))
     }
 }
 
@@ -1192,6 +1229,34 @@ mod tests {
                 "{statement}"
             );
         }
+    }
+
+    #[test]
+    fn explain_renders_the_plan_and_actuals() {
+        let mut session = session_with_example1();
+        let outcome = session.execute("EXPLAIN SELECT Name FROM Mgr WITH REPAIRS ALL").unwrap();
+        let StatementOutcome::Plan(report) = outcome else {
+            panic!("expected a plan report, got {outcome:?}");
+        };
+        assert!(report.starts_with("plan family=Rep"), "{report}");
+        assert!(report.contains("query SELECT Name FROM Mgr WITH REPAIRS ALL"), "{report}");
+        assert!(report.contains("actual product="), "{report}");
+        assert!(report.contains("rows=2"), "{report}");
+        // The EXPLAIN shares its prepared statement (and thereby the engine
+        // fingerprint, answer memo and plan cache) with the bare SELECT.
+        assert_eq!(session.prepared_statement_count(), 1);
+        session.execute("SELECT Name FROM Mgr WITH REPAIRS ALL").unwrap();
+        assert_eq!(session.prepared_statement_count(), 1);
+    }
+
+    #[test]
+    fn explain_requires_a_repair_clause() {
+        let mut session = session_with_example1();
+        assert!(matches!(session.execute("EXPLAIN SELECT Name FROM Mgr"), Err(SqlError::Query(_))));
+        assert!(matches!(
+            session.execute("EXPLAIN INSERT INTO Mgr VALUES ('X','Y',1,1)"),
+            Err(SqlError::Parse(_))
+        ));
     }
 
     #[test]

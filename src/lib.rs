@@ -110,12 +110,12 @@ pub use pdqi_sql as sql;
 
 pub use pdqi_constraints::{ConflictGraph, FdSet, FunctionalDependency};
 pub use pdqi_core::{
-    AnswerDelta, AnswerSet, BatchExecutor, BatchRequest, BatchResponse, BuildError, ChangeScope,
-    ChunkTuner, ChunkTunerStats, CqaOutcome, EngineBuilder, EngineSnapshot, FamilyKind, MemoStats,
-    Mutation, MutationError, MutationReport, Parallelism, PreparedQuery, RegistryStats,
-    RepairContext, RouteSpec, Semantics, Shard, ShardPlan, SnapshotLease, SnapshotRegistry,
-    SubscribeStats, Subscribed, SubscriptionEvent, SubscriptionInfo, SubscriptionManager,
-    TableStats, MAX_THREADS,
+    force_naive_plan, naive_plan_forced, plan_stats, AnswerDelta, AnswerSet, BatchExecutor,
+    BatchRequest, BatchResponse, BuildError, ChangeScope, ChunkTuner, ChunkTunerStats, CqaOutcome,
+    EngineBuilder, EngineSnapshot, FamilyKind, MemoStats, Mutation, MutationError, MutationReport,
+    Parallelism, PhysicalPlan, PlanStats, PreparedQuery, RegistryStats, RepairContext, RouteSpec,
+    Semantics, Shard, ShardPlan, SnapshotLease, SnapshotRegistry, SubscribeStats, Subscribed,
+    SubscriptionEvent, SubscriptionInfo, SubscriptionManager, TableStats, MAX_THREADS,
 };
 pub use pdqi_priority::Priority;
 pub use pdqi_query::{parse_formula, Evaluator, Formula};

@@ -196,6 +196,26 @@ fn served_answers_are_bit_identical_to_direct_execution_on_the_leased_snapshot()
 }
 
 #[test]
+fn explain_over_the_wire_reports_the_plan_and_the_actuals() {
+    let (registry, _) = traced_registry(3, 5, 10, 5, 7);
+    let handle = serve("127.0.0.1:0", Arc::clone(&registry), ServerConfig::default()).unwrap();
+    let mut client = Client::connect(handle.local_addr()).unwrap();
+    client.prepare("q", "EXISTS b,c,d . R(x,b,c,d)").unwrap();
+    let (report, generation) = client.explain("q", FamilyKind::Global, Semantics::Certain).unwrap();
+    assert_eq!(generation, registry.read("R").unwrap().generation());
+    // The report is the deterministic plan tree (or the naive marker when
+    // PDQI_FORCE_NAIVE_PLAN is exported into the test environment) plus actuals.
+    assert!(report.contains("plan family=G-Rep"), "{report}");
+    assert!(report.contains("actual product="), "{report}");
+    // Unknown prepared ids error cleanly; the connection stays usable.
+    assert!(client.explain("nope", FamilyKind::Rep, Semantics::Certain).is_err());
+    // The planner's process-wide counters surface through STATS.
+    let stats = client.stats().unwrap();
+    assert!(stats.contains("planner planned="), "{stats}");
+    handle.shutdown();
+}
+
+#[test]
 fn a_batch_pins_one_generation_even_while_revisions_swap() {
     let (registry, trace) = traced_registry(3, 5, 40, 3, 99);
     let config = ServerConfig { parallelism: Parallelism::threads(2), acceptors: 2 };
