@@ -21,8 +21,8 @@ use std::sync::Arc;
 
 use pdqi_aggregate::{range_by_enumeration, AggregateFunction, AggregateQuery};
 use pdqi_core::{
-    properties, EngineSnapshot, FamilyKind, Parallelism, PreparedQuery, Semantics,
-    SubscriptionEvent, MAX_THREADS,
+    properties, EngineSnapshot, FamilyKind, Parallelism, PreparedQuery, ReportStrategy, Semantics,
+    SubscribeOptions, SubscriptionEvent, MAX_THREADS,
 };
 use pdqi_relation::{RelationInstance, TupleSet};
 use pdqi_sql::{Session, SqlError, StatementOutcome};
@@ -395,20 +395,53 @@ impl Interpreter {
     }
 
     fn subscribe(&mut self, args: &[&str]) -> Result<String, CliError> {
+        const USAGE: &str = "usage: .subscribe [CERTAIN|POSSIBLE] \
+                             [EVERY n|WINDOW n|COALESCE ms] [QUEUE n] \
+                             <SELECT … WITH REPAIRS <family>>";
         // Optional leading semantics token; the repair family comes from the
         // statement's own WITH REPAIRS clause.
-        let (semantics, rest) = match args.first().map(|t| t.to_ascii_uppercase()) {
+        let (semantics, mut rest) = match args.first().map(|t| t.to_ascii_uppercase()) {
             Some(token) if token == "POSSIBLE" => (Semantics::Possible, &args[1..]),
             Some(token) if token == "CERTAIN" => (Semantics::Certain, &args[1..]),
             _ => (Semantics::Certain, args),
         };
+        // Report-strategy and queue options sit between the semantics token and the
+        // statement; the statement itself starts at the first non-option token.
+        let mut options = SubscribeOptions::default();
+        let mut strategy_given = false;
+        while let Some(keyword) = rest.first().map(|t| t.to_ascii_uppercase()) {
+            if !matches!(keyword.as_str(), "EVERY" | "WINDOW" | "COALESCE" | "QUEUE") {
+                break;
+            }
+            let number: u64 = rest
+                .get(1)
+                .and_then(|text| text.parse().ok())
+                .ok_or_else(|| CliError::Command(format!("{keyword} takes a number ({USAGE})")))?;
+            if keyword != "COALESCE" && number == 0 {
+                return Err(CliError::Command(format!("{keyword} takes a count ≥ 1")));
+            }
+            if keyword == "QUEUE" {
+                options.queue_capacity = Some(usize::try_from(number).unwrap_or(usize::MAX));
+            } else {
+                if strategy_given {
+                    return Err(CliError::Command(
+                        "at most one of EVERY, WINDOW, COALESCE".to_string(),
+                    ));
+                }
+                strategy_given = true;
+                options.strategy = match keyword.as_str() {
+                    "EVERY" => ReportStrategy::every(number),
+                    "WINDOW" => ReportStrategy::window(usize::try_from(number).unwrap_or(1)),
+                    _ => ReportStrategy::coalesce(std::time::Duration::from_millis(number)),
+                };
+            }
+            rest = &rest[2..];
+        }
         if rest.is_empty() {
-            return Err(CliError::Command(
-                "usage: .subscribe [CERTAIN|POSSIBLE] <SELECT … WITH REPAIRS <family>>".to_string(),
-            ));
+            return Err(CliError::Command(USAGE.to_string()));
         }
         let sql = rest.join(" ");
-        let subscribed = self.session.subscribe(&sql, semantics)?;
+        let subscribed = self.session.subscribe_with(&sql, semantics, options)?;
         let mut out = format!(
             "subscription #{} at gen {} ({} initial row(s))\n{}\n",
             subscribed.id,
@@ -479,12 +512,15 @@ impl Interpreter {
         let schema = self.session.schema_delta_stats();
         let eval = pdqi_query::eval_path_stats();
         let plans = pdqi_core::plan_stats();
+        let windows = self.session.window_stats();
         format!(
             "schema deltas: fd delta={} rebuild={}\n\
              preference deltas: swaps={} coalesced={} rebuild={}\n\
              eval paths: vectorized={} scalar={}\n\
              planner: planned={} cache hits={} naive={}\n\
-             planner choices: join reorders={} scalar picks={} derived components={}",
+             planner choices: join reorders={} scalar picks={} derived components={}\n\
+             report strategies: coalesced={} windowed={} folded swaps={} flushes={} \
+             expiry deltas={} pending dropped={}",
             schema.fds_delta,
             schema.fds_rebuild,
             schema.prefers_delta,
@@ -497,7 +533,13 @@ impl Interpreter {
             plans.naive,
             plans.join_reorders,
             plans.scalar_picks,
-            plans.derived_components
+            plans.derived_components,
+            windows.coalesced_subscribers,
+            windows.windowed_subscribers,
+            windows.folded_swaps,
+            windows.coalesced_flushes,
+            windows.expiry_deltas,
+            windows.pending_dropped
         )
     }
 
@@ -546,9 +588,14 @@ meta commands:
   .aggregate <table> <func> <attr> [family] range-consistent aggregate answer
   .properties <table>                       evaluate P1-P4 for every family
   .explain <SELECT … WITH REPAIRS <f>>      costed physical plan plus actuals
-  .subscribe [CERTAIN|POSSIBLE] <SELECT …>  register a continuous query (needs
+  .subscribe [CERTAIN|POSSIBLE] [EVERY n|WINDOW n|COALESCE ms] [QUEUE n] <SELECT …>
+                                            register a continuous query (needs
                                             WITH REPAIRS); deltas print after the
-                                            statements that cause them
+                                            statements that cause them. EVERY folds
+                                            n swaps per delta, WINDOW answers over
+                                            the last n generations, COALESCE folds
+                                            bursts within ms, QUEUE bounds the
+                                            push queue
   .subscriptions                            list continuous queries
   .unsubscribe <id>                         drop a continuous query
   .stats                                    schema-delta, eval-path and planner accounting";

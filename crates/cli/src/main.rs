@@ -33,7 +33,8 @@ fn usage_error(message: &str) -> ! {
     eprintln!("error: {message}");
     eprintln!("usage: pdqi [--threads N|auto] [script.sql ...]");
     eprintln!(
-        "       pdqi serve [--addr HOST:PORT] [--threads N|auto] [--acceptors N] [script.sql ...]"
+        "       pdqi serve [--addr HOST:PORT] [--threads N|auto] [--acceptors N] \
+         [--write-hold-ms N] [script.sql ...]"
     );
     eprintln!(
         "       pdqi coord [--addr HOST:PORT] [--acceptors N] --shard HOST:PORT ... \
@@ -54,17 +55,23 @@ fn parse_threads(text: &str) -> usize {
 }
 
 /// Flags shared by the script runner and `serve`: `--threads`, plus `serve`'s
-/// `--addr`/`--acceptors`; everything else is a script path.
+/// `--addr`/`--acceptors`/`--write-hold-ms`; everything else is a script path.
 struct Options {
     threads: usize,
     addr: String,
     acceptors: usize,
+    write_hold_ms: u64,
     paths: Vec<String>,
 }
 
 fn parse_options(args: &[String], serve: bool) -> Options {
-    let mut options =
-        Options { threads: 1, addr: "127.0.0.1:4999".to_string(), acceptors: 1, paths: Vec::new() };
+    let mut options = Options {
+        threads: 1,
+        addr: "127.0.0.1:4999".to_string(),
+        acceptors: 1,
+        write_hold_ms: 0,
+        paths: Vec::new(),
+    };
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         // `--flag value` and `--flag=value` both work; None means `arg` is not this flag.
@@ -89,6 +96,10 @@ fn parse_options(args: &[String], serve: bool) -> Options {
             options.acceptors = value
                 .parse()
                 .unwrap_or_else(|_| usage_error(&format!("`{value}` is not an acceptor count")));
+        } else if let Some(value) = serve.then(|| flag_value("--write-hold-ms")).flatten() {
+            options.write_hold_ms = value
+                .parse()
+                .unwrap_or_else(|_| usage_error(&format!("`{value}` is not a hold in ms")));
         } else if arg.starts_with("--") {
             usage_error(&format!("unknown flag `{arg}`"));
         } else {
@@ -163,6 +174,7 @@ fn serve_main(args: &[String]) {
     let config = pdqi_server::ServerConfig {
         parallelism: session.parallelism(),
         acceptors: options.acceptors,
+        write_hold: std::time::Duration::from_millis(options.write_hold_ms),
     };
     let handle = match pdqi_server::serve(options.addr.as_str(), registry, config) {
         Ok(handle) => handle,

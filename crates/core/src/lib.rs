@@ -109,6 +109,7 @@ pub mod schema_delta;
 pub mod shard_plan;
 pub mod snapshot;
 pub mod subscribe;
+pub mod window;
 
 pub use clean::{clean_with_total_priority, CleaningError};
 pub use cqa::{preferred_consistent_answer, CqaOutcome};
@@ -135,6 +136,10 @@ pub use schema_delta::{FdDeltaError, FdDeltaReport};
 pub use shard_plan::{RouteSpec, ShardPlan, ShardPlanError};
 pub use snapshot::{BuildError, EngineBuilder, EngineSnapshot, MemoStats, Shard};
 pub use subscribe::{
-    AnswerDelta, SubscribeError, SubscribeStats, Subscribed, SubscriptionEvent, SubscriptionInfo,
-    SubscriptionManager,
+    AnswerDelta, SubscribeError, SubscribeOptions, SubscribeStats, Subscribed, SubscriptionEvent,
+    SubscriptionInfo, SubscriptionManager,
+};
+pub use window::{
+    ReportStrategy, WindowStats, WriteCoalescer, WriteError, WriteFrame, WriteOutcome, WriteStats,
+    MAX_COALESCED_BATCH,
 };

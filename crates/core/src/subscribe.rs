@@ -43,6 +43,7 @@ use crate::families::FamilyKind;
 use crate::parallel::Parallelism;
 use crate::prepared::{PreparedQuery, Semantics};
 use crate::registry::{ChangeScope, SnapshotRegistry, SwapEvent, SwapObserver};
+use crate::window::{ReportState, ReportStrategy, WindowCounters, WindowStats};
 
 /// Default bound on a subscriber's undrained event queue. Beyond it the queue
 /// collapses into one [`SubscriptionEvent::Lagged`] resync — a slow subscriber costs
@@ -96,6 +97,17 @@ pub struct SubscribeStats {
     pub lagged_resyncs: u64,
 }
 
+/// Per-subscription options for [`SubscriptionManager::subscribe_with`]: the report
+/// strategy (see [`crate::window`]) and an optional queue-capacity override.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SubscribeOptions {
+    /// How swaps become pushed deltas (default: one delta per answer-changing swap).
+    pub strategy: ReportStrategy,
+    /// Overrides the manager's per-subscriber queue bound (clamped to ≥ 1);
+    /// `None` uses the manager-wide capacity.
+    pub queue_capacity: Option<usize>,
+}
+
 /// What [`SubscriptionManager::subscribe`] hands back: the subscription id plus the
 /// initial full answer the deltas build on.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -130,6 +142,8 @@ pub struct SubscriptionInfo {
     pub pending: usize,
     /// Whether the queue overflowed and the next drain resynchronises.
     pub lagged: bool,
+    /// The subscription's report strategy.
+    pub strategy: ReportStrategy,
 }
 
 /// Errors raised by [`SubscriptionManager::subscribe`].
@@ -176,6 +190,11 @@ struct Subscription {
     generation: u64,
     queue: VecDeque<SubscriptionEvent>,
     lagged: bool,
+    /// Report-strategy state: what the subscriber was told, pending coalesced
+    /// deltas, the last-N window (see [`crate::window`]).
+    report: ReportState,
+    /// Per-subscription queue bound; `None` falls back to the manager's.
+    queue_capacity: Option<usize>,
 }
 
 #[derive(Default)]
@@ -198,6 +217,7 @@ pub struct SubscriptionManager {
     skipped_unchanged: AtomicU64,
     executions: AtomicU64,
     lagged_resyncs: AtomicU64,
+    window_counters: WindowCounters,
 }
 
 impl SubscriptionManager {
@@ -218,6 +238,7 @@ impl SubscriptionManager {
             skipped_unchanged: AtomicU64::new(0),
             executions: AtomicU64::new(0),
             lagged_resyncs: AtomicU64::new(0),
+            window_counters: WindowCounters::default(),
         })
     }
 
@@ -240,6 +261,20 @@ impl SubscriptionManager {
         query: Arc<PreparedQuery>,
         family: FamilyKind,
         semantics: Semantics,
+    ) -> Result<Subscribed, SubscribeError> {
+        self.subscribe_with(registry, query, family, semantics, SubscribeOptions::default())
+    }
+
+    /// [`SubscriptionManager::subscribe`] with explicit [`SubscribeOptions`]: a
+    /// report strategy (`EVERY n` / `WINDOW n` / `COALESCE ms` on the wire) and an
+    /// optional per-subscription queue bound (`QUEUE n`).
+    pub fn subscribe_with(
+        &self,
+        registry: &SnapshotRegistry,
+        query: Arc<PreparedQuery>,
+        family: FamilyKind,
+        semantics: Semantics,
+        options: SubscribeOptions,
     ) -> Result<Subscribed, SubscribeError> {
         let tables = query.relations();
         let [table] = tables else {
@@ -270,6 +305,8 @@ impl SubscriptionManager {
                 generation: lease.generation(),
                 queue: VecDeque::new(),
                 lagged: false,
+                report: ReportState::new(options.strategy, rows.clone(), lease.generation()),
+                queue_capacity: options.queue_capacity.map(|c| c.max(1)),
             },
         );
         Ok(Subscribed { id, generation: lease.generation(), columns, rows })
@@ -283,7 +320,11 @@ impl SubscriptionManager {
 
     /// Takes every queued event of subscription `id`, oldest first. A lagged
     /// subscriber gets exactly one [`SubscriptionEvent::Lagged`] resync instead of
-    /// its lost deltas. Unknown ids drain nothing.
+    /// its lost deltas — and any pending coalesced delta is dropped, never replayed,
+    /// because the resync's full answer already contains it. Draining is also when
+    /// coalesced deadlines resolve: a pending delta whose `max_delay` elapsed is
+    /// flushed onto the returned events (observers run under the writer lock, so the
+    /// swap path cannot wait on timers). Unknown ids drain nothing.
     pub fn drain(&self, id: u64) -> Vec<SubscriptionEvent> {
         let mut inner = self.inner.lock().expect("subscription manager lock");
         let Some(subscription) = inner.subscriptions.get_mut(&id) else {
@@ -292,12 +333,19 @@ impl SubscriptionManager {
         if subscription.lagged {
             subscription.lagged = false;
             subscription.queue.clear();
-            return vec![SubscriptionEvent::Lagged {
-                generation: subscription.generation,
-                rows: subscription.rows.clone(),
-            }];
+            let rows = subscription.report.resync(&subscription.rows, &self.window_counters);
+            return vec![SubscriptionEvent::Lagged { generation: subscription.generation, rows }];
         }
-        subscription.queue.drain(..).collect()
+        let mut events: Vec<SubscriptionEvent> = subscription.queue.drain(..).collect();
+        if let Some(delta) = subscription.report.flush_due(
+            subscription.generation,
+            &subscription.rows,
+            &self.window_counters,
+        ) {
+            self.deltas_pushed.fetch_add(1, Ordering::Relaxed);
+            events.push(SubscriptionEvent::Delta(delta));
+        }
+        events
     }
 
     /// The manager's counters at one instant.
@@ -308,6 +356,30 @@ impl SubscriptionManager {
             skipped_unchanged: self.skipped_unchanged.load(Ordering::Relaxed),
             executions: self.executions.load(Ordering::Relaxed),
             lagged_resyncs: self.lagged_resyncs.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Report-strategy counters: how many subscribers coalesce or window, how many
+    /// swaps folded, flushed, expired or were dropped at a resync.
+    pub fn window_stats(&self) -> WindowStats {
+        let (mut coalesced, mut windowed) = (0usize, 0usize);
+        {
+            let inner = self.inner.lock().expect("subscription manager lock");
+            for subscription in inner.subscriptions.values() {
+                match subscription.report.strategy() {
+                    ReportStrategy::Coalesced { .. } => coalesced += 1,
+                    ReportStrategy::WindowedLastN { .. } => windowed += 1,
+                    ReportStrategy::PerGeneration => {}
+                }
+            }
+        }
+        WindowStats {
+            coalesced_subscribers: coalesced,
+            windowed_subscribers: windowed,
+            folded_swaps: self.window_counters.folded_swaps.load(Ordering::Relaxed),
+            coalesced_flushes: self.window_counters.coalesced_flushes.load(Ordering::Relaxed),
+            expiry_deltas: self.window_counters.expiry_deltas.load(Ordering::Relaxed),
+            pending_dropped: self.window_counters.pending_dropped.load(Ordering::Relaxed),
         }
     }
 
@@ -326,6 +398,7 @@ impl SubscriptionManager {
                 generation: s.generation,
                 pending: s.queue.len(),
                 lagged: s.lagged,
+                strategy: s.report.strategy(),
             })
             .collect()
     }
@@ -373,31 +446,6 @@ impl SubscriptionManager {
         }
     }
 
-    /// Two-pointer diff of sorted, de-duplicated row sets.
-    fn diff(old: &[Vec<Value>], new: &[Vec<Value>]) -> (Vec<Vec<Value>>, Vec<Vec<Value>>) {
-        let (mut added, mut removed) = (Vec::new(), Vec::new());
-        let (mut i, mut j) = (0usize, 0usize);
-        while i < old.len() && j < new.len() {
-            match old[i].cmp(&new[j]) {
-                std::cmp::Ordering::Equal => {
-                    i += 1;
-                    j += 1;
-                }
-                std::cmp::Ordering::Less => {
-                    removed.push(old[i].clone());
-                    i += 1;
-                }
-                std::cmp::Ordering::Greater => {
-                    added.push(new[j].clone());
-                    j += 1;
-                }
-            }
-        }
-        removed.extend_from_slice(&old[i..]);
-        added.extend_from_slice(&new[j..]);
-        (added, removed)
-    }
-
     /// Enqueues `event` on `subscription`'s bounded queue, collapsing to lagged on
     /// overflow.
     fn enqueue(&self, subscription: &mut Subscription, event: SubscriptionEvent) {
@@ -407,7 +455,8 @@ impl SubscriptionManager {
             // around the resync.
             return;
         }
-        if subscription.queue.len() >= self.queue_capacity {
+        let capacity = subscription.queue_capacity.unwrap_or(self.queue_capacity);
+        if subscription.queue.len() >= capacity {
             subscription.queue.clear();
             subscription.lagged = true;
             self.lagged_resyncs.fetch_add(1, Ordering::Relaxed);
@@ -415,6 +464,50 @@ impl SubscriptionManager {
         }
         subscription.queue.push_back(event);
     }
+
+    /// Runs the subscription's report strategy across a swap of its table and
+    /// enqueues whatever delta it produces.
+    fn advance(&self, subscription: &mut Subscription, generation: u64, changed: bool) {
+        subscription.generation = generation;
+        let delta = subscription.report.advance(
+            generation,
+            &subscription.rows,
+            changed,
+            &self.window_counters,
+        );
+        if let Some(delta) = delta {
+            self.deltas_pushed.fetch_add(1, Ordering::Relaxed);
+            self.enqueue(subscription, SubscriptionEvent::Delta(delta));
+        }
+    }
+}
+
+/// Two-pointer diff of sorted, de-duplicated row sets.
+pub(crate) fn diff_rows(
+    old: &[Vec<Value>],
+    new: &[Vec<Value>],
+) -> (Vec<Vec<Value>>, Vec<Vec<Value>>) {
+    let (mut added, mut removed) = (Vec::new(), Vec::new());
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < old.len() && j < new.len() {
+        match old[i].cmp(&new[j]) {
+            std::cmp::Ordering::Equal => {
+                i += 1;
+                j += 1;
+            }
+            std::cmp::Ordering::Less => {
+                removed.push(old[i].clone());
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                added.push(new[j].clone());
+                j += 1;
+            }
+        }
+    }
+    removed.extend_from_slice(&old[i..]);
+    added.extend_from_slice(&new[j..]);
+    (added, removed)
 }
 
 impl SwapObserver for SubscriptionManager {
@@ -430,8 +523,11 @@ impl SwapObserver for SubscriptionManager {
             if Self::provably_unchanged(subscription, event) {
                 self.skipped_unchanged.fetch_add(1, Ordering::Relaxed);
                 if subscription.table == event.table {
-                    // The stored answer is current at the new generation too.
-                    subscription.generation = event.generation;
+                    // The stored answer is current at the new generation too. The
+                    // strategy still advances: a window slides on every generation
+                    // of its table, expiring old entries even when the new answer is
+                    // unchanged.
+                    self.advance(subscription, event.generation, false);
                 }
                 continue;
             }
@@ -445,7 +541,8 @@ impl SwapObserver for SubscriptionManager {
                 // Registered queries execute against schemas that mutations and
                 // revisions cannot change; if execution fails anyway (e.g. a rebuild
                 // replaced the table with an incompatible snapshot), keep the old
-                // answer and force a resync so the subscriber learns its position.
+                // answer and force a resync so the subscriber learns its position
+                // (any pending coalesced delta is dropped at that resync).
                 Err(_) => {
                     subscription.lagged = true;
                     self.lagged_resyncs.fetch_add(1, Ordering::Relaxed);
@@ -454,24 +551,14 @@ impl SwapObserver for SubscriptionManager {
             };
             self.executions.fetch_add(1, Ordering::Relaxed);
             let new_rows: Vec<Vec<Value>> = answer.rows().to_vec();
-            let (added, removed) = Self::diff(&subscription.rows, &new_rows);
+            let changed = new_rows != subscription.rows;
             subscription.rows = new_rows;
-            subscription.generation = event.generation;
-            if added.is_empty() && removed.is_empty() {
-                // Re-executed but unchanged: nothing to push (a delta would be
-                // noise), and nothing counts as "proven" either — the proof failed,
-                // the execution decided.
-                continue;
-            }
-            self.deltas_pushed.fetch_add(1, Ordering::Relaxed);
-            self.enqueue(
-                subscription,
-                SubscriptionEvent::Delta(AnswerDelta {
-                    generation: event.generation,
-                    added,
-                    removed,
-                }),
-            );
+            // A re-execution that found the answer unchanged pushes nothing for
+            // per-generation subscribers (a delta would be noise — and it does not
+            // count as "proven" either: the proof failed, the execution decided),
+            // but strategies advance regardless: windows slide, coalesced pendings
+            // stay open.
+            self.advance(subscription, event.generation, changed);
         }
     }
 }

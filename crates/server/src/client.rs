@@ -14,7 +14,7 @@ use pdqi_core::{FamilyKind, Semantics};
 use pdqi_relation::ValueType;
 
 use crate::protocol::{
-    read_frame, write_frame, ExecMode, ExecSpec, FrameError, Request, MAX_FRAME_BYTES,
+    read_frame, write_frame, ExecMode, ExecSpec, FrameError, ReportSpec, Request, MAX_FRAME_BYTES,
 };
 
 /// How often a mid-frame deadline read re-polls the socket.
@@ -321,8 +321,27 @@ impl Client {
         family: FamilyKind,
         semantics: Semantics,
     ) -> Result<SubscribeReply, ClientError> {
-        let response =
-            self.request(&Request::Subscribe { id: id.to_string(), family, semantics })?;
+        self.subscribe_with(id, family, semantics, ReportSpec::default(), None)
+    }
+
+    /// [`Client::subscribe`] with an explicit report strategy and queue bound: `report`
+    /// maps to the wire's `EVERY n` / `WINDOW n` / `COALESCE ms` clause and `queue`
+    /// to `QUEUE n` (a per-subscription override of the server's push-queue capacity).
+    pub fn subscribe_with(
+        &mut self,
+        id: &str,
+        family: FamilyKind,
+        semantics: Semantics,
+        report: ReportSpec,
+        queue: Option<usize>,
+    ) -> Result<SubscribeReply, ClientError> {
+        let response = self.request(&Request::Subscribe {
+            id: id.to_string(),
+            family,
+            semantics,
+            report,
+            queue,
+        })?;
         let mut lines = response.split('\n');
         let head = lines.next().unwrap_or("");
         let sub = parse_tagged(head, "sub")?;
@@ -506,6 +525,24 @@ impl Client {
     /// The server's raw `STATS` response.
     pub fn stats(&mut self) -> Result<String, ClientError> {
         self.request(&Request::Stats)
+    }
+
+    /// The server's write-coalescing counters, parsed from the `writes …` line of
+    /// `STATS`: accepted frames, committed batches, frames that shared a batch with
+    /// at least one other (`coalesced_writes`) and the derivations those shared
+    /// batches saved.
+    pub fn write_stats(&mut self) -> Result<pdqi_core::WriteStats, ClientError> {
+        let stats = self.stats()?;
+        let line = stats
+            .lines()
+            .find(|line| line.starts_with("writes "))
+            .ok_or_else(|| ClientError::Malformed("no `writes` line in STATS".to_string()))?;
+        Ok(pdqi_core::WriteStats {
+            frames: parse_tagged(line, "frames")?,
+            batches: parse_tagged(line, "batches")?,
+            coalesced_writes: parse_tagged(line, "coalesced_writes")?,
+            derivations_saved: parse_tagged(line, "derivations_saved")?,
+        })
     }
 
     /// Asks the server to stop (the server answers, then shuts down).

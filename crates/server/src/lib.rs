@@ -47,6 +47,7 @@ pub use client::{
 };
 pub use coordinator::{coordinate, CoordinatorConfig, CoordinatorHandle};
 pub use protocol::{
-    escape_field, unescape_field, ExecMode, ExecSpec, FrameError, Request, MAX_FRAME_BYTES,
+    escape_field, unescape_field, ExecMode, ExecSpec, FrameError, ReportSpec, Request,
+    MAX_FRAME_BYTES,
 };
 pub use server::{serve, ServerConfig, ServerHandle};

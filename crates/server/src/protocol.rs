@@ -36,7 +36,7 @@
 //! MUTATE <table>
 //! +\t<value>\t<value>\t...                     (one op-prefixed row per line:
 //! -\t<value>\t<value>\t...                      `+` inserts, `-` deletes)
-//! SUBSCRIBE <id> <family> <CERTAIN|POSSIBLE>
+//! SUBSCRIBE <id> <family> <CERTAIN|POSSIBLE> [EVERY n|WINDOW n|COALESCE ms] [QUEUE n]
 //! UNSUBSCRIBE <subscription-id>
 //! STATS
 //! SHUTDOWN
@@ -83,6 +83,12 @@
 //!
 //! `DELTA` rows are op-prefixed like `MUTATE` rows (`+` added, `-` removed); a
 //! `LAGGED` frame replaces lost deltas with the full answer at the stated generation.
+//!
+//! `SUBSCRIBE`'s optional trailing clauses pick a report strategy and queue bound:
+//! `EVERY n` flushes one net delta per n answer-changing swaps, `COALESCE ms` one per
+//! time slice, `WINDOW n` reports the union of the last n generations' answers (with
+//! expiry deltas as generations slide out), and `QUEUE n` bounds the subscription's
+//! undrained-event queue before it collapses into a `LAGGED` resync.
 
 use std::fmt;
 use std::io::{self, Read, Write};
@@ -141,6 +147,37 @@ impl fmt::Display for ExecMode {
             ExecMode::Closed => "CLOSED",
             ExecMode::Profile => "PROFILE",
         })
+    }
+}
+
+/// `SUBSCRIBE`'s optional report-strategy clause, in wire form. Parsing (in
+/// [`Request::parse`]) and the rendering in [`Request::render`] round-trip;
+/// [`ReportSpec::to_strategy`] maps onto [`pdqi_core::ReportStrategy`] for the
+/// subscription manager.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReportSpec {
+    /// No clause: one delta per answer-changing swap (the default).
+    #[default]
+    PerGeneration,
+    /// `EVERY n` — flush one net delta per `n` answer-changing swaps.
+    Every(u64),
+    /// `WINDOW n` — report the union of the last `n` generations' answers.
+    Window(u64),
+    /// `COALESCE ms` — flush one net delta per `ms`-millisecond time slice.
+    Coalesce(u64),
+}
+
+impl ReportSpec {
+    /// The core strategy this wire clause selects.
+    pub fn to_strategy(self) -> pdqi_core::ReportStrategy {
+        match self {
+            ReportSpec::PerGeneration => pdqi_core::ReportStrategy::PerGeneration,
+            ReportSpec::Every(n) => pdqi_core::ReportStrategy::every(n),
+            ReportSpec::Window(n) => pdqi_core::ReportStrategy::window(n as usize),
+            ReportSpec::Coalesce(ms) => {
+                pdqi_core::ReportStrategy::coalesce(std::time::Duration::from_millis(ms))
+            }
+        }
     }
 }
 
@@ -248,6 +285,12 @@ pub enum Request {
         family: FamilyKind,
         /// The open-query semantics (`CLOSED` verdicts have no row delta).
         semantics: Semantics,
+        /// The report strategy (`EVERY n` / `WINDOW n` / `COALESCE ms`; default
+        /// per-generation).
+        report: ReportSpec,
+        /// `QUEUE n`: per-subscription bound on undrained events before the queue
+        /// collapses into a `LAGGED` resync (default: the server's bound).
+        queue: Option<usize>,
     },
     /// Drop a subscription registered on this connection.
     Unsubscribe {
@@ -410,11 +453,13 @@ impl Request {
                 Ok(Request::Mutate { table: table.to_string(), inserts, deletes })
             }
             "SUBSCRIBE" => {
+                const USAGE: &str = "usage: SUBSCRIBE <id> <family> <CERTAIN|POSSIBLE> \
+                                     [EVERY n|WINDOW n|COALESCE ms] [QUEUE n]";
                 let mut parts = rest.split_whitespace();
-                let (Some(id), Some(family), Some(mode), None) =
-                    (parts.next(), parts.next(), parts.next(), parts.next())
+                let (Some(id), Some(family), Some(mode)) =
+                    (parts.next(), parts.next(), parts.next())
                 else {
-                    return Err("usage: SUBSCRIBE <id> <family> <CERTAIN|POSSIBLE>".to_string());
+                    return Err(USAGE.to_string());
                 };
                 let family = FamilyKind::parse(family).ok_or_else(|| {
                     format!("`{family}` is not a repair family (use ALL, L, S, G or C)")
@@ -423,7 +468,38 @@ impl Request {
                     ExecMode::parse(mode).and_then(ExecMode::semantics).ok_or_else(|| {
                         format!("`{mode}` is not a subscription mode (use CERTAIN or POSSIBLE)")
                     })?;
-                Ok(Request::Subscribe { id: id.to_string(), family, semantics })
+                let mut report = None;
+                let mut queue = None;
+                while let Some(keyword) = parts.next() {
+                    let argument = parts.next().ok_or_else(|| USAGE.to_string())?;
+                    let number = argument
+                        .parse::<u64>()
+                        .map_err(|_| format!("`{argument}` is not a number ({USAGE})"))?;
+                    match keyword.to_ascii_uppercase().as_str() {
+                        "EVERY" | "WINDOW" if number == 0 => {
+                            return Err(format!("{keyword} takes a count ≥ 1"));
+                        }
+                        "EVERY" if report.is_none() => report = Some(ReportSpec::Every(number)),
+                        "WINDOW" if report.is_none() => report = Some(ReportSpec::Window(number)),
+                        "COALESCE" if report.is_none() => {
+                            report = Some(ReportSpec::Coalesce(number));
+                        }
+                        "EVERY" | "WINDOW" | "COALESCE" => {
+                            return Err("at most one of EVERY, WINDOW, COALESCE".to_string());
+                        }
+                        "QUEUE" if number == 0 => return Err("QUEUE takes a bound ≥ 1".to_string()),
+                        "QUEUE" if queue.is_none() => queue = Some(number as usize),
+                        "QUEUE" => return Err("QUEUE given twice".to_string()),
+                        _ => return Err(USAGE.to_string()),
+                    }
+                }
+                Ok(Request::Subscribe {
+                    id: id.to_string(),
+                    family,
+                    semantics,
+                    report: report.unwrap_or_default(),
+                    queue,
+                })
             }
             "UNSUBSCRIBE" => {
                 let sub = rest
@@ -476,12 +552,22 @@ impl Request {
                 push_op_rows(&mut out, '-', deletes);
                 out
             }
-            Request::Subscribe { id, family, semantics } => {
+            Request::Subscribe { id, family, semantics, report, queue } => {
                 let mode = match semantics {
                     Semantics::Certain => ExecMode::Certain,
                     Semantics::Possible => ExecMode::Possible,
                 };
-                format!("SUBSCRIBE {id} {} {mode}", family.label())
+                let mut out = format!("SUBSCRIBE {id} {} {mode}", family.label());
+                match report {
+                    ReportSpec::PerGeneration => {}
+                    ReportSpec::Every(n) => out.push_str(&format!(" EVERY {n}")),
+                    ReportSpec::Window(n) => out.push_str(&format!(" WINDOW {n}")),
+                    ReportSpec::Coalesce(ms) => out.push_str(&format!(" COALESCE {ms}")),
+                }
+                if let Some(bound) = queue {
+                    out.push_str(&format!(" QUEUE {bound}"));
+                }
+                out
             }
             Request::Unsubscribe { sub } => format!("UNSUBSCRIBE {sub}"),
             Request::Alter { table, fd } => format!("ALTER {table} {fd}"),
@@ -762,11 +848,43 @@ mod tests {
                 id: "q1".into(),
                 family: FamilyKind::Global,
                 semantics: Semantics::Certain,
+                report: ReportSpec::PerGeneration,
+                queue: None,
             },
             Request::Subscribe {
                 id: "q2".into(),
                 family: FamilyKind::Rep,
                 semantics: Semantics::Possible,
+                report: ReportSpec::PerGeneration,
+                queue: None,
+            },
+            Request::Subscribe {
+                id: "q3".into(),
+                family: FamilyKind::Local,
+                semantics: Semantics::Certain,
+                report: ReportSpec::Every(4),
+                queue: None,
+            },
+            Request::Subscribe {
+                id: "q4".into(),
+                family: FamilyKind::Common,
+                semantics: Semantics::Possible,
+                report: ReportSpec::Window(3),
+                queue: Some(16),
+            },
+            Request::Subscribe {
+                id: "q5".into(),
+                family: FamilyKind::Global,
+                semantics: Semantics::Certain,
+                report: ReportSpec::Coalesce(250),
+                queue: None,
+            },
+            Request::Subscribe {
+                id: "q6".into(),
+                family: FamilyKind::Rep,
+                semantics: Semantics::Certain,
+                report: ReportSpec::PerGeneration,
+                queue: Some(1),
             },
             Request::Unsubscribe { sub: 7 },
             Request::Stats,
@@ -817,6 +935,15 @@ mod tests {
             "SUBSCRIBE q1 ALL PROFILE",
             "SUBSCRIBE q1 NOPE CERTAIN",
             "SUBSCRIBE q1 ALL CERTAIN extra",
+            "SUBSCRIBE q1 ALL CERTAIN WINDOW",
+            "SUBSCRIBE q1 ALL CERTAIN WINDOW x",
+            "SUBSCRIBE q1 ALL CERTAIN WINDOW 0",
+            "SUBSCRIBE q1 ALL CERTAIN EVERY 0",
+            "SUBSCRIBE q1 ALL CERTAIN QUEUE 0",
+            "SUBSCRIBE q1 ALL CERTAIN QUEUE",
+            "SUBSCRIBE q1 ALL CERTAIN QUEUE 4 QUEUE 5",
+            "SUBSCRIBE q1 ALL CERTAIN WINDOW 2 COALESCE 10",
+            "SUBSCRIBE q1 ALL CERTAIN WINDOW 2 extra",
             "UNSUBSCRIBE",
             "UNSUBSCRIBE x",
             "DESCRIBE",

@@ -33,8 +33,9 @@ use std::time::Duration;
 
 use pdqi_constraints::FunctionalDependency;
 use pdqi_core::{
-    BatchExecutor, BatchRequest, BatchResponse, ChangeScope, ChunkTuner, Mutation, Parallelism,
-    PreparedQuery, SnapshotLease, SnapshotRegistry, SubscriptionEvent, SubscriptionManager,
+    BatchExecutor, BatchRequest, BatchResponse, ChangeScope, ChunkTuner, Parallelism,
+    PreparedQuery, SnapshotLease, SnapshotRegistry, SubscribeOptions, SubscriptionEvent,
+    SubscriptionManager, WriteCoalescer, WriteFrame,
 };
 use pdqi_priority::Priority;
 use pdqi_relation::{TupleId, Value, ValueType};
@@ -61,11 +62,19 @@ pub struct ServerConfig {
     /// Accept-loop threads sharing the listener (thread-per-core accept; clamped to at
     /// least 1).
     pub acceptors: usize,
+    /// Group-commit delay for the write coalescer: the batch leader waits this long
+    /// after taking a table's revision lock so concurrent writes join the batch
+    /// (zero — the default — coalesces only writes already queued behind the lock).
+    pub write_hold: Duration,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
-        ServerConfig { parallelism: Parallelism::sequential(), acceptors: 1 }
+        ServerConfig {
+            parallelism: Parallelism::sequential(),
+            acceptors: 1,
+            write_hold: Duration::ZERO,
+        }
     }
 }
 
@@ -90,6 +99,10 @@ struct ServerState {
     /// `SUBSCRIBE`d connections drain their bounded per-subscriber queues on idle
     /// polls and after every response.
     subscriptions: Arc<SubscriptionManager>,
+    /// The write-pipelining front: every `MUTATE`/`INSERT`/`DELETE` goes through this
+    /// bounded per-table coalescing queue, so frames arriving while the revision lock
+    /// is busy fold into one `Mutation`, one derivation and one swap.
+    writes: Arc<WriteCoalescer>,
     shutdown: AtomicBool,
     requests: AtomicU64,
     protocol_errors: AtomicU64,
@@ -167,6 +180,8 @@ pub fn serve(
     let acceptor_count = config.acceptors.max(1);
     let subscriptions = SubscriptionManager::new(config.parallelism);
     subscriptions.attach(&registry);
+    let writes =
+        WriteCoalescer::with_hold(Arc::clone(&registry), config.parallelism, config.write_hold);
     let state = Arc::new(ServerState {
         registry,
         prepared: RwLock::new(HashMap::new()),
@@ -174,6 +189,7 @@ pub fn serve(
         tuner: ChunkTuner::shared(),
         acceptors: acceptor_count,
         subscriptions,
+        writes,
         shutdown: AtomicBool::new(false),
         requests: AtomicU64::new(0),
         protocol_errors: AtomicU64::new(0),
@@ -543,28 +559,31 @@ fn dispatch(state: &ServerState, request: &Request, subs: &mut ConnectionSubs) -
                 Ok(rows) => rows,
                 Err(message) => return message,
             };
-            // One Mutation batch → one delta derivation → one generation swap: the k
-            // row-level writes below cost one re-partition and push at most one
-            // subscription delta per subscriber.
-            let mutation = Mutation::new().insert_rows(table, inserts).delete_rows(table, deletes);
-            match state.registry.apply(table, &mutation, state.parallelism) {
-                Ok((generation, report)) => format!(
-                    "OK mutated inserted {} deleted {} gen={generation}",
-                    report.inserted, report.deleted
+            // One frame → one Mutation batch → one delta derivation → one generation
+            // swap; the coalescing queue additionally folds frames from *other*
+            // connections that arrive while this table's revision lock is busy into
+            // the same derivation.
+            match state.writes.apply(table, WriteFrame::new(inserts, deletes)) {
+                Ok(outcome) => format!(
+                    "OK mutated inserted {} deleted {} gen={}",
+                    outcome.inserted, outcome.deleted, outcome.generation
                 ),
                 Err(e) => format!("ERR {e}"),
             }
         }
-        Request::Subscribe { id, family, semantics } => {
+        Request::Subscribe { id, family, semantics, report, queue } => {
             let entry = state.prepared.read().expect("prepared lock").get(id).cloned();
             let Some(entry) = entry else {
                 return format!("ERR unknown prepared query `{id}` (PREPARE it first)");
             };
-            match state.subscriptions.subscribe(
+            let options =
+                SubscribeOptions { strategy: report.to_strategy(), queue_capacity: *queue };
+            match state.subscriptions.subscribe_with(
                 &state.registry,
                 Arc::clone(&entry.query),
                 *family,
                 *semantics,
+                options,
             ) {
                 Ok(subscribed) => {
                     subs.ids.push(subscribed.id);
@@ -697,6 +716,26 @@ fn dispatch(state: &ServerState, request: &Request, subs: &mut ConnectionSubs) -
                 subscribe.executions,
                 subscribe.lagged_resyncs,
             ));
+            // Report-strategy accounting: coalesced/windowed subscriber counts and
+            // how much churn the strategies absorbed.
+            let window = state.subscriptions.window_stats();
+            out.push_str(&format!(
+                "\nwindows coalesced={} windowed={} folded_swaps={} flushes={} \
+                 expiry_deltas={} pending_dropped={}",
+                window.coalesced_subscribers,
+                window.windowed_subscribers,
+                window.folded_swaps,
+                window.coalesced_flushes,
+                window.expiry_deltas,
+                window.pending_dropped,
+            ));
+            // Write-pipelining accounting: frames through the coalescing queue,
+            // derivations actually run, and the folding win.
+            let writes = state.writes.stats();
+            out.push_str(&format!(
+                "\nwrites frames={} batches={} coalesced_writes={} derivations_saved={}",
+                writes.frames, writes.batches, writes.coalesced_writes, writes.derivations_saved,
+            ));
             // Schema-delta and evaluation-path accounting. Every server-side ALTER is
             // a delta (there is no rebuild fallback over the wire); the eval counters
             // are process-wide — vectorized and scalar executions of the columnar hot
@@ -740,28 +779,29 @@ fn dispatch(state: &ServerState, request: &Request, subs: &mut ConnectionSubs) -
 }
 
 /// Answers an `INSERT`/`DELETE` request: types the raw row fields against the served
-/// table's schema, then publishes a **delta-derived** snapshot through
-/// [`SnapshotRegistry::apply`] — the replacement re-partitions only the conflict
-/// components the mutation touches and carries every untouched memo entry, building
-/// off the serving path under the same per-table writer lock `SET-PRIORITY` uses. The
-/// response reports what the mutation actually did (set semantics: duplicate inserts
-/// and absent deletes are no-ops) and the new generation.
+/// table's schema, then publishes a **delta-derived** snapshot through the server's
+/// [`WriteCoalescer`] — the replacement re-partitions only the conflict components
+/// the mutation touches and carries every untouched memo entry, building off the
+/// serving path under the same per-table writer lock `SET-PRIORITY` uses; frames
+/// queued while that lock is busy fold into one derivation. The response reports what
+/// the mutation actually did (set semantics: duplicate inserts and absent deletes are
+/// no-ops) and the generation its batch published.
 fn apply_mutation(state: &ServerState, table: &str, rows: &[Vec<String>], insert: bool) -> String {
     let typed = match type_rows(state, table, rows) {
         Ok(typed) => typed,
         Err(message) => return message,
     };
-    let mutation = if insert {
-        Mutation::new().insert_rows(table, typed)
+    let frame = if insert {
+        WriteFrame::new(typed, Vec::new())
     } else {
-        Mutation::new().delete_rows(table, typed)
+        WriteFrame::new(Vec::new(), typed)
     };
-    match state.registry.apply(table, &mutation, state.parallelism) {
-        Ok((generation, report)) => {
+    match state.writes.apply(table, frame) {
+        Ok(outcome) => {
             if insert {
-                format!("OK inserted {} gen={generation}", report.inserted)
+                format!("OK inserted {} gen={}", outcome.inserted, outcome.generation)
             } else {
-                format!("OK deleted {} gen={generation}", report.deleted)
+                format!("OK deleted {} gen={}", outcome.deleted, outcome.generation)
             }
         }
         Err(e) => format!("ERR {e}"),

@@ -36,8 +36,8 @@ use std::sync::Arc;
 use pdqi_constraints::{FdSet, FunctionalDependency};
 use pdqi_core::{
     ChangeScope, ChunkTuner, EngineBuilder, EngineSnapshot, Mutation, Parallelism, PreparedQuery,
-    ReviseError, Semantics, SnapshotLease, SnapshotRegistry, Subscribed, SubscriptionEvent,
-    SubscriptionInfo, SubscriptionManager,
+    ReviseError, Semantics, SnapshotLease, SnapshotRegistry, SubscribeOptions, Subscribed,
+    SubscriptionEvent, SubscriptionInfo, SubscriptionManager, WindowStats,
 };
 use pdqi_query::builder::{and_all, atom, exists, var};
 use pdqi_query::{Evaluator, Formula, Term};
@@ -692,6 +692,18 @@ impl Session {
     /// arrive as [`SubscriptionEvent`]s through [`Session::drain_subscription_events`].
     /// Returns the subscription id plus the initial full answer the deltas build on.
     pub fn subscribe(&mut self, sql: &str, semantics: Semantics) -> Result<Subscribed, SqlError> {
+        self.subscribe_with(sql, semantics, SubscribeOptions::default())
+    }
+
+    /// [`Session::subscribe`] with an explicit report strategy and push-queue bound:
+    /// `options.strategy` picks per-generation, coalesced or windowed delivery and
+    /// `options.queue_capacity` overrides the manager's per-subscription queue bound.
+    pub fn subscribe_with(
+        &mut self,
+        sql: &str,
+        semantics: Semantics,
+        options: SubscribeOptions,
+    ) -> Result<Subscribed, SqlError> {
         let Statement::Select(select) = parse_statement(sql)? else {
             return Err(SqlError::Query("only SELECT statements can be subscribed".to_string()));
         };
@@ -705,7 +717,7 @@ impl Session {
         let prepared = self.prepare_select(sql.trim(), &select)?;
         let manager = self.subscription_manager();
         let mut subscribed = manager
-            .subscribe(&self.registry, Arc::clone(&prepared.query), family, semantics)
+            .subscribe_with(&self.registry, Arc::clone(&prepared.query), family, semantics, options)
             .map_err(|e| SqlError::Query(e.to_string()))?;
         // The engine reports free-variable names (`v_<Column>`); surface the SQL
         // column names instead.
@@ -726,6 +738,12 @@ impl Session {
     /// The subscriptions this session registered, with their current positions.
     pub fn subscriptions(&self) -> Vec<SubscriptionInfo> {
         self.subscriptions.as_ref().map_or_else(Vec::new, |manager| manager.list())
+    }
+
+    /// Report-strategy counters across this session's subscriptions (all zero until
+    /// a coalesced or windowed subscription exists).
+    pub fn window_stats(&self) -> WindowStats {
+        self.subscriptions.as_ref().map_or_else(WindowStats::default, |m| m.window_stats())
     }
 
     /// Takes every queued event across this session's subscriptions, tagged with the

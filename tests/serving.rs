@@ -218,7 +218,8 @@ fn explain_over_the_wire_reports_the_plan_and_the_actuals() {
 #[test]
 fn a_batch_pins_one_generation_even_while_revisions_swap() {
     let (registry, trace) = traced_registry(3, 5, 40, 3, 99);
-    let config = ServerConfig { parallelism: Parallelism::threads(2), acceptors: 2 };
+    let config =
+        ServerConfig { parallelism: Parallelism::threads(2), acceptors: 2, ..Default::default() };
     let handle = serve("127.0.0.1:0", Arc::clone(&registry), config).unwrap();
     let addr = handle.local_addr();
 
@@ -354,7 +355,8 @@ fn frames_split_across_poll_timeouts_are_reassembled_not_dropped() {
 #[test]
 fn remote_shutdown_drains_every_acceptor_thread() {
     let (registry, _) = traced_registry(2, 4, 5, 3, 4);
-    let config = ServerConfig { parallelism: Parallelism::sequential(), acceptors: 3 };
+    let config =
+        ServerConfig { parallelism: Parallelism::sequential(), acceptors: 3, ..Default::default() };
     let handle = serve("127.0.0.1:0", registry, config).unwrap();
     let mut client = Client::connect(handle.local_addr()).unwrap();
     client.shutdown().unwrap();
